@@ -1,0 +1,186 @@
+//! Attributed Community Query (ACQ) — Fang et al., VLDB 2016 (baseline ❷).
+//!
+//! Finds a connected k-core containing the query node whose members all
+//! share a maximum-size subset of the query node's attributes. This is the
+//! Apriori-style basic algorithm of the paper: verified attribute sets of
+//! size `ℓ` are extended to size `ℓ+1`, pruning unverifiable branches; the
+//! CL-tree index of the original system accelerates but does not change the
+//! output.
+
+use cgnp_graph::algo::cores::k_core_community;
+use cgnp_graph::{AttributedGraph, Graph};
+
+/// Result of an ACQ search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AcqResult {
+    /// Community members, sorted.
+    pub members: Vec<usize>,
+    /// The shared attribute set achieving the maximum size.
+    pub shared_attrs: Vec<u32>,
+}
+
+/// Runs ACQ for query `q` with core parameter `k`.
+///
+/// Falls back to the plain structural k-core community when the graph has
+/// no attributes or no attributed community exists.
+pub fn attributed_community_query(ag: &AttributedGraph, q: usize, k: usize) -> AcqResult {
+    let g = ag.graph();
+    let structural = k_core_community(g, q, k);
+    if !ag.has_attributes() || ag.attrs_of(q).is_empty() || structural.is_empty() {
+        return AcqResult { members: structural, shared_attrs: Vec::new() };
+    }
+
+    // Level 1: single attributes of q that admit a k-core community.
+    let mut frontier: Vec<(Vec<u32>, Vec<usize>)> = Vec::new();
+    for &a in ag.attrs_of(q) {
+        if let Some(comm) = attr_core_community(ag, q, k, &[a]) {
+            frontier.push((vec![a], comm));
+        }
+    }
+    if frontier.is_empty() {
+        return AcqResult { members: structural, shared_attrs: Vec::new() };
+    }
+
+    let mut best = frontier[0].clone();
+    while !frontier.is_empty() {
+        // Track the largest community among the current (maximal) level.
+        if let Some(cand) = frontier.iter().max_by_key(|(_, c)| c.len()) {
+            best = cand.clone();
+        }
+        // Extend each verified set by one further attribute of q.
+        let mut next: Vec<(Vec<u32>, Vec<usize>)> = Vec::new();
+        for (set, _) in &frontier {
+            let last = *set.last().expect("non-empty set");
+            for &a in ag.attrs_of(q) {
+                if a <= last {
+                    continue; // enforce ascending order: each set once
+                }
+                let mut bigger = set.clone();
+                bigger.push(a);
+                if let Some(comm) = attr_core_community(ag, q, k, &bigger) {
+                    next.push((bigger, comm));
+                }
+            }
+        }
+        frontier = next;
+    }
+    AcqResult { members: best.1, shared_attrs: best.0 }
+}
+
+/// The connected k-core containing `q` of the subgraph induced by nodes
+/// carrying **all** attributes in `set`. `None` if it vanishes.
+fn attr_core_community(
+    ag: &AttributedGraph,
+    q: usize,
+    k: usize,
+    set: &[u32],
+) -> Option<Vec<usize>> {
+    let keep: Vec<usize> = (0..ag.n())
+        .filter(|&v| set.iter().all(|&a| ag.has_attr(v, a)))
+        .collect();
+    if keep.len() < 2 || !keep.contains(&q) {
+        return None;
+    }
+    let (sub, back) = ag.graph().induced_subgraph(&keep);
+    let local_q = back.iter().position(|&v| v == q).expect("q kept");
+    let comm = k_core_community(&sub, local_q, k);
+    if comm.is_empty() || comm.len() < 2 {
+        return None;
+    }
+    let mut members: Vec<usize> = comm.into_iter().map(|v| back[v]).collect();
+    members.sort_unstable();
+    Some(members)
+}
+
+/// Convenience wrapper returning only the members (used by the harness).
+pub fn acq_members(ag: &AttributedGraph, q: usize, k: usize) -> Vec<usize> {
+    attributed_community_query(ag, q, k).members
+}
+
+/// The plain structural k-core community (baseline building block, also
+/// exposed for the harness's non-attributed fallback).
+pub fn kcore_members(g: &Graph, q: usize, k: usize) -> Vec<usize> {
+    k_core_community(g, q, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles sharing node 2; left triangle carries attr 0, right
+    /// attr 1; node 2 carries both.
+    fn attributed() -> AttributedGraph {
+        let g = Graph::from_edges(
+            5,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)],
+        );
+        AttributedGraph::new(
+            g,
+            2,
+            vec![vec![0], vec![0], vec![0, 1], vec![1], vec![1]],
+            vec![vec![0, 1, 2], vec![2, 3, 4]],
+        )
+    }
+
+    #[test]
+    fn query_with_single_attribute_gets_its_side() {
+        let ag = attributed();
+        let r = attributed_community_query(&ag, 0, 2);
+        assert_eq!(r.members, vec![0, 1, 2]);
+        assert_eq!(r.shared_attrs, vec![0]);
+    }
+
+    #[test]
+    fn overlap_node_keeps_largest_attributed_community() {
+        let ag = attributed();
+        let r = attributed_community_query(&ag, 2, 2);
+        // Both single-attribute communities have size 3; no 2-attribute
+        // community exists (only node 2 has both). Either triangle is
+        // acceptable; the shared set must be a single attribute.
+        assert_eq!(r.members.len(), 3);
+        assert_eq!(r.shared_attrs.len(), 1);
+        assert!(r.members.contains(&2));
+    }
+
+    #[test]
+    fn multi_attribute_sets_preferred_when_verified() {
+        // A 2-core square where all nodes share attrs {0,1}.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let ag = AttributedGraph::new(
+            g,
+            3,
+            vec![vec![0, 1], vec![0, 1], vec![0, 1, 2], vec![0, 1]],
+            vec![],
+        );
+        let r = attributed_community_query(&ag, 2, 2);
+        assert_eq!(r.shared_attrs, vec![0, 1], "maximal verified set wins");
+        assert_eq!(r.members, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn falls_back_to_structural_core_without_attrs() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let ag = AttributedGraph::plain(g);
+        let r = attributed_community_query(&ag, 0, 2);
+        assert_eq!(r.members, vec![0, 1, 2]);
+        assert!(r.shared_attrs.is_empty());
+    }
+
+    #[test]
+    fn empty_when_query_below_core() {
+        let ag = attributed();
+        let r = attributed_community_query(&ag, 0, 5);
+        assert!(r.members.is_empty());
+    }
+
+    #[test]
+    fn attribute_filter_can_shrink_community() {
+        let ag = attributed();
+        // For q=3 (attr 1 only): attributed 2-core = {2,3,4}; the structural
+        // 2-core would include the whole graph.
+        let r = attributed_community_query(&ag, 3, 2);
+        assert_eq!(r.members, vec![2, 3, 4]);
+        let structural = kcore_members(ag.graph(), 3, 2);
+        assert_eq!(structural, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,260 @@
+//! Attributed Truss Community (ATC) — Huang & Lakshmanan, VLDB 2017
+//! (baseline ❶).
+//!
+//! Finds a `(k,d)`-truss containing the query nodes — a connected k-truss
+//! whose query distance is at most `d` — maximising the attribute score
+//! `f(H, Wq) = Σ_{a ∈ Wq} |V_a ∩ H|² / |H|`. Following the paper's greedy
+//! `LocATC`/basic scheme: first compute the maximal `(k,d)`-truss, then
+//! iteratively peel the node with the smallest attribute-score
+//! contribution while the truss and connectivity survive, keeping the
+//! best-scoring intermediate community.
+
+use std::collections::HashSet;
+
+use cgnp_graph::algo::query_distances;
+use cgnp_graph::{AttributedGraph, Graph};
+
+use crate::peel::{alive_component, peel_to_k_truss, queries_connected, AliveView};
+
+/// Result of an ATC search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AtcResult {
+    /// Community members, sorted.
+    pub members: Vec<usize>,
+    /// The attribute score of the returned community.
+    pub score: f64,
+}
+
+/// Runs ATC for `queries` with truss parameter `k` and query-distance bound
+/// `d`. The query attribute set `Wq` is the union of the queries'
+/// attributes (the paper's default when no explicit attributes are given).
+pub fn attributed_truss_community(
+    ag: &AttributedGraph,
+    queries: &[usize],
+    k: usize,
+    d: usize,
+) -> AtcResult {
+    let g = ag.graph();
+    if queries.is_empty() || g.m() == 0 {
+        return AtcResult { members: Vec::new(), score: 0.0 };
+    }
+    let wq: Vec<u32> = {
+        let mut set = HashSet::new();
+        for &q in queries {
+            set.extend(ag.attrs_of(q).iter().copied());
+        }
+        let mut v: Vec<u32> = set.into_iter().collect();
+        v.sort_unstable();
+        v
+    };
+
+    // Maximal (k,d)-truss: alternate truss peeling and distance filtering.
+    let mut view = AliveView::full(g);
+    peel_to_k_truss(g, &mut view, k);
+    if !queries_connected(g, &view, queries) {
+        return AtcResult { members: Vec::new(), score: 0.0 };
+    }
+    restrict_to_component(g, &mut view, queries[0]);
+    loop {
+        let removed = remove_distant_nodes(g, &mut view, queries, d);
+        if removed == 0 {
+            break;
+        }
+        peel_to_k_truss(g, &mut view, k);
+        if !queries_connected(g, &view, queries) {
+            return AtcResult { members: Vec::new(), score: 0.0 };
+        }
+        restrict_to_component(g, &mut view, queries[0]);
+    }
+
+    // Greedy attribute-score peeling.
+    let mut best = view.clone();
+    let mut best_score = attribute_score(ag, &best, &wq);
+    while let Some(victim) = least_contributing_node(ag, &view, &wq, queries) {
+        let mut next = view.clone();
+        next.remove_node(g, victim);
+        peel_to_k_truss(g, &mut next, k);
+        if !queries_connected(g, &next, queries) {
+            break;
+        }
+        restrict_to_component(g, &mut next, queries[0]);
+        let score = attribute_score(ag, &next, &wq);
+        if score >= best_score {
+            best = next.clone();
+            best_score = score;
+        }
+        view = next;
+    }
+    AtcResult { members: best.alive_nodes(), score: best_score }
+}
+
+/// `f(H, Wq) = Σ_{a ∈ Wq} |V_a ∩ H|² / |H|` (Huang & Lakshmanan, Eq. 1).
+pub fn attribute_score(ag: &AttributedGraph, view: &AliveView, wq: &[u32]) -> f64 {
+    let members = view.alive_nodes();
+    if members.is_empty() {
+        return 0.0;
+    }
+    let mut score = 0.0;
+    for &a in wq {
+        let cover = members.iter().filter(|&&v| ag.has_attr(v, a)).count() as f64;
+        score += cover * cover;
+    }
+    score / members.len() as f64
+}
+
+fn restrict_to_component(g: &Graph, view: &mut AliveView, q: usize) {
+    let comp = alive_component(g, view, q);
+    let keep: HashSet<usize> = comp.into_iter().collect();
+    for v in 0..g.n() {
+        if view.nodes[v] && !keep.contains(&v) {
+            view.remove_node(g, v);
+        }
+    }
+}
+
+fn remove_distant_nodes(
+    g: &Graph,
+    view: &mut AliveView,
+    queries: &[usize],
+    d: usize,
+) -> usize {
+    let nodes = view.alive_nodes();
+    if nodes.is_empty() {
+        return 0;
+    }
+    let mut local = vec![usize::MAX; g.n()];
+    for (i, &v) in nodes.iter().enumerate() {
+        local[v] = i;
+    }
+    let mut edges = Vec::new();
+    for e in 0..g.m() {
+        if view.edges[e] {
+            let (u, v) = g.edge(e);
+            if local[u] != usize::MAX && local[v] != usize::MAX {
+                edges.push((local[u], local[v]));
+            }
+        }
+    }
+    let sub = Graph::from_edges(nodes.len(), &edges);
+    let local_queries: Vec<usize> = queries.iter().map(|&q| local[q]).collect();
+    if local_queries.contains(&usize::MAX) {
+        return 0;
+    }
+    let qd = query_distances(&sub, &local_queries);
+    let mut removed = 0;
+    for (i, &v) in nodes.iter().enumerate() {
+        if qd[i] > d && !queries.contains(&v) {
+            view.remove_node(g, v);
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// The non-query node whose removal least decreases the attribute score:
+/// the node covering the fewest query attributes (ties: lowest alive
+/// degree).
+fn least_contributing_node(
+    ag: &AttributedGraph,
+    view: &AliveView,
+    wq: &[u32],
+    queries: &[usize],
+) -> Option<usize> {
+    let g = ag.graph();
+    let mut best: Option<(usize, usize, usize)> = None; // (node, coverage, degree)
+    for v in view.alive_nodes() {
+        if queries.contains(&v) {
+            continue;
+        }
+        let coverage = wq.iter().filter(|&&a| ag.has_attr(v, a)).count();
+        let degree = view.alive_degree(g, v);
+        let better = match best {
+            None => true,
+            Some((_, bc, bd)) => coverage < bc || (coverage == bc && degree < bd),
+        };
+        if better {
+            best = Some((v, coverage, degree));
+        }
+    }
+    best.map(|(v, _, _)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 5-clique where nodes {0,1,2} carry attribute 0 and {3,4} carry
+    /// attribute 1.
+    fn clique_with_attrs() -> AttributedGraph {
+        let mut edges = Vec::new();
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(5, &edges);
+        AttributedGraph::new(
+            g,
+            2,
+            vec![vec![0], vec![0], vec![0], vec![1], vec![1]],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn keeps_attribute_homogeneous_subcommunity() {
+        let ag = clique_with_attrs();
+        // Query node 0 (attr 0), k=3, d=2: peeling should prefer dropping
+        // the attr-1 nodes, since they contribute nothing to Wq = {0}.
+        let r = attributed_truss_community(&ag, &[0], 3, 2);
+        assert!(r.members.contains(&0));
+        assert!(r.members.contains(&1) && r.members.contains(&2));
+        assert!(
+            !r.members.contains(&3) || !r.members.contains(&4),
+            "at least one attr-1 node should be peeled: {:?}",
+            r.members
+        );
+        assert!(r.score > 0.0);
+    }
+
+    #[test]
+    fn respects_distance_bound() {
+        // Triangle chain: (0,1,2)-(2,3,4)-(4,5,6); query 0 with d=1 keeps
+        // only its own triangle.
+        let g = Graph::from_edges(
+            7,
+            &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4), (4, 5), (4, 6), (5, 6)],
+        );
+        let ag = AttributedGraph::plain(g);
+        let r = attributed_truss_community(&ag, &[0], 3, 1);
+        assert_eq!(r.members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_when_truss_missing() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let ag = AttributedGraph::plain(g);
+        let r = attributed_truss_community(&ag, &[0], 4, 3);
+        assert!(r.members.is_empty());
+        assert_eq!(r.score, 0.0);
+    }
+
+    #[test]
+    fn score_formula_matches_definition() {
+        let ag = clique_with_attrs();
+        let view = AliveView::full(ag.graph());
+        // Wq = {0}: |V_0 ∩ H| = 3, |H| = 5 → 9/5.
+        let s = attribute_score(&ag, &view, &[0]);
+        assert!((s - 9.0 / 5.0).abs() < 1e-9);
+        // Wq = {0,1}: 9/5 + 4/5.
+        let s2 = attribute_score(&ag, &view, &[0, 1]);
+        assert!((s2 - 13.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_query_respects_all_queries() {
+        let ag = clique_with_attrs();
+        let r = attributed_truss_community(&ag, &[0, 3], 3, 2);
+        assert!(r.members.contains(&0) && r.members.contains(&3));
+    }
+}

@@ -1,0 +1,250 @@
+//! Closest Truss Community (CTC) — Huang et al., VLDB 2015 (baseline ❸).
+//!
+//! Given query nodes `Q`, find the k-truss with the largest `k` connectedly
+//! containing `Q`, then greedily shrink it to reduce the query distance
+//! (diameter proxy), maintaining the truss property and `Q`-connectivity.
+//! This is the paper's basic greedy variant; the index-accelerated variants
+//! change running time, not output quality class.
+
+use cgnp_graph::algo::{query_distances, truss_numbers};
+use cgnp_graph::Graph;
+
+use crate::peel::{alive_component, peel_to_k_truss, queries_connected, AliveView};
+
+/// Result of a CTC search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CtcResult {
+    /// Community members, sorted.
+    pub members: Vec<usize>,
+    /// The trussness k of the returned community.
+    pub k: usize,
+}
+
+/// Runs CTC for `queries`. Returns an empty community when no common truss
+/// exists (e.g. a query node is isolated).
+pub fn closest_truss_community(g: &Graph, queries: &[usize]) -> CtcResult {
+    if queries.is_empty() || g.m() == 0 {
+        return CtcResult { members: Vec::new(), k: 0 };
+    }
+    let truss = truss_numbers(g);
+    // Upper bound: the smallest over queries of their max incident truss.
+    let k_cap = queries
+        .iter()
+        .map(|&q| {
+            g.edge_ids_of(q)
+                .iter()
+                .map(|&e| truss[e as usize])
+                .max()
+                .unwrap_or(0)
+        })
+        .min()
+        .unwrap_or(0);
+    if k_cap < 2 {
+        return CtcResult { members: Vec::new(), k: 0 };
+    }
+    // Largest k whose truss-≥k edge subgraph connects all queries.
+    let mut chosen: Option<(usize, AliveView)> = None;
+    for k in (2..=k_cap).rev() {
+        let mut view = AliveView::full(g);
+        for (e, &t) in truss.iter().enumerate() {
+            view.edges[e] = t >= k;
+        }
+        for v in 0..g.n() {
+            view.nodes[v] = view.alive_degree(g, v) > 0;
+        }
+        if queries_connected(g, &view, queries) {
+            chosen = Some((k, view));
+            break;
+        }
+    }
+    let Some((k, mut view)) = chosen else {
+        return CtcResult { members: Vec::new(), k: 0 };
+    };
+
+    // Restrict to the component containing the queries.
+    restrict_to_query_component(g, &mut view, queries[0]);
+
+    // Greedy shrink: repeatedly delete the free node with the largest query
+    // distance, re-peel, and stop when the truss breaks or queries
+    // disconnect. Keep the best (smallest max-query-distance) candidate.
+    let mut best = view.clone();
+    let mut best_dist = max_query_distance(g, &best, queries);
+    let max_rounds = g.n();
+    for _ in 0..max_rounds {
+        let candidate = furthest_free_node(g, &view, queries);
+        let Some((node, dist)) = candidate else { break };
+        if dist == 0 {
+            break; // everything is a query or adjacent-tight
+        }
+        let mut next = view.clone();
+        next.remove_node(g, node);
+        peel_to_k_truss(g, &mut next, k);
+        if !queries_connected(g, &next, queries) {
+            break;
+        }
+        restrict_to_query_component(g, &mut next, queries[0]);
+        let nd = max_query_distance(g, &next, queries);
+        if nd <= best_dist {
+            best = next.clone();
+            best_dist = nd;
+        }
+        view = next;
+    }
+    CtcResult { members: best.alive_nodes(), k }
+}
+
+fn restrict_to_query_component(g: &Graph, view: &mut AliveView, q: usize) {
+    let comp = alive_component(g, view, q);
+    let mut keep = vec![false; g.n()];
+    for &v in &comp {
+        keep[v] = true;
+    }
+    for (v, &kept) in keep.iter().enumerate() {
+        if view.nodes[v] && !kept {
+            view.remove_node(g, v);
+        }
+    }
+}
+
+/// The alive non-query node with maximum query distance (within the alive
+/// subgraph), if any.
+fn furthest_free_node(g: &Graph, view: &AliveView, queries: &[usize]) -> Option<(usize, usize)> {
+    let nodes = view.alive_nodes();
+    if nodes.is_empty() {
+        return None;
+    }
+    let (sub, back) = induced_alive(g, view, &nodes);
+    let local_queries: Vec<usize> = queries
+        .iter()
+        .filter_map(|&q| back.iter().position(|&v| v == q))
+        .collect();
+    if local_queries.len() != queries.len() {
+        return None;
+    }
+    let qd = query_distances(&sub, &local_queries);
+    let mut best: Option<(usize, usize)> = None;
+    for (local, &global) in back.iter().enumerate() {
+        if queries.contains(&global) {
+            continue;
+        }
+        let d = qd[local];
+        if d == usize::MAX {
+            return Some((global, usize::MAX));
+        }
+        if best.is_none_or(|(_, bd)| d > bd) {
+            best = Some((global, d));
+        }
+    }
+    best
+}
+
+fn max_query_distance(g: &Graph, view: &AliveView, queries: &[usize]) -> usize {
+    let nodes = view.alive_nodes();
+    if nodes.is_empty() {
+        return usize::MAX;
+    }
+    let (sub, back) = induced_alive(g, view, &nodes);
+    let local_queries: Vec<usize> = queries
+        .iter()
+        .filter_map(|&q| back.iter().position(|&v| v == q))
+        .collect();
+    if local_queries.len() != queries.len() {
+        return usize::MAX;
+    }
+    let qd = query_distances(&sub, &local_queries);
+    qd.into_iter().max().unwrap_or(usize::MAX)
+}
+
+/// Induces the subgraph of alive nodes *and* alive edges.
+fn induced_alive(g: &Graph, view: &AliveView, nodes: &[usize]) -> (Graph, Vec<usize>) {
+    let mut local = vec![usize::MAX; g.n()];
+    for (i, &v) in nodes.iter().enumerate() {
+        local[v] = i;
+    }
+    let mut edges = Vec::new();
+    for e in 0..g.m() {
+        if view.edges[e] {
+            let (u, v) = g.edge(e);
+            if local[u] != usize::MAX && local[v] != usize::MAX {
+                edges.push((local[u], local[v]));
+            }
+        }
+    }
+    (Graph::from_edges(nodes.len(), &edges), nodes.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 4-cliques bridged by a path 3-7-4.
+    fn two_cliques() -> Graph {
+        Graph::from_edges(
+            9,
+            &[
+                (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // clique A
+                (4, 5), (4, 6), (5, 6), (4, 8), (5, 8), (6, 8), // clique B
+                (3, 7), (7, 4), // bridge
+            ],
+        )
+    }
+
+    #[test]
+    fn single_query_finds_own_clique() {
+        let g = two_cliques();
+        let r = closest_truss_community(&g, &[0]);
+        assert_eq!(r.k, 4);
+        assert_eq!(r.members, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn query_in_other_clique() {
+        let g = two_cliques();
+        let r = closest_truss_community(&g, &[8]);
+        assert_eq!(r.k, 4);
+        assert_eq!(r.members, vec![4, 5, 6, 8]);
+    }
+
+    #[test]
+    fn two_queries_fall_back_to_connecting_truss() {
+        let g = two_cliques();
+        // Queries in both cliques: only a 2-truss connects them (the bridge
+        // path has no triangles).
+        let r = closest_truss_community(&g, &[0, 8]);
+        assert_eq!(r.k, 2);
+        assert!(r.members.contains(&0) && r.members.contains(&8));
+        assert!(r.members.contains(&7), "bridge node must be kept");
+    }
+
+    #[test]
+    fn isolated_query_returns_empty() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let r = closest_truss_community(&g, &[2]);
+        assert!(r.members.is_empty());
+        assert_eq!(r.k, 0);
+    }
+
+    #[test]
+    fn empty_queries_return_empty() {
+        let g = two_cliques();
+        assert!(closest_truss_community(&g, &[]).members.is_empty());
+    }
+
+    #[test]
+    fn shrinking_reduces_query_distance() {
+        // Clique with a long pendant 3-truss chain of triangles: the greedy
+        // shrink should drop the far triangles for a single query.
+        let mut edges = vec![(0, 1), (0, 2), (1, 2)];
+        // Chain of triangles: (2,3,4), (4,5,6), (6,7,8).
+        edges.extend_from_slice(&[(2, 3), (2, 4), (3, 4), (4, 5), (4, 6), (5, 6), (6, 7), (6, 8), (7, 8)]);
+        let g = Graph::from_edges(9, &edges);
+        let r = closest_truss_community(&g, &[0]);
+        assert_eq!(r.k, 3);
+        assert!(r.members.contains(&0));
+        assert!(
+            !r.members.contains(&8),
+            "distant triangle should be shaved off, got {:?}",
+            r.members
+        );
+    }
+}

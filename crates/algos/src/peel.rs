@@ -1,0 +1,224 @@
+//! Shared peeling machinery: maintaining a k-truss under node deletions.
+
+use cgnp_graph::Graph;
+
+/// Mutable view of a subgraph: node and edge alive masks.
+#[derive(Clone, Debug)]
+pub struct AliveView {
+    pub nodes: Vec<bool>,
+    pub edges: Vec<bool>,
+}
+
+impl AliveView {
+    /// Everything alive.
+    pub fn full(g: &Graph) -> Self {
+        Self { nodes: vec![true; g.n()], edges: vec![true; g.m()] }
+    }
+
+    /// Restricted to a node set (edges alive iff both endpoints alive).
+    pub fn from_nodes(g: &Graph, nodes: &[usize]) -> Self {
+        let mut view = Self { nodes: vec![false; g.n()], edges: vec![false; g.m()] };
+        for &v in nodes {
+            view.nodes[v] = true;
+        }
+        for e in 0..g.m() {
+            let (u, v) = g.edge(e);
+            view.edges[e] = view.nodes[u] && view.nodes[v];
+        }
+        view
+    }
+
+    /// Kills a node and its incident edges.
+    pub fn remove_node(&mut self, g: &Graph, v: usize) {
+        self.nodes[v] = false;
+        for &e in g.edge_ids_of(v) {
+            self.edges[e as usize] = false;
+        }
+    }
+
+    /// Number of alive edges incident to `v`.
+    pub fn alive_degree(&self, g: &Graph, v: usize) -> usize {
+        g.edge_ids_of(v)
+            .iter()
+            .filter(|&&e| self.edges[e as usize])
+            .count()
+    }
+
+    /// Alive node ids, sorted.
+    pub fn alive_nodes(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&v| self.nodes[v]).collect()
+    }
+}
+
+/// Iteratively deletes edges whose (alive) support is `< k − 2`, then drops
+/// nodes without alive incident edges. Converges to the maximal k-truss
+/// inside the current view. O(iterations · m · deg) — fine for the
+/// ≤ few-hundred-node task graphs this runs on.
+pub fn peel_to_k_truss(g: &Graph, view: &mut AliveView, k: usize) {
+    let need = k.saturating_sub(2);
+    loop {
+        let sup = alive_support(g, view);
+        let mut changed = false;
+        for (e, &s) in sup.iter().enumerate() {
+            if view.edges[e] && s < need {
+                view.edges[e] = false;
+                changed = true;
+            }
+        }
+        // Node is alive only while it has an alive edge.
+        for v in 0..g.n() {
+            if view.nodes[v] && view.alive_degree(g, v) == 0 {
+                view.nodes[v] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Support (triangle count) of each alive edge within the view.
+pub fn alive_support(g: &Graph, view: &AliveView) -> Vec<usize> {
+    let mut sup = vec![0usize; g.m()];
+    for (e, s) in sup.iter_mut().enumerate() {
+        if !view.edges[e] {
+            continue;
+        }
+        let (u, v) = g.edge(e);
+        *s = common_alive_neighbors(g, view, u, v);
+    }
+    sup
+}
+
+fn common_alive_neighbors(g: &Graph, view: &AliveView, u: usize, v: usize) -> usize {
+    let (nu, eu) = (g.neighbors(u), g.edge_ids_of(u));
+    let (nv, ev) = (g.neighbors(v), g.edge_ids_of(v));
+    let (mut i, mut j, mut c) = (0usize, 0usize, 0usize);
+    while i < nu.len() && j < nv.len() {
+        match nu[i].cmp(&nv[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if view.edges[eu[i] as usize] && view.edges[ev[j] as usize] {
+                    c += 1;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+/// BFS over alive edges from `start`, returning the reachable alive nodes.
+pub fn alive_component(g: &Graph, view: &AliveView, start: usize) -> Vec<usize> {
+    if !view.nodes[start] {
+        return Vec::new();
+    }
+    let mut seen = vec![false; g.n()];
+    let mut stack = vec![start];
+    seen[start] = true;
+    let mut out = Vec::new();
+    while let Some(v) = stack.pop() {
+        out.push(v);
+        for (i, &u) in g.neighbors(v).iter().enumerate() {
+            let e = g.edge_ids_of(v)[i] as usize;
+            let u = u as usize;
+            if view.edges[e] && view.nodes[u] && !seen[u] {
+                seen[u] = true;
+                stack.push(u);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// True when all `queries` are alive and mutually reachable via alive edges.
+pub fn queries_connected(g: &Graph, view: &AliveView, queries: &[usize]) -> bool {
+    let Some((&first, rest)) = queries.split_first() else {
+        return true;
+    };
+    if !view.nodes[first] || rest.iter().any(|&q| !view.nodes[q]) {
+        return false;
+    }
+    let comp = alive_component(g, view, first);
+    rest.iter().all(|&q| comp.binary_search(&q).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4-clique {0..3} + triangle {3,4,5} + pendant 5-6.
+    fn mixed() -> Graph {
+        Graph::from_edges(
+            7,
+            &[
+                (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+                (3, 4), (3, 5), (4, 5), (5, 6),
+            ],
+        )
+    }
+
+    #[test]
+    fn peel_to_4_truss_keeps_clique() {
+        let g = mixed();
+        let mut view = AliveView::full(&g);
+        peel_to_k_truss(&g, &mut view, 4);
+        assert_eq!(view.alive_nodes(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn peel_to_3_truss_keeps_clique_and_triangle() {
+        let g = mixed();
+        let mut view = AliveView::full(&g);
+        peel_to_k_truss(&g, &mut view, 3);
+        assert_eq!(view.alive_nodes(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn node_removal_cascades_through_peeling() {
+        let g = mixed();
+        let mut view = AliveView::full(&g);
+        // Removing node 0 destroys the 4-truss entirely.
+        view.remove_node(&g, 0);
+        peel_to_k_truss(&g, &mut view, 4);
+        assert!(view.alive_nodes().is_empty());
+    }
+
+    #[test]
+    fn from_nodes_restricts_edges() {
+        let g = mixed();
+        let view = AliveView::from_nodes(&g, &[0, 1, 4]);
+        let e01 = g.edge_between(0, 1).unwrap();
+        let e34 = g.edge_between(3, 4).unwrap();
+        assert!(view.edges[e01]);
+        assert!(!view.edges[e34]);
+        assert_eq!(view.alive_degree(&g, 4), 0);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        let g = mixed();
+        let mut view = AliveView::full(&g);
+        assert!(queries_connected(&g, &view, &[0, 6]));
+        view.remove_node(&g, 5);
+        assert!(!queries_connected(&g, &view, &[0, 6]));
+        assert!(queries_connected(&g, &view, &[0, 4]));
+        assert!(queries_connected(&g, &view, &[]));
+    }
+
+    #[test]
+    fn alive_component_respects_dead_edges() {
+        let g = mixed();
+        let mut view = AliveView::full(&g);
+        let e35 = g.edge_between(3, 5).unwrap();
+        let e34 = g.edge_between(3, 4).unwrap();
+        view.edges[e35] = false;
+        view.edges[e34] = false;
+        let comp = alive_component(&g, &view, 0);
+        assert_eq!(comp, vec![0, 1, 2, 3]);
+    }
+}

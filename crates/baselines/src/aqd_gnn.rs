@@ -1,0 +1,160 @@
+//! AQD-GNN baseline (❿) — Jiang et al., VLDB 2022.
+//!
+//! Query-driven GNN for attributed community search: the model fuses a
+//! query-node channel with a query-attribute channel (the fraction of the
+//! query's attributes each node shares). Following the paper's protocol
+//! ("the setting is similar to Supervised"), the model is trained from
+//! scratch per test task on the support set, then answers the query set.
+
+use cgnp_core::PreparedTask;
+use cgnp_data::{base_feature_dim, QueryExample};
+use cgnp_nn::{ForwardCtx, GnnEncoder, Module};
+use cgnp_tensor::{Adam, Matrix, Optimizer, Reduction, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::base::pos_neg_samples;
+use crate::hyper::BaselineHyper;
+use crate::learner::CsLearner;
+
+/// Query- and attribute-fused GNN trained per task.
+pub struct AqdGnn {
+    hyper: BaselineHyper,
+}
+
+impl AqdGnn {
+    pub fn new(hyper: BaselineHyper) -> Self {
+        Self { hyper }
+    }
+
+    /// Input of one query: `[I_q ‖ attr_sim_q ‖ base]` where
+    /// `attr_sim_q(v) = |A(v) ∩ A(q)| / |A(q)|` (0 on non-attributed
+    /// graphs, degrading gracefully to the plain query-driven model).
+    fn features(task: &PreparedTask, q: usize) -> Matrix {
+        let ag = &task.task.graph;
+        let n = ag.n();
+        let d = base_feature_dim(ag);
+        let mut x = Matrix::zeros(n, d + 2);
+        let q_attrs = ag.attrs_of(q).len().max(1) as f32;
+        for v in 0..n {
+            let row = x.row_mut(v);
+            if v == q {
+                row[0] = 1.0;
+            }
+            row[1] = ag.shared_attr_count(q, v) as f32 / q_attrs;
+            row[2..].copy_from_slice(task.base.row(v));
+        }
+        x
+    }
+
+    fn input_dim(task: &PreparedTask) -> usize {
+        base_feature_dim(&task.task.graph) + 2
+    }
+
+    fn logits(
+        model: &GnnEncoder,
+        task: &PreparedTask,
+        q: usize,
+        fctx: &mut ForwardCtx<'_>,
+    ) -> Tensor {
+        let x = Tensor::constant(Self::features(task, q));
+        model.forward(&task.gctx, &x, fctx)
+    }
+}
+
+impl CsLearner for AqdGnn {
+    fn name(&self) -> &'static str {
+        "AQD-GNN"
+    }
+
+    fn meta_train(&mut self, _tasks: &[PreparedTask], _seed: u64) {
+        // Trained from scratch per test task (§VII-A ❿).
+    }
+
+    fn run_task(&mut self, task: &PreparedTask, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = self.hyper.gnn_config(Self::input_dim(task), 1);
+        let model = GnnEncoder::new(&cfg, &mut rng);
+        let mut opt = Adam::new(model.params(), self.hyper.lr);
+        let support: Vec<&QueryExample> = task.task.support.iter().collect();
+        for _ in 0..self.hyper.epochs {
+            opt.zero_grad();
+            let mut total: Option<Tensor> = None;
+            {
+                let mut fctx = ForwardCtx::train(&mut rng);
+                for ex in &support {
+                    let logits = Self::logits(&model, task, ex.query, &mut fctx);
+                    let (idx, y) = pos_neg_samples(ex);
+                    let l = logits.bce_with_logits_at(&idx, &y, Reduction::Mean);
+                    total = Some(match total {
+                        Some(t) => t.add(&l),
+                        None => l,
+                    });
+                }
+            }
+            let loss = total.expect("non-empty support").scale(1.0 / support.len() as f32);
+            loss.backward();
+            opt.step();
+        }
+        cgnp_tensor::no_grad(|| {
+            task.task
+                .targets
+                .iter()
+                .map(|ex| {
+                    let mut fctx = ForwardCtx::eval(&mut rng);
+                    Self::logits(&model, task, ex.query, &mut fctx)
+                        .sigmoid()
+                        .value()
+                        .as_slice()
+                        .to_vec()
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgnp_data::{generate_sbm, sample_task, SbmConfig, TaskConfig};
+
+    fn prepared(seed: u64, attrs: bool) -> PreparedTask {
+        let mut sbm = SbmConfig::small_test();
+        if !attrs {
+            sbm.n_attrs = 0;
+        }
+        let ag = generate_sbm(&sbm, &mut StdRng::seed_from_u64(seed));
+        let cfg = TaskConfig { subgraph_size: 40, shots: 2, n_targets: 3, ..Default::default() };
+        PreparedTask::new(sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(seed)).unwrap())
+    }
+
+    #[test]
+    fn attribute_channel_encodes_overlap() {
+        let p = prepared(1, true);
+        let q = p.task.support[0].query;
+        let x = AqdGnn::features(&p, q);
+        // Query shares all attributes with itself.
+        assert!((x.get(q, 1) - 1.0).abs() < 1e-6);
+        assert_eq!(x.get(q, 0), 1.0);
+        // Other nodes have overlap in [0, 1].
+        for v in 0..p.task.n() {
+            assert!((0.0..=1.0).contains(&x.get(v, 1)));
+        }
+    }
+
+    #[test]
+    fn works_without_attributes() {
+        let p = prepared(2, false);
+        let mut learner = AqdGnn::new(BaselineHyper::paper_default(8, 4));
+        let preds = learner.run_task(&p, 0);
+        assert_eq!(preds.len(), p.task.targets.len());
+        assert!(preds[0].iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = prepared(3, true);
+        let mut learner = AqdGnn::new(BaselineHyper::paper_default(8, 3));
+        assert_eq!(learner.run_task(&p, 5), learner.run_task(&p, 5));
+    }
+}

@@ -1,0 +1,209 @@
+//! The plain query-conditioned GNN of §IV: the base model of the
+//! Supervised, FeatTrans, MAML, Reptile and ICS-GNN baselines.
+//!
+//! A binary query identifier `I_q(v)` is concatenated with the node
+//! features; a K-layer GNN maps to a 1-dimensional logit per node; the BCE
+//! of Eq. (3) over the labelled samples drives learning.
+
+use cgnp_core::PreparedTask;
+use cgnp_data::{with_indicator, QueryExample};
+use cgnp_nn::{ForwardCtx, GnnConfig, GnnEncoder, Module};
+use cgnp_tensor::{Adam, Optimizer, Reduction, Tensor};
+use rand::rngs::StdRng;
+
+/// Query-conditioned node-classification GNN (Eq. 1–3).
+pub struct QueryGnn {
+    encoder: GnnEncoder,
+}
+
+impl QueryGnn {
+    /// Builds the model; `cfg.out_dim` must be 1 (logit per node).
+    pub fn new(cfg: &GnnConfig, rng: &mut StdRng) -> Self {
+        assert_eq!(cfg.out_dim, 1, "QueryGnn emits one logit per node");
+        Self { encoder: GnnEncoder::new(cfg, rng) }
+    }
+
+    pub fn encoder(&self) -> &GnnEncoder {
+        &self.encoder
+    }
+
+    /// Per-node logits for query `q`: forward over `[I_q ‖ features]`.
+    pub fn logits(
+        &self,
+        prepared: &PreparedTask,
+        q: usize,
+        fctx: &mut ForwardCtx<'_>,
+    ) -> Tensor {
+        let x = Tensor::constant(with_indicator(&prepared.base, &[q]));
+        self.encoder.forward(&prepared.gctx, &x, fctx)
+    }
+
+    /// BCE loss of one labelled example (Eq. 3) over its pos/neg samples.
+    pub fn example_loss(
+        &self,
+        prepared: &PreparedTask,
+        ex: &QueryExample,
+        fctx: &mut ForwardCtx<'_>,
+    ) -> Tensor {
+        let logits = self.logits(prepared, ex.query, fctx);
+        let (idx, y) = pos_neg_samples(ex);
+        logits.bce_with_logits_at(&idx, &y, Reduction::Mean)
+    }
+
+    /// Mean BCE over a set of examples on one task.
+    pub fn examples_loss(
+        &self,
+        prepared: &PreparedTask,
+        examples: &[&QueryExample],
+        fctx: &mut ForwardCtx<'_>,
+    ) -> Tensor {
+        assert!(!examples.is_empty(), "loss needs at least one example");
+        let mut acc: Option<Tensor> = None;
+        for ex in examples {
+            let l = self.example_loss(prepared, ex, fctx);
+            acc = Some(match acc {
+                Some(a) => a.add(&l),
+                None => l,
+            });
+        }
+        acc.expect("non-empty").scale(1.0 / examples.len() as f32)
+    }
+
+    /// Trains in place with Adam on the given examples for `epochs` passes.
+    pub fn fit(
+        &self,
+        prepared: &PreparedTask,
+        examples: &[&QueryExample],
+        epochs: usize,
+        lr: f32,
+        rng: &mut StdRng,
+    ) {
+        let mut opt = Adam::new(self.params(), lr);
+        for _ in 0..epochs {
+            opt.zero_grad();
+            let loss = {
+                let mut fctx = ForwardCtx::train(rng);
+                self.examples_loss(prepared, examples, &mut fctx)
+            };
+            loss.backward();
+            opt.step();
+        }
+    }
+
+    /// Membership probabilities of every node for query `q` (inference).
+    pub fn predict(&self, prepared: &PreparedTask, q: usize, rng: &mut StdRng) -> Vec<f32> {
+        cgnp_tensor::no_grad(|| {
+            let mut fctx = ForwardCtx::eval(rng);
+            self.logits(prepared, q, &mut fctx)
+                .sigmoid()
+                .value()
+                .as_slice()
+                .to_vec()
+        })
+    }
+}
+
+impl Module for QueryGnn {
+    fn params(&self) -> Vec<Tensor> {
+        self.encoder.params()
+    }
+}
+
+/// Sample indices + binary targets of an example's partial ground truth
+/// (`l⁺_q`, `l⁻_q` of Eq. 3; the query node itself is marked in the input
+/// channel, not the loss).
+pub fn pos_neg_samples(ex: &QueryExample) -> (Vec<usize>, Vec<f32>) {
+    let mut idx = Vec::with_capacity(ex.pos.len() + ex.neg.len());
+    let mut y = Vec::with_capacity(idx.capacity());
+    for &p in &ex.pos {
+        idx.push(p);
+        y.push(1.0);
+    }
+    for &n in &ex.neg {
+        idx.push(n);
+        y.push(0.0);
+    }
+    (idx, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyper::BaselineHyper;
+    use cgnp_data::{generate_sbm, model_input_dim, sample_task, SbmConfig, TaskConfig};
+    use rand::SeedableRng;
+
+    pub(crate) fn make_prepared(seed: u64, shots: usize) -> PreparedTask {
+        let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
+        let cfg = TaskConfig { subgraph_size: 40, shots, n_targets: 4, ..Default::default() };
+        PreparedTask::new(
+            sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(seed)).expect("task"),
+        )
+    }
+
+    fn make_model(p: &PreparedTask, seed: u64) -> QueryGnn {
+        let hyper = BaselineHyper::paper_default(16, 10);
+        let cfg = hyper.gnn_config(model_input_dim(&p.task.graph), 1);
+        QueryGnn::new(&cfg, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn logits_shape_and_probs() {
+        let p = make_prepared(1, 2);
+        let model = make_model(&p, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let probs = model.predict(&p, p.task.support[0].query, &mut rng);
+        assert_eq!(probs.len(), p.task.n());
+        assert!(probs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn fit_reduces_loss() {
+        let p = make_prepared(2, 3);
+        let model = make_model(&p, 1);
+        let support: Vec<&QueryExample> = p.task.support.iter().collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let before = {
+            let mut fctx = ForwardCtx::eval(&mut rng);
+            model.examples_loss(&p, &support, &mut fctx).item()
+        };
+        model.fit(&p, &support, 60, 5e-3, &mut rng);
+        let after = {
+            let mut fctx = ForwardCtx::eval(&mut rng);
+            model.examples_loss(&p, &support, &mut fctx).item()
+        };
+        assert!(after < before * 0.7, "loss {before} → {after}");
+    }
+
+    #[test]
+    fn query_indicator_changes_predictions() {
+        let p = make_prepared(3, 2);
+        let model = make_model(&p, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let q1 = p.task.support[0].query;
+        let q2 = p.task.targets[0].query;
+        assert_ne!(q1, q2);
+        let a = model.predict(&p, q1, &mut rng);
+        let b = model.predict(&p, q2, &mut rng);
+        assert_ne!(a, b, "different queries must produce different outputs");
+    }
+
+    #[test]
+    fn pos_neg_sample_layout() {
+        let p = make_prepared(4, 1);
+        let ex = &p.task.support[0];
+        let (idx, y) = pos_neg_samples(ex);
+        assert_eq!(idx.len(), ex.pos.len() + ex.neg.len());
+        assert_eq!(y.iter().filter(|&&v| v == 1.0).count(), ex.pos.len());
+        assert!(!idx.contains(&ex.query));
+    }
+
+    #[test]
+    #[should_panic(expected = "one logit per node")]
+    fn rejects_multi_dim_output() {
+        let p = make_prepared(5, 1);
+        let hyper = BaselineHyper::paper_default(8, 1);
+        let cfg = hyper.gnn_config(model_input_dim(&p.task.graph), 4);
+        let _ = QueryGnn::new(&cfg, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,195 @@
+//! Feature-transfer baseline (❻): pre-train the base GNN on all training
+//! tasks, then fine-tune only the final layer on a test task's support set
+//! by one gradient step (§VII-A).
+
+use cgnp_core::PreparedTask;
+use cgnp_data::{model_input_dim, QueryExample};
+use cgnp_nn::{ForwardCtx, Module};
+use cgnp_tensor::{Adam, Matrix, Optimizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::base::QueryGnn;
+use crate::hyper::BaselineHyper;
+use crate::learner::CsLearner;
+
+/// Pre-train + last-layer fine-tune.
+pub struct FeatTrans {
+    hyper: BaselineHyper,
+    /// Fine-tuning gradient steps at test time (paper: 1).
+    finetune_steps: usize,
+    state: Option<Pretrained>,
+}
+
+struct Pretrained {
+    model: QueryGnn,
+    weights: Vec<Matrix>,
+}
+
+impl FeatTrans {
+    pub fn new(hyper: BaselineHyper) -> Self {
+        Self { hyper, finetune_steps: 1, state: None }
+    }
+
+    pub fn with_finetune_steps(mut self, steps: usize) -> Self {
+        self.finetune_steps = steps;
+        self
+    }
+}
+
+impl CsLearner for FeatTrans {
+    fn name(&self) -> &'static str {
+        "FeatTrans"
+    }
+
+    fn meta_train(&mut self, tasks: &[PreparedTask], seed: u64) {
+        assert!(!tasks.is_empty(), "FeatTrans pre-training needs tasks");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = self
+            .hyper
+            .gnn_config(model_input_dim(&tasks[0].task.graph), 1);
+        let model = QueryGnn::new(&cfg, &mut rng);
+        // Pre-train on the union of all queries and labels of all tasks.
+        let mut opt = Adam::new(model.params(), self.hyper.lr);
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        for _ in 0..self.hyper.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for &ti in &order {
+                let prepared = &tasks[ti];
+                let examples: Vec<&QueryExample> = prepared.task.all_examples().collect();
+                opt.zero_grad();
+                let loss = {
+                    let mut fctx = ForwardCtx::train(&mut rng);
+                    model.examples_loss(prepared, &examples, &mut fctx)
+                };
+                loss.backward();
+                opt.step();
+            }
+        }
+        let weights = model.export_weights();
+        self.state = Some(Pretrained { model, weights });
+    }
+
+    fn run_task(&mut self, task: &PreparedTask, seed: u64) -> Vec<Vec<f32>> {
+        let state = self
+            .state
+            .as_ref()
+            .expect("FeatTrans must be meta-trained before running tasks");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Restore pre-trained weights, then adapt only the final layer
+        // ("all the other parameters are kept intact").
+        state.model.import_weights(&state.weights);
+        let final_params = state.model.encoder().final_layer_params();
+        let mut opt = Adam::new(final_params, self.hyper.lr);
+        let support: Vec<&QueryExample> = task.task.support.iter().collect();
+        for _ in 0..self.finetune_steps {
+            opt.zero_grad();
+            let loss = {
+                let mut fctx = ForwardCtx::train(&mut rng);
+                state.model.examples_loss(task, &support, &mut fctx)
+            };
+            loss.backward();
+            opt.step();
+        }
+        let preds = task
+            .task
+            .targets
+            .iter()
+            .map(|ex| state.model.predict(task, ex.query, &mut rng))
+            .collect();
+        // Leave the pre-trained weights in place for the next task.
+        state.model.import_weights(&state.weights);
+        preds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgnp_data::{generate_sbm, sample_task, SbmConfig, TaskConfig};
+
+    fn tasks(n: usize, seed: u64) -> Vec<PreparedTask> {
+        let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
+        let cfg = TaskConfig { subgraph_size: 40, shots: 2, n_targets: 3, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| PreparedTask::new(sample_task(&ag, &cfg, None, &mut rng).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn pretrain_then_adapt() {
+        let ts = tasks(3, 1);
+        let mut learner = FeatTrans::new(BaselineHyper::paper_default(8, 4));
+        learner.meta_train(&ts[..2], 0);
+        let out = learner.run_task(&ts[2], 1);
+        assert_eq!(out.len(), ts[2].task.targets.len());
+        assert!(out[0].iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn finetune_restores_weights_between_tasks() {
+        let ts = tasks(3, 2);
+        let mut learner = FeatTrans::new(BaselineHyper::paper_default(8, 3)).with_finetune_steps(5);
+        learner.meta_train(&ts[..1], 0);
+        let snapshot = learner.state.as_ref().unwrap().weights.clone();
+        let _ = learner.run_task(&ts[1], 1);
+        let current = learner.state.as_ref().unwrap().model.export_weights();
+        for (a, b) in snapshot.iter().zip(&current) {
+            assert!(a.approx_eq(b, 1e-7), "weights must be restored after a task");
+        }
+    }
+
+    #[test]
+    fn only_final_layer_moves_during_finetune() {
+        let ts = tasks(2, 3);
+        let mut learner = FeatTrans::new(BaselineHyper::paper_default(8, 3)).with_finetune_steps(10);
+        learner.meta_train(&ts[..1], 0);
+        let state = learner.state.as_ref().unwrap();
+        let pre = state.model.export_weights();
+        // Adapt manually (replicating run_task's middle section) and check
+        // which tensors changed.
+        let mut rng = StdRng::seed_from_u64(9);
+        let final_params = state.model.encoder().final_layer_params();
+        let final_ids: Vec<u64> = final_params.iter().map(|p| p.id()).collect();
+        let mut opt = Adam::new(final_params, 0.05);
+        let support: Vec<&QueryExample> = ts[1].task.support.iter().collect();
+        for _ in 0..10 {
+            opt.zero_grad();
+            let loss = {
+                let mut fctx = ForwardCtx::train(&mut rng);
+                state.model.examples_loss(&ts[1], &support, &mut fctx)
+            };
+            loss.backward();
+            opt.step();
+        }
+        let post = state.model.export_weights();
+        let params = state.model.params();
+        let mut changed_final = false;
+        for ((p, before), after) in params.iter().zip(&pre).zip(&post) {
+            let is_final = final_ids.contains(&p.id());
+            if is_final {
+                if !before.approx_eq(after, 1e-9) {
+                    changed_final = true;
+                }
+            } else {
+                assert!(
+                    before.approx_eq(after, 0.0),
+                    "non-final layer changed during fine-tuning"
+                );
+            }
+        }
+        assert!(changed_final, "final layer should have been updated");
+    }
+
+    #[test]
+    #[should_panic(expected = "meta-trained before")]
+    fn run_before_train_panics() {
+        let ts = tasks(1, 4);
+        let mut learner = FeatTrans::new(BaselineHyper::paper_default(8, 2));
+        let _ = learner.run_task(&ts[0], 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Graph Prototypical Network baseline (❼), Eq. 7–8.
+//!
+//! A GNN embeds nodes; per query, positive/negative prototypes are the
+//! mean embeddings of a few labelled samples, and membership is scored by
+//! (squared Euclidean) distance to the prototypes. As the paper notes,
+//! GPN needs the *test* query's own ground truth to form prototypes, so it
+//! "cannot fully generalise to query nodes without any prior knowledge of
+//! membership" — the harness therefore feeds it the target's labelled
+//! samples, exactly as in §VII-A ❼ (3 positive + 3 negative).
+
+use cgnp_core::PreparedTask;
+use cgnp_data::{model_input_dim, with_indicator, QueryExample};
+use cgnp_nn::{ForwardCtx, GnnEncoder, Module};
+use cgnp_tensor::{Adam, Optimizer, Reduction, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::hyper::BaselineHyper;
+use crate::learner::CsLearner;
+
+/// Number of samples used to build each prototype (paper: 3/3).
+const PROTO_SAMPLES: usize = 3;
+
+/// Prototype-distance classifier over GNN embeddings.
+pub struct Gpn {
+    hyper: BaselineHyper,
+    model: Option<GnnEncoder>,
+}
+
+impl Gpn {
+    pub fn new(hyper: BaselineHyper) -> Self {
+        Self { hyper, model: None }
+    }
+
+    fn ensure_model(&mut self, task: &PreparedTask, rng: &mut StdRng) {
+        if self.model.is_none() {
+            let cfg = self
+                .hyper
+                .gnn_config(model_input_dim(&task.task.graph), self.hyper.hidden);
+            self.model = Some(GnnEncoder::new(&cfg, rng));
+        }
+    }
+
+    /// Node embeddings for one query (query marked in the indicator
+    /// channel).
+    fn embed(
+        model: &GnnEncoder,
+        task: &PreparedTask,
+        q: usize,
+        fctx: &mut ForwardCtx<'_>,
+    ) -> Tensor {
+        let x = Tensor::constant(with_indicator(&task.base, &[q]));
+        model.forward(&task.gctx, &x, fctx)
+    }
+
+    /// Membership logits from prototype distances (Eq. 8). With squared
+    /// Euclidean distance, `softmax([−d⁺, −d⁻])` reduces to
+    /// `σ(d⁻ − d⁺) = σ(2 H (c⁺−c⁻)ᵀ + ‖c⁻‖² − ‖c⁺‖²)`.
+    fn proto_logits(h: &Tensor, pos: &[usize], neg: &[usize]) -> Tensor {
+        let c_pos = h.gather_rows(pos).mean_rows();
+        let c_neg = h.gather_rows(neg).mean_rows();
+        let diff = c_pos.sub(&c_neg); // 1×d
+        let lin = h.matmul_tb(&diff).scale(2.0); // n×1
+        let bias = c_neg.l2_sum().sub(&c_pos.l2_sum()); // 1×1
+        lin.add_bias(&bias)
+    }
+}
+
+impl CsLearner for Gpn {
+    fn name(&self) -> &'static str {
+        "GPN"
+    }
+
+    fn meta_train(&mut self, tasks: &[PreparedTask], seed: u64) {
+        assert!(!tasks.is_empty(), "GPN needs training tasks");
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.ensure_model(&tasks[0], &mut rng);
+        let model = self.model.as_ref().expect("initialised");
+        let mut opt = Adam::new(model.params(), self.hyper.lr);
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        for _ in 0..self.hyper.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for &ti in &order {
+                let prepared = &tasks[ti];
+                opt.zero_grad();
+                let mut total: Option<Tensor> = None;
+                let mut count = 0usize;
+                {
+                    let mut fctx = ForwardCtx::train(&mut rng);
+                    for ex in prepared.task.all_examples() {
+                        let Some(loss) = Self::example_loss(model, prepared, ex, &mut fctx)
+                        else {
+                            continue;
+                        };
+                        total = Some(match total {
+                            Some(t) => t.add(&loss),
+                            None => loss,
+                        });
+                        count += 1;
+                    }
+                }
+                let Some(total) = total else { continue };
+                let loss = total.scale(1.0 / count as f32);
+                loss.backward();
+                opt.step();
+            }
+        }
+    }
+
+    fn run_task(&mut self, task: &PreparedTask, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.ensure_model(task, &mut rng);
+        let model = self.model.as_ref().expect("initialised");
+        cgnp_tensor::no_grad(|| {
+            task.task
+                .targets
+                .iter()
+                .map(|ex| {
+                    let mut fctx = ForwardCtx::eval(&mut rng);
+                    let h = Self::embed(model, task, ex.query, &mut fctx);
+                    // Prototypes from the target's own labelled samples
+                    // (the paper grants GPN this extra information).
+                    let pos: Vec<usize> =
+                        ex.pos.iter().copied().take(PROTO_SAMPLES).collect();
+                    let neg: Vec<usize> =
+                        ex.neg.iter().copied().take(PROTO_SAMPLES).collect();
+                    if pos.is_empty() || neg.is_empty() {
+                        return vec![0.5; task.task.n()];
+                    }
+                    Self::proto_logits(&h, &pos, &neg)
+                        .sigmoid()
+                        .value()
+                        .as_slice()
+                        .to_vec()
+                })
+                .collect()
+        })
+    }
+}
+
+impl Gpn {
+    /// Training loss of one example: prototypes from the first half of the
+    /// samples, BCE evaluated on the second half. `None` when the split
+    /// leaves either side empty.
+    fn example_loss(
+        model: &GnnEncoder,
+        task: &PreparedTask,
+        ex: &QueryExample,
+        fctx: &mut ForwardCtx<'_>,
+    ) -> Option<Tensor> {
+        let pos_proto: Vec<usize> = ex.pos.iter().copied().take(PROTO_SAMPLES).collect();
+        let neg_proto: Vec<usize> = ex.neg.iter().copied().take(PROTO_SAMPLES).collect();
+        let pos_eval: Vec<usize> = ex.pos.iter().copied().skip(PROTO_SAMPLES).collect();
+        let neg_eval: Vec<usize> = ex.neg.iter().copied().skip(PROTO_SAMPLES).collect();
+        if pos_proto.is_empty() || neg_proto.is_empty() {
+            return None;
+        }
+        // Fall back to evaluating on the prototype samples when the
+        // example has too little ground truth to split.
+        let (eval_idx, eval_y): (Vec<usize>, Vec<f32>) =
+            if pos_eval.is_empty() && neg_eval.is_empty() {
+                (
+                    pos_proto.iter().chain(&neg_proto).copied().collect(),
+                    pos_proto
+                        .iter()
+                        .map(|_| 1.0)
+                        .chain(neg_proto.iter().map(|_| 0.0))
+                        .collect(),
+                )
+            } else {
+                (
+                    pos_eval.iter().chain(&neg_eval).copied().collect(),
+                    pos_eval
+                        .iter()
+                        .map(|_| 1.0)
+                        .chain(neg_eval.iter().map(|_| 0.0))
+                        .collect(),
+                )
+            };
+        let h = Self::embed(model, task, ex.query, fctx);
+        let logits = Self::proto_logits(&h, &pos_proto, &neg_proto);
+        Some(logits.bce_with_logits_at(&eval_idx, &eval_y, Reduction::Mean))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgnp_data::{generate_sbm, sample_task, SbmConfig, TaskConfig};
+
+    fn tasks(n: usize, seed: u64) -> Vec<PreparedTask> {
+        let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
+        let cfg = TaskConfig { subgraph_size: 40, shots: 1, n_targets: 3, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| PreparedTask::new(sample_task(&ag, &cfg, None, &mut rng).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn prototype_logits_prefer_closer_class() {
+        // Hand-crafted embeddings: nodes 0,1 near +; 2,3 near −.
+        let h = Tensor::constant(cgnp_tensor::Matrix::from_vec(
+            4,
+            2,
+            vec![1.0, 1.0, 0.9, 1.1, -1.0, -1.0, -1.1, -0.9],
+        ));
+        let logits = Gpn::proto_logits(&h, &[0], &[2]).value();
+        assert!(logits.get(1, 0) > 0.0, "node near + prototype is positive");
+        assert!(logits.get(3, 0) < 0.0, "node near − prototype is negative");
+    }
+
+    #[test]
+    fn train_and_predict_shapes() {
+        let ts = tasks(3, 1);
+        let mut learner = Gpn::new(BaselineHyper::paper_default(8, 2));
+        learner.meta_train(&ts[..2], 0);
+        let preds = learner.run_task(&ts[2], 1);
+        assert_eq!(preds.len(), ts[2].task.targets.len());
+        for p in preds {
+            assert_eq!(p.len(), ts[2].task.n());
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn meta_train_moves_parameters() {
+        let ts = tasks(2, 2);
+        let mut learner = Gpn::new(BaselineHyper::paper_default(8, 3));
+        let mut rng = StdRng::seed_from_u64(0);
+        learner.ensure_model(&ts[0], &mut rng);
+        let before = learner.model.as_ref().unwrap().export_weights();
+        learner.meta_train(&ts, 0);
+        let after = learner.model.as_ref().unwrap().export_weights();
+        assert!(before.iter().zip(&after).any(|(a, b)| !a.approx_eq(b, 1e-9)));
+    }
+}

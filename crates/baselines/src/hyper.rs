@@ -1,0 +1,68 @@
+//! Shared baseline hyper-parameters (§VII-A "Implementation and Settings").
+
+use cgnp_nn::GnnConfig;
+
+/// Hyper-parameters shared by the learned baselines.
+#[derive(Clone, Debug)]
+pub struct BaselineHyper {
+    /// Hidden width of the base GNN (paper: 128; scaled by the harness).
+    pub hidden: usize,
+    /// Number of GNN layers (paper: 3).
+    pub n_layers: usize,
+    /// Dropout (paper: 0.2).
+    pub dropout: f32,
+    /// Adam learning rate for per-task / pre-training (paper: 5e-4).
+    pub lr: f32,
+    /// Training epochs for pre-training / per-task training (paper: 200).
+    pub epochs: usize,
+    /// MAML/Reptile inner-loop gradient steps at train time (paper: 10).
+    pub inner_steps_train: usize,
+    /// Inner-loop gradient steps at test time (paper: 20).
+    pub inner_steps_test: usize,
+    /// Inner-loop learning rate (paper: 5e-4).
+    pub inner_lr: f32,
+    /// Outer-loop learning rate for MAML/Reptile (paper: 1e-3).
+    pub outer_lr: f32,
+}
+
+impl BaselineHyper {
+    /// Paper settings at a given hidden width/epoch budget.
+    pub fn paper_default(hidden: usize, epochs: usize) -> Self {
+        Self {
+            hidden,
+            n_layers: 3,
+            dropout: 0.2,
+            lr: 5e-4,
+            epochs,
+            inner_steps_train: 10,
+            inner_steps_test: 20,
+            inner_lr: 5e-4,
+            outer_lr: 1e-3,
+        }
+    }
+
+    /// Base GNN configuration for a given input width and output width.
+    pub fn gnn_config(&self, in_dim: usize, out_dim: usize) -> GnnConfig {
+        let mut cfg = GnnConfig::paper_default(in_dim, self.hidden, out_dim);
+        cfg.n_layers = self.n_layers;
+        cfg.dropout = self.dropout;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let h = BaselineHyper::paper_default(128, 200);
+        assert_eq!(h.inner_steps_train, 10);
+        assert_eq!(h.inner_steps_test, 20);
+        assert!((h.outer_lr - 1e-3).abs() < 1e-9);
+        let cfg = h.gnn_config(10, 1);
+        assert_eq!(cfg.in_dim, 10);
+        assert_eq!(cfg.out_dim, 1);
+        assert_eq!(cfg.n_layers, 3);
+    }
+}

@@ -1,0 +1,24 @@
+//! The common interface of all learned community-search methods.
+
+use cgnp_core::PreparedTask;
+
+/// A learned CS method: optional meta-training across tasks, then per-task
+/// adaptation + prediction.
+///
+/// `run_task` returns one probability vector (length = task nodes) per
+/// target query, in target order — the shape the evaluation harness
+/// consumes for both F1 and timing measurements.
+pub trait CsLearner {
+    /// Display name matching the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Meta-training over the training task set. Per-task methods
+    /// (Supervised, ICS-GNN, AQD-GNN) implement this as a no-op, matching
+    /// the paper's protocol ("do not involve this meta training stage",
+    /// §VII-C).
+    fn meta_train(&mut self, tasks: &[PreparedTask], seed: u64);
+
+    /// Adapts to one (test) task using its support set and predicts
+    /// membership probabilities for every target query.
+    fn run_task(&mut self, task: &PreparedTask, seed: u64) -> Vec<Vec<f32>>;
+}

@@ -1,0 +1,201 @@
+//! First-order MAML baseline (❹).
+//!
+//! Two-level optimisation (Eq. 4–5): the inner loop adapts task-specific
+//! parameters on the support set; the outer loop updates the task-common
+//! initialisation with the query-set gradients evaluated at the adapted
+//! parameters. We use the standard first-order approximation (FOMAML):
+//! second-order terms are dropped, which the paper itself motivates when
+//! discussing MAML's cost and instability (§IV); the failure mode the
+//! paper reports for MAML on imbalanced CS data (collapse to the negative
+//! class) is preserved.
+
+use cgnp_core::PreparedTask;
+use cgnp_data::{model_input_dim, QueryExample};
+use cgnp_nn::{ForwardCtx, Module};
+use cgnp_tensor::{Adam, Matrix, Optimizer, Sgd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::base::QueryGnn;
+use crate::hyper::BaselineHyper;
+use crate::learner::CsLearner;
+
+/// First-order MAML over the query-conditioned base GNN.
+pub struct Maml {
+    hyper: BaselineHyper,
+    model: Option<QueryGnn>,
+}
+
+impl Maml {
+    pub fn new(hyper: BaselineHyper) -> Self {
+        Self { hyper, model: None }
+    }
+
+    fn ensure_model(&mut self, task: &PreparedTask, rng: &mut StdRng) -> &QueryGnn {
+        if self.model.is_none() {
+            let cfg = self.hyper.gnn_config(model_input_dim(&task.task.graph), 1);
+            self.model = Some(QueryGnn::new(&cfg, rng));
+        }
+        self.model.as_ref().expect("just initialised")
+    }
+
+    /// Inner loop (Eq. 4): `steps` SGD updates on the given examples.
+    fn inner_adapt(
+        model: &QueryGnn,
+        task: &PreparedTask,
+        examples: &[&QueryExample],
+        steps: usize,
+        lr: f32,
+        rng: &mut StdRng,
+    ) {
+        let mut opt = Sgd::new(model.params(), lr);
+        for _ in 0..steps {
+            opt.zero_grad();
+            let loss = {
+                let mut fctx = ForwardCtx::train(rng);
+                model.examples_loss(task, examples, &mut fctx)
+            };
+            loss.backward();
+            opt.step();
+        }
+    }
+}
+
+impl CsLearner for Maml {
+    fn name(&self) -> &'static str {
+        "MAML"
+    }
+
+    fn meta_train(&mut self, tasks: &[PreparedTask], seed: u64) {
+        assert!(!tasks.is_empty(), "MAML needs training tasks");
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.ensure_model(&tasks[0], &mut rng);
+        let model = self.model.as_ref().expect("initialised");
+        let params = model.params();
+        let mut outer = Adam::new(params.clone(), self.hyper.outer_lr);
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        for _ in 0..self.hyper.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for &ti in &order {
+                let prepared = &tasks[ti];
+                let snapshot = model.export_weights();
+                // Inner loop on the support set (Eq. 4).
+                let support: Vec<&QueryExample> = prepared.task.support.iter().collect();
+                Self::inner_adapt(
+                    model,
+                    prepared,
+                    &support,
+                    self.hyper.inner_steps_train,
+                    self.hyper.inner_lr,
+                    &mut rng,
+                );
+                // Query-set gradients at the adapted parameters (Eq. 5,
+                // first-order).
+                outer.zero_grad();
+                let targets: Vec<&QueryExample> = prepared.task.targets.iter().collect();
+                let loss = {
+                    let mut fctx = ForwardCtx::train(&mut rng);
+                    model.examples_loss(prepared, &targets, &mut fctx)
+                };
+                loss.backward();
+                let grads: Vec<Option<Matrix>> = params.iter().map(|p| p.grad()).collect();
+                // Restore θ and apply the adapted-parameter gradients to it.
+                model.import_weights(&snapshot);
+                for (p, g) in params.iter().zip(grads) {
+                    p.zero_grad();
+                    if let Some(g) = g {
+                        p.accum_grad(&g);
+                    }
+                }
+                outer.step();
+            }
+        }
+    }
+
+    fn run_task(&mut self, task: &PreparedTask, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.ensure_model(task, &mut rng);
+        let model = self.model.as_ref().expect("initialised");
+        let snapshot = model.export_weights();
+        let support: Vec<&QueryExample> = task.task.support.iter().collect();
+        Self::inner_adapt(
+            model,
+            task,
+            &support,
+            self.hyper.inner_steps_test,
+            self.hyper.inner_lr,
+            &mut rng,
+        );
+        let preds = task
+            .task
+            .targets
+            .iter()
+            .map(|ex| model.predict(task, ex.query, &mut rng))
+            .collect();
+        model.import_weights(&snapshot);
+        preds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgnp_data::{generate_sbm, sample_task, SbmConfig, TaskConfig};
+
+    fn tasks(n: usize, seed: u64) -> Vec<PreparedTask> {
+        let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
+        let cfg = TaskConfig { subgraph_size: 40, shots: 2, n_targets: 3, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| PreparedTask::new(sample_task(&ag, &cfg, None, &mut rng).unwrap()))
+            .collect()
+    }
+
+    fn small_hyper() -> BaselineHyper {
+        let mut h = BaselineHyper::paper_default(8, 2);
+        h.inner_steps_train = 3;
+        h.inner_steps_test = 5;
+        h
+    }
+
+    #[test]
+    fn meta_train_moves_parameters() {
+        let ts = tasks(3, 1);
+        let mut learner = Maml::new(small_hyper());
+        let mut rng = StdRng::seed_from_u64(0);
+        learner.ensure_model(&ts[0], &mut rng);
+        let before = learner.model.as_ref().unwrap().export_weights();
+        learner.meta_train(&ts, 0);
+        let after = learner.model.as_ref().unwrap().export_weights();
+        let moved = before.iter().zip(&after).any(|(a, b)| !a.approx_eq(b, 1e-9));
+        assert!(moved, "outer loop should change the initialisation");
+    }
+
+    #[test]
+    fn run_task_restores_meta_parameters() {
+        let ts = tasks(3, 2);
+        let mut learner = Maml::new(small_hyper());
+        learner.meta_train(&ts[..2], 0);
+        let before = learner.model.as_ref().unwrap().export_weights();
+        let preds = learner.run_task(&ts[2], 3);
+        let after = learner.model.as_ref().unwrap().export_weights();
+        for (a, b) in before.iter().zip(&after) {
+            assert!(a.approx_eq(b, 0.0), "test-time adaptation must not leak into θ*");
+        }
+        assert_eq!(preds.len(), ts[2].task.targets.len());
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let ts = tasks(2, 3);
+        let mut learner = Maml::new(small_hyper());
+        learner.meta_train(&ts[..1], 0);
+        for probs in learner.run_task(&ts[1], 1) {
+            assert_eq!(probs.len(), ts[1].task.n());
+            assert!(probs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Reptile baseline (❺): first-order meta-learning (Eq. 6).
+//!
+//! The inner loop adapts on **all** the task's labelled data (the paper
+//! notes Reptile does not split support/query for the inner loop); the
+//! outer update moves the task-common parameters toward the adapted ones:
+//! `θ* ← θ + β · mean_i(θ_i − θ)` (implemented per task, the standard
+//! streaming form).
+
+use cgnp_core::PreparedTask;
+use cgnp_data::{model_input_dim, QueryExample};
+use cgnp_nn::{ForwardCtx, Module};
+use cgnp_tensor::{Optimizer, Sgd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::base::QueryGnn;
+use crate::hyper::BaselineHyper;
+use crate::learner::CsLearner;
+
+/// Reptile over the query-conditioned base GNN.
+pub struct Reptile {
+    hyper: BaselineHyper,
+    model: Option<QueryGnn>,
+}
+
+impl Reptile {
+    pub fn new(hyper: BaselineHyper) -> Self {
+        Self { hyper, model: None }
+    }
+
+    fn ensure_model(&mut self, task: &PreparedTask, rng: &mut StdRng) {
+        if self.model.is_none() {
+            let cfg = self.hyper.gnn_config(model_input_dim(&task.task.graph), 1);
+            self.model = Some(QueryGnn::new(&cfg, rng));
+        }
+    }
+
+    fn inner_adapt(
+        model: &QueryGnn,
+        task: &PreparedTask,
+        examples: &[&QueryExample],
+        steps: usize,
+        lr: f32,
+        rng: &mut StdRng,
+    ) {
+        let mut opt = Sgd::new(model.params(), lr);
+        for _ in 0..steps {
+            opt.zero_grad();
+            let loss = {
+                let mut fctx = ForwardCtx::train(rng);
+                model.examples_loss(task, examples, &mut fctx)
+            };
+            loss.backward();
+            opt.step();
+        }
+    }
+}
+
+impl CsLearner for Reptile {
+    fn name(&self) -> &'static str {
+        "Reptile"
+    }
+
+    fn meta_train(&mut self, tasks: &[PreparedTask], seed: u64) {
+        assert!(!tasks.is_empty(), "Reptile needs training tasks");
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.ensure_model(&tasks[0], &mut rng);
+        let model = self.model.as_ref().expect("initialised");
+        let params = model.params();
+        let beta = self.hyper.outer_lr;
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        for _ in 0..self.hyper.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for &ti in &order {
+                let prepared = &tasks[ti];
+                let snapshot = model.export_weights();
+                // Inner loop on all labelled data of the task (Eq. 6 text).
+                let examples: Vec<&QueryExample> = prepared.task.all_examples().collect();
+                Self::inner_adapt(
+                    model,
+                    prepared,
+                    &examples,
+                    self.hyper.inner_steps_train,
+                    self.hyper.inner_lr,
+                    &mut rng,
+                );
+                // θ ← θ + β (θ_i − θ): interpolate from the snapshot toward
+                // the adapted parameters.
+                let adapted = model.export_weights();
+                for ((p, theta), theta_i) in params.iter().zip(&snapshot).zip(&adapted) {
+                    let mut new_value = theta.clone();
+                    let mut delta = theta_i.clone();
+                    delta.add_scaled_assign(theta, -1.0);
+                    new_value.add_scaled_assign(&delta, beta);
+                    p.set_value(new_value);
+                }
+            }
+        }
+    }
+
+    fn run_task(&mut self, task: &PreparedTask, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.ensure_model(task, &mut rng);
+        let model = self.model.as_ref().expect("initialised");
+        let snapshot = model.export_weights();
+        let support: Vec<&QueryExample> = task.task.support.iter().collect();
+        Self::inner_adapt(
+            model,
+            task,
+            &support,
+            self.hyper.inner_steps_test,
+            self.hyper.inner_lr,
+            &mut rng,
+        );
+        let preds = task
+            .task
+            .targets
+            .iter()
+            .map(|ex| model.predict(task, ex.query, &mut rng))
+            .collect();
+        model.import_weights(&snapshot);
+        preds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgnp_data::{generate_sbm, sample_task, SbmConfig, TaskConfig};
+
+    fn tasks(n: usize, seed: u64) -> Vec<PreparedTask> {
+        let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
+        let cfg = TaskConfig { subgraph_size: 40, shots: 2, n_targets: 3, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| PreparedTask::new(sample_task(&ag, &cfg, None, &mut rng).unwrap()))
+            .collect()
+    }
+
+    fn small_hyper() -> BaselineHyper {
+        let mut h = BaselineHyper::paper_default(8, 2);
+        h.inner_steps_train = 3;
+        h.inner_steps_test = 4;
+        h.outer_lr = 0.5;
+        h
+    }
+
+    #[test]
+    fn outer_update_interpolates_toward_adapted() {
+        let ts = tasks(2, 1);
+        let mut learner = Reptile::new(small_hyper());
+        let mut rng = StdRng::seed_from_u64(0);
+        learner.ensure_model(&ts[0], &mut rng);
+        let before = learner.model.as_ref().unwrap().export_weights();
+        learner.meta_train(&ts, 0);
+        let after = learner.model.as_ref().unwrap().export_weights();
+        assert!(
+            before.iter().zip(&after).any(|(a, b)| !a.approx_eq(b, 1e-9)),
+            "meta-training should move parameters"
+        );
+    }
+
+    #[test]
+    fn run_task_restores_meta_parameters() {
+        let ts = tasks(3, 2);
+        let mut learner = Reptile::new(small_hyper());
+        learner.meta_train(&ts[..2], 0);
+        let before = learner.model.as_ref().unwrap().export_weights();
+        let preds = learner.run_task(&ts[2], 5);
+        let after = learner.model.as_ref().unwrap().export_weights();
+        for (a, b) in before.iter().zip(&after) {
+            assert!(a.approx_eq(b, 0.0));
+        }
+        assert_eq!(preds.len(), ts[2].task.targets.len());
+        assert!(preds[0].iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn zero_outer_lr_freezes_parameters() {
+        let ts = tasks(2, 3);
+        let mut h = small_hyper();
+        h.outer_lr = 0.0;
+        let mut learner = Reptile::new(h);
+        let mut rng = StdRng::seed_from_u64(0);
+        learner.ensure_model(&ts[0], &mut rng);
+        let before = learner.model.as_ref().unwrap().export_weights();
+        learner.meta_train(&ts, 0);
+        let after = learner.model.as_ref().unwrap().export_weights();
+        for (a, b) in before.iter().zip(&after) {
+            assert!(a.approx_eq(b, 1e-7), "β=0 must be a no-op");
+        }
+    }
+}

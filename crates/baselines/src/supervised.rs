@@ -1,0 +1,107 @@
+//! Supervised GNN baseline (❽): one model trained from scratch per test
+//! task on its few-shot support data — no meta-knowledge.
+
+use cgnp_core::PreparedTask;
+use cgnp_data::{model_input_dim, QueryExample};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::base::QueryGnn;
+use crate::hyper::BaselineHyper;
+use crate::learner::CsLearner;
+
+/// Trains a fresh [`QueryGnn`] per task on the support set only.
+pub struct SupervisedGnn {
+    hyper: BaselineHyper,
+}
+
+impl SupervisedGnn {
+    pub fn new(hyper: BaselineHyper) -> Self {
+        Self { hyper }
+    }
+}
+
+impl CsLearner for SupervisedGnn {
+    fn name(&self) -> &'static str {
+        "Supervised"
+    }
+
+    fn meta_train(&mut self, _tasks: &[PreparedTask], _seed: u64) {
+        // Intentionally empty: the baseline has no meta-training stage.
+    }
+
+    fn run_task(&mut self, task: &PreparedTask, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = self.hyper.gnn_config(model_input_dim(&task.task.graph), 1);
+        let model = QueryGnn::new(&cfg, &mut rng);
+        let support: Vec<&QueryExample> = task.task.support.iter().collect();
+        model.fit(task, &support, self.hyper.epochs, self.hyper.lr, &mut rng);
+        task.task
+            .targets
+            .iter()
+            .map(|ex| model.predict(task, ex.query, &mut rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgnp_data::{generate_sbm, sample_task, SbmConfig, TaskConfig};
+
+    fn prepared(seed: u64) -> PreparedTask {
+        let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
+        let cfg = TaskConfig { subgraph_size: 40, shots: 2, n_targets: 3, ..Default::default() };
+        PreparedTask::new(sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(seed)).unwrap())
+    }
+
+    #[test]
+    fn produces_probability_vectors_per_target() {
+        let p = prepared(1);
+        let mut learner = SupervisedGnn::new(BaselineHyper::paper_default(8, 5));
+        learner.meta_train(&[], 0); // no-op must not fail
+        let out = learner.run_task(&p, 3);
+        assert_eq!(out.len(), p.task.targets.len());
+        for probs in &out {
+            assert_eq!(probs.len(), p.task.n());
+            assert!(probs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = prepared(2);
+        let mut learner = SupervisedGnn::new(BaselineHyper::paper_default(8, 3));
+        let a = learner.run_task(&p, 7);
+        let b = learner.run_task(&p, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn learns_support_queries_on_task() {
+        // After per-task training, the support queries' positive samples
+        // should score above their negative samples.
+        let p = prepared(3);
+        let mut hyper = BaselineHyper::paper_default(16, 80);
+        hyper.lr = 5e-3;
+        let mut learner = SupervisedGnn::new(hyper);
+        let _ = learner.run_task(&p, 1);
+        // Re-run with a fresh internal model but verify on support via a
+        // direct fit (white-box check of the training path).
+        let cfg = learner.hyper.gnn_config(model_input_dim(&p.task.graph), 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = QueryGnn::new(&cfg, &mut rng);
+        let support: Vec<&QueryExample> = p.task.support.iter().collect();
+        model.fit(&p, &support, 80, 5e-3, &mut rng);
+        let ex = &p.task.support[0];
+        let probs = model.predict(&p, ex.query, &mut rng);
+        let pos_mean: f32 =
+            ex.pos.iter().map(|&v| probs[v]).sum::<f32>() / ex.pos.len() as f32;
+        let neg_mean: f32 =
+            ex.neg.iter().map(|&v| probs[v]).sum::<f32>() / ex.neg.len() as f32;
+        assert!(
+            pos_mean > neg_mean,
+            "fitting support failed: pos {pos_mean} vs neg {neg_mean}"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Fig. 3 — efficiency: (a) total test time and (b) total meta-training
+//! time per method on the paper's six configurations.
+//!
+//! Timing shape (who is faster than whom, by how many orders of
+//! magnitude) is the target here, not model quality, so this bench runs
+//! with a reduced epoch budget at small scales — the per-task/per-query
+//! training structure that determines the ordering is unchanged.
+//!
+//! `cargo bench -p cgnp-bench --bench fig3_efficiency`
+
+use cgnp_bench::{banner, save_report, shape_line};
+use cgnp_eval::{
+    build_cite2cora_tasks, build_facebook_tasks, build_single_graph_tasks, run_cell,
+    DatasetId, ExperimentReport, MethodOutcome, MethodSelection, ScaleSettings, TaskKind,
+    TextTable,
+};
+
+fn main() {
+    let mut settings = ScaleSettings::from_env();
+    // Timing shape needs the training *structure*, not convergence.
+    settings.epochs = settings.epochs.min(10);
+    banner("Fig. 3 — training & test time", "Fig. 3(a)/(b)", &settings);
+
+    let configs: Vec<(&str, Option<cgnp_eval::TaskSet>, bool)> = vec![
+        (
+            "Citeseer",
+            some_if_nonempty(build_single_graph_tasks(
+                DatasetId::Citeseer,
+                TaskKind::Sgsc,
+                1,
+                &settings,
+                42,
+            )),
+            false,
+        ),
+        (
+            "Reddit",
+            some_if_nonempty(build_single_graph_tasks(
+                DatasetId::Reddit,
+                TaskKind::Sgdc,
+                1,
+                &settings,
+                42,
+            )),
+            false,
+        ),
+        (
+            "DBLP",
+            some_if_nonempty(build_single_graph_tasks(
+                DatasetId::Dblp,
+                TaskKind::Sgdc,
+                1,
+                &settings,
+                42,
+            )),
+            false,
+        ),
+        ("Facebook", some_if_nonempty(build_facebook_tasks(1, &settings, 42)), true),
+        ("Cite2Cora", some_if_nonempty(build_cite2cora_tasks(1, &settings, 42)), false),
+        (
+            "Arxiv",
+            some_if_nonempty(build_single_graph_tasks(
+                DatasetId::Arxiv,
+                TaskKind::Sgsc,
+                1,
+                &settings,
+                42,
+            )),
+            false,
+        ),
+    ];
+
+    let mut all: Vec<(String, Vec<MethodOutcome>)> = Vec::new();
+    for (name, tasks, with_acq) in configs {
+        let Some(tasks) = tasks else {
+            println!("--- {name}: task sampling failed, skipped ---");
+            continue;
+        };
+        println!("\n--- {name} (1-shot) ---");
+        let cell = run_cell(name, &tasks, MethodSelection::All, &settings, with_acq, 42);
+        let mut table = TextTable::new(vec!["Method", "Test (s)", "Train (s)"]);
+        for o in &cell.outcomes {
+            table.push_row(vec![
+                o.method.clone(),
+                format!("{:.3}", o.test_seconds),
+                if o.train_seconds < 1e-4 {
+                    "-".to_string()
+                } else {
+                    format!("{:.3}", o.train_seconds)
+                },
+            ]);
+        }
+        println!("{}", table.render());
+        save_report(&ExperimentReport::new(
+            format!("fig3_{name}"),
+            format!("{name} 1-shot timing"),
+            cell.outcomes.clone(),
+        ));
+        all.push((name.to_string(), cell.outcomes));
+    }
+
+    println!("\nshape check vs paper:");
+    let mut cgnp_fastest_learned = 0usize;
+    let mut total = 0usize;
+    let mut cgnp_train_faster_than_maml = 0usize;
+    let mut maml_cells = 0usize;
+    for (_, outcomes) in &all {
+        let learned: Vec<&MethodOutcome> = outcomes
+            .iter()
+            .filter(|o| !matches!(o.method.as_str(), "ATC" | "ACQ" | "CTC"))
+            .collect();
+        if learned.is_empty() {
+            continue;
+        }
+        total += 1;
+        let cgnp_best_test = learned
+            .iter()
+            .filter(|o| o.method.starts_with("CGNP"))
+            .map(|o| o.test_seconds)
+            .fold(f64::MAX, f64::min);
+        let fastest_two: bool = {
+            let mut times: Vec<f64> = learned.iter().map(|o| o.test_seconds).collect();
+            times.sort_by(|a, b| a.total_cmp(b));
+            cgnp_best_test <= times[1.min(times.len() - 1)]
+        };
+        if fastest_two {
+            cgnp_fastest_learned += 1;
+        }
+        let maml_train = outcomes
+            .iter()
+            .find(|o| o.method == "MAML")
+            .map(|o| o.train_seconds);
+        let cgnp_train = outcomes
+            .iter()
+            .find(|o| o.method == "CGNP-IP")
+            .map(|o| o.train_seconds);
+        if let (Some(m), Some(c)) = (maml_train, cgnp_train) {
+            maml_cells += 1;
+            if c < m {
+                cgnp_train_faster_than_maml += 1;
+            }
+        }
+    }
+    shape_line(
+        "CGNP is among the fastest learned methods at test time (gradient-free adaptation)",
+        cgnp_fastest_learned * 2 >= total && total > 0,
+        &format!("{cgnp_fastest_learned}/{total} configs"),
+    );
+    shape_line(
+        "CGNP meta-training is faster than MAML's two-level optimisation",
+        cgnp_train_faster_than_maml == maml_cells && maml_cells > 0,
+        &format!("{cgnp_train_faster_than_maml}/{maml_cells} configs"),
+    );
+}
+
+fn some_if_nonempty(ts: cgnp_eval::TaskSet) -> Option<cgnp_eval::TaskSet> {
+    (!ts.train.is_empty() && !ts.test.is_empty()).then_some(ts)
+}

@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks of the hot kernels behind every experiment:
+//! SpMM message passing, GAT attention, truss decomposition, and one CGNP
+//! adaptation step (the quantity Fig. 3 calls "test time").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+use cgnp_core::{Cgnp, CgnpConfig, PreparedTask};
+use cgnp_data::{generate_sbm, model_input_dim, sample_task, SbmConfig, TaskConfig};
+use cgnp_graph::{algo, Graph};
+use cgnp_nn::{GatLayer, GraphContext, Module};
+use cgnp_tensor::{CsrMatrix, Matrix, SparseOperator, Tensor};
+
+fn bench_graph(n: usize, seed: u64) -> Graph {
+    let mut cfg = SbmConfig::small_test();
+    cfg.n = n;
+    cfg.n_attrs = 0;
+    generate_sbm(&cfg, &mut StdRng::seed_from_u64(seed))
+        .graph()
+        .clone()
+}
+
+fn spmm_bench(c: &mut Criterion) {
+    let g = bench_graph(1000, 1);
+    let op = Rc::new(SparseOperator::new(cgnp_nn::gcn_normalised(&g)));
+    let mut rng = StdRng::seed_from_u64(0);
+    let data: Vec<f32> = (0..g.n() * 64).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let x = Matrix::from_vec(g.n(), 64, data);
+    c.bench_function("spmm_1000x64", |b| {
+        b.iter(|| black_box(op.forward().spmm(black_box(&x))))
+    });
+}
+
+fn dense_matmul_bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Matrix::from_vec(200, 128, (0..200 * 128).map(|_| rng.gen_range(-1.0..1.0)).collect());
+    let b_mat =
+        Matrix::from_vec(128, 128, (0..128 * 128).map(|_| rng.gen_range(-1.0..1.0)).collect());
+    c.bench_function("matmul_200x128x128", |b| {
+        b.iter(|| black_box(a.matmul(black_box(&b_mat))))
+    });
+}
+
+fn gat_forward_bench(c: &mut Criterion) {
+    let g = bench_graph(500, 2);
+    let gctx = GraphContext::new(&g);
+    let mut rng = StdRng::seed_from_u64(3);
+    let layer = GatLayer::new(32, 32, &mut rng);
+    let data: Vec<f32> = (0..g.n() * 32).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let x = Tensor::constant(Matrix::from_vec(g.n(), 32, data));
+    c.bench_function("gat_forward_500n_32d", |b| {
+        b.iter(|| {
+            cgnp_tensor::no_grad(|| black_box(layer.forward(&gctx, black_box(&x))))
+        })
+    });
+    let _ = layer.param_count();
+}
+
+fn truss_decomposition_bench(c: &mut Criterion) {
+    let g = bench_graph(800, 4);
+    c.bench_function("truss_decomposition_800n", |b| {
+        b.iter(|| black_box(algo::truss_numbers(black_box(&g))))
+    });
+}
+
+fn core_decomposition_bench(c: &mut Criterion) {
+    let g = bench_graph(5000, 5);
+    c.bench_function("core_decomposition_5000n", |b| {
+        b.iter(|| black_box(algo::core_numbers(black_box(&g))))
+    });
+}
+
+fn cgnp_adaptation_bench(c: &mut Criterion) {
+    // One full Algorithm-2 pass: encode the support set, combine, decode,
+    // score one query — the gradient-free test-time path of Fig. 3.
+    let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(6));
+    let tcfg = TaskConfig { subgraph_size: 100, shots: 5, n_targets: 4, ..Default::default() };
+    let task = sample_task(&ag, &tcfg, None, &mut StdRng::seed_from_u64(6)).expect("task");
+    let prepared = PreparedTask::new(task);
+    let cfg = CgnpConfig::paper_default(model_input_dim(&prepared.task.graph), 32);
+    let model = Cgnp::new(cfg, 7);
+    let q = prepared.task.targets[0].query;
+    c.bench_function("cgnp_meta_test_5shot_100n", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(0);
+            black_box(model.predict(&prepared, q, &mut rng))
+        })
+    });
+}
+
+fn csr_build_bench(c: &mut Criterion) {
+    let g = bench_graph(2000, 8);
+    let triplets: Vec<(usize, usize, f32)> = g
+        .edges()
+        .flat_map(|(u, v)| [(u, v, 1.0f32), (v, u, 1.0f32)])
+        .collect();
+    c.bench_function("csr_from_triplets_2000n", |b| {
+        b.iter(|| black_box(CsrMatrix::from_triplets(g.n(), g.n(), black_box(&triplets))))
+    });
+}
+
+criterion_group!(
+    benches,
+    spmm_bench,
+    dense_matmul_bench,
+    gat_forward_bench,
+    truss_decomposition_bench,
+    core_decomposition_bench,
+    cgnp_adaptation_bench,
+    csr_build_bench
+);
+criterion_main!(benches);

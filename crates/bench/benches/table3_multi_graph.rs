@@ -1,0 +1,96 @@
+//! Table III — multi-graph tasks: MGOD (Facebook ego-networks, including
+//! ACQ) and MGDD (Cite2Cora cross-domain transfer), 1-shot and 5-shot.
+//!
+//! `cargo bench -p cgnp-bench --bench table3_multi_graph`
+
+use cgnp_bench::{banner, cgnp_f1_advantage, cgnp_in_top_two, save_report, shape_line};
+use cgnp_eval::{
+    build_cite2cora_tasks, build_facebook_tasks, quality_table, run_cell, ExperimentReport,
+    MethodSelection, ScaleSettings,
+};
+
+fn main() {
+    let settings = ScaleSettings::from_env();
+    banner("Table III — multi-graph tasks", "Table III", &settings);
+
+    let mut cells = Vec::new();
+    for shot in [1usize, 5] {
+        // MGOD: Facebook ego-networks; the paper evaluates ACQ here only
+        // (the other datasets are non-attributed or time out).
+        let label = format!("Facebook MGOD {shot}-shot");
+        println!("\n--- {label} ---");
+        let fb_tasks = build_facebook_tasks(shot, &settings, 42);
+        if !fb_tasks.train.is_empty() && !fb_tasks.test.is_empty() {
+            let cell = run_cell(label.clone(), &fb_tasks, MethodSelection::All, &settings, true, 42);
+            println!("{}", quality_table(&cell.outcomes).render());
+            save_report(&ExperimentReport::new(
+                format!("table3_facebook_{shot}shot"),
+                label,
+                cell.outcomes.clone(),
+            ));
+            cells.push(("facebook", cell));
+        }
+
+        // MGDD: Cite2Cora (train Citeseer tasks, test Cora tasks).
+        let label = format!("Cite2Cora MGDD {shot}-shot");
+        println!("\n--- {label} ---");
+        let cc_tasks = build_cite2cora_tasks(shot, &settings, 42);
+        if !cc_tasks.train.is_empty() && !cc_tasks.test.is_empty() {
+            let cell =
+                run_cell(label.clone(), &cc_tasks, MethodSelection::All, &settings, false, 42);
+            println!("{}", quality_table(&cell.outcomes).render());
+            save_report(&ExperimentReport::new(
+                format!("table3_cite2cora_{shot}shot"),
+                label,
+                cell.outcomes.clone(),
+            ));
+            cells.push(("cite2cora", cell));
+        }
+    }
+
+    println!("\nshape check vs paper:");
+    let cc_cells: Vec<_> = cells.iter().filter(|(k, _)| *k == "cite2cora").collect();
+    let cc_top = cc_cells
+        .iter()
+        .filter(|(_, c)| cgnp_in_top_two(&c.outcomes))
+        .count();
+    shape_line(
+        "CGNP variants dominate the top-two F1 on Cite2Cora",
+        cc_top == cc_cells.len() && !cc_cells.is_empty(),
+        &format!("{cc_top}/{} Cite2Cora cells", cc_cells.len()),
+    );
+    let adv: f64 = cells
+        .iter()
+        .map(|(_, c)| cgnp_f1_advantage(&c.outcomes))
+        .sum::<f64>()
+        / cells.len().max(1) as f64;
+    shape_line(
+        "CGNP leads baselines on F1 across multi-graph tasks (paper: +0.25 avg)",
+        adv > 0.0,
+        &format!("measured average advantage {adv:+.3}"),
+    );
+    // On Facebook the paper reports ICS-GNN as the strongest competitor
+    // (it exploits test-query ground truth).
+    let fb_competitive = cells
+        .iter()
+        .filter(|(k, _)| *k == "facebook")
+        .all(|(_, c)| {
+            let ics = c
+                .outcomes
+                .iter()
+                .find(|o| o.method == "ICS-GNN")
+                .map(|o| o.metrics.f1)
+                .unwrap_or(0.0);
+            let median = {
+                let mut f1s: Vec<f64> = c.outcomes.iter().map(|o| o.metrics.f1).collect();
+                f1s.sort_by(|a, b| a.total_cmp(b));
+                f1s[f1s.len() / 2]
+            };
+            ics >= median
+        });
+    shape_line(
+        "ICS-GNN is competitive on Facebook (uses test ground truth)",
+        fb_competitive,
+        "ICS-GNN at or above the median F1 on Facebook cells",
+    );
+}

@@ -1,0 +1,121 @@
+//! Table IV — ablation of the CGNP encoder layer (GCN / GAT / SAGE with ⊕
+//! fixed to average) and of the commutative operation (attention / sum /
+//! average with the encoder fixed to GAT), on the paper's six 5-shot
+//! configurations.
+//!
+//! `cargo bench -p cgnp-bench --bench table4_ablation`
+
+use cgnp_bench::{banner, save_report, shape_line};
+use cgnp_eval::{
+    ablation_methods, build_cite2cora_tasks, build_facebook_tasks, build_single_graph_tasks,
+    evaluate_roster, fmt_metric, DatasetId, ExperimentReport, HarnessConfig, MethodOutcome,
+    ScaleSettings, TaskKind, TaskSet, TextTable,
+};
+
+fn build_config_tasks(name: &str, settings: &ScaleSettings, seed: u64) -> Option<TaskSet> {
+    let ts = match name {
+        "Citeseer" => build_single_graph_tasks(DatasetId::Citeseer, TaskKind::Sgsc, 5, settings, seed),
+        "Arxiv" => build_single_graph_tasks(DatasetId::Arxiv, TaskKind::Sgsc, 5, settings, seed),
+        "Reddit" => build_single_graph_tasks(DatasetId::Reddit, TaskKind::Sgdc, 5, settings, seed),
+        "DBLP" => build_single_graph_tasks(DatasetId::Dblp, TaskKind::Sgdc, 5, settings, seed),
+        "Facebook" => build_facebook_tasks(5, settings, seed),
+        "Cite2Cora" => build_cite2cora_tasks(5, settings, seed),
+        _ => unreachable!(),
+    };
+    (!ts.train.is_empty() && !ts.test.is_empty()).then_some(ts)
+}
+
+fn main() {
+    let settings = ScaleSettings::from_env();
+    banner("Table IV — encoder / ⊕ ablation", "Table IV", &settings);
+
+    let configs = ["Citeseer", "Arxiv", "Reddit", "DBLP", "Facebook", "Cite2Cora"];
+    let mut all_rows: Vec<(String, String, MethodOutcome)> = Vec::new();
+
+    for cfg_name in configs {
+        let Some(tasks) = build_config_tasks(cfg_name, &settings, 42) else {
+            println!("\n--- {cfg_name}: task sampling failed, skipped ---");
+            continue;
+        };
+        println!("\n--- {cfg_name} (5-shot) ---");
+        let template = settings.cgnp_template();
+        let mut table = TextTable::new(vec!["Variant", "Acc", "Pre", "Rec", "F1"]);
+        let mut outcomes_for_report = Vec::new();
+        for (variant, method) in ablation_methods(&template) {
+            let mut roster = vec![method];
+            let outcome =
+                evaluate_roster(&mut roster, &tasks, &HarnessConfig { seed: 42, threshold: 0.5 })
+                    .remove(0);
+            table.push_row(vec![
+                variant.clone(),
+                fmt_metric(outcome.metrics.accuracy),
+                fmt_metric(outcome.metrics.precision),
+                fmt_metric(outcome.metrics.recall),
+                fmt_metric(outcome.metrics.f1),
+            ]);
+            all_rows.push((cfg_name.to_string(), variant, outcome.clone()));
+            outcomes_for_report.push(outcome);
+        }
+        println!("{}", table.render());
+        save_report(&ExperimentReport::new(
+            format!("table4_{cfg_name}"),
+            format!("{cfg_name} 5-shot ablation"),
+            outcomes_for_report,
+        ));
+    }
+
+    println!("\nshape check vs paper:");
+    // GAT ≥ GCN in most configurations.
+    let mut gat_wins = 0usize;
+    let mut comparisons = 0usize;
+    for cfg_name in configs {
+        let f1 = |variant: &str| {
+            all_rows
+                .iter()
+                .find(|(c, v, _)| c == cfg_name && v == variant)
+                .map(|(_, _, o)| o.metrics.f1)
+        };
+        if let (Some(gat), Some(gcn)) = (f1("layer:GAT"), f1("layer:GCN")) {
+            comparisons += 1;
+            if gat >= gcn - 0.02 {
+                gat_wins += 1;
+            }
+        }
+    }
+    shape_line(
+        "GAT encoder ≥ GCN encoder",
+        gat_wins * 2 >= comparisons && comparisons > 0,
+        &format!("{gat_wins}/{comparisons} configs"),
+    );
+    // Commutative-op differences are small relative to encoder
+    // differences ("the effect of the type of commutative operation is
+    // not as remarkable as that of the GNN encoder").
+    let spread = |prefix: &str, cfg_name: &str| -> Option<f64> {
+        let f1s: Vec<f64> = all_rows
+            .iter()
+            .filter(|(c, v, _)| c == cfg_name && v.starts_with(prefix))
+            .map(|(_, _, o)| o.metrics.f1)
+            .collect();
+        if f1s.len() < 2 {
+            return None;
+        }
+        let max = f1s.iter().cloned().fold(f64::MIN, f64::max);
+        let min = f1s.iter().cloned().fold(f64::MAX, f64::min);
+        Some(max - min)
+    };
+    let mut comm_smaller = 0usize;
+    let mut spread_comparisons = 0usize;
+    for cfg_name in configs {
+        if let (Some(enc), Some(comm)) = (spread("layer:", cfg_name), spread("comm:", cfg_name)) {
+            spread_comparisons += 1;
+            if comm <= enc + 0.02 {
+                comm_smaller += 1;
+            }
+        }
+    }
+    shape_line(
+        "⊕ choice matters less than encoder choice",
+        comm_smaller * 2 >= spread_comparisons && spread_comparisons > 0,
+        &format!("{comm_smaller}/{spread_comparisons} configs with smaller ⊕ spread"),
+    );
+}

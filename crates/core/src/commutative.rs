@@ -1,0 +1,172 @@
+//! The commutative operation ⊕ (Eq. 14–16): permutation-invariant
+//! aggregation of per-query views into one task context.
+
+use cgnp_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+
+use cgnp_nn::Module;
+
+use crate::config::CommutativeOp;
+
+/// Aggregator over the views `{H_q}` produced by the encoder.
+pub enum Commutative {
+    Sum,
+    Mean,
+    /// Self-attention (Eq. 15–16): per-view mean embeddings are projected
+    /// by `W1`, `W2`; softmaxed inner-product scores yield one weight per
+    /// view, shared by all nodes.
+    SelfAttention { w1: Tensor, w2: Tensor, dim: usize },
+}
+
+impl Commutative {
+    pub fn new(op: CommutativeOp, view_dim: usize, attention_dim: usize, rng: &mut StdRng) -> Self {
+        match op {
+            CommutativeOp::Sum => Self::Sum,
+            CommutativeOp::Mean => Self::Mean,
+            CommutativeOp::SelfAttention => Self::SelfAttention {
+                w1: Tensor::parameter(init::glorot_uniform(view_dim, attention_dim, rng)),
+                w2: Tensor::parameter(init::glorot_uniform(view_dim, attention_dim, rng)),
+                dim: attention_dim,
+            },
+        }
+    }
+
+    pub fn op(&self) -> CommutativeOp {
+        match self {
+            Self::Sum => CommutativeOp::Sum,
+            Self::Mean => CommutativeOp::Mean,
+            Self::SelfAttention { .. } => CommutativeOp::SelfAttention,
+        }
+    }
+
+    /// Combines `k ≥ 1` equally shaped views into the context matrix `H`.
+    pub fn combine(&self, views: &[Tensor]) -> Tensor {
+        assert!(!views.is_empty(), "⊕ needs at least one view");
+        if views.len() == 1 {
+            return views[0].clone();
+        }
+        match self {
+            Self::Sum => fold_sum(views),
+            Self::Mean => fold_sum(views).scale(1.0 / views.len() as f32),
+            Self::SelfAttention { w1, w2, dim } => {
+                // Eq. 15–16: stack per-view summaries (mean over nodes),
+                // project, score, softmax, column-average → one weight per
+                // view shared by all nodes.
+                let summaries: Vec<Tensor> = views.iter().map(|v| v.mean_rows()).collect();
+                let m = Tensor::concat_rows(&summaries); // k×d
+                let h1 = m.matmul(w1);
+                let h2 = m.matmul(w2);
+                let scores = h1.matmul_tb(&h2).scale(1.0 / (*dim as f32).sqrt());
+                let attn = scores.row_softmax(); // k×k, rows sum to 1
+                let weights = attn.mean_rows(); // 1×k, sums to 1
+                Tensor::weighted_sum_views(&weights, views)
+            }
+        }
+    }
+}
+
+fn fold_sum(views: &[Tensor]) -> Tensor {
+    let mut acc = views[0].clone();
+    for v in &views[1..] {
+        acc = acc.add(v);
+    }
+    acc
+}
+
+impl Module for Commutative {
+    fn params(&self) -> Vec<Tensor> {
+        match self {
+            Self::Sum | Self::Mean => Vec::new(),
+            Self::SelfAttention { w1, w2, .. } => vec![w1.clone(), w2.clone()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgnp_tensor::Matrix;
+    use rand::SeedableRng;
+
+    fn views() -> Vec<Tensor> {
+        vec![
+            Tensor::parameter(Matrix::full(3, 2, 1.0)),
+            Tensor::parameter(Matrix::full(3, 2, 3.0)),
+        ]
+    }
+
+    #[test]
+    fn sum_and_mean_values() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let sum = Commutative::new(CommutativeOp::Sum, 2, 2, &mut rng);
+        let mean = Commutative::new(CommutativeOp::Mean, 2, 2, &mut rng);
+        assert!(sum.combine(&views()).value().approx_eq(&Matrix::full(3, 2, 4.0), 1e-6));
+        assert!(mean.combine(&views()).value().approx_eq(&Matrix::full(3, 2, 2.0), 1e-6));
+    }
+
+    #[test]
+    fn attention_weights_are_convex() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let att = Commutative::new(CommutativeOp::SelfAttention, 2, 4, &mut rng);
+        let out = att.combine(&views()).value();
+        // Convex combination of all-1 and all-3 views ⇒ values in [1, 3].
+        for &v in out.as_slice() {
+            assert!((1.0 - 1e-5..=3.0 + 1e-5).contains(&v), "value {v} outside hull");
+        }
+        // All rows identical (weights shared across nodes).
+        for r in 1..3 {
+            for c in 0..2 {
+                assert!((out.get(r, c) - out.get(0, c)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_invariance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for op in [CommutativeOp::Sum, CommutativeOp::Mean, CommutativeOp::SelfAttention] {
+            let c = Commutative::new(op, 2, 4, &mut rng);
+            let vs = views();
+            let fwd = c.combine(&vs).value();
+            let rev: Vec<Tensor> = vs.iter().rev().cloned().collect();
+            let bwd = c.combine(&rev).value();
+            assert!(fwd.approx_eq(&bwd, 1e-5), "{op:?} not permutation-invariant");
+        }
+    }
+
+    #[test]
+    fn single_view_passthrough() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let att = Commutative::new(CommutativeOp::SelfAttention, 2, 4, &mut rng);
+        let v = Tensor::parameter(Matrix::full(2, 2, 7.0));
+        let out = att.combine(std::slice::from_ref(&v));
+        assert!(out.value().approx_eq(&Matrix::full(2, 2, 7.0), 0.0));
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(Commutative::new(CommutativeOp::Sum, 8, 4, &mut rng).param_count(), 0);
+        assert_eq!(
+            Commutative::new(CommutativeOp::SelfAttention, 8, 4, &mut rng).param_count(),
+            2 * 8 * 4
+        );
+    }
+
+    #[test]
+    fn attention_gradients_reach_projections() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let att = Commutative::new(CommutativeOp::SelfAttention, 2, 3, &mut rng);
+        // Views must differ for attention gradients to be non-zero.
+        let vs = vec![
+            Tensor::constant(Matrix::from_vec(2, 2, vec![1.0, -1.0, 0.5, 2.0])),
+            Tensor::constant(Matrix::from_vec(2, 2, vec![-2.0, 1.0, 3.0, 0.1])),
+        ];
+        let loss = att.combine(&vs).l2_sum();
+        loss.backward();
+        for p in att.params() {
+            let g = p.grad().expect("projection gradient");
+            assert!(g.max_abs() > 0.0, "zero gradient on attention projection");
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The decoder ρθ (§VI): transforms the combined context `H` and scores
+//! every node against the target query node by inner product (Eq. 17).
+
+use cgnp_tensor::Tensor;
+use rand::rngs::StdRng;
+
+use cgnp_nn::{Activation, ForwardCtx, GnnConfig, GnnEncoder, GraphContext, Mlp, Module};
+
+use crate::config::DecoderKind;
+
+/// Decoder variants. All end in the inner-product scoring of Eq. 17;
+/// MLP/GNN first transform the context (the GNN additionally lets messages
+/// pass between nodes).
+pub enum Decoder {
+    InnerProduct,
+    Mlp(Mlp),
+    Gnn(GnnEncoder),
+}
+
+impl Decoder {
+    /// Builds the decoder for a context of width `dim`.
+    pub fn new(
+        kind: DecoderKind,
+        dim: usize,
+        mlp_hidden: usize,
+        encoder_template: &GnnConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        match kind {
+            DecoderKind::InnerProduct => Self::InnerProduct,
+            DecoderKind::Mlp => Self::Mlp(Mlp::new(
+                &[dim, mlp_hidden, dim],
+                Activation::Relu,
+                encoder_template.dropout,
+                rng,
+            )),
+            DecoderKind::Gnn => {
+                // "a two-layer GNN which has the same configuration as the
+                // encoder" (§VII-A), operating context → context.
+                let cfg = GnnConfig {
+                    in_dim: dim,
+                    hidden_dim: dim,
+                    out_dim: dim,
+                    n_layers: 2,
+                    ..encoder_template.clone()
+                };
+                Self::Gnn(GnnEncoder::new(&cfg, rng))
+            }
+        }
+    }
+
+    pub fn kind(&self) -> DecoderKind {
+        match self {
+            Self::InnerProduct => DecoderKind::InnerProduct,
+            Self::Mlp(_) => DecoderKind::Mlp,
+            Self::Gnn(_) => DecoderKind::Gnn,
+        }
+    }
+
+    /// Transforms the context matrix (identity for the inner-product
+    /// decoder).
+    pub fn transform(
+        &self,
+        gctx: &GraphContext,
+        context: &Tensor,
+        fctx: &mut ForwardCtx<'_>,
+    ) -> Tensor {
+        match self {
+            Self::InnerProduct => context.clone(),
+            Self::Mlp(mlp) => mlp.forward(context, fctx),
+            Self::Gnn(gnn) => gnn.forward(gctx, context, fctx),
+        }
+    }
+
+    /// Inner-product logits of every node against query `q` (Eq. 17,
+    /// pre-sigmoid): `⟨H[q], H⟩ ∈ R^{n×1}`.
+    pub fn score(transformed: &Tensor, q: usize) -> Tensor {
+        let query_row = transformed.gather_rows(&[q]); // 1×d
+        transformed.matmul_tb(&query_row) // n×1
+    }
+
+    /// Multi-query extension: logits against the centroid of several query
+    /// nodes' embeddings, `⟨mean_q H[q], H⟩`. The paper's CGNP is
+    /// single-query; this matches the query-set interface of the classical
+    /// algorithms (CTC/ATC) so the library supports both.
+    pub fn score_multi(transformed: &Tensor, queries: &[usize]) -> Tensor {
+        assert!(!queries.is_empty(), "need at least one query node");
+        let centroid = transformed.gather_rows(queries).mean_rows(); // 1×d
+        transformed.matmul_tb(&centroid)
+    }
+}
+
+impl Module for Decoder {
+    fn params(&self) -> Vec<Tensor> {
+        match self {
+            Self::InnerProduct => Vec::new(),
+            Self::Mlp(m) => m.params(),
+            Self::Gnn(g) => g.params(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgnp_graph::Graph;
+    use cgnp_tensor::Matrix;
+    use rand::SeedableRng;
+
+    fn setup() -> (GraphContext, Tensor, GnnConfig) {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let gctx = GraphContext::new(&g);
+        let ctx_matrix = Tensor::constant(Matrix::from_vec(
+            4,
+            2,
+            vec![1.0, 0.0, 0.9, 0.1, -1.0, 0.2, 0.0, 1.0],
+        ));
+        let template = GnnConfig::paper_default(2, 4, 2);
+        (gctx, ctx_matrix, template)
+    }
+
+    #[test]
+    fn inner_product_scores_favor_aligned_nodes() {
+        let (_, h, _) = setup();
+        let logits = Decoder::score(&h, 0).value();
+        assert_eq!(logits.shape(), (4, 1));
+        // Node 1 is nearly parallel to node 0; node 2 anti-parallel.
+        assert!(logits.get(1, 0) > logits.get(2, 0));
+        assert!(logits.get(0, 0) >= logits.get(1, 0), "self-similarity maximal here");
+    }
+
+    #[test]
+    fn all_kinds_preserve_shape() {
+        let (gctx, h, template) = setup();
+        for kind in [DecoderKind::InnerProduct, DecoderKind::Mlp, DecoderKind::Gnn] {
+            let mut rng = StdRng::seed_from_u64(0);
+            let dec = Decoder::new(kind, 2, 8, &template, &mut rng);
+            assert_eq!(dec.kind(), kind);
+            let out = dec.transform(&gctx, &h, &mut ForwardCtx::eval(&mut rng));
+            assert_eq!(out.shape(), (4, 2), "{kind:?}");
+            let logits = Decoder::score(&out, 1);
+            assert_eq!(logits.shape(), (4, 1));
+        }
+    }
+
+    #[test]
+    fn inner_product_has_no_params() {
+        let (_, _, template) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            Decoder::new(DecoderKind::InnerProduct, 2, 8, &template, &mut rng).param_count(),
+            0
+        );
+        assert!(Decoder::new(DecoderKind::Mlp, 2, 8, &template, &mut rng).param_count() > 0);
+        assert!(Decoder::new(DecoderKind::Gnn, 2, 8, &template, &mut rng).param_count() > 0);
+    }
+
+    #[test]
+    fn mlp_decoder_uses_hidden_width() {
+        let (_, _, template) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let dec = Decoder::new(DecoderKind::Mlp, 2, 16, &template, &mut rng);
+        // 2×16 + 16 + 16×2 + 2 parameters.
+        assert_eq!(dec.param_count(), 2 * 16 + 16 + 16 * 2 + 2);
+    }
+}

@@ -1,0 +1,273 @@
+//! The CGNP model (Fig. 2): GNN encoder ϕθ → commutative ⊕ → decoder ρθ.
+
+use cgnp_data::{base_features, with_indicator, QueryExample, Task};
+use cgnp_nn::{ForwardCtx, GnnEncoder, GraphContext, Module};
+use cgnp_tensor::{Matrix, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::commutative::Commutative;
+use crate::config::CgnpConfig;
+use crate::decoder::Decoder;
+
+/// A task with its graph operators and base features precomputed; built
+/// once and reused across epochs and queries.
+pub struct PreparedTask {
+    pub task: Task,
+    pub gctx: GraphContext,
+    /// Base node features (`attrs ‖ core ‖ lcc`), without the indicator
+    /// channel.
+    pub base: Matrix,
+}
+
+impl PreparedTask {
+    pub fn new(task: Task) -> Self {
+        let gctx = GraphContext::new(task.graph.graph());
+        let base = base_features(&task.graph);
+        Self { task, gctx, base }
+    }
+}
+
+/// The Conditional Graph Neural Process.
+pub struct Cgnp {
+    config: CgnpConfig,
+    encoder: GnnEncoder,
+    commutative: Commutative,
+    decoder: Decoder,
+}
+
+impl Cgnp {
+    /// Builds a CGNP with weights drawn from `seed`.
+    pub fn new(config: CgnpConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let encoder = GnnEncoder::new(&config.encoder, &mut rng);
+        let commutative = Commutative::new(
+            config.commutative,
+            config.encoder.out_dim,
+            config.attention_dim,
+            &mut rng,
+        );
+        let decoder = Decoder::new(
+            config.decoder,
+            config.encoder.out_dim,
+            config.mlp_hidden,
+            &config.encoder,
+            &mut rng,
+        );
+        Self { config, encoder, commutative, decoder }
+    }
+
+    pub fn config(&self) -> &CgnpConfig {
+        &self.config
+    }
+
+    /// Encoder view for one support pair `(q, l_q)` (Eq. 13 + Fig. 2): the
+    /// indicator marks `{q} ∪ l⁺_q` under the close-world assumption.
+    pub fn encode_view(
+        &self,
+        prepared: &PreparedTask,
+        example: &QueryExample,
+        fctx: &mut ForwardCtx<'_>,
+    ) -> Tensor {
+        let mut marked = Vec::with_capacity(1 + example.pos.len());
+        marked.push(example.query);
+        marked.extend_from_slice(&example.pos);
+        let x = Tensor::constant(with_indicator(&prepared.base, &marked));
+        self.encoder.forward(&prepared.gctx, &x, fctx)
+    }
+
+    /// The task context `H = ⊕_{(q,l) ∈ S} ϕθ(q, l, G)` (Alg. 1 l.5–7,
+    /// Alg. 2 l.2–4) followed by the decoder transform.
+    pub fn context(
+        &self,
+        prepared: &PreparedTask,
+        support: &[QueryExample],
+        fctx: &mut ForwardCtx<'_>,
+    ) -> Tensor {
+        assert!(!support.is_empty(), "CGNP requires a non-empty support set");
+        let views: Vec<Tensor> = support
+            .iter()
+            .map(|ex| self.encode_view(prepared, ex, fctx))
+            .collect();
+        let combined = self.commutative.combine(&views);
+        self.decoder.transform(&prepared.gctx, &combined, fctx)
+    }
+
+    /// Membership logits of every node for query `q*` given the decoded
+    /// context (Eq. 17, pre-sigmoid).
+    pub fn logits(&self, transformed_context: &Tensor, q_star: usize) -> Tensor {
+        Decoder::score(transformed_context, q_star)
+    }
+
+    /// Meta-test (Algorithm 2): adapt to the task's support set with zero
+    /// gradient steps and return membership probabilities for `q*`.
+    pub fn predict(&self, prepared: &PreparedTask, q_star: usize, rng: &mut StdRng) -> Vec<f32> {
+        cgnp_tensor::no_grad(|| {
+            let mut fctx = ForwardCtx::eval(rng);
+            let ctx = self.context(prepared, &prepared.task.support, &mut fctx);
+            let probs = self.logits(&ctx, q_star).sigmoid();
+            probs.value().as_slice().to_vec()
+        })
+    }
+
+    /// Multi-query extension (see [`Decoder::score_multi`]): membership
+    /// probabilities for the community containing **all** of `queries`.
+    pub fn predict_multi(
+        &self,
+        prepared: &PreparedTask,
+        queries: &[usize],
+        rng: &mut StdRng,
+    ) -> Vec<f32> {
+        cgnp_tensor::no_grad(|| {
+            let mut fctx = ForwardCtx::eval(rng);
+            let ctx = self.context(prepared, &prepared.task.support, &mut fctx);
+            Decoder::score_multi(&ctx, queries)
+                .sigmoid()
+                .value()
+                .as_slice()
+                .to_vec()
+        })
+    }
+
+    /// Predictions for every target query of a task, sharing one context
+    /// computation (the decisive efficiency property in Fig. 3: adaptation
+    /// is forward-only and the context is reused across queries).
+    pub fn predict_task(&self, prepared: &PreparedTask, rng: &mut StdRng) -> Vec<Vec<f32>> {
+        cgnp_tensor::no_grad(|| {
+            let mut fctx = ForwardCtx::eval(rng);
+            let ctx = self.context(prepared, &prepared.task.support, &mut fctx);
+            prepared
+                .task
+                .targets
+                .iter()
+                .map(|ex| {
+                    self.logits(&ctx, ex.query)
+                        .sigmoid()
+                        .value()
+                        .as_slice()
+                        .to_vec()
+                })
+                .collect()
+        })
+    }
+}
+
+impl Module for Cgnp {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.encoder.params();
+        p.extend(self.commutative.params());
+        p.extend(self.decoder.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CommutativeOp, DecoderKind};
+    use cgnp_data::{sample_task, SbmConfig, TaskConfig};
+
+    fn prepared_task(seed: u64) -> PreparedTask {
+        let ag = cgnp_data::generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
+        let cfg = TaskConfig { subgraph_size: 50, shots: 3, n_targets: 4, ..Default::default() };
+        let task = sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(seed)).expect("task");
+        PreparedTask::new(task)
+    }
+
+    fn model_for(p: &PreparedTask, decoder: DecoderKind, op: CommutativeOp) -> Cgnp {
+        let in_dim = cgnp_data::model_input_dim(&p.task.graph);
+        let cfg = CgnpConfig::paper_default(in_dim, 8)
+            .with_decoder(decoder)
+            .with_commutative(op);
+        Cgnp::new(cfg, 1)
+    }
+
+    #[test]
+    fn predictions_are_probabilities_for_all_variants() {
+        let p = prepared_task(3);
+        for decoder in [DecoderKind::InnerProduct, DecoderKind::Mlp, DecoderKind::Gnn] {
+            for op in [CommutativeOp::Sum, CommutativeOp::Mean, CommutativeOp::SelfAttention] {
+                let model = model_for(&p, decoder, op);
+                let mut rng = StdRng::seed_from_u64(0);
+                let probs = model.predict(&p, p.task.targets[0].query, &mut rng);
+                assert_eq!(probs.len(), p.task.n());
+                assert!(probs.iter().all(|&x| (0.0..=1.0).contains(&x)),
+                    "{decoder:?}/{op:?} produced non-probability");
+            }
+        }
+    }
+
+    #[test]
+    fn predict_task_covers_all_targets() {
+        let p = prepared_task(4);
+        let model = model_for(&p, DecoderKind::InnerProduct, CommutativeOp::Mean);
+        let mut rng = StdRng::seed_from_u64(0);
+        let preds = model.predict_task(&p, &mut rng);
+        assert_eq!(preds.len(), p.task.targets.len());
+        for probs in preds {
+            assert_eq!(probs.len(), p.task.n());
+        }
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let p = prepared_task(5);
+        let model = model_for(&p, DecoderKind::Mlp, CommutativeOp::Mean);
+        let q = p.task.targets[0].query;
+        let a = model.predict(&p, q, &mut StdRng::seed_from_u64(7));
+        let b = model.predict(&p, q, &mut StdRng::seed_from_u64(8));
+        assert_eq!(a, b, "eval-mode predictions must not depend on the RNG");
+    }
+
+    #[test]
+    fn query_node_scores_high_for_itself() {
+        // ⟨H[q], H[q]⟩ = ‖H[q]‖² ≥ 0 ⇒ p(q) ≥ 0.5 for the IP decoder.
+        let p = prepared_task(6);
+        let model = model_for(&p, DecoderKind::InnerProduct, CommutativeOp::Mean);
+        let q = p.task.targets[0].query;
+        let probs = model.predict(&p, q, &mut StdRng::seed_from_u64(0));
+        assert!(probs[q] >= 0.5 - 1e-6);
+    }
+
+    #[test]
+    fn param_registry_covers_all_components() {
+        let p = prepared_task(7);
+        let ip = model_for(&p, DecoderKind::InnerProduct, CommutativeOp::Mean);
+        let mlp = model_for(&p, DecoderKind::Mlp, CommutativeOp::Mean);
+        let att = model_for(&p, DecoderKind::InnerProduct, CommutativeOp::SelfAttention);
+        assert!(mlp.param_count() > ip.param_count(), "decoder params registered");
+        assert!(att.param_count() > ip.param_count(), "attention params registered");
+    }
+
+    #[test]
+    fn multi_query_with_single_query_matches_predict() {
+        let p = prepared_task(9);
+        let model = model_for(&p, DecoderKind::InnerProduct, CommutativeOp::Mean);
+        let q = p.task.targets[0].query;
+        let mut rng = StdRng::seed_from_u64(0);
+        let single = model.predict(&p, q, &mut rng);
+        let multi = model.predict_multi(&p, &[q], &mut rng);
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn multi_query_probabilities_valid() {
+        let p = prepared_task(10);
+        let model = model_for(&p, DecoderKind::Mlp, CommutativeOp::Mean);
+        let qs: Vec<usize> = p.task.targets.iter().take(3).map(|e| e.query).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let probs = model.predict_multi(&p, &qs, &mut rng);
+        assert_eq!(probs.len(), p.task.n());
+        assert!(probs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty support")]
+    fn empty_support_rejected() {
+        let p = prepared_task(8);
+        let model = model_for(&p, DecoderKind::InnerProduct, CommutativeOp::Mean);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut fctx = ForwardCtx::eval(&mut rng);
+        let _ = model.context(&p, &[], &mut fctx);
+    }
+}

@@ -1,0 +1,333 @@
+//! Meta-training (Algorithm 1) and meta-testing (Algorithm 2).
+//!
+//! Training iterates over tasks; for each task the support set is encoded
+//! into a context and the negative log-likelihood of the query set's
+//! labelled samples (Eq. 19 = the BCE of Eq. 3) is minimised by one Adam
+//! step per task. Adaptation at test time is gradient-free: the support
+//! set is simply encoded (Alg. 2).
+
+use cgnp_tensor::{clip_grad_norm, Adam, Optimizer, Reduction, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cgnp_data::Task;
+use cgnp_nn::{ForwardCtx, Module};
+
+use crate::model::{Cgnp, PreparedTask};
+
+/// Per-epoch training statistics.
+#[derive(Clone, Debug, Default)]
+pub struct TrainStats {
+    /// Mean query-set loss per epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+impl TrainStats {
+    pub fn final_loss(&self) -> Option<f32> {
+        self.epoch_losses.last().copied()
+    }
+}
+
+/// Query-set loss of one task given a decoded context (Eq. 19): BCE over
+/// the positive/negative samples of every query in the query set.
+pub fn task_loss(model: &Cgnp, context: &Tensor, task: &Task) -> Tensor {
+    let mut losses = Vec::with_capacity(task.targets.len());
+    for ex in &task.targets {
+        let logits = model.logits(context, ex.query);
+        let mut idx = Vec::with_capacity(ex.pos.len() + ex.neg.len());
+        let mut y = Vec::with_capacity(idx.capacity());
+        for &p in &ex.pos {
+            idx.push(p);
+            y.push(1.0);
+        }
+        for &n in &ex.neg {
+            idx.push(n);
+            y.push(0.0);
+        }
+        losses.push(logits.bce_with_logits_at(&idx, &y, Reduction::Mean));
+    }
+    let mut acc = losses[0].clone();
+    for l in &losses[1..] {
+        acc = acc.add(l);
+    }
+    acc.scale(1.0 / losses.len() as f32)
+}
+
+/// Algorithm 1: trains `model` on `tasks` for `model.config().epochs`
+/// epochs, shuffling tasks per epoch, one gradient step per task.
+pub fn meta_train(model: &Cgnp, tasks: &[PreparedTask], seed: u64) -> TrainStats {
+    assert!(!tasks.is_empty(), "meta_train requires at least one task");
+    let cfg = model.config().clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut opt = Adam::new(model.params(), cfg.lr);
+    let params = model.params();
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    let mut stats = TrainStats::default();
+
+    for _epoch in 0..cfg.epochs {
+        // Shuffle the task set (Alg. 1 line 2).
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut epoch_loss = 0.0f32;
+        for &ti in &order {
+            let prepared = &tasks[ti];
+            opt.zero_grad();
+            let loss = {
+                let mut fctx = ForwardCtx::train(&mut rng);
+                let context = model.context(prepared, &prepared.task.support, &mut fctx);
+                task_loss(model, &context, &prepared.task)
+            };
+            epoch_loss += loss.item();
+            loss.backward();
+            if let Some(max_norm) = cfg.grad_clip {
+                clip_grad_norm(&params, max_norm);
+            }
+            opt.step();
+        }
+        stats.epoch_losses.push(epoch_loss / tasks.len() as f32);
+    }
+    stats
+}
+
+/// Prepares raw tasks for training/inference (graph operators + features).
+pub fn prepare_tasks(tasks: &[Task]) -> Vec<PreparedTask> {
+    tasks.iter().cloned().map(PreparedTask::new).collect()
+}
+
+/// Statistics of a validated training run.
+#[derive(Clone, Debug, Default)]
+pub struct ValidatedTrainStats {
+    pub epoch_losses: Vec<f32>,
+    /// Mean validation loss per epoch.
+    pub valid_losses: Vec<f32>,
+    /// Epoch index whose weights were kept (best validation loss).
+    pub best_epoch: usize,
+}
+
+/// Algorithm 1 with early model selection: trains like [`meta_train`] but
+/// evaluates the validation tasks after every epoch and restores the
+/// weights of the best-validating epoch at the end (the role of the
+/// paper's 50 validation tasks, §VII-A).
+pub fn meta_train_validated(
+    model: &Cgnp,
+    train: &[PreparedTask],
+    valid: &[PreparedTask],
+    seed: u64,
+) -> ValidatedTrainStats {
+    assert!(!train.is_empty(), "meta_train requires at least one task");
+    if valid.is_empty() {
+        let stats = meta_train(model, train, seed);
+        let n = stats.epoch_losses.len();
+        return ValidatedTrainStats {
+            epoch_losses: stats.epoch_losses,
+            valid_losses: Vec::new(),
+            best_epoch: n.saturating_sub(1),
+        };
+    }
+    let cfg = model.config().clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut opt = Adam::new(model.params(), cfg.lr);
+    let params = model.params();
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut stats = ValidatedTrainStats::default();
+    let mut best: Option<(f32, Vec<cgnp_tensor::Matrix>)> = None;
+
+    for epoch in 0..cfg.epochs {
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut epoch_loss = 0.0f32;
+        for &ti in &order {
+            let prepared = &train[ti];
+            opt.zero_grad();
+            let loss = {
+                let mut fctx = ForwardCtx::train(&mut rng);
+                let context = model.context(prepared, &prepared.task.support, &mut fctx);
+                task_loss(model, &context, &prepared.task)
+            };
+            epoch_loss += loss.item();
+            loss.backward();
+            if let Some(max_norm) = cfg.grad_clip {
+                clip_grad_norm(&params, max_norm);
+            }
+            opt.step();
+        }
+        stats.epoch_losses.push(epoch_loss / train.len() as f32);
+
+        let vloss = validation_loss(model, valid, &mut rng);
+        stats.valid_losses.push(vloss);
+        if best.as_ref().is_none_or(|(b, _)| vloss < *b) {
+            best = Some((vloss, model.export_weights()));
+            stats.best_epoch = epoch;
+        }
+    }
+    if let Some((_, weights)) = best {
+        model.import_weights(&weights);
+    }
+    stats
+}
+
+/// Mean query-set loss over the validation tasks (no tape, eval mode).
+pub fn validation_loss(model: &Cgnp, valid: &[PreparedTask], rng: &mut StdRng) -> f32 {
+    if valid.is_empty() {
+        return f32::NAN;
+    }
+    cgnp_tensor::no_grad(|| {
+        let mut total = 0.0f32;
+        for prepared in valid {
+            let mut fctx = ForwardCtx::eval(rng);
+            let context = model.context(prepared, &prepared.task.support, &mut fctx);
+            total += task_loss(model, &context, &prepared.task).item();
+        }
+        total / valid.len() as f32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CgnpConfig, CommutativeOp, DecoderKind};
+    use cgnp_data::{
+        generate_sbm, model_input_dim, sample_task, SbmConfig, TaskConfig,
+    };
+
+    fn tiny_tasks(n_tasks: usize, seed: u64) -> Vec<PreparedTask> {
+        let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
+        let cfg = TaskConfig {
+            subgraph_size: 40,
+            shots: 2,
+            n_targets: 4,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n_tasks)
+            .map(|_| PreparedTask::new(sample_task(&ag, &cfg, None, &mut rng).expect("task")))
+            .collect()
+    }
+
+    fn small_model(tasks: &[PreparedTask], epochs: usize) -> Cgnp {
+        let in_dim = model_input_dim(&tasks[0].task.graph);
+        let mut cfg = CgnpConfig::paper_default(in_dim, 16)
+            .with_decoder(DecoderKind::InnerProduct)
+            .with_commutative(CommutativeOp::Mean)
+            .with_epochs(epochs);
+        // Tiny-scale test models learn faster with a larger step size.
+        cfg.lr = 5e-3;
+        Cgnp::new(cfg, 42)
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let tasks = tiny_tasks(4, 1);
+        let model = small_model(&tasks, 30);
+        let stats = meta_train(&model, &tasks, 0);
+        assert_eq!(stats.epoch_losses.len(), 30);
+        let first = stats.epoch_losses[0];
+        let last = stats.final_loss().unwrap();
+        assert!(
+            last < first * 0.9,
+            "loss should drop by ≥10%: first {first}, last {last}"
+        );
+        assert!(last.is_finite());
+    }
+
+    #[test]
+    fn training_improves_target_separation() {
+        // After training, positive-sample probabilities should exceed
+        // negative-sample probabilities on a held-out task from the same
+        // generator.
+        let tasks = tiny_tasks(9, 2);
+        let (train, test) = tasks.split_at(8);
+        let model = small_model(train, 60);
+        meta_train(&model, train, 0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = &test[0];
+        let mut pos_mean = 0.0f32;
+        let mut neg_mean = 0.0f32;
+        let mut n_pos = 0usize;
+        let mut n_neg = 0usize;
+        for ex in &p.task.targets {
+            let probs = model.predict(p, ex.query, &mut rng);
+            for (v, &t) in probs.iter().zip(ex.truth.iter()) {
+                if t {
+                    pos_mean += v;
+                    n_pos += 1;
+                } else {
+                    neg_mean += v;
+                    n_neg += 1;
+                }
+            }
+        }
+        pos_mean /= n_pos as f32;
+        neg_mean /= n_neg as f32;
+        assert!(
+            pos_mean > neg_mean + 0.03,
+            "community members should score higher: pos {pos_mean:.3} vs neg {neg_mean:.3}"
+        );
+    }
+
+    #[test]
+    fn task_loss_is_finite_and_positive() {
+        let tasks = tiny_tasks(1, 3);
+        let model = small_model(&tasks, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut fctx = ForwardCtx::eval(&mut rng);
+        let ctx = model.context(&tasks[0], &tasks[0].task.support, &mut fctx);
+        let loss = task_loss(&model, &ctx, &tasks[0].task);
+        assert!(loss.item() > 0.0);
+        assert!(loss.item().is_finite());
+    }
+
+    #[test]
+    fn training_is_deterministic_for_fixed_seeds() {
+        let tasks = tiny_tasks(3, 4);
+        let run = || {
+            let model = small_model(&tasks, 5);
+            meta_train(&model, &tasks, 11).epoch_losses
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn empty_task_set_rejected() {
+        let tasks = tiny_tasks(1, 5);
+        let model = small_model(&tasks, 1);
+        let _ = meta_train(&model, &[], 0);
+    }
+
+    #[test]
+    fn validated_training_restores_best_epoch() {
+        let tasks = tiny_tasks(6, 6);
+        let (train, valid) = tasks.split_at(4);
+        let model = small_model(train, 12);
+        let stats = super::meta_train_validated(&model, train, valid, 3);
+        assert_eq!(stats.epoch_losses.len(), 12);
+        assert_eq!(stats.valid_losses.len(), 12);
+        assert!(stats.best_epoch < 12);
+        // The restored weights reproduce the recorded best validation loss.
+        let mut rng = StdRng::seed_from_u64(99);
+        let restored = super::validation_loss(&model, valid, &mut rng);
+        let best = stats.valid_losses[stats.best_epoch];
+        assert!(
+            (restored - best).abs() < 0.15 * best.abs().max(1e-3) + 0.05,
+            "restored {restored} vs best recorded {best}"
+        );
+        // And the best epoch really had the minimum validation loss.
+        let min = stats.valid_losses.iter().cloned().fold(f32::MAX, f32::min);
+        assert_eq!(stats.valid_losses[stats.best_epoch], min);
+    }
+
+    #[test]
+    fn validated_training_without_valid_falls_back() {
+        let tasks = tiny_tasks(2, 7);
+        let model = small_model(&tasks, 3);
+        let stats = super::meta_train_validated(&model, &tasks, &[], 0);
+        assert_eq!(stats.epoch_losses.len(), 3);
+        assert!(stats.valid_losses.is_empty());
+        assert_eq!(stats.best_epoch, 2);
+    }
+}

@@ -1,0 +1,543 @@
+//! CS task construction (§III and §VII-A).
+//!
+//! A task is a triplet `T = (G, Q, L)`: a subgraph, query nodes, and per
+//! query partial ground truth (positive/negative sample nodes). Tasks are
+//! built in the paper's four configurations:
+//!
+//! * **SGSC** — single graph, shared communities: train/test tasks are BFS
+//!   subgraphs of one graph; queries may come from the same communities.
+//! * **SGDC** — single graph, disjoint communities: community ids are
+//!   partitioned so train and test queries never share a community.
+//! * **MGOD** — multiple graphs, one domain: each Facebook ego-network is a
+//!   task (6 train / 2 valid / 2 test).
+//! * **MGDD** — multiple graphs, different domains: train tasks from one
+//!   dataset, valid/test tasks from another (Cite2Cora).
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cgnp_graph::AttributedGraph;
+use cgnp_graph::algo::bfs_sample;
+
+/// One labelled query: the query node, its sampled positive/negative ground
+/// truth, and the full membership mask used for evaluation only.
+#[derive(Clone, Debug)]
+pub struct QueryExample {
+    /// Query node id within the task graph.
+    pub query: usize,
+    /// Positive sample nodes (`l⁺_q ⊂ C_q`), excluding the query itself.
+    pub pos: Vec<usize>,
+    /// Negative sample nodes (`l⁻_q ⊂ V ∖ C_q`).
+    pub neg: Vec<usize>,
+    /// Full ground-truth membership of `C_q` over the task graph
+    /// (evaluation only — never shown to models at adaptation time).
+    pub truth: Vec<bool>,
+}
+
+impl QueryExample {
+    /// Community size in the task graph.
+    pub fn community_size(&self) -> usize {
+        self.truth.iter().filter(|&&b| b).count()
+    }
+
+    /// Indices + binary targets of the labelled samples (query included as
+    /// a positive, per the close-world identifier of Eq. 13).
+    pub fn labelled_samples(&self) -> (Vec<usize>, Vec<f32>) {
+        let mut idx = Vec::with_capacity(1 + self.pos.len() + self.neg.len());
+        let mut y = Vec::with_capacity(idx.capacity());
+        idx.push(self.query);
+        y.push(1.0);
+        for &p in &self.pos {
+            idx.push(p);
+            y.push(1.0);
+        }
+        for &n in &self.neg {
+            idx.push(n);
+            y.push(0.0);
+        }
+        (idx, y)
+    }
+}
+
+/// A community-search task.
+#[derive(Clone, Debug)]
+pub struct Task {
+    /// The task (sub)graph; community ids are global to the source dataset.
+    pub graph: AttributedGraph,
+    /// Support set `S`: the few-shot labelled queries given at adaptation.
+    pub support: Vec<QueryExample>,
+    /// Query set `Q`: the queries to answer; labels used for training loss
+    /// (train tasks) or evaluation (test tasks).
+    pub targets: Vec<QueryExample>,
+}
+
+impl Task {
+    /// Number of nodes of the task graph.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Shots = support-set size.
+    pub fn shots(&self) -> usize {
+        self.support.len()
+    }
+
+    /// Support and target examples chained.
+    pub fn all_examples(&self) -> impl Iterator<Item = &QueryExample> {
+        self.support.iter().chain(self.targets.iter())
+    }
+}
+
+/// The four task configurations of §VII-A.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    Sgsc,
+    Sgdc,
+    Mgod,
+    Mgdd,
+}
+
+impl std::fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskKind::Sgsc => write!(f, "SGSC"),
+            TaskKind::Sgdc => write!(f, "SGDC"),
+            TaskKind::Mgod => write!(f, "MGOD"),
+            TaskKind::Mgdd => write!(f, "MGDD"),
+        }
+    }
+}
+
+/// Task sampling parameters (§VII-A defaults).
+#[derive(Clone, Debug)]
+pub struct TaskConfig {
+    /// BFS subgraph size (paper: 200).
+    pub subgraph_size: usize,
+    /// Support-set size: 1-shot or 5-shot.
+    pub shots: usize,
+    /// Query-set size (paper: 30).
+    pub n_targets: usize,
+    /// Positive samples per query (paper: 5).
+    pub pos_per_query: usize,
+    /// Negative samples per query (paper: 10).
+    pub neg_per_query: usize,
+    /// Fig. 5 override: `(pos_ratio, neg_ratio)` as fractions of the query
+    /// community size in the task graph; replaces the absolute counts.
+    pub sample_ratios: Option<(f32, f32)>,
+}
+
+impl Default for TaskConfig {
+    fn default() -> Self {
+        Self {
+            subgraph_size: 200,
+            shots: 1,
+            n_targets: 30,
+            pos_per_query: 5,
+            neg_per_query: 10,
+            sample_ratios: None,
+        }
+    }
+}
+
+impl TaskConfig {
+    pub fn with_shots(mut self, shots: usize) -> Self {
+        self.shots = shots;
+        self
+    }
+}
+
+/// A train/valid/test split of tasks.
+#[derive(Clone, Debug)]
+pub struct TaskSet {
+    pub kind: TaskKind,
+    pub train: Vec<Task>,
+    pub valid: Vec<Task>,
+    pub test: Vec<Task>,
+}
+
+const MAX_ATTEMPTS_PER_TASK: usize = 60;
+
+/// Samples one task from `ag`. `allowed` restricts which (global) community
+/// ids query nodes may come from; `None` allows all.
+pub fn sample_task(
+    ag: &AttributedGraph,
+    cfg: &TaskConfig,
+    allowed: Option<&HashSet<u32>>,
+    rng: &mut StdRng,
+) -> Option<Task> {
+    for _ in 0..MAX_ATTEMPTS_PER_TASK {
+        let start = rng.gen_range(0..ag.n());
+        let nodes = bfs_sample(ag.graph(), start, cfg.subgraph_size, rng);
+        if nodes.len() < cfg.subgraph_size.min(ag.n()) / 2 {
+            continue; // tiny component — resample
+        }
+        let (sub, _) = ag.induced_subgraph(&nodes);
+        if let Some(task) = draw_queries(&sub, cfg, allowed, rng) {
+            return Some(task);
+        }
+    }
+    None
+}
+
+/// Builds a task on a fixed graph (used for the Facebook ego-nets, where
+/// the whole ego-network is the task graph).
+pub fn task_on_whole_graph(
+    ag: &AttributedGraph,
+    cfg: &TaskConfig,
+    rng: &mut StdRng,
+) -> Option<Task> {
+    for _ in 0..MAX_ATTEMPTS_PER_TASK {
+        if let Some(task) = draw_queries(ag, cfg, None, rng) {
+            return Some(task);
+        }
+    }
+    None
+}
+
+fn draw_queries(
+    sub: &AttributedGraph,
+    cfg: &TaskConfig,
+    allowed: Option<&HashSet<u32>>,
+    rng: &mut StdRng,
+) -> Option<Task> {
+    let n = sub.n();
+    let need = cfg.shots + cfg.n_targets;
+    // A node qualifies if its (allowed) ground-truth community inside the
+    // subgraph is non-trivial and leaves room for negative samples.
+    let mut candidates: Vec<usize> = (0..n)
+        .filter(|&v| {
+            let truth = truth_mask(sub, v, allowed);
+            let size = truth.iter().filter(|&&b| b).count();
+            size >= 3 && size + 3 <= n
+        })
+        .collect();
+    if candidates.len() < need {
+        return None;
+    }
+    // Sample `need` distinct query nodes.
+    for i in (1..candidates.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        candidates.swap(i, j);
+    }
+    candidates.truncate(need);
+
+    let mut examples = Vec::with_capacity(need);
+    for &q in &candidates {
+        examples.push(build_example(sub, q, cfg, allowed, rng));
+    }
+    let targets = examples.split_off(cfg.shots);
+    Some(Task { graph: sub.clone(), support: examples, targets })
+}
+
+fn truth_mask(sub: &AttributedGraph, q: usize, allowed: Option<&HashSet<u32>>) -> Vec<bool> {
+    match allowed {
+        None => sub.query_community_mask(q),
+        Some(set) => {
+            let mut mask = vec![false; sub.n()];
+            for &cid in sub.communities_of(q) {
+                if set.contains(&cid) {
+                    for &v in sub.community_members(cid as usize) {
+                        mask[v as usize] = true;
+                    }
+                }
+            }
+            mask
+        }
+    }
+}
+
+fn build_example(
+    sub: &AttributedGraph,
+    q: usize,
+    cfg: &TaskConfig,
+    allowed: Option<&HashSet<u32>>,
+    rng: &mut StdRng,
+) -> QueryExample {
+    let truth = truth_mask(sub, q, allowed);
+    let comm_size = truth.iter().filter(|&&b| b).count();
+    let (n_pos, n_neg) = match cfg.sample_ratios {
+        Some((rp, rn)) => (
+            ((rp * comm_size as f32).round() as usize).max(1),
+            ((rn * comm_size as f32).round() as usize).max(1),
+        ),
+        None => (cfg.pos_per_query, cfg.neg_per_query),
+    };
+    let mut pos_pool: Vec<usize> =
+        (0..sub.n()).filter(|&v| truth[v] && v != q).collect();
+    let mut neg_pool: Vec<usize> = (0..sub.n()).filter(|&v| !truth[v]).collect();
+    let pos = sample_without_replacement(&mut pos_pool, n_pos, rng);
+    let neg = sample_without_replacement(&mut neg_pool, n_neg, rng);
+    QueryExample { query: q, pos, neg, truth }
+}
+
+fn sample_without_replacement(
+    pool: &mut [usize],
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let k = k.min(pool.len());
+    for i in 0..k {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool[..k].to_vec()
+}
+
+/// SGSC / SGDC task sets over one graph. `counts = (train, valid, test)`.
+pub fn single_graph_tasks(
+    ag: &AttributedGraph,
+    kind: TaskKind,
+    cfg: &TaskConfig,
+    counts: (usize, usize, usize),
+    seed: u64,
+) -> TaskSet {
+    assert!(
+        kind == TaskKind::Sgsc || kind == TaskKind::Sgdc,
+        "single_graph_tasks handles SGSC/SGDC only"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (train_allowed, test_allowed): (Option<HashSet<u32>>, Option<HashSet<u32>>) =
+        if kind == TaskKind::Sgdc {
+            // Partition community ids so C_q(train) ∩ C_q(test) = ∅.
+            let mut ids: Vec<u32> = (0..ag.n_communities() as u32).collect();
+            for i in (1..ids.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                ids.swap(i, j);
+            }
+            let half = ids.len() / 2;
+            let test: HashSet<u32> = ids[..half].iter().copied().collect();
+            let train: HashSet<u32> = ids[half..].iter().copied().collect();
+            (Some(train), Some(test))
+        } else {
+            (None, None)
+        };
+
+    let take = |count: usize, allowed: Option<&HashSet<u32>>, rng: &mut StdRng| {
+        let mut out = Vec::with_capacity(count);
+        let mut failures = 0usize;
+        while out.len() < count && failures < 4 * count + 20 {
+            match sample_task(ag, cfg, allowed, rng) {
+                Some(t) => out.push(t),
+                None => failures += 1,
+            }
+        }
+        out
+    };
+
+    let train = take(counts.0, train_allowed.as_ref(), &mut rng);
+    let valid = take(counts.1, test_allowed.as_ref(), &mut rng);
+    let test = take(counts.2, test_allowed.as_ref(), &mut rng);
+    TaskSet { kind, train, valid, test }
+}
+
+/// MGOD: each Facebook ego-network becomes one task; 6 train / 2 valid /
+/// 2 test (paper §VII-A).
+pub fn mgod_tasks(egos: &[AttributedGraph], cfg: &TaskConfig, seed: u64) -> TaskSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..egos.len()).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut tasks: Vec<Task> = Vec::new();
+    for &i in &order {
+        if let Some(t) = task_on_whole_graph(&egos[i], cfg, &mut rng) {
+            tasks.push(t);
+        }
+    }
+    // Paper split over 10 egos: 6 train / 2 valid / 2 test → 1/5 each for
+    // valid and test, with at least one test task and one train task.
+    let n = tasks.len();
+    let n_test = (n / 5).max(1).min(n.saturating_sub(1));
+    let n_valid = (n / 5).min(n.saturating_sub(n_test + 1));
+    let test = tasks.split_off(n - n_test);
+    let valid = tasks.split_off(tasks.len() - n_valid);
+    TaskSet { kind: TaskKind::Mgod, train: tasks, valid, test }
+}
+
+/// MGDD: train tasks from `train_graph`, valid/test tasks from
+/// `test_graph` (the paper's Cite2Cora).
+pub fn mgdd_tasks(
+    train_graph: &AttributedGraph,
+    test_graph: &AttributedGraph,
+    cfg: &TaskConfig,
+    counts: (usize, usize, usize),
+    seed: u64,
+) -> TaskSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let take = |g: &AttributedGraph, count: usize, rng: &mut StdRng| {
+        let mut out = Vec::with_capacity(count);
+        let mut failures = 0usize;
+        while out.len() < count && failures < 4 * count + 20 {
+            match sample_task(g, cfg, None, rng) {
+                Some(t) => out.push(t),
+                None => failures += 1,
+            }
+        }
+        out
+    };
+    let train = take(train_graph, counts.0, &mut rng);
+    let valid = take(test_graph, counts.1, &mut rng);
+    let test = take(test_graph, counts.2, &mut rng);
+    TaskSet { kind: TaskKind::Mgdd, train, valid, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{load_dataset, DatasetId, Scale};
+    use crate::synthetic::{generate_sbm, SbmConfig};
+
+    fn small_graph() -> AttributedGraph {
+        generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(0))
+    }
+
+    #[test]
+    fn sampled_task_respects_config() {
+        let ag = small_graph();
+        let cfg = TaskConfig { subgraph_size: 60, shots: 2, n_targets: 5, ..Default::default() };
+        let t = sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(1)).expect("task");
+        assert_eq!(t.shots(), 2);
+        assert_eq!(t.targets.len(), 5);
+        assert!(t.n() <= 60);
+        for ex in t.all_examples() {
+            assert!(ex.query < t.n());
+            assert!(ex.pos.len() <= cfg.pos_per_query);
+            assert!(!ex.pos.is_empty());
+            assert_eq!(ex.neg.len(), cfg.neg_per_query);
+            // Positives are truly in the community, negatives out.
+            for &p in &ex.pos {
+                assert!(ex.truth[p]);
+                assert_ne!(p, ex.query);
+            }
+            for &n in &ex.neg {
+                assert!(!ex.truth[n]);
+            }
+            assert!(ex.truth[ex.query], "query belongs to its own community");
+        }
+    }
+
+    #[test]
+    fn query_nodes_are_distinct() {
+        let ag = small_graph();
+        let cfg = TaskConfig { subgraph_size: 80, shots: 3, n_targets: 8, ..Default::default() };
+        let t = sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(2)).expect("task");
+        let mut qs: Vec<usize> = t.all_examples().map(|e| e.query).collect();
+        let before = qs.len();
+        qs.sort_unstable();
+        qs.dedup();
+        assert_eq!(qs.len(), before);
+    }
+
+    #[test]
+    fn labelled_samples_include_query_positive() {
+        let ag = small_graph();
+        let cfg = TaskConfig { subgraph_size: 60, shots: 1, n_targets: 3, ..Default::default() };
+        let t = sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(3)).expect("task");
+        let ex = &t.support[0];
+        let (idx, y) = ex.labelled_samples();
+        assert_eq!(idx[0], ex.query);
+        assert_eq!(y[0], 1.0);
+        assert_eq!(idx.len(), 1 + ex.pos.len() + ex.neg.len());
+    }
+
+    #[test]
+    fn sgdc_train_test_communities_disjoint() {
+        // Use a non-overlapping SBM so every query node has exactly one
+        // community, making disjointness exactly checkable.
+        let mut sbm = SbmConfig::small_test();
+        sbm.overlap = 0.0;
+        let ag = generate_sbm(&sbm, &mut StdRng::seed_from_u64(40));
+        let cfg = TaskConfig { subgraph_size: 60, shots: 1, n_targets: 4, ..Default::default() };
+        let ts = single_graph_tasks(&ag, TaskKind::Sgdc, &cfg, (4, 1, 3), 7);
+        assert!(!ts.train.is_empty() && !ts.test.is_empty());
+        let comm_ids = |tasks: &[Task]| -> HashSet<u32> {
+            tasks
+                .iter()
+                .flat_map(|t| {
+                    t.all_examples()
+                        .map(|ex| t.graph.communities_of(ex.query)[0])
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        let train_comms = comm_ids(&ts.train);
+        let test_comms = comm_ids(&ts.test);
+        let overlap: Vec<_> = train_comms.intersection(&test_comms).collect();
+        assert!(
+            overlap.is_empty(),
+            "train/test share communities: {overlap:?}"
+        );
+    }
+
+    #[test]
+    fn sgsc_tasks_generate() {
+        let ag = small_graph();
+        let cfg = TaskConfig { subgraph_size: 60, shots: 5, n_targets: 6, ..Default::default() };
+        let ts = single_graph_tasks(&ag, TaskKind::Sgsc, &cfg, (3, 1, 2), 8);
+        assert_eq!(ts.train.len(), 3);
+        assert_eq!(ts.test.len(), 2);
+        assert_eq!(ts.kind, TaskKind::Sgsc);
+        for t in &ts.train {
+            assert_eq!(t.shots(), 5);
+        }
+    }
+
+    #[test]
+    fn mgod_uses_whole_ego_networks() {
+        let ds = load_dataset(DatasetId::Facebook, Scale::Smoke, 4);
+        let cfg = TaskConfig { shots: 1, n_targets: 5, ..Default::default() };
+        let ts = mgod_tasks(&ds.graphs, &cfg, 5);
+        let total = ts.train.len() + ts.valid.len() + ts.test.len();
+        assert!(total >= 8, "most egos should yield tasks, got {total}");
+        assert!(!ts.test.is_empty());
+        assert!(!ts.train.is_empty());
+        // Task graphs are full ego networks, not 200-node BFS samples.
+        let ego_sizes: Vec<usize> = ds.graphs.iter().map(|g| g.n()).collect();
+        for t in ts.train.iter().chain(&ts.test) {
+            assert!(ego_sizes.contains(&t.n()));
+        }
+    }
+
+    #[test]
+    fn mgdd_tasks_from_two_graphs() {
+        let a = small_graph();
+        let b = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(99));
+        let cfg = TaskConfig { subgraph_size: 50, shots: 1, n_targets: 4, ..Default::default() };
+        let ts = mgdd_tasks(&a, &b, &cfg, (4, 1, 2), 6);
+        assert_eq!(ts.kind, TaskKind::Mgdd);
+        assert_eq!(ts.train.len(), 4);
+        assert_eq!(ts.test.len(), 2);
+    }
+
+    #[test]
+    fn ratio_override_scales_samples() {
+        let ag = small_graph();
+        let cfg = TaskConfig {
+            subgraph_size: 80,
+            shots: 1,
+            n_targets: 3,
+            sample_ratios: Some((0.5, 1.0)),
+            ..Default::default()
+        };
+        let t = sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(12)).expect("task");
+        for ex in t.all_examples() {
+            let cs = ex.community_size();
+            // pos ≈ cs/2 (capped by pool), neg ≈ cs.
+            assert!(ex.pos.len() >= (cs / 2).saturating_sub(2).min(cs - 1));
+            assert!(ex.neg.len() >= cs.min(t.n() - cs) / 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_task_sets() {
+        let ag = small_graph();
+        let cfg = TaskConfig { subgraph_size: 50, shots: 1, n_targets: 3, ..Default::default() };
+        let a = single_graph_tasks(&ag, TaskKind::Sgsc, &cfg, (2, 0, 1), 11);
+        let b = single_graph_tasks(&ag, TaskKind::Sgsc, &cfg, (2, 0, 1), 11);
+        assert_eq!(a.train[0].support[0].query, b.train[0].support[0].query);
+        assert_eq!(a.test[0].targets[1].pos, b.test[0].targets[1].pos);
+    }
+}

@@ -1,0 +1,298 @@
+//! `cgnp` — command-line interface to the CGNP community-search library.
+//!
+//! ```text
+//! cgnp datasets
+//!     List the dataset surrogates (paper Table I vs generated).
+//!
+//! cgnp train --dataset citeseer [--kind sgsc|sgdc] [--shots N] [--scale S]
+//!            [--seed N] [--decoder ip|mlp|gnn] [--out model.json]
+//!     Meta-train a CGNP model (with validation-based model selection)
+//!     and optionally save a checkpoint.
+//!
+//! cgnp evaluate --dataset citeseer [--kind ...] [--shots N] [--scale S]
+//!               [--seed N] [--model model.json]
+//!     Evaluate a (fresh or checkpointed) CGNP model on held-out tasks.
+//! ```
+
+use std::collections::HashMap;
+
+use cgnp_core::{meta_train_validated, prepare_tasks, Cgnp, DecoderKind};
+use cgnp_data::{load_dataset, model_input_dim, DatasetId, Scale};
+use cgnp_eval::{
+    build_single_graph_tasks, load_from_file, save_to_file, Metrics, ScaleSettings, TaskKind,
+    TextTable,
+};
+use cgnp_nn::Module;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("usage: cgnp <datasets|train|evaluate> [flags]; see --help");
+        std::process::exit(2);
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match command.as_str() {
+        "datasets" => cmd_datasets(&flags),
+        "train" => cmd_train(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        "--help" | "help" => {
+            println!("subcommands: datasets | train | evaluate");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Parses `--key value` pairs.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got {key:?}"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn parse_dataset(s: &str) -> Result<DatasetId, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "cora" => Ok(DatasetId::Cora),
+        "citeseer" => Ok(DatasetId::Citeseer),
+        "arxiv" => Ok(DatasetId::Arxiv),
+        "dblp" => Ok(DatasetId::Dblp),
+        "reddit" => Ok(DatasetId::Reddit),
+        "facebook" => Ok(DatasetId::Facebook),
+        other => Err(format!("unknown dataset {other:?}")),
+    }
+}
+
+fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "smoke" => Ok(Scale::Smoke),
+        "quick" => Ok(Scale::Quick),
+        "full" => Ok(Scale::Full),
+        "paper" => Ok(Scale::Paper),
+        other => Err(format!("unknown scale {other:?}")),
+    }
+}
+
+fn parse_kind(s: &str) -> Result<TaskKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "sgsc" => Ok(TaskKind::Sgsc),
+        "sgdc" => Ok(TaskKind::Sgdc),
+        other => Err(format!("unknown task kind {other:?} (sgsc|sgdc)")),
+    }
+}
+
+fn parse_decoder(s: &str) -> Result<DecoderKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "ip" => Ok(DecoderKind::InnerProduct),
+        "mlp" => Ok(DecoderKind::Mlp),
+        "gnn" => Ok(DecoderKind::Gnn),
+        other => Err(format!("unknown decoder {other:?} (ip|mlp|gnn)")),
+    }
+}
+
+struct CommonArgs {
+    dataset: DatasetId,
+    kind: TaskKind,
+    shots: usize,
+    seed: u64,
+    settings: ScaleSettings,
+    decoder: DecoderKind,
+}
+
+fn common_args(flags: &HashMap<String, String>) -> Result<CommonArgs, String> {
+    let dataset = parse_dataset(flags.get("dataset").map(String::as_str).unwrap_or("citeseer"))?;
+    if dataset == DatasetId::Facebook {
+        return Err("the CLI drives single-graph tasks; use the ego_networks example for MGOD".into());
+    }
+    let kind = parse_kind(flags.get("kind").map(String::as_str).unwrap_or("sgsc"))?;
+    let shots: usize = flags
+        .get("shots")
+        .map(String::as_str)
+        .unwrap_or("5")
+        .parse()
+        .map_err(|e| format!("bad --shots: {e}"))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(String::as_str)
+        .unwrap_or("42")
+        .parse()
+        .map_err(|e| format!("bad --seed: {e}"))?;
+    let scale = parse_scale(flags.get("scale").map(String::as_str).unwrap_or("quick"))?;
+    let decoder = parse_decoder(flags.get("decoder").map(String::as_str).unwrap_or("ip"))?;
+    Ok(CommonArgs {
+        dataset,
+        kind,
+        shots,
+        seed,
+        settings: ScaleSettings::for_scale(scale),
+        decoder,
+    })
+}
+
+fn cmd_datasets(flags: &HashMap<String, String>) -> Result<(), String> {
+    let scale = parse_scale(flags.get("scale").map(String::as_str).unwrap_or("quick"))?;
+    let mut table = TextTable::new(vec![
+        "Dataset", "paper |V|", "paper |E|", "surrogate |V|", "surrogate |E|", "|C|", "attrs",
+    ]);
+    for id in DatasetId::ALL {
+        let ds = load_dataset(id, scale, 42);
+        let (n, m, c) = ds
+            .graphs
+            .iter()
+            .fold((0, 0, 0), |(n, m, c), g| (n + g.n(), m + g.m(), c + g.n_communities()));
+        table.push_row(vec![
+            id.name().to_string(),
+            ds.paper.nodes.to_string(),
+            ds.paper.edges.to_string(),
+            n.to_string(),
+            m.to_string(),
+            c.to_string(),
+            ds.paper.attrs.map_or("-".into(), |a| a.to_string()),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let args = common_args(flags)?;
+    let tasks = build_single_graph_tasks(args.dataset, args.kind, args.shots, &args.settings, args.seed);
+    if tasks.train.is_empty() {
+        return Err("task sampling produced no training tasks".into());
+    }
+    println!(
+        "{} {} {}-shot: {} train / {} valid tasks",
+        args.dataset.name(),
+        args.kind,
+        args.shots,
+        tasks.train.len(),
+        tasks.valid.len()
+    );
+    let train = prepare_tasks(&tasks.train);
+    let valid = prepare_tasks(&tasks.valid);
+    let cfg = args
+        .settings
+        .cgnp_template()
+        .with_decoder(args.decoder);
+    let mut cfg = cfg;
+    cfg.encoder.in_dim = model_input_dim(&tasks.train[0].graph);
+    let model = Cgnp::new(cfg, args.seed);
+    let stats = meta_train_validated(&model, &train, &valid, args.seed);
+    println!(
+        "trained {} epochs; best validation epoch {} (valid loss {:.4})",
+        stats.epoch_losses.len(),
+        stats.best_epoch,
+        stats
+            .valid_losses
+            .get(stats.best_epoch)
+            .copied()
+            .unwrap_or(f32::NAN)
+    );
+    if let Some(path) = flags.get("out") {
+        save_to_file(&model, path).map_err(|e| format!("saving checkpoint: {e}"))?;
+        println!("checkpoint written to {path} ({} parameters)", model.param_count());
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let args = common_args(flags)?;
+    let tasks = build_single_graph_tasks(args.dataset, args.kind, args.shots, &args.settings, args.seed);
+    if tasks.test.is_empty() {
+        return Err("task sampling produced no test tasks".into());
+    }
+    let test = prepare_tasks(&tasks.test);
+    let mut cfg = args.settings.cgnp_template().with_decoder(args.decoder);
+    cfg.encoder.in_dim = model_input_dim(&tasks.test[0].graph);
+    let model = Cgnp::new(cfg, args.seed);
+    match flags.get("model") {
+        Some(path) => {
+            load_from_file(&model, path).map_err(|e| format!("loading checkpoint: {e}"))?;
+            println!("loaded checkpoint {path}");
+        }
+        None => println!("note: evaluating an untrained model (pass --model to load weights)"),
+    }
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut per_query = Vec::new();
+    for p in &test {
+        for (ex, probs) in p.task.targets.iter().zip(model.predict_task(p, &mut rng)) {
+            per_query.push(Metrics::from_probs(&probs, &ex.truth, 0.5));
+        }
+    }
+    let avg = Metrics::macro_average(&per_query);
+    println!(
+        "{} queries on {} test tasks:\n  accuracy {:.4}  precision {:.4}  recall {:.4}  F1 {:.4}",
+        per_query.len(),
+        test.len(),
+        avg.accuracy,
+        avg.precision,
+        avg.recall,
+        avg.f1
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--dataset", "cora", "--shots", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let flags = parse_flags(&args).unwrap();
+        assert_eq!(flags["dataset"], "cora");
+        assert_eq!(flags["shots"], "5");
+        assert!(parse_flags(&["--lonely".to_string()]).is_err());
+        assert!(parse_flags(&["positional".to_string()]).is_err());
+    }
+
+    #[test]
+    fn enum_parsing() {
+        assert_eq!(parse_dataset("Reddit").unwrap(), DatasetId::Reddit);
+        assert!(parse_dataset("imaginary").is_err());
+        assert_eq!(parse_kind("SGDC").unwrap(), TaskKind::Sgdc);
+        assert!(parse_kind("mgod").is_err());
+        assert_eq!(parse_decoder("mlp").unwrap(), DecoderKind::Mlp);
+        assert!(parse_scale("huge").is_err());
+    }
+
+    #[test]
+    fn common_args_defaults() {
+        let flags = HashMap::new();
+        let args = common_args(&flags).unwrap();
+        assert_eq!(args.dataset, DatasetId::Citeseer);
+        assert_eq!(args.shots, 5);
+        assert_eq!(args.seed, 42);
+        assert_eq!(args.decoder, DecoderKind::InnerProduct);
+    }
+
+    #[test]
+    fn facebook_rejected_for_single_graph_cli() {
+        let mut flags = HashMap::new();
+        flags.insert("dataset".to_string(), "facebook".to_string());
+        assert!(common_args(&flags).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Model checkpointing: serialise any [`cgnp_nn::Module`]'s weights to
+//! JSON and restore them, so meta-trained models can be reused across
+//! processes (the library-adoption path: train once, answer queries many
+//! times).
+
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use cgnp_nn::Module;
+use cgnp_tensor::Matrix;
+
+/// A serialisable snapshot of a module's parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format marker for forward compatibility.
+    pub format: String,
+    /// Parameter matrices in the module's stable order.
+    pub weights: Vec<SerializedMatrix>,
+}
+
+/// Row-major matrix payload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SerializedMatrix {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f32>,
+}
+
+impl From<&Matrix> for SerializedMatrix {
+    fn from(m: &Matrix) -> Self {
+        Self { rows: m.rows(), cols: m.cols(), data: m.as_slice().to_vec() }
+    }
+}
+
+impl From<&SerializedMatrix> for Matrix {
+    fn from(s: &SerializedMatrix) -> Self {
+        Matrix::from_vec(s.rows, s.cols, s.data.clone())
+    }
+}
+
+const FORMAT: &str = "cgnp-checkpoint-v1";
+
+/// Snapshots a module's weights.
+pub fn snapshot(module: &dyn Module) -> Checkpoint {
+    Checkpoint {
+        format: FORMAT.to_string(),
+        weights: module.export_weights().iter().map(Into::into).collect(),
+    }
+}
+
+/// Restores a snapshot into a module.
+///
+/// # Errors
+/// Fails when the format marker or the parameter count/shapes mismatch.
+pub fn restore(module: &dyn Module, ckpt: &Checkpoint) -> Result<(), String> {
+    if ckpt.format != FORMAT {
+        return Err(format!("unknown checkpoint format {:?}", ckpt.format));
+    }
+    let params = module.params();
+    if params.len() != ckpt.weights.len() {
+        return Err(format!(
+            "parameter count mismatch: model has {}, checkpoint has {}",
+            params.len(),
+            ckpt.weights.len()
+        ));
+    }
+    for (p, w) in params.iter().zip(&ckpt.weights) {
+        if p.shape() != (w.rows, w.cols) {
+            return Err(format!(
+                "shape mismatch: model {:?} vs checkpoint {:?}",
+                p.shape(),
+                (w.rows, w.cols)
+            ));
+        }
+    }
+    let weights: Vec<Matrix> = ckpt.weights.iter().map(Into::into).collect();
+    module.import_weights(&weights);
+    Ok(())
+}
+
+/// Saves a module's weights as JSON.
+pub fn save_to_file(module: &dyn Module, path: impl AsRef<Path>) -> io::Result<()> {
+    let ckpt = snapshot(module);
+    let json = serde_json::to_string(&ckpt).map_err(io::Error::other)?;
+    std::fs::write(path, json)
+}
+
+/// Loads JSON weights into a module.
+pub fn load_from_file(module: &dyn Module, path: impl AsRef<Path>) -> io::Result<()> {
+    let json = std::fs::read_to_string(path)?;
+    let ckpt: Checkpoint = serde_json::from_str(&json).map_err(io::Error::other)?;
+    restore(module, &ckpt).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgnp_nn::{GnnConfig, GnnEncoder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn encoder(seed: u64) -> GnnEncoder {
+        GnnEncoder::new(&GnnConfig::paper_default(4, 8, 4), &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let a = encoder(1);
+        let b = encoder(2);
+        let ckpt = snapshot(&a);
+        restore(&b, &ckpt).unwrap();
+        for (x, y) in a.export_weights().iter().zip(b.export_weights().iter()) {
+            assert!(x.approx_eq(y, 0.0));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let a = encoder(3);
+        let dir = std::env::temp_dir().join("cgnp-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("enc.json");
+        save_to_file(&a, &path).unwrap();
+        let b = encoder(4);
+        load_from_file(&b, &path).unwrap();
+        for (x, y) in a.export_weights().iter().zip(b.export_weights().iter()) {
+            assert!(x.approx_eq(y, 0.0));
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let a = encoder(5);
+        let wider = GnnEncoder::new(
+            &GnnConfig::paper_default(4, 16, 4),
+            &mut StdRng::seed_from_u64(6),
+        );
+        let ckpt = snapshot(&a);
+        let err = restore(&wider, &ckpt).unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_unknown_format() {
+        let a = encoder(7);
+        let mut ckpt = snapshot(&a);
+        ckpt.format = "bogus".into();
+        assert!(restore(&a, &ckpt).is_err());
+    }
+
+    #[test]
+    fn json_is_self_describing() {
+        let ckpt = snapshot(&encoder(8));
+        let json = serde_json::to_string(&ckpt).unwrap();
+        assert!(json.contains("cgnp-checkpoint-v1"));
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.weights.len(), ckpt.weights.len());
+    }
+}

@@ -1,0 +1,180 @@
+//! Experiment harness: trains a method on the training tasks, evaluates it
+//! on the test tasks, and records quality and wall-clock timing (the
+//! quantities behind Tables II/III and Figures 3/4).
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use cgnp_baselines::CsLearner;
+use cgnp_core::{prepare_tasks, PreparedTask};
+use cgnp_data::TaskSet;
+
+use crate::metrics::Metrics;
+
+/// One method's outcome on one experiment configuration.
+#[derive(Clone, Debug, Serialize)]
+pub struct MethodOutcome {
+    pub method: String,
+    /// Macro-averaged over every target query of every test task.
+    pub metrics: Metrics,
+    /// Total meta-training wall-clock (zero for methods without a meta
+    /// stage — matching Fig. 3(b) which omits them).
+    pub train_seconds: f64,
+    /// Total test wall-clock over all test tasks (Fig. 3(a)).
+    pub test_seconds: f64,
+    pub n_test_tasks: usize,
+    pub n_test_queries: usize,
+}
+
+/// Harness parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessConfig {
+    pub seed: u64,
+    /// Probability threshold for membership (0.5).
+    pub threshold: f32,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self { seed: 0, threshold: 0.5 }
+    }
+}
+
+/// Runs one method over prepared train/test tasks.
+pub fn evaluate_method(
+    learner: &mut dyn CsLearner,
+    train_tasks: &[PreparedTask],
+    test_tasks: &[PreparedTask],
+    cfg: &HarnessConfig,
+) -> MethodOutcome {
+    let train_start = Instant::now();
+    if !train_tasks.is_empty() {
+        learner.meta_train(train_tasks, cfg.seed);
+    }
+    let train_time = train_start.elapsed();
+
+    let mut per_query = Vec::new();
+    let test_start = Instant::now();
+    let mut predictions: Vec<Vec<Vec<f32>>> = Vec::with_capacity(test_tasks.len());
+    for (ti, task) in test_tasks.iter().enumerate() {
+        predictions.push(learner.run_task(task, cfg.seed.wrapping_add(1 + ti as u64)));
+    }
+    let test_time = test_start.elapsed();
+
+    // Scoring happens outside the timed section (not part of the method).
+    for (task, task_preds) in test_tasks.iter().zip(&predictions) {
+        for (ex, probs) in task.task.targets.iter().zip(task_preds) {
+            per_query.push(Metrics::from_probs(probs, &ex.truth, cfg.threshold));
+        }
+    }
+
+    MethodOutcome {
+        method: learner.name().to_string(),
+        metrics: Metrics::macro_average(&per_query),
+        train_seconds: as_secs(train_time),
+        test_seconds: as_secs(test_time),
+        n_test_tasks: test_tasks.len(),
+        n_test_queries: per_query.len(),
+    }
+}
+
+/// Runs a roster of methods over one task set; returns outcomes in roster
+/// order.
+pub fn evaluate_roster(
+    methods: &mut [Box<dyn CsLearner>],
+    tasks: &TaskSet,
+    cfg: &HarnessConfig,
+) -> Vec<MethodOutcome> {
+    let train = prepare_tasks(&tasks.train);
+    let test = prepare_tasks(&tasks.test);
+    methods
+        .iter_mut()
+        .map(|m| evaluate_method(m.as_mut(), &train, &test, cfg))
+        .collect()
+}
+
+fn as_secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::CtcMethod;
+    use cgnp_data::{generate_sbm, single_graph_tasks, SbmConfig, TaskConfig, TaskKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_taskset() -> TaskSet {
+        let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(5));
+        let cfg = TaskConfig { subgraph_size: 40, shots: 1, n_targets: 3, ..Default::default() };
+        single_graph_tasks(&ag, TaskKind::Sgsc, &cfg, (2, 0, 2), 5)
+    }
+
+    #[test]
+    fn ctc_outcome_is_populated() {
+        let ts = tiny_taskset();
+        let mut methods: Vec<Box<dyn CsLearner>> = vec![Box::new(CtcMethod)];
+        let outcomes = evaluate_roster(&mut methods, &ts, &HarnessConfig::default());
+        assert_eq!(outcomes.len(), 1);
+        let o = &outcomes[0];
+        assert_eq!(o.method, "CTC");
+        assert_eq!(o.n_test_tasks, 2);
+        assert_eq!(o.n_test_queries, 6);
+        assert!(o.test_seconds > 0.0);
+        assert!(o.train_seconds < 0.01, "CTC's meta stage is a no-op");
+        assert!((0.0..=1.0).contains(&o.metrics.f1));
+    }
+
+    #[test]
+    fn perfect_oracle_scores_one() {
+        struct Oracle;
+        impl CsLearner for Oracle {
+            fn name(&self) -> &'static str {
+                "Oracle"
+            }
+            fn meta_train(&mut self, _t: &[PreparedTask], _s: u64) {}
+            fn run_task(&mut self, task: &PreparedTask, _s: u64) -> Vec<Vec<f32>> {
+                task.task
+                    .targets
+                    .iter()
+                    .map(|ex| ex.truth.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect())
+                    .collect()
+            }
+        }
+        let ts = tiny_taskset();
+        let mut methods: Vec<Box<dyn CsLearner>> = vec![Box::new(Oracle)];
+        let outcomes = evaluate_roster(&mut methods, &ts, &HarnessConfig::default());
+        assert!((outcomes[0].metrics.f1 - 1.0).abs() < 1e-12);
+        assert!((outcomes[0].metrics.accuracy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn training_time_counts_meta_stage() {
+        struct SlowTrainer;
+        impl CsLearner for SlowTrainer {
+            fn name(&self) -> &'static str {
+                "Slow"
+            }
+            fn meta_train(&mut self, _t: &[PreparedTask], _s: u64) {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            fn run_task(&mut self, task: &PreparedTask, _s: u64) -> Vec<Vec<f32>> {
+                task.task
+                    .targets
+                    .iter()
+                    .map(|_| vec![0.0; task.task.n()])
+                    .collect()
+            }
+        }
+        let ts = tiny_taskset();
+        let mut methods: Vec<Box<dyn CsLearner>> = vec![Box::new(SlowTrainer)];
+        let outcomes = evaluate_roster(&mut methods, &ts, &HarnessConfig::default());
+        assert!(outcomes[0].train_seconds >= 0.02);
+        // All-negative prediction: accuracy > 0 but F1 = 0 (the MAML
+        // failure mode the paper describes).
+        assert_eq!(outcomes[0].metrics.f1, 0.0);
+        assert!(outcomes[0].metrics.accuracy > 0.0);
+    }
+}

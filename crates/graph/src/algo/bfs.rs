@@ -1,0 +1,155 @@
+//! Breadth-first traversal, distances, and BFS subgraph sampling (the
+//! paper's task construction samples 200-node subgraphs by BFS, §VII-A).
+
+use std::collections::VecDeque;
+
+use rand::Rng;
+
+use crate::graph::Graph;
+
+/// Unweighted shortest-path distances from `source`; unreachable nodes get
+/// `usize::MAX`.
+pub fn bfs_distances(g: &Graph, source: usize) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v];
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            if dist[u] == usize::MAX {
+                dist[u] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Multi-source BFS: distance to the nearest source.
+pub fn multi_source_distances(g: &Graph, sources: &[usize]) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s] == usize::MAX {
+            dist[s] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v];
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            if dist[u] == usize::MAX {
+                dist[u] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Samples up to `max_nodes` nodes by BFS from `start`, visiting neighbours
+/// in random order so repeated samples from the same seed node differ.
+/// The returned list always begins with `start`.
+pub fn bfs_sample<R: Rng>(g: &Graph, start: usize, max_nodes: usize, rng: &mut R) -> Vec<usize> {
+    assert!(start < g.n(), "start node out of range");
+    assert!(max_nodes > 0, "max_nodes must be positive");
+    let mut visited = vec![false; g.n()];
+    let mut order = Vec::with_capacity(max_nodes.min(g.n()));
+    let mut queue = VecDeque::new();
+    visited[start] = true;
+    queue.push_back(start);
+    let mut shuffled: Vec<usize> = Vec::new();
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        if order.len() == max_nodes {
+            break;
+        }
+        shuffled.clear();
+        shuffled.extend(g.neighbors(v).iter().map(|&u| u as usize));
+        // Fisher–Yates: randomise expansion order.
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        for &u in &shuffled {
+            if !visited[u] {
+                visited[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn multi_source_takes_minimum() {
+        let g = path_graph(7);
+        let d = multi_source_distances(&g, &[0, 6]);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn sample_starts_at_start_and_is_connected() {
+        let g = path_graph(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = bfs_sample(&g, 4, 5, &mut rng);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0], 4);
+        // Every sampled node (after the first) has a neighbour sampled
+        // earlier: BFS order implies connectivity within the sample.
+        for (i, &v) in s.iter().enumerate().skip(1) {
+            let earlier = &s[..i];
+            assert!(g
+                .neighbors(v)
+                .iter()
+                .any(|&u| earlier.contains(&(u as usize))));
+        }
+    }
+
+    #[test]
+    fn sample_caps_at_component_size() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = bfs_sample(&g, 0, 100, &mut rng);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn sample_randomised_order_differs_across_seeds() {
+        // A star: expansion order of the 20 leaves is the only freedom.
+        let edges: Vec<_> = (1..21).map(|i| (0usize, i)).collect();
+        let g = Graph::from_edges(21, &edges);
+        let a = bfs_sample(&g, 0, 10, &mut StdRng::seed_from_u64(1));
+        let b = bfs_sample(&g, 0, 10, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,208 @@
+//! k-clique enumeration and clique-percolation communities.
+//!
+//! The paper's related work (§II) lists k-clique communities (Cui et al.,
+//! SIGMOD 2013) among the classical community models. A k-clique community
+//! is a union of k-cliques connected through (k−1)-node overlaps
+//! (percolation). Enumeration is exponential in general; the task graphs
+//! here are ≤ a few hundred nodes, where direct ordered extension is fast.
+
+use std::collections::HashMap;
+
+use crate::graph::Graph;
+
+/// Enumerates all k-cliques (node lists sorted ascending).
+///
+/// Uses ordered extension: a clique is only extended by common neighbours
+/// with a larger id than its current maximum, so each clique is produced
+/// exactly once.
+///
+/// # Panics
+/// Panics if `k < 2`.
+pub fn enumerate_k_cliques(g: &Graph, k: usize) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "a clique needs at least two nodes");
+    let mut out = Vec::new();
+    let mut stack = Vec::with_capacity(k);
+    for v in 0..g.n() {
+        stack.push(v);
+        let candidates: Vec<usize> = g
+            .neighbors(v)
+            .iter()
+            .map(|&u| u as usize)
+            .filter(|&u| u > v)
+            .collect();
+        extend_clique(g, k, &mut stack, &candidates, &mut out);
+        stack.pop();
+    }
+    out
+}
+
+fn extend_clique(
+    g: &Graph,
+    k: usize,
+    stack: &mut Vec<usize>,
+    candidates: &[usize],
+    out: &mut Vec<Vec<usize>>,
+) {
+    if stack.len() == k {
+        out.push(stack.clone());
+        return;
+    }
+    for (i, &c) in candidates.iter().enumerate() {
+        // Remaining candidates must still be able to fill the clique.
+        if stack.len() + (candidates.len() - i) < k {
+            break;
+        }
+        stack.push(c);
+        let next: Vec<usize> = candidates[i + 1..]
+            .iter()
+            .copied()
+            .filter(|&u| g.has_edge(c, u))
+            .collect();
+        extend_clique(g, k, stack, &next, out);
+        stack.pop();
+    }
+}
+
+/// Clique-percolation communities: k-cliques sharing k−1 nodes are merged;
+/// each community is the sorted union of its cliques' nodes. Communities
+/// may overlap; nodes in no k-clique appear in none.
+pub fn k_clique_communities(g: &Graph, k: usize) -> Vec<Vec<usize>> {
+    let cliques = enumerate_k_cliques(g, k);
+    if cliques.is_empty() {
+        return Vec::new();
+    }
+    // Union-find over cliques; cliques sharing any (k−1)-subset percolate.
+    let mut parent: Vec<usize> = (0..cliques.len()).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    let mut subsets: HashMap<Vec<usize>, usize> = HashMap::new();
+    for (ci, clique) in cliques.iter().enumerate() {
+        for skip in 0..clique.len() {
+            let mut key = Vec::with_capacity(k - 1);
+            for (i, &v) in clique.iter().enumerate() {
+                if i != skip {
+                    key.push(v);
+                }
+            }
+            match subsets.get(&key) {
+                Some(&other) => {
+                    let (a, b) = (find(&mut parent, ci), find(&mut parent, other));
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+                None => {
+                    subsets.insert(key, ci);
+                }
+            }
+        }
+    }
+    // Gather node sets per root.
+    let mut communities: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (ci, clique) in cliques.iter().enumerate() {
+        let root = find(&mut parent, ci);
+        communities.entry(root).or_default().extend(clique.iter().copied());
+    }
+    let mut out: Vec<Vec<usize>> = communities
+        .into_values()
+        .map(|mut nodes| {
+            nodes.sort_unstable();
+            nodes.dedup();
+            nodes
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The k-clique community containing `q` (largest if `q` overlaps
+/// several). Empty when `q` is in no k-clique.
+pub fn k_clique_community_of(g: &Graph, q: usize, k: usize) -> Vec<usize> {
+    k_clique_communities(g, k)
+        .into_iter()
+        .filter(|c| c.binary_search(&q).is_ok())
+        .max_by_key(|c| c.len())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles sharing edge (1,2), plus a pendant node.
+    fn bowtie() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn triangle_enumeration() {
+        let g = bowtie();
+        let tris = enumerate_k_cliques(&g, 3);
+        assert_eq!(tris, vec![vec![0, 1, 2], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn edge_enumeration_matches_m() {
+        let g = bowtie();
+        assert_eq!(enumerate_k_cliques(&g, 2).len(), g.m());
+    }
+
+    #[test]
+    fn four_clique_enumeration() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]);
+        let quads = enumerate_k_cliques(&g, 4);
+        assert_eq!(quads, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn percolation_merges_adjacent_triangles() {
+        // The bowtie triangles share edge {1,2} (= k−1 nodes for k=3), so
+        // they percolate into one community.
+        let comms = k_clique_communities(&bowtie(), 3);
+        assert_eq!(comms, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn disjoint_triangles_stay_separate() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        // The bridging edge (2,3) forms no triangle, so no percolation.
+        let comms = k_clique_communities(&g, 3);
+        assert_eq!(comms.len(), 2);
+        assert_eq!(comms[0], vec![0, 1, 2]);
+        assert_eq!(comms[1], vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn community_of_query() {
+        let g = bowtie();
+        assert_eq!(k_clique_community_of(&g, 0, 3), vec![0, 1, 2, 3]);
+        assert!(k_clique_community_of(&g, 4, 3).is_empty());
+    }
+
+    #[test]
+    fn vertex_sharing_is_not_enough() {
+        // Two triangles sharing ONE node (k−2 < k−1): no percolation.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let comms = k_clique_communities(&g, 3);
+        assert_eq!(comms.len(), 2);
+        // Node 2 overlaps both communities.
+        assert!(comms.iter().all(|c| c.binary_search(&2).is_ok()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn k_below_two_rejected() {
+        let _ = enumerate_k_cliques(&bowtie(), 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Edge connectivity: Stoer–Wagner global minimum cut and k-edge-connected
+//! components.
+//!
+//! The fourth classical community model of §II (Chang et al., SIGMOD 2015;
+//! Hu et al., CIKM 2016): a k-edge-connected component (k-ECC) is a
+//! maximal subgraph that stays connected under the removal of any k−1
+//! edges. The decomposition here recursively splits along global minimum
+//! cuts — O(n³) per cut, appropriate for the ≤ few-hundred-node task
+//! graphs of this workspace.
+
+use crate::algo::components::connected_components;
+use crate::graph::Graph;
+
+/// Global minimum cut weight of a connected graph with unit edge weights
+/// (Stoer–Wagner). Returns `0` for graphs with < 2 nodes or disconnected
+/// inputs.
+pub fn global_min_cut(g: &Graph) -> usize {
+    let (weight, _) = global_min_cut_with_partition(g);
+    weight
+}
+
+/// Stoer–Wagner returning the cut weight and one side of the cut (original
+/// node ids). For `n < 2` returns `(0, [])`.
+pub fn global_min_cut_with_partition(g: &Graph) -> (usize, Vec<usize>) {
+    let n = g.n();
+    if n < 2 {
+        return (0, Vec::new());
+    }
+    // Dense weight matrix; merged "super-nodes" track original members.
+    let mut w = vec![vec![0u64; n]; n];
+    for (u, v) in g.edges() {
+        w[u][v] += 1;
+        w[v][u] += 1;
+    }
+    let mut members: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut best = (u64::MAX, Vec::new());
+
+    while active.len() > 1 {
+        // Maximum-adjacency search.
+        let mut order = Vec::with_capacity(active.len());
+        let mut in_a = vec![false; n];
+        let mut key = vec![0u64; n];
+        for _ in 0..active.len() {
+            let &next = active
+                .iter()
+                .filter(|&&v| !in_a[v])
+                .max_by_key(|&&v| key[v])
+                .expect("active node remains");
+            in_a[next] = true;
+            order.push(next);
+            for &v in &active {
+                if !in_a[v] {
+                    key[v] += w[next][v];
+                }
+            }
+        }
+        let t = *order.last().expect("non-empty order");
+        let s = order[order.len() - 2];
+        let cut_of_phase = key[t];
+        if cut_of_phase < best.0 {
+            best = (cut_of_phase, members[t].clone());
+        }
+        // Merge t into s.
+        let t_members = std::mem::take(&mut members[t]);
+        members[s].extend(t_members);
+        for &v in &active {
+            if v != s && v != t {
+                w[s][v] += w[t][v];
+                w[v][s] = w[s][v];
+            }
+        }
+        active.retain(|&v| v != t);
+    }
+    (best.0 as usize, best.1)
+}
+
+/// All k-edge-connected components with ≥ 2 nodes, as sorted node lists
+/// (sorted by first member). Nodes in no k-ECC appear in none.
+pub fn k_edge_connected_components(g: &Graph, k: usize) -> Vec<Vec<usize>> {
+    assert!(k >= 1, "connectivity threshold must be positive");
+    let mut out = Vec::new();
+    // Start from connected components and split along min cuts until every
+    // piece has min cut ≥ k (or becomes trivial).
+    let labels = connected_components(g);
+    let n_comps = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut queue: Vec<Vec<usize>> = (0..n_comps)
+        .map(|c| (0..g.n()).filter(|&v| labels[v] == c).collect())
+        .collect();
+    while let Some(nodes) = queue.pop() {
+        if nodes.len() < 2 {
+            continue;
+        }
+        let (sub, back) = g.induced_subgraph(&nodes);
+        let (cut, side) = global_min_cut_with_partition(&sub);
+        if cut >= k {
+            let mut comp: Vec<usize> = back;
+            comp.sort_unstable();
+            out.push(comp);
+            continue;
+        }
+        // Split along the cut and recurse on both sides.
+        let mut in_side = vec![false; sub.n()];
+        for &v in &side {
+            in_side[v] = true;
+        }
+        let a: Vec<usize> = (0..sub.n()).filter(|&v| in_side[v]).map(|v| back[v]).collect();
+        let b: Vec<usize> = (0..sub.n()).filter(|&v| !in_side[v]).map(|v| back[v]).collect();
+        queue.push(a);
+        queue.push(b);
+    }
+    out.sort();
+    out
+}
+
+/// The k-ECC containing `q`, or empty.
+pub fn k_ecc_community(g: &Graph, q: usize, k: usize) -> Vec<usize> {
+    k_edge_connected_components(g, k)
+        .into_iter()
+        .find(|c| c.binary_search(&q).is_ok())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 4-cliques joined by a single bridge edge.
+    fn two_cliques_bridge() -> Graph {
+        Graph::from_edges(
+            8,
+            &[
+                (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+                (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),
+                (3, 4),
+            ],
+        )
+    }
+
+    #[test]
+    fn min_cut_of_bridge_is_one() {
+        let g = two_cliques_bridge();
+        let (cut, side) = global_min_cut_with_partition(&g);
+        assert_eq!(cut, 1);
+        assert_eq!(side.len(), 4, "one clique on each side");
+    }
+
+    #[test]
+    fn min_cut_of_cycle_is_two() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(global_min_cut(&g), 2);
+    }
+
+    #[test]
+    fn min_cut_of_clique() {
+        // K4: min cut = 3 (isolate any vertex).
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(global_min_cut(&g), 3);
+    }
+
+    #[test]
+    fn keccs_split_at_bridge() {
+        let g = two_cliques_bridge();
+        let comps = k_edge_connected_components(&g, 2);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1, 2, 3]);
+        assert_eq!(comps[1], vec![4, 5, 6, 7]);
+        // At k=1 the whole graph is one component.
+        let whole = k_edge_connected_components(&g, 1);
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].len(), 8);
+    }
+
+    #[test]
+    fn keccs_respect_threshold() {
+        let g = two_cliques_bridge();
+        // Each 4-clique is 3-edge-connected.
+        let comps = k_edge_connected_components(&g, 3);
+        assert_eq!(comps.len(), 2);
+        // Nothing is 4-edge-connected.
+        assert!(k_edge_connected_components(&g, 4).is_empty());
+    }
+
+    #[test]
+    fn kecc_community_of_query() {
+        let g = two_cliques_bridge();
+        assert_eq!(k_ecc_community(&g, 5, 3), vec![4, 5, 6, 7]);
+        assert!(k_ecc_community(&g, 5, 4).is_empty());
+    }
+
+    #[test]
+    fn kecc_invariant_survives_any_single_edge_removal() {
+        // Every 2-ECC stays connected after deleting any one of its edges.
+        let g = two_cliques_bridge();
+        for comp in k_edge_connected_components(&g, 2) {
+            let (sub, _) = g.induced_subgraph(&comp);
+            let edges: Vec<(usize, usize)> = sub.edges().collect();
+            for skip in 0..edges.len() {
+                let kept: Vec<(usize, usize)> = edges
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, &e)| e)
+                    .collect();
+                let pruned = Graph::from_edges(sub.n(), &kept);
+                assert_eq!(
+                    crate::algo::component_count(&pruned),
+                    1,
+                    "2-ECC must survive single edge removal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_input_handled() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let comps = k_edge_connected_components(&g, 2);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(global_min_cut(&Graph::from_edges(1, &[])), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! k-core decomposition (Batagelj–Zaveršnik bucket peeling, O(n + m)).
+//!
+//! Core numbers serve two roles in the paper: as a structural node feature
+//! for the GNNs (§VII-A, "core number and local cluster coefficient") and
+//! as the community model of the ACQ baseline.
+
+use crate::graph::Graph;
+
+/// Core number of every node.
+pub fn core_numbers(g: &Graph) -> Vec<usize> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let max_deg = deg.iter().copied().max().unwrap_or(0);
+
+    // Bucket sort nodes by degree.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &deg {
+        bin[d + 1] += 1;
+    }
+    for i in 0..=max_deg {
+        bin[i + 1] += bin[i];
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0usize; n];
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n {
+            pos[v] = cursor[deg[v]];
+            vert[pos[v]] = v;
+            cursor[deg[v]] += 1;
+        }
+    }
+
+    let mut core = vec![0usize; n];
+    for i in 0..n {
+        let v = vert[i];
+        core[v] = deg[v];
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            if deg[u] > deg[v] {
+                // Move u one bucket down: swap with the first node of its
+                // current bucket, then shrink the bucket boundary.
+                let du = deg[u];
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw];
+                if u != w {
+                    vert.swap(pu, pw);
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bin[du] += 1;
+                deg[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Largest `k` with a non-empty k-core (the graph's degeneracy).
+pub fn degeneracy(g: &Graph) -> usize {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+/// Node mask of the maximal k-core (all nodes with core number ≥ k).
+pub fn k_core_mask(g: &Graph, k: usize) -> Vec<bool> {
+    core_numbers(g).into_iter().map(|c| c >= k).collect()
+}
+
+/// The connected k-core community containing `q`: nodes of core number ≥ k
+/// reachable from `q` through such nodes. Empty if `q` itself is below `k`.
+pub fn k_core_community(g: &Graph, q: usize, k: usize) -> Vec<usize> {
+    let mask = k_core_mask(g, k);
+    if !mask[q] {
+        return Vec::new();
+    }
+    let mut seen = vec![false; g.n()];
+    let mut stack = vec![q];
+    seen[q] = true;
+    let mut out = Vec::new();
+    while let Some(v) = stack.pop() {
+        out.push(v);
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            if mask[u] && !seen[u] {
+                seen[u] = true;
+                stack.push(u);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4-clique {0,1,2,3} with a pendant path 3-4-5.
+    fn clique_with_tail() -> Graph {
+        Graph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        )
+    }
+
+    #[test]
+    fn clique_core_numbers() {
+        let core = core_numbers(&clique_with_tail());
+        assert_eq!(core, vec![3, 3, 3, 3, 1, 1]);
+    }
+
+    #[test]
+    fn degeneracy_of_clique_graph() {
+        assert_eq!(degeneracy(&clique_with_tail()), 3);
+        let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(degeneracy(&path), 1);
+        let empty = Graph::from_edges(3, &[]);
+        assert_eq!(degeneracy(&empty), 0);
+    }
+
+    #[test]
+    fn core_invariant_min_degree_within_core() {
+        // Every node of the k-core has ≥ k neighbours inside the k-core.
+        let g = clique_with_tail();
+        let core = core_numbers(&g);
+        for k in 1..=3 {
+            let mask: Vec<bool> = core.iter().map(|&c| c >= k).collect();
+            for v in 0..g.n() {
+                if mask[v] {
+                    let inside = g
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&u| mask[u as usize])
+                        .count();
+                    assert!(inside >= k, "node {v} has {inside} < {k} core neighbours");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_core_community_connectivity() {
+        // Two disjoint triangles: the 2-core community of node 0 is only its
+        // own triangle.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        assert_eq!(k_core_community(&g, 0, 2), vec![0, 1, 2]);
+        assert_eq!(k_core_community(&g, 3, 2), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn k_core_community_empty_when_query_below_k() {
+        let g = clique_with_tail();
+        assert!(k_core_community(&g, 5, 2).is_empty());
+        assert_eq!(k_core_community(&g, 0, 3), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn star_graph_cores() {
+        let edges: Vec<_> = (1..6).map(|i| (0usize, i)).collect();
+        let g = Graph::from_edges(6, &edges);
+        let core = core_numbers(&g);
+        assert!(core.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,291 @@
+//! Attributed graphs with ground-truth communities.
+//!
+//! Matches the paper's data model (§III): nodes may carry a set of discrete
+//! attributes (one-hot encodable), and the graph carries ground-truth
+//! communities that may overlap (e.g. DBLP venues, Facebook circles).
+//! Community ids are stable under subgraph induction so a task subgraph can
+//! still refer to the global community structure.
+
+use crate::graph::Graph;
+
+/// An undirected graph plus node attributes and ground-truth communities.
+#[derive(Clone, Debug)]
+pub struct AttributedGraph {
+    graph: Graph,
+    /// Total number of distinct attributes (`|A|` in the paper).
+    n_attrs: usize,
+    /// Sorted attribute ids per node (empty for non-attributed datasets).
+    attrs: Vec<Vec<u32>>,
+    /// Ground-truth communities as sorted node lists; may overlap.
+    communities: Vec<Vec<u32>>,
+    /// Sorted community ids per node (inverse of `communities`).
+    node_comms: Vec<Vec<u32>>,
+}
+
+impl AttributedGraph {
+    /// Assembles an attributed graph.
+    ///
+    /// # Panics
+    /// Panics if attribute/community ids are out of range or per-node lists
+    /// do not match the node count.
+    pub fn new(
+        graph: Graph,
+        n_attrs: usize,
+        mut attrs: Vec<Vec<u32>>,
+        mut communities: Vec<Vec<u32>>,
+    ) -> Self {
+        let n = graph.n();
+        assert_eq!(attrs.len(), n, "attrs must have one entry per node");
+        for a in &mut attrs {
+            a.sort_unstable();
+            a.dedup();
+            if let Some(&max) = a.last() {
+                assert!((max as usize) < n_attrs, "attribute id out of range");
+            }
+        }
+        let mut node_comms: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (cid, members) in communities.iter_mut().enumerate() {
+            members.sort_unstable();
+            members.dedup();
+            for &v in members.iter() {
+                assert!((v as usize) < n, "community member out of range");
+                node_comms[v as usize].push(cid as u32);
+            }
+        }
+        Self { graph, n_attrs, attrs, communities, node_comms }
+    }
+
+    /// A graph with no attributes and no communities.
+    pub fn plain(graph: Graph) -> Self {
+        let n = graph.n();
+        Self::new(graph, 0, vec![Vec::new(); n], Vec::new())
+    }
+
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.graph.m()
+    }
+
+    /// Total number of distinct attributes.
+    #[inline]
+    pub fn n_attrs(&self) -> usize {
+        self.n_attrs
+    }
+
+    /// True when the dataset has node attributes at all (Cora, Citeseer,
+    /// Facebook in the paper; Arxiv/DBLP/Reddit do not).
+    pub fn has_attributes(&self) -> bool {
+        self.n_attrs > 0
+    }
+
+    /// Sorted attribute ids of node `v`.
+    #[inline]
+    pub fn attrs_of(&self, v: usize) -> &[u32] {
+        &self.attrs[v]
+    }
+
+    /// True if node `v` carries attribute `a`.
+    pub fn has_attr(&self, v: usize, a: u32) -> bool {
+        self.attrs[v].binary_search(&a).is_ok()
+    }
+
+    /// Number of attributes shared by `u` and `v`.
+    pub fn shared_attr_count(&self, u: usize, v: usize) -> usize {
+        let (a, b) = (&self.attrs[u], &self.attrs[v]);
+        let (mut i, mut j, mut c) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    c += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// Number of ground-truth communities.
+    #[inline]
+    pub fn n_communities(&self) -> usize {
+        self.communities.len()
+    }
+
+    /// Sorted member list of community `cid`.
+    #[inline]
+    pub fn community_members(&self, cid: usize) -> &[u32] {
+        &self.communities[cid]
+    }
+
+    /// Sorted community ids node `v` belongs to.
+    #[inline]
+    pub fn communities_of(&self, v: usize) -> &[u32] {
+        &self.node_comms[v]
+    }
+
+    /// Boolean membership mask of community `cid`.
+    pub fn community_mask(&self, cid: usize) -> Vec<bool> {
+        let mut mask = vec![false; self.n()];
+        for &v in &self.communities[cid] {
+            mask[v as usize] = true;
+        }
+        mask
+    }
+
+    /// The ground-truth community of a query node `q`: the union of all
+    /// communities containing `q` (the paper's `C_q(G)`), as a mask
+    /// excluding nothing. Empty mask if `q` is unlabelled.
+    pub fn query_community_mask(&self, q: usize) -> Vec<bool> {
+        let mut mask = vec![false; self.n()];
+        for &cid in &self.node_comms[q] {
+            for &v in &self.communities[cid as usize] {
+                mask[v as usize] = true;
+            }
+        }
+        mask
+    }
+
+    /// True if `u` and `v` share at least one ground-truth community.
+    pub fn same_community(&self, u: usize, v: usize) -> bool {
+        let (a, b) = (&self.node_comms[u], &self.node_comms[v]);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// A copy with all node attributes removed (communities kept). Used by
+    /// cross-domain (MGDD) experiments where the two domains' attribute
+    /// vocabularies are incompatible, so only the structural feature
+    /// pathway is shared.
+    pub fn without_attributes(&self) -> AttributedGraph {
+        AttributedGraph {
+            graph: self.graph.clone(),
+            n_attrs: 0,
+            attrs: vec![Vec::new(); self.n()],
+            communities: self.communities.clone(),
+            node_comms: self.node_comms.clone(),
+        }
+    }
+
+    /// Induced subgraph on `nodes`; community ids are preserved (member
+    /// lists are restricted and remapped to the new node ids).
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> (AttributedGraph, Vec<usize>) {
+        let (sub, back) = self.graph.induced_subgraph(nodes);
+        let mut new_id = vec![u32::MAX; self.n()];
+        for (ni, &old) in nodes.iter().enumerate() {
+            new_id[old] = ni as u32;
+        }
+        let attrs = nodes.iter().map(|&old| self.attrs[old].clone()).collect();
+        let communities = self
+            .communities
+            .iter()
+            .map(|members| {
+                members
+                    .iter()
+                    .filter_map(|&v| {
+                        let ni = new_id[v as usize];
+                        (ni != u32::MAX).then_some(ni)
+                    })
+                    .collect::<Vec<u32>>()
+            })
+            .collect();
+        (
+            AttributedGraph::new(sub, self.n_attrs, attrs, communities),
+            back,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AttributedGraph {
+        // Two triangles joined by an edge; communities = the triangles, with
+        // node 2 in both. Attributes: even nodes {0,1}, odd nodes {1,2}.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        );
+        let attrs = (0..6)
+            .map(|v| if v % 2 == 0 { vec![0, 1] } else { vec![1, 2] })
+            .collect();
+        let comms = vec![vec![0, 1, 2], vec![2, 3, 4, 5]];
+        AttributedGraph::new(g, 3, attrs, comms)
+    }
+
+    #[test]
+    fn membership_queries() {
+        let ag = sample();
+        assert_eq!(ag.n_communities(), 2);
+        assert_eq!(ag.communities_of(2), &[0, 1]);
+        assert_eq!(ag.communities_of(0), &[0]);
+        assert!(ag.same_community(0, 2));
+        assert!(ag.same_community(2, 5));
+        assert!(!ag.same_community(0, 5));
+    }
+
+    #[test]
+    fn query_community_union_for_overlap_node() {
+        let ag = sample();
+        let mask = ag.query_community_mask(2);
+        assert_eq!(mask, vec![true; 6], "node 2 belongs to both triangles");
+        let mask0 = ag.query_community_mask(0);
+        assert_eq!(mask0, vec![true, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn attribute_queries() {
+        let ag = sample();
+        assert!(ag.has_attr(0, 0));
+        assert!(!ag.has_attr(0, 2));
+        assert_eq!(ag.shared_attr_count(0, 1), 1, "only attribute 1 shared");
+        assert_eq!(ag.shared_attr_count(0, 2), 2);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_community_ids() {
+        let ag = sample();
+        let (sub, back) = ag.induced_subgraph(&[2, 3, 4]);
+        assert_eq!(back, vec![2, 3, 4]);
+        assert_eq!(sub.n_communities(), 2, "community ids stay global");
+        // Community 0 restricted to {2} → new id 0.
+        assert_eq!(sub.community_members(0), &[0]);
+        // Community 1 restricted to {2,3,4} → new ids {0,1,2}.
+        assert_eq!(sub.community_members(1), &[0, 1, 2]);
+        assert_eq!(sub.attrs_of(0), ag.attrs_of(2));
+    }
+
+    #[test]
+    fn plain_graph_has_no_attrs() {
+        let ag = AttributedGraph::plain(Graph::from_edges(3, &[(0, 1)]));
+        assert!(!ag.has_attributes());
+        assert_eq!(ag.n_communities(), 0);
+        assert!(ag.query_community_mask(0).iter().all(|&b| !b));
+    }
+
+    #[test]
+    #[should_panic(expected = "attribute id out of range")]
+    fn attribute_bounds_checked() {
+        let g = Graph::from_edges(1, &[]);
+        let _ = AttributedGraph::new(g, 1, vec![vec![5]], vec![]);
+    }
+}

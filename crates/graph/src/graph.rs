@@ -1,0 +1,342 @@
+//! Undirected simple graph stored in CSR form.
+//!
+//! Node ids are dense `0..n`. Parallel edges and self-loops are removed at
+//! construction. Every undirected edge `{u, v}` has a single edge id shared
+//! by both directed arcs, which the truss-decomposition and attention
+//! kernels rely on.
+
+/// An immutable undirected simple graph.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// CSR row offsets, length `n + 1`.
+    offsets: Vec<usize>,
+    /// Neighbor lists, sorted ascending within each node.
+    neighbors: Vec<u32>,
+    /// Edge id of each adjacency entry (shared by the two arc directions).
+    edge_ids: Vec<u32>,
+    /// Canonical endpoints `(u, v)` with `u < v`, indexed by edge id.
+    edges: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an edge list. Self-loops are
+    /// dropped and duplicate/parallel edges are merged.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, raw_edges: &[(usize, usize)]) -> Self {
+        let mut canon: Vec<(u32, u32)> = Vec::with_capacity(raw_edges.len());
+        for &(a, b) in raw_edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of bounds for n={n}");
+            if a == b {
+                continue;
+            }
+            let (u, v) = if a < b { (a as u32, b as u32) } else { (b as u32, a as u32) };
+            canon.push((u, v));
+        }
+        canon.sort_unstable();
+        canon.dedup();
+        Self::from_canonical_edges(n, canon)
+    }
+
+    fn from_canonical_edges(n: usize, edges: Vec<(u32, u32)>) -> Self {
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let total = *offsets.last().unwrap();
+        let mut neighbors = vec![0u32; total];
+        let mut edge_ids = vec![0u32; total];
+        let mut cursor = offsets.clone();
+        for (eid, &(u, v)) in edges.iter().enumerate() {
+            let cu = cursor[u as usize];
+            neighbors[cu] = v;
+            edge_ids[cu] = eid as u32;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize];
+            neighbors[cv] = u;
+            edge_ids[cv] = eid as u32;
+            cursor[v as usize] += 1;
+        }
+        // Neighbor lists are already sorted because edges were sorted by
+        // (u, v) and arcs are appended in edge order — but the reverse arcs
+        // (v → u) are not necessarily sorted; sort each list with its ids.
+        let mut g = Self { offsets, neighbors, edge_ids, edges };
+        g.sort_adjacency();
+        g
+    }
+
+    fn sort_adjacency(&mut self) {
+        let n = self.n();
+        let mut scratch: Vec<(u32, u32)> = Vec::new();
+        for v in 0..n {
+            let span = self.offsets[v]..self.offsets[v + 1];
+            scratch.clear();
+            scratch.extend(
+                self.neighbors[span.clone()]
+                    .iter()
+                    .copied()
+                    .zip(self.edge_ids[span.clone()].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|&(nb, _)| nb);
+            for (i, &(nb, eid)) in scratch.iter().enumerate() {
+                self.neighbors[span.start + i] = nb;
+                self.edge_ids[span.start + i] = eid;
+            }
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbor list of node `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Edge ids aligned with [`Self::neighbors`].
+    #[inline]
+    pub fn edge_ids_of(&self, v: usize) -> &[u32] {
+        &self.edge_ids[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Canonical endpoints of edge `eid`, with `u < v`.
+    #[inline]
+    pub fn edge(&self, eid: usize) -> (usize, usize) {
+        let (u, v) = self.edges[eid];
+        (u as usize, v as usize)
+    }
+
+    /// All canonical edges.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().map(|&(u, v)| (u as usize, v as usize))
+    }
+
+    /// True if `{u, v}` is an edge (binary search).
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.edge_between(u, v).is_some()
+    }
+
+    /// Edge id between `u` and `v`, if present.
+    pub fn edge_between(&self, u: usize, v: usize) -> Option<usize> {
+        if u >= self.n() || v >= self.n() || u == v {
+            return None;
+        }
+        // Search from the lower-degree endpoint.
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let nbrs = self.neighbors(a);
+        nbrs.binary_search(&(b as u32))
+            .ok()
+            .map(|pos| self.edge_ids_of(a)[pos] as usize)
+    }
+
+    /// Directed arc list `(src, dst)` covering both directions of every
+    /// edge, optionally with self-loops — the edge index used by GAT.
+    pub fn directed_arcs(&self, include_self_loops: bool) -> (Vec<usize>, Vec<usize>) {
+        let extra = if include_self_loops { self.n() } else { 0 };
+        let mut src = Vec::with_capacity(2 * self.m() + extra);
+        let mut dst = Vec::with_capacity(2 * self.m() + extra);
+        for v in 0..self.n() {
+            for &u in self.neighbors(v) {
+                src.push(u as usize);
+                dst.push(v);
+            }
+            if include_self_loops {
+                src.push(v);
+                dst.push(v);
+            }
+        }
+        (src, dst)
+    }
+
+    /// Induced subgraph on `nodes` (order defines the new ids). Returns the
+    /// subgraph and the old-id list indexed by new id.
+    ///
+    /// # Panics
+    /// Panics if `nodes` contains duplicates or out-of-range ids.
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> (Graph, Vec<usize>) {
+        let mut new_id = vec![u32::MAX; self.n()];
+        for (ni, &old) in nodes.iter().enumerate() {
+            assert!(old < self.n(), "node {old} out of range");
+            assert_eq!(new_id[old], u32::MAX, "duplicate node {old} in subgraph");
+            new_id[old] = ni as u32;
+        }
+        let mut edges = Vec::new();
+        for (ni, &old) in nodes.iter().enumerate() {
+            for &nb in self.neighbors(old) {
+                let nj = new_id[nb as usize];
+                if nj != u32::MAX && (ni as u32) < nj {
+                    edges.push((ni, nj as usize));
+                }
+            }
+        }
+        (Graph::from_edges(nodes.len(), &edges), nodes.to_vec())
+    }
+
+    /// Total degree sum (= 2m); useful sanity check.
+    pub fn degree_sum(&self) -> usize {
+        self.neighbors.len()
+    }
+}
+
+/// Incremental edge-list builder.
+#[derive(Default, Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    pub fn new(n: usize) -> Self {
+        Self { n, edges: Vec::new() }
+    }
+
+    /// Adds an undirected edge; duplicates are fine and merged at build.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Grows the node count if needed.
+    pub fn ensure_node(&mut self, v: usize) -> &mut Self {
+        self.n = self.n.max(v + 1);
+        self
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn build(&self) -> Graph {
+        Graph::from_edges(self.n, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> Graph {
+        // 0-1, 1-2, 0-2 triangle; 2-3 tail.
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.degree_sum(), 8);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_removed() {
+        let g = Graph::from_edges(3, &[(0, 0), (0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(5, &[(3, 0), (3, 4), (3, 1), (3, 2)]);
+        assert_eq!(g.neighbors(3), &[0, 1, 2, 3 + 1]);
+    }
+
+    #[test]
+    fn edge_ids_consistent_across_directions() {
+        let g = triangle_plus_tail();
+        for v in 0..g.n() {
+            for (i, &nb) in g.neighbors(v).iter().enumerate() {
+                let eid = g.edge_ids_of(v)[i] as usize;
+                let (a, b) = g.edge(eid);
+                assert!(
+                    (a, b) == (v.min(nb as usize), v.max(nb as usize)),
+                    "edge id mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_between_lookup() {
+        let g = triangle_plus_tail();
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(1, 1));
+        let eid = g.edge_between(2, 3).unwrap();
+        assert_eq!(g.edge(eid), (2, 3));
+    }
+
+    #[test]
+    fn directed_arcs_cover_both_directions() {
+        let g = triangle_plus_tail();
+        let (src, dst) = g.directed_arcs(false);
+        assert_eq!(src.len(), 2 * g.m());
+        // Each dst node receives exactly degree(dst) arcs.
+        for v in 0..g.n() {
+            let incoming = dst.iter().filter(|&&d| d == v).count();
+            assert_eq!(incoming, g.degree(v));
+        }
+        let (src2, _) = g.directed_arcs(true);
+        assert_eq!(src2.len(), 2 * g.m() + g.n());
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = triangle_plus_tail();
+        let (sub, back) = g.induced_subgraph(&[2, 0, 1]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 3, "triangle preserved");
+        assert_eq!(back, vec![2, 0, 1]);
+        let (sub2, _) = g.induced_subgraph(&[0, 3]);
+        assert_eq!(sub2.m(), 0, "0 and 3 are not adjacent");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn induced_subgraph_rejects_duplicates() {
+        let g = triangle_plus_tail();
+        let _ = g.induced_subgraph(&[0, 0]);
+    }
+
+    #[test]
+    fn builder_grows() {
+        let mut b = GraphBuilder::new(0);
+        b.ensure_node(5).add_edge(0, 5).add_edge(5, 3);
+        let g = b.build();
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+    }
+}

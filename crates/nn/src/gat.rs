@@ -1,0 +1,153 @@
+//! Graph Attention Network layer (Veličković et al., the paper's default
+//! encoder, chosen "due to its high performance" §VII-A).
+//!
+//! Additive single-head attention over the arc index with self-loops:
+//!
+//! ```text
+//! z      = x W
+//! e_uv   = LeakyReLU(a_srcᵀ z_u + a_dstᵀ z_v)        per arc (u → v)
+//! α_uv   = softmax over arcs sharing destination v
+//! h'_v   = Σ_u α_uv · z_u  + b
+//! ```
+
+use cgnp_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+
+use crate::graph_ctx::GraphContext;
+use crate::linear::Linear;
+use crate::module::Module;
+
+/// One single-head GAT layer.
+pub struct GatLayer {
+    lin: Linear,
+    a_src: Tensor,
+    a_dst: Tensor,
+    bias: Tensor,
+    negative_slope: f32,
+}
+
+impl GatLayer {
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        Self {
+            lin: Linear::new(in_dim, out_dim, false, rng),
+            a_src: Tensor::parameter(init::glorot_uniform(out_dim, 1, rng)),
+            a_dst: Tensor::parameter(init::glorot_uniform(out_dim, 1, rng)),
+            bias: Tensor::parameter(init::zeros(1, out_dim)),
+            negative_slope: 0.2,
+        }
+    }
+
+    /// Attention coefficients per arc (softmax-normalised per destination).
+    /// Exposed for tests and model introspection.
+    pub fn attention(&self, gctx: &GraphContext, x: &Tensor) -> Tensor {
+        let (src, dst) = gctx.arcs();
+        let z = self.lin.forward(x);
+        let s_src = z.matmul(&self.a_src); // n×1
+        let s_dst = z.matmul(&self.a_dst); // n×1
+        let e = s_src
+            .gather_rows(src)
+            .add(&s_dst.gather_rows(dst))
+            .leaky_relu(self.negative_slope);
+        e.segment_softmax(dst, gctx.n())
+    }
+
+    pub fn forward(&self, gctx: &GraphContext, x: &Tensor) -> Tensor {
+        let (src, dst) = gctx.arcs();
+        let z = self.lin.forward(x);
+        let s_src = z.matmul(&self.a_src);
+        let s_dst = z.matmul(&self.a_dst);
+        let e = s_src
+            .gather_rows(src)
+            .add(&s_dst.gather_rows(dst))
+            .leaky_relu(self.negative_slope);
+        let alpha = e.segment_softmax(dst, gctx.n());
+        let messages = z.gather_rows(src);
+        Tensor::weighted_scatter_rows(&alpha, &messages, dst, gctx.n()).add_bias(&self.bias)
+    }
+}
+
+impl Module for GatLayer {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.lin.params();
+        p.push(self.a_src.clone());
+        p.push(self.a_dst.clone());
+        p.push(self.bias.clone());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgnp_graph::Graph;
+    use cgnp_tensor::gradcheck::check_gradients;
+    use cgnp_tensor::Matrix;
+    use rand::{Rng, SeedableRng};
+
+    fn toy() -> (GraphContext, Tensor) {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let gctx = GraphContext::new(&g);
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = (0..4 * 3).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        (gctx, Tensor::constant(Matrix::from_vec(4, 3, data)))
+    }
+
+    #[test]
+    fn output_shape() {
+        let (gctx, x) = toy();
+        let layer = GatLayer::new(3, 5, &mut StdRng::seed_from_u64(1));
+        assert_eq!(layer.forward(&gctx, &x).shape(), (4, 5));
+    }
+
+    #[test]
+    fn attention_normalised_per_destination() {
+        let (gctx, x) = toy();
+        let layer = GatLayer::new(3, 4, &mut StdRng::seed_from_u64(2));
+        let alpha = layer.attention(&gctx, &x).value();
+        let (_, dst) = gctx.arcs();
+        let mut sums = vec![0.0f32; gctx.n()];
+        for (i, &d) in dst.iter().enumerate() {
+            let a = alpha.get(i, 0);
+            assert!((0.0..=1.0 + 1e-6).contains(&a));
+            sums[d] += a;
+        }
+        for (v, s) in sums.iter().enumerate() {
+            assert!((s - 1.0).abs() < 1e-5, "node {v} attention sums to {s}");
+        }
+    }
+
+    #[test]
+    fn gradcheck_through_layer() {
+        let (gctx, x) = toy();
+        let layer = GatLayer::new(3, 2, &mut StdRng::seed_from_u64(3));
+        let params = layer.params();
+        check_gradients(
+            &params,
+            || layer.forward(&gctx, &x).tanh().sum_all(),
+            1e-2,
+            3e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn isolated_node_attends_to_itself_only() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let gctx = GraphContext::new(&g);
+        let layer = GatLayer::new(2, 2, &mut StdRng::seed_from_u64(4));
+        let xa = Tensor::constant(Matrix::from_vec(3, 2, vec![0., 0., 0., 0., 1., 2.]));
+        let xb = Tensor::constant(Matrix::from_vec(3, 2, vec![5., 5., -5., 5., 1., 2.]));
+        let ya = layer.forward(&gctx, &xa).value();
+        let yb = layer.forward(&gctx, &xb).value();
+        for c in 0..2 {
+            assert!((ya.get(2, c) - yb.get(2, c)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let layer = GatLayer::new(3, 4, &mut StdRng::seed_from_u64(5));
+        // W (3×4) + a_src (4) + a_dst (4) + bias (4).
+        assert_eq!(layer.param_count(), 12 + 4 + 4 + 4);
+    }
+}

@@ -1,0 +1,147 @@
+//! Precomputed per-graph operators consumed by the GNN layers.
+//!
+//! Each CS task re-runs the encoder once per support query (Fig. 2), so the
+//! normalised adjacencies and the directed arc index are built once per
+//! graph and shared across all forward passes via `Rc`.
+
+use std::rc::Rc;
+
+use cgnp_graph::Graph;
+use cgnp_tensor::{CsrMatrix, SparseOperator};
+
+/// Message-passing operators derived from one graph.
+#[derive(Clone)]
+pub struct GraphContext {
+    n: usize,
+    /// Symmetric GCN operator `D̃^{-1/2} (A + I) D̃^{-1/2}`.
+    gcn_adj: Rc<SparseOperator>,
+    /// Row-normalised mean aggregator `D^{-1} A` (zero rows for isolates).
+    mean_adj: Rc<SparseOperator>,
+    /// Arc sources including self-loops (GAT edge index).
+    arc_src: Rc<Vec<usize>>,
+    /// Arc destinations including self-loops, aligned with `arc_src`.
+    arc_dst: Rc<Vec<usize>>,
+}
+
+impl GraphContext {
+    pub fn new(g: &Graph) -> Self {
+        let (src, dst) = g.directed_arcs(true);
+        Self {
+            n: g.n(),
+            gcn_adj: Rc::new(SparseOperator::new(gcn_normalised(g))),
+            mean_adj: Rc::new(SparseOperator::new(mean_aggregator(g))),
+            arc_src: Rc::new(src),
+            arc_dst: Rc::new(dst),
+        }
+    }
+
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn gcn_adj(&self) -> &Rc<SparseOperator> {
+        &self.gcn_adj
+    }
+
+    #[inline]
+    pub fn mean_adj(&self) -> &Rc<SparseOperator> {
+        &self.mean_adj
+    }
+
+    /// `(src, dst)` arcs with self-loops, for attention layers.
+    #[inline]
+    pub fn arcs(&self) -> (&[usize], &[usize]) {
+        (&self.arc_src, &self.arc_dst)
+    }
+}
+
+/// `D̃^{-1/2} (A + I) D̃^{-1/2}` where `D̃` counts the self-loop.
+pub fn gcn_normalised(g: &Graph) -> CsrMatrix {
+    let n = g.n();
+    let inv_sqrt: Vec<f32> = (0..n)
+        .map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt())
+        .collect();
+    let mut triplets = Vec::with_capacity(2 * g.m() + n);
+    for v in 0..n {
+        triplets.push((v, v, inv_sqrt[v] * inv_sqrt[v]));
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            triplets.push((v, u, inv_sqrt[v] * inv_sqrt[u]));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+/// `D^{-1} A`: the mean-of-neighbours aggregator (GraphSAGE). Isolated
+/// nodes aggregate to zero.
+pub fn mean_aggregator(g: &Graph) -> CsrMatrix {
+    let n = g.n();
+    let mut triplets = Vec::with_capacity(2 * g.m());
+    for v in 0..n {
+        let d = g.degree(v);
+        if d == 0 {
+            continue;
+        }
+        let w = 1.0 / d as f32;
+        for &u in g.neighbors(v) {
+            triplets.push((v, u as usize, w));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_with_isolate() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn gcn_operator_rows() {
+        let g = triangle_with_isolate();
+        let adj = gcn_normalised(&g).to_dense();
+        // Triangle nodes have degree 2 ⇒ D̃ = 3 everywhere in the triangle.
+        assert!((adj.get(0, 0) - 1.0 / 3.0).abs() < 1e-6);
+        assert!((adj.get(0, 1) - 1.0 / 3.0).abs() < 1e-6);
+        // Isolated node keeps its self-loop with weight 1.
+        assert!((adj.get(3, 3) - 1.0).abs() < 1e-6);
+        assert_eq!(adj.get(3, 0), 0.0);
+    }
+
+    #[test]
+    fn mean_aggregator_rows_sum_to_one_or_zero() {
+        let g = triangle_with_isolate();
+        let adj = mean_aggregator(&g).to_dense();
+        for v in 0..3 {
+            let s: f32 = adj.row(v).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        let s3: f32 = adj.row(3).iter().sum();
+        assert_eq!(s3, 0.0);
+    }
+
+    #[test]
+    fn arcs_include_self_loops() {
+        let g = triangle_with_isolate();
+        let ctx = GraphContext::new(&g);
+        let (src, dst) = ctx.arcs();
+        assert_eq!(src.len(), 2 * g.m() + g.n());
+        // Every node has at least its self-loop arc.
+        for v in 0..g.n() {
+            assert!(src
+                .iter()
+                .zip(dst.iter())
+                .any(|(&s, &d)| s == v && d == v));
+        }
+    }
+
+    #[test]
+    fn gcn_operator_is_symmetric() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        assert!(gcn_normalised(&g).is_symmetric(1e-6));
+    }
+}

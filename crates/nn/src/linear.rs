@@ -1,0 +1,87 @@
+//! Dense affine layer.
+
+use cgnp_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+
+use crate::module::Module;
+
+/// `y = x W (+ b)` with Glorot-initialised weights.
+pub struct Linear {
+    w: Tensor,
+    b: Option<Tensor>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    pub fn new(in_dim: usize, out_dim: usize, bias: bool, rng: &mut StdRng) -> Self {
+        let w = Tensor::parameter(init::glorot_uniform(in_dim, out_dim, rng));
+        let b = bias.then(|| Tensor::parameter(init::zeros(1, out_dim)));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The weight matrix.
+    pub fn weight(&self) -> &Tensor {
+        &self.w
+    }
+
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let y = x.matmul(&self.w);
+        match &self.b {
+            Some(b) => y.add_bias(b),
+            None => y,
+        }
+    }
+}
+
+impl Module for Linear {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = vec![self.w.clone()];
+        if let Some(b) = &self.b {
+            p.push(b.clone());
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgnp_tensor::{Matrix, Optimizer, Sgd};
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_param_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(4, 3, true, &mut rng);
+        assert_eq!(lin.param_count(), 4 * 3 + 3);
+        let x = Tensor::constant(Matrix::zeros(5, 4));
+        assert_eq!(lin.forward(&x).shape(), (5, 3));
+        let nobias = Linear::new(4, 3, false, &mut rng);
+        assert_eq!(nobias.param_count(), 12);
+    }
+
+    #[test]
+    fn learns_identity_map() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new(2, 2, true, &mut rng);
+        let mut opt = Sgd::new(lin.params(), 0.1);
+        let x = Tensor::constant(Matrix::from_vec(4, 2, vec![1., 0., 0., 1., 1., 1., -1., 0.5]));
+        for _ in 0..400 {
+            opt.zero_grad();
+            let loss = lin.forward(&x).sub(&x).l2_sum();
+            loss.backward();
+            opt.step();
+        }
+        let loss = lin.forward(&x).sub(&x).l2_sum().item();
+        assert!(loss < 1e-3, "final loss {loss}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Parameter registry shared by all neural modules.
+//!
+//! Meta-learning algorithms (MAML, Reptile, FeatTrans) repeatedly snapshot
+//! and restore model weights; [`Module::export_weights`] /
+//! [`Module::import_weights`] provide that in a layout-stable order.
+
+use cgnp_tensor::{Matrix, Tensor};
+use rand::rngs::StdRng;
+
+/// Anything holding trainable parameters.
+pub trait Module {
+    /// All trainable parameters, in a stable order.
+    fn params(&self) -> Vec<Tensor>;
+
+    /// Total number of scalar parameters.
+    fn param_count(&self) -> usize {
+        self.params()
+            .iter()
+            .map(|p| {
+                let (r, c) = p.shape();
+                r * c
+            })
+            .sum()
+    }
+
+    /// Snapshot of all parameter values.
+    fn export_weights(&self) -> Vec<Matrix> {
+        self.params().iter().map(|p| p.value()).collect()
+    }
+
+    /// Restores parameter values from a snapshot taken by
+    /// [`Module::export_weights`].
+    ///
+    /// # Panics
+    /// Panics on length or shape mismatch.
+    fn import_weights(&self, weights: &[Matrix]) {
+        let params = self.params();
+        assert_eq!(params.len(), weights.len(), "weight snapshot length mismatch");
+        for (p, w) in params.iter().zip(weights) {
+            p.set_value(w.clone());
+        }
+    }
+
+    /// Clears gradients of every parameter.
+    fn zero_grad(&self) {
+        for p in self.params() {
+            p.zero_grad();
+        }
+    }
+}
+
+/// Per-forward-pass context: training mode (enables dropout) and the RNG
+/// driving stochastic regularisation.
+pub struct ForwardCtx<'a> {
+    pub training: bool,
+    pub rng: &'a mut StdRng,
+}
+
+impl<'a> ForwardCtx<'a> {
+    pub fn train(rng: &'a mut StdRng) -> Self {
+        Self { training: true, rng }
+    }
+
+    pub fn eval(rng: &'a mut StdRng) -> Self {
+        Self { training: false, rng }
+    }
+}
+
+/// Point-wise non-linearity selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    Relu,
+    Elu,
+    Tanh,
+    /// Identity (no non-linearity).
+    None,
+}
+
+impl Activation {
+    pub fn apply(&self, x: &Tensor) -> Tensor {
+        match self {
+            Activation::Relu => x.relu(),
+            Activation::Elu => x.elu(1.0),
+            Activation::Tanh => x.tanh(),
+            Activation::None => x.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgnp_tensor::Matrix;
+
+    struct Toy {
+        a: Tensor,
+        b: Tensor,
+    }
+
+    impl Module for Toy {
+        fn params(&self) -> Vec<Tensor> {
+            vec![self.a.clone(), self.b.clone()]
+        }
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let toy = Toy {
+            a: Tensor::parameter(Matrix::full(2, 2, 1.0)),
+            b: Tensor::parameter(Matrix::full(1, 3, 2.0)),
+        };
+        let snapshot = toy.export_weights();
+        toy.a.set_value(Matrix::full(2, 2, -9.0));
+        toy.import_weights(&snapshot);
+        assert!(toy.a.value().approx_eq(&Matrix::full(2, 2, 1.0), 0.0));
+        assert_eq!(toy.param_count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn import_rejects_wrong_length() {
+        let toy = Toy {
+            a: Tensor::parameter(Matrix::zeros(1, 1)),
+            b: Tensor::parameter(Matrix::zeros(1, 1)),
+        };
+        toy.import_weights(&[Matrix::zeros(1, 1)]);
+    }
+
+    #[test]
+    fn activations_match_tensor_ops() {
+        let x = Tensor::constant(Matrix::from_vec(1, 2, vec![-1.0, 2.0]));
+        assert_eq!(Activation::Relu.apply(&x).value().as_slice(), &[0.0, 2.0]);
+        assert_eq!(Activation::None.apply(&x).value().as_slice(), &[-1.0, 2.0]);
+        let t = Activation::Tanh.apply(&x).value();
+        assert!((t.get(0, 1) - 2.0f32.tanh()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,66 @@
+//! Weight initialisation schemes. All take an explicit RNG so every run is
+//! reproducible from a single seed.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Glorot/Xavier uniform: `U(−a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+/// Appropriate for sigmoid/tanh/softmax-facing layers.
+pub fn glorot_uniform<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rows, cols, -a, a, rng)
+}
+
+/// Kaiming/He uniform: `U(−a, a)` with `a = sqrt(6 / fan_in)`. Appropriate
+/// for ReLU-family layers.
+pub fn kaiming_uniform<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let a = (6.0 / rows.max(1) as f32).sqrt();
+    uniform(rows, cols, -a, a, rng)
+}
+
+/// Uniform initialisation over `[lo, hi)`.
+pub fn uniform<R: Rng>(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut R) -> Matrix {
+    assert!(lo < hi, "empty uniform range");
+    let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// All-zero initialisation (biases).
+pub fn zeros(rows: usize, cols: usize) -> Matrix {
+    Matrix::zeros(rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glorot_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = glorot_uniform(100, 50, &mut rng);
+        let a = (6.0f32 / 150.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= a));
+        // Roughly centred.
+        assert!(m.mean().abs() < 0.02);
+    }
+
+    #[test]
+    fn kaiming_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = kaiming_uniform(64, 32, &mut rng);
+        let a = (6.0f32 / 64.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= a));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = glorot_uniform(4, 4, &mut StdRng::seed_from_u64(7));
+        let b = glorot_uniform(4, 4, &mut StdRng::seed_from_u64(7));
+        assert!(a.approx_eq(&b, 0.0));
+        let c = glorot_uniform(4, 4, &mut StdRng::seed_from_u64(8));
+        assert!(!a.approx_eq(&c, 0.0));
+    }
+}

@@ -1,0 +1,337 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! GNN message passing multiplies a fixed sparse operator (the normalised
+//! adjacency) with a dense embedding matrix on every layer and every task, so
+//! this is the hottest kernel in the system. The CSR is immutable after
+//! construction; [`SparseOperator`] additionally precomputes the transpose so
+//! the autodiff backward pass (`dX = Sᵀ · dY`) never rebuilds it.
+
+use crate::matrix::Matrix;
+
+/// An immutable CSR sparse matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    /// Row pointer array of length `n_rows + 1`.
+    indptr: Vec<usize>,
+    /// Column indices, grouped by row.
+    indices: Vec<usize>,
+    /// Values aligned with `indices`.
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from unsorted COO triplets. Duplicate entries are
+    /// summed.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn from_triplets(
+        n_rows: usize,
+        n_cols: usize,
+        triplets: &[(usize, usize, f32)],
+    ) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(r < n_rows && c < n_cols, "triplet ({r},{c}) out of bounds");
+        }
+        // Counting sort by row.
+        let mut counts = vec![0usize; n_rows + 1];
+        for &(r, _, _) in triplets {
+            counts[r + 1] += 1;
+        }
+        for i in 0..n_rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut cols = vec![0usize; triplets.len()];
+        let mut vals = vec![0f32; triplets.len()];
+        let mut cursor = counts.clone();
+        for &(r, c, v) in triplets {
+            let pos = cursor[r];
+            cols[pos] = c;
+            vals[pos] = v;
+            cursor[r] += 1;
+        }
+        // Sort within each row and merge duplicates.
+        let mut indptr = Vec::with_capacity(n_rows + 1);
+        let mut indices = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        indptr.push(0);
+        let mut row_buf: Vec<(usize, f32)> = Vec::new();
+        for r in 0..n_rows {
+            row_buf.clear();
+            for i in counts[r]..counts[r + 1] {
+                row_buf.push((cols[i], vals[i]));
+            }
+            row_buf.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row_buf.len() {
+                let (c, mut v) = row_buf[i];
+                let mut j = i + 1;
+                while j < row_buf.len() && row_buf[j].0 == c {
+                    v += row_buf[j].1;
+                    j += 1;
+                }
+                indices.push(c);
+                values.push(v);
+                i = j;
+            }
+            indptr.push(indices.len());
+        }
+        Self { n_rows, n_cols, indptr, indices, values }
+    }
+
+    /// The identity operator of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            n_rows: n,
+            n_cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `(column, value)` pairs of row `r`.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let span = self.indptr[r]..self.indptr[r + 1];
+        self.indices[span.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[span].iter().copied())
+    }
+
+    /// Sparse × dense product `self @ x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn spmm(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            self.n_cols,
+            x.rows(),
+            "spmm dims mismatch: {}x{} @ {:?}",
+            self.n_rows,
+            self.n_cols,
+            x.shape()
+        );
+        let mut out = Matrix::zeros(self.n_rows, x.cols());
+        let cols = x.cols();
+        for r in 0..self.n_rows {
+            let orow = &mut out.as_mut_slice()[r * cols..(r + 1) * cols];
+            for i in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[i];
+                let v = self.values[i];
+                let xrow = x.row(c);
+                for (o, &xv) in orow.iter_mut().zip(xrow) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse × dense vector product for `x` stored as a slice.
+    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(self.n_cols, x.len(), "spmv dims mismatch");
+        let mut out = vec![0.0; self.n_rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for i in self.indptr[r]..self.indptr[r + 1] {
+                acc += self.values[i] * x[self.indices[i]];
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Transposed copy (CSC of `self` re-expressed as CSR).
+    pub fn transpose(&self) -> Self {
+        let mut counts = vec![0usize; self.n_cols + 1];
+        for &c in &self.indices {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.n_cols {
+            counts[i + 1] += counts[i];
+        }
+        let mut indices = vec![0usize; self.nnz()];
+        let mut values = vec![0f32; self.nnz()];
+        let mut cursor = counts.clone();
+        for r in 0..self.n_rows {
+            for i in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[i];
+                let pos = cursor[c];
+                indices[pos] = r;
+                values[pos] = self.values[i];
+                cursor[c] += 1;
+            }
+        }
+        Self {
+            n_rows: self.n_cols,
+            n_cols: self.n_rows,
+            indptr: counts,
+            indices,
+            values,
+        }
+    }
+
+    /// Densifies; intended for tests and debugging only.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n_rows, self.n_cols);
+        for r in 0..self.n_rows {
+            let row = m.row_mut(r);
+            for (c, v) in self.row_iter(r) {
+                row[c] += v;
+            }
+        }
+        m
+    }
+
+    /// True when the matrix equals its transpose (structure and values).
+    pub fn is_symmetric(&self, tol: f32) -> bool {
+        if self.n_rows != self.n_cols {
+            return false;
+        }
+        let t = self.transpose();
+        self.indptr == t.indptr
+            && self.indices == t.indices
+            && self
+                .values
+                .iter()
+                .zip(&t.values)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+/// A fixed sparse operator packaged with its transpose for use inside the
+/// autodiff graph (see [`crate::Tensor::spmm`]).
+///
+/// For the symmetric normalised adjacency used by GCN the transpose equals
+/// the operator itself, but e.g. the row-normalised mean aggregator of
+/// GraphSAGE is not symmetric, so the transpose is always materialised.
+#[derive(Clone, Debug)]
+pub struct SparseOperator {
+    forward: CsrMatrix,
+    transposed: CsrMatrix,
+}
+
+impl SparseOperator {
+    pub fn new(forward: CsrMatrix) -> Self {
+        let transposed = forward.transpose();
+        Self { forward, transposed }
+    }
+
+    #[inline]
+    pub fn forward(&self) -> &CsrMatrix {
+        &self.forward
+    }
+
+    #[inline]
+    pub fn transposed(&self) -> &CsrMatrix {
+        &self.transposed
+    }
+
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.forward.n_rows()
+    }
+
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.forward.n_cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[0, 2, 0],
+        //  [1, 0, 3],
+        //  [0, 4, 0]]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 1, 2.0), (1, 0, 1.0), (1, 2, 3.0), (2, 1, 4.0)],
+        )
+    }
+
+    #[test]
+    fn from_triplets_sorts_and_dedups() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 2, 1.0), (0, 0, 2.0), (0, 2, 0.5)]);
+        let row: Vec<_> = m.row_iter(0).collect();
+        assert_eq!(row, vec![(0, 2.0), (2, 1.5)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row_iter(1).count(), 0);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let s = sample();
+        let x = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let sparse = s.spmm(&x);
+        let dense = s.to_dense().matmul(&x);
+        assert!(sparse.approx_eq(&dense, 1e-5));
+    }
+
+    #[test]
+    fn spmv_matches_spmm() {
+        let s = sample();
+        let x = vec![1.0, -1.0, 2.0];
+        let v = s.spmv(&x);
+        let m = s.spmm(&Matrix::from_vec(3, 1, x));
+        assert_eq!(v, m.as_slice());
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let s = sample();
+        let t = s.transpose();
+        assert!(t.to_dense().approx_eq(&s.to_dense().transpose(), 1e-6));
+        // Involution.
+        assert_eq!(t.transpose(), s);
+    }
+
+    #[test]
+    fn identity_spmm_is_noop() {
+        let i = CsrMatrix::identity(4);
+        let x = Matrix::from_vec(4, 2, (0..8).map(|v| v as f32).collect());
+        assert!(i.spmm(&x).approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let sym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        assert!(sym.is_symmetric(1e-6));
+        assert!(!sample().is_symmetric(1e-6));
+    }
+
+    #[test]
+    fn operator_precomputes_transpose() {
+        let op = SparseOperator::new(sample());
+        let expect = sample().to_dense().transpose();
+        assert!(op.transposed().to_dense().approx_eq(&expect, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn triplet_bounds_checked() {
+        let _ = CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,392 @@
+//! Reverse-mode automatic differentiation on a dynamically built tape.
+//!
+//! A [`Tensor`] is a shared node of a computation DAG. Operations (see the
+//! `ops` module) create new nodes holding the forward value, the parent
+//! edges, and a backward closure with the analytically derived adjoint.
+//! Calling [`Tensor::backward`] on a scalar loss topologically sorts the
+//! reachable subgraph and accumulates gradients into every node that
+//! requires them.
+//!
+//! Design notes:
+//! * The graph only ever points from an op's output to its inputs, so it is
+//!   acyclic by construction and reference counting frees the tape as soon
+//!   as the loss tensor is dropped.
+//! * Nodes whose inputs all have `needs_grad == false` are folded into
+//!   constants at construction time, so inference with
+//!   [`no_grad`] builds no tape at all.
+
+use std::cell::{Ref, RefCell};
+use std::collections::HashSet;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::matrix::Matrix;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static GRAD_ENABLED: std::cell::Cell<bool> = const { std::cell::Cell::new(true) };
+}
+
+/// Runs `f` with tape construction disabled: any op executed inside produces
+/// constant tensors, which makes pure inference allocation-light.
+pub fn no_grad<R>(f: impl FnOnce() -> R) -> R {
+    let prev = GRAD_ENABLED.with(|g| g.replace(false));
+    let out = f();
+    GRAD_ENABLED.with(|g| g.set(prev));
+    out
+}
+
+/// True when ops currently record backward closures.
+pub fn grad_enabled() -> bool {
+    GRAD_ENABLED.with(|g| g.get())
+}
+
+pub(crate) type BackwardFn = Box<dyn Fn(&Matrix, &[Tensor])>;
+
+struct Inner {
+    id: u64,
+    value: Matrix,
+    grad: Option<Matrix>,
+    /// Leaf parameters that the optimiser updates.
+    requires_grad: bool,
+    /// `requires_grad` or transitively reachable from such a leaf.
+    needs_grad: bool,
+    parents: Vec<Tensor>,
+    backward: Option<BackwardFn>,
+}
+
+/// A node in the autodiff graph. Cloning is cheap (reference-counted).
+#[derive(Clone)]
+pub struct Tensor {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Tensor {
+    fn new_inner(
+        value: Matrix,
+        requires_grad: bool,
+        needs_grad: bool,
+        parents: Vec<Tensor>,
+        backward: Option<BackwardFn>,
+    ) -> Self {
+        Self {
+            inner: Rc::new(RefCell::new(Inner {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                value,
+                grad: None,
+                requires_grad,
+                needs_grad,
+                parents,
+                backward,
+            })),
+        }
+    }
+
+    /// A constant tensor; gradients never flow into it.
+    pub fn constant(value: Matrix) -> Self {
+        Self::new_inner(value, false, false, Vec::new(), None)
+    }
+
+    /// A scalar constant.
+    pub fn scalar(v: f32) -> Self {
+        Self::constant(Matrix::scalar(v))
+    }
+
+    /// A trainable leaf parameter.
+    pub fn parameter(value: Matrix) -> Self {
+        Self::new_inner(value, true, true, Vec::new(), None)
+    }
+
+    /// Builds an op node. If no parent needs gradients (or the tape is
+    /// disabled via [`no_grad`]), the node degenerates into a constant.
+    pub(crate) fn from_op(value: Matrix, parents: Vec<Tensor>, backward: BackwardFn) -> Self {
+        let record = grad_enabled() && parents.iter().any(|p| p.needs_grad());
+        if record {
+            Self::new_inner(value, false, true, parents, Some(backward))
+        } else {
+            Self::constant(value)
+        }
+    }
+
+    /// Unique node id.
+    pub fn id(&self) -> u64 {
+        self.inner.borrow().id
+    }
+
+    /// `(rows, cols)` of the stored value.
+    pub fn shape(&self) -> (usize, usize) {
+        self.inner.borrow().value.shape()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.inner.borrow().value.rows()
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.inner.borrow().value.cols()
+    }
+
+    /// Borrow of the forward value.
+    pub fn value_ref(&self) -> Ref<'_, Matrix> {
+        Ref::map(self.inner.borrow(), |i| &i.value)
+    }
+
+    /// Clone of the forward value.
+    pub fn value(&self) -> Matrix {
+        self.inner.borrow().value.clone()
+    }
+
+    /// Scalar value of a `1×1` tensor.
+    pub fn item(&self) -> f32 {
+        self.inner.borrow().value.item()
+    }
+
+    /// Clone of the accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Matrix> {
+        self.inner.borrow().grad.clone()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        self.inner.borrow_mut().grad = None;
+    }
+
+    /// True for leaf parameters.
+    pub fn requires_grad(&self) -> bool {
+        self.inner.borrow().requires_grad
+    }
+
+    /// True when gradients flow through this node.
+    pub fn needs_grad(&self) -> bool {
+        self.inner.borrow().needs_grad
+    }
+
+    /// Replaces the stored value (used by optimisers and meta-learners).
+    ///
+    /// # Panics
+    /// Panics if the shape changes.
+    pub fn set_value(&self, value: Matrix) {
+        let mut inner = self.inner.borrow_mut();
+        assert_eq!(
+            inner.value.shape(),
+            value.shape(),
+            "set_value must preserve shape"
+        );
+        inner.value = value;
+    }
+
+    /// In-place mutation of the stored value.
+    pub fn update_value(&self, f: impl FnOnce(&mut Matrix)) {
+        f(&mut self.inner.borrow_mut().value);
+    }
+
+    /// A constant tensor sharing this tensor's current value (copied).
+    pub fn detach(&self) -> Tensor {
+        Tensor::constant(self.value())
+    }
+
+    /// Adds `delta` into the gradient buffer (no-op for constants).
+    pub fn accum_grad(&self, delta: &Matrix) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.needs_grad {
+            return;
+        }
+        debug_assert_eq!(
+            inner.value.shape(),
+            delta.shape(),
+            "gradient shape mismatch"
+        );
+        match &mut inner.grad {
+            Some(g) => g.add_assign(delta),
+            slot @ None => *slot = Some(delta.clone()),
+        }
+    }
+
+    /// Back-propagates from a scalar loss, seeding `d(loss)/d(loss) = 1`.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not `1×1`.
+    pub fn backward(&self) {
+        assert_eq!(
+            self.shape(),
+            (1, 1),
+            "backward() requires a scalar; use backward_with for general seeds"
+        );
+        self.backward_with(&Matrix::scalar(1.0));
+    }
+
+    /// Back-propagates with an explicit seed gradient of this tensor's shape.
+    pub fn backward_with(&self, seed: &Matrix) {
+        if !self.needs_grad() {
+            return;
+        }
+        self.accum_grad(seed);
+        let order = self.topo_order();
+        // Reverse topological order: each node's full gradient is known
+        // before its backward closure distributes it to the parents.
+        for node in order.iter().rev() {
+            let inner = node.inner.borrow();
+            let Some(bw) = inner.backward.as_ref() else {
+                continue;
+            };
+            let Some(grad) = inner.grad.as_ref() else {
+                continue;
+            };
+            let grad = grad.clone();
+            bw(&grad, &inner.parents);
+        }
+    }
+
+    /// Post-order over the needs-grad subgraph (parents appear before the
+    /// nodes consuming them), computed iteratively to avoid stack overflow
+    /// on deep tapes.
+    fn topo_order(&self) -> Vec<Tensor> {
+        let mut order = Vec::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stack: Vec<(Tensor, usize)> = Vec::new();
+        visited.insert(self.id());
+        stack.push((self.clone(), 0));
+        while let Some((node, idx)) = stack.pop() {
+            let next_parent = {
+                let inner = node.inner.borrow();
+                inner.parents.get(idx).cloned()
+            };
+            match next_parent {
+                Some(parent) => {
+                    stack.push((node, idx + 1));
+                    if parent.needs_grad() && visited.insert(parent.id()) {
+                        stack.push((parent, 0));
+                    }
+                }
+                None => order.push(node),
+            }
+        }
+        order
+    }
+
+    /// Number of nodes that would participate in a backward pass from here.
+    pub fn tape_len(&self) -> usize {
+        if !self.needs_grad() {
+            return 0;
+        }
+        self.topo_order().len()
+    }
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Tensor")
+            .field("id", &inner.id)
+            .field("shape", &inner.value.shape())
+            .field("requires_grad", &inner.requires_grad)
+            .field("needs_grad", &inner.needs_grad)
+            .field("n_parents", &inner.parents.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_carry_no_tape() {
+        let a = Tensor::constant(Matrix::scalar(2.0));
+        let b = Tensor::constant(Matrix::scalar(3.0));
+        let c = a.add(&b);
+        assert!(!c.needs_grad());
+        assert_eq!(c.tape_len(), 0);
+        assert_eq!(c.item(), 5.0);
+    }
+
+    #[test]
+    fn parameter_grad_accumulates_through_diamond() {
+        // loss = (x + x) summed; dl/dx = 2 * ones.
+        let x = Tensor::parameter(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let y = x.add(&x);
+        let loss = y.sum_all();
+        loss.backward();
+        let g = x.grad().expect("grad");
+        assert!(g.approx_eq(&Matrix::from_vec(1, 2, vec![2.0, 2.0]), 1e-6));
+    }
+
+    #[test]
+    fn shared_subexpression_backward_is_correct() {
+        // z = x*x (hadamard with aliased parents); loss = sum(z); dz/dx = 2x.
+        let x = Tensor::parameter(Matrix::from_vec(1, 3, vec![1.0, -2.0, 3.0]));
+        let z = x.mul(&x);
+        let loss = z.sum_all();
+        loss.backward();
+        let g = x.grad().expect("grad");
+        assert!(g.approx_eq(&Matrix::from_vec(1, 3, vec![2.0, -4.0, 6.0]), 1e-5));
+    }
+
+    #[test]
+    fn no_grad_suppresses_tape() {
+        let x = Tensor::parameter(Matrix::scalar(2.0));
+        let y = no_grad(|| x.scale(3.0));
+        assert!(!y.needs_grad());
+        assert_eq!(y.item(), 6.0);
+        // Tape recording resumes afterwards.
+        let z = x.scale(3.0);
+        assert!(z.needs_grad());
+    }
+
+    #[test]
+    fn backward_requires_scalar() {
+        let result = std::panic::catch_unwind(|| {
+            let x = Tensor::parameter(Matrix::zeros(2, 2));
+            let y = x.scale(1.0);
+            y.backward();
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let x = Tensor::parameter(Matrix::scalar(1.0));
+        let loss = x.scale(2.0);
+        loss.backward();
+        assert_eq!(x.grad().unwrap().item(), 2.0);
+        x.zero_grad();
+        assert!(x.grad().is_none());
+    }
+
+    #[test]
+    fn repeated_backward_accumulates() {
+        let x = Tensor::parameter(Matrix::scalar(1.0));
+        let l1 = x.scale(2.0);
+        l1.backward();
+        let l2 = x.scale(3.0);
+        l2.backward();
+        assert_eq!(x.grad().unwrap().item(), 5.0);
+    }
+
+    #[test]
+    fn detach_blocks_gradients() {
+        let x = Tensor::parameter(Matrix::scalar(2.0));
+        let d = x.detach();
+        let loss = d.scale(10.0);
+        assert!(!loss.needs_grad());
+        loss.backward_with(&Matrix::scalar(1.0));
+        assert!(x.grad().is_none());
+    }
+
+    #[test]
+    fn deep_chain_backward_is_iterative() {
+        // Depth far beyond any model in this workspace (3-layer GNNs build
+        // tapes of depth < 100); guards against a recursive backward pass.
+        let x = Tensor::parameter(Matrix::scalar(1.0));
+        let mut y = x.clone();
+        for _ in 0..2_000 {
+            y = y.scale(1.0);
+        }
+        let loss = y.sum_all();
+        loss.backward();
+        assert_eq!(x.grad().unwrap().item(), 1.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Cross-domain transfer (the paper's MGDD setting, "Cite2Cora").
+//!
+//! Meta-train on tasks drawn from one citation network (Citeseer-like) and
+//! answer community-search queries on a *different* network (Cora-like)
+//! with only a few labelled shots — the hardest configuration in the
+//! paper: nothing about the test graph, its communities, or even its
+//! attribute vocabulary was seen during training.
+//!
+//! Run with: `cargo run --release --example cross_domain`
+
+use cgnp_core::{meta_train, prepare_tasks, Cgnp, CgnpConfig, CommutativeOp};
+use cgnp_data::{
+    load_dataset, mgdd_tasks, model_input_dim, DatasetId, Scale, TaskConfig,
+};
+use cgnp_eval::Metrics;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let seed = 17;
+    let citeseer = load_dataset(DatasetId::Citeseer, Scale::Quick, seed);
+    let cora = load_dataset(DatasetId::Cora, Scale::Quick, seed);
+    println!(
+        "train domain: {} ({} nodes, {} attrs) → test domain: {} ({} nodes, {} attrs)",
+        citeseer.id.name(),
+        citeseer.single().n(),
+        citeseer.single().n_attrs(),
+        cora.id.name(),
+        cora.single().n(),
+        cora.single().n_attrs()
+    );
+
+    // The two domains' attribute vocabularies are incompatible (different
+    // keyword spaces, different widths), so the transfer rides on the
+    // structural channels shared by every graph — core number and local
+    // clustering coefficient — exactly the non-attributed feature assembly
+    // of §VII-A.
+    let cfg = TaskConfig {
+        subgraph_size: 100,
+        shots: 1,
+        n_targets: 8,
+        ..Default::default()
+    };
+    let tasks = mgdd_tasks(
+        &citeseer.single().without_attributes(),
+        &cora.single().without_attributes(),
+        &cfg,
+        (10, 0, 4),
+        seed,
+    );
+    let train_dim = model_input_dim(&tasks.train[0].graph);
+    let test_dim = model_input_dim(&tasks.test[0].graph);
+    println!("shared structural input width: train {train_dim} / test {test_dim}");
+    assert_eq!(train_dim, test_dim);
+
+    let train = prepare_tasks(&tasks.train);
+    let test = prepare_tasks(&tasks.test);
+
+    let cgnp_cfg = CgnpConfig::paper_default(train_dim, 32)
+        .with_commutative(CommutativeOp::SelfAttention)
+        .with_epochs(30);
+    let model = Cgnp::new(cgnp_cfg, seed);
+    let stats = meta_train(&model, &train, seed);
+    println!(
+        "meta-trained on {} Citeseer tasks ({} epochs, final loss {:.4})",
+        train.len(),
+        stats.epoch_losses.len(),
+        stats.final_loss().unwrap()
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut per_query = Vec::new();
+    for prepared in &test {
+        for (ex, probs) in prepared
+            .task
+            .targets
+            .iter()
+            .zip(model.predict_task(prepared, &mut rng))
+        {
+            per_query.push(Metrics::from_probs(&probs, &ex.truth, 0.5));
+        }
+    }
+    let avg = Metrics::macro_average(&per_query);
+    println!(
+        "zero-gradient adaptation on {} Cora queries: precision {:.4}  recall {:.4}  F1 {:.4}",
+        per_query.len(),
+        avg.precision,
+        avg.recall,
+        avg.f1
+    );
+    println!(
+        "(the learned prior — nearby, densely connected, attribute-similar nodes — \
+         transfers across domains)"
+    );
+}

@@ -1,0 +1,95 @@
+//! Cross-crate method integration: the full 13-method roster of the paper
+//! runs end-to-end through the harness and produces coherent outcomes.
+
+use cgnp_eval::{
+    evaluate_roster, standard_methods, BaselineHyper, CgnpConfig, HarnessConfig,
+    MethodSelection,
+};
+use cgnp_data::{
+    generate_sbm, single_graph_tasks, SbmConfig, TaskConfig, TaskKind, TaskSet,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_taskset(seed: u64, shots: usize) -> TaskSet {
+    let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
+    let cfg = TaskConfig { subgraph_size: 50, shots, n_targets: 4, ..Default::default() };
+    single_graph_tasks(&ag, TaskKind::Sgsc, &cfg, (3, 0, 2), seed)
+}
+
+#[test]
+fn full_roster_runs_and_reports() {
+    let tasks = tiny_taskset(1, 2);
+    let hyper = BaselineHyper::paper_default(8, 2);
+    let cgnp = CgnpConfig::paper_default(1, 8).with_epochs(2);
+    let mut methods = standard_methods(MethodSelection::All, &hyper, &cgnp, true);
+    assert_eq!(methods.len(), 13, "paper roster: 3 algos + 7 learned + 3 CGNP");
+    let outcomes = evaluate_roster(&mut methods, &tasks, &HarnessConfig::default());
+    assert_eq!(outcomes.len(), 13);
+    for o in &outcomes {
+        assert!(
+            (0.0..=1.0).contains(&o.metrics.f1),
+            "{}: f1 {}",
+            o.method,
+            o.metrics.f1
+        );
+        assert!(o.metrics.accuracy.is_finite());
+        assert_eq!(o.n_test_tasks, 2);
+        assert_eq!(o.n_test_queries, 8);
+        assert!(o.test_seconds > 0.0, "{} must consume test time", o.method);
+    }
+    // Methods without a meta stage report (near-)zero training time; the
+    // meta-learners report strictly more.
+    let by_name = |n: &str| outcomes.iter().find(|o| o.method == n).unwrap();
+    assert!(by_name("MAML").train_seconds > by_name("CTC").train_seconds);
+    assert!(by_name("CGNP-IP").train_seconds > 0.0);
+}
+
+#[test]
+fn graph_algorithms_never_predict_everything() {
+    // The paper's graph algorithms show high precision / low recall:
+    // their communities are dense subgraphs, not the whole task graph.
+    let tasks = tiny_taskset(2, 1);
+    let hyper = BaselineHyper::paper_default(8, 1);
+    let cgnp = CgnpConfig::paper_default(1, 8).with_epochs(1);
+    let mut methods = standard_methods(MethodSelection::Algorithms, &hyper, &cgnp, false);
+    let outcomes = evaluate_roster(&mut methods, &tasks, &HarnessConfig::default());
+    for o in outcomes {
+        let predicted_fraction = (o.metrics.tp + o.metrics.fp) as f64
+            / (o.metrics.tp + o.metrics.fp + o.metrics.tn + o.metrics.fn_) as f64;
+        assert!(
+            predicted_fraction < 0.9,
+            "{} predicted {predicted_fraction:.2} of all nodes",
+            o.method
+        );
+    }
+}
+
+#[test]
+fn shots_affect_support_size_not_targets() {
+    let one = tiny_taskset(3, 1);
+    let five = tiny_taskset(3, 5);
+    assert_eq!(one.test[0].shots(), 1);
+    assert_eq!(five.test[0].shots(), 5);
+    assert_eq!(one.test[0].targets.len(), five.test[0].targets.len());
+}
+
+#[test]
+fn cgnp_variants_have_distinct_names_and_outputs() {
+    let tasks = tiny_taskset(4, 2);
+    let hyper = BaselineHyper::paper_default(8, 2);
+    let cgnp = CgnpConfig::paper_default(1, 8).with_epochs(2);
+    let mut methods = standard_methods(MethodSelection::CgnpOnly, &hyper, &cgnp, false);
+    let outcomes = evaluate_roster(&mut methods, &tasks, &HarnessConfig::default());
+    let names: Vec<&str> = outcomes.iter().map(|o| o.method.as_str()).collect();
+    assert_eq!(names, vec!["CGNP-IP", "CGNP-MLP", "CGNP-GNN"]);
+}
+
+#[test]
+fn learned_selection_excludes_algorithms() {
+    let hyper = BaselineHyper::paper_default(8, 1);
+    let cgnp = CgnpConfig::paper_default(1, 8);
+    let methods = standard_methods(MethodSelection::Learned, &hyper, &cgnp, true);
+    assert!(methods.iter().all(|m| !["ATC", "ACQ", "CTC"].contains(&m.name())));
+    assert_eq!(methods.len(), 10);
+}

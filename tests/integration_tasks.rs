@@ -1,0 +1,127 @@
+//! Cross-crate task-construction integration: dataset surrogates feed the
+//! four task configurations with consistent shapes and semantics.
+
+use std::collections::HashSet;
+
+use cgnp_data::{
+    base_feature_dim, load_dataset, model_input_dim, single_graph_tasks, DatasetId, Scale,
+    TaskConfig, TaskKind,
+};
+use cgnp_eval::{build_cite2cora_tasks, build_facebook_tasks, ScaleSettings};
+
+#[test]
+fn every_dataset_supports_task_sampling() {
+    for id in [
+        DatasetId::Cora,
+        DatasetId::Citeseer,
+        DatasetId::Arxiv,
+        DatasetId::Dblp,
+        DatasetId::Reddit,
+    ] {
+        let ds = load_dataset(id, Scale::Smoke, 5);
+        let cfg = TaskConfig { subgraph_size: 60, shots: 1, n_targets: 4, ..Default::default() };
+        let ts = single_graph_tasks(ds.single(), TaskKind::Sgsc, &cfg, (2, 0, 1), 5);
+        assert_eq!(ts.train.len(), 2, "{id:?} failed to build train tasks");
+        assert_eq!(ts.test.len(), 1, "{id:?} failed to build test tasks");
+        // Model input width is consistent across tasks of one dataset.
+        let dims: HashSet<usize> = ts
+            .train
+            .iter()
+            .chain(&ts.test)
+            .map(|t| model_input_dim(&t.graph))
+            .collect();
+        assert_eq!(dims.len(), 1, "{id:?} has inconsistent feature widths");
+    }
+}
+
+#[test]
+fn attributed_and_structural_widths() {
+    let citeseer = load_dataset(DatasetId::Citeseer, Scale::Smoke, 1);
+    let reddit = load_dataset(DatasetId::Reddit, Scale::Smoke, 1);
+    assert_eq!(
+        base_feature_dim(citeseer.single()),
+        citeseer.single().n_attrs() + 2
+    );
+    assert_eq!(base_feature_dim(reddit.single()), 2);
+}
+
+#[test]
+fn sgdc_communities_disjoint_on_real_surrogate() {
+    // Cora has no overlap in its surrogate config, so each node has
+    // exactly one community and disjointness is exact.
+    let ds = load_dataset(DatasetId::Cora, Scale::Smoke, 11);
+    let cfg = TaskConfig { subgraph_size: 60, shots: 1, n_targets: 4, ..Default::default() };
+    let ts = single_graph_tasks(ds.single(), TaskKind::Sgdc, &cfg, (3, 0, 3), 11);
+    let comms = |tasks: &[cgnp_data::Task]| -> HashSet<u32> {
+        tasks
+            .iter()
+            .flat_map(|t| {
+                t.all_examples()
+                    .map(|ex| t.graph.communities_of(ex.query)[0])
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+    let train = comms(&ts.train);
+    let test = comms(&ts.test);
+    assert!(
+        train.intersection(&test).next().is_none(),
+        "SGDC leaked communities between train and test"
+    );
+}
+
+#[test]
+fn facebook_tasks_use_whole_egos() {
+    let settings = ScaleSettings::for_scale(Scale::Smoke);
+    let ts = build_facebook_tasks(1, &settings, 2);
+    let ds = load_dataset(DatasetId::Facebook, Scale::Smoke, 2);
+    let ego_sizes: HashSet<usize> = ds.graphs.iter().map(|g| g.n()).collect();
+    for t in ts.train.iter().chain(&ts.test) {
+        assert!(
+            ego_sizes.contains(&t.n()),
+            "MGOD task graph size {} is not an ego-network size",
+            t.n()
+        );
+    }
+}
+
+#[test]
+fn cite2cora_strips_attributes_for_width_compatibility() {
+    let settings = ScaleSettings::for_scale(Scale::Smoke);
+    let ts = build_cite2cora_tasks(1, &settings, 3);
+    assert!(!ts.train.is_empty() && !ts.test.is_empty());
+    let train_dim = model_input_dim(&ts.train[0].graph);
+    let test_dim = model_input_dim(&ts.test[0].graph);
+    assert_eq!(train_dim, test_dim, "cross-domain widths must match");
+    assert_eq!(train_dim, 3, "structural pathway: indicator + core + lcc");
+    // Train tasks come from Citeseer, test tasks from Cora: the task
+    // graphs have different community-universe sizes.
+    assert_ne!(
+        ts.train[0].graph.n_communities(),
+        ts.test[0].graph.n_communities()
+    );
+}
+
+#[test]
+fn ground_truth_ratio_override_scales_with_community() {
+    let ds = load_dataset(DatasetId::Citeseer, Scale::Smoke, 4);
+    let base = TaskConfig { subgraph_size: 60, shots: 1, n_targets: 4, ..Default::default() };
+    let small = TaskConfig { sample_ratios: Some((0.02, 0.1)), ..base.clone() };
+    let large = TaskConfig { sample_ratios: Some((0.2, 1.0)), ..base };
+    let ts_small = single_graph_tasks(ds.single(), TaskKind::Sgsc, &small, (2, 0, 0), 4);
+    let ts_large = single_graph_tasks(ds.single(), TaskKind::Sgsc, &large, (2, 0, 0), 4);
+    let avg_pos = |tasks: &[cgnp_data::Task]| -> f64 {
+        let (mut total, mut count) = (0usize, 0usize);
+        for t in tasks {
+            for ex in t.all_examples() {
+                total += ex.pos.len();
+                count += 1;
+            }
+        }
+        total as f64 / count as f64
+    };
+    assert!(
+        avg_pos(&ts_large.train) > avg_pos(&ts_small.train),
+        "larger ratios must yield more positive samples"
+    );
+}
