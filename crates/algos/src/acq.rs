@@ -27,7 +27,10 @@ pub fn attributed_community_query(ag: &AttributedGraph, q: usize, k: usize) -> A
     let g = ag.graph();
     let structural = k_core_community(g, q, k);
     if !ag.has_attributes() || ag.attrs_of(q).is_empty() || structural.is_empty() {
-        return AcqResult { members: structural, shared_attrs: Vec::new() };
+        return AcqResult {
+            members: structural,
+            shared_attrs: Vec::new(),
+        };
     }
 
     // Level 1: single attributes of q that admit a k-core community.
@@ -38,7 +41,10 @@ pub fn attributed_community_query(ag: &AttributedGraph, q: usize, k: usize) -> A
         }
     }
     if frontier.is_empty() {
-        return AcqResult { members: structural, shared_attrs: Vec::new() };
+        return AcqResult {
+            members: structural,
+            shared_attrs: Vec::new(),
+        };
     }
 
     let mut best = frontier[0].clone();
@@ -64,7 +70,10 @@ pub fn attributed_community_query(ag: &AttributedGraph, q: usize, k: usize) -> A
         }
         frontier = next;
     }
-    AcqResult { members: best.1, shared_attrs: best.0 }
+    AcqResult {
+        members: best.1,
+        shared_attrs: best.0,
+    }
 }
 
 /// The connected k-core containing `q` of the subgraph induced by nodes
@@ -110,10 +119,7 @@ mod tests {
     /// Two triangles sharing node 2; left triangle carries attr 0, right
     /// attr 1; node 2 carries both.
     fn attributed() -> AttributedGraph {
-        let g = Graph::from_edges(
-            5,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)],
-        );
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
         AttributedGraph::new(
             g,
             2,

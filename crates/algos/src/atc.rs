@@ -36,7 +36,10 @@ pub fn attributed_truss_community(
 ) -> AtcResult {
     let g = ag.graph();
     if queries.is_empty() || g.m() == 0 {
-        return AtcResult { members: Vec::new(), score: 0.0 };
+        return AtcResult {
+            members: Vec::new(),
+            score: 0.0,
+        };
     }
     let wq: Vec<u32> = {
         let mut set = HashSet::new();
@@ -52,7 +55,10 @@ pub fn attributed_truss_community(
     let mut view = AliveView::full(g);
     peel_to_k_truss(g, &mut view, k);
     if !queries_connected(g, &view, queries) {
-        return AtcResult { members: Vec::new(), score: 0.0 };
+        return AtcResult {
+            members: Vec::new(),
+            score: 0.0,
+        };
     }
     restrict_to_component(g, &mut view, queries[0]);
     loop {
@@ -62,7 +68,10 @@ pub fn attributed_truss_community(
         }
         peel_to_k_truss(g, &mut view, k);
         if !queries_connected(g, &view, queries) {
-            return AtcResult { members: Vec::new(), score: 0.0 };
+            return AtcResult {
+                members: Vec::new(),
+                score: 0.0,
+            };
         }
         restrict_to_component(g, &mut view, queries[0]);
     }
@@ -85,7 +94,10 @@ pub fn attributed_truss_community(
         }
         view = next;
     }
-    AtcResult { members: best.alive_nodes(), score: best_score }
+    AtcResult {
+        members: best.alive_nodes(),
+        score: best_score,
+    }
 }
 
 /// `f(H, Wq) = Σ_{a ∈ Wq} |V_a ∩ H|² / |H|` (Huang & Lakshmanan, Eq. 1).
@@ -112,12 +124,7 @@ fn restrict_to_component(g: &Graph, view: &mut AliveView, q: usize) {
     }
 }
 
-fn remove_distant_nodes(
-    g: &Graph,
-    view: &mut AliveView,
-    queries: &[usize],
-    d: usize,
-) -> usize {
+fn remove_distant_nodes(g: &Graph, view: &mut AliveView, queries: &[usize], d: usize) -> usize {
     let nodes = view.alive_nodes();
     if nodes.is_empty() {
         return 0;
@@ -223,7 +230,17 @@ mod tests {
         // only its own triangle.
         let g = Graph::from_edges(
             7,
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4), (4, 5), (4, 6), (5, 6)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (2, 4),
+                (3, 4),
+                (4, 5),
+                (4, 6),
+                (5, 6),
+            ],
         );
         let ag = AttributedGraph::plain(g);
         let r = attributed_truss_community(&ag, &[0], 3, 1);

@@ -24,7 +24,10 @@ pub struct CtcResult {
 /// exists (e.g. a query node is isolated).
 pub fn closest_truss_community(g: &Graph, queries: &[usize]) -> CtcResult {
     if queries.is_empty() || g.m() == 0 {
-        return CtcResult { members: Vec::new(), k: 0 };
+        return CtcResult {
+            members: Vec::new(),
+            k: 0,
+        };
     }
     let truss = truss_numbers(g);
     // Upper bound: the smallest over queries of their max incident truss.
@@ -40,7 +43,10 @@ pub fn closest_truss_community(g: &Graph, queries: &[usize]) -> CtcResult {
         .min()
         .unwrap_or(0);
     if k_cap < 2 {
-        return CtcResult { members: Vec::new(), k: 0 };
+        return CtcResult {
+            members: Vec::new(),
+            k: 0,
+        };
     }
     // Largest k whose truss-≥k edge subgraph connects all queries.
     let mut chosen: Option<(usize, AliveView)> = None;
@@ -58,7 +64,10 @@ pub fn closest_truss_community(g: &Graph, queries: &[usize]) -> CtcResult {
         }
     }
     let Some((k, mut view)) = chosen else {
-        return CtcResult { members: Vec::new(), k: 0 };
+        return CtcResult {
+            members: Vec::new(),
+            k: 0,
+        };
     };
 
     // Restrict to the component containing the queries.
@@ -90,7 +99,10 @@ pub fn closest_truss_community(g: &Graph, queries: &[usize]) -> CtcResult {
         }
         view = next;
     }
-    CtcResult { members: best.alive_nodes(), k }
+    CtcResult {
+        members: best.alive_nodes(),
+        k,
+    }
 }
 
 fn restrict_to_query_component(g: &Graph, view: &mut AliveView, q: usize) {
@@ -182,9 +194,20 @@ mod tests {
         Graph::from_edges(
             9,
             &[
-                (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // clique A
-                (4, 5), (4, 6), (5, 6), (4, 8), (5, 8), (6, 8), // clique B
-                (3, 7), (7, 4), // bridge
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3), // clique A
+                (4, 5),
+                (4, 6),
+                (5, 6),
+                (4, 8),
+                (5, 8),
+                (6, 8), // clique B
+                (3, 7),
+                (7, 4), // bridge
             ],
         )
     }
@@ -236,7 +259,17 @@ mod tests {
         // shrink should drop the far triangles for a single query.
         let mut edges = vec![(0, 1), (0, 2), (1, 2)];
         // Chain of triangles: (2,3,4), (4,5,6), (6,7,8).
-        edges.extend_from_slice(&[(2, 3), (2, 4), (3, 4), (4, 5), (4, 6), (5, 6), (6, 7), (6, 8), (7, 8)]);
+        edges.extend_from_slice(&[
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            (4, 5),
+            (4, 6),
+            (5, 6),
+            (6, 7),
+            (6, 8),
+            (7, 8),
+        ]);
         let g = Graph::from_edges(9, &edges);
         let r = closest_truss_community(&g, &[0]);
         assert_eq!(r.k, 3);

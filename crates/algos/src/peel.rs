@@ -12,12 +12,18 @@ pub struct AliveView {
 impl AliveView {
     /// Everything alive.
     pub fn full(g: &Graph) -> Self {
-        Self { nodes: vec![true; g.n()], edges: vec![true; g.m()] }
+        Self {
+            nodes: vec![true; g.n()],
+            edges: vec![true; g.m()],
+        }
     }
 
     /// Restricted to a node set (edges alive iff both endpoints alive).
     pub fn from_nodes(g: &Graph, nodes: &[usize]) -> Self {
-        let mut view = Self { nodes: vec![false; g.n()], edges: vec![false; g.m()] };
+        let mut view = Self {
+            nodes: vec![false; g.n()],
+            edges: vec![false; g.m()],
+        };
         for &v in nodes {
             view.nodes[v] = true;
         }
@@ -156,8 +162,16 @@ mod tests {
         Graph::from_edges(
             7,
             &[
-                (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
-                (3, 4), (3, 5), (4, 5), (5, 6),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+                (5, 6),
             ],
         )
     }

@@ -92,7 +92,9 @@ impl CsLearner for AqdGnn {
                     });
                 }
             }
-            let loss = total.expect("non-empty support").scale(1.0 / support.len() as f32);
+            let loss = total
+                .expect("non-empty support")
+                .scale(1.0 / support.len() as f32);
             loss.backward();
             opt.step();
         }
@@ -124,7 +126,12 @@ mod tests {
             sbm.n_attrs = 0;
         }
         let ag = generate_sbm(&sbm, &mut StdRng::seed_from_u64(seed));
-        let cfg = TaskConfig { subgraph_size: 40, shots: 2, n_targets: 3, ..Default::default() };
+        let cfg = TaskConfig {
+            subgraph_size: 40,
+            shots: 2,
+            n_targets: 3,
+            ..Default::default()
+        };
         PreparedTask::new(sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(seed)).unwrap())
     }
 

@@ -20,7 +20,9 @@ impl QueryGnn {
     /// Builds the model; `cfg.out_dim` must be 1 (logit per node).
     pub fn new(cfg: &GnnConfig, rng: &mut StdRng) -> Self {
         assert_eq!(cfg.out_dim, 1, "QueryGnn emits one logit per node");
-        Self { encoder: GnnEncoder::new(cfg, rng) }
+        Self {
+            encoder: GnnEncoder::new(cfg, rng),
+        }
     }
 
     pub fn encoder(&self) -> &GnnEncoder {
@@ -28,12 +30,7 @@ impl QueryGnn {
     }
 
     /// Per-node logits for query `q`: forward over `[I_q ‖ features]`.
-    pub fn logits(
-        &self,
-        prepared: &PreparedTask,
-        q: usize,
-        fctx: &mut ForwardCtx<'_>,
-    ) -> Tensor {
+    pub fn logits(&self, prepared: &PreparedTask, q: usize, fctx: &mut ForwardCtx<'_>) -> Tensor {
         let x = Tensor::constant(with_indicator(&prepared.base, &[q]));
         self.encoder.forward(&prepared.gctx, &x, fctx)
     }
@@ -135,7 +132,12 @@ mod tests {
 
     pub(crate) fn make_prepared(seed: u64, shots: usize) -> PreparedTask {
         let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
-        let cfg = TaskConfig { subgraph_size: 40, shots, n_targets: 4, ..Default::default() };
+        let cfg = TaskConfig {
+            subgraph_size: 40,
+            shots,
+            n_targets: 4,
+            ..Default::default()
+        };
         PreparedTask::new(
             sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(seed)).expect("task"),
         )

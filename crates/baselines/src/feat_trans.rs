@@ -28,7 +28,11 @@ struct Pretrained {
 
 impl FeatTrans {
     pub fn new(hyper: BaselineHyper) -> Self {
-        Self { hyper, finetune_steps: 1, state: None }
+        Self {
+            hyper,
+            finetune_steps: 1,
+            state: None,
+        }
     }
 
     pub fn with_finetune_steps(mut self, steps: usize) -> Self {
@@ -113,7 +117,12 @@ mod tests {
 
     fn tasks(n: usize, seed: u64) -> Vec<PreparedTask> {
         let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
-        let cfg = TaskConfig { subgraph_size: 40, shots: 2, n_targets: 3, ..Default::default() };
+        let cfg = TaskConfig {
+            subgraph_size: 40,
+            shots: 2,
+            n_targets: 3,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| PreparedTask::new(sample_task(&ag, &cfg, None, &mut rng).unwrap()))
@@ -139,14 +148,18 @@ mod tests {
         let _ = learner.run_task(&ts[1], 1);
         let current = learner.state.as_ref().unwrap().model.export_weights();
         for (a, b) in snapshot.iter().zip(&current) {
-            assert!(a.approx_eq(b, 1e-7), "weights must be restored after a task");
+            assert!(
+                a.approx_eq(b, 1e-7),
+                "weights must be restored after a task"
+            );
         }
     }
 
     #[test]
     fn only_final_layer_moves_during_finetune() {
         let ts = tasks(2, 3);
-        let mut learner = FeatTrans::new(BaselineHyper::paper_default(8, 3)).with_finetune_steps(10);
+        let mut learner =
+            FeatTrans::new(BaselineHyper::paper_default(8, 3)).with_finetune_steps(10);
         learner.meta_train(&ts[..1], 0);
         let state = learner.state.as_ref().unwrap();
         let pre = state.model.export_weights();

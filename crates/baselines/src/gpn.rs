@@ -91,8 +91,7 @@ impl CsLearner for Gpn {
                 {
                     let mut fctx = ForwardCtx::train(&mut rng);
                     for ex in prepared.task.all_examples() {
-                        let Some(loss) = Self::example_loss(model, prepared, ex, &mut fctx)
-                        else {
+                        let Some(loss) = Self::example_loss(model, prepared, ex, &mut fctx) else {
                             continue;
                         };
                         total = Some(match total {
@@ -123,10 +122,8 @@ impl CsLearner for Gpn {
                     let h = Self::embed(model, task, ex.query, &mut fctx);
                     // Prototypes from the target's own labelled samples
                     // (the paper grants GPN this extra information).
-                    let pos: Vec<usize> =
-                        ex.pos.iter().copied().take(PROTO_SAMPLES).collect();
-                    let neg: Vec<usize> =
-                        ex.neg.iter().copied().take(PROTO_SAMPLES).collect();
+                    let pos: Vec<usize> = ex.pos.iter().copied().take(PROTO_SAMPLES).collect();
+                    let neg: Vec<usize> = ex.neg.iter().copied().take(PROTO_SAMPLES).collect();
                     if pos.is_empty() || neg.is_empty() {
                         return vec![0.5; task.task.n()];
                     }
@@ -193,7 +190,12 @@ mod tests {
 
     fn tasks(n: usize, seed: u64) -> Vec<PreparedTask> {
         let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
-        let cfg = TaskConfig { subgraph_size: 40, shots: 1, n_targets: 3, ..Default::default() };
+        let cfg = TaskConfig {
+            subgraph_size: 40,
+            shots: 1,
+            n_targets: 3,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| PreparedTask::new(sample_task(&ag, &cfg, None, &mut rng).unwrap()))
@@ -235,6 +237,9 @@ mod tests {
         let before = learner.model.as_ref().unwrap().export_weights();
         learner.meta_train(&ts, 0);
         let after = learner.model.as_ref().unwrap().export_weights();
-        assert!(before.iter().zip(&after).any(|(a, b)| !a.approx_eq(b, 1e-9)));
+        assert!(before
+            .iter()
+            .zip(&after)
+            .any(|(a, b)| !a.approx_eq(b, 1e-9)));
     }
 }

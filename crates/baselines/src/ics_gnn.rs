@@ -29,7 +29,11 @@ pub struct IcsGnn {
 
 impl IcsGnn {
     pub fn new(hyper: BaselineHyper) -> Self {
-        Self { hyper, size_fraction: 0.25, swap_rounds: 2 }
+        Self {
+            hyper,
+            size_fraction: 0.25,
+            swap_rounds: 2,
+        }
     }
 
     pub fn with_size_fraction(mut self, f: f32) -> Self {
@@ -72,13 +76,7 @@ impl IcsGnn {
     /// Swap refinement: exchange the worst member (whose removal keeps the
     /// subgraph connected) for the best boundary candidate while the total
     /// score improves.
-    fn refine(
-        &self,
-        task: &PreparedTask,
-        q: usize,
-        scores: &[f32],
-        in_set: &mut [bool],
-    ) {
+    fn refine(&self, task: &PreparedTask, q: usize, scores: &[f32], in_set: &mut [bool]) {
         let g = task.task.graph.graph();
         for _ in 0..self.swap_rounds {
             // Best candidate adjacent to the set.
@@ -189,10 +187,7 @@ impl CsLearner for IcsGnn {
                 let scores = model.predict(task, ex.query, &mut rng);
                 let mut in_set = Self::grow(task, ex.query, &scores, budget);
                 self.refine(task, ex.query, &scores, &mut in_set);
-                in_set
-                    .iter()
-                    .map(|&b| if b { 1.0 } else { 0.0 })
-                    .collect()
+                in_set.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()
             })
             .collect()
     }
@@ -205,7 +200,12 @@ mod tests {
 
     fn prepared(seed: u64) -> PreparedTask {
         let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
-        let cfg = TaskConfig { subgraph_size: 40, shots: 1, n_targets: 2, ..Default::default() };
+        let cfg = TaskConfig {
+            subgraph_size: 40,
+            shots: 1,
+            n_targets: 2,
+            ..Default::default()
+        };
         PreparedTask::new(sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(seed)).unwrap())
     }
 
@@ -243,8 +243,7 @@ mod tests {
     #[test]
     fn budget_bounds_community_size() {
         let p = prepared(2);
-        let mut learner =
-            IcsGnn::new(BaselineHyper::paper_default(8, 3)).with_size_fraction(0.1);
+        let mut learner = IcsGnn::new(BaselineHyper::paper_default(8, 3)).with_size_fraction(0.1);
         let preds = learner.run_task(&p, 1);
         let budget = ((p.task.n() as f32 * 0.1).round() as usize).max(2);
         for probs in preds {

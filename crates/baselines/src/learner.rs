@@ -21,4 +21,21 @@ pub trait CsLearner {
     /// Adapts to one (test) task using its support set and predicts
     /// membership probabilities for every target query.
     fn run_task(&mut self, task: &PreparedTask, seed: u64) -> Vec<Vec<f32>>;
+
+    /// Runs a batch of independent test tasks, one result per task in
+    /// order. The default runs them serially; methods whose adaptation is
+    /// gradient-free (CGNP, Algorithm 2) override this to fan tasks out
+    /// across threads — meta-testing is embarrassingly parallel because
+    /// no task mutates shared weights.
+    ///
+    /// # Panics
+    /// Panics if `tasks` and `seeds` lengths differ.
+    fn run_tasks(&mut self, tasks: &[PreparedTask], seeds: &[u64]) -> Vec<Vec<Vec<f32>>> {
+        assert_eq!(tasks.len(), seeds.len(), "tasks/seeds length mismatch");
+        tasks
+            .iter()
+            .zip(seeds)
+            .map(|(t, &s)| self.run_task(t, s))
+            .collect()
+    }
 }

@@ -147,7 +147,12 @@ mod tests {
 
     fn tasks(n: usize, seed: u64) -> Vec<PreparedTask> {
         let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
-        let cfg = TaskConfig { subgraph_size: 40, shots: 2, n_targets: 3, ..Default::default() };
+        let cfg = TaskConfig {
+            subgraph_size: 40,
+            shots: 2,
+            n_targets: 3,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| PreparedTask::new(sample_task(&ag, &cfg, None, &mut rng).unwrap()))
@@ -170,7 +175,10 @@ mod tests {
         let before = learner.model.as_ref().unwrap().export_weights();
         learner.meta_train(&ts, 0);
         let after = learner.model.as_ref().unwrap().export_weights();
-        let moved = before.iter().zip(&after).any(|(a, b)| !a.approx_eq(b, 1e-9));
+        let moved = before
+            .iter()
+            .zip(&after)
+            .any(|(a, b)| !a.approx_eq(b, 1e-9));
         assert!(moved, "outer loop should change the initialisation");
     }
 
@@ -183,7 +191,10 @@ mod tests {
         let preds = learner.run_task(&ts[2], 3);
         let after = learner.model.as_ref().unwrap().export_weights();
         for (a, b) in before.iter().zip(&after) {
-            assert!(a.approx_eq(b, 0.0), "test-time adaptation must not leak into θ*");
+            assert!(
+                a.approx_eq(b, 0.0),
+                "test-time adaptation must not leak into θ*"
+            );
         }
         assert_eq!(preds.len(), ts[2].task.targets.len());
     }

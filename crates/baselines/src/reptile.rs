@@ -133,7 +133,12 @@ mod tests {
 
     fn tasks(n: usize, seed: u64) -> Vec<PreparedTask> {
         let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
-        let cfg = TaskConfig { subgraph_size: 40, shots: 2, n_targets: 3, ..Default::default() };
+        let cfg = TaskConfig {
+            subgraph_size: 40,
+            shots: 2,
+            n_targets: 3,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| PreparedTask::new(sample_task(&ag, &cfg, None, &mut rng).unwrap()))
@@ -158,7 +163,10 @@ mod tests {
         learner.meta_train(&ts, 0);
         let after = learner.model.as_ref().unwrap().export_weights();
         assert!(
-            before.iter().zip(&after).any(|(a, b)| !a.approx_eq(b, 1e-9)),
+            before
+                .iter()
+                .zip(&after)
+                .any(|(a, b)| !a.approx_eq(b, 1e-9)),
             "meta-training should move parameters"
         );
     }

@@ -51,7 +51,12 @@ mod tests {
 
     fn prepared(seed: u64) -> PreparedTask {
         let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
-        let cfg = TaskConfig { subgraph_size: 40, shots: 2, n_targets: 3, ..Default::default() };
+        let cfg = TaskConfig {
+            subgraph_size: 40,
+            shots: 2,
+            n_targets: 3,
+            ..Default::default()
+        };
         PreparedTask::new(sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(seed)).unwrap())
     }
 
@@ -95,10 +100,8 @@ mod tests {
         model.fit(&p, &support, 80, 5e-3, &mut rng);
         let ex = &p.task.support[0];
         let probs = model.predict(&p, ex.query, &mut rng);
-        let pos_mean: f32 =
-            ex.pos.iter().map(|&v| probs[v]).sum::<f32>() / ex.pos.len() as f32;
-        let neg_mean: f32 =
-            ex.neg.iter().map(|&v| probs[v]).sum::<f32>() / ex.neg.len() as f32;
+        let pos_mean: f32 = ex.pos.iter().map(|&v| probs[v]).sum::<f32>() / ex.pos.len() as f32;
+        let neg_mean: f32 = ex.neg.iter().map(|&v| probs[v]).sum::<f32>() / ex.neg.len() as f32;
         assert!(
             pos_mean > neg_mean,
             "fitting support failed: pos {pos_mean} vs neg {neg_mean}"

@@ -10,9 +10,8 @@
 
 use cgnp_bench::{banner, save_report, shape_line};
 use cgnp_eval::{
-    build_cite2cora_tasks, build_facebook_tasks, build_single_graph_tasks, run_cell,
-    DatasetId, ExperimentReport, MethodOutcome, MethodSelection, ScaleSettings, TaskKind,
-    TextTable,
+    build_cite2cora_tasks, build_facebook_tasks, build_single_graph_tasks, run_cell, DatasetId,
+    ExperimentReport, MethodOutcome, MethodSelection, ScaleSettings, TaskKind, TextTable,
 };
 
 fn main() {
@@ -55,8 +54,16 @@ fn main() {
             )),
             false,
         ),
-        ("Facebook", some_if_nonempty(build_facebook_tasks(1, &settings, 42)), true),
-        ("Cite2Cora", some_if_nonempty(build_cite2cora_tasks(1, &settings, 42)), false),
+        (
+            "Facebook",
+            some_if_nonempty(build_facebook_tasks(1, &settings, 42)),
+            true,
+        ),
+        (
+            "Cite2Cora",
+            some_if_nonempty(build_cite2cora_tasks(1, &settings, 42)),
+            false,
+        ),
         (
             "Arxiv",
             some_if_nonempty(build_single_graph_tasks(

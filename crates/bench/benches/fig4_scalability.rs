@@ -38,7 +38,13 @@ fn main() {
         }
         let mut cfg = settings.task_config(1);
         cfg.subgraph_size = size;
-        let tasks = single_graph_tasks(graph, TaskKind::Sgdc, &cfg, (settings.n_train_tasks, 0, settings.n_test_tasks), 42);
+        let tasks = single_graph_tasks(
+            graph,
+            TaskKind::Sgdc,
+            &cfg,
+            (settings.n_train_tasks, 0, settings.n_test_tasks),
+            42,
+        );
         if tasks.train.is_empty() || tasks.test.is_empty() {
             println!("--- |V(G)| = {size}: task sampling failed, skipped ---");
             continue;
@@ -57,7 +63,11 @@ fn main() {
             table.push_row(vec![
                 o.method.clone(),
                 format!("{:.3}", o.test_seconds),
-                if o.train_seconds < 1e-4 { "-".into() } else { format!("{:.3}", o.train_seconds) },
+                if o.train_seconds < 1e-4 {
+                    "-".into()
+                } else {
+                    format!("{:.3}", o.train_seconds)
+                },
             ]);
         }
         println!("{}", table.render());
@@ -90,7 +100,9 @@ fn main() {
         shape_line(
             "CGNP test time lowest at all sizes (FeatTrans closest)",
             cgnp <= min_other,
-            &format!("CGNP-IP {cgnp:.3}s vs best non-CGNP (excl. FeatTrans) {min_other:.3}s at max size"),
+            &format!(
+                "CGNP-IP {cgnp:.3}s vs best non-CGNP (excl. FeatTrans) {min_other:.3}s at max size"
+            ),
         );
         // The paper's Fig. 4 shows CGNP's curve flattest in absolute
         // terms: compare absolute test-time increases over the size sweep

@@ -7,19 +7,26 @@
 
 use cgnp_bench::{banner, save_report, shape_line};
 use cgnp_eval::{
-    build_cite2cora_tasks, build_facebook_tasks, build_single_graph_tasks, run_cell,
-    DatasetId, ExperimentReport, MethodOutcome, MethodSelection, ScaleSettings, TaskKind,
-    TaskSet, TextTable,
+    build_cite2cora_tasks, build_facebook_tasks, build_single_graph_tasks, run_cell, DatasetId,
+    ExperimentReport, MethodOutcome, MethodSelection, ScaleSettings, TaskKind, TaskSet, TextTable,
 };
 
-const RATIOS: [(f32, f32); 5] = [(0.02, 0.1), (0.05, 0.25), (0.1, 0.5), (0.15, 0.75), (0.2, 1.0)];
+const RATIOS: [(f32, f32); 5] = [
+    (0.02, 0.1),
+    (0.05, 0.25),
+    (0.1, 0.5),
+    (0.15, 0.75),
+    (0.2, 1.0),
+];
 
 /// F1 series of one panel: (pos ratio, per-method outcomes) per point.
 type RatioSeries = Vec<(f32, Vec<MethodOutcome>)>;
 
 fn build_panel(panel: &str, settings: &ScaleSettings, seed: u64) -> Option<TaskSet> {
     let ts = match panel {
-        "Citeseer" => build_single_graph_tasks(DatasetId::Citeseer, TaskKind::Sgsc, 1, settings, seed),
+        "Citeseer" => {
+            build_single_graph_tasks(DatasetId::Citeseer, TaskKind::Sgsc, 1, settings, seed)
+        }
         "Arxiv" => build_single_graph_tasks(DatasetId::Arxiv, TaskKind::Sgsc, 1, settings, seed),
         "Reddit" => build_single_graph_tasks(DatasetId::Reddit, TaskKind::Sgdc, 1, settings, seed),
         "DBLP" => build_single_graph_tasks(DatasetId::Dblp, TaskKind::Sgdc, 1, settings, seed),
@@ -32,13 +39,24 @@ fn build_panel(panel: &str, settings: &ScaleSettings, seed: u64) -> Option<TaskS
 
 fn main() {
     let settings = ScaleSettings::from_env();
-    banner("Fig. 5 — F1 vs ground-truth ratio", "Fig. 5(a)–(f)", &settings);
+    banner(
+        "Fig. 5 — F1 vs ground-truth ratio",
+        "Fig. 5(a)–(f)",
+        &settings,
+    );
     // Panels at smoke/quick scale: a representative subset runs quickly;
     // full/paper covers all six panels (a)–(f).
     let panels: Vec<&str> = match settings.scale {
         cgnp_eval::Scale::Smoke => vec!["Citeseer", "Reddit"],
         cgnp_eval::Scale::Quick => vec!["Citeseer", "Reddit", "Cite2Cora"],
-        _ => vec!["Citeseer", "Arxiv", "Reddit", "DBLP", "Facebook", "Cite2Cora"],
+        _ => vec![
+            "Citeseer",
+            "Arxiv",
+            "Reddit",
+            "DBLP",
+            "Facebook",
+            "Cite2Cora",
+        ],
     };
 
     let mut panel_series: Vec<(String, RatioSeries)> = Vec::new();
@@ -64,7 +82,11 @@ fn main() {
         }
         // One row per method, one column per ratio (the figure's series).
         let mut headers = vec!["Method".to_string()];
-        headers.extend(RATIOS.iter().map(|(p, n)| format!("{:.0}%/{:.0}%", p * 100.0, n * 100.0)));
+        headers.extend(
+            RATIOS
+                .iter()
+                .map(|(p, n)| format!("{:.0}%/{:.0}%", p * 100.0, n * 100.0)),
+        );
         let mut table = TextTable::new(headers);
         if let Some((_, first)) = series.first() {
             for mi in 0..first.len() {
@@ -79,10 +101,7 @@ fn main() {
             }
         }
         println!("{}", table.render());
-        let flat: Vec<MethodOutcome> = series
-            .iter()
-            .flat_map(|(_, o)| o.iter().cloned())
-            .collect();
+        let flat: Vec<MethodOutcome> = series.iter().flat_map(|(_, o)| o.iter().cloned()).collect();
         save_report(&ExperimentReport::new(
             format!("fig5_{panel}"),
             format!("{panel} ratio sweep"),

@@ -35,9 +35,16 @@ fn spmm_bench(c: &mut Criterion) {
 
 fn dense_matmul_bench(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
-    let a = Matrix::from_vec(200, 128, (0..200 * 128).map(|_| rng.gen_range(-1.0..1.0)).collect());
-    let b_mat =
-        Matrix::from_vec(128, 128, (0..128 * 128).map(|_| rng.gen_range(-1.0..1.0)).collect());
+    let a = Matrix::from_vec(
+        200,
+        128,
+        (0..200 * 128).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    );
+    let b_mat = Matrix::from_vec(
+        128,
+        128,
+        (0..128 * 128).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    );
     c.bench_function("matmul_200x128x128", |b| {
         b.iter(|| black_box(a.matmul(black_box(&b_mat))))
     });
@@ -51,9 +58,7 @@ fn gat_forward_bench(c: &mut Criterion) {
     let data: Vec<f32> = (0..g.n() * 32).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let x = Tensor::constant(Matrix::from_vec(g.n(), 32, data));
     c.bench_function("gat_forward_500n_32d", |b| {
-        b.iter(|| {
-            cgnp_tensor::no_grad(|| black_box(layer.forward(&gctx, black_box(&x))))
-        })
+        b.iter(|| cgnp_tensor::no_grad(|| black_box(layer.forward(&gctx, black_box(&x)))))
     });
     let _ = layer.param_count();
 }
@@ -76,7 +81,12 @@ fn cgnp_adaptation_bench(c: &mut Criterion) {
     // One full Algorithm-2 pass: encode the support set, combine, decode,
     // score one query — the gradient-free test-time path of Fig. 3.
     let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(6));
-    let tcfg = TaskConfig { subgraph_size: 100, shots: 5, n_targets: 4, ..Default::default() };
+    let tcfg = TaskConfig {
+        subgraph_size: 100,
+        shots: 5,
+        n_targets: 4,
+        ..Default::default()
+    };
     let task = sample_task(&ag, &tcfg, None, &mut StdRng::seed_from_u64(6)).expect("task");
     let prepared = PreparedTask::new(task);
     let cfg = CgnpConfig::paper_default(model_input_dim(&prepared.task.graph), 32);
@@ -101,14 +111,157 @@ fn csr_build_bench(c: &mut Criterion) {
     });
 }
 
+/// Acceptance-target shapes for the optimised backend: naive reference vs
+/// blocked single-thread vs blocked+parallel, on a 512×512×512 `matmul`
+/// and a 10k-node CSR `spmm` at 64 feature columns.
+fn kernel_backend_comparison(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let threads = rayon::current_num_threads();
+
+    // Dense matmul, 512^3.
+    let a = Matrix::from_vec(
+        512,
+        512,
+        (0..512 * 512)
+            .map(|_| rng.gen_range(-1.0..1.0f32))
+            .collect(),
+    );
+    let b = Matrix::from_vec(
+        512,
+        512,
+        (0..512 * 512)
+            .map(|_| rng.gen_range(-1.0..1.0f32))
+            .collect(),
+    );
+    {
+        let mut g = c.benchmark_group("matmul_512x512x512");
+        g.bench_function("naive", |bch| {
+            bch.iter(|| black_box(cgnp_tensor::reference::matmul(black_box(&a), &b)))
+        });
+        g.bench_function("blocked_1t", |bch| {
+            bch.iter(|| black_box(a.matmul_with_threads(black_box(&b), 1)))
+        });
+        g.bench_function("parallel", |bch| {
+            bch.iter(|| black_box(a.matmul_with_threads(black_box(&b), threads)))
+        });
+        g.finish();
+    }
+
+    // Sparse spmm: 10k-node graph operator × 64-column features.
+    let g10k = bench_graph(10_000, 23);
+    let op = cgnp_nn::gcn_normalised(&g10k);
+    let x = Matrix::from_vec(
+        g10k.n(),
+        64,
+        (0..g10k.n() * 64)
+            .map(|_| rng.gen_range(-1.0..1.0f32))
+            .collect(),
+    );
+    {
+        let mut g = c.benchmark_group("spmm_10000n_64d");
+        g.bench_function("naive", |bch| {
+            bch.iter(|| black_box(cgnp_tensor::reference::spmm(black_box(&op), &x)))
+        });
+        g.bench_function("rows_1t", |bch| {
+            bch.iter(|| black_box(op.spmm_with_threads(black_box(&x), 1)))
+        });
+        g.bench_function("parallel", |bch| {
+            bch.iter(|| black_box(op.spmm_with_threads(black_box(&x), threads)))
+        });
+        g.finish();
+    }
+
+    // Transpose-fused products at training-shaped sizes (backward pass).
+    let big = Matrix::from_vec(
+        1024,
+        256,
+        (0..1024 * 256)
+            .map(|_| rng.gen_range(-1.0..1.0f32))
+            .collect(),
+    );
+    let grad = Matrix::from_vec(
+        1024,
+        256,
+        (0..1024 * 256)
+            .map(|_| rng.gen_range(-1.0..1.0f32))
+            .collect(),
+    );
+    {
+        let mut g = c.benchmark_group("matmul_ta_1024x256x256");
+        g.bench_function("naive", |bch| {
+            bch.iter(|| black_box(cgnp_tensor::reference::matmul_ta(black_box(&big), &grad)))
+        });
+        g.bench_function("parallel", |bch| {
+            bch.iter(|| black_box(big.matmul_ta_with_threads(black_box(&grad), threads)))
+        });
+        g.finish();
+    }
+    {
+        let mut g = c.benchmark_group("matmul_tb_1024x256x1024");
+        g.bench_function("naive", |bch| {
+            bch.iter(|| black_box(cgnp_tensor::reference::matmul_tb(black_box(&big), &grad)))
+        });
+        g.bench_function("parallel", |bch| {
+            bch.iter(|| black_box(big.matmul_tb_with_threads(black_box(&grad), threads)))
+        });
+        g.finish();
+    }
+}
+
+/// Writes `BENCH_kernels.json` at the workspace root: a machine-readable
+/// baseline of the naive/blocked/parallel comparison for the perf
+/// trajectory across PRs.
+fn emit_kernel_baseline(c: &mut Criterion) {
+    let results = c.results();
+    let mut naive_ns: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    for r in results {
+        if let Some((group, variant)) = r.name.rsplit_once('/') {
+            if variant == "naive" {
+                naive_ns.insert(group.to_string(), r.median_ns);
+            }
+        }
+    }
+    let mut entries = Vec::new();
+    for r in results {
+        let Some((group, variant)) = r.name.rsplit_once('/') else {
+            continue;
+        };
+        // `null` (not NaN, which is invalid JSON) when the naive variant
+        // did not run, e.g. under a `cargo bench -- <filter>`.
+        let speedup = naive_ns
+            .get(group)
+            .map(|&n| format!("{:.3}", n / r.median_ns))
+            .unwrap_or_else(|| "null".to_string());
+        entries.push(format!(
+            "    {{\"kernel\": \"{group}\", \"variant\": \"{variant}\", \
+             \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
+             \"speedup_vs_naive\": {speedup}}}",
+            r.median_ns, r.mean_ns
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"cgnp-kernel-baseline-v1\",\n  \
+         \"threads\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rayon::current_num_threads(),
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("kernel baseline written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
+    kernel_backend_comparison,
     spmm_bench,
     dense_matmul_bench,
     gat_forward_bench,
     truss_decomposition_bench,
     core_decomposition_bench,
     cgnp_adaptation_bench,
-    csr_build_bench
+    csr_build_bench,
+    emit_kernel_baseline
 );
 criterion_main!(benches);

@@ -25,7 +25,12 @@ fn main() {
     for id in DatasetId::ALL {
         let ds = load_dataset(id, settings.scale, 42);
         let (n, m, a, c) = ds.graphs.iter().fold((0, 0, 0, 0), |(n, m, a, c), g| {
-            (n + g.n(), m + g.m(), a.max(g.n_attrs()), c + g.n_communities())
+            (
+                n + g.n(),
+                m + g.m(),
+                a.max(g.n_attrs()),
+                c + g.n_communities(),
+            )
         });
         table.push_row(vec![
             id.name().to_string(),

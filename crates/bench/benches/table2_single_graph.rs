@@ -6,7 +6,9 @@
 //! `cargo bench -p cgnp-bench --bench table2_single_graph`
 //! (set `CGNP_SCALE=smoke` for a fast pass, `full`/`paper` for larger runs)
 
-use cgnp_bench::{banner, cgnp_f1_advantage, cgnp_in_top_two, cgnp_recall_advantage, save_report, shape_line};
+use cgnp_bench::{
+    banner, cgnp_f1_advantage, cgnp_in_top_two, cgnp_recall_advantage, save_report, shape_line,
+};
 use cgnp_eval::{
     build_single_graph_tasks, quality_table, run_cell, DatasetId, ExperimentReport,
     MethodSelection, ScaleSettings, TaskKind,
@@ -57,14 +59,20 @@ fn main() {
 
     // Shape check against the paper's reported findings.
     println!("\nshape check vs paper:");
-    let top_two = cells.iter().filter(|c| cgnp_in_top_two(&c.outcomes)).count();
+    let top_two = cells
+        .iter()
+        .filter(|c| cgnp_in_top_two(&c.outcomes))
+        .count();
     shape_line(
         "CGNP variants hold the best/second-best F1 in most cells",
         top_two * 2 >= cells.len(),
         &format!("{top_two}/{} cells", cells.len()),
     );
-    let adv: f64 =
-        cells.iter().map(|c| cgnp_f1_advantage(&c.outcomes)).sum::<f64>() / cells.len() as f64;
+    let adv: f64 = cells
+        .iter()
+        .map(|c| cgnp_f1_advantage(&c.outcomes))
+        .sum::<f64>()
+        / cells.len() as f64;
     shape_line(
         "CGNP leads baselines on F1 by a clear margin (paper: +0.28 avg)",
         adv > 0.05,
@@ -89,7 +97,9 @@ fn main() {
         .iter()
         .flat_map(|c| c.outcomes.iter())
         .filter(|o| o.method == "MAML" || o.method == "Reptile" || o.method == "FeatTrans")
-        .filter(|o| o.metrics.recall < 0.1 || (o.metrics.recall > 0.95 && o.metrics.precision < 0.55))
+        .filter(|o| {
+            o.metrics.recall < 0.1 || (o.metrics.recall > 0.95 && o.metrics.precision < 0.55)
+        })
         .count();
     let total_mr = cells.len() * 3;
     shape_line(

@@ -21,7 +21,14 @@ fn main() {
         println!("\n--- {label} ---");
         let fb_tasks = build_facebook_tasks(shot, &settings, 42);
         if !fb_tasks.train.is_empty() && !fb_tasks.test.is_empty() {
-            let cell = run_cell(label.clone(), &fb_tasks, MethodSelection::All, &settings, true, 42);
+            let cell = run_cell(
+                label.clone(),
+                &fb_tasks,
+                MethodSelection::All,
+                &settings,
+                true,
+                42,
+            );
             println!("{}", quality_table(&cell.outcomes).render());
             save_report(&ExperimentReport::new(
                 format!("table3_facebook_{shot}shot"),
@@ -36,8 +43,14 @@ fn main() {
         println!("\n--- {label} ---");
         let cc_tasks = build_cite2cora_tasks(shot, &settings, 42);
         if !cc_tasks.train.is_empty() && !cc_tasks.test.is_empty() {
-            let cell =
-                run_cell(label.clone(), &cc_tasks, MethodSelection::All, &settings, false, 42);
+            let cell = run_cell(
+                label.clone(),
+                &cc_tasks,
+                MethodSelection::All,
+                &settings,
+                false,
+                42,
+            );
             println!("{}", quality_table(&cell.outcomes).render());
             save_report(&ExperimentReport::new(
                 format!("table3_cite2cora_{shot}shot"),

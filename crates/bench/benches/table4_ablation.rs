@@ -14,7 +14,9 @@ use cgnp_eval::{
 
 fn build_config_tasks(name: &str, settings: &ScaleSettings, seed: u64) -> Option<TaskSet> {
     let ts = match name {
-        "Citeseer" => build_single_graph_tasks(DatasetId::Citeseer, TaskKind::Sgsc, 5, settings, seed),
+        "Citeseer" => {
+            build_single_graph_tasks(DatasetId::Citeseer, TaskKind::Sgsc, 5, settings, seed)
+        }
         "Arxiv" => build_single_graph_tasks(DatasetId::Arxiv, TaskKind::Sgsc, 5, settings, seed),
         "Reddit" => build_single_graph_tasks(DatasetId::Reddit, TaskKind::Sgdc, 5, settings, seed),
         "DBLP" => build_single_graph_tasks(DatasetId::Dblp, TaskKind::Sgdc, 5, settings, seed),
@@ -29,7 +31,14 @@ fn main() {
     let settings = ScaleSettings::from_env();
     banner("Table IV — encoder / ⊕ ablation", "Table IV", &settings);
 
-    let configs = ["Citeseer", "Arxiv", "Reddit", "DBLP", "Facebook", "Cite2Cora"];
+    let configs = [
+        "Citeseer",
+        "Arxiv",
+        "Reddit",
+        "DBLP",
+        "Facebook",
+        "Cite2Cora",
+    ];
     let mut all_rows: Vec<(String, String, MethodOutcome)> = Vec::new();
 
     for cfg_name in configs {
@@ -43,9 +52,15 @@ fn main() {
         let mut outcomes_for_report = Vec::new();
         for (variant, method) in ablation_methods(&template) {
             let mut roster = vec![method];
-            let outcome =
-                evaluate_roster(&mut roster, &tasks, &HarnessConfig { seed: 42, threshold: 0.5 })
-                    .remove(0);
+            let outcome = evaluate_roster(
+                &mut roster,
+                &tasks,
+                &HarnessConfig {
+                    seed: 42,
+                    threshold: 0.5,
+                },
+            )
+            .remove(0);
             table.push_row(vec![
                 variant.clone(),
                 fmt_metric(outcome.metrics.accuracy),

@@ -36,10 +36,7 @@ pub fn shape_line(claim: &str, holds: bool, detail: &str) {
 pub fn cgnp_in_top_two(outcomes: &[MethodOutcome]) -> bool {
     let mut ranked: Vec<&MethodOutcome> = outcomes.iter().collect();
     ranked.sort_by(|a, b| b.metrics.f1.total_cmp(&a.metrics.f1));
-    ranked
-        .iter()
-        .take(2)
-        .any(|o| o.method.starts_with("CGNP"))
+    ranked.iter().take(2).any(|o| o.method.starts_with("CGNP"))
 }
 
 /// Mean F1 of the CGNP variants minus the mean F1 of everything else
@@ -90,7 +87,10 @@ pub fn save_report(report: &ExperimentReport) {
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
-    let path = dir.join(format!("{}.json", report.experiment.replace([' ', '/'], "_")));
+    let path = dir.join(format!(
+        "{}.json",
+        report.experiment.replace([' ', '/'], "_")
+    ));
     let _ = std::fs::write(path, report.to_json());
 }
 
@@ -102,7 +102,11 @@ mod tests {
     fn outcome(name: &str, f1: f64, recall: f64) -> MethodOutcome {
         MethodOutcome {
             method: name.into(),
-            metrics: Metrics { f1, recall, ..Default::default() },
+            metrics: Metrics {
+                f1,
+                recall,
+                ..Default::default()
+            },
             train_seconds: 0.0,
             test_seconds: 0.0,
             n_test_tasks: 1,

@@ -15,7 +15,11 @@ pub enum Commutative {
     /// Self-attention (Eq. 15–16): per-view mean embeddings are projected
     /// by `W1`, `W2`; softmaxed inner-product scores yield one weight per
     /// view, shared by all nodes.
-    SelfAttention { w1: Tensor, w2: Tensor, dim: usize },
+    SelfAttention {
+        w1: Tensor,
+        w2: Tensor,
+        dim: usize,
+    },
 }
 
 impl Commutative {
@@ -100,8 +104,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let sum = Commutative::new(CommutativeOp::Sum, 2, 2, &mut rng);
         let mean = Commutative::new(CommutativeOp::Mean, 2, 2, &mut rng);
-        assert!(sum.combine(&views()).value().approx_eq(&Matrix::full(3, 2, 4.0), 1e-6));
-        assert!(mean.combine(&views()).value().approx_eq(&Matrix::full(3, 2, 2.0), 1e-6));
+        assert!(sum
+            .combine(&views())
+            .value()
+            .approx_eq(&Matrix::full(3, 2, 4.0), 1e-6));
+        assert!(mean
+            .combine(&views())
+            .value()
+            .approx_eq(&Matrix::full(3, 2, 2.0), 1e-6));
     }
 
     #[test]
@@ -111,7 +121,10 @@ mod tests {
         let out = att.combine(&views()).value();
         // Convex combination of all-1 and all-3 views ⇒ values in [1, 3].
         for &v in out.as_slice() {
-            assert!((1.0 - 1e-5..=3.0 + 1e-5).contains(&v), "value {v} outside hull");
+            assert!(
+                (1.0 - 1e-5..=3.0 + 1e-5).contains(&v),
+                "value {v} outside hull"
+            );
         }
         // All rows identical (weights shared across nodes).
         for r in 1..3 {
@@ -124,13 +137,20 @@ mod tests {
     #[test]
     fn permutation_invariance() {
         let mut rng = StdRng::seed_from_u64(2);
-        for op in [CommutativeOp::Sum, CommutativeOp::Mean, CommutativeOp::SelfAttention] {
+        for op in [
+            CommutativeOp::Sum,
+            CommutativeOp::Mean,
+            CommutativeOp::SelfAttention,
+        ] {
             let c = Commutative::new(op, 2, 4, &mut rng);
             let vs = views();
             let fwd = c.combine(&vs).value();
             let rev: Vec<Tensor> = vs.iter().rev().cloned().collect();
             let bwd = c.combine(&rev).value();
-            assert!(fwd.approx_eq(&bwd, 1e-5), "{op:?} not permutation-invariant");
+            assert!(
+                fwd.approx_eq(&bwd, 1e-5),
+                "{op:?} not permutation-invariant"
+            );
         }
     }
 
@@ -146,7 +166,10 @@ mod tests {
     #[test]
     fn param_counts() {
         let mut rng = StdRng::seed_from_u64(4);
-        assert_eq!(Commutative::new(CommutativeOp::Sum, 8, 4, &mut rng).param_count(), 0);
+        assert_eq!(
+            Commutative::new(CommutativeOp::Sum, 8, 4, &mut rng).param_count(),
+            0
+        );
         assert_eq!(
             Commutative::new(CommutativeOp::SelfAttention, 8, 4, &mut rng).param_count(),
             2 * 8 * 4

@@ -126,13 +126,20 @@ mod tests {
         assert_eq!(logits.shape(), (4, 1));
         // Node 1 is nearly parallel to node 0; node 2 anti-parallel.
         assert!(logits.get(1, 0) > logits.get(2, 0));
-        assert!(logits.get(0, 0) >= logits.get(1, 0), "self-similarity maximal here");
+        assert!(
+            logits.get(0, 0) >= logits.get(1, 0),
+            "self-similarity maximal here"
+        );
     }
 
     #[test]
     fn all_kinds_preserve_shape() {
         let (gctx, h, template) = setup();
-        for kind in [DecoderKind::InnerProduct, DecoderKind::Mlp, DecoderKind::Gnn] {
+        for kind in [
+            DecoderKind::InnerProduct,
+            DecoderKind::Mlp,
+            DecoderKind::Gnn,
+        ] {
             let mut rng = StdRng::seed_from_u64(0);
             let dec = Decoder::new(kind, 2, 8, &template, &mut rng);
             assert_eq!(dec.kind(), kind);

@@ -54,7 +54,12 @@ impl Cgnp {
             &config.encoder,
             &mut rng,
         );
-        Self { config, encoder, commutative, decoder }
+        Self {
+            config,
+            encoder,
+            commutative,
+            decoder,
+        }
     }
 
     pub fn config(&self) -> &CgnpConfig {
@@ -168,8 +173,14 @@ mod tests {
     use cgnp_data::{sample_task, SbmConfig, TaskConfig};
 
     fn prepared_task(seed: u64) -> PreparedTask {
-        let ag = cgnp_data::generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
-        let cfg = TaskConfig { subgraph_size: 50, shots: 3, n_targets: 4, ..Default::default() };
+        let ag =
+            cgnp_data::generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
+        let cfg = TaskConfig {
+            subgraph_size: 50,
+            shots: 3,
+            n_targets: 4,
+            ..Default::default()
+        };
         let task = sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(seed)).expect("task");
         PreparedTask::new(task)
     }
@@ -185,14 +196,24 @@ mod tests {
     #[test]
     fn predictions_are_probabilities_for_all_variants() {
         let p = prepared_task(3);
-        for decoder in [DecoderKind::InnerProduct, DecoderKind::Mlp, DecoderKind::Gnn] {
-            for op in [CommutativeOp::Sum, CommutativeOp::Mean, CommutativeOp::SelfAttention] {
+        for decoder in [
+            DecoderKind::InnerProduct,
+            DecoderKind::Mlp,
+            DecoderKind::Gnn,
+        ] {
+            for op in [
+                CommutativeOp::Sum,
+                CommutativeOp::Mean,
+                CommutativeOp::SelfAttention,
+            ] {
                 let model = model_for(&p, decoder, op);
                 let mut rng = StdRng::seed_from_u64(0);
                 let probs = model.predict(&p, p.task.targets[0].query, &mut rng);
                 assert_eq!(probs.len(), p.task.n());
-                assert!(probs.iter().all(|&x| (0.0..=1.0).contains(&x)),
-                    "{decoder:?}/{op:?} produced non-probability");
+                assert!(
+                    probs.iter().all(|&x| (0.0..=1.0).contains(&x)),
+                    "{decoder:?}/{op:?} produced non-probability"
+                );
             }
         }
     }
@@ -235,8 +256,14 @@ mod tests {
         let ip = model_for(&p, DecoderKind::InnerProduct, CommutativeOp::Mean);
         let mlp = model_for(&p, DecoderKind::Mlp, CommutativeOp::Mean);
         let att = model_for(&p, DecoderKind::InnerProduct, CommutativeOp::SelfAttention);
-        assert!(mlp.param_count() > ip.param_count(), "decoder params registered");
-        assert!(att.param_count() > ip.param_count(), "attention params registered");
+        assert!(
+            mlp.param_count() > ip.param_count(),
+            "decoder params registered"
+        );
+        assert!(
+            att.param_count() > ip.param_count(),
+            "attention params registered"
+        );
     }
 
     #[test]

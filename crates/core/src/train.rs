@@ -190,9 +190,7 @@ pub fn validation_loss(model: &Cgnp, valid: &[PreparedTask], rng: &mut StdRng) -
 mod tests {
     use super::*;
     use crate::config::{CgnpConfig, CommutativeOp, DecoderKind};
-    use cgnp_data::{
-        generate_sbm, model_input_dim, sample_task, SbmConfig, TaskConfig,
-    };
+    use cgnp_data::{generate_sbm, model_input_dim, sample_task, SbmConfig, TaskConfig};
 
     fn tiny_tasks(n_tasks: usize, seed: u64) -> Vec<PreparedTask> {
         let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));

@@ -116,7 +116,12 @@ impl Dataset {
     /// # Panics
     /// Panics for [`DatasetId::Facebook`] (use [`Self::graphs`]).
     pub fn single(&self) -> &AttributedGraph {
-        assert_eq!(self.graphs.len(), 1, "{} is a multi-graph dataset", self.id.name());
+        assert_eq!(
+            self.graphs.len(),
+            1,
+            "{} is a multi-graph dataset",
+            self.id.name()
+        );
         &self.graphs[0]
     }
 
@@ -254,11 +259,36 @@ fn facebook_ego_config(nodes: usize, _attrs: usize, comms: usize, scale: Scale) 
 /// Paper statistics of Table I.
 pub fn paper_stats(id: DatasetId) -> PaperStats {
     match id {
-        DatasetId::Cora => PaperStats { nodes: 2_708, edges: 5_429, attrs: Some(1_433), communities: 7 },
-        DatasetId::Citeseer => PaperStats { nodes: 3_327, edges: 4_732, attrs: Some(3_703), communities: 6 },
-        DatasetId::Arxiv => PaperStats { nodes: 199_343, edges: 1_166_243, attrs: None, communities: 40 },
-        DatasetId::Dblp => PaperStats { nodes: 317_080, edges: 1_049_866, attrs: None, communities: 5_000 },
-        DatasetId::Reddit => PaperStats { nodes: 232_965, edges: 114_615_892, attrs: None, communities: 50 },
+        DatasetId::Cora => PaperStats {
+            nodes: 2_708,
+            edges: 5_429,
+            attrs: Some(1_433),
+            communities: 7,
+        },
+        DatasetId::Citeseer => PaperStats {
+            nodes: 3_327,
+            edges: 4_732,
+            attrs: Some(3_703),
+            communities: 6,
+        },
+        DatasetId::Arxiv => PaperStats {
+            nodes: 199_343,
+            edges: 1_166_243,
+            attrs: None,
+            communities: 40,
+        },
+        DatasetId::Dblp => PaperStats {
+            nodes: 317_080,
+            edges: 1_049_866,
+            attrs: None,
+            communities: 5_000,
+        },
+        DatasetId::Reddit => PaperStats {
+            nodes: 232_965,
+            edges: 114_615_892,
+            attrs: None,
+            communities: 50,
+        },
         DatasetId::Facebook => PaperStats {
             nodes: FACEBOOK_EGOS.iter().map(|e| e.0).sum(),
             edges: 89_264, // sum of Table I ego edge counts

@@ -67,7 +67,10 @@ impl SbmConfig {
 /// Generates an attributed graph with planted communities.
 pub fn generate_sbm(cfg: &SbmConfig, rng: &mut StdRng) -> AttributedGraph {
     assert!(cfg.n_communities >= 1, "need at least one community");
-    assert!(cfg.n >= cfg.n_communities, "need at least one node per community");
+    assert!(
+        cfg.n >= cfg.n_communities,
+        "need at least one node per community"
+    );
 
     // --- Community assignment -------------------------------------------
     // Shuffle node ids first so community membership is not correlated
@@ -263,8 +266,11 @@ mod tests {
         assert_eq!(ag.n_communities(), cfg.n_communities);
         // Every community induces a connected subgraph (spanning chain).
         for c in 0..ag.n_communities() {
-            let nodes: Vec<usize> =
-                ag.community_members(c).iter().map(|&v| v as usize).collect();
+            let nodes: Vec<usize> = ag
+                .community_members(c)
+                .iter()
+                .map(|&v| v as usize)
+                .collect();
             let (sub, _) = ag.graph().induced_subgraph(&nodes);
             assert_eq!(algo::component_count(&sub), 1, "community {c} disconnected");
         }
@@ -330,9 +336,8 @@ mod tests {
         let skewed = generate_sbm(&cfg, &mut StdRng::seed_from_u64(6));
         cfg.degree_skew = 0.0;
         let flat = generate_sbm(&cfg, &mut StdRng::seed_from_u64(6));
-        let max_deg = |ag: &AttributedGraph| {
-            (0..ag.n()).map(|v| ag.graph().degree(v)).max().unwrap()
-        };
+        let max_deg =
+            |ag: &AttributedGraph| (0..ag.n()).map(|v| ag.graph().degree(v)).max().unwrap();
         assert!(
             max_deg(&skewed) > max_deg(&flat) + 3,
             "skew {} flat {}",
@@ -399,7 +404,12 @@ mod tests {
         let mut cfg = SbmConfig::small_test();
         cfg.overlap = 0.5;
         let ag = generate_sbm(&cfg, &mut StdRng::seed_from_u64(11));
-        let multi = (0..ag.n()).filter(|&v| ag.communities_of(v).len() > 1).count();
-        assert!(multi > ag.n() / 4, "expected many overlap nodes, got {multi}");
+        let multi = (0..ag.n())
+            .filter(|&v| ag.communities_of(v).len() > 1)
+            .count();
+        assert!(
+            multi > ag.n() / 4,
+            "expected many overlap nodes, got {multi}"
+        );
     }
 }

@@ -18,8 +18,8 @@ use std::collections::HashSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use cgnp_graph::AttributedGraph;
 use cgnp_graph::algo::bfs_sample;
+use cgnp_graph::AttributedGraph;
 
 /// One labelled query: the query node, its sampled positive/negative ground
 /// truth, and the full membership mask used for evaluation only.
@@ -228,7 +228,11 @@ fn draw_queries(
         examples.push(build_example(sub, q, cfg, allowed, rng));
     }
     let targets = examples.split_off(cfg.shots);
-    Some(Task { graph: sub.clone(), support: examples, targets })
+    Some(Task {
+        graph: sub.clone(),
+        support: examples,
+        targets,
+    })
 }
 
 fn truth_mask(sub: &AttributedGraph, q: usize, allowed: Option<&HashSet<u32>>) -> Vec<bool> {
@@ -264,19 +268,19 @@ fn build_example(
         ),
         None => (cfg.pos_per_query, cfg.neg_per_query),
     };
-    let mut pos_pool: Vec<usize> =
-        (0..sub.n()).filter(|&v| truth[v] && v != q).collect();
+    let mut pos_pool: Vec<usize> = (0..sub.n()).filter(|&v| truth[v] && v != q).collect();
     let mut neg_pool: Vec<usize> = (0..sub.n()).filter(|&v| !truth[v]).collect();
     let pos = sample_without_replacement(&mut pos_pool, n_pos, rng);
     let neg = sample_without_replacement(&mut neg_pool, n_neg, rng);
-    QueryExample { query: q, pos, neg, truth }
+    QueryExample {
+        query: q,
+        pos,
+        neg,
+        truth,
+    }
 }
 
-fn sample_without_replacement(
-    pool: &mut [usize],
-    k: usize,
-    rng: &mut StdRng,
-) -> Vec<usize> {
+fn sample_without_replacement(pool: &mut [usize], k: usize, rng: &mut StdRng) -> Vec<usize> {
     let k = k.min(pool.len());
     for i in 0..k {
         let j = rng.gen_range(i..pool.len());
@@ -329,7 +333,12 @@ pub fn single_graph_tasks(
     let train = take(counts.0, train_allowed.as_ref(), &mut rng);
     let valid = take(counts.1, test_allowed.as_ref(), &mut rng);
     let test = take(counts.2, test_allowed.as_ref(), &mut rng);
-    TaskSet { kind, train, valid, test }
+    TaskSet {
+        kind,
+        train,
+        valid,
+        test,
+    }
 }
 
 /// MGOD: each Facebook ego-network becomes one task; 6 train / 2 valid /
@@ -354,7 +363,12 @@ pub fn mgod_tasks(egos: &[AttributedGraph], cfg: &TaskConfig, seed: u64) -> Task
     let n_valid = (n / 5).min(n.saturating_sub(n_test + 1));
     let test = tasks.split_off(n - n_test);
     let valid = tasks.split_off(tasks.len() - n_valid);
-    TaskSet { kind: TaskKind::Mgod, train: tasks, valid, test }
+    TaskSet {
+        kind: TaskKind::Mgod,
+        train: tasks,
+        valid,
+        test,
+    }
 }
 
 /// MGDD: train tasks from `train_graph`, valid/test tasks from
@@ -381,7 +395,12 @@ pub fn mgdd_tasks(
     let train = take(train_graph, counts.0, &mut rng);
     let valid = take(test_graph, counts.1, &mut rng);
     let test = take(test_graph, counts.2, &mut rng);
-    TaskSet { kind: TaskKind::Mgdd, train, valid, test }
+    TaskSet {
+        kind: TaskKind::Mgdd,
+        train,
+        valid,
+        test,
+    }
 }
 
 #[cfg(test)]
@@ -397,7 +416,12 @@ mod tests {
     #[test]
     fn sampled_task_respects_config() {
         let ag = small_graph();
-        let cfg = TaskConfig { subgraph_size: 60, shots: 2, n_targets: 5, ..Default::default() };
+        let cfg = TaskConfig {
+            subgraph_size: 60,
+            shots: 2,
+            n_targets: 5,
+            ..Default::default()
+        };
         let t = sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(1)).expect("task");
         assert_eq!(t.shots(), 2);
         assert_eq!(t.targets.len(), 5);
@@ -422,7 +446,12 @@ mod tests {
     #[test]
     fn query_nodes_are_distinct() {
         let ag = small_graph();
-        let cfg = TaskConfig { subgraph_size: 80, shots: 3, n_targets: 8, ..Default::default() };
+        let cfg = TaskConfig {
+            subgraph_size: 80,
+            shots: 3,
+            n_targets: 8,
+            ..Default::default()
+        };
         let t = sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(2)).expect("task");
         let mut qs: Vec<usize> = t.all_examples().map(|e| e.query).collect();
         let before = qs.len();
@@ -434,7 +463,12 @@ mod tests {
     #[test]
     fn labelled_samples_include_query_positive() {
         let ag = small_graph();
-        let cfg = TaskConfig { subgraph_size: 60, shots: 1, n_targets: 3, ..Default::default() };
+        let cfg = TaskConfig {
+            subgraph_size: 60,
+            shots: 1,
+            n_targets: 3,
+            ..Default::default()
+        };
         let t = sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(3)).expect("task");
         let ex = &t.support[0];
         let (idx, y) = ex.labelled_samples();
@@ -450,7 +484,12 @@ mod tests {
         let mut sbm = SbmConfig::small_test();
         sbm.overlap = 0.0;
         let ag = generate_sbm(&sbm, &mut StdRng::seed_from_u64(40));
-        let cfg = TaskConfig { subgraph_size: 60, shots: 1, n_targets: 4, ..Default::default() };
+        let cfg = TaskConfig {
+            subgraph_size: 60,
+            shots: 1,
+            n_targets: 4,
+            ..Default::default()
+        };
         let ts = single_graph_tasks(&ag, TaskKind::Sgdc, &cfg, (4, 1, 3), 7);
         assert!(!ts.train.is_empty() && !ts.test.is_empty());
         let comm_ids = |tasks: &[Task]| -> HashSet<u32> {
@@ -475,7 +514,12 @@ mod tests {
     #[test]
     fn sgsc_tasks_generate() {
         let ag = small_graph();
-        let cfg = TaskConfig { subgraph_size: 60, shots: 5, n_targets: 6, ..Default::default() };
+        let cfg = TaskConfig {
+            subgraph_size: 60,
+            shots: 5,
+            n_targets: 6,
+            ..Default::default()
+        };
         let ts = single_graph_tasks(&ag, TaskKind::Sgsc, &cfg, (3, 1, 2), 8);
         assert_eq!(ts.train.len(), 3);
         assert_eq!(ts.test.len(), 2);
@@ -488,7 +532,11 @@ mod tests {
     #[test]
     fn mgod_uses_whole_ego_networks() {
         let ds = load_dataset(DatasetId::Facebook, Scale::Smoke, 4);
-        let cfg = TaskConfig { shots: 1, n_targets: 5, ..Default::default() };
+        let cfg = TaskConfig {
+            shots: 1,
+            n_targets: 5,
+            ..Default::default()
+        };
         let ts = mgod_tasks(&ds.graphs, &cfg, 5);
         let total = ts.train.len() + ts.valid.len() + ts.test.len();
         assert!(total >= 8, "most egos should yield tasks, got {total}");
@@ -505,7 +553,12 @@ mod tests {
     fn mgdd_tasks_from_two_graphs() {
         let a = small_graph();
         let b = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(99));
-        let cfg = TaskConfig { subgraph_size: 50, shots: 1, n_targets: 4, ..Default::default() };
+        let cfg = TaskConfig {
+            subgraph_size: 50,
+            shots: 1,
+            n_targets: 4,
+            ..Default::default()
+        };
         let ts = mgdd_tasks(&a, &b, &cfg, (4, 1, 2), 6);
         assert_eq!(ts.kind, TaskKind::Mgdd);
         assert_eq!(ts.train.len(), 4);
@@ -534,7 +587,12 @@ mod tests {
     #[test]
     fn deterministic_task_sets() {
         let ag = small_graph();
-        let cfg = TaskConfig { subgraph_size: 50, shots: 1, n_targets: 3, ..Default::default() };
+        let cfg = TaskConfig {
+            subgraph_size: 50,
+            shots: 1,
+            n_targets: 3,
+            ..Default::default()
+        };
         let a = single_graph_tasks(&ag, TaskKind::Sgsc, &cfg, (2, 0, 1), 11);
         let b = single_graph_tasks(&ag, TaskKind::Sgsc, &cfg, (2, 0, 1), 11);
         assert_eq!(a.train[0].support[0].query, b.train[0].support[0].query);

@@ -120,9 +120,16 @@ struct CommonArgs {
 }
 
 fn common_args(flags: &HashMap<String, String>) -> Result<CommonArgs, String> {
-    let dataset = parse_dataset(flags.get("dataset").map(String::as_str).unwrap_or("citeseer"))?;
+    let dataset = parse_dataset(
+        flags
+            .get("dataset")
+            .map(String::as_str)
+            .unwrap_or("citeseer"),
+    )?;
     if dataset == DatasetId::Facebook {
-        return Err("the CLI drives single-graph tasks; use the ego_networks example for MGOD".into());
+        return Err(
+            "the CLI drives single-graph tasks; use the ego_networks example for MGOD".into(),
+        );
     }
     let kind = parse_kind(flags.get("kind").map(String::as_str).unwrap_or("sgsc"))?;
     let shots: usize = flags
@@ -152,14 +159,19 @@ fn common_args(flags: &HashMap<String, String>) -> Result<CommonArgs, String> {
 fn cmd_datasets(flags: &HashMap<String, String>) -> Result<(), String> {
     let scale = parse_scale(flags.get("scale").map(String::as_str).unwrap_or("quick"))?;
     let mut table = TextTable::new(vec![
-        "Dataset", "paper |V|", "paper |E|", "surrogate |V|", "surrogate |E|", "|C|", "attrs",
+        "Dataset",
+        "paper |V|",
+        "paper |E|",
+        "surrogate |V|",
+        "surrogate |E|",
+        "|C|",
+        "attrs",
     ]);
     for id in DatasetId::ALL {
         let ds = load_dataset(id, scale, 42);
-        let (n, m, c) = ds
-            .graphs
-            .iter()
-            .fold((0, 0, 0), |(n, m, c), g| (n + g.n(), m + g.m(), c + g.n_communities()));
+        let (n, m, c) = ds.graphs.iter().fold((0, 0, 0), |(n, m, c), g| {
+            (n + g.n(), m + g.m(), c + g.n_communities())
+        });
         table.push_row(vec![
             id.name().to_string(),
             ds.paper.nodes.to_string(),
@@ -176,7 +188,13 @@ fn cmd_datasets(flags: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     let args = common_args(flags)?;
-    let tasks = build_single_graph_tasks(args.dataset, args.kind, args.shots, &args.settings, args.seed);
+    let tasks = build_single_graph_tasks(
+        args.dataset,
+        args.kind,
+        args.shots,
+        &args.settings,
+        args.seed,
+    );
     if tasks.train.is_empty() {
         return Err("task sampling produced no training tasks".into());
     }
@@ -190,10 +208,7 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     let train = prepare_tasks(&tasks.train);
     let valid = prepare_tasks(&tasks.valid);
-    let cfg = args
-        .settings
-        .cgnp_template()
-        .with_decoder(args.decoder);
+    let cfg = args.settings.cgnp_template().with_decoder(args.decoder);
     let mut cfg = cfg;
     cfg.encoder.in_dim = model_input_dim(&tasks.train[0].graph);
     let model = Cgnp::new(cfg, args.seed);
@@ -210,14 +225,23 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     if let Some(path) = flags.get("out") {
         save_to_file(&model, path).map_err(|e| format!("saving checkpoint: {e}"))?;
-        println!("checkpoint written to {path} ({} parameters)", model.param_count());
+        println!(
+            "checkpoint written to {path} ({} parameters)",
+            model.param_count()
+        );
     }
     Ok(())
 }
 
 fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
     let args = common_args(flags)?;
-    let tasks = build_single_graph_tasks(args.dataset, args.kind, args.shots, &args.settings, args.seed);
+    let tasks = build_single_graph_tasks(
+        args.dataset,
+        args.kind,
+        args.shots,
+        &args.settings,
+        args.seed,
+    );
     if tasks.test.is_empty() {
         return Err("task sampling produced no test tasks".into());
     }

@@ -30,7 +30,11 @@ pub struct SerializedMatrix {
 
 impl From<&Matrix> for SerializedMatrix {
     fn from(m: &Matrix) -> Self {
-        Self { rows: m.rows(), cols: m.cols(), data: m.as_slice().to_vec() }
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.as_slice().to_vec(),
+        }
     }
 }
 
@@ -102,7 +106,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn encoder(seed: u64) -> GnnEncoder {
-        GnnEncoder::new(&GnnConfig::paper_default(4, 8, 4), &mut StdRng::seed_from_u64(seed))
+        GnnEncoder::new(
+            &GnnConfig::paper_default(4, 8, 4),
+            &mut StdRng::seed_from_u64(seed),
+        )
     }
 
     #[test]

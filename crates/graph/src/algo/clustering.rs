@@ -6,7 +6,9 @@ use crate::graph::Graph;
 /// Local clustering coefficient of every node: the fraction of realised
 /// edges among each node's neighbour pairs (0 for degree < 2).
 pub fn local_clustering_coefficients(g: &Graph) -> Vec<f32> {
-    (0..g.n()).map(|v| local_clustering_coefficient(g, v)).collect()
+    (0..g.n())
+        .map(|v| local_clustering_coefficient(g, v))
+        .collect()
 }
 
 /// Local clustering coefficient of a single node.

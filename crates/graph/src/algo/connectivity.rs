@@ -104,8 +104,14 @@ pub fn k_edge_connected_components(g: &Graph, k: usize) -> Vec<Vec<usize>> {
         for &v in &side {
             in_side[v] = true;
         }
-        let a: Vec<usize> = (0..sub.n()).filter(|&v| in_side[v]).map(|v| back[v]).collect();
-        let b: Vec<usize> = (0..sub.n()).filter(|&v| !in_side[v]).map(|v| back[v]).collect();
+        let a: Vec<usize> = (0..sub.n())
+            .filter(|&v| in_side[v])
+            .map(|v| back[v])
+            .collect();
+        let b: Vec<usize> = (0..sub.n())
+            .filter(|&v| !in_side[v])
+            .map(|v| back[v])
+            .collect();
         queue.push(a);
         queue.push(b);
     }
@@ -130,8 +136,18 @@ mod tests {
         Graph::from_edges(
             8,
             &[
-                (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
-                (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (4, 5),
+                (4, 6),
+                (4, 7),
+                (5, 6),
+                (5, 7),
+                (6, 7),
                 (3, 4),
             ],
         )

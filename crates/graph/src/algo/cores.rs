@@ -103,7 +103,16 @@ mod tests {
     fn clique_with_tail() -> Graph {
         Graph::from_edges(
             6,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
         )
     }
 
@@ -131,11 +140,7 @@ mod tests {
             let mask: Vec<bool> = core.iter().map(|&c| c >= k).collect();
             for v in 0..g.n() {
                 if mask[v] {
-                    let inside = g
-                        .neighbors(v)
-                        .iter()
-                        .filter(|&&u| mask[u as usize])
-                        .count();
+                    let inside = g.neighbors(v).iter().filter(|&&u| mask[u as usize]).count();
                     assert!(inside >= k, "node {v} has {inside} < {k} core neighbours");
                 }
             }

@@ -29,7 +29,11 @@ pub fn query_distances(g: &Graph, queries: &[usize]) -> Vec<usize> {
     for &q in queries {
         let d = bfs_distances(g, q);
         for (o, dv) in out.iter_mut().zip(d) {
-            *o = if dv == usize::MAX { usize::MAX } else { (*o).max(dv) };
+            *o = if dv == usize::MAX {
+                usize::MAX
+            } else {
+                (*o).max(dv)
+            };
         }
     }
     out

@@ -4,8 +4,8 @@
 pub mod bfs;
 pub mod cliques;
 pub mod clustering;
-pub mod connectivity;
 pub mod components;
+pub mod connectivity;
 pub mod cores;
 pub mod distance;
 pub mod truss;
@@ -17,8 +17,7 @@ pub use clustering::{
 };
 pub use components::{component_count, component_of, connected_components, connected_within};
 pub use connectivity::{
-    global_min_cut, global_min_cut_with_partition, k_ecc_community,
-    k_edge_connected_components,
+    global_min_cut, global_min_cut_with_partition, k_ecc_community, k_edge_connected_components,
 };
 pub use cores::{core_numbers, degeneracy, k_core_community, k_core_mask};
 pub use distance::{diameter, eccentricity, nearest_query_distances, query_distances};

@@ -23,12 +23,7 @@ pub fn edge_support(g: &Graph, alive: &[bool]) -> Vec<usize> {
 
 /// Common alive-neighbourhood of `u` and `v`: for every triangle `(u,v,w)`
 /// returns `(w, eid(u,w), eid(v,w))`. Both wing edges must be alive.
-fn alive_triangles(
-    g: &Graph,
-    alive: &[bool],
-    u: usize,
-    v: usize,
-) -> Vec<(usize, usize, usize)> {
+fn alive_triangles(g: &Graph, alive: &[bool], u: usize, v: usize) -> Vec<(usize, usize, usize)> {
     let (nu, eu) = (g.neighbors(u), g.edge_ids_of(u));
     let (nv, ev) = (g.neighbors(v), g.edge_ids_of(v));
     let mut out = Vec::new();
@@ -129,16 +124,8 @@ pub fn k_truss_community(g: &Graph, q: usize, k: usize) -> Vec<usize> {
 }
 
 /// Like [`k_truss_community`] but reusing precomputed truss numbers.
-pub fn k_truss_community_with(
-    g: &Graph,
-    truss: &[usize],
-    q: usize,
-    k: usize,
-) -> Vec<usize> {
-    let touches = g
-        .edge_ids_of(q)
-        .iter()
-        .any(|&e| truss[e as usize] >= k);
+pub fn k_truss_community_with(g: &Graph, truss: &[usize], q: usize, k: usize) -> Vec<usize> {
+    let touches = g.edge_ids_of(q).iter().any(|&e| truss[e as usize] >= k);
     if !touches {
         return Vec::new();
     }

@@ -52,7 +52,13 @@ impl AttributedGraph {
                 node_comms[v as usize].push(cid as u32);
             }
         }
-        Self { graph, n_attrs, attrs, communities, node_comms }
+        Self {
+            graph,
+            n_attrs,
+            attrs,
+            communities,
+            node_comms,
+        }
     }
 
     /// A graph with no attributes and no communities.
@@ -221,10 +227,7 @@ mod tests {
     fn sample() -> AttributedGraph {
         // Two triangles joined by an edge; communities = the triangles, with
         // node 2 in both. Attributes: even nodes {0,1}, odd nodes {1,2}.
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        );
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
         let attrs = (0..6)
             .map(|v| if v % 2 == 0 { vec![0, 1] } else { vec![1, 2] })
             .collect();

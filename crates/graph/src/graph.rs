@@ -31,7 +31,11 @@ impl Graph {
             if a == b {
                 continue;
             }
-            let (u, v) = if a < b { (a as u32, b as u32) } else { (b as u32, a as u32) };
+            let (u, v) = if a < b {
+                (a as u32, b as u32)
+            } else {
+                (b as u32, a as u32)
+            };
             canon.push((u, v));
         }
         canon.sort_unstable();
@@ -67,7 +71,12 @@ impl Graph {
         // Neighbor lists are already sorted because edges were sorted by
         // (u, v) and arcs are appended in edge order — but the reverse arcs
         // (v → u) are not necessarily sorted; sort each list with its ids.
-        let mut g = Self { offsets, neighbors, edge_ids, edges };
+        let mut g = Self {
+            offsets,
+            neighbors,
+            edge_ids,
+            edges,
+        };
         g.sort_adjacency();
         g
     }
@@ -145,7 +154,11 @@ impl Graph {
             return None;
         }
         // Search from the lower-degree endpoint.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         let nbrs = self.neighbors(a);
         nbrs.binary_search(&(b as u32))
             .ok()
@@ -210,7 +223,10 @@ pub struct GraphBuilder {
 
 impl GraphBuilder {
     pub fn new(n: usize) -> Self {
-        Self { n, edges: Vec::new() }
+        Self {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds an undirected edge; duplicates are fine and merged at build.

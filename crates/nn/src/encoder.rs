@@ -107,7 +107,11 @@ impl GnnEncoder {
         assert!(config.n_layers >= 1, "encoder needs at least one layer");
         let mut layers = Vec::with_capacity(config.n_layers);
         for i in 0..config.n_layers {
-            let in_dim = if i == 0 { config.in_dim } else { config.hidden_dim };
+            let in_dim = if i == 0 {
+                config.in_dim
+            } else {
+                config.hidden_dim
+            };
             let out_dim = if i + 1 == config.n_layers {
                 config.out_dim
             } else {

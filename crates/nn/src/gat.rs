@@ -62,7 +62,8 @@ impl GatLayer {
             .leaky_relu(self.negative_slope);
         let alpha = e.segment_softmax(dst, gctx.n());
         let messages = z.gather_rows(src);
-        Tensor::weighted_scatter_rows(&alpha, &messages, dst, gctx.n()).add_bias(&self.bias)
+        // Fused aggregation + bias kernel.
+        Tensor::weighted_scatter_rows_bias(&alpha, &messages, dst, gctx.n(), &self.bias)
     }
 }
 

@@ -16,16 +16,18 @@ pub struct GcnLayer {
 
 impl GcnLayer {
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
-        Self { lin: Linear::new(in_dim, out_dim, true, rng) }
+        Self {
+            lin: Linear::new(in_dim, out_dim, true, rng),
+        }
     }
 
     pub fn forward(&self, gctx: &GraphContext, x: &Tensor) -> Tensor {
         // (H W) first: the projection is the cheaper operand order when
-        // out_dim ≤ in_dim, and Â is sparse either way.
+        // out_dim ≤ in_dim, and Â is sparse either way. Message passing
+        // and bias run as one fused kernel.
         let projected = x.matmul(self.lin.weight());
-        let mixed = Tensor::spmm(gctx.gcn_adj(), &projected);
         let bias = &self.lin.params()[1];
-        mixed.add_bias(bias)
+        Tensor::spmm_bias(gctx.gcn_adj(), &projected, bias)
     }
 }
 

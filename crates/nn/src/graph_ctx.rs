@@ -132,10 +132,7 @@ mod tests {
         assert_eq!(src.len(), 2 * g.m() + g.n());
         // Every node has at least its self-loop arc.
         for v in 0..g.n() {
-            assert!(src
-                .iter()
-                .zip(dst.iter())
-                .any(|(&s, &d)| s == v && d == v));
+            assert!(src.iter().zip(dst.iter()).any(|(&s, &d)| s == v && d == v));
         }
     }
 

@@ -76,8 +76,7 @@ mod proptests {
 
     /// Applies a node relabelling to graph + features.
     fn permute(g: &Graph, x: &Matrix, perm: &[usize]) -> (Graph, Matrix) {
-        let edges: Vec<(usize, usize)> =
-            g.edges().map(|(u, v)| (perm[u], perm[v])).collect();
+        let edges: Vec<(usize, usize)> = g.edges().map(|(u, v)| (perm[u], perm[v])).collect();
         let pg = Graph::from_edges(g.n(), &edges);
         let mut px = Matrix::zeros(x.rows(), x.cols());
         for (v, &pv) in perm.iter().enumerate() {

@@ -17,7 +17,12 @@ impl Linear {
     pub fn new(in_dim: usize, out_dim: usize, bias: bool, rng: &mut StdRng) -> Self {
         let w = Tensor::parameter(init::glorot_uniform(in_dim, out_dim, rng));
         let b = bias.then(|| Tensor::parameter(init::zeros(1, out_dim)));
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     pub fn in_dim(&self) -> usize {
@@ -34,10 +39,10 @@ impl Linear {
     }
 
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        let y = x.matmul(&self.w);
+        // Fused affine kernel: one pass, no un-biased intermediate.
         match &self.b {
-            Some(b) => y.add_bias(b),
-            None => y,
+            Some(b) => x.matmul_bias(&self.w, b),
+            None => x.matmul(&self.w),
         }
     }
 }
@@ -74,7 +79,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let lin = Linear::new(2, 2, true, &mut rng);
         let mut opt = Sgd::new(lin.params(), 0.1);
-        let x = Tensor::constant(Matrix::from_vec(4, 2, vec![1., 0., 0., 1., 1., 1., -1., 0.5]));
+        let x = Tensor::constant(Matrix::from_vec(
+            4,
+            2,
+            vec![1., 0., 0., 1., 1., 1., -1., 0.5],
+        ));
         for _ in 0..400 {
             opt.zero_grad();
             let loss = lin.forward(&x).sub(&x).l2_sum();

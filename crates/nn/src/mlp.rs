@@ -21,12 +21,19 @@ impl Mlp {
     /// # Panics
     /// Panics if fewer than two dims are given.
     pub fn new(dims: &[usize], activation: Activation, dropout: f32, rng: &mut StdRng) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let layers = dims
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], true, rng))
             .collect();
-        Self { layers, activation, dropout }
+        Self {
+            layers,
+            activation,
+            dropout,
+        }
     }
 
     pub fn forward(&self, x: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
@@ -73,11 +80,7 @@ mod tests {
     fn learns_xor_with_hidden_layer() {
         let mut rng = StdRng::seed_from_u64(1);
         let mlp = Mlp::new(&[2, 8, 1], Activation::Tanh, 0.0, &mut rng);
-        let x = Tensor::constant(Matrix::from_vec(
-            4,
-            2,
-            vec![0., 0., 0., 1., 1., 0., 1., 1.],
-        ));
+        let x = Tensor::constant(Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]));
         let targets = [0.0f32, 1.0, 1.0, 0.0];
         let mut opt = Sgd::new(mlp.params(), 0.5);
         for _ in 0..2000 {
@@ -86,11 +89,8 @@ mod tests {
                 let mut ctx = ForwardCtx::train(&mut rng);
                 mlp.forward(&x, &mut ctx)
             };
-            let loss = logits.bce_with_logits_at(
-                &[0, 1, 2, 3],
-                &targets,
-                cgnp_tensor::Reduction::Mean,
-            );
+            let loss =
+                logits.bce_with_logits_at(&[0, 1, 2, 3], &targets, cgnp_tensor::Reduction::Mean);
             loss.backward();
             opt.step();
         }
@@ -111,13 +111,24 @@ mod tests {
         let mlp = Mlp::new(&[4, 16, 4], Activation::Relu, 0.8, &mut rng);
         let x = Tensor::constant(Matrix::full(2, 4, 1.0));
         let mut eval_rng = StdRng::seed_from_u64(3);
-        let a = mlp.forward(&x, &mut ForwardCtx::eval(&mut eval_rng)).value();
-        let b = mlp.forward(&x, &mut ForwardCtx::eval(&mut eval_rng)).value();
+        let a = mlp
+            .forward(&x, &mut ForwardCtx::eval(&mut eval_rng))
+            .value();
+        let b = mlp
+            .forward(&x, &mut ForwardCtx::eval(&mut eval_rng))
+            .value();
         assert!(a.approx_eq(&b, 0.0), "eval mode must be deterministic");
         let mut train_rng = StdRng::seed_from_u64(4);
-        let c = mlp.forward(&x, &mut ForwardCtx::train(&mut train_rng)).value();
-        let d = mlp.forward(&x, &mut ForwardCtx::train(&mut train_rng)).value();
-        assert!(!c.approx_eq(&d, 1e-9), "dropout must randomise training passes");
+        let c = mlp
+            .forward(&x, &mut ForwardCtx::train(&mut train_rng))
+            .value();
+        let d = mlp
+            .forward(&x, &mut ForwardCtx::train(&mut train_rng))
+            .value();
+        assert!(
+            !c.approx_eq(&d, 1e-9),
+            "dropout must randomise training passes"
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ pub trait Module {
     /// Panics on length or shape mismatch.
     fn import_weights(&self, weights: &[Matrix]) {
         let params = self.params();
-        assert_eq!(params.len(), weights.len(), "weight snapshot length mismatch");
+        assert_eq!(
+            params.len(),
+            weights.len(),
+            "weight snapshot length mismatch"
+        );
         for (p, w) in params.iter().zip(weights) {
             p.set_value(w.clone());
         }
@@ -58,11 +62,17 @@ pub struct ForwardCtx<'a> {
 
 impl<'a> ForwardCtx<'a> {
     pub fn train(rng: &'a mut StdRng) -> Self {
-        Self { training: true, rng }
+        Self {
+            training: true,
+            rng,
+        }
     }
 
     pub fn eval(rng: &'a mut StdRng) -> Self {
-        Self { training: false, rng }
+        Self {
+            training: false,
+            rng,
+        }
     }
 }
 

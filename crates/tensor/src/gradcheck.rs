@@ -74,7 +74,9 @@ mod tests {
     use std::rc::Rc;
 
     fn rand_param(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
-        let data = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-1.0..1.0f32))
+            .collect();
         Tensor::parameter(Matrix::from_vec(rows, cols, data))
     }
 
@@ -108,7 +110,12 @@ mod tests {
         // Shift away from the ReLU kink so finite differences are valid.
         check_gradients(
             &inputs,
-            || x.add_bias(&bias).add(&Tensor::constant(Matrix::full(4, 3, 0.37))).relu().sum_all(),
+            || {
+                x.add_bias(&bias)
+                    .add(&Tensor::constant(Matrix::full(4, 3, 0.37)))
+                    .relu()
+                    .sum_all()
+            },
             1e-3,
             TOL,
         )
@@ -127,13 +134,7 @@ mod tests {
             m
         });
         let inputs = [x.clone()];
-        check_gradients(
-            &inputs,
-            || x.row_softmax().mul(&w).sum_all(),
-            EPS,
-            TOL,
-        )
-        .unwrap();
+        check_gradients(&inputs, || x.row_softmax().mul(&w).sum_all(), EPS, TOL).unwrap();
     }
 
     #[test]
@@ -141,11 +142,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let x = rand_param(6, 1, &mut rng);
         let seg = vec![0, 0, 1, 1, 1, 2];
-        let w = Tensor::constant(Matrix::from_vec(
-            6,
-            1,
-            vec![0.5, -0.3, 0.8, 0.1, -0.7, 0.4],
-        ));
+        let w = Tensor::constant(Matrix::from_vec(6, 1, vec![0.5, -0.3, 0.8, 0.1, -0.7, 0.4]));
         let inputs = [x.clone()];
         check_gradients(
             &inputs,
@@ -222,7 +219,13 @@ mod tests {
         let s = Rc::new(SparseOperator::new(CsrMatrix::from_triplets(
             3,
             4,
-            &[(0, 0, 0.5), (0, 3, 1.5), (1, 1, -1.0), (2, 2, 2.0), (2, 0, 0.3)],
+            &[
+                (0, 0, 0.5),
+                (0, 3, 1.5),
+                (1, 1, -1.0),
+                (2, 2, 2.0),
+                (2, 0, 0.3),
+            ],
         )));
         let x = rand_param(4, 2, &mut rng);
         let inputs = [x.clone()];
@@ -285,8 +288,7 @@ mod tests {
         let x = rand_param(3, 5, &mut rng);
         let inputs = [x.clone()];
         check_gradients(&inputs, || x.row_sums().tanh().sum_all(), EPS, TOL).unwrap();
-        check_gradients(&inputs, || x.slice_cols(1, 4).sigmoid().sum_all(), EPS, TOL)
-            .unwrap();
+        check_gradients(&inputs, || x.slice_cols(1, 4).sigmoid().sum_all(), EPS, TOL).unwrap();
         check_gradients(&inputs, || x.row_sq_norms().sum_all(), EPS, TOL).unwrap();
     }
 }

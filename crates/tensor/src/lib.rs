@@ -34,6 +34,8 @@ pub mod init;
 pub mod matrix;
 pub mod ops;
 pub mod optim;
+pub(crate) mod parallel;
+pub mod reference;
 pub mod sparse;
 pub mod tensor;
 

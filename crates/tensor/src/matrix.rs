@@ -18,12 +18,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -54,7 +62,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows passed to Matrix::from_rows");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// A `1×1` matrix holding a single scalar.
@@ -158,7 +170,12 @@ impl Matrix {
         Self {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -192,7 +209,11 @@ impl Matrix {
 
     /// In-place `self += c * other`.
     pub fn add_scaled_assign(&mut self, other: &Self, c: f32) {
-        assert_eq!(self.shape(), other.shape(), "add_scaled_assign shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_scaled_assign shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += c * b;
         }
@@ -205,6 +226,42 @@ impl Matrix {
         }
     }
 
+    /// In-place element-wise map (no intermediate allocation).
+    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32) {
+        for a in &mut self.data {
+            *a = f(*a);
+        }
+    }
+
+    /// In-place Hadamard product.
+    pub fn hadamard_assign(&mut self, other: &Self) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "hadamard_assign shape mismatch"
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+    }
+
+    /// In-place ReLU.
+    pub fn relu_assign(&mut self) {
+        self.map_assign(|x| x.max(0.0));
+    }
+
+    /// Adds a `1×c` bias row to every row, in place.
+    pub fn add_bias_assign(&mut self, bias: &Self) {
+        assert_eq!(bias.rows, 1, "bias must be a single row");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &bv) in row.iter_mut().zip(&bias.data) {
+                *o += bv;
+            }
+        }
+    }
+
     /// Sets every element to zero, keeping the allocation.
     pub fn fill_zero(&mut self) {
         self.data.iter_mut().for_each(|x| *x = 0.0);
@@ -212,80 +269,134 @@ impl Matrix {
 
     /// Matrix product `self @ other`.
     ///
+    /// Cache-blocked (k-tiled, 4-row micro-kernel) and rayon-parallel over
+    /// output-row ranges above a work threshold. Bitwise identical to
+    /// [`crate::reference::matmul`]: per output element the accumulation
+    /// order over `k` is unchanged and explicit zeros of `self` are
+    /// skipped exactly as the naive loop does.
+    ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Self) -> Self {
+        let work = self
+            .rows
+            .saturating_mul(self.cols)
+            .saturating_mul(other.cols);
+        self.matmul_with_threads(other, crate::parallel::threads_for(work))
+    }
+
+    /// [`Matrix::matmul`] with an explicit worker count (mainly for tests
+    /// and benchmarks; `threads == 1` forces the serial blocked kernel).
+    pub fn matmul_with_threads(&self, other: &Self, threads: usize) -> Self {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul dims mismatch: {:?} @ {:?}",
             self.shape(),
             other.shape()
         );
         let mut out = Self::zeros(self.rows, other.cols);
-        let oc = other.cols;
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let orow = &mut out.data[i * oc..(i + 1) * oc];
-            for (k, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[k * oc..(k + 1) * oc];
-                for (o, &bkj) in orow.iter_mut().zip(brow) {
-                    *o += aik * bkj;
-                }
-            }
-        }
+        crate::parallel::for_each_row_chunk(
+            &mut out.data,
+            self.rows,
+            other.cols,
+            threads,
+            |r0, r1, chunk| matmul_block(self, other, r0, r1, chunk),
+        );
+        out
+    }
+
+    /// Fused `self @ w + bias` where `bias` is a `1×n` row broadcast over
+    /// every output row: the affine-layer forward pass in one kernel,
+    /// without materialising the un-biased product.
+    pub fn matmul_bias(&self, w: &Self, bias: &Self) -> Self {
+        assert_eq!(
+            self.cols,
+            w.rows,
+            "matmul_bias dims mismatch: {:?} @ {:?}",
+            self.shape(),
+            w.shape()
+        );
+        assert_eq!(bias.rows, 1, "bias must be a single row");
+        assert_eq!(bias.cols, w.cols, "bias width mismatch");
+        let work = self.rows.saturating_mul(self.cols).saturating_mul(w.cols);
+        let mut out = Self::zeros(self.rows, w.cols);
+        crate::parallel::for_each_row_chunk(
+            &mut out.data,
+            self.rows,
+            w.cols,
+            crate::parallel::threads_for(work),
+            |r0, r1, chunk| {
+                crate::parallel::seed_rows(chunk, &bias.data);
+                matmul_block(self, w, r0, r1, chunk);
+            },
+        );
         out
     }
 
     /// `self @ other.T` without materialising the transpose.
+    ///
+    /// Four dot products run per pass over a row of `self` (register
+    /// blocking); rayon-parallel over output rows. Bitwise identical to
+    /// [`crate::reference::matmul_tb`].
     pub fn matmul_tb(&self, other: &Self) -> Self {
+        let work = self
+            .rows
+            .saturating_mul(self.cols)
+            .saturating_mul(other.rows);
+        self.matmul_tb_with_threads(other, crate::parallel::threads_for(work))
+    }
+
+    /// [`Matrix::matmul_tb`] with an explicit worker count.
+    pub fn matmul_tb_with_threads(&self, other: &Self, threads: usize) -> Self {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_tb dims mismatch: {:?} @ {:?}.T",
             self.shape(),
             other.shape()
         );
         let mut out = Self::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let orow = &mut out.data[i * other.rows..(i + 1) * other.rows];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        }
+        crate::parallel::for_each_row_chunk(
+            &mut out.data,
+            self.rows,
+            other.rows,
+            threads,
+            |r0, r1, chunk| matmul_tb_block(self, other, r0, r1, chunk),
+        );
         out
     }
 
     /// `self.T @ other` without materialising the transpose.
+    ///
+    /// Parallel over output rows (columns of `self`); each worker streams
+    /// the full inputs but writes only its own row range. Bitwise
+    /// identical to [`crate::reference::matmul_ta`].
     pub fn matmul_ta(&self, other: &Self) -> Self {
+        let work = self
+            .rows
+            .saturating_mul(self.cols)
+            .saturating_mul(other.cols);
+        self.matmul_ta_with_threads(other, crate::parallel::threads_for(work))
+    }
+
+    /// [`Matrix::matmul_ta`] with an explicit worker count.
+    pub fn matmul_ta_with_threads(&self, other: &Self, threads: usize) -> Self {
         assert_eq!(
-            self.rows, other.rows,
+            self.rows,
+            other.rows,
             "matmul_ta dims mismatch: {:?}.T @ {:?}",
             self.shape(),
             other.shape()
         );
         let mut out = Self::zeros(self.cols, other.cols);
-        let oc = other.cols;
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let brow = other.row(i);
-            for (k, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[k * oc..(k + 1) * oc];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += aik * b;
-                }
-            }
-        }
+        crate::parallel::for_each_row_chunk(
+            &mut out.data,
+            self.cols,
+            other.cols,
+            threads,
+            |c0, c1, chunk| matmul_ta_block(self, other, c0, c1, chunk),
+        );
         out
     }
 
@@ -402,6 +513,109 @@ impl Matrix {
                 .iter()
                 .zip(&other.data)
                 .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+/// k-tile width of the blocked matmul kernels: a tile of `other` spans
+/// `KC × n` elements and is reused across a 4-row group of `self`.
+const KC: usize = 256;
+
+/// Output rows updated per pass over a row of `other` in [`matmul_block`];
+/// quadruples the arithmetic intensity per B-row load.
+const ROW_BLOCK: usize = 4;
+
+/// Computes output rows `[r0, r1)` of `a @ b` into `chunk` (which may be
+/// pre-initialised, e.g. with a bias row — the kernel only accumulates).
+///
+/// For every output element the accumulation order over `k` is strictly
+/// increasing and explicit zeros of `a` are skipped, so results are
+/// bitwise identical to [`crate::reference::matmul`].
+fn matmul_block(a: &Matrix, b: &Matrix, r0: usize, r1: usize, chunk: &mut [f32]) {
+    let k_dim = a.cols;
+    let n = b.cols;
+    let a_data = &a.data;
+    let b_data = &b.data;
+    for kb in (0..k_dim).step_by(KC) {
+        let k_end = (kb + KC).min(k_dim);
+        let mut i = r0;
+        while i < r1 {
+            let i_end = (i + ROW_BLOCK).min(r1);
+            for k in kb..k_end {
+                let brow = &b_data[k * n..(k + 1) * n];
+                for r in i..i_end {
+                    let a_rk = a_data[r * k_dim + k];
+                    if a_rk == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut chunk[(r - r0) * n..(r - r0 + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += a_rk * bv;
+                    }
+                }
+            }
+            i = i_end;
+        }
+    }
+}
+
+/// Computes output rows `[r0, r1)` of `a @ b.T` into `chunk`, four dot
+/// products per pass over `a`'s row. Bitwise identical to
+/// [`crate::reference::matmul_tb`].
+fn matmul_tb_block(a: &Matrix, b: &Matrix, r0: usize, r1: usize, chunk: &mut [f32]) {
+    let n = b.rows;
+    for r in r0..r1 {
+        let arow = a.row(r);
+        let orow = &mut chunk[(r - r0) * n..(r - r0 + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = b.row(j);
+            let b1 = b.row(j + 1);
+            let b2 = b.row(j + 2);
+            let b3 = b.row(j + 3);
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (k, &av) in arow.iter().enumerate() {
+                s0 += av * b0[k];
+                s1 += av * b1[k];
+                s2 += av * b2[k];
+                s3 += av * b3[k];
+            }
+            orow[j] = s0;
+            orow[j + 1] = s1;
+            orow[j + 2] = s2;
+            orow[j + 3] = s3;
+            j += 4;
+        }
+        for (jj, o) in orow.iter_mut().enumerate().take(n).skip(j) {
+            let brow = b.row(jj);
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// Computes output rows `[c0, c1)` of `a.T @ b` into `chunk`. Each worker
+/// streams all of `a`/`b` but scatter-adds only into its own column band,
+/// keeping the per-element accumulation order over `i` identical to
+/// [`crate::reference::matmul_ta`].
+fn matmul_ta_block(a: &Matrix, b: &Matrix, c0: usize, c1: usize, chunk: &mut [f32]) {
+    let k_dim = a.cols;
+    let n = b.cols;
+    for i in 0..a.rows {
+        let arow = &a.data[i * k_dim..(i + 1) * k_dim];
+        let brow = &b.data[i * n..(i + 1) * n];
+        for c in c0..c1 {
+            let v = arow[c];
+            if v == 0.0 {
+                continue;
+            }
+            let orow = &mut chunk[(c - c0) * n..(c - c0 + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += v * bv;
+            }
+        }
     }
 }
 

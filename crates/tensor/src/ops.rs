@@ -46,7 +46,7 @@ impl Tensor {
             vec![self.clone(), other.clone()],
             Box::new(|g, parents| {
                 parents[0].accum_grad(g);
-                parents[1].accum_grad(&g.scale(-1.0));
+                parents[1].accum_grad_scaled(g, -1.0);
             }),
         )
     }
@@ -78,7 +78,7 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone()],
-            Box::new(move |g, parents| parents[0].accum_grad(&g.scale(c))),
+            Box::new(move |g, parents| parents[0].accum_grad_scaled(g, c)),
         )
     }
 
@@ -134,6 +134,33 @@ impl Tensor {
         )
     }
 
+    /// Fused affine map `self @ w + bias` (one kernel, no un-biased
+    /// intermediate): the hot path of every `Linear`/`Mlp` forward.
+    ///
+    /// `bias` is a `1×n` row broadcast over the output rows.
+    pub fn matmul_bias(&self, w: &Tensor, bias: &Tensor) -> Tensor {
+        let value = self
+            .value_ref()
+            .matmul_bias(&w.value_ref(), &bias.value_ref());
+        Tensor::from_op(
+            value,
+            vec![self.clone(), w.clone(), bias.clone()],
+            Box::new(|g, parents| {
+                let dx = {
+                    let w = parents[1].value_ref();
+                    g.matmul_tb(&w)
+                };
+                let dw = {
+                    let x = parents[0].value_ref();
+                    x.matmul_ta(g)
+                };
+                parents[0].accum_grad(&dx);
+                parents[1].accum_grad(&dw);
+                parents[2].accum_grad(&g.sum_rows());
+            }),
+        )
+    }
+
     /// `self @ other.T` (used for attention scores, Eq. 16).
     pub fn matmul_tb(&self, other: &Tensor) -> Tensor {
         let value = self.value_ref().matmul_tb(&other.value_ref());
@@ -180,6 +207,21 @@ impl Tensor {
         )
     }
 
+    /// Fused sparse message passing plus bias: `S @ x + bias` in one
+    /// kernel (the GCN layer's `Â (H W) + b`).
+    pub fn spmm_bias(op: &Rc<SparseOperator>, x: &Tensor, bias: &Tensor) -> Tensor {
+        let value = op.forward().spmm_bias(&x.value_ref(), &bias.value_ref());
+        let op_bw = Rc::clone(op);
+        Tensor::from_op(
+            value,
+            vec![x.clone(), bias.clone()],
+            Box::new(move |g, parents| {
+                parents[0].accum_grad(&op_bw.transposed().spmm(g));
+                parents[1].accum_grad(&g.sum_rows());
+            }),
+        )
+    }
+
     /// Rectified linear unit.
     pub fn relu(&self) -> Tensor {
         let value = self.value_ref().map(|x| x.max(0.0));
@@ -198,7 +240,9 @@ impl Tensor {
 
     /// Leaky ReLU with the given negative slope (GAT uses 0.2).
     pub fn leaky_relu(&self, slope: f32) -> Tensor {
-        let value = self.value_ref().map(|x| if x > 0.0 { x } else { slope * x });
+        let value = self
+            .value_ref()
+            .map(|x| if x > 0.0 { x } else { slope * x });
         Tensor::from_op(
             value,
             vec![self.clone()],
@@ -278,7 +322,11 @@ impl Tensor {
             let x = self.value_ref();
             let mut m = Matrix::zeros(x.rows(), x.cols());
             for v in m.as_mut_slice() {
-                *v = if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 };
+                *v = if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                };
             }
             m
         };
@@ -311,9 +359,7 @@ impl Tensor {
                     let dot: f32 = dx.row(r).iter().sum();
                     let yrow = y.row(r);
                     let drow = dx.row_mut(r);
-                    for (d, (&gv, &yv)) in
-                        drow.iter_mut().zip(g.row(r).iter().zip(yrow))
-                    {
+                    for (d, (&gv, &yv)) in drow.iter_mut().zip(g.row(r).iter().zip(yrow)) {
                         *d = yv * (gv - dot);
                     }
                 }
@@ -485,56 +531,54 @@ impl Tensor {
         dst: &[usize],
         n: usize,
     ) -> Tensor {
-        let value = {
-            let a = alpha.value_ref();
-            let f = feats.value_ref();
-            assert_eq!(a.cols(), 1, "alpha must be m×1");
-            assert_eq!(a.rows(), f.rows(), "alpha/feats row mismatch");
-            assert_eq!(a.rows(), dst.len(), "alpha/dst length mismatch");
-            let mut out = Matrix::zeros(n, f.cols());
-            for (e, &d) in dst.iter().enumerate() {
-                assert!(d < n, "destination out of range");
-                let av = a.as_slice()[e];
-                if av == 0.0 {
-                    continue;
-                }
-                let frow = f.row(e);
-                let orow = out.row_mut(d);
-                for (o, &fv) in orow.iter_mut().zip(frow) {
-                    *o += av * fv;
-                }
-            }
-            out
-        };
+        let value = weighted_scatter_value(&alpha.value_ref(), &feats.value_ref(), dst, n, None);
         let dst: Vec<usize> = dst.to_vec();
         Tensor::from_op(
             value,
             vec![alpha.clone(), feats.clone()],
             Box::new(move |g, parents| {
-                let m = dst.len();
-                let (dalpha, dfeats) = {
-                    let a = parents[0].value_ref();
-                    let f = parents[1].value_ref();
-                    let mut dalpha = Matrix::zeros(m, 1);
-                    let mut dfeats = Matrix::zeros(m, f.cols());
-                    for (e, &d) in dst.iter().enumerate() {
-                        let grow = g.row(d);
-                        let frow = f.row(e);
-                        let mut dot = 0.0;
-                        for (&gv, &fv) in grow.iter().zip(frow) {
-                            dot += gv * fv;
-                        }
-                        dalpha.as_mut_slice()[e] = dot;
-                        let av = a.as_slice()[e];
-                        let drow = dfeats.row_mut(e);
-                        for (o, &gv) in drow.iter_mut().zip(grow) {
-                            *o = av * gv;
-                        }
-                    }
-                    (dalpha, dfeats)
-                };
+                let (dalpha, dfeats) = weighted_scatter_grads(
+                    g,
+                    &parents[0].value_ref(),
+                    &parents[1].value_ref(),
+                    &dst,
+                );
                 parents[0].accum_grad(&dalpha);
                 parents[1].accum_grad(&dfeats);
+            }),
+        )
+    }
+
+    /// Fused [`Tensor::weighted_scatter_rows`] plus a broadcast `1×d` bias
+    /// row: the complete GAT aggregation `Σ_u α_uv z_u + b` in one kernel.
+    pub fn weighted_scatter_rows_bias(
+        alpha: &Tensor,
+        feats: &Tensor,
+        dst: &[usize],
+        n: usize,
+        bias: &Tensor,
+    ) -> Tensor {
+        let value = weighted_scatter_value(
+            &alpha.value_ref(),
+            &feats.value_ref(),
+            dst,
+            n,
+            Some(&bias.value_ref()),
+        );
+        let dst: Vec<usize> = dst.to_vec();
+        Tensor::from_op(
+            value,
+            vec![alpha.clone(), feats.clone(), bias.clone()],
+            Box::new(move |g, parents| {
+                let (dalpha, dfeats) = weighted_scatter_grads(
+                    g,
+                    &parents[0].value_ref(),
+                    &parents[1].value_ref(),
+                    &dst,
+                );
+                parents[0].accum_grad(&dalpha);
+                parents[1].accum_grad(&dfeats);
+                parents[2].accum_grad(&g.sum_rows());
             }),
         )
     }
@@ -653,7 +697,9 @@ impl Tensor {
 
     /// Element-wise natural logarithm of `x + eps` (clamped for safety).
     pub fn ln(&self, eps: f32) -> Tensor {
-        let value = self.value_ref().map(|x| (x + eps).max(f32::MIN_POSITIVE).ln());
+        let value = self
+            .value_ref()
+            .map(|x| (x + eps).max(f32::MIN_POSITIVE).ln());
         Tensor::from_op(
             value,
             vec![self.clone()],
@@ -774,6 +820,65 @@ impl Tensor {
     pub fn row_sq_norms(&self) -> Tensor {
         self.mul(self).row_sums()
     }
+}
+
+/// Forward value of the weighted scatter-add, optionally seeded with a
+/// broadcast bias row instead of zeros.
+fn weighted_scatter_value(
+    a: &Matrix,
+    f: &Matrix,
+    dst: &[usize],
+    n: usize,
+    bias: Option<&Matrix>,
+) -> Matrix {
+    assert_eq!(a.cols(), 1, "alpha must be m×1");
+    assert_eq!(a.rows(), f.rows(), "alpha/feats row mismatch");
+    assert_eq!(a.rows(), dst.len(), "alpha/dst length mismatch");
+    let mut out = match bias {
+        Some(b) => {
+            assert_eq!(b.rows(), 1, "bias must be a single row");
+            assert_eq!(b.cols(), f.cols(), "bias width mismatch");
+            let mut m = Matrix::zeros(n, f.cols());
+            crate::parallel::seed_rows(m.as_mut_slice(), b.row(0));
+            m
+        }
+        None => Matrix::zeros(n, f.cols()),
+    };
+    for (e, &d) in dst.iter().enumerate() {
+        assert!(d < n, "destination out of range");
+        let av = a.as_slice()[e];
+        if av == 0.0 {
+            continue;
+        }
+        let frow = f.row(e);
+        let orow = out.row_mut(d);
+        for (o, &fv) in orow.iter_mut().zip(frow) {
+            *o += av * fv;
+        }
+    }
+    out
+}
+
+/// `(dα, dfeats)` adjoints of the weighted scatter-add.
+fn weighted_scatter_grads(g: &Matrix, a: &Matrix, f: &Matrix, dst: &[usize]) -> (Matrix, Matrix) {
+    let m = dst.len();
+    let mut dalpha = Matrix::zeros(m, 1);
+    let mut dfeats = Matrix::zeros(m, f.cols());
+    for (e, &d) in dst.iter().enumerate() {
+        let grow = g.row(d);
+        let frow = f.row(e);
+        let mut dot = 0.0;
+        for (&gv, &fv) in grow.iter().zip(frow) {
+            dot += gv * fv;
+        }
+        dalpha.as_mut_slice()[e] = dot;
+        let av = a.as_slice()[e];
+        let drow = dfeats.row_mut(e);
+        for (o, &gv) in drow.iter_mut().zip(grow) {
+            *o = av * gv;
+        }
+    }
+    (dalpha, dfeats)
 }
 
 /// Sigmoid that never overflows.
@@ -918,8 +1023,79 @@ mod tests {
             .grad()
             .unwrap()
             .approx_eq(&Matrix::from_vec(1, 2, vec![4.0, 12.0]), 1e-5));
-        assert!(v1.grad().unwrap().approx_eq(&Matrix::full(2, 2, 0.25), 1e-6));
-        assert!(v2.grad().unwrap().approx_eq(&Matrix::full(2, 2, 0.75), 1e-6));
+        assert!(v1
+            .grad()
+            .unwrap()
+            .approx_eq(&Matrix::full(2, 2, 0.25), 1e-6));
+        assert!(v2
+            .grad()
+            .unwrap()
+            .approx_eq(&Matrix::full(2, 2, 0.75), 1e-6));
+    }
+
+    #[test]
+    fn matmul_bias_matches_unfused() {
+        let x = param(4, 3, 51);
+        let w = param(3, 5, 52);
+        let b = param(1, 5, 53);
+        let fused = x.matmul_bias(&w, &b);
+        let unfused = x.matmul(&w).add_bias(&b);
+        assert!(fused.value().approx_eq(&unfused.value(), 1e-5));
+        fused.sum_all().backward();
+        let (gx, gw, gb) = (x.grad().unwrap(), w.grad().unwrap(), b.grad().unwrap());
+        x.zero_grad();
+        w.zero_grad();
+        b.zero_grad();
+        unfused.sum_all().backward();
+        assert!(gx.approx_eq(&x.grad().unwrap(), 1e-5));
+        assert!(gw.approx_eq(&w.grad().unwrap(), 1e-5));
+        assert!(gb.approx_eq(&b.grad().unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn spmm_bias_matches_unfused() {
+        use crate::sparse::CsrMatrix;
+        let s = Rc::new(SparseOperator::new(CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 0.5), (0, 2, 2.0), (1, 1, 3.0), (2, 0, -1.0)],
+        )));
+        let x = param(3, 4, 61);
+        let b = param(1, 4, 62);
+        let fused = Tensor::spmm_bias(&s, &x, &b);
+        let unfused = Tensor::spmm(&s, &x).add_bias(&b);
+        assert!(fused.value().approx_eq(&unfused.value(), 1e-5));
+        fused.sum_all().backward();
+        let (gx, gb) = (x.grad().unwrap(), b.grad().unwrap());
+        x.zero_grad();
+        b.zero_grad();
+        unfused.sum_all().backward();
+        assert!(gx.approx_eq(&x.grad().unwrap(), 1e-5));
+        assert!(gb.approx_eq(&b.grad().unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn weighted_scatter_bias_matches_unfused() {
+        let alpha = param(4, 1, 71);
+        let feats = param(4, 3, 72);
+        let bias = param(1, 3, 73);
+        let dst = [0usize, 1, 1, 2];
+        let fused = Tensor::weighted_scatter_rows_bias(&alpha, &feats, &dst, 3, &bias);
+        let unfused = Tensor::weighted_scatter_rows(&alpha, &feats, &dst, 3).add_bias(&bias);
+        assert!(fused.value().approx_eq(&unfused.value(), 1e-5));
+        fused.sum_all().backward();
+        let (ga, gf, gb) = (
+            alpha.grad().unwrap(),
+            feats.grad().unwrap(),
+            bias.grad().unwrap(),
+        );
+        alpha.zero_grad();
+        feats.zero_grad();
+        bias.zero_grad();
+        unfused.sum_all().backward();
+        assert!(ga.approx_eq(&alpha.grad().unwrap(), 1e-5));
+        assert!(gf.approx_eq(&feats.grad().unwrap(), 1e-5));
+        assert!(gb.approx_eq(&bias.grad().unwrap(), 1e-5));
     }
 
     #[test]
@@ -952,7 +1128,11 @@ mod tests {
         assert!(eval.value().approx_eq(&Matrix::full(10, 10, 1.0), 0.0));
         let train = x.dropout(0.5, true, &mut rng).value();
         let zeros = train.as_slice().iter().filter(|&&v| v == 0.0).count();
-        let doubled = train.as_slice().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        let doubled = train
+            .as_slice()
+            .iter()
+            .filter(|&&v| (v - 2.0).abs() < 1e-6)
+            .count();
         assert_eq!(zeros + doubled, 100);
         assert!(zeros > 10 && zeros < 90, "mask should be non-trivial");
     }

@@ -32,7 +32,11 @@ pub struct Sgd {
 
 impl Sgd {
     pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
-        Self { params, lr, weight_decay: 0.0 }
+        Self {
+            params,
+            lr,
+            weight_decay: 0.0,
+        }
     }
 
     pub fn with_weight_decay(mut self, wd: f32) -> Self {
@@ -245,11 +249,7 @@ mod tests {
     fn adam_converges_faster_than_sgd_on_ill_conditioned() {
         // loss = x₀² + 100·x₁²: a stiff quadratic.
         let loss_of = |x: &Tensor| {
-            let scaled = x.mul(&Tensor::constant(Matrix::from_vec(
-                1,
-                2,
-                vec![1.0, 10.0],
-            )));
+            let scaled = x.mul(&Tensor::constant(Matrix::from_vec(1, 2, vec![1.0, 10.0])));
             scaled.l2_sum()
         };
         let run = |mut opt: Box<dyn Optimizer>, x: Tensor| {

@@ -1,0 +1,72 @@
+//! Row-range parallelism for the dense and sparse kernels.
+//!
+//! Every optimised kernel in this crate writes disjoint row ranges of its
+//! output, so parallelism is expressed as one primitive: split the output
+//! rows into contiguous chunks and hand each chunk to a rayon scope
+//! worker. Per-row (and per-element) accumulation order inside a chunk is
+//! identical to the serial kernel, which keeps parallel results bitwise
+//! equal to the [`crate::reference`] implementations.
+
+/// Minimum multiply-accumulate count before a kernel goes parallel;
+/// below this the thread-spawn cost dominates.
+pub(crate) const PAR_MIN_WORK: usize = 1 << 18;
+
+/// Minimum output rows per worker chunk.
+const MIN_ROWS_PER_CHUNK: usize = 4;
+
+/// Splits `out` (row-major, `n_rows × row_w`) into contiguous row chunks
+/// and runs `f(row_begin, row_end, chunk)` on each, in parallel when
+/// `threads > 1` and the row count permits. `f` must only depend on the
+/// row range it is given.
+pub(crate) fn for_each_row_chunk<F>(
+    out: &mut [f32],
+    n_rows: usize,
+    row_w: usize,
+    threads: usize,
+    f: F,
+) where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), n_rows * row_w);
+    let n_chunks = threads.min(n_rows.div_ceil(MIN_ROWS_PER_CHUNK)).max(1);
+    if n_chunks <= 1 {
+        f(0, n_rows, out);
+        return;
+    }
+    let rows_per_chunk = n_rows.div_ceil(n_chunks);
+    rayon::scope(|s| {
+        let mut rest = out;
+        let mut r0 = 0;
+        while r0 < n_rows {
+            let r1 = (r0 + rows_per_chunk).min(n_rows);
+            let (chunk, tail) = rest.split_at_mut((r1 - r0) * row_w);
+            rest = tail;
+            let f = &f;
+            s.spawn(move |_| f(r0, r1, chunk));
+            r0 = r1;
+        }
+    });
+}
+
+/// Seeds every `row.len()`-wide row of `out` with a copy of `row` (the
+/// broadcast-bias initialisation shared by the fused `*_bias` kernels).
+pub(crate) fn seed_rows(out: &mut [f32], row: &[f32]) {
+    if row.is_empty() {
+        return;
+    }
+    debug_assert_eq!(out.len() % row.len(), 0);
+    for chunk in out.chunks_exact_mut(row.len()) {
+        chunk.copy_from_slice(row);
+    }
+}
+
+/// Worker count the public kernel entry points use for `work`
+/// multiply-accumulates: all of rayon's threads above the threshold,
+/// serial below it.
+pub(crate) fn threads_for(work: usize) -> usize {
+    if work >= PAR_MIN_WORK {
+        rayon::current_num_threads()
+    } else {
+        1
+    }
+}

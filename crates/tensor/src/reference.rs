@@ -1,0 +1,129 @@
+//! Naive reference kernels.
+//!
+//! These are the original single-threaded loops the optimised backend in
+//! [`crate::matrix`] / [`crate::sparse`] replaced. They stay in the tree
+//! as the semantic ground truth: the blocked/parallel kernels are required
+//! to produce **bitwise identical** results (same per-element accumulation
+//! order, same skip of explicit zeros), and the property tests in
+//! `tests/kernel_equivalence.rs` pin that contract. The micro-benchmarks
+//! also measure speedups against these.
+
+use crate::matrix::Matrix;
+use crate::sparse::CsrMatrix;
+
+/// Naive `a @ b` (row-major ikj loop, skipping explicit zeros of `a`).
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul dims mismatch: {:?} @ {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    let oc = b.cols();
+    for i in 0..a.rows() {
+        let arow = a.row(i);
+        let orow = &mut out.as_mut_slice()[i * oc..(i + 1) * oc];
+        for (k, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b.as_slice()[k * oc..(k + 1) * oc];
+            for (o, &bkj) in orow.iter_mut().zip(brow) {
+                *o += aik * bkj;
+            }
+        }
+    }
+    out
+}
+
+/// Naive `a @ b.T` without materialising the transpose.
+pub fn matmul_tb(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_tb dims mismatch: {:?} @ {:?}.T",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        let arow = a.row(i);
+        let orow = &mut out.as_mut_slice()[i * b.rows()..(i + 1) * b.rows()];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = b.row(j);
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+    out
+}
+
+/// Naive `a.T @ b` without materialising the transpose.
+pub fn matmul_ta(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_ta dims mismatch: {:?}.T @ {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    let oc = b.cols();
+    for i in 0..a.rows() {
+        let arow = a.row(i);
+        let brow = b.row(i);
+        for (k, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let orow = &mut out.as_mut_slice()[k * oc..(k + 1) * oc];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aik * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Naive CSR × dense product.
+pub fn spmm(s: &CsrMatrix, x: &Matrix) -> Matrix {
+    assert_eq!(
+        s.n_cols(),
+        x.rows(),
+        "spmm dims mismatch: {}x{} @ {:?}",
+        s.n_rows(),
+        s.n_cols(),
+        x.shape()
+    );
+    let mut out = Matrix::zeros(s.n_rows(), x.cols());
+    let cols = x.cols();
+    for r in 0..s.n_rows() {
+        let orow = &mut out.as_mut_slice()[r * cols..(r + 1) * cols];
+        for (c, v) in s.row_iter(r) {
+            let xrow = x.row(c);
+            for (o, &xv) in orow.iter_mut().zip(xrow) {
+                *o += v * xv;
+            }
+        }
+    }
+    out
+}
+
+/// Naive CSR × dense vector product.
+pub fn spmv(s: &CsrMatrix, x: &[f32]) -> Vec<f32> {
+    assert_eq!(s.n_cols(), x.len(), "spmv dims mismatch");
+    let mut out = vec![0.0; s.n_rows()];
+    for (r, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (c, v) in s.row_iter(r) {
+            acc += v * x[c];
+        }
+        *o = acc;
+    }
+    out
+}

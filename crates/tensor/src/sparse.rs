@@ -27,11 +27,7 @@ impl CsrMatrix {
     ///
     /// # Panics
     /// Panics if any index is out of bounds.
-    pub fn from_triplets(
-        n_rows: usize,
-        n_cols: usize,
-        triplets: &[(usize, usize, f32)],
-    ) -> Self {
+    pub fn from_triplets(n_rows: usize, n_cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
         for &(r, c, _) in triplets {
             assert!(r < n_rows && c < n_cols, "triplet ({r},{c}) out of bounds");
         }
@@ -78,7 +74,13 @@ impl CsrMatrix {
             }
             indptr.push(indices.len());
         }
-        Self { n_rows, n_cols, indptr, indices, values }
+        Self {
+            n_rows,
+            n_cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// The identity operator of size `n`.
@@ -119,9 +121,19 @@ impl CsrMatrix {
 
     /// Sparse × dense product `self @ x`.
     ///
+    /// Rayon-parallel over output-row chunks above a work threshold;
+    /// per-row accumulation stays serial, so results are bitwise
+    /// identical to [`crate::reference::spmm`].
+    ///
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn spmm(&self, x: &Matrix) -> Matrix {
+        let work = self.nnz().saturating_mul(x.cols());
+        self.spmm_with_threads(x, crate::parallel::threads_for(work))
+    }
+
+    /// [`CsrMatrix::spmm`] with an explicit worker count (tests/benches).
+    pub fn spmm_with_threads(&self, x: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.n_cols,
             x.rows(),
@@ -130,10 +142,52 @@ impl CsrMatrix {
             self.n_cols,
             x.shape()
         );
-        let mut out = Matrix::zeros(self.n_rows, x.cols());
         let cols = x.cols();
-        for r in 0..self.n_rows {
-            let orow = &mut out.as_mut_slice()[r * cols..(r + 1) * cols];
+        let mut out = Matrix::zeros(self.n_rows, cols);
+        crate::parallel::for_each_row_chunk(
+            out.as_mut_slice(),
+            self.n_rows,
+            cols,
+            threads,
+            |r0, r1, chunk| self.spmm_rows(x, r0, r1, chunk),
+        );
+        out
+    }
+
+    /// Fused `self @ x + bias` with a `1×cols` bias row broadcast over
+    /// every output row (the GCN layer's `Â (H W) + b` in one kernel).
+    pub fn spmm_bias(&self, x: &Matrix, bias: &Matrix) -> Matrix {
+        assert_eq!(
+            self.n_cols,
+            x.rows(),
+            "spmm_bias dims mismatch: {}x{} @ {:?}",
+            self.n_rows,
+            self.n_cols,
+            x.shape()
+        );
+        assert_eq!(bias.rows(), 1, "bias must be a single row");
+        assert_eq!(bias.cols(), x.cols(), "bias width mismatch");
+        let cols = x.cols();
+        let work = self.nnz().saturating_mul(cols);
+        let mut out = Matrix::zeros(self.n_rows, cols);
+        crate::parallel::for_each_row_chunk(
+            out.as_mut_slice(),
+            self.n_rows,
+            cols,
+            crate::parallel::threads_for(work),
+            |r0, r1, chunk| {
+                crate::parallel::seed_rows(chunk, bias.as_slice());
+                self.spmm_rows(x, r0, r1, chunk);
+            },
+        );
+        out
+    }
+
+    /// Accumulates rows `[r0, r1)` of `self @ x` into `chunk`.
+    fn spmm_rows(&self, x: &Matrix, r0: usize, r1: usize, chunk: &mut [f32]) {
+        let cols = x.cols();
+        for r in r0..r1 {
+            let orow = &mut chunk[(r - r0) * cols..(r - r0 + 1) * cols];
             for i in self.indptr[r]..self.indptr[r + 1] {
                 let c = self.indices[i];
                 let v = self.values[i];
@@ -143,20 +197,29 @@ impl CsrMatrix {
                 }
             }
         }
-        out
     }
 
     /// Sparse × dense vector product for `x` stored as a slice.
+    ///
+    /// Rayon-parallel over row chunks; per-row dot products stay serial,
+    /// so results are bitwise identical to [`crate::reference::spmv`].
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        self.spmv_with_threads(x, crate::parallel::threads_for(self.nnz()))
+    }
+
+    /// [`CsrMatrix::spmv`] with an explicit worker count (tests/benches).
+    pub fn spmv_with_threads(&self, x: &[f32], threads: usize) -> Vec<f32> {
         assert_eq!(self.n_cols, x.len(), "spmv dims mismatch");
         let mut out = vec![0.0; self.n_rows];
-        for (r, o) in out.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for i in self.indptr[r]..self.indptr[r + 1] {
-                acc += self.values[i] * x[self.indices[i]];
+        crate::parallel::for_each_row_chunk(&mut out, self.n_rows, 1, threads, |r0, r1, chunk| {
+            for r in r0..r1 {
+                let mut acc = 0.0;
+                for i in self.indptr[r]..self.indptr[r + 1] {
+                    acc += self.values[i] * x[self.indices[i]];
+                }
+                chunk[r - r0] = acc;
             }
-            *o = acc;
-        }
+        });
         out
     }
 
@@ -233,7 +296,10 @@ pub struct SparseOperator {
 impl SparseOperator {
     pub fn new(forward: CsrMatrix) -> Self {
         let transposed = forward.transpose();
-        Self { forward, transposed }
+        Self {
+            forward,
+            transposed,
+        }
     }
 
     #[inline]
@@ -265,11 +331,7 @@ mod tests {
         // [[0, 2, 0],
         //  [1, 0, 3],
         //  [0, 4, 0]]
-        CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(0, 1, 2.0), (1, 0, 1.0), (1, 2, 3.0), (2, 1, 4.0)],
-        )
+        CsrMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (1, 0, 1.0), (1, 2, 3.0), (2, 1, 4.0)])
     }
 
     #[test]

@@ -205,6 +205,28 @@ impl Tensor {
         }
     }
 
+    /// Adds `c * delta` into the gradient buffer without materialising the
+    /// scaled matrix (no-op for constants).
+    pub fn accum_grad_scaled(&self, delta: &Matrix, c: f32) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.needs_grad {
+            return;
+        }
+        debug_assert_eq!(
+            inner.value.shape(),
+            delta.shape(),
+            "gradient shape mismatch"
+        );
+        match &mut inner.grad {
+            Some(g) => g.add_scaled_assign(delta, c),
+            slot @ None => {
+                let mut g = delta.clone();
+                g.scale_assign(c);
+                *slot = Some(g);
+            }
+        }
+    }
+
     /// Back-propagates from a scalar loss, seeding `d(loss)/d(loss) = 1`.
     ///
     /// # Panics

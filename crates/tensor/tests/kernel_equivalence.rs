@@ -1,0 +1,207 @@
+//! Property tests pinning the blocked/parallel kernels to the naive
+//! reference implementations.
+//!
+//! The contract is **bitwise** equality: the optimised kernels reorder
+//! loops and partition output rows across threads, but never change the
+//! per-element floating-point accumulation order, so every output bit
+//! must match `cgnp_tensor::reference`. Shapes range over degenerate
+//! cases (empty, 1×1) through sizes that exercise multiple k-tiles and
+//! several parallel row chunks.
+
+use cgnp_tensor::{reference, CsrMatrix, Matrix};
+use proptest::prelude::*;
+
+/// Matrices with dimensions in `[0, dim_hi)`, entries including exact
+/// zeros (to exercise the zero-skip path) and denormal-adjacent values.
+fn arb_matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-4.0f32..4.0, r * c).prop_map(move |mut data| {
+            // Plant exact zeros so the skip branch differs between taken
+            // and untaken across cases.
+            for v in data.iter_mut().step_by(7) {
+                *v = 0.0;
+            }
+            Matrix::from_vec(r, c, data)
+        })
+    })
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// A random CSR built from triplets (possibly empty, with duplicates).
+fn arb_csr(n_rows: usize, n_cols: usize) -> impl Strategy<Value = CsrMatrix> {
+    proptest::collection::vec(
+        (0..n_rows.max(1), 0..n_cols.max(1), -2.0f32..2.0),
+        0..4 * n_rows.max(1),
+    )
+    .prop_map(move |trips| {
+        let trips: Vec<(usize, usize, f32)> = trips
+            .into_iter()
+            .filter(|&(r, c, _)| r < n_rows && c < n_cols)
+            .collect();
+        CsrMatrix::from_triplets(n_rows, n_cols, &trips)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn matmul_matches_reference_bitwise(
+        (a, b) in (0usize..12, 0usize..12, 0usize..12).prop_flat_map(|(m, k, n)| {
+            (arb_matrix(m..m + 1, k..k + 1), arb_matrix(k..k + 1, n..n + 1))
+        })
+    ) {
+        let expect = bits(&reference::matmul(&a, &b));
+        prop_assert_eq!(bits(&a.matmul(&b)), expect.clone());
+        // Forced multi-chunk parallel path must agree on any machine.
+        prop_assert_eq!(bits(&a.matmul_with_threads(&b, 4)), expect);
+    }
+
+    #[test]
+    fn matmul_tb_matches_reference_bitwise(
+        (a, b) in (0usize..12, 0usize..12, 0usize..12).prop_flat_map(|(m, k, n)| {
+            (arb_matrix(m..m + 1, k..k + 1), arb_matrix(n..n + 1, k..k + 1))
+        })
+    ) {
+        let expect = bits(&reference::matmul_tb(&a, &b));
+        prop_assert_eq!(bits(&a.matmul_tb(&b)), expect.clone());
+        prop_assert_eq!(bits(&a.matmul_tb_with_threads(&b, 4)), expect);
+    }
+
+    #[test]
+    fn matmul_ta_matches_reference_bitwise(
+        (a, b) in (0usize..12, 0usize..12, 0usize..12).prop_flat_map(|(m, k, n)| {
+            (arb_matrix(m..m + 1, k..k + 1), arb_matrix(m..m + 1, n..n + 1))
+        })
+    ) {
+        let expect = bits(&reference::matmul_ta(&a, &b));
+        prop_assert_eq!(bits(&a.matmul_ta(&b)), expect.clone());
+        prop_assert_eq!(bits(&a.matmul_ta_with_threads(&b, 4)), expect);
+    }
+
+    #[test]
+    fn spmm_matches_reference_bitwise(
+        (s, x) in (0usize..16, 0usize..16, 0usize..9).prop_flat_map(|(r, k, n)| {
+            (arb_csr(r, k), arb_matrix(k..k + 1, n..n + 1))
+        })
+    ) {
+        let expect = bits(&reference::spmm(&s, &x));
+        prop_assert_eq!(bits(&s.spmm(&x)), expect.clone());
+        prop_assert_eq!(bits(&s.spmm_with_threads(&x, 4)), expect);
+    }
+
+    #[test]
+    fn spmv_matches_reference_bitwise(
+        (s, x) in (0usize..16, 0usize..16).prop_flat_map(|(r, k)| {
+            (arb_csr(r, k), proptest::collection::vec(-4.0f32..4.0, k))
+        })
+    ) {
+        let to_bits = |v: &[f32]| -> Vec<u32> {
+            v.iter().map(|x| x.to_bits()).collect()
+        };
+        let expect = to_bits(&reference::spmv(&s, &x));
+        prop_assert_eq!(to_bits(&s.spmv(&x)), expect.clone());
+        prop_assert_eq!(to_bits(&s.spmv_with_threads(&x, 4)), expect);
+    }
+
+    #[test]
+    fn fused_matmul_bias_matches_composition(
+        (x, w, b) in (1usize..10, 1usize..10, 1usize..10).prop_flat_map(|(m, k, n)| {
+            (
+                arb_matrix(m..m + 1, k..k + 1),
+                arb_matrix(k..k + 1, n..n + 1),
+                arb_matrix(1..2, n..n + 1),
+            )
+        })
+    ) {
+        // Fusion changes the bias-add position in the accumulation chain,
+        // so this is an approximate (not bitwise) contract.
+        let fused = x.matmul_bias(&w, &b);
+        let mut unfused = reference::matmul(&x, &w);
+        unfused.add_bias_assign(&b);
+        prop_assert!(fused.approx_eq(&unfused, 1e-4));
+    }
+}
+
+#[test]
+fn large_matmul_crosses_tile_and_chunk_boundaries() {
+    // One deterministic case big enough to span several 256-wide k-tiles
+    // and all parallel chunks: 300×600 @ 600×97.
+    let a = Matrix::from_vec(
+        300,
+        600,
+        (0..300 * 600)
+            .map(|i| {
+                if i % 11 == 0 {
+                    0.0
+                } else {
+                    ((i % 97) as f32) * 0.03 - 1.4
+                }
+            })
+            .collect(),
+    );
+    let b = Matrix::from_vec(
+        600,
+        97,
+        (0..600 * 97)
+            .map(|i| ((i % 89) as f32) * 0.02 - 0.9)
+            .collect(),
+    );
+    let expect: Vec<u32> = reference::matmul(&a, &b)
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    for threads in [1, 2, 3, 8] {
+        let got: Vec<u32> = a
+            .matmul_with_threads(&b, threads)
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(got, expect, "threads={threads}");
+    }
+}
+
+#[test]
+fn large_spmm_parallel_chunks_are_bitwise_stable() {
+    // A 2000-row CSR with ragged row lengths across several chunks.
+    let mut trips = Vec::new();
+    for r in 0..2000usize {
+        for j in 0..(r % 7) {
+            trips.push((
+                r,
+                (r * 31 + j * 17) % 500,
+                ((r + j) % 13) as f32 * 0.1 - 0.6,
+            ));
+        }
+    }
+    let s = CsrMatrix::from_triplets(2000, 500, &trips);
+    let x = Matrix::from_vec(
+        500,
+        64,
+        (0..500 * 64)
+            .map(|i| ((i % 101) as f32) * 0.02 - 1.0)
+            .collect(),
+    );
+    let expect: Vec<u32> = reference::spmm(&s, &x)
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    for threads in [1, 2, 5] {
+        let got: Vec<u32> = s
+            .spmm_with_threads(&x, threads)
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(got, expect, "threads={threads}");
+    }
+}

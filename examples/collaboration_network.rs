@@ -14,7 +14,7 @@ use cgnp_core::{meta_train, prepare_tasks, Cgnp, CgnpConfig};
 use cgnp_data::{
     load_dataset, model_input_dim, single_graph_tasks, DatasetId, Scale, TaskConfig, TaskKind,
 };
-use cgnp_eval::{quality_table, CsLearner, CtcMethod, Metrics, MethodOutcome};
+use cgnp_eval::{quality_table, CsLearner, CtcMethod, MethodOutcome, Metrics};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,8 +48,7 @@ fn main() {
     let test = prepare_tasks(&tasks.test);
 
     // CGNP, meta-trained across tasks.
-    let cfg = CgnpConfig::paper_default(model_input_dim(&tasks.train[0].graph), 32)
-        .with_epochs(30);
+    let cfg = CgnpConfig::paper_default(model_input_dim(&tasks.train[0].graph), 32).with_epochs(30);
     let model = Cgnp::new(cfg, seed);
     meta_train(&model, &train, seed);
 
@@ -62,7 +61,13 @@ fn main() {
     for prepared in &test {
         let cgnp_preds = model.predict_task(prepared, &mut rng);
         let ctc_preds = ctc.run_task(prepared, seed);
-        for ((ex, cp), tp) in prepared.task.targets.iter().zip(&cgnp_preds).zip(&ctc_preds) {
+        for ((ex, cp), tp) in prepared
+            .task
+            .targets
+            .iter()
+            .zip(&cgnp_preds)
+            .zip(&ctc_preds)
+        {
             cgnp_metrics.push(Metrics::from_probs(cp, &ex.truth, 0.5));
             ctc_metrics.push(Metrics::from_probs(tp, &ex.truth, 0.5));
         }
@@ -87,7 +92,9 @@ fn main() {
     let ex = &prepared.task.targets[0];
     let truth_size = ex.community_size();
     let probs = model.predict(prepared, ex.query, &mut rng);
-    let found: Vec<usize> = (0..prepared.task.n()).filter(|&v| probs[v] >= 0.5).collect();
+    let found: Vec<usize> = (0..prepared.task.n())
+        .filter(|&v| probs[v] >= 0.5)
+        .collect();
     let hit = found.iter().filter(|&&v| ex.truth[v]).count();
     println!(
         "researcher {}: true community has {truth_size} members; CGNP returned {} \

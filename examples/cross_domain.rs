@@ -9,9 +9,7 @@
 //! Run with: `cargo run --release --example cross_domain`
 
 use cgnp_core::{meta_train, prepare_tasks, Cgnp, CgnpConfig, CommutativeOp};
-use cgnp_data::{
-    load_dataset, mgdd_tasks, model_input_dim, DatasetId, Scale, TaskConfig,
-};
+use cgnp_data::{load_dataset, mgdd_tasks, model_input_dim, DatasetId, Scale, TaskConfig};
 use cgnp_eval::Metrics;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

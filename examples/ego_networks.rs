@@ -29,7 +29,11 @@ fn main() {
 
     // Each ego-network is one task (1-shot support, a few labelled
     // friends per circle); 6/2/2-style split.
-    let cfg = TaskConfig { shots: 1, n_targets: 6, ..Default::default() };
+    let cfg = TaskConfig {
+        shots: 1,
+        n_targets: 6,
+        ..Default::default()
+    };
     let tasks = mgod_tasks(&dataset.graphs, &cfg, seed);
     println!(
         "\nsplit: {} train egos / {} validation / {} test",
@@ -46,13 +50,24 @@ fn main() {
     let mut methods: Vec<Box<dyn CsLearner>> = vec![
         Box::new(AcqMethod::default()),
         Box::new(CtcMethod),
-        Box::new(CgnpMethod::new(template.clone().with_decoder(DecoderKind::InnerProduct))),
-        Box::new(CgnpMethod::new(template.clone().with_decoder(DecoderKind::Mlp))),
+        Box::new(CgnpMethod::new(
+            template.clone().with_decoder(DecoderKind::InnerProduct),
+        )),
+        Box::new(CgnpMethod::new(
+            template.clone().with_decoder(DecoderKind::Mlp),
+        )),
         Box::new(CgnpMethod::new(template.with_decoder(DecoderKind::Gnn))),
     ];
     let _ = &hyper; // kept for symmetry with the full harness roster
 
-    let outcomes = evaluate_roster(&mut methods, &tasks, &HarnessConfig { seed, threshold: 0.5 });
+    let outcomes = evaluate_roster(
+        &mut methods,
+        &tasks,
+        &HarnessConfig {
+            seed,
+            threshold: 0.5,
+        },
+    );
     println!("\nquality on unseen ego-networks:");
     println!("{}", quality_table(&outcomes).render());
     println!("timing:");

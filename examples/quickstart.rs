@@ -50,8 +50,7 @@ fn main() {
     //    decoder — gradient-free adaptation at test time.
     let train = prepare_tasks(&tasks.train);
     let test = prepare_tasks(&tasks.test);
-    let cfg = CgnpConfig::paper_default(model_input_dim(&tasks.train[0].graph), 32)
-        .with_epochs(30);
+    let cfg = CgnpConfig::paper_default(model_input_dim(&tasks.train[0].graph), 32).with_epochs(30);
     let model = Cgnp::new(cfg, seed);
     let stats = meta_train(&model, &train, seed);
     println!(
@@ -85,7 +84,9 @@ fn main() {
     let prepared = &test[0];
     let ex = &prepared.task.targets[0];
     let probs = model.predict(prepared, ex.query, &mut rng);
-    let mut found: Vec<usize> = (0..prepared.task.n()).filter(|&v| probs[v] >= 0.5).collect();
+    let mut found: Vec<usize> = (0..prepared.task.n())
+        .filter(|&v| probs[v] >= 0.5)
+        .collect();
     found.truncate(12);
     println!(
         "query node {} → community of {} nodes (first members: {:?})",

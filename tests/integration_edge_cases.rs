@@ -22,8 +22,17 @@ fn sparse_task() -> PreparedTask {
         neg: vec![3],
         truth: truth.clone(),
     }];
-    let targets = vec![QueryExample { query: 1, pos: vec![2], neg: vec![4], truth }];
-    PreparedTask::new(Task { graph: ag, support, targets })
+    let targets = vec![QueryExample {
+        query: 1,
+        pos: vec![2],
+        neg: vec![4],
+        truth,
+    }];
+    PreparedTask::new(Task {
+        graph: ag,
+        support,
+        targets,
+    })
 }
 
 #[test]
@@ -66,7 +75,12 @@ fn task_sampling_refuses_impossible_configurations() {
     let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
     let everyone: Vec<u32> = (0..6).collect();
     let ag = AttributedGraph::new(g, 0, vec![Vec::new(); 6], vec![everyone]);
-    let cfg = TaskConfig { subgraph_size: 6, shots: 1, n_targets: 2, ..Default::default() };
+    let cfg = TaskConfig {
+        subgraph_size: 6,
+        shots: 1,
+        n_targets: 2,
+        ..Default::default()
+    };
     let got = sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(1));
     assert!(got.is_none(), "all-positive universe must be rejected");
 }
@@ -81,7 +95,10 @@ fn task_sampling_handles_graph_smaller_than_subgraph() {
         ..Default::default()
     };
     let t = sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(2)).expect("task");
-    assert!(t.n() <= ag.n(), "task graph capped at the source graph size");
+    assert!(
+        t.n() <= ag.n(),
+        "task graph capped at the source graph size"
+    );
 }
 
 #[test]
@@ -116,7 +133,12 @@ fn cgnp_on_single_node_community_graph() {
             neg: vec![3],
             truth: truth.clone(),
         }],
-        targets: vec![QueryExample { query: 2, pos: vec![0], neg: vec![3], truth }],
+        targets: vec![QueryExample {
+            query: 2,
+            pos: vec![0],
+            neg: vec![3],
+            truth,
+        }],
     };
     let p = PreparedTask::new(task);
     let cfg = CgnpConfig::paper_default(model_input_dim(&p.task.graph), 4).with_epochs(3);

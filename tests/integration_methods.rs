@@ -1,19 +1,21 @@
 //! Cross-crate method integration: the full 13-method roster of the paper
 //! runs end-to-end through the harness and produces coherent outcomes.
 
+use cgnp_data::{generate_sbm, single_graph_tasks, SbmConfig, TaskConfig, TaskKind, TaskSet};
 use cgnp_eval::{
-    evaluate_roster, standard_methods, BaselineHyper, CgnpConfig, HarnessConfig,
-    MethodSelection,
-};
-use cgnp_data::{
-    generate_sbm, single_graph_tasks, SbmConfig, TaskConfig, TaskKind, TaskSet,
+    evaluate_roster, standard_methods, BaselineHyper, CgnpConfig, HarnessConfig, MethodSelection,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn tiny_taskset(seed: u64, shots: usize) -> TaskSet {
     let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
-    let cfg = TaskConfig { subgraph_size: 50, shots, n_targets: 4, ..Default::default() };
+    let cfg = TaskConfig {
+        subgraph_size: 50,
+        shots,
+        n_targets: 4,
+        ..Default::default()
+    };
     single_graph_tasks(&ag, TaskKind::Sgsc, &cfg, (3, 0, 2), seed)
 }
 
@@ -23,7 +25,11 @@ fn full_roster_runs_and_reports() {
     let hyper = BaselineHyper::paper_default(8, 2);
     let cgnp = CgnpConfig::paper_default(1, 8).with_epochs(2);
     let mut methods = standard_methods(MethodSelection::All, &hyper, &cgnp, true);
-    assert_eq!(methods.len(), 13, "paper roster: 3 algos + 7 learned + 3 CGNP");
+    assert_eq!(
+        methods.len(),
+        13,
+        "paper roster: 3 algos + 7 learned + 3 CGNP"
+    );
     let outcomes = evaluate_roster(&mut methods, &tasks, &HarnessConfig::default());
     assert_eq!(outcomes.len(), 13);
     for o in &outcomes {
@@ -90,6 +96,8 @@ fn learned_selection_excludes_algorithms() {
     let hyper = BaselineHyper::paper_default(8, 1);
     let cgnp = CgnpConfig::paper_default(1, 8);
     let methods = standard_methods(MethodSelection::Learned, &hyper, &cgnp, true);
-    assert!(methods.iter().all(|m| !["ATC", "ACQ", "CTC"].contains(&m.name())));
+    assert!(methods
+        .iter()
+        .all(|m| !["ATC", "ACQ", "CTC"].contains(&m.name())));
     assert_eq!(methods.len(), 10);
 }

@@ -11,7 +11,12 @@ use rand::SeedableRng;
 
 fn pipeline_f1(epochs: usize, seed: u64) -> (f64, f64) {
     let ds = load_dataset(DatasetId::Citeseer, Scale::Smoke, seed);
-    let tcfg = TaskConfig { subgraph_size: 60, shots: 3, n_targets: 5, ..Default::default() };
+    let tcfg = TaskConfig {
+        subgraph_size: 60,
+        shots: 3,
+        n_targets: 5,
+        ..Default::default()
+    };
     let tasks = single_graph_tasks(ds.single(), TaskKind::Sgsc, &tcfg, (6, 0, 3), seed);
     assert_eq!(tasks.train.len(), 6);
     assert_eq!(tasks.test.len(), 3);
@@ -49,7 +54,10 @@ fn training_improves_over_untrained_model() {
         trained_f1 > untrained_f1,
         "meta-training must help: untrained {untrained_f1:.4} vs trained {trained_f1:.4}"
     );
-    assert!(trained_recall > 0.3, "trained recall too low: {trained_recall:.4}");
+    assert!(
+        trained_recall > 0.3,
+        "trained recall too low: {trained_recall:.4}"
+    );
 }
 
 #[test]
@@ -69,13 +77,26 @@ fn pipeline_varies_with_seed() {
 #[test]
 fn all_cgnp_variants_run_end_to_end() {
     let ds = load_dataset(DatasetId::Cora, Scale::Smoke, 3);
-    let tcfg = TaskConfig { subgraph_size: 50, shots: 2, n_targets: 3, ..Default::default() };
+    let tcfg = TaskConfig {
+        subgraph_size: 50,
+        shots: 2,
+        n_targets: 3,
+        ..Default::default()
+    };
     let tasks = single_graph_tasks(ds.single(), TaskKind::Sgsc, &tcfg, (3, 0, 1), 3);
     let train = prepare_tasks(&tasks.train);
     let test = prepare_tasks(&tasks.test);
     let in_dim = model_input_dim(&tasks.train[0].graph);
-    for decoder in [DecoderKind::InnerProduct, DecoderKind::Mlp, DecoderKind::Gnn] {
-        for op in [CommutativeOp::Sum, CommutativeOp::Mean, CommutativeOp::SelfAttention] {
+    for decoder in [
+        DecoderKind::InnerProduct,
+        DecoderKind::Mlp,
+        DecoderKind::Gnn,
+    ] {
+        for op in [
+            CommutativeOp::Sum,
+            CommutativeOp::Mean,
+            CommutativeOp::SelfAttention,
+        ] {
             let cfg = CgnpConfig::paper_default(in_dim, 8)
                 .with_decoder(decoder)
                 .with_commutative(op)
@@ -90,7 +111,9 @@ fn all_cgnp_variants_run_end_to_end() {
             let preds = model.predict_task(&test[0], &mut rng);
             assert_eq!(preds.len(), test[0].task.targets.len());
             for probs in preds {
-                assert!(probs.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
+                assert!(probs
+                    .iter()
+                    .all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
             }
         }
     }
@@ -101,7 +124,12 @@ fn non_attributed_dataset_pipeline_runs() {
     // Arxiv-like: only structural features (input width 3).
     let ds = load_dataset(DatasetId::Arxiv, Scale::Smoke, 9);
     assert!(!ds.single().has_attributes());
-    let tcfg = TaskConfig { subgraph_size: 60, shots: 2, n_targets: 4, ..Default::default() };
+    let tcfg = TaskConfig {
+        subgraph_size: 60,
+        shots: 2,
+        n_targets: 4,
+        ..Default::default()
+    };
     let tasks = single_graph_tasks(ds.single(), TaskKind::Sgdc, &tcfg, (4, 0, 2), 9);
     let in_dim = model_input_dim(&tasks.train[0].graph);
     assert_eq!(in_dim, 3, "indicator + core + clustering only");

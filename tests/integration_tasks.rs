@@ -19,7 +19,12 @@ fn every_dataset_supports_task_sampling() {
         DatasetId::Reddit,
     ] {
         let ds = load_dataset(id, Scale::Smoke, 5);
-        let cfg = TaskConfig { subgraph_size: 60, shots: 1, n_targets: 4, ..Default::default() };
+        let cfg = TaskConfig {
+            subgraph_size: 60,
+            shots: 1,
+            n_targets: 4,
+            ..Default::default()
+        };
         let ts = single_graph_tasks(ds.single(), TaskKind::Sgsc, &cfg, (2, 0, 1), 5);
         assert_eq!(ts.train.len(), 2, "{id:?} failed to build train tasks");
         assert_eq!(ts.test.len(), 1, "{id:?} failed to build test tasks");
@@ -50,7 +55,12 @@ fn sgdc_communities_disjoint_on_real_surrogate() {
     // Cora has no overlap in its surrogate config, so each node has
     // exactly one community and disjointness is exact.
     let ds = load_dataset(DatasetId::Cora, Scale::Smoke, 11);
-    let cfg = TaskConfig { subgraph_size: 60, shots: 1, n_targets: 4, ..Default::default() };
+    let cfg = TaskConfig {
+        subgraph_size: 60,
+        shots: 1,
+        n_targets: 4,
+        ..Default::default()
+    };
     let ts = single_graph_tasks(ds.single(), TaskKind::Sgdc, &cfg, (3, 0, 3), 11);
     let comms = |tasks: &[cgnp_data::Task]| -> HashSet<u32> {
         tasks
@@ -105,9 +115,20 @@ fn cite2cora_strips_attributes_for_width_compatibility() {
 #[test]
 fn ground_truth_ratio_override_scales_with_community() {
     let ds = load_dataset(DatasetId::Citeseer, Scale::Smoke, 4);
-    let base = TaskConfig { subgraph_size: 60, shots: 1, n_targets: 4, ..Default::default() };
-    let small = TaskConfig { sample_ratios: Some((0.02, 0.1)), ..base.clone() };
-    let large = TaskConfig { sample_ratios: Some((0.2, 1.0)), ..base };
+    let base = TaskConfig {
+        subgraph_size: 60,
+        shots: 1,
+        n_targets: 4,
+        ..Default::default()
+    };
+    let small = TaskConfig {
+        sample_ratios: Some((0.02, 0.1)),
+        ..base.clone()
+    };
+    let large = TaskConfig {
+        sample_ratios: Some((0.2, 1.0)),
+        ..base
+    };
     let ts_small = single_graph_tasks(ds.single(), TaskKind::Sgsc, &small, (2, 0, 0), 4);
     let ts_large = single_graph_tasks(ds.single(), TaskKind::Sgsc, &large, (2, 0, 0), 4);
     let avg_pos = |tasks: &[cgnp_data::Task]| -> f64 {

@@ -1,0 +1,228 @@
+//! Offline subset of `criterion` used by the workspace's bench targets.
+//!
+//! Implements warmup + calibrated measurement of closures behind the
+//! upstream surface the benches consume: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Results are printed
+//! as `name  time: [median mean max]` lines and collected so callers can
+//! post-process them (see [`Criterion::results`]).
+//!
+//! Measurement budget per benchmark defaults to 300 ms of samples after
+//! 100 ms warmup; override with `CRITERION_MEASURE_MS` / `CRITERION_WARMUP_MS`.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One benchmark's measured statistics, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchStats {
+    pub name: String,
+    pub median_ns: f64,
+    pub mean_ns: f64,
+    pub max_ns: f64,
+    pub iterations: u64,
+}
+
+/// Drives benchmark execution and collects results.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    results: Vec<BenchStats>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = |var: &str, default_ms: u64| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or(default_ms)
+        };
+        Self {
+            warmup: Duration::from_millis(ms("CRITERION_WARMUP_MS", 100)),
+            measure: Duration::from_millis(ms("CRITERION_MEASURE_MS", 300)),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            samples: Vec::new(),
+            iterations: 0,
+        };
+        f(&mut b);
+        let stats = b.stats(name);
+        println!(
+            "{name:<44} time: [{} {} {}]  ({} iters)",
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.mean_ns),
+            fmt_ns(stats.max_ns),
+            stats.iterations
+        );
+        self.results.push(stats);
+        self
+    }
+
+    /// A named group: benchmark names are prefixed with `group/`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.to_string(),
+        }
+    }
+
+    /// All statistics measured so far, in execution order.
+    pub fn results(&self) -> &[BenchStats] {
+        &self.results
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    samples: Vec<f64>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `f`, repeating it until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup while estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Batch iterations so each sample is ≥ ~50 µs of work.
+        let batch = ((5e-5 / per_iter.max(1e-9)).ceil() as u64).max(1);
+        let deadline = Instant::now() + self.measure;
+        while Instant::now() < deadline || self.samples.is_empty() {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            self.samples.push(dt * 1e9 / batch as f64);
+            self.iterations += batch;
+        }
+    }
+
+    fn stats(&self, name: &str) -> BenchStats {
+        let mut xs = self.samples.clone();
+        assert!(
+            !xs.is_empty(),
+            "bencher collected no samples (missing b.iter?)"
+        );
+        xs.sort_by(f64::total_cmp);
+        let median = xs[xs.len() / 2];
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let max = *xs.last().unwrap();
+        BenchStats {
+            name: name.to_string(),
+            median_ns: median,
+            mean_ns: mean,
+            max_ns: max,
+            iterations: self.iterations,
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_closure() {
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        let mut acc = 0u64;
+        c.bench_function("noop_add", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(black_box(1));
+                acc
+            })
+        });
+        let r = c.results();
+        assert_eq!(r.len(), 1);
+        assert!(r[0].median_ns > 0.0);
+        assert!(r[0].iterations > 0);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        std::env::set_var("CRITERION_MEASURE_MS", "2");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("matmul");
+            g.bench_function("naive", |b| b.iter(|| black_box(2 + 2)));
+            g.finish();
+        }
+        assert_eq!(c.results()[0].name, "matmul/naive");
+    }
+}

@@ -1,0 +1,167 @@
+//! Offline subset of `rayon` built on `std::thread::scope`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the structured-parallelism primitives the workspace's kernels use:
+//! [`scope`], [`join`], and [`current_num_threads`]. Threads are spawned
+//! per scope rather than drawn from a persistent pool; callers gate
+//! parallel paths behind a work-size threshold so the spawn cost is
+//! amortised, and a single-threaded environment (or
+//! `RAYON_NUM_THREADS=1`) short-circuits to serial execution.
+
+use std::sync::OnceLock;
+
+/// Number of worker threads parallel sections may use. Honours
+/// `RAYON_NUM_THREADS` when set, else the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    // Inside a scope worker the budget is already spent by the enclosing
+    // parallel section: report 1 so nested sections run serially instead
+    // of oversubscribing the machine (upstream rayon gets the same effect
+    // from cooperative scheduling on its shared pool).
+    if IN_WORKER.with(|w| w.get()) {
+        return 1;
+    }
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+thread_local! {
+    /// True on threads spawned by [`Scope::spawn`] / [`join`].
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// A scope handle: closures spawned on it may borrow from the enclosing
+/// stack frame (`'env`) and must finish before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Runs `f` on a scope-bound worker thread.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || {
+            IN_WORKER.with(|w| w.set(true));
+            let s = Scope { inner };
+            f(&s);
+        });
+    }
+}
+
+/// Runs `f` with a [`Scope`]; returns once every spawned closure finished.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        f(&wrapper)
+    })
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| {
+            IN_WORKER.with(|w| w.set(true));
+            b()
+        });
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+pub mod prelude {
+    // Intentionally empty: the workspace uses explicit `rayon::scope` /
+    // `rayon::join` rather than parallel iterator adaptors.
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn scope_runs_all_spawns_before_returning() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn nested_sections_report_single_thread() {
+        // Kernels called from inside a parallel section must see a budget
+        // of 1 so they run serially instead of oversubscribing.
+        let outer = super::current_num_threads();
+        assert!(outer >= 1);
+        let mut inner = 0usize;
+        super::scope(|s| {
+            s.spawn(|_| {
+                inner = super::current_num_threads();
+            });
+        });
+        assert_eq!(inner, 1);
+        // Back on the main thread the full budget is visible again.
+        assert_eq!(super::current_num_threads(), outer);
+    }
+
+    #[test]
+    fn scope_mutates_disjoint_borrows() {
+        let mut data = vec![0u64; 64];
+        let (left, right) = data.split_at_mut(32);
+        super::scope(|s| {
+            s.spawn(move |_| left.iter_mut().for_each(|v| *v = 1));
+            s.spawn(move |_| right.iter_mut().for_each(|v| *v = 2));
+        });
+        assert_eq!(data[..32].iter().sum::<u64>(), 32);
+        assert_eq!(data[32..].iter().sum::<u64>(), 64);
+    }
+}

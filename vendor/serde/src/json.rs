@@ -1,0 +1,336 @@
+//! Minimal JSON data model: a streaming emitter for serialisation and a
+//! recursive-descent parser producing [`Value`] trees for deserialisation.
+
+use crate::DeError;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+/// Streaming JSON writer with optional pretty-printing.
+pub struct Emitter {
+    out: String,
+    pretty: bool,
+    depth: usize,
+    /// Whether the current container already holds an element.
+    needs_comma: Vec<bool>,
+}
+
+impl Emitter {
+    pub fn new(pretty: bool) -> Self {
+        Self {
+            out: String::new(),
+            pretty,
+            depth: 0,
+            needs_comma: Vec::new(),
+        }
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.depth {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    /// Marks the start of a container element/field, inserting separators.
+    pub fn element(&mut self) {
+        if let Some(last) = self.needs_comma.last_mut() {
+            if *last {
+                self.out.push(',');
+            }
+            *last = true;
+        }
+        self.newline_indent();
+    }
+
+    pub fn begin_object(&mut self) {
+        self.out.push('{');
+        self.depth += 1;
+        self.needs_comma.push(false);
+    }
+
+    pub fn end_object(&mut self) {
+        self.depth -= 1;
+        let had_items = self.needs_comma.pop().unwrap_or(false);
+        if had_items {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    pub fn begin_array(&mut self) {
+        self.out.push('[');
+        self.depth += 1;
+        self.needs_comma.push(false);
+    }
+
+    pub fn end_array(&mut self) {
+        self.depth -= 1;
+        let had_items = self.needs_comma.pop().unwrap_or(false);
+        if had_items {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+
+    /// Emits an object key (call [`Emitter::element`] first).
+    pub fn key(&mut self, name: &str) {
+        self.string(name);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+    }
+
+    pub fn string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Emits pre-formatted content (numbers, booleans, null).
+    pub fn raw(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+}
+
+/// Parses a JSON document into a [`Value`].
+pub fn parse(input: &str) -> Result<Value, DeError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(DeError(format!("trailing content at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), DeError> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(DeError(format!(
+            "expected {:?} at byte {pos}",
+            char::from(c)
+        )))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, DeError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(DeError("unexpected end of input".into())),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(DeError(format!("bad array at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                pairs.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(pairs));
+                    }
+                    _ => return Err(DeError(format!("bad object at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, DeError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(DeError(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, DeError> {
+    expect(b, pos, b'"')?;
+    let mut s = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(s),
+            b'\\' => {
+                let esc = *b
+                    .get(*pos)
+                    .ok_or_else(|| DeError("unterminated escape".into()))?;
+                *pos += 1;
+                match esc {
+                    b'"' => s.push('"'),
+                    b'\\' => s.push('\\'),
+                    b'/' => s.push('/'),
+                    b'n' => s.push('\n'),
+                    b'r' => s.push('\r'),
+                    b't' => s.push('\t'),
+                    b'b' => s.push('\u{8}'),
+                    b'f' => s.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| DeError("short \\u escape".into()))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| DeError("bad \\u escape".into()))?,
+                            16,
+                        )
+                        .map_err(|_| DeError("bad \\u escape".into()))?;
+                        *pos += 4;
+                        s.push(
+                            char::from_u32(code).ok_or_else(|| DeError("bad codepoint".into()))?,
+                        );
+                    }
+                    _ => return Err(DeError("unknown escape".into())),
+                }
+            }
+            c if c < 0x80 => s.push(c as char),
+            _ => {
+                // Multi-byte UTF-8: find the full character in the source.
+                let start = *pos - 1;
+                let rest = std::str::from_utf8(&b[start..])
+                    .map_err(|_| DeError("invalid utf-8".into()))?;
+                let ch = rest.chars().next().unwrap();
+                s.push(ch);
+                *pos = start + ch.len_utf8();
+            }
+        }
+    }
+    Err(DeError("unterminated string".into()))
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, DeError> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text =
+        std::str::from_utf8(&b[start..*pos]).map_err(|_| DeError("invalid number".into()))?;
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| DeError(format!("invalid number {text:?} at byte {start}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_document() {
+        let src = r#"{"a": [1, 2.5, -3e2], "b": "x\"y", "c": true, "d": null}"#;
+        let v = parse(src).unwrap();
+        match &v {
+            Value::Obj(pairs) => {
+                assert_eq!(pairs.len(), 4);
+                assert_eq!(
+                    pairs[0].1,
+                    Value::Arr(vec![Value::Num(1.0), Value::Num(2.5), Value::Num(-300.0)])
+                );
+                assert_eq!(pairs[1].1, Value::Str("x\"y".into()));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn emitter_produces_valid_json() {
+        let mut e = Emitter::new(false);
+        e.begin_object();
+        e.element();
+        e.key("name");
+        e.string("hi\nthere");
+        e.element();
+        e.key("xs");
+        e.begin_array();
+        e.element();
+        e.raw("1");
+        e.element();
+        e.raw("2");
+        e.end_array();
+        e.end_object();
+        let s = e.finish();
+        assert_eq!(s, r#"{"name":"hi\nthere","xs":[1,2]}"#);
+        parse(&s).unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{,}").is_err());
+        assert!(parse("[1 2]").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("1 trailing").is_err());
+    }
+}

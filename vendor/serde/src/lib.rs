@@ -1,0 +1,203 @@
+//! Offline subset of `serde` used by this workspace.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the two traits the workspace derives ([`Serialize`], [`Deserialize`])
+//! over a small JSON data model ([`json::Value`]). The derive macros are
+//! re-exported from the sibling `serde_derive` proc-macro crate and
+//! support plain structs with named fields — exactly the shapes this
+//! workspace serialises (checkpoints, metrics, reports).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+use json::{Emitter, Value};
+
+/// Error raised by [`Deserialize`] implementations.
+#[derive(Clone, Debug)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialisation into the JSON emitter.
+pub trait Serialize {
+    fn serialize(&self, out: &mut Emitter);
+}
+
+/// Deserialisation from a parsed JSON value.
+pub trait Deserialize: Sized {
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut Emitter) {
+        out.string(self);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut Emitter) {
+        out.string(self);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut Emitter) {
+        out.raw(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut Emitter) {
+                out.raw(&self.to_string());
+            }
+        }
+    )*};
+}
+
+ser_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut Emitter) {
+                if self.is_finite() {
+                    // Rust's shortest round-trip float formatting.
+                    let s = self.to_string();
+                    out.raw(&s);
+                } else {
+                    // JSON has no NaN/inf; match serde_json's lossy `null`.
+                    out.raw("null");
+                }
+            }
+        }
+    )*};
+}
+
+ser_float!(f32, f64);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut Emitter) {
+        self.as_slice().serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut Emitter) {
+        out.begin_array();
+        for item in self {
+            out.element();
+            item.serialize(out);
+        }
+        out.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut Emitter) {
+        match self {
+            Some(v) => v.serialize(out),
+            None => out.raw("null"),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut Emitter) {
+        (**self).serialize(out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    other => Err(DeError(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Num(n) => Ok(*n as f32),
+            Value::Null => Ok(f32::NAN),
+            other => Err(DeError(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Num(n) => Ok(*n),
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+/// Looks up and deserialises an object field (used by the derive macro).
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v {
+        Value::Obj(pairs) => match pairs.iter().find(|(k, _)| k == name) {
+            Some((_, fv)) => {
+                T::deserialize(fv).map_err(|e| DeError(format!("field {name:?}: {}", e.0)))
+            }
+            None => Err(DeError(format!("missing field {name:?}"))),
+        },
+        other => Err(DeError(format!("expected object, got {other:?}"))),
+    }
+}

@@ -1,0 +1,150 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! Supports plain structs with named fields — the only shapes this
+//! workspace serialises. Parsing is done directly on the token stream
+//! (no `syn`/`quote`, which are unavailable offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts `(struct_name, field_names)` from a derive input stream.
+fn parse_struct(input: TokenStream) -> (String, Vec<String>) {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility before `struct`.
+    let name = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the bracketed attribute body.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Consume optional `(crate)`-style restriction.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match iter.next() {
+                Some(TokenTree::Ident(name)) => break name.to_string(),
+                other => panic!("expected struct name, got {other:?}"),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                panic!("vendored serde derive supports structs only");
+            }
+            Some(_) => {}
+            None => panic!("no struct found in derive input"),
+        }
+    };
+    // Find the brace-delimited field body (skipping generics, which this
+    // workspace's serialised types do not use).
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break g.stream();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("vendored serde derive does not support generics");
+            }
+            Some(_) => {}
+            None => panic!("struct {name} has no named-field body"),
+        }
+    };
+    // Fields: (attrs)* (pub ((...))?)? ident ':' type ','  — commas inside
+    // angle brackets or groups do not terminate a field.
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(field) = tok else {
+            panic!("expected field name, got {tok:?}");
+        };
+        fields.push(field.to_string());
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field, got {other:?}"),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0usize;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth = angle_depth.saturating_sub(1);
+                    } else if c == ',' && angle_depth == 0 {
+                        toks.next();
+                        break;
+                    }
+                    toks.next();
+                }
+                Some(_) => {
+                    toks.next();
+                }
+            }
+        }
+    }
+    (name, fields)
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let mut body = String::new();
+    for f in &fields {
+        body.push_str(&format!(
+            "__out.element(); __out.key(\"{f}\"); \
+             ::serde::Serialize::serialize(&self.{f}, __out);\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self, __out: &mut ::serde::json::Emitter) {{\n\
+                 __out.begin_object();\n\
+                 {body}\
+                 __out.end_object();\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let mut body = String::new();
+    for f in &fields {
+        body.push_str(&format!("{f}: ::serde::field(__v, \"{f}\")?,\n"));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__v: &::serde::json::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok(Self {{ {body} }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,80 @@
+//! Offline subset of `serde_json`: `to_string`, `to_string_pretty`, and
+//! `from_str` over the vendored `serde` traits.
+
+pub use serde::json::Value;
+pub use serde::DeError as Error;
+
+/// Serialises a value to compact JSON. Infallible for the vendored data
+/// model; returns `Result` to match the upstream signature.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut e = serde::json::Emitter::new(false);
+    value.serialize(&mut e);
+    Ok(e.finish())
+}
+
+/// Serialises a value to pretty-printed JSON.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut e = serde::json::Emitter::new(true);
+    value.serialize(&mut e);
+    Ok(e.finish())
+}
+
+/// Parses JSON text into a value of the target type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::json::parse(s)?;
+    T::deserialize(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        pub xs: Vec<f32>,
+        pub n: usize,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        pub name: String,
+        pub inner: Vec<Inner>,
+        pub flag: bool,
+    }
+
+    #[test]
+    fn derive_roundtrip() {
+        let o = Outer {
+            name: "hello \"world\"".into(),
+            inner: vec![
+                Inner {
+                    xs: vec![1.5, -2.25, 0.0],
+                    n: 3,
+                },
+                Inner { xs: vec![], n: 0 },
+            ],
+            flag: true,
+        };
+        let compact = super::to_string(&o).unwrap();
+        let back: Outer = super::from_str(&compact).unwrap();
+        assert_eq!(back, o);
+        let pretty = super::to_string_pretty(&o).unwrap();
+        let back2: Outer = super::from_str(&pretty).unwrap();
+        assert_eq!(back2, o);
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        let vals = vec![1.0e-7f32, 3.4e38, -1.175_494_4e-38, 0.1, 123_456.78];
+        let s = super::to_string(&vals).unwrap();
+        let back: Vec<f32> = super::from_str(&s).unwrap();
+        assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn missing_field_errors() {
+        let r: Result<Inner, _> = super::from_str(r#"{"xs": []}"#);
+        assert!(r.unwrap_err().0.contains("missing field"));
+    }
+}
