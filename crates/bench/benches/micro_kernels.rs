@@ -5,7 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cgnp_core::{Cgnp, CgnpConfig, PreparedTask};
 use cgnp_data::{generate_sbm, model_input_dim, sample_task, SbmConfig, TaskConfig};
@@ -24,7 +24,7 @@ fn bench_graph(n: usize, seed: u64) -> Graph {
 
 fn spmm_bench(c: &mut Criterion) {
     let g = bench_graph(1000, 1);
-    let op = Rc::new(SparseOperator::new(cgnp_nn::gcn_normalised(&g)));
+    let op = Arc::new(SparseOperator::new(cgnp_nn::gcn_normalised(&g)));
     let mut rng = StdRng::seed_from_u64(0);
     let data: Vec<f32> = (0..g.n() * 64).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let x = Matrix::from_vec(g.n(), 64, data);
@@ -208,6 +208,105 @@ fn kernel_backend_comparison(c: &mut Criterion) {
     }
 }
 
+/// Cost of *dispatching* a parallel section, measured with trivial job
+/// bodies: the persistent work-stealing pool (a deque push + wakeup per
+/// job) vs spawning scoped OS threads per section — what the pre-pool
+/// vendored rayon did, and the overhead the old `PAR_MIN_WORK = 1<<18`
+/// gate existed to amortise. The measured gap is the justification for
+/// the lower threshold in `cgnp_tensor`'s `parallel` module.
+fn dispatch_overhead(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let sink = AtomicUsize::new(0);
+    let mut g = c.benchmark_group("parallel_dispatch_4jobs");
+    // "naive" = per-section OS threads, so `speedup_vs_naive` records the
+    // pool's dispatch advantage in BENCH_kernels.json.
+    g.bench_function("naive", |bch| {
+        bch.iter(|| {
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| sink.fetch_add(1, Ordering::Relaxed));
+                }
+            })
+        })
+    });
+    g.bench_function("pool", |bch| {
+        bch.iter(|| {
+            rayon::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        sink.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+/// Workloads *below* the old `1<<18` multiply-accumulate gate, which the
+/// per-section-spawn backend kept serial unconditionally. With the
+/// persistent pool the gate sits at `1<<16`, so the auto variants now
+/// chunk across workers; the forced 4-chunk variants bound the dispatch
+/// cost even on a single-core recording machine (where the auto path
+/// resolves to one thread and these sections are pure overhead).
+fn small_workload_comparison(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(29);
+    // 96×64×32 = 196 608 MACs: under the old gate, over the new one.
+    let a = Matrix::from_vec(
+        96,
+        64,
+        (0..96 * 64).map(|_| rng.gen_range(-1.0..1.0f32)).collect(),
+    );
+    let b = Matrix::from_vec(
+        64,
+        32,
+        (0..64 * 32).map(|_| rng.gen_range(-1.0..1.0f32)).collect(),
+    );
+    {
+        let mut g = c.benchmark_group("small_matmul_96x64x32");
+        g.bench_function("naive", |bch| {
+            bch.iter(|| black_box(cgnp_tensor::reference::matmul(black_box(&a), &b)))
+        });
+        g.bench_function("auto", |bch| {
+            bch.iter(|| black_box(a.matmul(black_box(&b))))
+        });
+        g.bench_function("forced_4t", |bch| {
+            bch.iter(|| black_box(a.matmul_with_threads(black_box(&b), 4)))
+        });
+        g.finish();
+    }
+
+    // A sparse message-passing shape: 2000 ragged rows, ~6k non-zeros,
+    // 16 feature columns → ≈96k MACs, well under the old gate.
+    let mut trips = Vec::new();
+    for r in 0..2000usize {
+        for j in 0..(r % 7) {
+            trips.push((
+                r,
+                (r * 31 + j * 17) % 500,
+                ((r + j) % 13) as f32 * 0.1 - 0.6,
+            ));
+        }
+    }
+    let op = CsrMatrix::from_triplets(2000, 500, &trips);
+    let x = Matrix::from_vec(
+        500,
+        16,
+        (0..500 * 16).map(|_| rng.gen_range(-1.0..1.0f32)).collect(),
+    );
+    {
+        let mut g = c.benchmark_group("small_spmm_2000x500_16d");
+        g.bench_function("naive", |bch| {
+            bch.iter(|| black_box(cgnp_tensor::reference::spmm(black_box(&op), &x)))
+        });
+        g.bench_function("auto", |bch| bch.iter(|| black_box(op.spmm(black_box(&x)))));
+        g.bench_function("forced_4t", |bch| {
+            bch.iter(|| black_box(op.spmm_with_threads(black_box(&x), 4)))
+        });
+        g.finish();
+    }
+}
+
 /// Writes `BENCH_kernels.json` at the workspace root: a machine-readable
 /// baseline of the naive/blocked/parallel comparison for the perf
 /// trajectory across PRs.
@@ -255,6 +354,8 @@ fn emit_kernel_baseline(c: &mut Criterion) {
 criterion_group!(
     benches,
     kernel_backend_comparison,
+    dispatch_overhead,
+    small_workload_comparison,
     spmm_bench,
     dense_matmul_bench,
     gat_forward_bench,

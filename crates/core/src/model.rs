@@ -194,6 +194,16 @@ mod tests {
     }
 
     #[test]
+    fn model_and_prepared_task_cross_threads() {
+        // The parallel meta-test path shares one model and the prepared
+        // operators across pool workers by reference; this pins the
+        // `Send + Sync` bounds that sharing relies on.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Cgnp>();
+        assert_send_sync::<PreparedTask>();
+    }
+
+    #[test]
     fn predictions_are_probabilities_for_all_variants() {
         let p = prepared_task(3);
         for decoder in [

@@ -57,7 +57,11 @@ pub fn snapshot(module: &dyn Module) -> Checkpoint {
 /// Restores a snapshot into a module.
 ///
 /// # Errors
-/// Fails when the format marker or the parameter count/shapes mismatch.
+/// Fails when the format marker, the parameter count, or any shape
+/// mismatches — and when a payload is internally inconsistent (its
+/// `data` length differs from `rows × cols`, as happens with corrupt or
+/// hand-edited files). Corruption is always reported as `Err`; this
+/// function never panics on untrusted checkpoint contents.
 pub fn restore(module: &dyn Module, ckpt: &Checkpoint) -> Result<(), String> {
     if ckpt.format != FORMAT {
         return Err(format!("unknown checkpoint format {:?}", ckpt.format));
@@ -70,7 +74,25 @@ pub fn restore(module: &dyn Module, ckpt: &Checkpoint) -> Result<(), String> {
             ckpt.weights.len()
         ));
     }
-    for (p, w) in params.iter().zip(&ckpt.weights) {
+    for (i, (p, w)) in params.iter().zip(&ckpt.weights).enumerate() {
+        // Validate the payload against its own declared shape before the
+        // model's: a corrupt length would otherwise pass the shape check
+        // and abort inside `Matrix::from_vec`. `checked_mul` also covers
+        // absurd shapes that overflow (e.g. huge values a lenient JSON
+        // number parse let through).
+        let declared = w.rows.checked_mul(w.cols).ok_or_else(|| {
+            format!(
+                "corrupt checkpoint: weight {i} shape {}x{} overflows",
+                w.rows, w.cols
+            )
+        })?;
+        if w.data.len() != declared {
+            return Err(format!(
+                "corrupt checkpoint: weight {i} holds {} values but declares shape {:?}",
+                w.data.len(),
+                (w.rows, w.cols)
+            ));
+        }
         if p.shape() != (w.rows, w.cols) {
             return Err(format!(
                 "shape mismatch: model {:?} vs checkpoint {:?}",

@@ -8,7 +8,7 @@ use cgnp_baselines::{
 };
 use cgnp_core::{meta_train, Cgnp, CgnpConfig, CommutativeOp, DecoderKind, PreparedTask};
 use cgnp_data::model_input_dim;
-use cgnp_nn::{GnnKind, Module};
+use cgnp_nn::GnnKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -65,17 +65,12 @@ impl CsLearner for CgnpMethod {
     }
 
     /// Parallel meta-testing. CGNP adaptation is gradient-free (Alg. 2):
-    /// no task mutates the model, so test tasks fan out across threads.
-    /// The autodiff `Tensor` holds thread-local `Rc` state, so each worker
-    /// runs a replica rebuilt from the trained weight snapshot (plain
-    /// `Matrix` data, which is `Send`) and re-prepares its tasks locally.
-    ///
-    /// Timing note: the per-worker replica build and task re-preparation
-    /// run inside the harness's timed test section, overhead the serial
-    /// path (and every other learner) does not pay. This biases reported
-    /// test time *against* CGNP, so the Fig. 3 "CGNP is fastest at test
-    /// time" comparison stays conservative; sharing prepared operators
-    /// across threads (Rc → Arc) is a ROADMAP open item.
+    /// no task mutates the model, so test tasks fan out across the
+    /// persistent pool's workers. `Tensor` and the prepared graph
+    /// operators are `Arc`-shared, so every worker borrows the *same*
+    /// trained model and the same `PreparedTask`s — no weight-snapshot
+    /// replica, no per-worker operator rebuild, and the parallel path
+    /// pays none of the preparation overhead the serial path skips.
     fn run_tasks(&mut self, tasks: &[PreparedTask], seeds: &[u64]) -> Vec<Vec<Vec<f32>>> {
         self.run_tasks_with_threads(tasks, seeds, rayon::current_num_threads())
     }
@@ -98,7 +93,6 @@ impl CgnpMethod {
         self.ensure_model(&tasks[0], seeds[0]);
         let model = self.model.as_ref().expect("initialised");
         if threads <= 1 {
-            // Serial path reuses the already-prepared graph operators.
             return tasks
                 .iter()
                 .zip(seeds)
@@ -108,29 +102,24 @@ impl CgnpMethod {
                 })
                 .collect();
         }
-        let cfg = model.config().clone();
-        let weights = model.export_weights();
-        // Plain-data task payloads that can cross threads.
-        let raw: Vec<cgnp_data::Task> = tasks.iter().map(|p| p.task.clone()).collect();
+        // `Cgnp` and `PreparedTask` are `Sync` (Arc-backed tensors and
+        // operators), so workers borrow the trained model and the
+        // prepared tasks directly.
         let mut results: Vec<Option<Vec<Vec<f32>>>> = vec![None; tasks.len()];
         let chunk_len = tasks.len().div_ceil(threads);
         rayon::scope(|s| {
-            let cfg = &cfg;
-            let weights = &weights;
-            for ((task_chunk, seed_chunk), out_chunk) in raw
+            let model = &*model;
+            for ((task_chunk, seed_chunk), out_chunk) in tasks
                 .chunks(chunk_len)
                 .zip(seeds.chunks(chunk_len))
                 .zip(results.chunks_mut(chunk_len))
             {
                 s.spawn(move |_| {
-                    let replica = Cgnp::new(cfg.clone(), 0);
-                    replica.import_weights(weights);
                     for ((task, &seed), out) in
                         task_chunk.iter().zip(seed_chunk).zip(out_chunk.iter_mut())
                     {
-                        let prepared = PreparedTask::new(task.clone());
                         let mut rng = StdRng::seed_from_u64(seed);
-                        *out = Some(replica.predict_task(&prepared, &mut rng));
+                        *out = Some(model.predict_task(task, &mut rng));
                     }
                 });
             }
@@ -143,10 +132,15 @@ impl CgnpMethod {
 }
 
 /// Converts an algorithm's member list into a binary probability vector.
+/// Member ids `>= n` are skipped — same contract as
+/// `Metrics::from_member_set`: an id outside the graph (a community
+/// produced against the wrong graph) must not abort the evaluation run.
 fn members_to_probs(members: &[usize], n: usize) -> Vec<f32> {
     let mut probs = vec![0.0f32; n];
     for &m in members {
-        probs[m] = 1.0;
+        if let Some(slot) = probs.get_mut(m) {
+            *slot = 1.0;
+        }
     }
     probs
 }
@@ -359,6 +353,12 @@ mod tests {
             ..Default::default()
         };
         PreparedTask::new(sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(seed)).unwrap())
+    }
+
+    #[test]
+    fn members_to_probs_skips_out_of_range_ids() {
+        let probs = members_to_probs(&[0, 2, 7, usize::MAX], 3);
+        assert_eq!(probs, vec![1.0, 0.0, 1.0]);
     }
 
     #[test]

@@ -42,11 +42,19 @@ impl Metrics {
         Self::from_masks(&pred, truth)
     }
 
-    /// Metrics from a predicted member set over `n` nodes.
+    /// Metrics from a predicted member set over `truth.len()` nodes.
+    ///
+    /// Member ids `>= truth.len()` are skipped: they cannot refer to any
+    /// node of the evaluated graph (they typically mean a community was
+    /// predicted against the wrong graph), so they contribute to no
+    /// confusion cell rather than panicking with an index error.
+    /// Duplicated ids count once.
     pub fn from_member_set(members: &[usize], truth: &[bool]) -> Self {
         let mut pred = vec![false; truth.len()];
         for &m in members {
-            pred[m] = true;
+            if let Some(slot) = pred.get_mut(m) {
+                *slot = true;
+            }
         }
         Self::from_masks(&pred, truth)
     }
@@ -167,6 +175,27 @@ mod tests {
     fn member_set_conversion() {
         let m = Metrics::from_member_set(&[0, 2], &[true, false, true, false]);
         assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn member_set_skips_out_of_range_ids() {
+        // A member id beyond the graph (e.g. a community predicted
+        // against the wrong graph) must be ignored, not panic.
+        let truth = [true, false, true, false];
+        let with_junk = Metrics::from_member_set(&[0, 2, 4, usize::MAX], &truth);
+        let clean = Metrics::from_member_set(&[0, 2], &truth);
+        assert_eq!(with_junk.tp, clean.tp);
+        assert_eq!(with_junk.fp, clean.fp);
+        assert_eq!(with_junk.f1, clean.f1);
+    }
+
+    #[test]
+    fn member_set_all_out_of_range_is_all_negative() {
+        let m = Metrics::from_member_set(&[10, 11], &[true, false]);
+        assert_eq!(m.tp, 0);
+        assert_eq!(m.fp, 0);
+        assert_eq!(m.fn_, 1);
+        assert_eq!(m.tn, 1);
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Corrupt-checkpoint fixtures: `load_from_file`/`restore` must return
+//! `Err` — never panic or abort — on damaged checkpoint files. Each
+//! fixture models a distinct real-world failure: a payload whose length
+//! disagrees with its declared shape, a file truncated mid-write, shapes
+//! swapped by a buggy exporter, and shapes too absurd to multiply.
+
+use cgnp_eval::checkpoint::{load_from_file, restore, save_to_file, snapshot, Checkpoint};
+use cgnp_nn::{GnnConfig, GnnEncoder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn encoder(seed: u64) -> GnnEncoder {
+    GnnEncoder::new(
+        &GnnConfig::paper_default(4, 8, 4),
+        &mut StdRng::seed_from_u64(seed),
+    )
+}
+
+/// A scratch directory plus a valid serialized checkpoint to corrupt.
+fn fixture_dir_and_valid_json() -> (std::path::PathBuf, String) {
+    let dir = std::env::temp_dir().join(format!(
+        "cgnp-corrupt-ckpt-{}-{}",
+        std::process::id(),
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "-")
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = encoder(1);
+    let path = dir.join("valid.json");
+    save_to_file(&model, &path).unwrap();
+    let json = std::fs::read_to_string(&path).unwrap();
+    (dir, json)
+}
+
+fn write_fixture(dir: &std::path::Path, name: &str, contents: &str) -> std::path::PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn valid_fixture_loads() {
+    let (dir, json) = fixture_dir_and_valid_json();
+    let path = write_fixture(&dir, "ok.json", &json);
+    load_from_file(&encoder(2), &path).expect("valid checkpoint must load");
+}
+
+#[test]
+fn payload_length_mismatch_is_an_error_not_a_panic() {
+    let (dir, json) = fixture_dir_and_valid_json();
+    // Drop one value from the first data array: the declared rows/cols
+    // still match the model, so only the length check can catch this.
+    let start = json.find("\"data\":[").expect("data array") + "\"data\":[".len();
+    let first_comma = json[start..].find(',').expect("multi-element data") + start;
+    let corrupted = format!("{}{}", &json[..start], &json[first_comma + 1..]);
+    let path = write_fixture(&dir, "short_payload.json", &corrupted);
+    let err = load_from_file(&encoder(3), &path).expect_err("short payload must fail");
+    assert!(
+        err.to_string().contains("corrupt checkpoint"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn truncated_json_is_an_error() {
+    let (dir, json) = fixture_dir_and_valid_json();
+    for frac in [2, 3, 10] {
+        let cut = json.len() / frac;
+        let path = write_fixture(&dir, &format!("truncated_{frac}.json"), &json[..cut]);
+        assert!(
+            load_from_file(&encoder(4), &path).is_err(),
+            "truncation at {cut} bytes must fail"
+        );
+    }
+    // Empty file.
+    let path = write_fixture(&dir, "empty.json", "");
+    assert!(load_from_file(&encoder(4), &path).is_err());
+}
+
+#[test]
+fn swapped_shape_fields_are_an_error() {
+    let (dir, json) = fixture_dir_and_valid_json();
+    // The 4×8 input-layer weight serialises as "rows":4,"cols":8; swap
+    // the dimensions while keeping the 32-value payload consistent with
+    // the (swapped) declared shape, so the model-shape check must fire.
+    assert!(
+        json.contains("\"rows\":4,\"cols\":8"),
+        "fixture layout moved"
+    );
+    let corrupted = json.replacen("\"rows\":4,\"cols\":8", "\"rows\":8,\"cols\":4", 1);
+    let path = write_fixture(&dir, "swapped_shape.json", &corrupted);
+    let err = load_from_file(&encoder(5), &path).expect_err("swapped shape must fail");
+    assert!(
+        err.to_string().contains("shape mismatch"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn absurd_overflowing_shape_is_an_error() {
+    let (dir, json) = fixture_dir_and_valid_json();
+    // rows*cols overflows usize: must be rejected by checked arithmetic,
+    // not wrapped into a bogus expected length.
+    let big = (usize::MAX / 2 + 1).to_string();
+    let corrupted = json.replacen(
+        "\"rows\":4,\"cols\":8",
+        &format!("\"rows\":{big},\"cols\":{big}"),
+        1,
+    );
+    let path = write_fixture(&dir, "overflow_shape.json", &corrupted);
+    let err = load_from_file(&encoder(6), &path).expect_err("overflowing shape must fail");
+    assert!(
+        err.to_string().contains("overflow"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn in_memory_restore_rejects_inconsistent_payload() {
+    // Same contract at the `restore` level, without the filesystem: a
+    // checkpoint whose payload disagrees with its own declared shape is
+    // `Err` even when the declared shape matches the model.
+    let model = encoder(7);
+    let mut ckpt: Checkpoint = snapshot(&model);
+    ckpt.weights[0].data.pop();
+    let err = restore(&model, &ckpt).expect_err("inconsistent payload must fail");
+    assert!(
+        err.contains("corrupt checkpoint"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn wrong_weight_count_is_an_error() {
+    let model = encoder(8);
+    let mut ckpt = snapshot(&model);
+    ckpt.weights.pop();
+    assert!(restore(&model, &ckpt).is_err());
+}

@@ -2,9 +2,9 @@
 //!
 //! Each CS task re-runs the encoder once per support query (Fig. 2), so the
 //! normalised adjacencies and the directed arc index are built once per
-//! graph and shared across all forward passes via `Rc`.
+//! graph and shared across all forward passes (and, since the operators are behind `Arc`, across meta-test worker threads) via cheap reference-counted clones.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cgnp_graph::Graph;
 use cgnp_tensor::{CsrMatrix, SparseOperator};
@@ -14,13 +14,13 @@ use cgnp_tensor::{CsrMatrix, SparseOperator};
 pub struct GraphContext {
     n: usize,
     /// Symmetric GCN operator `D̃^{-1/2} (A + I) D̃^{-1/2}`.
-    gcn_adj: Rc<SparseOperator>,
+    gcn_adj: Arc<SparseOperator>,
     /// Row-normalised mean aggregator `D^{-1} A` (zero rows for isolates).
-    mean_adj: Rc<SparseOperator>,
+    mean_adj: Arc<SparseOperator>,
     /// Arc sources including self-loops (GAT edge index).
-    arc_src: Rc<Vec<usize>>,
+    arc_src: Arc<Vec<usize>>,
     /// Arc destinations including self-loops, aligned with `arc_src`.
-    arc_dst: Rc<Vec<usize>>,
+    arc_dst: Arc<Vec<usize>>,
 }
 
 impl GraphContext {
@@ -28,10 +28,10 @@ impl GraphContext {
         let (src, dst) = g.directed_arcs(true);
         Self {
             n: g.n(),
-            gcn_adj: Rc::new(SparseOperator::new(gcn_normalised(g))),
-            mean_adj: Rc::new(SparseOperator::new(mean_aggregator(g))),
-            arc_src: Rc::new(src),
-            arc_dst: Rc::new(dst),
+            gcn_adj: Arc::new(SparseOperator::new(gcn_normalised(g))),
+            mean_adj: Arc::new(SparseOperator::new(mean_aggregator(g))),
+            arc_src: Arc::new(src),
+            arc_dst: Arc::new(dst),
         }
     }
 
@@ -41,12 +41,12 @@ impl GraphContext {
     }
 
     #[inline]
-    pub fn gcn_adj(&self) -> &Rc<SparseOperator> {
+    pub fn gcn_adj(&self) -> &Arc<SparseOperator> {
         &self.gcn_adj
     }
 
     #[inline]
-    pub fn mean_adj(&self) -> &Rc<SparseOperator> {
+    pub fn mean_adj(&self) -> &Arc<SparseOperator> {
         &self.mean_adj
     }
 

@@ -71,7 +71,7 @@ mod tests {
     use crate::sparse::{CsrMatrix, SparseOperator};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn rand_param(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
         let data = (0..rows * cols)
@@ -216,7 +216,7 @@ mod tests {
     #[test]
     fn gradcheck_spmm() {
         let mut rng = StdRng::seed_from_u64(9);
-        let s = Rc::new(SparseOperator::new(CsrMatrix::from_triplets(
+        let s = Arc::new(SparseOperator::new(CsrMatrix::from_triplets(
             3,
             4,
             &[

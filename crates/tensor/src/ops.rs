@@ -9,7 +9,7 @@
 //! Eq. (3)/(19).
 
 use rand::Rng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::matrix::Matrix;
 use crate::sparse::SparseOperator;
@@ -195,9 +195,9 @@ impl Tensor {
 
     /// Sparse × dense product with a fixed (non-trainable) operator: the GNN
     /// message-passing kernel `S @ x`.
-    pub fn spmm(op: &Rc<SparseOperator>, x: &Tensor) -> Tensor {
+    pub fn spmm(op: &Arc<SparseOperator>, x: &Tensor) -> Tensor {
         let value = op.forward().spmm(&x.value_ref());
-        let op_bw = Rc::clone(op);
+        let op_bw = Arc::clone(op);
         Tensor::from_op(
             value,
             vec![x.clone()],
@@ -209,9 +209,9 @@ impl Tensor {
 
     /// Fused sparse message passing plus bias: `S @ x + bias` in one
     /// kernel (the GCN layer's `Â (H W) + b`).
-    pub fn spmm_bias(op: &Rc<SparseOperator>, x: &Tensor, bias: &Tensor) -> Tensor {
+    pub fn spmm_bias(op: &Arc<SparseOperator>, x: &Tensor, bias: &Tensor) -> Tensor {
         let value = op.forward().spmm_bias(&x.value_ref(), &bias.value_ref());
-        let op_bw = Rc::clone(op);
+        let op_bw = Arc::clone(op);
         Tensor::from_op(
             value,
             vec![x.clone(), bias.clone()],
@@ -1055,7 +1055,7 @@ mod tests {
     #[test]
     fn spmm_bias_matches_unfused() {
         use crate::sparse::CsrMatrix;
-        let s = Rc::new(SparseOperator::new(CsrMatrix::from_triplets(
+        let s = Arc::new(SparseOperator::new(CsrMatrix::from_triplets(
             3,
             3,
             &[(0, 0, 0.5), (0, 2, 2.0), (1, 1, 3.0), (2, 0, -1.0)],
@@ -1158,7 +1158,7 @@ mod tests {
     #[test]
     fn spmm_grad_uses_transpose() {
         use crate::sparse::CsrMatrix;
-        let s = Rc::new(SparseOperator::new(CsrMatrix::from_triplets(
+        let s = Arc::new(SparseOperator::new(CsrMatrix::from_triplets(
             2,
             3,
             &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)],

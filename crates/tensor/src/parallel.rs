@@ -8,8 +8,29 @@
 //! equal to the [`crate::reference`] implementations.
 
 /// Minimum multiply-accumulate count before a kernel goes parallel;
-/// below this the thread-spawn cost dominates.
-pub(crate) const PAR_MIN_WORK: usize = 1 << 18;
+/// below this the dispatch cost dominates.
+///
+/// Tuned for the persistent work-stealing pool in the vendored `rayon`:
+/// dispatching a 4-job section measures ≈1 µs (deque push + wakeup per
+/// job; `parallel_dispatch_4jobs` in `BENCH_kernels.json`) vs ≈55 µs
+/// for the per-section OS-thread spawns the old `1<<18` gate (≈27 µs of
+/// work) existed to amortise. The recording machine is single-core, so
+/// that 1 µs is the owner-self-drain path; a real cross-core dispatch
+/// (condvar wakeup + steal + cache-line transfer) is conservatively
+/// budgeted at 2–4 µs. `1<<16` MACs ≈ 6.8 µs at ~10 GMAC/s keeps a ≈2×
+/// margin over that budget while still admitting GNN-layer-sized
+/// kernels the old gate pinned serial; the help-first latch bounds the
+/// downside (slow-waking workers just mean the owner drains the chunks
+/// itself at ≈ serial cost + ≈1 µs).
+pub(crate) const PAR_MIN_WORK: usize = 1 << 16;
+
+/// Minimum multiply-accumulates per worker chunk once a kernel *is*
+/// parallel: [`threads_for`] caps the worker count at
+/// `work / PAR_MIN_CHUNK_WORK`, so a many-core machine never splits a
+/// just-admitted kernel into jobs smaller than the dispatch cost they
+/// each pay (chunk *count* never affects results — chunks are disjoint
+/// row ranges computed serially, property-tested across thread counts).
+const PAR_MIN_CHUNK_WORK: usize = 1 << 15;
 
 /// Minimum output rows per worker chunk.
 const MIN_ROWS_PER_CHUNK: usize = 4;
@@ -61,12 +82,14 @@ pub(crate) fn seed_rows(out: &mut [f32], row: &[f32]) {
 }
 
 /// Worker count the public kernel entry points use for `work`
-/// multiply-accumulates: all of rayon's threads above the threshold,
-/// serial below it.
+/// multiply-accumulates: serial below [`PAR_MIN_WORK`], otherwise as
+/// many of rayon's threads as keep every chunk at or above
+/// [`PAR_MIN_CHUNK_WORK`].
 pub(crate) fn threads_for(work: usize) -> usize {
-    if work >= PAR_MIN_WORK {
-        rayon::current_num_threads()
-    } else {
-        1
+    if work < PAR_MIN_WORK {
+        return 1;
     }
+    rayon::current_num_threads()
+        .min(work / PAR_MIN_CHUNK_WORK)
+        .max(1)
 }

@@ -14,11 +14,16 @@
 //! * Nodes whose inputs all have `needs_grad == false` are folded into
 //!   constants at construction time, so inference with
 //!   [`no_grad`] builds no tape at all.
+//! * Nodes are `Arc<RwLock<_>>`, so a `Tensor` is `Send + Sync`: meta-test
+//!   workers share one trained model (and the prepared graph operators it
+//!   closes over) instead of rebuilding a replica per thread. Training
+//!   mutates weights from a single thread; parallel inference under
+//!   [`no_grad`] only ever takes read locks.
 
-use std::cell::{Ref, RefCell};
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::matrix::Matrix;
 
@@ -30,11 +35,19 @@ thread_local! {
 
 /// Runs `f` with tape construction disabled: any op executed inside produces
 /// constant tensors, which makes pure inference allocation-light.
+///
+/// The previous state is restored even if `f` panics: pool worker threads
+/// outlive caught job panics, so a leaked "disabled" flag would silently
+/// stop tape recording for every later job on that worker.
 pub fn no_grad<R>(f: impl FnOnce() -> R) -> R {
-    let prev = GRAD_ENABLED.with(|g| g.replace(false));
-    let out = f();
-    GRAD_ENABLED.with(|g| g.set(prev));
-    out
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            GRAD_ENABLED.with(|g| g.set(self.0));
+        }
+    }
+    let _restore = Restore(GRAD_ENABLED.with(|g| g.replace(false)));
+    f()
 }
 
 /// True when ops currently record backward closures.
@@ -42,7 +55,7 @@ pub fn grad_enabled() -> bool {
     GRAD_ENABLED.with(|g| g.get())
 }
 
-pub(crate) type BackwardFn = Box<dyn Fn(&Matrix, &[Tensor])>;
+pub(crate) type BackwardFn = Box<dyn Fn(&Matrix, &[Tensor]) + Send + Sync>;
 
 struct Inner {
     id: u64,
@@ -56,13 +69,36 @@ struct Inner {
     backward: Option<BackwardFn>,
 }
 
-/// A node in the autodiff graph. Cloning is cheap (reference-counted).
+/// A node in the autodiff graph. Cloning is cheap (reference-counted),
+/// and clones may cross threads: see the module docs for the locking
+/// discipline that keeps the `RwLock` uncontended.
 #[derive(Clone)]
 pub struct Tensor {
-    inner: Rc<RefCell<Inner>>,
+    inner: Arc<RwLock<Inner>>,
+}
+
+/// Shared borrow of a tensor's forward value (a mapped read guard).
+pub struct ValueRef<'a> {
+    guard: RwLockReadGuard<'a, Inner>,
+}
+
+impl Deref for ValueRef<'_> {
+    type Target = Matrix;
+
+    fn deref(&self) -> &Matrix {
+        &self.guard.value
+    }
 }
 
 impl Tensor {
+    fn read(&self) -> RwLockReadGuard<'_, Inner> {
+        self.inner.read().expect("tensor lock poisoned")
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Inner> {
+        self.inner.write().expect("tensor lock poisoned")
+    }
+
     fn new_inner(
         value: Matrix,
         requires_grad: bool,
@@ -71,7 +107,7 @@ impl Tensor {
         backward: Option<BackwardFn>,
     ) -> Self {
         Self {
-            inner: Rc::new(RefCell::new(Inner {
+            inner: Arc::new(RwLock::new(Inner {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
                 value,
                 grad: None,
@@ -111,57 +147,57 @@ impl Tensor {
 
     /// Unique node id.
     pub fn id(&self) -> u64 {
-        self.inner.borrow().id
+        self.read().id
     }
 
     /// `(rows, cols)` of the stored value.
     pub fn shape(&self) -> (usize, usize) {
-        self.inner.borrow().value.shape()
+        self.read().value.shape()
     }
 
     /// Number of rows.
     pub fn rows(&self) -> usize {
-        self.inner.borrow().value.rows()
+        self.read().value.rows()
     }
 
     /// Number of columns.
     pub fn cols(&self) -> usize {
-        self.inner.borrow().value.cols()
+        self.read().value.cols()
     }
 
     /// Borrow of the forward value.
-    pub fn value_ref(&self) -> Ref<'_, Matrix> {
-        Ref::map(self.inner.borrow(), |i| &i.value)
+    pub fn value_ref(&self) -> ValueRef<'_> {
+        ValueRef { guard: self.read() }
     }
 
     /// Clone of the forward value.
     pub fn value(&self) -> Matrix {
-        self.inner.borrow().value.clone()
+        self.read().value.clone()
     }
 
     /// Scalar value of a `1×1` tensor.
     pub fn item(&self) -> f32 {
-        self.inner.borrow().value.item()
+        self.read().value.item()
     }
 
     /// Clone of the accumulated gradient, if any.
     pub fn grad(&self) -> Option<Matrix> {
-        self.inner.borrow().grad.clone()
+        self.read().grad.clone()
     }
 
     /// Clears the accumulated gradient.
     pub fn zero_grad(&self) {
-        self.inner.borrow_mut().grad = None;
+        self.write().grad = None;
     }
 
     /// True for leaf parameters.
     pub fn requires_grad(&self) -> bool {
-        self.inner.borrow().requires_grad
+        self.read().requires_grad
     }
 
     /// True when gradients flow through this node.
     pub fn needs_grad(&self) -> bool {
-        self.inner.borrow().needs_grad
+        self.read().needs_grad
     }
 
     /// Replaces the stored value (used by optimisers and meta-learners).
@@ -169,7 +205,7 @@ impl Tensor {
     /// # Panics
     /// Panics if the shape changes.
     pub fn set_value(&self, value: Matrix) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.write();
         assert_eq!(
             inner.value.shape(),
             value.shape(),
@@ -180,7 +216,7 @@ impl Tensor {
 
     /// In-place mutation of the stored value.
     pub fn update_value(&self, f: impl FnOnce(&mut Matrix)) {
-        f(&mut self.inner.borrow_mut().value);
+        f(&mut self.write().value);
     }
 
     /// A constant tensor sharing this tensor's current value (copied).
@@ -190,7 +226,7 @@ impl Tensor {
 
     /// Adds `delta` into the gradient buffer (no-op for constants).
     pub fn accum_grad(&self, delta: &Matrix) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.write();
         if !inner.needs_grad {
             return;
         }
@@ -208,7 +244,7 @@ impl Tensor {
     /// Adds `c * delta` into the gradient buffer without materialising the
     /// scaled matrix (no-op for constants).
     pub fn accum_grad_scaled(&self, delta: &Matrix, c: f32) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.write();
         if !inner.needs_grad {
             return;
         }
@@ -250,7 +286,7 @@ impl Tensor {
         // Reverse topological order: each node's full gradient is known
         // before its backward closure distributes it to the parents.
         for node in order.iter().rev() {
-            let inner = node.inner.borrow();
+            let inner = node.read();
             let Some(bw) = inner.backward.as_ref() else {
                 continue;
             };
@@ -273,7 +309,7 @@ impl Tensor {
         stack.push((self.clone(), 0));
         while let Some((node, idx)) = stack.pop() {
             let next_parent = {
-                let inner = node.inner.borrow();
+                let inner = node.read();
                 inner.parents.get(idx).cloned()
             };
             match next_parent {
@@ -300,7 +336,7 @@ impl Tensor {
 
 impl std::fmt::Debug for Tensor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = self.read();
         f.debug_struct("Tensor")
             .field("id", &inner.id)
             .field("shape", &inner.value.shape())
@@ -314,6 +350,22 @@ impl std::fmt::Debug for Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tensor_crosses_threads() {
+        // Compile-time: the parallel meta-test path shares tensors (model
+        // weights, prepared operators) across pool workers by reference.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
+
+        // Runtime: a value written on one thread reads back on another.
+        let x = Tensor::parameter(Matrix::scalar(4.0));
+        let doubled = std::thread::scope(|s| {
+            let x = &x;
+            s.spawn(move || x.value().item() * 2.0).join().unwrap()
+        });
+        assert_eq!(doubled, 8.0);
+    }
 
     #[test]
     fn constants_carry_no_tape() {
@@ -356,6 +408,17 @@ mod tests {
         // Tape recording resumes afterwards.
         let z = x.scale(3.0);
         assert!(z.needs_grad());
+    }
+
+    #[test]
+    fn no_grad_restores_recording_after_panic() {
+        // Pool workers catch job panics and keep running; a panic inside
+        // a no_grad region must not leave the thread stuck tape-less.
+        let result = std::panic::catch_unwind(|| no_grad(|| panic!("mid-inference failure")));
+        assert!(result.is_err());
+        assert!(grad_enabled(), "grad recording must survive the panic");
+        let x = Tensor::parameter(Matrix::scalar(1.0));
+        assert!(x.scale(2.0).needs_grad());
     }
 
     #[test]

@@ -170,6 +170,139 @@ fn large_matmul_crosses_tile_and_chunk_boundaries() {
 }
 
 #[test]
+fn many_tiny_sections_reuse_the_pool_bitwise_stable() {
+    // Persistent-pool stress: hundreds of sub-millisecond forced-parallel
+    // sections in a row, each far below any auto-parallel gate. Every
+    // section must produce bits identical to the reference — regardless
+    // of which pool worker (or the helping caller) runs each chunk — and
+    // the pool must survive the section churn without respawning state.
+    let a = Matrix::from_vec(
+        64,
+        48,
+        (0..64 * 48)
+            .map(|i| ((i % 23) as f32) * 0.04 - 0.4)
+            .collect(),
+    );
+    let b = Matrix::from_vec(
+        48,
+        32,
+        (0..48 * 32)
+            .map(|i| ((i % 19) as f32) * 0.05 - 0.5)
+            .collect(),
+    );
+    let expect: Vec<u32> = reference::matmul(&a, &b)
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    for round in 0..400 {
+        let got: Vec<u32> = a
+            .matmul_with_threads(&b, 4)
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(got, expect, "round {round}");
+    }
+}
+
+#[test]
+fn nested_join_inside_scope_keeps_kernels_bitwise_identical() {
+    // Kernels launched from *inside* a pool job see a thread budget of 1
+    // (the nested-section invariant), and explicit joins nested in scopes
+    // must not perturb results either way.
+    let a = Matrix::from_vec(
+        96,
+        64,
+        (0..96 * 64)
+            .map(|i| ((i % 31) as f32) * 0.03 - 0.5)
+            .collect(),
+    );
+    let b = Matrix::from_vec(
+        64,
+        40,
+        (0..64 * 40)
+            .map(|i| ((i % 29) as f32) * 0.02 - 0.3)
+            .collect(),
+    );
+    let expect: Vec<u32> = reference::matmul(&a, &b)
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let bits_of = |m: &Matrix| -> Vec<u32> { m.as_slice().iter().map(|v| v.to_bits()).collect() };
+
+    let mut from_scope: Vec<Vec<u32>> = vec![Vec::new(); 4];
+    rayon::scope(|s| {
+        for out in from_scope.iter_mut() {
+            let (a, b) = (&a, &b);
+            s.spawn(move |_| {
+                // Inside a worker the auto path must resolve serially and
+                // still match the reference bit-for-bit.
+                let (x, y) = rayon::join(|| a.matmul(b), || a.matmul_with_threads(b, 4));
+                assert_eq!(bits_of(&x), bits_of(&y));
+                *out = bits_of(&x);
+            });
+        }
+    });
+    for (i, got) in from_scope.iter().enumerate() {
+        assert_eq!(got, &expect, "scope job {i}");
+    }
+}
+
+#[test]
+fn sequential_sections_across_kernel_types_stay_identical() {
+    // Pool reuse across *different* kernels back-to-back: matmul, spmm,
+    // and spmv sections interleaved, all forced multi-chunk.
+    let a = Matrix::from_vec(
+        80,
+        50,
+        (0..80 * 50)
+            .map(|i| ((i % 17) as f32) * 0.06 - 0.5)
+            .collect(),
+    );
+    let b = Matrix::from_vec(
+        50,
+        24,
+        (0..50 * 24)
+            .map(|i| ((i % 13) as f32) * 0.07 - 0.4)
+            .collect(),
+    );
+    let mut trips = Vec::new();
+    for r in 0..600usize {
+        for j in 0..(r % 5) {
+            trips.push((r, (r * 13 + j * 7) % 200, ((r + j) % 11) as f32 * 0.1 - 0.5));
+        }
+    }
+    let s = CsrMatrix::from_triplets(600, 200, &trips);
+    let x = Matrix::from_vec(
+        200,
+        8,
+        (0..200 * 8)
+            .map(|i| ((i % 37) as f32) * 0.05 - 0.9)
+            .collect(),
+    );
+    let v: Vec<f32> = (0..200).map(|i| ((i % 41) as f32) * 0.04 - 0.8).collect();
+
+    let mm_expect = bits(&reference::matmul(&a, &b));
+    let sp_expect = bits(&reference::spmm(&s, &x));
+    let sv_expect: Vec<u32> = reference::spmv(&s, &v)
+        .iter()
+        .map(|f| f.to_bits())
+        .collect();
+    for round in 0..100 {
+        assert_eq!(bits(&a.matmul_with_threads(&b, 3)), mm_expect, "mm {round}");
+        assert_eq!(bits(&s.spmm_with_threads(&x, 4)), sp_expect, "sp {round}");
+        let sv: Vec<u32> = s
+            .spmv_with_threads(&v, 2)
+            .iter()
+            .map(|f| f.to_bits())
+            .collect();
+        assert_eq!(sv, sv_expect, "sv {round}");
+    }
+}
+
+#[test]
 fn large_spmm_parallel_chunks_are_bitwise_stable() {
     // A 2000-row CSR with ragged row lengths across several chunks.
     let mut trips = Vec::new();

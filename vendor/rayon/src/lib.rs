@@ -1,78 +1,445 @@
-//! Offline subset of `rayon` built on `std::thread::scope`.
+//! Offline subset of `rayon` built on a persistent work-stealing pool.
 //!
 //! The build environment has no crates.io access, so this crate provides
 //! the structured-parallelism primitives the workspace's kernels use:
-//! [`scope`], [`join`], and [`current_num_threads`]. Threads are spawned
-//! per scope rather than drawn from a persistent pool; callers gate
-//! parallel paths behind a work-size threshold so the spawn cost is
-//! amortised, and a single-threaded environment (or
-//! `RAYON_NUM_THREADS=1`) short-circuits to serial execution.
+//! [`scope`], [`join`], and [`current_num_threads`]. Unlike the first
+//! vendored version (which spawned OS threads per parallel section), the
+//! pool is built once and reused for the life of the process:
+//!
+//! * **Workers** — `n − 1` long-lived threads (the caller of a parallel
+//!   section is the `n`-th participant). Each owns a deque: the owner
+//!   pushes and pops at the back (LIFO, cache-hot nested work), thieves
+//!   steal from the front (FIFO, oldest-largest work first).
+//! * **Injector** — a global FIFO receiving jobs spawned from threads
+//!   that are not pool workers (the usual case: a kernel entry point on
+//!   the main thread).
+//! * **Latches** — every [`scope`]/[`join`] counts its outstanding jobs
+//!   on a latch; the owner *helps* (executes queued jobs) while waiting,
+//!   so a section never deadlocks even with zero workers and the full
+//!   thread budget does useful work.
+//! * **Nested-section detection** — threads executing a pool job report
+//!   `current_num_threads() == 1`, so kernels called from inside a
+//!   parallel section chunk serially instead of oversubscribing. The
+//!   chunking of callers (see `cgnp_tensor::parallel`) therefore never
+//!   changes shape mid-section and results stay bitwise identical.
 
-use std::sync::OnceLock;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
-/// Number of worker threads parallel sections may use. Honours
-/// `RAYON_NUM_THREADS` when set, else the machine's available parallelism.
+// ---------------------------------------------------------------------------
+// Thread-count resolution
+// ---------------------------------------------------------------------------
+
+/// Parses a `RAYON_NUM_THREADS` value. `Some(n)` selects `n` threads;
+/// `None` means "use the machine default". `0` and unparsable values map
+/// to `None` **explicitly**: upstream rayon documents `0` as "default",
+/// and garbage must not silently select full parallelism through a
+/// different code path than the documented default.
+fn parse_num_threads(raw: Option<&str>) -> Option<usize> {
+    match raw?.trim().parse::<usize>() {
+        Ok(0) | Err(_) => None,
+        Ok(n) => Some(n),
+    }
+}
+
+/// The machine default: available parallelism, 1 when unknown.
+fn default_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Pool size honouring `RAYON_NUM_THREADS` (resolved once, at pool build).
+fn configured_num_threads() -> usize {
+    let raw = std::env::var("RAYON_NUM_THREADS").ok();
+    parse_num_threads(raw.as_deref()).unwrap_or_else(default_num_threads)
+}
+
+/// Number of worker threads parallel sections may use.
+///
+/// Inside a pool job the budget is already spent by the enclosing
+/// parallel section: this reports 1 so nested sections run serially
+/// instead of oversubscribing the machine (upstream rayon gets the same
+/// effect from cooperative scheduling on its shared pool).
 pub fn current_num_threads() -> usize {
-    // Inside a scope worker the budget is already spent by the enclosing
-    // parallel section: report 1 so nested sections run serially instead
-    // of oversubscribing the machine (upstream rayon gets the same effect
-    // from cooperative scheduling on its shared pool).
     if IN_WORKER.with(|w| w.get()) {
         return 1;
     }
-    static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| {
-        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n;
-                }
-            }
-        }
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    })
+    global_pool().n_threads
 }
 
 thread_local! {
-    /// True on threads spawned by [`Scope::spawn`] / [`join`].
+    /// True while the current thread executes a pool job (including the
+    /// scope owner helping from its latch wait).
     static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// Deque index of this thread when it is a long-lived pool worker.
+    static WORKER_INDEX: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+/// A queued unit of work. Lifetimes are erased at the [`Scope::spawn`] /
+/// [`join`] boundary; the latch protocol guarantees the job finishes
+/// before any borrow it captures goes out of scope.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    /// Total parallelism budget: worker threads + the participating caller.
+    n_threads: usize,
+    /// FIFO for jobs spawned from threads that own no deque.
+    injector: Mutex<VecDeque<Job>>,
+    /// One deque per worker thread (`n_threads - 1` of them).
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Queued-job count: the sleep/wake condition for idle workers.
+    pending: AtomicUsize,
+    /// Number of workers blocked on `wake`; pushes skip the sleep lock
+    /// and notification entirely while it is zero (always, on a
+    /// zero-worker pool), so uncontended dispatch is just a deque push.
+    sleepers: AtomicUsize,
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+/// The process-wide pool, built lazily on first parallel use.
+fn global_pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool::new(configured_num_threads()))
+}
+
+impl Pool {
+    /// Builds a pool with `n_threads` total participants and spawns its
+    /// `n_threads - 1` detached worker threads. Leaked so workers can
+    /// borrow it for the life of the process (tests build small private
+    /// pools; each is a few queues, not a meaningful leak).
+    fn new(n_threads: usize) -> &'static Pool {
+        let n_threads = n_threads.max(1);
+        let n_workers = n_threads - 1;
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            n_threads,
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..n_workers)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            pending: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+        }));
+        for idx in 0..n_workers {
+            std::thread::Builder::new()
+                .name(format!("cgnp-rayon-{idx}"))
+                .spawn(move || pool.worker_main(idx))
+                .expect("failed to spawn pool worker");
+        }
+        pool
+    }
+
+    /// Worker loop: run jobs while any are findable, sleep otherwise.
+    fn worker_main(&'static self, idx: usize) {
+        WORKER_INDEX.with(|w| w.set(Some(idx)));
+        loop {
+            if let Some(job) = self.find_job(Some(idx)) {
+                run_job(job);
+            } else {
+                let guard = self.sleep.lock().expect("pool sleep lock poisoned");
+                // Registration order matters (SeqCst everywhere): a pusher
+                // that misses this `sleepers` increment published `pending`
+                // first, so the `wait_while` predicate re-checked under the
+                // lock sees the job and never sleeps; a pusher that sees
+                // the increment takes the lock and notifies. `pending` may
+                // briefly read non-zero after a job was taken but before
+                // its counter decrement lands; the outer loop absorbs that
+                // as one extra scan.
+                self.sleepers.fetch_add(1, Ordering::SeqCst);
+                let guard = self
+                    .wake
+                    .wait_while(guard, |()| self.pending.load(Ordering::SeqCst) == 0)
+                    .expect("pool sleep lock poisoned");
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                drop(guard);
+            }
+        }
+    }
+
+    /// Queues a job: onto the current worker's own deque when called from
+    /// a pool worker (of this pool), onto the global injector otherwise.
+    fn push_job(&self, job: Job) {
+        let local = WORKER_INDEX
+            .with(|w| w.get())
+            .filter(|&i| i < self.deques.len());
+        let queue = match local {
+            Some(idx) => &self.deques[idx],
+            None => &self.injector,
+        };
+        {
+            // The counter increment shares the queue's critical section,
+            // so a thief that pops this job (and decrements) is ordered
+            // strictly after the increment — `pending` can never wrap
+            // below zero and strand idle workers in a busy spin.
+            let mut q = queue.lock().expect("pool queue poisoned");
+            q.push_back(job);
+            self.pending.fetch_add(1, Ordering::SeqCst);
+        }
+        // Fast path: nobody is asleep (or the pool has no workers), so
+        // skip the sleep lock entirely. A worker racing towards sleep
+        // either registered in `sleepers` before this load (we notify
+        // under the lock), or will see the `pending` publish in its
+        // predicate check and never block — no wakeup can be lost.
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep.lock().expect("pool sleep lock poisoned");
+            self.wake.notify_one();
+        }
+    }
+
+    /// Pops one end of a queue, pairing the `pending` decrement with the
+    /// removal inside the queue's critical section (see [`Pool::push_job`]).
+    fn pop_queue(&self, queue: &Mutex<VecDeque<Job>>, back: bool) -> Option<Job> {
+        let mut q = queue.lock().expect("pool queue poisoned");
+        let job = if back { q.pop_back() } else { q.pop_front() };
+        if job.is_some() {
+            self.pending.fetch_sub(1, Ordering::AcqRel);
+        }
+        job
+    }
+
+    /// Takes one job: own deque back (LIFO) → injector front → steal the
+    /// front of other workers' deques, scanning from the next index.
+    fn find_job(&self, local: Option<usize>) -> Option<Job> {
+        let local = local.filter(|&i| i < self.deques.len());
+        if let Some(idx) = local {
+            if let Some(job) = self.pop_queue(&self.deques[idx], true) {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.pop_queue(&self.injector, false) {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        let start = local.map_or(0, |i| i + 1);
+        for k in 0..n {
+            let i = (start + k) % n;
+            if Some(i) == local {
+                continue;
+            }
+            if let Some(job) = self.pop_queue(&self.deques[i], false) {
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+/// Executes a job with the in-worker flag raised (restored on exit, so a
+/// helping scope owner regains its full budget afterwards). Jobs are
+/// panic-wrapped at construction and never unwind here.
+fn run_job(job: Job) {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            IN_WORKER.with(|w| w.set(self.0));
+        }
+    }
+    let _reset = Reset(IN_WORKER.with(|w| w.replace(true)));
+    job();
+}
+
+// ---------------------------------------------------------------------------
+// Latches
+// ---------------------------------------------------------------------------
+
+/// Counts outstanding jobs of one parallel section; the final decrement
+/// wakes the owner.
+struct Latch {
+    count: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Self {
+            count: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Spawners only increment while the latch is provably held open —
+    /// by the owner before its wait, or from inside a job this latch is
+    /// already counting — so the count never resurrects from zero.
+    fn increment(&self) {
+        self.count.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// The entire decrement runs inside the latch mutex. That makes the
+    /// final release safe against the owner freeing the latch: a waiter
+    /// may only conclude "clear" after taking this same mutex (see
+    /// [`Latch::wait`]), which cannot happen until the last decrementer
+    /// has left its critical section — including the `notify_all`.
+    fn decrement(&self) {
+        let _guard = self.lock.lock().expect("latch lock poisoned");
+        if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn is_clear(&self) -> bool {
+        self.count.load(Ordering::Acquire) == 0
+    }
+
+    /// Blocks until the count reaches zero, executing queued pool jobs
+    /// while any are findable. Every job spawned onto this latch after
+    /// the wait began comes from one of this latch's own jobs running
+    /// elsewhere, and that job's completion decrements the latch — so
+    /// each wakeup re-scans the queues and nothing is stranded.
+    ///
+    /// Every return path acquires the latch mutex after observing a zero
+    /// count: the caller frees the latch right after this returns, and
+    /// the lock round-trip guarantees the final decrementer is no longer
+    /// touching the mutex/condvar at that point.
+    fn wait(&self, pool: &Pool) {
+        loop {
+            if self.is_clear() {
+                drop(self.lock.lock().expect("latch lock poisoned"));
+                return;
+            }
+            let local = WORKER_INDEX.with(|w| w.get());
+            if let Some(job) = pool.find_job(local) {
+                run_job(job);
+                continue;
+            }
+            let guard = self.lock.lock().expect("latch lock poisoned");
+            if self.is_clear() {
+                return;
+            }
+            drop(self.cv.wait(guard).expect("latch lock poisoned"));
+        }
+    }
+}
+
+/// Erases a job's borrow lifetime so it can sit in the pool's queues.
+///
+/// # Safety
+/// The caller must not let any borrow captured by `task` end before the
+/// job has finished running (enforced here by latch waits that precede
+/// every return — including panic unwinds — from `scope`/`join`).
+unsafe fn erase_job<'a>(task: Box<dyn FnOnce() + Send + 'a>) -> Job {
+    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Job>(task) }
+}
+
+// ---------------------------------------------------------------------------
+// scope
+// ---------------------------------------------------------------------------
+
+/// Shared state of one [`scope`] call: its latch and first panic payload.
+struct ScopeState {
+    pool: &'static Pool,
+    latch: Latch,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+impl ScopeState {
+    fn record_panic(&self, payload: Box<dyn std::any::Any + Send + 'static>) {
+        let mut slot = self.panic.lock().expect("scope panic slot poisoned");
+        slot.get_or_insert(payload);
+    }
 }
 
 /// A scope handle: closures spawned on it may borrow from the enclosing
-/// stack frame (`'env`) and must finish before [`scope`] returns.
+/// stack frame (`'env`) and are guaranteed to finish before [`scope`]
+/// returns.
 pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
+    state: &'scope ScopeState,
+    /// Invariant over both lifetimes, mirroring `std::thread::Scope`.
+    _marker: PhantomData<&'scope mut &'env ()>,
 }
 
 impl<'scope, 'env> Scope<'scope, 'env> {
-    /// Runs `f` on a scope-bound worker thread.
+    /// Queues `f` on the pool. It may run on any worker, or on the scope
+    /// owner while it waits; panics are captured and re-thrown by
+    /// [`scope`] after every spawned closure has finished.
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
     {
-        let inner = self.inner;
-        self.inner.spawn(move || {
-            IN_WORKER.with(|w| w.set(true));
-            let s = Scope { inner };
-            f(&s);
+        self.state.latch.increment();
+        let state: &'scope ScopeState = self.state;
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let scope = Scope {
+                state,
+                _marker: PhantomData,
+            };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| f(&scope))) {
+                state.record_panic(payload);
+            }
+            state.latch.decrement();
         });
+        // SAFETY: `scope` waits on this latch before returning on every
+        // path, so the job cannot outlive the `'scope`/`'env` borrows.
+        let job = unsafe { erase_job(task) };
+        self.state.pool.push_job(job);
     }
 }
 
-/// Runs `f` with a [`Scope`]; returns once every spawned closure finished.
+/// Runs `f` with a [`Scope`]; returns once every spawned closure has
+/// finished. The calling thread executes queued jobs while it waits. If
+/// `f` or any spawned closure panics, the panic is resumed here after
+/// all jobs completed (spawned-closure panics take precedence).
 pub fn scope<'env, F, R>(f: F) -> R
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
-    std::thread::scope(|s| {
-        let wrapper = Scope { inner: s };
-        f(&wrapper)
-    })
+    scope_on(global_pool(), f)
 }
 
+/// [`scope`] against an explicit pool (tests build private multi-worker
+/// pools so scheduling is exercised even under `RAYON_NUM_THREADS=1`).
+fn scope_on<'env, F, R>(pool: &'static Pool, f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let state = ScopeState {
+        pool,
+        latch: Latch::new(),
+        panic: Mutex::new(None),
+    };
+    let result = {
+        let scope = Scope {
+            state: &state,
+            _marker: PhantomData,
+        };
+        panic::catch_unwind(AssertUnwindSafe(|| f(&scope)))
+    };
+    // Borrows held by queued jobs stay valid until the latch clears, so
+    // this wait must precede every return — panic or not.
+    state.latch.wait(pool);
+    if let Some(payload) = state
+        .panic
+        .lock()
+        .expect("scope panic slot poisoned")
+        .take()
+    {
+        panic::resume_unwind(payload);
+    }
+    match result {
+        Ok(r) => r,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
 /// Runs both closures, potentially in parallel, returning both results.
+/// `b` is queued on the pool while the calling thread runs `a`, then
+/// helps until `b` has finished.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -83,14 +450,45 @@ where
     if current_num_threads() <= 1 {
         return (a(), b());
     }
-    std::thread::scope(|s| {
-        let hb = s.spawn(|| {
-            IN_WORKER.with(|w| w.set(true));
-            b()
+    join_on(global_pool(), a, b)
+}
+
+/// [`join`] against an explicit pool, without the serial short-circuit.
+fn join_on<A, B, RA, RB>(pool: &'static Pool, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let latch = Latch::new();
+    latch.increment();
+    let b_slot: Mutex<Option<std::thread::Result<RB>>> = Mutex::new(None);
+    {
+        let latch = &latch;
+        let b_slot = &b_slot;
+        let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(b));
+            *b_slot.lock().expect("join slot poisoned") = Some(result);
+            latch.decrement();
         });
-        let ra = a();
-        (ra, hb.join().expect("rayon::join worker panicked"))
-    })
+        // SAFETY: the latch wait below precedes every return from this
+        // frame, so the job cannot outlive `latch`/`b_slot`/`b`'s borrows.
+        let job = unsafe { erase_job(task) };
+        pool.push_job(job);
+    }
+    let ra = panic::catch_unwind(AssertUnwindSafe(a));
+    latch.wait(pool);
+    let rb = b_slot
+        .lock()
+        .expect("join slot poisoned")
+        .take()
+        .expect("join worker stored a result");
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => panic::resume_unwind(payload),
+        (_, Err(payload)) => panic::resume_unwind(payload),
+    }
 }
 
 pub mod prelude {
@@ -101,6 +499,16 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+
+    use super::{join_on, parse_num_threads, scope_on, Pool};
+
+    /// A shared 4-participant (3-worker) pool so scheduling is exercised
+    /// regardless of the machine's core count or `RAYON_NUM_THREADS`.
+    fn test_pool() -> &'static Pool {
+        static POOL: OnceLock<&'static Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool::new(4))
+    }
 
     #[test]
     fn join_returns_both_results() {
@@ -163,5 +571,124 @@ mod tests {
         });
         assert_eq!(data[..32].iter().sum::<u64>(), 32);
         assert_eq!(data[32..].iter().sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn env_thread_count_parsing_is_explicit() {
+        // Unset → default.
+        assert_eq!(parse_num_threads(None), None);
+        // `0` means "default", exactly like upstream rayon — not "max".
+        assert_eq!(parse_num_threads(Some("0")), None);
+        assert_eq!(parse_num_threads(Some(" 0 ")), None);
+        // Garbage must not silently fall through to full parallelism via
+        // a separate code path: it resolves to the same default.
+        assert_eq!(parse_num_threads(Some("lots")), None);
+        assert_eq!(parse_num_threads(Some("-3")), None);
+        assert_eq!(parse_num_threads(Some("2.5")), None);
+        assert_eq!(parse_num_threads(Some("")), None);
+        // Well-formed values are honoured (with whitespace tolerance).
+        assert_eq!(parse_num_threads(Some("1")), Some(1));
+        assert_eq!(parse_num_threads(Some(" 6\n")), Some(6));
+    }
+
+    #[test]
+    fn pool_survives_many_tiny_sequential_sections() {
+        // Persistent-pool property: thousands of sub-microsecond sections
+        // reuse the same workers without respawning threads.
+        let pool = test_pool();
+        let counter = AtomicUsize::new(0);
+        for round in 0..2_000 {
+            scope_on(pool, |s| {
+                for _ in 0..3 {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            // Each scope is a full barrier: all of its spawns landed.
+            assert_eq!(counter.load(Ordering::SeqCst), (round + 1) * 3);
+        }
+    }
+
+    #[test]
+    fn join_nested_inside_scope() {
+        let pool = test_pool();
+        let total = AtomicUsize::new(0);
+        scope_on(pool, |s| {
+            for i in 0..8usize {
+                let total = &total;
+                s.spawn(move |_| {
+                    let (a, b) = join_on(pool, move || i * 2, move || i * 3);
+                    total.fetch_add(a + b, Ordering::SeqCst);
+                });
+            }
+        });
+        // Σ 5i for i in 0..8 = 140.
+        assert_eq!(total.load(Ordering::SeqCst), 140);
+    }
+
+    #[test]
+    fn deep_nested_scopes_on_workers() {
+        let pool = test_pool();
+        let counter = AtomicUsize::new(0);
+        scope_on(pool, |s| {
+            for _ in 0..4 {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    scope_on(pool, |inner| {
+                        for _ in 0..4 {
+                            inner.spawn(move |_| {
+                                counter.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn scope_propagates_spawned_panic_after_all_jobs_finish() {
+        let pool = test_pool();
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scope_on(pool, |s| {
+                s.spawn(|_| panic!("boom in worker"));
+                for _ in 0..4 {
+                    let finished = &finished;
+                    s.spawn(move |_| {
+                        finished.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        let payload = result.expect_err("scope must re-throw the spawned panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(msg.contains("boom"), "unexpected payload {msg:?}");
+        // The panic did not abandon sibling jobs: the scope still waited.
+        assert_eq!(finished.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn join_propagates_panic_from_either_side() {
+        let pool = test_pool();
+        let r = std::panic::catch_unwind(|| join_on(pool, || 1, || panic!("right side")));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| join_on(pool, || panic!("left side"), || 1));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn scope_returns_closure_result() {
+        let pool = test_pool();
+        let forty_two = scope_on(pool, |s| {
+            s.spawn(|_| {});
+            42
+        });
+        assert_eq!(forty_two, 42);
     }
 }
