@@ -1,0 +1,126 @@
+//! Serving throughput: how much micro-batching pays.
+//!
+//! One `ServeSession` is built from a restored checkpoint (the exact
+//! production path), then answer ticks are measured at batch sizes 1, 8,
+//! and 32 with the response cache disabled, so every tick pays one shared
+//! context forward plus per-request scoring. Writes `BENCH_serve.json`
+//! at the workspace root with p50/p95 per-request latency and
+//! queries/sec per batch size.
+//!
+//! Acceptance shape: queries/sec at batch 32 must be ≥ 2× batch 1 —
+//! the context forward dominates a tick, so coalescing must amortise it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cgnp_core::{Cgnp, CgnpConfig};
+use cgnp_data::{generate_sbm, model_input_dim, SbmConfig};
+use cgnp_serve::{serve_task, QueryRequest, ServeConfig, ServeSession};
+
+const BATCH_SIZES: [usize; 3] = [1, 8, 32];
+
+fn build_session() -> ServeSession {
+    // A smoke-scale serving graph; weights go through a real
+    // save-checkpoint → restore-into-session round trip.
+    let mut sbm = SbmConfig::small_test();
+    sbm.n = 400;
+    let graph = generate_sbm(&sbm, &mut StdRng::seed_from_u64(11));
+    let task = serve_task(&graph, 5, 11).expect("support pool");
+    let template = CgnpConfig::paper_default(model_input_dim(&task.graph), 16);
+    let model = Cgnp::new(template.clone(), 11);
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("serve_bench_ckpt.json");
+    cgnp_eval::save_to_file(&model, &path).expect("write checkpoint");
+    ServeSession::from_checkpoint(
+        &path,
+        template,
+        task,
+        ServeConfig {
+            batch: *BATCH_SIZES.last().unwrap(),
+            cache: 0, // measure compute, not cache hits
+            threads: rayon::current_num_threads(),
+            seed: 11,
+        },
+    )
+    .expect("session")
+}
+
+/// Distinct single-node queries so no two requests in a tick collapse.
+fn requests(n_nodes: usize, count: usize) -> Vec<QueryRequest> {
+    (0..count)
+        .map(|i| QueryRequest::new(i as u64, vec![i % n_nodes]).with_top_k(10))
+        .collect()
+}
+
+fn serve_throughput(c: &mut Criterion) {
+    let session = build_session();
+    let reqs = requests(session.n(), *BATCH_SIZES.last().unwrap());
+    let mut g = c.benchmark_group("serve_throughput");
+    for &b in &BATCH_SIZES {
+        let batch = &reqs[..b];
+        g.bench_function(&format!("batch_{b}"), |bch| {
+            bch.iter(|| black_box(session.answer_batch(black_box(batch))))
+        });
+    }
+    g.finish();
+}
+
+/// Writes `BENCH_serve.json`: per batch size, the per-tick latency
+/// percentiles (every request in a tick completes with the tick, so tick
+/// latency *is* per-request latency) and the resulting queries/sec.
+fn emit_serve_baseline(c: &mut Criterion) {
+    let mut rows = Vec::new();
+    let mut qps_batch1 = None;
+    for &b in &BATCH_SIZES {
+        let name = format!("serve_throughput/batch_{b}");
+        let Some(r) = c.results().iter().find(|r| r.name == name) else {
+            continue;
+        };
+        let qps = b as f64 * 1e9 / r.median_ns;
+        if b == 1 {
+            qps_batch1 = Some(qps);
+        }
+        let speedup = qps_batch1
+            .map(|base| format!("{:.3}", qps / base))
+            .unwrap_or_else(|| "null".to_string());
+        rows.push(format!(
+            "    {{\"batch\": {b}, \"latency_p50_us\": {:.1}, \"latency_p95_us\": {:.1}, \
+             \"queries_per_sec\": {qps:.1}, \"speedup_vs_batch1\": {speedup}}}",
+            r.median_ns / 1e3,
+            r.p95_ns / 1e3
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"cgnp-serve-baseline-v1\",\n  \"threads\": {},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        rayon::current_num_threads(),
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("serve baseline written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    // Shape check: micro-batching must demonstrably pay for itself.
+    let find = |b: usize| {
+        c.results()
+            .iter()
+            .find(|r| r.name == format!("serve_throughput/batch_{b}"))
+            .map(|r| b as f64 * 1e9 / r.median_ns)
+    };
+    if let (Some(q1), Some(q32)) = (find(1), find(32)) {
+        let holds = q32 >= 2.0 * q1;
+        let mark = if holds { "HOLDS " } else { "DIFFERS" };
+        println!(
+            "  [{mark}] micro-batching ≥2× throughput — batch 1: {q1:.0} q/s, batch 32: {q32:.0} q/s ({:.1}×)",
+            q32 / q1
+        );
+    }
+}
+
+criterion_group!(benches, serve_throughput, emit_serve_baseline);
+criterion_main!(benches);

@@ -134,6 +134,110 @@ impl Cgnp {
         })
     }
 
+    /// The decoded task context under [`cgnp_tensor::no_grad`] in eval
+    /// mode (Alg. 2 l.2–4): the expensive, query-independent half of
+    /// meta-testing, and therefore the quantity an online serving layer
+    /// computes once per micro-batch. `support` is passed explicitly so
+    /// callers can condition on any subset of a task's labelled examples
+    /// (e.g. a per-request shot count). Eval-mode inference never consumes
+    /// the RNG (pinned by `inference_is_deterministic`), so the result is
+    /// independent of `seed`; the parameter keeps the per-request seed
+    /// plumbing uniform with the stochastic training paths.
+    pub fn context_eval(
+        &self,
+        prepared: &PreparedTask,
+        support: &[QueryExample],
+        seed: u64,
+    ) -> Tensor {
+        cgnp_tensor::no_grad(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut fctx = ForwardCtx::eval(&mut rng);
+            self.context(prepared, support, &mut fctx)
+        })
+    }
+
+    /// Membership probabilities for one query set against a precomputed
+    /// context (the cheap half of Alg. 2: a gather + inner products).
+    pub fn score_probs(context: &Tensor, queries: &[usize]) -> Vec<f32> {
+        cgnp_tensor::no_grad(|| {
+            Decoder::score_multi(context, queries)
+                .sigmoid()
+                .value()
+                .as_slice()
+                .to_vec()
+        })
+    }
+
+    /// Batched multi-query inference for online serving: computes the task
+    /// context **once** from `support` and scores every query set of
+    /// `batch` against it, fanning the scoring across the persistent
+    /// worker pool. Takes `&self` — no request mutates the model, so any
+    /// number of sessions can share one restored checkpoint — plus one
+    /// seed per request (see [`Cgnp::context_eval`] for why eval-mode
+    /// results do not depend on them).
+    ///
+    /// Each element of the result is bitwise identical to
+    /// [`Cgnp::predict_multi`] on the same prepared task and seed.
+    pub fn predict_multi_batch(
+        &self,
+        prepared: &PreparedTask,
+        support: &[QueryExample],
+        batch: &[Vec<usize>],
+        seeds: &[u64],
+    ) -> Vec<Vec<f32>> {
+        self.predict_multi_batch_with_threads(
+            prepared,
+            support,
+            batch,
+            seeds,
+            rayon::current_num_threads(),
+        )
+    }
+
+    /// [`Cgnp::predict_multi_batch`] with an explicit fan-out width
+    /// (exposed so tests and the serving layer can pin worker counts).
+    pub fn predict_multi_batch_with_threads(
+        &self,
+        prepared: &PreparedTask,
+        support: &[QueryExample],
+        batch: &[Vec<usize>],
+        seeds: &[u64],
+        threads: usize,
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(batch.len(), seeds.len(), "batch/seeds length mismatch");
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let ctx = self.context_eval(prepared, support, seeds[0]);
+        let threads = threads.max(1).min(batch.len());
+        if threads <= 1 {
+            return batch.iter().map(|qs| Self::score_probs(&ctx, qs)).collect();
+        }
+        // The context tensor is a constant (built under `no_grad`) behind
+        // `Arc`, so workers borrow it directly. Each worker body re-enters
+        // `no_grad`: the flag is thread-local and pool workers outlive the
+        // caller's scope, so relying on the caller's flag would record
+        // tape nodes against the model weights on every worker.
+        let mut results: Vec<Option<Vec<f32>>> = vec![None; batch.len()];
+        let chunk_len = batch.len().div_ceil(threads);
+        rayon::scope(|s| {
+            let ctx = &ctx;
+            for (query_chunk, out_chunk) in
+                batch.chunks(chunk_len).zip(results.chunks_mut(chunk_len))
+            {
+                s.spawn(move |_| {
+                    for (qs, out) in query_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *out = Some(Self::score_probs(ctx, qs));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("worker filled every slot"))
+            .collect()
+    }
+
     /// Predictions for every target query of a task, sharing one context
     /// computation (the decisive efficiency property in Fig. 3: adaptation
     /// is forward-only and the context is reused across queries).
@@ -296,6 +400,54 @@ mod tests {
         let probs = model.predict_multi(&p, &qs, &mut rng);
         assert_eq!(probs.len(), p.task.n());
         assert!(probs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn batched_inference_matches_predict_multi() {
+        let p = prepared_task(11);
+        let model = model_for(&p, DecoderKind::Mlp, CommutativeOp::Mean);
+        let batch: Vec<Vec<usize>> = p
+            .task
+            .targets
+            .iter()
+            .map(|ex| vec![ex.query])
+            .chain([p.task.targets.iter().map(|ex| ex.query).take(2).collect()])
+            .collect();
+        let seeds: Vec<u64> = (0..batch.len() as u64).collect();
+        let serial = model.predict_multi_batch_with_threads(&p, &p.task.support, &batch, &seeds, 1);
+        let parallel =
+            model.predict_multi_batch_with_threads(&p, &p.task.support, &batch, &seeds, 3);
+        assert_eq!(serial, parallel, "fan-out must not change results");
+        for (qs, probs) in batch.iter().zip(&serial) {
+            let mut rng = StdRng::seed_from_u64(99);
+            assert_eq!(probs, &model.predict_multi(&p, qs, &mut rng));
+        }
+    }
+
+    #[test]
+    fn batched_inference_respects_shot_subsets() {
+        // Conditioning on fewer support examples changes the context, so
+        // the shot parameter must actually reach the encoder.
+        let p = prepared_task(12);
+        let model = model_for(&p, DecoderKind::InnerProduct, CommutativeOp::Mean);
+        let q = vec![p.task.targets[0].query];
+        let batch = std::slice::from_ref(&q);
+        let full = model.predict_multi_batch(&p, &p.task.support, batch, &[0]);
+        let one = model.predict_multi_batch(&p, &p.task.support[..1], batch, &[0]);
+        assert_ne!(full, one, "support subsetting must affect predictions");
+    }
+
+    #[test]
+    fn context_eval_builds_no_tape() {
+        let p = prepared_task(13);
+        let model = model_for(&p, DecoderKind::Gnn, CommutativeOp::SelfAttention);
+        let ctx = model.context_eval(&p, &p.task.support, 0);
+        assert!(!ctx.needs_grad());
+        assert_eq!(
+            ctx.tape_len(),
+            0,
+            "eval context must record zero tape nodes"
+        );
     }
 
     #[test]

@@ -107,10 +107,26 @@ pub fn restore(module: &dyn Module, ckpt: &Checkpoint) -> Result<(), String> {
 }
 
 /// Saves a module's weights as JSON.
+///
+/// The write is atomic: the JSON goes to a temporary sibling file first
+/// and is renamed into place only once fully flushed, so a crash (or
+/// disk-full abort) mid-save can never leave a truncated checkpoint at
+/// `path` — readers observe either the previous complete file or the new
+/// one. The temp file lives in the same directory because `rename` is
+/// only atomic within one filesystem.
 pub fn save_to_file(module: &dyn Module, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
     let ckpt = snapshot(module);
     let json = serde_json::to_string(&ckpt).map_err(io::Error::other)?;
-    std::fs::write(path, json)
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = std::fs::write(&tmp, json).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        // Best-effort cleanup; the original error is what matters.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Loads JSON weights into a module.
@@ -158,6 +174,36 @@ mod tests {
             assert!(x.approx_eq(y, 0.0));
         }
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn save_is_atomic_replace_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join("cgnp-ckpt-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        // Overwriting an existing checkpoint goes through the temp+rename
+        // path and yields a complete, parseable file.
+        save_to_file(&encoder(30), &path).unwrap();
+        save_to_file(&encoder(31), &path).unwrap();
+        let b = encoder(32);
+        load_from_file(&b, &path).unwrap();
+        for (x, y) in encoder(31)
+            .export_weights()
+            .iter()
+            .zip(b.export_weights().iter())
+        {
+            assert!(x.approx_eq(y, 0.0), "latest save wins");
+        }
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

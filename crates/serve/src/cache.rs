@@ -1,0 +1,167 @@
+//! A small LRU cache for prepared per-query predictions.
+//!
+//! Keys are `(query node sequence, shots)` — the exact sequence, not a
+//! sorted set, because the multi-query centroid sums embeddings in the
+//! order given and predictions are bitwise-reproducible per sequence.
+//! Values are `Arc`-shared full probability vectors, so a hit costs one
+//! clone of a pointer while attribute filters and `top_k` are applied
+//! per response.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: the query node sequence and the shot count it was scored
+/// under.
+pub type CacheKey = (Vec<usize>, usize);
+
+/// Hit/miss/eviction counters, readable while the cache is live.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+/// Least-recently-used map from query keys to shared probability vectors.
+///
+/// Capacity 0 disables caching entirely (every lookup is a recorded
+/// miss, inserts are dropped). Recency is tracked with a monotonic
+/// counter per entry; eviction scans for the minimum — O(capacity), which
+/// is fine for the few-hundred-entry caches a session holds (the map
+/// stays allocation-free on the hot hit path in exchange).
+pub struct LruCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<CacheKey, (Arc<Vec<f32>>, u64)>,
+    stats: CacheStats,
+}
+
+impl LruCache {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            entries: HashMap::with_capacity(capacity.min(1024)),
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<Vec<f32>>> {
+        if self.capacity == 0 {
+            self.stats.misses += 1;
+            return None;
+        }
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some((value, last_used)) => {
+                *last_used = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(value))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a value, evicting the least-recently-used entry when full.
+    pub fn insert(&mut self, key: CacheKey, value: Arc<Vec<f32>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(key, (value, self.tick));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(nodes: &[usize], shots: usize) -> CacheKey {
+        (nodes.to_vec(), shots)
+    }
+
+    fn val(x: f32) -> Arc<Vec<f32>> {
+        Arc::new(vec![x])
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c = LruCache::new(4);
+        assert!(c.get(&key(&[1], 1)).is_none());
+        c.insert(key(&[1], 1), val(0.5));
+        assert_eq!(c.get(&key(&[1], 1)).unwrap()[0], 0.5);
+        assert!(c.get(&key(&[1], 2)).is_none(), "shots are part of the key");
+        assert!(c.get(&key(&[1, 2], 1)).is_none());
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 3,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(key(&[1], 1), val(1.0));
+        c.insert(key(&[2], 1), val(2.0));
+        // Touch [1] so [2] becomes the LRU entry.
+        assert!(c.get(&key(&[1], 1)).is_some());
+        c.insert(key(&[3], 1), val(3.0));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key(&[2], 1)).is_none(), "LRU entry evicted");
+        assert!(c.get(&key(&[1], 1)).is_some());
+        assert!(c.get(&key(&[3], 1)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_without_evicting() {
+        let mut c = LruCache::new(2);
+        c.insert(key(&[1], 1), val(1.0));
+        c.insert(key(&[2], 1), val(2.0));
+        c.insert(key(&[1], 1), val(9.0));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(&key(&[1], 1)).unwrap()[0], 9.0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let mut c = LruCache::new(0);
+        c.insert(key(&[1], 1), val(1.0));
+        assert!(c.is_empty());
+        assert!(c.get(&key(&[1], 1)).is_none());
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hits, 0);
+    }
+}

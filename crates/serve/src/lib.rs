@@ -1,0 +1,48 @@
+//! # cgnp-serve
+//!
+//! The online query-serving engine: the first consumer-facing path from a
+//! meta-trained checkpoint to answered community-search queries, built on
+//! the paper's central promise that adaptation is a single forward pass
+//! (Alg. 2 — no per-query retraining).
+//!
+//! A [`ServeSession`] is constructed **once** — restore the model from a
+//! checkpoint, precompute the graph's sparse operators and base features
+//! — then answers a stream of [`QueryRequest`]s. Internally:
+//!
+//! * a micro-batching loop ([`serve_ndjson`]) coalesces up to `B`
+//!   in-flight requests per tick,
+//! * each tick computes the task context once per shot configuration and
+//!   fans the per-query scoring across the persistent worker pool
+//!   (`Cgnp::predict_multi_batch`, all under `no_grad`),
+//! * an LRU cache ([`cache::LruCache`]) memoizes full prediction vectors
+//!   keyed on `(query nodes, shots)`,
+//! * per-request latency and batch-occupancy counters accumulate into a
+//!   [`ServeSummary`].
+//!
+//! ## Example
+//!
+//! ```
+//! use cgnp_serve::{serve_task, QueryRequest, ServeConfig, ServeSession};
+//! use cgnp_core::{Cgnp, CgnpConfig};
+//! use cgnp_data::{generate_sbm, model_input_dim, SbmConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(0));
+//! let task = serve_task(&ag, 3, 0).unwrap();
+//! let model = Cgnp::new(CgnpConfig::paper_default(model_input_dim(&task.graph), 8), 0);
+//! let session = ServeSession::new(model, task, ServeConfig::default()).unwrap();
+//!
+//! let response = session.answer(&QueryRequest::new(1, vec![0]).with_top_k(5));
+//! assert!(response.ok);
+//! assert!(response.members.len() <= 5);
+//! ```
+
+pub mod cache;
+pub mod ndjson;
+pub mod protocol;
+pub mod session;
+
+pub use cache::{CacheStats, LruCache};
+pub use ndjson::serve_ndjson;
+pub use protocol::{parse_request, QueryRequest, QueryResponse};
+pub use session::{serve_task, ServeConfig, ServeSession, ServeSummary};

@@ -1,0 +1,233 @@
+//! The NDJSON wire protocol: one JSON object per line in, one per line
+//! out.
+//!
+//! Request (only `id` and `nodes` are required):
+//!
+//! ```json
+//! {"id": 1, "nodes": [4, 17], "shots": 3, "attrs": [2], "top_k": 10, "seed": 7}
+//! ```
+//!
+//! * `nodes` — query node ids; one node is the paper's single-query CS,
+//!   several ask for the community containing **all** of them.
+//! * `shots` — how many of the session's labelled support examples to
+//!   condition on (default: all of them).
+//! * `attrs` — optional attribute filter: returned members must carry at
+//!   least one of the listed attribute ids.
+//! * `top_k` — cap on returned members (default: every node scoring
+//!   ≥ 0.5).
+//! * `seed` — per-request RNG seed (eval-mode inference is deterministic,
+//!   so this only matters for future stochastic decoders; default `id`).
+//!
+//! Response:
+//!
+//! ```json
+//! {"id": 1, "ok": true, "error": null, "members": [4, 17, 9],
+//!  "probs": [0.99, 0.98, 0.71], "shots": 3, "cached": false, "latency_us": 412}
+//! ```
+//!
+//! `members` are ranked by probability (descending, node id breaking
+//! ties) and aligned with `probs`. Malformed lines and out-of-range nodes
+//! produce `ok: false` responses with `error` set — the stream keeps
+//! going.
+
+use serde::json::Value;
+use serde::Serialize;
+
+/// One community-search query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Query node ids (non-empty, each `< n`).
+    pub nodes: Vec<usize>,
+    /// Attribute filter for returned members; empty = no filter.
+    pub attrs: Vec<u32>,
+    /// Support examples to condition on; `None` = the session default.
+    pub shots: Option<usize>,
+    /// Cap on returned members; `None` = all nodes with prob ≥ 0.5.
+    pub top_k: Option<usize>,
+    /// Per-request seed; `None` derives one from `id`.
+    pub seed: Option<u64>,
+}
+
+impl QueryRequest {
+    /// A request with only the required fields set.
+    pub fn new(id: u64, nodes: Vec<usize>) -> Self {
+        Self {
+            id,
+            nodes,
+            attrs: Vec::new(),
+            shots: None,
+            top_k: None,
+            seed: None,
+        }
+    }
+
+    pub fn with_shots(mut self, shots: usize) -> Self {
+        self.shots = Some(shots);
+        self
+    }
+
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+}
+
+/// One answered query.
+#[derive(Clone, Debug, Serialize)]
+pub struct QueryResponse {
+    pub id: u64,
+    pub ok: bool,
+    pub error: Option<String>,
+    /// Member node ids ranked by probability (desc, node id asc on ties).
+    pub members: Vec<usize>,
+    /// Membership probabilities aligned with `members`.
+    pub probs: Vec<f32>,
+    /// Support examples the prediction was conditioned on.
+    pub shots: usize,
+    /// True when the prediction came from the session's LRU cache.
+    pub cached: bool,
+    /// Wall-clock latency attributed to this request (whole micro-batch).
+    pub latency_us: u64,
+}
+
+impl QueryResponse {
+    /// An error response for a request id.
+    pub fn error(id: u64, msg: impl Into<String>) -> Self {
+        Self {
+            id,
+            ok: false,
+            error: Some(msg.into()),
+            members: Vec::new(),
+            probs: Vec::new(),
+            shots: 0,
+            cached: false,
+            latency_us: 0,
+        }
+    }
+
+    /// Compact single-line JSON (the NDJSON output format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("response serialisation is infallible")
+    }
+}
+
+fn get<'v>(pairs: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_u64(v: &Value, key: &str) -> Result<u64, String> {
+    match v {
+        Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 => Ok(*n as u64),
+        other => Err(format!(
+            "field {key:?} must be a non-negative integer, got {other:?}"
+        )),
+    }
+}
+
+fn as_id_list(v: &Value, key: &str) -> Result<Vec<u64>, String> {
+    match v {
+        Value::Arr(items) => items.iter().map(|x| as_u64(x, key)).collect(),
+        other => Err(format!("field {key:?} must be an array, got {other:?}")),
+    }
+}
+
+/// Parses one NDJSON request line. Optional fields may be absent (the
+/// vendored serde derive has no `#[serde(default)]`, so this is
+/// hand-rolled over the parsed [`Value`]).
+pub fn parse_request(line: &str) -> Result<QueryRequest, String> {
+    let value = serde::json::parse(line).map_err(|e| e.0)?;
+    let Value::Obj(pairs) = &value else {
+        return Err("request must be a JSON object".into());
+    };
+    let id = as_u64(get(pairs, "id").ok_or("missing field \"id\"")?, "id")?;
+    let nodes = as_id_list(
+        get(pairs, "nodes").ok_or("missing field \"nodes\"")?,
+        "nodes",
+    )?
+    .into_iter()
+    .map(|x| x as usize)
+    .collect();
+    let attrs = match get(pairs, "attrs") {
+        Some(v) => as_id_list(v, "attrs")?
+            .into_iter()
+            .map(|x| x as u32)
+            .collect(),
+        None => Vec::new(),
+    };
+    let opt = |key: &str| -> Result<Option<u64>, String> {
+        match get(pairs, key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => as_u64(v, key).map(Some),
+        }
+    };
+    Ok(QueryRequest {
+        id,
+        nodes,
+        attrs,
+        shots: opt("shots")?.map(|x| x as usize),
+        top_k: opt("top_k")?.map(|x| x as usize),
+        seed: opt("seed")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_request() {
+        let r = parse_request(r#"{"id": 3, "nodes": [1, 2]}"#).unwrap();
+        assert_eq!(r, QueryRequest::new(3, vec![1, 2]));
+    }
+
+    #[test]
+    fn parses_full_request() {
+        let r = parse_request(
+            r#"{"id": 9, "nodes": [0], "attrs": [5, 6], "shots": 2, "top_k": 4, "seed": 11}"#,
+        )
+        .unwrap();
+        assert_eq!(r.attrs, vec![5, 6]);
+        assert_eq!(r.shots, Some(2));
+        assert_eq!(r.top_k, Some(4));
+        assert_eq!(r.seed, Some(11));
+    }
+
+    #[test]
+    fn null_optionals_mean_absent() {
+        let r = parse_request(r#"{"id": 1, "nodes": [0], "shots": null}"#).unwrap();
+        assert_eq!(r.shots, None);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"[1, 2]"#).is_err());
+        assert!(parse_request(r#"{"nodes": [1]}"#).is_err(), "missing id");
+        assert!(parse_request(r#"{"id": 1}"#).is_err(), "missing nodes");
+        assert!(parse_request(r#"{"id": -1, "nodes": [0]}"#).is_err());
+        assert!(parse_request(r#"{"id": 1, "nodes": [0.5]}"#).is_err());
+        assert!(parse_request(r#"{"id": 1, "nodes": 7}"#).is_err());
+    }
+
+    #[test]
+    fn response_serialises_to_one_line() {
+        let mut r = QueryResponse::error(4, "node 99 out of range");
+        r.latency_us = 12;
+        let json = r.to_json();
+        assert!(!json.contains('\n'));
+        assert!(
+            json.contains("\"ok\": false") || json.contains("\"ok\":false"),
+            "{json}"
+        );
+        assert!(json.contains("out of range"));
+        // Round-trips through the vendored parser.
+        let v = serde::json::parse(&json).unwrap();
+        let Value::Obj(pairs) = v else {
+            panic!("not an object")
+        };
+        assert!(get(&pairs, "members").is_some());
+        assert!(get(&pairs, "latency_us").is_some());
+    }
+}

@@ -1,0 +1,405 @@
+//! [`ServeSession`]: the train-once / answer-many runtime of the paper's
+//! deployment story (Alg. 2 run as a service).
+//!
+//! A session is built **once** from a restored checkpoint and a serving
+//! task — the graph, its precomputed [`cgnp_core::PreparedTask`]
+//! (normalised adjacencies, arc index, base features), and a pool of
+//! labelled support examples. Every incoming query then costs one
+//! context forward (shared across a micro-batch and across all queries
+//! conditioned on the same shot count) plus an inner-product scoring
+//! pass, with an LRU cache short-circuiting repeated `(nodes, shots)`
+//! requests entirely.
+
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use cgnp_core::{Cgnp, CgnpConfig, PreparedTask};
+use cgnp_data::{model_input_dim, task_on_whole_graph, Task, TaskConfig};
+use cgnp_graph::AttributedGraph;
+use cgnp_tensor::Tensor;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use crate::cache::{CacheStats, LruCache};
+use crate::protocol::{QueryRequest, QueryResponse};
+
+/// Session tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Micro-batch bound: how many in-flight queries one tick coalesces.
+    pub batch: usize,
+    /// LRU capacity for `(nodes, shots)` predictions; 0 disables.
+    pub cache: usize,
+    /// Worker fan-out for scoring a micro-batch.
+    pub threads: usize,
+    /// Seed for model restoration / support-pool sampling.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            batch: 8,
+            cache: 256,
+            threads: rayon::current_num_threads(),
+            seed: 42,
+        }
+    }
+}
+
+/// Latency samples kept for percentile reporting. A bounded ring — a
+/// long-lived serving process must not grow 8 bytes per request forever
+/// — so percentiles describe the most recent window, which is what a
+/// serving dashboard wants anyway.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Rolling serving counters (all micro-batches since session build).
+#[derive(Clone, Debug, Default)]
+struct ServeStats {
+    requests: u64,
+    errors: u64,
+    batches: u64,
+    occupancy_sum: u64,
+    /// Ring buffer of the last [`LATENCY_WINDOW`] per-request latencies.
+    latencies_us: Vec<u64>,
+    /// Next ring slot to overwrite once the buffer is full.
+    latency_cursor: usize,
+}
+
+impl ServeStats {
+    fn record_latency(&mut self, us: u64) {
+        if self.latencies_us.len() < LATENCY_WINDOW {
+            self.latencies_us.push(us);
+        } else {
+            self.latencies_us[self.latency_cursor] = us;
+            self.latency_cursor = (self.latency_cursor + 1) % LATENCY_WINDOW;
+        }
+    }
+}
+
+/// A point-in-time summary of a session's serving counters, dumped as
+/// JSON by the CLI when the stream ends.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServeSummary {
+    pub requests: u64,
+    pub errors: u64,
+    pub batches: u64,
+    /// Mean number of requests coalesced per micro-batch tick.
+    pub mean_batch_occupancy: f64,
+    pub latency_p50_us: u64,
+    pub latency_p95_us: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+}
+
+/// An online query-answering session over one graph and one restored
+/// model. `&self` everywhere: sessions are `Sync` and can be shared
+/// across request-handling threads.
+pub struct ServeSession {
+    model: Cgnp,
+    prepared: PreparedTask,
+    cfg: ServeConfig,
+    cache: Mutex<LruCache>,
+    stats: Mutex<ServeStats>,
+}
+
+impl ServeSession {
+    /// Builds a session from an already-constructed model and serving
+    /// task. The task's `support` is the labelled example pool requests
+    /// condition on (`shots` selects a prefix of it); `targets` are
+    /// ignored. Graph operators and base features are precomputed here,
+    /// once.
+    pub fn new(model: Cgnp, task: Task, cfg: ServeConfig) -> Result<Self, String> {
+        if task.support.is_empty() {
+            return Err("serving task has no support examples to condition on".into());
+        }
+        let expect = model_input_dim(&task.graph);
+        let got = model.config().encoder.in_dim;
+        if got != expect {
+            return Err(format!(
+                "model input width {got} does not match the serving graph (need {expect})"
+            ));
+        }
+        Ok(Self {
+            model,
+            prepared: PreparedTask::new(task),
+            cache: Mutex::new(LruCache::new(cfg.cache)),
+            stats: Mutex::new(ServeStats::default()),
+            cfg,
+        })
+    }
+
+    /// Restores a checkpoint into a fresh model built from `template`
+    /// (whose encoder input width is bound to the serving graph here) and
+    /// wraps it in a session. The template must describe the same
+    /// architecture the checkpoint was trained with — hidden width,
+    /// decoder, encoder kind — or restoration fails with a shape error.
+    pub fn from_checkpoint(
+        path: impl AsRef<Path>,
+        mut template: CgnpConfig,
+        task: Task,
+        cfg: ServeConfig,
+    ) -> Result<Self, String> {
+        template.encoder.in_dim = model_input_dim(&task.graph);
+        let model = Cgnp::new(template, cfg.seed);
+        cgnp_eval::load_from_file(&model, path.as_ref())
+            .map_err(|e| format!("loading checkpoint {:?}: {e}", path.as_ref()))?;
+        Self::new(model, task, cfg)
+    }
+
+    /// Number of nodes of the serving graph.
+    pub fn n(&self) -> usize {
+        self.prepared.task.n()
+    }
+
+    /// Size of the labelled support pool.
+    pub fn max_shots(&self) -> usize {
+        self.prepared.task.support.len()
+    }
+
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The decoded task context for a given shot count — the prepared
+    /// tensor a micro-batch shares. Built under `no_grad`: the returned
+    /// tensor is a constant and records zero tape nodes.
+    pub fn context_for_shots(&self, shots: usize) -> Tensor {
+        let shots = shots.clamp(1, self.max_shots());
+        self.model.context_eval(
+            &self.prepared,
+            &self.prepared.task.support[..shots],
+            self.cfg.seed,
+        )
+    }
+
+    /// Effective shot count for a request: the session default (the whole
+    /// pool) unless the request narrows it; always within `1..=pool`.
+    fn effective_shots(&self, req: &QueryRequest) -> Result<usize, String> {
+        match req.shots {
+            Some(0) => Err("shots must be ≥ 1".into()),
+            Some(s) => Ok(s.min(self.max_shots())),
+            None => Ok(self.max_shots()),
+        }
+    }
+
+    fn validate(&self, req: &QueryRequest) -> Result<usize, String> {
+        if req.nodes.is_empty() {
+            return Err("query needs at least one node".into());
+        }
+        let n = self.n();
+        if let Some(&bad) = req.nodes.iter().find(|&&v| v >= n) {
+            return Err(format!("node {bad} out of range (graph has {n} nodes)"));
+        }
+        self.effective_shots(req)
+    }
+
+    /// Answers one request (a micro-batch of one).
+    pub fn answer(&self, req: &QueryRequest) -> QueryResponse {
+        self.answer_batch(std::slice::from_ref(req))
+            .pop()
+            .expect("one response per request")
+    }
+
+    /// Answers a micro-batch. Cache misses are grouped by shot count;
+    /// each group computes its context once and fans the scoring across
+    /// the persistent pool (`cgnp_core::Cgnp::predict_multi_batch`). The
+    /// whole-tick wall time is attributed to every request in the batch —
+    /// the honest latency of a coalescing server.
+    pub fn answer_batch(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse> {
+        let t0 = Instant::now();
+        // Resolve each request to a full probability vector: from cache,
+        // or collected for batched computation.
+        type Resolved = Result<(usize, Arc<Vec<f32>>, bool), String>;
+        let mut resolved: Vec<Resolved> = Vec::new();
+        // Misses deduplicated by key: identical (nodes, shots) requests in
+        // one tick are computed once and share the Arc (duplicate hot
+        // queries are exactly the traffic a coalescing server sees).
+        let mut pending: Vec<(crate::cache::CacheKey, Vec<usize>)> = Vec::new();
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (i, req) in reqs.iter().enumerate() {
+                match self.validate(req) {
+                    Err(e) => resolved.push(Err(e)),
+                    Ok(shots) => {
+                        let key = (req.nodes.clone(), shots);
+                        match cache.get(&key) {
+                            Some(probs) => resolved.push(Ok((shots, probs, true))),
+                            None => {
+                                match pending.iter_mut().find(|(k, _)| *k == key) {
+                                    Some((_, idxs)) => idxs.push(i),
+                                    None => pending.push((key, vec![i])),
+                                }
+                                // Placeholder; filled after computation.
+                                resolved.push(Ok((shots, Arc::new(Vec::new()), false)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Group unique keys by shot count so each group shares one context.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (p, (key, _)) in pending.iter().enumerate() {
+            match groups.iter_mut().find(|(s, _)| *s == key.1) {
+                Some((_, ps)) => ps.push(p),
+                None => groups.push((key.1, vec![p])),
+            }
+        }
+        for (shots, ps) in groups {
+            let batch: Vec<Vec<usize>> = ps.iter().map(|&p| pending[p].0 .0.clone()).collect();
+            let seeds: Vec<u64> = ps
+                .iter()
+                .map(|&p| {
+                    let i = pending[p].1[0];
+                    reqs[i].seed.unwrap_or(reqs[i].id)
+                })
+                .collect();
+            let support = &self.prepared.task.support[..shots];
+            let probs = self.model.predict_multi_batch_with_threads(
+                &self.prepared,
+                support,
+                &batch,
+                &seeds,
+                self.cfg.threads,
+            );
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (&p, prob) in ps.iter().zip(probs) {
+                let prob = Arc::new(prob);
+                cache.insert(pending[p].0.clone(), Arc::clone(&prob));
+                for &i in &pending[p].1 {
+                    resolved[i] = Ok((shots, Arc::clone(&prob), false));
+                }
+            }
+        }
+        let latency_us = t0.elapsed().as_micros() as u64;
+        let responses: Vec<QueryResponse> = reqs
+            .iter()
+            .zip(resolved)
+            .map(|(req, r)| match r {
+                Err(e) => QueryResponse::error(req.id, e),
+                Ok((shots, probs, cached)) => {
+                    let (members, member_probs) = self.rank_members(&probs, req);
+                    QueryResponse {
+                        id: req.id,
+                        ok: true,
+                        error: None,
+                        members,
+                        probs: member_probs,
+                        shots,
+                        cached,
+                        latency_us,
+                    }
+                }
+            })
+            .collect();
+        let mut stats = self.stats.lock().expect("stats lock");
+        stats.requests += reqs.len() as u64;
+        stats.errors += responses.iter().filter(|r| !r.ok).count() as u64;
+        stats.batches += 1;
+        stats.occupancy_sum += reqs.len() as u64;
+        for _ in &responses {
+            stats.record_latency(latency_us);
+        }
+        responses
+    }
+
+    /// Full membership probability vector for a query set (the library
+    /// path behind [`ServeSession::answer`], without ranking or response
+    /// assembly; goes through the same cache).
+    pub fn predict(&self, nodes: &[usize], shots: Option<usize>) -> Result<Arc<Vec<f32>>, String> {
+        let req = QueryRequest {
+            shots,
+            ..QueryRequest::new(0, nodes.to_vec())
+        };
+        let shots = self.validate(&req)?;
+        let key = (nodes.to_vec(), shots);
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+            return Ok(hit);
+        }
+        let probs = self.model.predict_multi_batch_with_threads(
+            &self.prepared,
+            &self.prepared.task.support[..shots],
+            std::slice::from_ref(&key.0),
+            &[self.cfg.seed],
+            1,
+        );
+        let probs = Arc::new(probs.into_iter().next().expect("one result"));
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, Arc::clone(&probs));
+        Ok(probs)
+    }
+
+    /// Ranks community members for a response: optional attribute filter,
+    /// then probability-descending order (node id breaks ties), capped at
+    /// `top_k` or thresholded at 0.5.
+    fn rank_members(&self, probs: &[f32], req: &QueryRequest) -> (Vec<usize>, Vec<f32>) {
+        let graph = &self.prepared.task.graph;
+        let mut idx: Vec<usize> = (0..probs.len())
+            .filter(|&v| req.attrs.is_empty() || req.attrs.iter().any(|&a| graph.has_attr(v, a)))
+            .collect();
+        idx.sort_by(|&a, &b| probs[b].total_cmp(&probs[a]).then(a.cmp(&b)));
+        match req.top_k {
+            Some(k) => idx.truncate(k),
+            None => idx.retain(|&v| probs[v] >= 0.5),
+        }
+        let member_probs = idx.iter().map(|&v| probs[v]).collect();
+        (idx, member_probs)
+    }
+
+    /// Cache counters (hits/misses/evictions so far).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Serving summary: request/batch counts, mean occupancy, latency
+    /// percentiles, cache counters.
+    pub fn summary(&self) -> ServeSummary {
+        let stats = self.stats.lock().expect("stats lock");
+        let cache = self.cache_stats();
+        let mut lat = stats.latencies_us.clone();
+        lat.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if lat.is_empty() {
+                0
+            } else {
+                lat[((lat.len() - 1) as f64 * p).round() as usize]
+            }
+        };
+        ServeSummary {
+            requests: stats.requests,
+            errors: stats.errors,
+            batches: stats.batches,
+            mean_batch_occupancy: if stats.batches == 0 {
+                0.0
+            } else {
+                stats.occupancy_sum as f64 / stats.batches as f64
+            },
+            latency_p50_us: pct(0.5),
+            latency_p95_us: pct(0.95),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+        }
+    }
+}
+
+/// Builds a serving task over a whole graph: a pool of `max_shots`
+/// labelled support examples drawn from its known communities, no
+/// targets. This is the session substrate when serving a dataset graph
+/// directly (the CLI path); callers with their own labelled examples
+/// construct a [`Task`] instead.
+pub fn serve_task(graph: &AttributedGraph, max_shots: usize, seed: u64) -> Result<Task, String> {
+    let cfg = TaskConfig {
+        shots: max_shots,
+        n_targets: 0,
+        ..Default::default()
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    task_on_whole_graph(graph, &cfg, &mut rng)
+        .ok_or_else(|| "could not sample a support pool from the serving graph".into())
+}

@@ -1,0 +1,218 @@
+//! End-to-end serving guarantees: a checkpoint restored into a
+//! [`ServeSession`] answers queries bitwise-identically to the in-process
+//! model it was saved from, the LRU cache behaves, and serving builds no
+//! autograd state.
+
+use cgnp_core::{meta_train, prepare_tasks, Cgnp, CgnpConfig, PreparedTask};
+use cgnp_data::{generate_sbm, model_input_dim, sample_task, SbmConfig, Task, TaskConfig};
+use cgnp_serve::{QueryRequest, ServeConfig, ServeSession};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A smoke-scale trained model plus the task it can serve.
+fn trained_model_and_task(seed: u64) -> (Cgnp, Task) {
+    let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
+    let tcfg = TaskConfig {
+        subgraph_size: 60,
+        shots: 3,
+        n_targets: 4,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tasks: Vec<Task> = (0..2)
+        .map(|_| sample_task(&ag, &tcfg, None, &mut rng).expect("task"))
+        .collect();
+    let cfg = CgnpConfig::paper_default(model_input_dim(&tasks[0].graph), 8).with_epochs(2);
+    let model = Cgnp::new(cfg, seed);
+    meta_train(&model, &prepare_tasks(&tasks), seed);
+    (model, tasks[0].clone())
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        batch: 4,
+        cache: 16,
+        threads: 1,
+        seed: 9,
+    }
+}
+
+#[test]
+fn checkpoint_to_session_roundtrip_is_bitwise_identical() {
+    let (model, task) = trained_model_and_task(21);
+    let dir = std::env::temp_dir().join("cgnp-serve-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("smoke.json");
+    cgnp_eval::save_to_file(&model, &path).unwrap();
+
+    // Template mirrors the training architecture; in_dim is rebound by
+    // the session builder.
+    let template = CgnpConfig::paper_default(1, 8);
+    let session =
+        ServeSession::from_checkpoint(&path, template, task.clone(), serve_cfg()).unwrap();
+
+    // Direct in-process predictions from the model that produced the
+    // checkpoint, on the same prepared task and support set.
+    let prepared = PreparedTask::new(task.clone());
+    let mut rng = StdRng::seed_from_u64(0);
+    let direct = model.predict_task(&prepared, &mut rng);
+
+    for (ex, expected) in task.targets.iter().zip(&direct) {
+        let served = session.predict(&[ex.query], None).unwrap();
+        assert_eq!(
+            served.as_slice(),
+            expected.as_slice(),
+            "served prediction for query {} must be bitwise identical",
+            ex.query
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn from_checkpoint_rejects_mismatched_template() {
+    let (model, task) = trained_model_and_task(22);
+    let dir = std::env::temp_dir().join("cgnp-serve-mismatch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("smoke.json");
+    cgnp_eval::save_to_file(&model, &path).unwrap();
+    // Wrong hidden width → parameter shape mismatch, reported not panicked.
+    let wrong = CgnpConfig::paper_default(1, 16);
+    let err = ServeSession::from_checkpoint(&path, wrong, task, serve_cfg())
+        .err()
+        .expect("mismatched template must fail");
+    assert!(err.contains("mismatch"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lru_cache_hits_and_evicts_through_the_session() {
+    let (model, task) = trained_model_and_task(23);
+    let q: Vec<usize> = task.targets.iter().map(|ex| ex.query).collect();
+    let session = ServeSession::new(
+        model,
+        task,
+        ServeConfig {
+            cache: 2,
+            ..serve_cfg()
+        },
+    )
+    .unwrap();
+
+    // Miss, then hit on the identical (nodes, shots) key.
+    let first = session.answer(&QueryRequest::new(1, vec![q[0]]));
+    assert!(first.ok && !first.cached);
+    let second = session.answer(&QueryRequest::new(2, vec![q[0]]));
+    assert!(second.cached, "repeat request must come from the cache");
+    assert_eq!(first.members, second.members);
+    assert_eq!(first.probs, second.probs);
+    let stats = session.cache_stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 1);
+
+    // A different shot count is a different key.
+    let narrowed = session.answer(&QueryRequest::new(3, vec![q[0]]).with_shots(1));
+    assert!(!narrowed.cached);
+    assert_eq!(narrowed.shots, 1);
+
+    // Capacity 2: a third distinct key evicts the LRU entry (q[0] at
+    // full shots, untouched since the shots=1 insert).
+    session.answer(&QueryRequest::new(4, vec![q[1]]));
+    assert!(session.cache_stats().evictions >= 1);
+    let after_evict = session.answer(&QueryRequest::new(5, vec![q[0]]));
+    assert!(
+        !after_evict.cached,
+        "evicted entry must be recomputed, not served stale"
+    );
+    assert_eq!(after_evict.members, first.members, "recompute is identical");
+}
+
+#[test]
+fn duplicate_requests_in_one_tick_share_one_computation() {
+    let (model, task) = trained_model_and_task(26);
+    let q = task.targets[0].query;
+    let session = ServeSession::new(model, task, serve_cfg()).unwrap();
+    // Four identical cold-cache requests in one tick: deduplicated to one
+    // scoring pass whose result every response shares.
+    let reqs: Vec<QueryRequest> = (0..4).map(|i| QueryRequest::new(i, vec![q])).collect();
+    let responses = session.answer_batch(&reqs);
+    assert!(responses.iter().all(|r| r.ok && !r.cached));
+    for r in &responses[1..] {
+        assert_eq!(r.members, responses[0].members);
+        assert_eq!(r.probs, responses[0].probs);
+    }
+    // Exactly one cache entry was inserted for the tick: the follow-up
+    // request hits it.
+    let follow_up = session.answer(&QueryRequest::new(9, vec![q]));
+    assert!(follow_up.cached);
+    let stats = session.cache_stats();
+    assert_eq!(stats.misses, 4, "each duplicate recorded one lookup miss");
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.evictions, 0);
+}
+
+#[test]
+fn serving_forward_records_zero_tape_nodes() {
+    // Persistent workers must never accumulate autograd state: the
+    // session's context tensor is constant, and a full answer tick leaves
+    // tape recording untouched on the calling thread.
+    let (model, task) = trained_model_and_task(24);
+    let q = task.targets[0].query;
+    let session = ServeSession::new(
+        model,
+        task,
+        ServeConfig {
+            threads: 3,
+            ..serve_cfg()
+        },
+    )
+    .unwrap();
+    for shots in [1, session.max_shots()] {
+        let ctx = session.context_for_shots(shots);
+        assert!(!ctx.needs_grad(), "serving context must be constant");
+        assert_eq!(ctx.tape_len(), 0, "serving forward recorded tape nodes");
+    }
+    let batch: Vec<QueryRequest> = (0..6).map(|i| QueryRequest::new(i, vec![q])).collect();
+    let responses = session.answer_batch(&batch);
+    assert!(responses.iter().all(|r| r.ok));
+    assert!(
+        cgnp_tensor::grad_enabled(),
+        "answer_batch must not leak a disabled tape flag"
+    );
+}
+
+#[test]
+fn parallel_and_serial_micro_batches_agree() {
+    // `trained_model_and_task` is deterministic per seed, so two builds
+    // serve identical weights over the identical graph.
+    let build = |threads: usize| {
+        let (model, task) = trained_model_and_task(25);
+        ServeSession::new(
+            model,
+            task,
+            ServeConfig {
+                threads,
+                cache: 0,
+                ..serve_cfg()
+            },
+        )
+        .unwrap()
+    };
+    let serial = build(1);
+    let parallel = build(4);
+    let queries: Vec<usize> = {
+        let (_, task) = trained_model_and_task(25);
+        task.targets.iter().map(|ex| ex.query).collect()
+    };
+    let reqs: Vec<QueryRequest> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| QueryRequest::new(i as u64, vec![q]).with_top_k(10))
+        .collect();
+    let a = serial.answer_batch(&reqs);
+    let b = parallel.answer_batch(&reqs);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.members, y.members);
+        assert_eq!(x.probs, y.probs);
+    }
+}

@@ -12,6 +12,16 @@
 //! cgnp evaluate --dataset citeseer [--kind ...] [--shots N] [--scale S]
 //!               [--seed N] [--model model.json]
 //!     Evaluate a (fresh or checkpointed) CGNP model on held-out tasks.
+//!
+//! cgnp serve --checkpoint model.json [--dataset citeseer] [--scale S]
+//!            [--decoder ip|mlp|gnn] [--shots N] [--seed N]
+//!            [--threads N] [--batch B] [--cache C]
+//!     Answer newline-delimited JSON queries from stdin on stdout using a
+//!     restored checkpoint (micro-batched; see README "Serving"). The
+//!     --scale/--decoder flags must match the ones used at training time
+//!     so the restored architecture lines up. A serving summary (latency
+//!     percentiles, batch occupancy, cache counters) is printed to stderr
+//!     at end of stream.
 //! ```
 
 use std::collections::HashMap;
@@ -23,13 +33,14 @@ use cgnp_eval::{
     TextTable,
 };
 use cgnp_nn::Module;
+use cgnp_serve::{serve_ndjson, serve_task, ServeConfig, ServeSession};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
-        eprintln!("usage: cgnp <datasets|train|evaluate> [flags]; see --help");
+        eprintln!("usage: cgnp <datasets|train|evaluate|serve> [flags]; see --help");
         std::process::exit(2);
     };
     let flags = match parse_flags(rest) {
@@ -43,8 +54,9 @@ fn main() {
         "datasets" => cmd_datasets(&flags),
         "train" => cmd_train(&flags),
         "evaluate" => cmd_evaluate(&flags),
+        "serve" => cmd_serve(&flags),
         "--help" | "help" => {
-            println!("subcommands: datasets | train | evaluate");
+            println!("subcommands: datasets | train | evaluate | serve");
             Ok(())
         }
         other => Err(format!("unknown subcommand {other:?}")),
@@ -276,6 +288,52 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_usize(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: usize,
+) -> Result<usize, String> {
+    flags
+        .get(name)
+        .map(|s| s.parse().map_err(|e| format!("bad --{name}: {e}")))
+        .unwrap_or(Ok(default))
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let args = common_args(flags)?;
+    let checkpoint = flags
+        .get("checkpoint")
+        .ok_or("serve needs --checkpoint <model.json>")?;
+    let cfg = ServeConfig {
+        batch: parse_usize(flags, "batch", ServeConfig::default().batch)?.max(1),
+        cache: parse_usize(flags, "cache", ServeConfig::default().cache)?,
+        threads: parse_usize(flags, "threads", rayon::current_num_threads())?.max(1),
+        seed: args.seed,
+    };
+    let ds = load_dataset(args.dataset, args.settings.scale, args.seed);
+    let task = serve_task(ds.single(), args.shots.max(1), args.seed)?;
+    let template = args.settings.cgnp_template().with_decoder(args.decoder);
+    let session = ServeSession::from_checkpoint(checkpoint, template, task, cfg)?;
+    eprintln!(
+        "serving {} ({} nodes, {} support examples) from {checkpoint}: batch {}, cache {}, {} threads",
+        args.dataset.name(),
+        session.n(),
+        session.max_shots(),
+        cfg.batch,
+        cfg.cache,
+        cfg.threads
+    );
+    // `StdinLock` is not `Send`; a fresh `BufReader` over the handle is,
+    // and the reader thread is the only consumer anyway.
+    let stdin = std::io::BufReader::new(std::io::stdin());
+    let mut stdout = std::io::stdout().lock();
+    let summary = serve_ndjson(&session, stdin, &mut stdout)
+        .map_err(|e| format!("serving stream failed: {e}"))?;
+    let json = serde_json::to_string(&summary).map_err(|e| e.to_string())?;
+    eprintln!("serve summary: {json}");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,5 +376,19 @@ mod tests {
         let mut flags = HashMap::new();
         flags.insert("dataset".to_string(), "facebook".to_string());
         assert!(common_args(&flags).is_err());
+    }
+
+    #[test]
+    fn serve_flags() {
+        let mut flags = HashMap::new();
+        assert_eq!(parse_usize(&flags, "batch", 8).unwrap(), 8);
+        flags.insert("batch".to_string(), "32".to_string());
+        assert_eq!(parse_usize(&flags, "batch", 8).unwrap(), 32);
+        flags.insert("batch".to_string(), "lots".to_string());
+        assert!(parse_usize(&flags, "batch", 8).is_err());
+        assert!(
+            cmd_serve(&HashMap::new()).is_err(),
+            "serve requires --checkpoint"
+        );
     }
 }

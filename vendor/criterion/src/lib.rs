@@ -24,6 +24,8 @@ pub struct BenchStats {
     pub name: String,
     pub median_ns: f64,
     pub mean_ns: f64,
+    /// 95th-percentile sample (tail latency; what serving SLOs quote).
+    pub p95_ns: f64,
     pub max_ns: f64,
     pub iterations: u64,
 }
@@ -149,11 +151,13 @@ impl Bencher {
         xs.sort_by(f64::total_cmp);
         let median = xs[xs.len() / 2];
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let p95 = xs[(((xs.len() - 1) as f64) * 0.95).round() as usize];
         let max = *xs.last().unwrap();
         BenchStats {
             name: name.to_string(),
             median_ns: median,
             mean_ns: mean,
+            p95_ns: p95,
             max_ns: max,
             iterations: self.iterations,
         }
@@ -211,6 +215,8 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert!(r[0].median_ns > 0.0);
         assert!(r[0].iterations > 0);
+        assert!(r[0].p95_ns >= r[0].median_ns);
+        assert!(r[0].max_ns >= r[0].p95_ns);
     }
 
     #[test]
