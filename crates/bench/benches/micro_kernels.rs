@@ -307,6 +307,115 @@ fn small_workload_comparison(c: &mut Criterion) {
     }
 }
 
+/// Per-op read overhead of the tensor core on small operands, where the
+/// arithmetic is too cheap to hide bookkeeping. The `naive` variant is a
+/// faithful replica of the pre-PR-4 node layout — every value behind
+/// `Arc<RwLock<_>>`, every read a guard acquisition, every op output a
+/// fresh lock — while `lockfree` is the live `Tensor` under `no_grad`,
+/// whose forward values are immutable `Arc<Matrix>` reads with no lock on
+/// the value path. Same arithmetic, same allocation pattern; the gap is
+/// the lock traffic the value/tape split removed from serving and
+/// meta-test inference.
+fn tensor_op_overhead(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::RwLock;
+
+    /// Faithful replica of the pre-PR-4 node: every field of the old
+    /// `Inner` (id, value, grad slot, flags, parent edges) behind one
+    /// `Arc<RwLock<_>>`, a global id counter bumped per node, and every
+    /// value read taking a guard — the bookkeeping each small op paid
+    /// even under `no_grad`.
+    #[allow(dead_code)]
+    struct LockedInner {
+        id: u64,
+        value: Matrix,
+        grad: Option<Matrix>,
+        requires_grad: bool,
+        needs_grad: bool,
+        parents: Vec<LockedTensor>,
+    }
+    #[derive(Clone)]
+    struct LockedTensor(Arc<RwLock<LockedInner>>);
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+    impl LockedTensor {
+        fn constant(value: Matrix) -> Self {
+            Self(Arc::new(RwLock::new(LockedInner {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                value,
+                grad: None,
+                requires_grad: false,
+                needs_grad: false,
+                parents: Vec::new(),
+            })))
+        }
+        /// The old `from_op` under `no_grad`: the parents vec is built by
+        /// the caller and dropped when the node folds into a constant.
+        fn from_op(value: Matrix, parents: Vec<LockedTensor>) -> Self {
+            drop(parents);
+            Self::constant(value)
+        }
+        fn add(&self, o: &LockedTensor) -> Self {
+            let v = self.0.read().unwrap().value.add(&o.0.read().unwrap().value);
+            Self::from_op(v, vec![self.clone(), o.clone()])
+        }
+        fn mul(&self, o: &LockedTensor) -> Self {
+            let v = self
+                .0
+                .read()
+                .unwrap()
+                .value
+                .hadamard(&o.0.read().unwrap().value);
+            Self::from_op(v, vec![self.clone(), o.clone()])
+        }
+        fn scale(&self, k: f32) -> Self {
+            let v = self.0.read().unwrap().value.scale(k);
+            Self::from_op(v, vec![self.clone()])
+        }
+        fn sum(&self) -> f32 {
+            self.0.read().unwrap().value.as_slice().iter().sum()
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(41);
+    for n in [8usize, 32] {
+        let data = |rng: &mut StdRng| -> Vec<f32> {
+            (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+        };
+        let (ma, mb) = (
+            Matrix::from_vec(n, n, data(&mut rng)),
+            Matrix::from_vec(n, n, data(&mut rng)),
+        );
+        let (la, lb) = (
+            LockedTensor::constant(ma.clone()),
+            LockedTensor::constant(mb.clone()),
+        );
+        let (ta, tb) = (Tensor::constant(ma), Tensor::constant(mb));
+        let group_name = format!("tensor_op_overhead_{n}x{n}_chain");
+        let mut g = c.benchmark_group(&group_name);
+        g.bench_function("naive", |bch| {
+            bch.iter(|| {
+                let mut acc = la.add(&lb);
+                for _ in 0..4 {
+                    acc = acc.mul(&lb).add(&la).scale(0.5);
+                }
+                black_box(acc.sum())
+            })
+        });
+        g.bench_function("lockfree", |bch| {
+            bch.iter(|| {
+                cgnp_tensor::no_grad(|| {
+                    let mut acc = ta.add(&tb);
+                    for _ in 0..4 {
+                        acc = acc.mul(&tb).add(&ta).scale(0.5);
+                    }
+                    black_box(acc.value_ref().as_slice().iter().sum::<f32>())
+                })
+            })
+        });
+        g.finish();
+    }
+}
+
 /// Writes `BENCH_kernels.json` at the workspace root: a machine-readable
 /// baseline of the naive/blocked/parallel comparison for the perf
 /// trajectory across PRs.
@@ -356,6 +465,7 @@ criterion_group!(
     kernel_backend_comparison,
     dispatch_overhead,
     small_workload_comparison,
+    tensor_op_overhead,
     spmm_bench,
     dense_matmul_bench,
     gat_forward_bench,

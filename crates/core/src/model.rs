@@ -111,7 +111,7 @@ impl Cgnp {
             let mut fctx = ForwardCtx::eval(rng);
             let ctx = self.context(prepared, &prepared.task.support, &mut fctx);
             let probs = self.logits(&ctx, q_star).sigmoid();
-            probs.value().as_slice().to_vec()
+            probs.value_ref().as_slice().to_vec()
         })
     }
 
@@ -128,7 +128,7 @@ impl Cgnp {
             let ctx = self.context(prepared, &prepared.task.support, &mut fctx);
             Decoder::score_multi(&ctx, queries)
                 .sigmoid()
-                .value()
+                .value_ref()
                 .as_slice()
                 .to_vec()
         })
@@ -162,7 +162,7 @@ impl Cgnp {
         cgnp_tensor::no_grad(|| {
             Decoder::score_multi(context, queries)
                 .sigmoid()
-                .value()
+                .value_ref()
                 .as_slice()
                 .to_vec()
         })
@@ -252,7 +252,7 @@ impl Cgnp {
                 .map(|ex| {
                     self.logits(&ctx, ex.query)
                         .sigmoid()
-                        .value()
+                        .value_ref()
                         .as_slice()
                         .to_vec()
                 })

@@ -1,0 +1,143 @@
+//! Stress test for the lock-free tensor core under concurrent serving:
+//! many threads drive batched inference against ONE shared `Cgnp` (and
+//! one shared `PreparedTask`) at the same time, while every result must
+//! stay bitwise identical to the single-threaded path. This is the
+//! traffic shape of `ServeSession` under load and of `CsLearner`'s
+//! pool-parallel meta-test, and it guards the value/tape split: forward
+//! values are immutable and read without locks, so no interleaving may
+//! perturb them.
+
+use cgnp_core::{Cgnp, CgnpConfig, CommutativeOp, DecoderKind, PreparedTask};
+use cgnp_data::{generate_sbm, model_input_dim, sample_task, SbmConfig, TaskConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn prepared_task(seed: u64) -> PreparedTask {
+    let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
+    let cfg = TaskConfig {
+        subgraph_size: 60,
+        shots: 4,
+        n_targets: 5,
+        ..Default::default()
+    };
+    let task = sample_task(&ag, &cfg, None, &mut StdRng::seed_from_u64(seed)).expect("task");
+    PreparedTask::new(task)
+}
+
+fn model_for(p: &PreparedTask, decoder: DecoderKind, op: CommutativeOp) -> Cgnp {
+    let in_dim = model_input_dim(&p.task.graph);
+    let cfg = CgnpConfig::paper_default(in_dim, 8)
+        .with_decoder(decoder)
+        .with_commutative(op);
+    Cgnp::new(cfg, 5)
+}
+
+fn query_batch(p: &PreparedTask) -> (Vec<Vec<usize>>, Vec<u64>) {
+    let batch: Vec<Vec<usize>> = p
+        .task
+        .targets
+        .iter()
+        .map(|ex| vec![ex.query])
+        .chain([p.task.targets.iter().map(|ex| ex.query).take(3).collect()])
+        .collect();
+    let seeds: Vec<u64> = (0..batch.len() as u64).collect();
+    (batch, seeds)
+}
+
+#[test]
+fn concurrent_predict_multi_batch_matches_serial_bitwise() {
+    let p = prepared_task(31);
+    let model = model_for(&p, DecoderKind::Mlp, CommutativeOp::SelfAttention);
+    let (batch, seeds) = query_batch(&p);
+    let serial = model.predict_multi_batch_with_threads(&p, &p.task.support, &batch, &seeds, 1);
+
+    // 8 threads hammer the same model/prepared-task handles at once, each
+    // repeatedly and with internal pool fan-out, so lock-free value reads
+    // interleave with each other and with worker scheduling.
+    const CALLERS: usize = 8;
+    const ROUNDS: usize = 4;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CALLERS)
+            .map(|caller| {
+                let (model, p, batch, seeds, serial) = (&model, &p, &batch, &seeds, &serial);
+                s.spawn(move || {
+                    for round in 0..ROUNDS {
+                        let threads = 1 + (caller + round) % 3;
+                        let out = model.predict_multi_batch_with_threads(
+                            p,
+                            &p.task.support,
+                            batch,
+                            seeds,
+                            threads,
+                        );
+                        assert_eq!(
+                            &out, serial,
+                            "caller {caller} round {round} ({threads} threads) diverged"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("stress caller panicked");
+        }
+    });
+}
+
+#[test]
+fn concurrent_inference_under_every_decoder_is_stable() {
+    // Narrower sweep over all decoder/⊕ variants: every forward code path
+    // (MLP decoder dropout plumbing, GNN decoder message passing,
+    // attention ⊕) must be safe to share.
+    let p = prepared_task(32);
+    for decoder in [
+        DecoderKind::InnerProduct,
+        DecoderKind::Mlp,
+        DecoderKind::Gnn,
+    ] {
+        for op in [CommutativeOp::Mean, CommutativeOp::SelfAttention] {
+            let model = model_for(&p, decoder, op);
+            let (batch, seeds) = query_batch(&p);
+            let serial =
+                model.predict_multi_batch_with_threads(&p, &p.task.support, &batch, &seeds, 1);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let (model, p, batch, seeds, serial) = (&model, &p, &batch, &seeds, &serial);
+                    s.spawn(move || {
+                        let out = model.predict_multi_batch_with_threads(
+                            p,
+                            &p.task.support,
+                            batch,
+                            seeds,
+                            2,
+                        );
+                        assert_eq!(&out, serial, "{decoder:?}/{op:?} diverged under threads");
+                    });
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn concurrent_inference_leaves_no_autograd_state() {
+    // Shared-model serving must not grow tape state on any thread: after
+    // the stampede, the model's parameters hold no gradients and tape
+    // recording is still enabled on the main thread.
+    let p = prepared_task(33);
+    let model = model_for(&p, DecoderKind::InnerProduct, CommutativeOp::Mean);
+    let (batch, seeds) = query_batch(&p);
+    std::thread::scope(|s| {
+        for _ in 0..6 {
+            let (model, p, batch, seeds) = (&model, &p, &batch, &seeds);
+            s.spawn(move || {
+                let _ = model.predict_multi_batch_with_threads(p, &p.task.support, batch, seeds, 2);
+            });
+        }
+    });
+    use cgnp_nn::Module;
+    for param in model.params() {
+        assert!(param.grad().is_none(), "inference accumulated a gradient");
+    }
+    assert!(cgnp_tensor::grad_enabled(), "tape flag leaked");
+}

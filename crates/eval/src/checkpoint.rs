@@ -2,22 +2,183 @@
 //! JSON and restore them, so meta-trained models can be reused across
 //! processes (the library-adoption path: train once, answer queries many
 //! times).
+//!
+//! Checkpoints saved from a [`cgnp_core::Cgnp`] additionally embed an
+//! [`ArchSpec`] — the architecture needed to rebuild the model — so
+//! `cgnp serve` and `ServeSession` can restore a model without the
+//! operator repeating the training-time CLI flags. The field is optional
+//! in the payload: legacy checkpoints (no `arch`) still load, with the
+//! caller supplying the architecture explicitly as before.
 
 use std::io;
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
-use cgnp_nn::Module;
+use cgnp_core::{CgnpConfig, CommutativeOp, DecoderKind};
+use cgnp_nn::{Activation, GnnConfig, GnnKind, Module};
 use cgnp_tensor::Matrix;
 
 /// A serialisable snapshot of a module's parameters.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written (the vendored serde derive
+/// has no field attributes): `arch` is emitted only when present, and a
+/// missing key reads back as `None`, so legacy checkpoints round-trip
+/// unchanged.
+#[derive(Clone, Debug)]
 pub struct Checkpoint {
     /// Format marker for forward compatibility.
     pub format: String,
     /// Parameter matrices in the module's stable order.
     pub weights: Vec<SerializedMatrix>,
+    /// Architecture the weights were trained with, when known. Absent in
+    /// legacy checkpoints and in snapshots of bare modules that are not a
+    /// full CGNP model.
+    pub arch: Option<ArchSpec>,
+}
+
+impl Serialize for Checkpoint {
+    fn serialize(&self, out: &mut serde::json::Emitter) {
+        out.begin_object();
+        out.element();
+        out.key("format");
+        self.format.serialize(out);
+        out.element();
+        out.key("weights");
+        self.weights.serialize(out);
+        if let Some(arch) = &self.arch {
+            out.element();
+            out.key("arch");
+            arch.serialize(out);
+        }
+        out.end_object();
+    }
+}
+
+impl Deserialize for Checkpoint {
+    fn deserialize(v: &serde::json::Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            format: serde::field(v, "format")?,
+            weights: serde::field(v, "weights")?,
+            arch: serde::optional_field(v, "arch")?,
+        })
+    }
+}
+
+/// Self-describing architecture payload: everything needed to rebuild the
+/// [`cgnp_core::Cgnp`] a checkpoint belongs to (enums flattened to
+/// lowercase strings so the JSON stays hand-readable and stable across
+/// enum re-orderings). Training-only hyperparameters (learning rate,
+/// epochs, clipping) are deliberately not recorded: they do not affect
+/// how restored weights are evaluated or served.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArchSpec {
+    /// Encoder layer family: `gcn` | `gat` | `sage`.
+    pub encoder_kind: String,
+    /// Encoder input width (`1 + base_feature_dim`); informational, since
+    /// serving re-binds it to the serving graph's feature width.
+    pub in_dim: usize,
+    pub hidden_dim: usize,
+    pub out_dim: usize,
+    pub n_layers: usize,
+    pub dropout: f32,
+    /// Inter-layer activation: `relu` | `elu` | `tanh` | `none`.
+    pub activation: String,
+    /// Commutative ⊕: `sum` | `mean` | `self_attention`.
+    pub commutative: String,
+    /// Decoder ρθ: `ip` | `mlp` | `gnn`.
+    pub decoder: String,
+    pub mlp_hidden: usize,
+    pub attention_dim: usize,
+}
+
+impl ArchSpec {
+    /// Records the architecture of a model configuration.
+    pub fn from_config(cfg: &CgnpConfig) -> Self {
+        Self {
+            encoder_kind: match cfg.encoder.kind {
+                GnnKind::Gcn => "gcn",
+                GnnKind::Gat => "gat",
+                GnnKind::Sage => "sage",
+            }
+            .to_string(),
+            in_dim: cfg.encoder.in_dim,
+            hidden_dim: cfg.encoder.hidden_dim,
+            out_dim: cfg.encoder.out_dim,
+            n_layers: cfg.encoder.n_layers,
+            dropout: cfg.encoder.dropout,
+            activation: match cfg.encoder.activation {
+                Activation::Relu => "relu",
+                Activation::Elu => "elu",
+                Activation::Tanh => "tanh",
+                Activation::None => "none",
+            }
+            .to_string(),
+            commutative: match cfg.commutative {
+                CommutativeOp::Sum => "sum",
+                CommutativeOp::Mean => "mean",
+                CommutativeOp::SelfAttention => "self_attention",
+            }
+            .to_string(),
+            decoder: match cfg.decoder {
+                DecoderKind::InnerProduct => "ip",
+                DecoderKind::Mlp => "mlp",
+                DecoderKind::Gnn => "gnn",
+            }
+            .to_string(),
+            mlp_hidden: cfg.mlp_hidden,
+            attention_dim: cfg.attention_dim,
+        }
+    }
+
+    /// Rebuilds a model configuration (training hyperparameters take the
+    /// paper defaults; they are irrelevant for restored weights).
+    ///
+    /// # Errors
+    /// Fails on unknown enum strings, as from a hand-edited or
+    /// future-format checkpoint.
+    pub fn to_config(&self) -> Result<CgnpConfig, String> {
+        let kind = match self.encoder_kind.as_str() {
+            "gcn" => GnnKind::Gcn,
+            "gat" => GnnKind::Gat,
+            "sage" => GnnKind::Sage,
+            other => return Err(format!("unknown encoder kind {other:?} in checkpoint")),
+        };
+        let activation = match self.activation.as_str() {
+            "relu" => Activation::Relu,
+            "elu" => Activation::Elu,
+            "tanh" => Activation::Tanh,
+            "none" => Activation::None,
+            other => return Err(format!("unknown activation {other:?} in checkpoint")),
+        };
+        let commutative = match self.commutative.as_str() {
+            "sum" => CommutativeOp::Sum,
+            "mean" => CommutativeOp::Mean,
+            "self_attention" => CommutativeOp::SelfAttention,
+            other => return Err(format!("unknown commutative op {other:?} in checkpoint")),
+        };
+        let decoder = match self.decoder.as_str() {
+            "ip" => DecoderKind::InnerProduct,
+            "mlp" => DecoderKind::Mlp,
+            "gnn" => DecoderKind::Gnn,
+            other => return Err(format!("unknown decoder {other:?} in checkpoint")),
+        };
+        let mut cfg = CgnpConfig::paper_default(self.in_dim, self.hidden_dim)
+            .with_decoder(decoder)
+            .with_commutative(commutative);
+        cfg.encoder = GnnConfig {
+            kind,
+            in_dim: self.in_dim,
+            hidden_dim: self.hidden_dim,
+            out_dim: self.out_dim,
+            n_layers: self.n_layers,
+            dropout: self.dropout,
+            activation,
+        };
+        cfg.mlp_hidden = self.mlp_hidden;
+        cfg.attention_dim = self.attention_dim;
+        Ok(cfg)
+    }
 }
 
 /// Row-major matrix payload.
@@ -46,11 +207,22 @@ impl From<&SerializedMatrix> for Matrix {
 
 const FORMAT: &str = "cgnp-checkpoint-v1";
 
-/// Snapshots a module's weights.
+/// Snapshots a module's weights (no architecture payload; see
+/// [`snapshot_with_arch`]).
 pub fn snapshot(module: &dyn Module) -> Checkpoint {
     Checkpoint {
         format: FORMAT.to_string(),
         weights: module.export_weights().iter().map(Into::into).collect(),
+        arch: None,
+    }
+}
+
+/// Snapshots a module's weights together with the architecture they
+/// belong to, making the checkpoint self-describing.
+pub fn snapshot_with_arch(module: &dyn Module, arch: ArchSpec) -> Checkpoint {
+    Checkpoint {
+        arch: Some(arch),
+        ..snapshot(module)
     }
 }
 
@@ -115,9 +287,23 @@ pub fn restore(module: &dyn Module, ckpt: &Checkpoint) -> Result<(), String> {
 /// one. The temp file lives in the same directory because `rename` is
 /// only atomic within one filesystem.
 pub fn save_to_file(module: &dyn Module, path: impl AsRef<Path>) -> io::Result<()> {
+    write_checkpoint(&snapshot(module), path)
+}
+
+/// Saves a module's weights plus their [`ArchSpec`] as JSON (atomic, see
+/// [`save_to_file`]). The resulting checkpoint is self-describing:
+/// `cgnp serve` can restore it without architecture flags.
+pub fn save_with_arch(
+    module: &dyn Module,
+    arch: ArchSpec,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    write_checkpoint(&snapshot_with_arch(module, arch), path)
+}
+
+fn write_checkpoint(ckpt: &Checkpoint, path: impl AsRef<Path>) -> io::Result<()> {
     let path = path.as_ref();
-    let ckpt = snapshot(module);
-    let json = serde_json::to_string(&ckpt).map_err(io::Error::other)?;
+    let json = serde_json::to_string(ckpt).map_err(io::Error::other)?;
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(format!(".tmp.{}", std::process::id()));
     let tmp = std::path::PathBuf::from(tmp);
@@ -131,9 +317,16 @@ pub fn save_to_file(module: &dyn Module, path: impl AsRef<Path>) -> io::Result<(
 
 /// Loads JSON weights into a module.
 pub fn load_from_file(module: &dyn Module, path: impl AsRef<Path>) -> io::Result<()> {
-    let json = std::fs::read_to_string(path)?;
-    let ckpt: Checkpoint = serde_json::from_str(&json).map_err(io::Error::other)?;
+    let ckpt = load_checkpoint_file(path)?;
     restore(module, &ckpt).map_err(io::Error::other)
+}
+
+/// Parses a checkpoint file without restoring it, so callers can inspect
+/// the embedded [`ArchSpec`] (if any) before building a model to load
+/// the weights into.
+pub fn load_checkpoint_file(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
+    let json = std::fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(io::Error::other)
 }
 
 #[cfg(test)]
@@ -233,5 +426,69 @@ mod tests {
         assert!(json.contains("cgnp-checkpoint-v1"));
         let back: Checkpoint = serde_json::from_str(&json).unwrap();
         assert_eq!(back.weights.len(), ckpt.weights.len());
+    }
+
+    #[test]
+    fn arch_spec_roundtrips_every_variant() {
+        use cgnp_core::{CommutativeOp, DecoderKind};
+        use cgnp_nn::GnnKind;
+        for kind in [GnnKind::Gcn, GnnKind::Gat, GnnKind::Sage] {
+            for dec in [
+                DecoderKind::InnerProduct,
+                DecoderKind::Mlp,
+                DecoderKind::Gnn,
+            ] {
+                for op in [
+                    CommutativeOp::Sum,
+                    CommutativeOp::Mean,
+                    CommutativeOp::SelfAttention,
+                ] {
+                    let cfg = CgnpConfig::paper_default(9, 16)
+                        .with_decoder(dec)
+                        .with_commutative(op)
+                        .with_encoder_kind(kind);
+                    let spec = ArchSpec::from_config(&cfg);
+                    let back = spec.to_config().unwrap();
+                    assert_eq!(ArchSpec::from_config(&back), spec);
+                    assert_eq!(back.decoder, dec);
+                    assert_eq!(back.commutative, op);
+                    assert_eq!(back.encoder.kind, kind);
+                    assert_eq!(back.encoder.hidden_dim, 16);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arch_spec_rejects_unknown_strings() {
+        let mut spec = ArchSpec::from_config(&CgnpConfig::paper_default(4, 8));
+        spec.decoder = "transformer".into();
+        let err = spec.to_config().unwrap_err();
+        assert!(err.contains("transformer"), "{err}");
+    }
+
+    #[test]
+    fn save_with_arch_roundtrips_and_legacy_files_still_parse() {
+        let dir = std::env::temp_dir().join("cgnp-ckpt-arch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("with-arch.json");
+        let a = encoder(40);
+        let arch = ArchSpec::from_config(&CgnpConfig::paper_default(4, 8));
+        save_with_arch(&a, arch.clone(), &path).unwrap();
+        let back = load_checkpoint_file(&path).unwrap();
+        assert_eq!(back.arch.as_ref(), Some(&arch));
+        // The arch payload does not interfere with weight restoration.
+        let b = encoder(41);
+        load_from_file(&b, &path).unwrap();
+        for (x, y) in a.export_weights().iter().zip(b.export_weights().iter()) {
+            assert!(x.approx_eq(y, 0.0));
+        }
+        // A legacy checkpoint (no `arch` key at all) parses to `None`.
+        let legacy = dir.join("legacy.json");
+        save_to_file(&a, &legacy).unwrap();
+        let json = std::fs::read_to_string(&legacy).unwrap();
+        assert!(!json.contains("\"arch\""), "legacy save must omit arch");
+        assert!(load_checkpoint_file(&legacy).unwrap().arch.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -26,7 +26,10 @@ pub mod methods;
 pub mod metrics;
 pub mod report;
 
-pub use checkpoint::{load_from_file, restore, save_to_file, snapshot, Checkpoint};
+pub use checkpoint::{
+    load_checkpoint_file, load_from_file, restore, save_to_file, save_with_arch, snapshot,
+    snapshot_with_arch, ArchSpec, Checkpoint,
+};
 pub use experiments::{
     build_cite2cora_tasks, build_facebook_tasks, build_single_graph_tasks, run_cell,
     ExperimentCell, ScaleSettings,

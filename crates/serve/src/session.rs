@@ -131,21 +131,33 @@ impl ServeSession {
         })
     }
 
-    /// Restores a checkpoint into a fresh model built from `template`
-    /// (whose encoder input width is bound to the serving graph here) and
-    /// wraps it in a session. The template must describe the same
-    /// architecture the checkpoint was trained with — hidden width,
-    /// decoder, encoder kind — or restoration fails with a shape error.
+    /// Restores a checkpoint into a fresh model and wraps it in a
+    /// session. Self-describing checkpoints (saved by `cgnp train`, which
+    /// embeds an [`cgnp_eval::ArchSpec`]) rebuild their own architecture;
+    /// `template` is only consulted for legacy checkpoints without one,
+    /// in which case it must describe the architecture the checkpoint was
+    /// trained with — hidden width, decoder, encoder kind — or
+    /// restoration fails with a shape error. Either way the encoder input
+    /// width is re-bound to the serving graph here.
     pub fn from_checkpoint(
         path: impl AsRef<Path>,
-        mut template: CgnpConfig,
+        template: CgnpConfig,
         task: Task,
         cfg: ServeConfig,
     ) -> Result<Self, String> {
-        template.encoder.in_dim = model_input_dim(&task.graph);
-        let model = Cgnp::new(template, cfg.seed);
-        cgnp_eval::load_from_file(&model, path.as_ref())
-            .map_err(|e| format!("loading checkpoint {:?}: {e}", path.as_ref()))?;
+        let path = path.as_ref();
+        let ckpt = cgnp_eval::load_checkpoint_file(path)
+            .map_err(|e| format!("loading checkpoint {path:?}: {e}"))?;
+        let mut config = match &ckpt.arch {
+            Some(spec) => spec
+                .to_config()
+                .map_err(|e| format!("checkpoint {path:?} carries a bad architecture: {e}"))?,
+            None => template,
+        };
+        config.encoder.in_dim = model_input_dim(&task.graph);
+        let model = Cgnp::new(config, cfg.seed);
+        cgnp_eval::restore(&model, &ckpt)
+            .map_err(|e| format!("loading checkpoint {path:?}: {e}"))?;
         Self::new(model, task, cfg)
     }
 

@@ -70,6 +70,42 @@ fn checkpoint_to_session_roundtrip_is_bitwise_identical() {
 }
 
 #[test]
+fn self_describing_checkpoint_ignores_mismatched_template() {
+    // A checkpoint saved with an embedded ArchSpec must restore from its
+    // own architecture: the template (standing in for wrong CLI flags) is
+    // not consulted, and predictions are bitwise identical to a session
+    // built with the correct template from a legacy checkpoint.
+    let (model, task) = trained_model_and_task(27);
+    let dir = std::env::temp_dir().join("cgnp-serve-selfdesc");
+    std::fs::create_dir_all(&dir).unwrap();
+    let with_arch = dir.join("with-arch.json");
+    let legacy = dir.join("legacy.json");
+    cgnp_eval::save_with_arch(
+        &model,
+        cgnp_eval::ArchSpec::from_config(model.config()),
+        &with_arch,
+    )
+    .unwrap();
+    cgnp_eval::save_to_file(&model, &legacy).unwrap();
+
+    // Deliberately wrong hidden width and decoder: would fail on a legacy
+    // checkpoint (see `from_checkpoint_rejects_mismatched_template`).
+    let wrong = CgnpConfig::paper_default(1, 16).with_decoder(cgnp_core::DecoderKind::Mlp);
+    let auto = ServeSession::from_checkpoint(&with_arch, wrong, task.clone(), serve_cfg())
+        .expect("self-describing checkpoint must not need matching flags");
+    let right = CgnpConfig::paper_default(1, 8);
+    let explicit =
+        ServeSession::from_checkpoint(&legacy, right, task.clone(), serve_cfg()).unwrap();
+
+    for ex in &task.targets {
+        let a = auto.predict(&[ex.query], None).unwrap();
+        let b = explicit.predict(&[ex.query], None).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice(), "query {}", ex.query);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn from_checkpoint_rejects_mismatched_template() {
     let (model, task) = trained_model_and_task(22);
     let dir = std::env::temp_dir().join("cgnp-serve-mismatch");

@@ -43,7 +43,7 @@ pub use matrix::Matrix;
 pub use ops::{softmax_in_place, stable_sigmoid, Reduction};
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
 pub use sparse::{CsrMatrix, SparseOperator};
-pub use tensor::{grad_enabled, no_grad, Tensor};
+pub use tensor::{grad_enabled, no_grad, Tensor, ValueRef};
 
 #[cfg(test)]
 mod proptests {

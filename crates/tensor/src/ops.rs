@@ -258,11 +258,13 @@ impl Tensor {
 
     /// Exponential linear unit.
     pub fn elu(&self, alpha: f32) -> Tensor {
-        let value = self
-            .value_ref()
-            .map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
-        let y = value.clone();
-        Tensor::from_op(
+        let value =
+            Arc::new(
+                self.value_ref()
+                    .map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) }),
+            );
+        let y = Arc::clone(&value);
+        Tensor::from_op_shared(
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -285,9 +287,9 @@ impl Tensor {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Tensor {
-        let value = self.value_ref().map(stable_sigmoid);
-        let y = value.clone();
-        Tensor::from_op(
+        let value = Arc::new(self.value_ref().map(stable_sigmoid));
+        let y = Arc::clone(&value);
+        Tensor::from_op_shared(
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -299,9 +301,9 @@ impl Tensor {
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Tensor {
-        let value = self.value_ref().map(f32::tanh);
-        let y = value.clone();
-        Tensor::from_op(
+        let value = Arc::new(self.value_ref().map(f32::tanh));
+        let y = Arc::clone(&value);
+        Tensor::from_op_shared(
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -340,16 +342,16 @@ impl Tensor {
 
     /// Row-wise softmax.
     pub fn row_softmax(&self) -> Tensor {
-        let value = {
+        let value = Arc::new({
             let x = self.value_ref();
             let mut out = x.clone();
             for r in 0..out.rows() {
                 softmax_in_place(out.row_mut(r));
             }
             out
-        };
-        let y = value.clone();
-        Tensor::from_op(
+        });
+        let y = Arc::clone(&value);
+        Tensor::from_op_shared(
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -499,9 +501,10 @@ impl Tensor {
             }
             Matrix::from_vec(xs.len(), 1, out)
         };
-        let y = value.clone();
+        let value = Arc::new(value);
+        let y = Arc::clone(&value);
         let seg: Vec<usize> = seg.to_vec();
-        Tensor::from_op(
+        Tensor::from_op_shared(
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -686,9 +689,9 @@ impl Tensor {
 impl Tensor {
     /// Element-wise exponential.
     pub fn exp(&self) -> Tensor {
-        let value = self.value_ref().map(f32::exp);
-        let y = value.clone();
-        Tensor::from_op(
+        let value = Arc::new(self.value_ref().map(f32::exp));
+        let y = Arc::clone(&value);
+        Tensor::from_op_shared(
             value,
             vec![self.clone()],
             Box::new(move |g, parents| parents[0].accum_grad(&g.hadamard(&y))),

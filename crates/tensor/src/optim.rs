@@ -142,8 +142,7 @@ impl Optimizer for Adam {
         for (i, p) in self.params.iter().enumerate() {
             let Some(mut grad) = p.grad() else { continue };
             if self.weight_decay > 0.0 {
-                let value = p.value();
-                grad.add_scaled_assign(&value, self.weight_decay);
+                grad.add_scaled_assign(&p.value_ref(), self.weight_decay);
             }
             let m = &mut self.m[i];
             let v = &mut self.v[i];

@@ -14,20 +14,39 @@
 //! * Nodes whose inputs all have `needs_grad == false` are folded into
 //!   constants at construction time, so inference with
 //!   [`no_grad`] builds no tape at all.
-//! * Nodes are `Arc<RwLock<_>>`, so a `Tensor` is `Send + Sync`: meta-test
-//!   workers share one trained model (and the prepared graph operators it
-//!   closes over) instead of rebuilding a replica per thread. Training
-//!   mutates weights from a single thread; parallel inference under
-//!   [`no_grad`] only ever takes read locks.
+//!
+//! ## Locking discipline: immutable values, one mutable cell
+//!
+//! A node is split into two halves with very different mutability:
+//!
+//! * **Forward value** — an immutable `Arc<Matrix>` fixed at construction
+//!   for every op output and constant. Reading it ([`Tensor::value_ref`])
+//!   is a plain pointer dereference: no lock, no atomic, no guard. This is
+//!   the entire hot path of [`no_grad`] inference, so meta-test workers
+//!   and serving threads sharing one trained model pay zero
+//!   synchronisation per op. Leaf parameters are the one exception: the
+//!   optimiser must update them through shared handles, so their live
+//!   value sits in a swappable slot (`RwLock<Arc<Matrix>>`) that readers
+//!   lock only long enough to clone the inner `Arc` out — the guard never
+//!   outlives `value_ref` itself, and the handful of parameter reads per
+//!   layer are the only locked reads in a forward pass.
+//! * **Tape cell** — gradient state and tape metadata (the grad
+//!   accumulator behind a `Mutex`, plus the immutable parent edges and
+//!   backward closure) live in a separate `Arc<TapeNode>` that only
+//!   `backward` and the optimiser touch. Constants carry no cell at all:
+//!   `needs_grad` is simply "does a cell exist", checked without any
+//!   synchronisation.
+//!
+//! `Tensor` is `Send + Sync`: training mutates leaf slots from a single
+//! thread while parallel inference under [`no_grad`] reads immutable
+//! values, so the remaining locks are uncontended in practice and never
+//! held across kernels.
 
 use std::collections::HashSet;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::matrix::Matrix;
-
-static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     static GRAD_ENABLED: std::cell::Cell<bool> = const { std::cell::Cell::new(true) };
@@ -57,71 +76,75 @@ pub fn grad_enabled() -> bool {
 
 pub(crate) type BackwardFn = Box<dyn Fn(&Matrix, &[Tensor]) + Send + Sync>;
 
-struct Inner {
-    id: u64,
-    value: Matrix,
-    grad: Option<Matrix>,
+/// Where a tensor's forward value lives.
+#[derive(Clone)]
+enum Storage {
+    /// Immutable value fixed at construction (constants and op outputs).
+    /// Reads are a plain dereference.
+    Fixed(Arc<Matrix>),
+    /// Swappable slot of a leaf parameter: optimisers replace the inner
+    /// `Arc` through shared handles. The lock is held only to clone the
+    /// `Arc` in or out, never across a kernel.
+    Leaf(Arc<RwLock<Arc<Matrix>>>),
+}
+
+/// Tape half of a node: present exactly when gradients flow through it.
+/// Parent edges and the backward closure are immutable after construction
+/// (the tape topology never changes); only the gradient accumulator
+/// mutates, behind its own mutex.
+struct TapeNode {
     /// Leaf parameters that the optimiser updates.
     requires_grad: bool,
-    /// `requires_grad` or transitively reachable from such a leaf.
-    needs_grad: bool,
     parents: Vec<Tensor>,
     backward: Option<BackwardFn>,
+    grad: Mutex<Option<Matrix>>,
 }
 
 /// A node in the autodiff graph. Cloning is cheap (reference-counted),
-/// and clones may cross threads: see the module docs for the locking
-/// discipline that keeps the `RwLock` uncontended.
+/// and clones may cross threads: see the module docs for the value/tape
+/// split that keeps forward reads lock-free.
 #[derive(Clone)]
 pub struct Tensor {
-    inner: Arc<RwLock<Inner>>,
+    storage: Storage,
+    tape: Option<Arc<TapeNode>>,
 }
 
-/// Shared borrow of a tensor's forward value (a mapped read guard).
+/// Shared borrow of a tensor's forward value. For constants and op
+/// outputs this is a plain borrow; for leaf parameters it owns a cheap
+/// `Arc` snapshot of the current value (no lock is held after
+/// [`Tensor::value_ref`] returns, so it can never deadlock or block
+/// writers while alive).
 pub struct ValueRef<'a> {
-    guard: RwLockReadGuard<'a, Inner>,
+    inner: ValueRefInner<'a>,
+}
+
+enum ValueRefInner<'a> {
+    Borrowed(&'a Matrix),
+    Owned(Arc<Matrix>),
 }
 
 impl Deref for ValueRef<'_> {
     type Target = Matrix;
 
     fn deref(&self) -> &Matrix {
-        &self.guard.value
+        match &self.inner {
+            ValueRefInner::Borrowed(m) => m,
+            ValueRefInner::Owned(a) => a,
+        }
     }
 }
 
 impl Tensor {
-    fn read(&self) -> RwLockReadGuard<'_, Inner> {
-        self.inner.read().expect("tensor lock poisoned")
-    }
-
-    fn write(&self) -> RwLockWriteGuard<'_, Inner> {
-        self.inner.write().expect("tensor lock poisoned")
-    }
-
-    fn new_inner(
-        value: Matrix,
-        requires_grad: bool,
-        needs_grad: bool,
-        parents: Vec<Tensor>,
-        backward: Option<BackwardFn>,
-    ) -> Self {
+    fn constant_shared(value: Arc<Matrix>) -> Self {
         Self {
-            inner: Arc::new(RwLock::new(Inner {
-                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
-                value,
-                grad: None,
-                requires_grad,
-                needs_grad,
-                parents,
-                backward,
-            })),
+            storage: Storage::Fixed(value),
+            tape: None,
         }
     }
 
     /// A constant tensor; gradients never flow into it.
     pub fn constant(value: Matrix) -> Self {
-        Self::new_inner(value, false, false, Vec::new(), None)
+        Self::constant_shared(Arc::new(value))
     }
 
     /// A scalar constant.
@@ -129,113 +152,176 @@ impl Tensor {
         Self::constant(Matrix::scalar(v))
     }
 
-    /// A trainable leaf parameter.
+    /// A trainable leaf parameter. This is the constructor checkpoint
+    /// restoration and every layer go through: leaves are the only nodes
+    /// whose value can change after construction.
     pub fn parameter(value: Matrix) -> Self {
-        Self::new_inner(value, true, true, Vec::new(), None)
+        Self {
+            storage: Storage::Leaf(Arc::new(RwLock::new(Arc::new(value)))),
+            tape: Some(Arc::new(TapeNode {
+                requires_grad: true,
+                parents: Vec::new(),
+                backward: None,
+                grad: Mutex::new(None),
+            })),
+        }
     }
 
     /// Builds an op node. If no parent needs gradients (or the tape is
     /// disabled via [`no_grad`]), the node degenerates into a constant.
     pub(crate) fn from_op(value: Matrix, parents: Vec<Tensor>, backward: BackwardFn) -> Self {
+        Self::from_op_shared(Arc::new(value), parents, backward)
+    }
+
+    /// [`Tensor::from_op`] for ops whose backward closure captures the
+    /// output value (sigmoid, tanh, softmax, …): the node and the closure
+    /// share one `Arc` instead of copying the matrix.
+    pub(crate) fn from_op_shared(
+        value: Arc<Matrix>,
+        parents: Vec<Tensor>,
+        backward: BackwardFn,
+    ) -> Self {
         let record = grad_enabled() && parents.iter().any(|p| p.needs_grad());
         if record {
-            Self::new_inner(value, false, true, parents, Some(backward))
+            Self {
+                storage: Storage::Fixed(value),
+                tape: Some(Arc::new(TapeNode {
+                    requires_grad: false,
+                    parents,
+                    backward: Some(backward),
+                    grad: Mutex::new(None),
+                })),
+            }
         } else {
-            Self::constant(value)
+            Self::constant_shared(value)
         }
     }
 
-    /// Unique node id.
+    /// Node identity: unique among live tape-carrying nodes (leaves and
+    /// recorded ops); constants are interchangeable and all report 0.
     pub fn id(&self) -> u64 {
-        self.read().id
+        self.tape.as_ref().map_or(0, |t| Arc::as_ptr(t) as u64)
     }
 
     /// `(rows, cols)` of the stored value.
     pub fn shape(&self) -> (usize, usize) {
-        self.read().value.shape()
+        self.value_ref().shape()
     }
 
     /// Number of rows.
     pub fn rows(&self) -> usize {
-        self.read().value.rows()
+        self.value_ref().rows()
     }
 
     /// Number of columns.
     pub fn cols(&self) -> usize {
-        self.read().value.cols()
+        self.value_ref().cols()
     }
 
-    /// Borrow of the forward value.
+    /// Borrow of the forward value: guard-free for constants and op
+    /// outputs, an `Arc` snapshot for leaf parameters.
     pub fn value_ref(&self) -> ValueRef<'_> {
-        ValueRef { guard: self.read() }
+        match &self.storage {
+            Storage::Fixed(m) => ValueRef {
+                inner: ValueRefInner::Borrowed(m),
+            },
+            Storage::Leaf(slot) => ValueRef {
+                inner: ValueRefInner::Owned(Arc::clone(
+                    &slot.read().expect("tensor value lock poisoned"),
+                )),
+            },
+        }
+    }
+
+    /// Shared handle on the forward value (no matrix copy).
+    pub fn value_arc(&self) -> Arc<Matrix> {
+        match &self.storage {
+            Storage::Fixed(m) => Arc::clone(m),
+            Storage::Leaf(slot) => Arc::clone(&slot.read().expect("tensor value lock poisoned")),
+        }
     }
 
     /// Clone of the forward value.
     pub fn value(&self) -> Matrix {
-        self.read().value.clone()
+        (*self.value_arc()).clone()
     }
 
     /// Scalar value of a `1×1` tensor.
     pub fn item(&self) -> f32 {
-        self.read().value.item()
+        self.value_ref().item()
     }
 
     /// Clone of the accumulated gradient, if any.
     pub fn grad(&self) -> Option<Matrix> {
-        self.read().grad.clone()
+        self.tape
+            .as_ref()
+            .and_then(|t| t.grad.lock().expect("tensor grad lock poisoned").clone())
     }
 
     /// Clears the accumulated gradient.
     pub fn zero_grad(&self) {
-        self.write().grad = None;
+        if let Some(t) = &self.tape {
+            *t.grad.lock().expect("tensor grad lock poisoned") = None;
+        }
     }
 
     /// True for leaf parameters.
     pub fn requires_grad(&self) -> bool {
-        self.read().requires_grad
+        self.tape.as_ref().is_some_and(|t| t.requires_grad)
     }
 
     /// True when gradients flow through this node.
     pub fn needs_grad(&self) -> bool {
-        self.read().needs_grad
+        self.tape.is_some()
+    }
+
+    /// The swappable value slot of a leaf parameter.
+    ///
+    /// # Panics
+    /// Panics for op outputs and constants: their values are immutable by
+    /// construction (that immutability is what makes forward reads
+    /// lock-free), so only leaves built by [`Tensor::parameter`] mutate.
+    fn leaf_slot(&self, op: &str) -> &RwLock<Arc<Matrix>> {
+        match &self.storage {
+            Storage::Leaf(slot) => slot,
+            Storage::Fixed(_) => {
+                panic!("{op} requires a leaf parameter; op outputs and constants are immutable")
+            }
+        }
     }
 
     /// Replaces the stored value (used by optimisers and meta-learners).
     ///
     /// # Panics
-    /// Panics if the shape changes.
+    /// Panics if the shape changes or the tensor is not a leaf parameter.
     pub fn set_value(&self, value: Matrix) {
-        let mut inner = self.write();
-        assert_eq!(
-            inner.value.shape(),
-            value.shape(),
-            "set_value must preserve shape"
-        );
-        inner.value = value;
+        let slot = self.leaf_slot("set_value");
+        let mut cur = slot.write().expect("tensor value lock poisoned");
+        assert_eq!(cur.shape(), value.shape(), "set_value must preserve shape");
+        *cur = Arc::new(value);
     }
 
-    /// In-place mutation of the stored value.
+    /// In-place mutation of the stored value (leaf parameters only; see
+    /// [`Tensor::set_value`]). Mutates without copying when no value
+    /// snapshot is outstanding, which is the steady state between steps.
     pub fn update_value(&self, f: impl FnOnce(&mut Matrix)) {
-        f(&mut self.write().value);
+        let slot = self.leaf_slot("update_value");
+        let mut cur = slot.write().expect("tensor value lock poisoned");
+        f(Arc::make_mut(&mut cur));
     }
 
-    /// A constant tensor sharing this tensor's current value (copied).
+    /// A constant tensor sharing this tensor's current value (no copy:
+    /// forward values are immutable, so the snapshot can be aliased).
     pub fn detach(&self) -> Tensor {
-        Tensor::constant(self.value())
+        Tensor::constant_shared(self.value_arc())
     }
 
     /// Adds `delta` into the gradient buffer (no-op for constants).
     pub fn accum_grad(&self, delta: &Matrix) {
-        let mut inner = self.write();
-        if !inner.needs_grad {
-            return;
-        }
-        debug_assert_eq!(
-            inner.value.shape(),
-            delta.shape(),
-            "gradient shape mismatch"
-        );
-        match &mut inner.grad {
+        let Some(tape) = &self.tape else { return };
+        debug_assert_eq!(self.shape(), delta.shape(), "gradient shape mismatch");
+        let mut grad = tape.grad.lock().expect("tensor grad lock poisoned");
+        match &mut *grad {
             Some(g) => g.add_assign(delta),
             slot @ None => *slot = Some(delta.clone()),
         }
@@ -244,16 +330,10 @@ impl Tensor {
     /// Adds `c * delta` into the gradient buffer without materialising the
     /// scaled matrix (no-op for constants).
     pub fn accum_grad_scaled(&self, delta: &Matrix, c: f32) {
-        let mut inner = self.write();
-        if !inner.needs_grad {
-            return;
-        }
-        debug_assert_eq!(
-            inner.value.shape(),
-            delta.shape(),
-            "gradient shape mismatch"
-        );
-        match &mut inner.grad {
+        let Some(tape) = &self.tape else { return };
+        debug_assert_eq!(self.shape(), delta.shape(), "gradient shape mismatch");
+        let mut grad = tape.grad.lock().expect("tensor grad lock poisoned");
+        match &mut *grad {
             Some(g) => g.add_scaled_assign(delta, c),
             slot @ None => {
                 let mut g = delta.clone();
@@ -286,21 +366,24 @@ impl Tensor {
         // Reverse topological order: each node's full gradient is known
         // before its backward closure distributes it to the parents.
         for node in order.iter().rev() {
-            let inner = node.read();
-            let Some(bw) = inner.backward.as_ref() else {
+            let tape = node.tape.as_ref().expect("topo nodes carry a tape cell");
+            let Some(bw) = tape.backward.as_ref() else {
                 continue;
             };
-            let Some(grad) = inner.grad.as_ref() else {
+            let grad = tape.grad.lock().expect("tensor grad lock poisoned").clone();
+            let Some(grad) = grad else {
                 continue;
             };
-            let grad = grad.clone();
-            bw(&grad, &inner.parents);
+            bw(&grad, &tape.parents);
         }
     }
 
     /// Post-order over the needs-grad subgraph (parents appear before the
     /// nodes consuming them), computed iteratively to avoid stack overflow
-    /// on deep tapes.
+    /// on deep tapes. Traversal touches only the immutable tape half, so
+    /// it takes no locks; the `Tensor` clones held in the result keep
+    /// every visited cell alive, which keeps the pointer-derived ids
+    /// stable for the duration.
     fn topo_order(&self) -> Vec<Tensor> {
         let mut order = Vec::new();
         let mut visited: HashSet<u64> = HashSet::new();
@@ -308,10 +391,7 @@ impl Tensor {
         visited.insert(self.id());
         stack.push((self.clone(), 0));
         while let Some((node, idx)) = stack.pop() {
-            let next_parent = {
-                let inner = node.read();
-                inner.parents.get(idx).cloned()
-            };
+            let next_parent = node.tape.as_ref().and_then(|t| t.parents.get(idx)).cloned();
             match next_parent {
                 Some(parent) => {
                     stack.push((node, idx + 1));
@@ -334,15 +414,25 @@ impl Tensor {
     }
 }
 
+// The tape's parent edges and backward closure are immutable after
+// construction and every mutable half (grad, leaf slot) sits behind a
+// poisoning lock, so observing a tensor after a caught panic cannot see
+// broken invariants. The previous `Arc<RwLock<Inner>>` layout had these
+// impls derived; keep them so `catch_unwind` callers are unaffected.
+impl std::panic::RefUnwindSafe for Tensor {}
+impl std::panic::UnwindSafe for Tensor {}
+
 impl std::fmt::Debug for Tensor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.read();
         f.debug_struct("Tensor")
-            .field("id", &inner.id)
-            .field("shape", &inner.value.shape())
-            .field("requires_grad", &inner.requires_grad)
-            .field("needs_grad", &inner.needs_grad)
-            .field("n_parents", &inner.parents.len())
+            .field("id", &self.id())
+            .field("shape", &self.shape())
+            .field("requires_grad", &self.requires_grad())
+            .field("needs_grad", &self.needs_grad())
+            .field(
+                "n_parents",
+                &self.tape.as_ref().map_or(0, |t| t.parents.len()),
+            )
             .finish()
     }
 }
@@ -375,6 +465,62 @@ mod tests {
         assert!(!c.needs_grad());
         assert_eq!(c.tape_len(), 0);
         assert_eq!(c.item(), 5.0);
+    }
+
+    #[test]
+    fn constant_reads_share_storage() {
+        // The value of a constant is one immutable allocation: clones and
+        // detached views alias it instead of copying the matrix.
+        let a = Tensor::constant(Matrix::full(16, 16, 1.5));
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.value_arc(), &b.value_arc()));
+        let d = a.detach();
+        assert!(Arc::ptr_eq(&a.value_arc(), &d.value_arc()));
+    }
+
+    #[test]
+    fn leaf_updates_are_visible_through_clones() {
+        // The optimiser holds clones of the model's parameter handles;
+        // its writes must be visible through every handle.
+        let model_handle = Tensor::parameter(Matrix::scalar(1.0));
+        let optimiser_handle = model_handle.clone();
+        optimiser_handle.update_value(|m| m.scale_assign(3.0));
+        assert_eq!(model_handle.item(), 3.0);
+        optimiser_handle.set_value(Matrix::scalar(-2.0));
+        assert_eq!(model_handle.item(), -2.0);
+    }
+
+    #[test]
+    fn value_snapshot_survives_leaf_update() {
+        // A `ValueRef`/`value_arc` taken before an update keeps observing
+        // the old value (copy-on-write), so readers never see a torn
+        // in-place mutation.
+        let p = Tensor::parameter(Matrix::scalar(1.0));
+        let before = p.value_arc();
+        p.update_value(|m| m.scale_assign(10.0));
+        assert_eq!(before.item(), 1.0);
+        assert_eq!(p.item(), 10.0);
+    }
+
+    #[test]
+    fn non_leaf_values_are_immutable() {
+        let c = Tensor::constant(Matrix::scalar(1.0));
+        let r = std::panic::catch_unwind(|| c.set_value(Matrix::scalar(2.0)));
+        assert!(r.is_err(), "set_value on a constant must panic");
+        let x = Tensor::parameter(Matrix::scalar(1.0));
+        let y = x.scale(2.0);
+        let r = std::panic::catch_unwind(|| y.update_value(|m| m.scale_assign(0.0)));
+        assert!(r.is_err(), "update_value on an op output must panic");
+    }
+
+    #[test]
+    fn ids_distinguish_tape_nodes_only() {
+        let p = Tensor::parameter(Matrix::scalar(1.0));
+        let q = Tensor::parameter(Matrix::scalar(1.0));
+        assert_ne!(p.id(), q.id(), "live leaves have distinct ids");
+        assert_eq!(p.id(), p.clone().id(), "clones share identity");
+        let c = Tensor::constant(Matrix::scalar(1.0));
+        assert_eq!(c.id(), 0, "constants are interchangeable");
     }
 
     #[test]

@@ -17,8 +17,11 @@
 //!            [--decoder ip|mlp|gnn] [--shots N] [--seed N]
 //!            [--threads N] [--batch B] [--cache C]
 //!     Answer newline-delimited JSON queries from stdin on stdout using a
-//!     restored checkpoint (micro-batched; see README "Serving"). The
-//!     --scale/--decoder flags must match the ones used at training time
+//!     restored checkpoint (micro-batched; see README "Serving").
+//!     Checkpoints written by `cgnp train` are self-describing: the
+//!     architecture embedded in the file is used and --scale/--decoder
+//!     are ignored. For legacy checkpoints without an embedded
+//!     architecture, the flags must match the ones used at training time
 //!     so the restored architecture lines up. A serving summary (latency
 //!     percentiles, batch occupancy, cache counters) is printed to stderr
 //!     at end of stream.
@@ -29,8 +32,8 @@ use std::collections::HashMap;
 use cgnp_core::{meta_train_validated, prepare_tasks, Cgnp, DecoderKind};
 use cgnp_data::{load_dataset, model_input_dim, DatasetId, Scale};
 use cgnp_eval::{
-    build_single_graph_tasks, load_from_file, save_to_file, Metrics, ScaleSettings, TaskKind,
-    TextTable,
+    build_single_graph_tasks, load_checkpoint_file, restore, save_with_arch, ArchSpec, Metrics,
+    ScaleSettings, TaskKind, TextTable,
 };
 use cgnp_nn::Module;
 use cgnp_serve::{serve_ndjson, serve_task, ServeConfig, ServeSession};
@@ -236,9 +239,12 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
             .unwrap_or(f32::NAN)
     );
     if let Some(path) = flags.get("out") {
-        save_to_file(&model, path).map_err(|e| format!("saving checkpoint: {e}"))?;
+        // Embed the architecture so `cgnp serve`/`evaluate` can restore
+        // the checkpoint without the operator repeating these flags.
+        save_with_arch(&model, ArchSpec::from_config(model.config()), path)
+            .map_err(|e| format!("saving checkpoint: {e}"))?;
         println!(
-            "checkpoint written to {path} ({} parameters)",
+            "checkpoint written to {path} ({} parameters, self-describing)",
             model.param_count()
         );
     }
@@ -258,16 +264,36 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err("task sampling produced no test tasks".into());
     }
     let test = prepare_tasks(&tasks.test);
-    let mut cfg = args.settings.cgnp_template().with_decoder(args.decoder);
-    cfg.encoder.in_dim = model_input_dim(&tasks.test[0].graph);
-    let model = Cgnp::new(cfg, args.seed);
-    match flags.get("model") {
+    let model = match flags.get("model") {
         Some(path) => {
-            load_from_file(&model, path).map_err(|e| format!("loading checkpoint: {e}"))?;
-            println!("loaded checkpoint {path}");
+            let ckpt =
+                load_checkpoint_file(path).map_err(|e| format!("loading checkpoint: {e}"))?;
+            // Self-describing checkpoints rebuild their own architecture;
+            // legacy ones fall back to the --scale/--decoder flags.
+            let mut cfg = match &ckpt.arch {
+                Some(spec) => spec.to_config()?,
+                None => args.settings.cgnp_template().with_decoder(args.decoder),
+            };
+            cfg.encoder.in_dim = model_input_dim(&tasks.test[0].graph);
+            let model = Cgnp::new(cfg, args.seed);
+            restore(&model, &ckpt).map_err(|e| format!("loading checkpoint: {e}"))?;
+            println!(
+                "loaded checkpoint {path}{}",
+                if ckpt.arch.is_some() {
+                    " (self-describing)"
+                } else {
+                    ""
+                }
+            );
+            model
         }
-        None => println!("note: evaluating an untrained model (pass --model to load weights)"),
-    }
+        None => {
+            let mut cfg = args.settings.cgnp_template().with_decoder(args.decoder);
+            cfg.encoder.in_dim = model_input_dim(&tasks.test[0].graph);
+            println!("note: evaluating an untrained model (pass --model to load weights)");
+            Cgnp::new(cfg, args.seed)
+        }
+    };
     let mut rng = StdRng::seed_from_u64(args.seed);
     let mut per_query = Vec::new();
     for p in &test {

@@ -282,11 +282,18 @@ impl Latch {
     /// may only conclude "clear" after taking this same mutex (see
     /// [`Latch::wait`]), which cannot happen until the last decrementer
     /// has left its critical section — including the `notify_all`.
+    ///
+    /// Every decrement notifies, not only the final one: a job of this
+    /// scope may have spawned a sibling onto the latch before finishing,
+    /// and if that job ran on a thread outside the pool (another scope's
+    /// owner helping) with no worker awake to take the push, the parked
+    /// owner is the only thread left that can run the sibling. Waking it
+    /// here makes it re-scan the queues (see [`Latch::wait`]) instead of
+    /// sleeping until a final decrement that would never come.
     fn decrement(&self) {
         let _guard = self.lock.lock().expect("latch lock poisoned");
-        if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
-            self.cv.notify_all();
-        }
+        self.count.fetch_sub(1, Ordering::AcqRel);
+        self.cv.notify_all();
     }
 
     fn is_clear(&self) -> bool {
@@ -680,6 +687,51 @@ mod tests {
         assert!(r.is_err());
         let r = std::panic::catch_unwind(|| join_on(pool, || panic!("left side"), || 1));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn spawn_from_spawn_on_foreign_helper_does_not_strand() {
+        // Regression for the wake gap recorded in ROADMAP after PR 3: a
+        // job of scope S that runs on a thread outside the pool (here a
+        // helper standing in for another scope's owner executing S's job
+        // from the injector) spawns a sibling onto S's latch. With zero
+        // workers nothing can take the push, and before the fix
+        // `Latch::decrement` only notified at count zero — so S's owner,
+        // already parked on the latch condvar, was never woken to re-scan
+        // the queues and the sibling stranded forever (this test hung).
+        use std::sync::atomic::AtomicBool;
+        let pool = super::Pool::new(1); // zero workers: only helpers run jobs
+        let pushed = AtomicBool::new(false);
+        let taken = AtomicBool::new(false);
+        let done = AtomicBool::new(false);
+        std::thread::scope(|ts| {
+            ts.spawn(|| {
+                while !pushed.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+                let job = pool.find_job(None).expect("outer job sits in the injector");
+                taken.store(true, Ordering::SeqCst);
+                // Give the owner time to park on its latch before the
+                // spawn-from-spawn happens (widens the race window the
+                // bug needs; the fix is correct regardless of timing).
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                super::run_job(job);
+            });
+            scope_on(pool, |s| {
+                s.spawn(|inner| {
+                    // Runs on the helper thread; spawns a sibling onto the
+                    // same scope after the owner has started waiting.
+                    inner.spawn(|_| done.store(true, Ordering::SeqCst));
+                });
+                pushed.store(true, Ordering::SeqCst);
+                // Hold the scope closure open until the helper owns the
+                // job, so the owner cannot run it inline itself.
+                while !taken.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+            });
+            assert!(done.load(Ordering::SeqCst), "sibling spawn must run");
+        });
     }
 
     #[test]

@@ -189,6 +189,21 @@ impl<T: Deserialize> Deserialize for Option<T> {
     }
 }
 
+/// Looks up an object field that may be absent: a missing key and an
+/// explicit `null` both deserialise to `None`. The vendored analogue of
+/// `#[serde(default)]` on an `Option` field, for hand-written impls that
+/// must read payloads predating the field.
+pub fn optional_field<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, DeError> {
+    match v {
+        Value::Obj(pairs) => match pairs.iter().find(|(k, _)| k == name) {
+            Some((_, fv)) => Option::<T>::deserialize(fv)
+                .map_err(|e| DeError(format!("field {name:?}: {}", e.0))),
+            None => Ok(None),
+        },
+        other => Err(DeError(format!("expected object, got {other:?}"))),
+    }
+}
+
 /// Looks up and deserialises an object field (used by the derive macro).
 pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
     match v {
