@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-use cgnp_core::{Cgnp, CgnpConfig, PreparedTask};
+use cgnp_core::{meta_train_with_threads, Cgnp, CgnpConfig, PreparedTask};
 use cgnp_data::{generate_sbm, model_input_dim, sample_task, SbmConfig, TaskConfig};
 use cgnp_graph::{algo, Graph};
 use cgnp_nn::{GatLayer, GraphContext, Module};
@@ -416,6 +416,59 @@ fn tensor_op_overhead(c: &mut Criterion) {
     }
 }
 
+/// Task count of one [`meta_train_throughput`] epoch; also the basis of
+/// the `tasks_per_sec` column in `BENCH_kernels.json`.
+const META_TRAIN_TASKS: usize = 16;
+
+/// Meta-training throughput at meta-batch 1 / 4 / 16: one Algorithm-1
+/// epoch over [`META_TRAIN_TASKS`] prepared tasks per iteration. The
+/// `naive` variant is the paper's sequential loop (meta-batch 1, one Adam
+/// step per task); the batched variants accumulate task gradients across
+/// the pool and take one averaged step per batch, so their win on a
+/// single-core recording machine is the amortised optimiser/clip cost
+/// (on multi-core it additionally captures the parallel fan-out).
+fn meta_train_throughput(c: &mut Criterion) {
+    let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(31));
+    // Minimal tasks at paper-scale width: per-task forward/backward cost
+    // shrinks with the subgraph while optimiser cost stays O(params), so
+    // this is the regime where per-task Adam/clip overhead — the thing a
+    // batched step amortises — is actually visible on one core.
+    let tcfg = TaskConfig {
+        subgraph_size: 20,
+        shots: 1,
+        n_targets: 1,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(31);
+    let tasks: Vec<PreparedTask> = (0..META_TRAIN_TASKS)
+        .map(|_| PreparedTask::new(sample_task(&ag, &tcfg, None, &mut rng).expect("task")))
+        .collect();
+    let in_dim = model_input_dim(&tasks[0].task.graph);
+    let threads = rayon::current_num_threads();
+    let mut g = c.benchmark_group("meta_train_throughput");
+    for (variant, meta_batch) in [("naive", 1), ("batch_4", 4), ("batch_16", 16)] {
+        // Paper-scale width (hidden 128): the per-task optimiser state a
+        // batched step amortises is proportional to the parameter count,
+        // so a realistic width is what makes the comparison honest.
+        let cfg = CgnpConfig::paper_default(in_dim, 128)
+            .with_epochs(1)
+            .with_meta_batch(meta_batch);
+        let model = Cgnp::new(cfg, 7);
+        // Every iteration restarts from the same initial weights:
+        // otherwise the trajectory continues across iterations and the
+        // arithmetic cost drifts with the evolving weight magnitudes,
+        // which would make the variants incomparable.
+        let w0 = model.export_weights();
+        g.bench_function(variant, |bch| {
+            bch.iter(|| {
+                model.import_weights(&w0);
+                black_box(meta_train_with_threads(&model, &tasks, 3, threads))
+            })
+        });
+    }
+    g.finish();
+}
+
 /// Writes `BENCH_kernels.json` at the workspace root: a machine-readable
 /// baseline of the naive/blocked/parallel comparison for the perf
 /// trajectory across PRs.
@@ -440,10 +493,20 @@ fn emit_kernel_baseline(c: &mut Criterion) {
             .get(group)
             .map(|&n| format!("{:.3}", n / r.median_ns))
             .unwrap_or_else(|| "null".to_string());
+        // Meta-training rows additionally carry absolute throughput:
+        // every variant trains the same task count per iteration.
+        let extra = if group == "meta_train_throughput" {
+            format!(
+                ", \"tasks_per_sec\": {:.1}",
+                META_TRAIN_TASKS as f64 * 1e9 / r.median_ns
+            )
+        } else {
+            String::new()
+        };
         entries.push(format!(
             "    {{\"kernel\": \"{group}\", \"variant\": \"{variant}\", \
              \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
-             \"speedup_vs_naive\": {speedup}}}",
+             \"speedup_vs_naive\": {speedup}{extra}}}",
             r.median_ns, r.mean_ns
         ));
     }
@@ -458,6 +521,25 @@ fn emit_kernel_baseline(c: &mut Criterion) {
         Ok(()) => println!("kernel baseline written to {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
+    // Acceptance shape: batched meta-training must beat the sequential
+    // loop in tasks/sec (one averaged Adam step per batch amortises the
+    // per-task optimiser cost even on one core).
+    let tps = |variant: &str| {
+        results
+            .iter()
+            .find(|r| r.name == format!("meta_train_throughput/{variant}"))
+            .map(|r| META_TRAIN_TASKS as f64 * 1e9 / r.median_ns)
+    };
+    if let (Some(t1), Some(t4), Some(t16)) = (tps("naive"), tps("batch_4"), tps("batch_16")) {
+        let holds = t4 > t1;
+        let mark = if holds { "HOLDS " } else { "DIFFERS" };
+        println!(
+            "  [{mark}] meta-batch ≥ 4 beats batch 1 — batch 1: {t1:.1} tasks/s, \
+             batch 4: {t4:.1} ({:.2}×), batch 16: {t16:.1} ({:.2}×)",
+            t4 / t1,
+            t16 / t1
+        );
+    }
 }
 
 criterion_group!(
@@ -466,6 +548,7 @@ criterion_group!(
     dispatch_overhead,
     small_workload_comparison,
     tensor_op_overhead,
+    meta_train_throughput,
     spmm_bench,
     dense_matmul_bench,
     gat_forward_bench,

@@ -41,7 +41,8 @@ fn build_session() -> ServeSession {
         task,
         ServeConfig {
             batch: *BATCH_SIZES.last().unwrap(),
-            cache: 0, // measure compute, not cache hits
+            cache: 0,             // measure compute, not cache hits
+            context_cache: false, // every tick pays its context forward
             threads: rayon::current_num_threads(),
             seed: 11,
         },

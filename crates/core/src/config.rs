@@ -64,6 +64,11 @@ pub struct CgnpConfig {
     pub epochs: usize,
     /// Gradient-norm clip; `None` disables.
     pub grad_clip: Option<f32>,
+    /// Tasks per outer Adam step (Alg. 1 batching). `1` reproduces the
+    /// paper's one-step-per-task loop bitwise; larger values accumulate
+    /// task gradients in parallel across the worker pool and average them
+    /// into a single step per batch (MAML-family meta-batching).
+    pub meta_batch: usize,
 }
 
 impl CgnpConfig {
@@ -79,6 +84,7 @@ impl CgnpConfig {
             lr: 5e-4,
             epochs: 200,
             grad_clip: Some(5.0),
+            meta_batch: 1,
         }
     }
 
@@ -102,6 +108,12 @@ impl CgnpConfig {
         self
     }
 
+    /// Tasks per outer Adam step; `0` is normalised to `1` (sequential).
+    pub fn with_meta_batch(mut self, meta_batch: usize) -> Self {
+        self.meta_batch = meta_batch.max(1);
+        self
+    }
+
     /// A variant label matching the paper's naming (CGNP-IP / -MLP / -GNN).
     pub fn variant_name(&self) -> String {
         format!("CGNP-{}", self.decoder)
@@ -121,6 +133,19 @@ mod tests {
         assert!((cfg.lr - 5e-4).abs() < 1e-9);
         assert_eq!(cfg.epochs, 200);
         assert_eq!(cfg.mlp_hidden, 512);
+        assert_eq!(cfg.meta_batch, 1, "default must stay the paper's loop");
+    }
+
+    #[test]
+    fn meta_batch_builder_normalises_zero() {
+        let cfg = CgnpConfig::paper_default(4, 8).with_meta_batch(0);
+        assert_eq!(cfg.meta_batch, 1);
+        assert_eq!(
+            CgnpConfig::paper_default(4, 8)
+                .with_meta_batch(16)
+                .meta_batch,
+            16
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod commutative;
 pub mod config;
 pub mod decoder;
 pub mod model;
+pub(crate) mod par;
 pub mod train;
 
 pub use commutative::Commutative;
@@ -52,6 +53,7 @@ pub use config::{CgnpConfig, CommutativeOp, DecoderKind};
 pub use decoder::Decoder;
 pub use model::{Cgnp, PreparedTask};
 pub use train::{
-    meta_train, meta_train_validated, prepare_tasks, task_loss, validation_loss, TrainStats,
-    ValidatedTrainStats,
+    meta_train, meta_train_validated, meta_train_validated_with_threads, meta_train_with_threads,
+    prepare_tasks, prepare_tasks_with_threads, task_loss, validation_loss,
+    validation_loss_with_threads, TrainStats, ValidatedTrainStats,
 };

@@ -209,33 +209,26 @@ impl Cgnp {
             return Vec::new();
         }
         let ctx = self.context_eval(prepared, support, seeds[0]);
-        let threads = threads.max(1).min(batch.len());
-        if threads <= 1 {
-            return batch.iter().map(|qs| Self::score_probs(&ctx, qs)).collect();
-        }
+        Self::score_batch_with_threads(&ctx, batch, threads)
+    }
+
+    /// Scores every query set of `batch` against one precomputed context,
+    /// fanning the work across the persistent pool. This is the cheap
+    /// half of [`Cgnp::predict_multi_batch_with_threads`], split out so a
+    /// serving layer that caches contexts across micro-batch ticks can
+    /// skip the context forward entirely.
+    pub fn score_batch_with_threads(
+        context: &Tensor,
+        batch: &[Vec<usize>],
+        threads: usize,
+    ) -> Vec<Vec<f32>> {
         // The context tensor is a constant (built under `no_grad`) behind
-        // `Arc`, so workers borrow it directly. Each worker body re-enters
-        // `no_grad`: the flag is thread-local and pool workers outlive the
-        // caller's scope, so relying on the caller's flag would record
-        // tape nodes against the model weights on every worker.
-        let mut results: Vec<Option<Vec<f32>>> = vec![None; batch.len()];
-        let chunk_len = batch.len().div_ceil(threads);
-        rayon::scope(|s| {
-            let ctx = &ctx;
-            for (query_chunk, out_chunk) in
-                batch.chunks(chunk_len).zip(results.chunks_mut(chunk_len))
-            {
-                s.spawn(move |_| {
-                    for (qs, out) in query_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *out = Some(Self::score_probs(ctx, qs));
-                    }
-                });
-            }
-        });
-        results
-            .into_iter()
-            .map(|r| r.expect("worker filled every slot"))
-            .collect()
+        // `Arc`, so workers borrow it directly. Each worker body
+        // re-enters `no_grad` (inside `score_probs`): the flag is
+        // thread-local and pool workers outlive the caller's scope, so
+        // relying on the caller's flag would record tape nodes against
+        // the model weights on every worker.
+        crate::par::par_map(batch, threads, |qs| Self::score_probs(context, qs))
     }
 
     /// Predictions for every target query of a task, sharing one context

@@ -2,18 +2,26 @@
 //!
 //! Training iterates over tasks; for each task the support set is encoded
 //! into a context and the negative log-likelihood of the query set's
-//! labelled samples (Eq. 19 = the BCE of Eq. 3) is minimised by one Adam
-//! step per task. Adaptation at test time is gradient-free: the support
-//! set is simply encoded (Alg. 2).
+//! labelled samples (Eq. 19 = the BCE of Eq. 3) is minimised by Adam.
+//! With `meta_batch = 1` (the default) that is one step per task, exactly
+//! the paper's loop; with a larger meta-batch the per-task
+//! forward/backward passes of one batch fan out across the persistent
+//! worker pool, each capturing its leaf gradients in a private
+//! [`GradSink`], and the sinks are reduced **in fixed task order** into
+//! one averaged Adam step — so a fixed seed gives bitwise-identical runs
+//! regardless of thread count. Adaptation at test time is gradient-free:
+//! the support set is simply encoded (Alg. 2).
 
-use cgnp_tensor::{clip_grad_norm, Adam, Optimizer, Reduction, Tensor};
+use cgnp_tensor::{clip_grad_norm, Adam, GradSink, Matrix, Optimizer, Reduction, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use cgnp_data::Task;
 use cgnp_nn::{ForwardCtx, Module};
 
+use crate::config::CgnpConfig;
 use crate::model::{Cgnp, PreparedTask};
+use crate::par::par_map;
 
 /// Per-epoch training statistics.
 #[derive(Clone, Debug, Default)]
@@ -53,47 +61,167 @@ pub fn task_loss(model: &Cgnp, context: &Tensor, task: &Task) -> Tensor {
     acc.scale(1.0 / losses.len() as f32)
 }
 
+/// Fisher–Yates shuffle driven by the training RNG (Alg. 1 line 2).
+fn shuffle(order: &mut [usize], rng: &mut StdRng) {
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+}
+
+/// One task's training forward/backward under an isolated RNG, with leaf
+/// gradients captured in a private sink so any number of these can run
+/// concurrently against one shared model. Returns the loss value and the
+/// captured gradients.
+fn task_grad(model: &Cgnp, prepared: &PreparedTask, task_seed: u64) -> (f32, GradSink) {
+    GradSink::capture(|| {
+        let mut rng = StdRng::seed_from_u64(task_seed);
+        let mut fctx = ForwardCtx::train(&mut rng);
+        let context = model.context(prepared, &prepared.task.support, &mut fctx);
+        let loss = task_loss(model, &context, &prepared.task);
+        let item = loss.item();
+        loss.backward();
+        item
+    })
+}
+
+/// Mutable outer-loop state threaded through the epochs of one training
+/// run: configuration snapshot, the epoch RNG, the optimiser, the leaf
+/// parameters, and the task fan-out width.
+struct Trainer {
+    cfg: CgnpConfig,
+    rng: StdRng,
+    opt: Adam,
+    params: Vec<Tensor>,
+    threads: usize,
+}
+
+impl Trainer {
+    fn new(model: &Cgnp, seed: u64, threads: usize) -> Self {
+        let cfg = model.config().clone();
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            opt: Adam::new(model.params(), cfg.lr),
+            params: model.params(),
+            cfg,
+            threads,
+        }
+    }
+
+    /// One epoch of Algorithm 1 over `order`, returning the summed task
+    /// loss.
+    ///
+    /// `meta_batch = 1` is the paper's loop verbatim: the epoch RNG
+    /// threads through every forward pass and each task takes its own
+    /// Adam step, so existing seeds reproduce bitwise. `meta_batch > 1`
+    /// chunks `order`, derives one RNG seed per task **in task order**
+    /// from the epoch RNG (making the dropout streams independent of
+    /// scheduling), fans the chunk's forward/backward passes across up to
+    /// `threads` workers, and reduces the per-task [`GradSink`]s in task
+    /// order into one averaged, clipped Adam step per chunk.
+    fn epoch(&mut self, model: &Cgnp, tasks: &[PreparedTask], order: &[usize]) -> f32 {
+        let mut epoch_loss = 0.0f32;
+        if self.cfg.meta_batch <= 1 {
+            for &ti in order {
+                let prepared = &tasks[ti];
+                self.opt.zero_grad();
+                let loss = {
+                    let mut fctx = ForwardCtx::train(&mut self.rng);
+                    let context = model.context(prepared, &prepared.task.support, &mut fctx);
+                    task_loss(model, &context, &prepared.task)
+                };
+                epoch_loss += loss.item();
+                loss.backward();
+                if let Some(max_norm) = self.cfg.grad_clip {
+                    clip_grad_norm(&self.params, max_norm);
+                }
+                self.opt.step();
+            }
+            return epoch_loss;
+        }
+
+        for chunk in order.chunks(self.cfg.meta_batch) {
+            // Per-task seeds drawn in task order: the stream each task
+            // sees is fixed by (seed, meta_batch) alone, never by which
+            // worker runs it or how the chunk interleaves.
+            let work: Vec<(usize, u64)> = chunk
+                .iter()
+                .map(|&ti| (ti, self.rng.gen::<u64>()))
+                .collect();
+            let mut sinks: Vec<GradSink> = Vec::with_capacity(chunk.len());
+            for (loss, sink) in par_map(&work, self.threads, |&(ti, ts)| {
+                task_grad(model, &tasks[ti], ts)
+            }) {
+                epoch_loss += loss;
+                sinks.push(sink);
+            }
+            // Fixed-order reduction: task grads fold into the leaf slots
+            // in task order (the first moves in, the rest add) and are
+            // averaged in place, so the batch gradient is bitwise
+            // independent of the thread count; only then do clipping and
+            // the step see it.
+            self.opt.zero_grad();
+            let inv = 1.0 / chunk.len() as f32;
+            for p in &self.params {
+                for sink in &mut sinks {
+                    if let Some(g) = sink.take(p) {
+                        p.accum_grad_owned(g);
+                    }
+                }
+                if chunk.len() > 1 {
+                    p.scale_grad(inv);
+                }
+            }
+            if let Some(max_norm) = self.cfg.grad_clip {
+                clip_grad_norm(&self.params, max_norm);
+            }
+            self.opt.step();
+        }
+        epoch_loss
+    }
+}
+
 /// Algorithm 1: trains `model` on `tasks` for `model.config().epochs`
-/// epochs, shuffling tasks per epoch, one gradient step per task.
+/// epochs, shuffling tasks per epoch. `model.config().meta_batch` selects
+/// how many tasks share one Adam step (1 = the paper's loop); batches fan
+/// out across the persistent worker pool.
 pub fn meta_train(model: &Cgnp, tasks: &[PreparedTask], seed: u64) -> TrainStats {
+    meta_train_with_threads(model, tasks, seed, rayon::current_num_threads())
+}
+
+/// [`meta_train`] with an explicit fan-out width for the per-batch task
+/// parallelism (results are bitwise identical for every `threads` value;
+/// the knob exists for tests and for callers that pin worker counts).
+pub fn meta_train_with_threads(
+    model: &Cgnp,
+    tasks: &[PreparedTask],
+    seed: u64,
+    threads: usize,
+) -> TrainStats {
     assert!(!tasks.is_empty(), "meta_train requires at least one task");
-    let cfg = model.config().clone();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut opt = Adam::new(model.params(), cfg.lr);
-    let params = model.params();
+    let mut trainer = Trainer::new(model, seed, threads);
     let mut order: Vec<usize> = (0..tasks.len()).collect();
     let mut stats = TrainStats::default();
 
-    for _epoch in 0..cfg.epochs {
-        // Shuffle the task set (Alg. 1 line 2).
-        for i in (1..order.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            order.swap(i, j);
-        }
-        let mut epoch_loss = 0.0f32;
-        for &ti in &order {
-            let prepared = &tasks[ti];
-            opt.zero_grad();
-            let loss = {
-                let mut fctx = ForwardCtx::train(&mut rng);
-                let context = model.context(prepared, &prepared.task.support, &mut fctx);
-                task_loss(model, &context, &prepared.task)
-            };
-            epoch_loss += loss.item();
-            loss.backward();
-            if let Some(max_norm) = cfg.grad_clip {
-                clip_grad_norm(&params, max_norm);
-            }
-            opt.step();
-        }
+    for _epoch in 0..trainer.cfg.epochs {
+        shuffle(&mut order, &mut trainer.rng);
+        let epoch_loss = trainer.epoch(model, tasks, &order);
         stats.epoch_losses.push(epoch_loss / tasks.len() as f32);
     }
     stats
 }
 
-/// Prepares raw tasks for training/inference (graph operators + features).
+/// Prepares raw tasks for training/inference (graph operators + features),
+/// fanning the per-task precompute across the persistent worker pool.
 pub fn prepare_tasks(tasks: &[Task]) -> Vec<PreparedTask> {
-    tasks.iter().cloned().map(PreparedTask::new).collect()
+    prepare_tasks_with_threads(tasks, rayon::current_num_threads())
+}
+
+/// [`prepare_tasks`] with an explicit fan-out width. Each task's operator
+/// and feature precompute is independent, so the result is identical to
+/// the serial path for every `threads` value.
+pub fn prepare_tasks_with_threads(tasks: &[Task], threads: usize) -> Vec<PreparedTask> {
+    par_map(tasks, threads, |task| PreparedTask::new(task.clone()))
 }
 
 /// Statistics of a validated training run.
@@ -116,9 +244,22 @@ pub fn meta_train_validated(
     valid: &[PreparedTask],
     seed: u64,
 ) -> ValidatedTrainStats {
+    meta_train_validated_with_threads(model, train, valid, seed, rayon::current_num_threads())
+}
+
+/// [`meta_train_validated`] with an explicit fan-out width for both the
+/// per-batch task parallelism and the per-epoch validation sweep (results
+/// are bitwise identical for every `threads` value).
+pub fn meta_train_validated_with_threads(
+    model: &Cgnp,
+    train: &[PreparedTask],
+    valid: &[PreparedTask],
+    seed: u64,
+    threads: usize,
+) -> ValidatedTrainStats {
     assert!(!train.is_empty(), "meta_train requires at least one task");
     if valid.is_empty() {
-        let stats = meta_train(model, train, seed);
+        let stats = meta_train_with_threads(model, train, seed, threads);
         let n = stats.epoch_losses.len();
         return ValidatedTrainStats {
             epoch_losses: stats.epoch_losses,
@@ -126,38 +267,17 @@ pub fn meta_train_validated(
             best_epoch: n.saturating_sub(1),
         };
     }
-    let cfg = model.config().clone();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut opt = Adam::new(model.params(), cfg.lr);
-    let params = model.params();
+    let mut trainer = Trainer::new(model, seed, threads);
     let mut order: Vec<usize> = (0..train.len()).collect();
     let mut stats = ValidatedTrainStats::default();
-    let mut best: Option<(f32, Vec<cgnp_tensor::Matrix>)> = None;
+    let mut best: Option<(f32, Vec<Matrix>)> = None;
 
-    for epoch in 0..cfg.epochs {
-        for i in (1..order.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            order.swap(i, j);
-        }
-        let mut epoch_loss = 0.0f32;
-        for &ti in &order {
-            let prepared = &train[ti];
-            opt.zero_grad();
-            let loss = {
-                let mut fctx = ForwardCtx::train(&mut rng);
-                let context = model.context(prepared, &prepared.task.support, &mut fctx);
-                task_loss(model, &context, &prepared.task)
-            };
-            epoch_loss += loss.item();
-            loss.backward();
-            if let Some(max_norm) = cfg.grad_clip {
-                clip_grad_norm(&params, max_norm);
-            }
-            opt.step();
-        }
+    for epoch in 0..trainer.cfg.epochs {
+        shuffle(&mut order, &mut trainer.rng);
+        let epoch_loss = trainer.epoch(model, train, &order);
         stats.epoch_losses.push(epoch_loss / train.len() as f32);
 
-        let vloss = validation_loss(model, valid, &mut rng);
+        let vloss = validation_loss_with_threads(model, valid, threads);
         stats.valid_losses.push(vloss);
         if best.as_ref().is_none_or(|(b, _)| vloss < *b) {
             best = Some((vloss, model.export_weights()));
@@ -171,19 +291,32 @@ pub fn meta_train_validated(
 }
 
 /// Mean query-set loss over the validation tasks (no tape, eval mode).
-pub fn validation_loss(model: &Cgnp, valid: &[PreparedTask], rng: &mut StdRng) -> f32 {
+/// The RNG parameter is kept for API stability: eval-mode forwards never
+/// consume it (pinned by `inference_is_deterministic`), which is what
+/// lets [`validation_loss_with_threads`] fan the sweep across workers
+/// without changing the result.
+pub fn validation_loss(model: &Cgnp, valid: &[PreparedTask], _rng: &mut StdRng) -> f32 {
+    validation_loss_with_threads(model, valid, rayon::current_num_threads())
+}
+
+/// Validation sweep fanned across the pool: per-task losses are computed
+/// concurrently and summed in fixed task order, so the mean is bitwise
+/// identical to the serial sweep for every `threads` value.
+pub fn validation_loss_with_threads(model: &Cgnp, valid: &[PreparedTask], threads: usize) -> f32 {
     if valid.is_empty() {
         return f32::NAN;
     }
-    cgnp_tensor::no_grad(|| {
-        let mut total = 0.0f32;
-        for prepared in valid {
-            let mut fctx = ForwardCtx::eval(rng);
+    // Each worker re-enters `no_grad`: the flag is thread-local and pool
+    // workers outlive this sweep.
+    let losses = par_map(valid, threads, |prepared| {
+        cgnp_tensor::no_grad(|| {
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut fctx = ForwardCtx::eval(&mut rng);
             let context = model.context(prepared, &prepared.task.support, &mut fctx);
-            total += task_loss(model, &context, &prepared.task).item();
-        }
-        total / valid.len() as f32
-    })
+            task_loss(model, &context, &prepared.task).item()
+        })
+    });
+    losses.iter().sum::<f32>() / valid.len() as f32
 }
 
 #[cfg(test)]

@@ -1,0 +1,265 @@
+//! Determinism contract of task-batched meta-training.
+//!
+//! Three guarantees, all bitwise:
+//! 1. `meta_batch = 1` (the default) reproduces the pre-batching
+//!    sequential loop exactly — same losses, same final weights — pinned
+//!    here against a verbatim replica of the old `meta_train`.
+//! 2. Batched runs are identical across fan-out widths (1 vs 4 workers):
+//!    per-task RNG seeds are drawn in task order and the per-task
+//!    gradient sinks are reduced in task order, so thread scheduling
+//!    never reaches the arithmetic.
+//! 3. `prepare_tasks` and the validation sweep parallelise without
+//!    changing their results.
+
+use cgnp_core::{
+    meta_train, meta_train_validated_with_threads, meta_train_with_threads, prepare_tasks,
+    prepare_tasks_with_threads, task_loss, validation_loss_with_threads, Cgnp, CgnpConfig,
+    CommutativeOp, DecoderKind, PreparedTask,
+};
+use cgnp_data::{generate_sbm, model_input_dim, sample_task, SbmConfig, Task, TaskConfig};
+use cgnp_nn::{ForwardCtx, Module};
+use cgnp_tensor::{clip_grad_norm, Adam, Optimizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn raw_tasks(n_tasks: usize, seed: u64) -> Vec<Task> {
+    let ag = generate_sbm(&SbmConfig::small_test(), &mut StdRng::seed_from_u64(seed));
+    let cfg = TaskConfig {
+        subgraph_size: 40,
+        shots: 2,
+        n_targets: 3,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_tasks)
+        .map(|_| sample_task(&ag, &cfg, None, &mut rng).expect("task"))
+        .collect()
+}
+
+fn tiny_tasks(n_tasks: usize, seed: u64) -> Vec<PreparedTask> {
+    prepare_tasks(&raw_tasks(n_tasks, seed))
+}
+
+fn small_model(tasks: &[PreparedTask], epochs: usize, meta_batch: usize) -> Cgnp {
+    let in_dim = model_input_dim(&tasks[0].task.graph);
+    let mut cfg = CgnpConfig::paper_default(in_dim, 8)
+        .with_decoder(DecoderKind::InnerProduct)
+        .with_commutative(CommutativeOp::Mean)
+        .with_epochs(epochs)
+        .with_meta_batch(meta_batch);
+    cfg.lr = 5e-3;
+    Cgnp::new(cfg, 42)
+}
+
+/// Verbatim replica of the pre-batching `meta_train`: one shared RNG
+/// threaded through shuffle and every training forward, one Adam step per
+/// task, gradients accumulated directly in the leaves. If the live
+/// `meta_batch = 1` path ever diverges from this, seeds stop reproducing
+/// published runs.
+fn old_sequential_meta_train(model: &Cgnp, tasks: &[PreparedTask], seed: u64) -> Vec<f32> {
+    let cfg = model.config().clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut opt = Adam::new(model.params(), cfg.lr);
+    let params = model.params();
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    let mut epoch_losses = Vec::new();
+    for _epoch in 0..cfg.epochs {
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut epoch_loss = 0.0f32;
+        for &ti in &order {
+            let prepared = &tasks[ti];
+            opt.zero_grad();
+            let loss = {
+                let mut fctx = ForwardCtx::train(&mut rng);
+                let context = model.context(prepared, &prepared.task.support, &mut fctx);
+                task_loss(model, &context, &prepared.task)
+            };
+            epoch_loss += loss.item();
+            loss.backward();
+            if let Some(max_norm) = cfg.grad_clip {
+                clip_grad_norm(&params, max_norm);
+            }
+            opt.step();
+        }
+        epoch_losses.push(epoch_loss / tasks.len() as f32);
+    }
+    epoch_losses
+}
+
+fn weights_bits(model: &Cgnp) -> Vec<Vec<u32>> {
+    model
+        .export_weights()
+        .iter()
+        .map(|m| m.as_slice().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn meta_batch_1_matches_old_sequential_loop_bitwise() {
+    let tasks = tiny_tasks(5, 11);
+
+    let reference = small_model(&tasks, 4, 1);
+    let ref_losses = old_sequential_meta_train(&reference, &tasks, 7);
+
+    let live = small_model(&tasks, 4, 1);
+    let live_losses = meta_train(&live, &tasks, 7).epoch_losses;
+
+    assert_eq!(
+        live_losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        ref_losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        "meta_batch = 1 must reproduce the old sequential losses bitwise"
+    );
+    assert_eq!(
+        weights_bits(&live),
+        weights_bits(&reference),
+        "meta_batch = 1 must reproduce the old sequential weights bitwise"
+    );
+}
+
+#[test]
+fn batched_training_is_identical_across_thread_counts() {
+    let tasks = tiny_tasks(7, 12);
+    for meta_batch in [3, 4, 16] {
+        let serial = small_model(&tasks, 3, meta_batch);
+        let serial_losses = meta_train_with_threads(&serial, &tasks, 5, 1).epoch_losses;
+        let fanned = small_model(&tasks, 3, meta_batch);
+        let fanned_losses = meta_train_with_threads(&fanned, &tasks, 5, 4).epoch_losses;
+        assert_eq!(
+            serial_losses
+                .iter()
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>(),
+            fanned_losses
+                .iter()
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>(),
+            "meta_batch {meta_batch}: losses must not depend on thread count"
+        );
+        assert_eq!(
+            weights_bits(&serial),
+            weights_bits(&fanned),
+            "meta_batch {meta_batch}: weights must not depend on thread count"
+        );
+    }
+}
+
+#[test]
+fn batched_training_is_deterministic_across_runs() {
+    let tasks = tiny_tasks(6, 13);
+    let run = || {
+        let model = small_model(&tasks, 3, 4);
+        let losses = meta_train(&model, &tasks, 9).epoch_losses;
+        (
+            losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            weights_bits(&model),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn batched_training_still_learns() {
+    // A batch of 4 over 8 tasks takes 4× fewer (averaged) steps per
+    // epoch than the sequential loop, so give it a longer run.
+    let tasks = tiny_tasks(8, 14);
+    let model = small_model(&tasks, 60, 4);
+    let stats = meta_train(&model, &tasks, 0);
+    let first = stats.epoch_losses[0];
+    let last = *stats.epoch_losses.last().unwrap();
+    assert!(
+        last < first * 0.9,
+        "batched loss should drop ≥10%: first {first}, last {last}"
+    );
+    assert!(last.is_finite());
+}
+
+#[test]
+fn validated_training_is_identical_across_thread_counts() {
+    let tasks = tiny_tasks(8, 15);
+    let (train, valid) = tasks.split_at(6);
+    let run = |threads: usize| {
+        let model = small_model(train, 4, 3);
+        let stats = meta_train_validated_with_threads(&model, train, valid, 2, threads);
+        (
+            stats
+                .epoch_losses
+                .iter()
+                .chain(&stats.valid_losses)
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>(),
+            stats.best_epoch,
+            weights_bits(&model),
+        )
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn validation_sweep_is_identical_across_thread_counts() {
+    let tasks = tiny_tasks(5, 16);
+    let model = small_model(&tasks, 1, 1);
+    let serial = validation_loss_with_threads(&model, &tasks, 1);
+    let fanned = validation_loss_with_threads(&model, &tasks, 4);
+    assert_eq!(serial.to_bits(), fanned.to_bits());
+}
+
+#[test]
+fn parallel_prepare_tasks_matches_serial() {
+    let raw = raw_tasks(6, 17);
+    let serial = prepare_tasks_with_threads(&raw, 1);
+    let fanned = prepare_tasks_with_threads(&raw, 4);
+    assert_eq!(serial.len(), fanned.len());
+    for (a, b) in serial.iter().zip(&fanned) {
+        assert_eq!(a.base.as_slice(), b.base.as_slice(), "base features differ");
+        assert_eq!(a.task.support.len(), b.task.support.len());
+        // The prepared operators must encode the same graph: probe them
+        // through a forward pass of one shared model.
+        let model = small_model(&serial, 1, 1);
+        let mut ra = StdRng::seed_from_u64(0);
+        let mut rb = StdRng::seed_from_u64(0);
+        let q = a.task.targets[0].query;
+        let pa = model.predict(a, q, &mut ra);
+        let pb = model.predict(b, q, &mut rb);
+        assert_eq!(
+            pa.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            pb.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "prepared operators must be interchangeable"
+        );
+    }
+}
+
+#[test]
+fn meta_batch_changes_trajectory_but_stays_finite() {
+    // Batching is a *different* (averaged) optimisation path, not a
+    // reordering of the sequential one: make sure the two diverge (so
+    // the batched code is actually exercised) and both stay finite.
+    let tasks = tiny_tasks(6, 18);
+    let seq = small_model(&tasks, 3, 1);
+    let seq_losses = meta_train(&seq, &tasks, 4).epoch_losses;
+    let bat = small_model(&tasks, 3, 3);
+    let bat_losses = meta_train(&bat, &tasks, 4).epoch_losses;
+    assert_ne!(
+        seq_losses, bat_losses,
+        "meta_batch > 1 must take averaged steps"
+    );
+    assert!(bat_losses.iter().all(|l| l.is_finite()));
+}
+
+/// A meta-batch larger than the task count degenerates to full-batch
+/// gradient descent and must still be deterministic and well-formed.
+#[test]
+fn oversized_meta_batch_is_full_batch() {
+    let tasks = tiny_tasks(3, 19);
+    let run = |threads: usize| {
+        let model = small_model(&tasks, 2, 64);
+        let losses = meta_train_with_threads(&model, &tasks, 1, threads).epoch_losses;
+        (
+            losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            weights_bits(&model),
+        )
+    };
+    assert_eq!(run(1), run(4));
+}

@@ -78,6 +78,12 @@ impl LruCache {
         }
     }
 
+    /// Drops every entry (counters keep accumulating): the invalidation
+    /// hook for sessions whose conditioning data changes.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Inserts a value, evicting the least-recently-used entry when full.
     pub fn insert(&mut self, key: CacheKey, value: Arc<Vec<f32>>) {
         if self.capacity == 0 {

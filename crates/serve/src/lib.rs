@@ -11,13 +11,15 @@
 //!
 //! * a micro-batching loop ([`serve_ndjson`]) coalesces up to `B`
 //!   in-flight requests per tick,
-//! * each tick computes the task context once per shot configuration and
-//!   fans the per-query scoring across the persistent worker pool
-//!   (`Cgnp::predict_multi_batch`, all under `no_grad`),
+//! * the decoded task context is computed once per shot count and cached
+//!   **across ticks** (invalidated by
+//!   [`ServeSession::replace_support`]); each tick only fans the
+//!   per-query scoring across the persistent worker pool
+//!   (`Cgnp::score_batch_with_threads`, all under `no_grad`),
 //! * an LRU cache ([`cache::LruCache`]) memoizes full prediction vectors
 //!   keyed on `(query nodes, shots)`,
-//! * per-request latency and batch-occupancy counters accumulate into a
-//!   [`ServeSummary`].
+//! * per-request latency, batch-occupancy, and context build/hit
+//!   counters accumulate into a [`ServeSummary`].
 //!
 //! ## Example
 //!

@@ -124,6 +124,7 @@ mod tests {
                 cache: 8,
                 threads: 1,
                 seed: 5,
+                context_cache: true,
             },
         )
         .expect("session")

@@ -15,8 +15,10 @@
 //!   least one of the listed attribute ids.
 //! * `top_k` — cap on returned members (default: every node scoring
 //!   ≥ 0.5).
-//! * `seed` — per-request RNG seed (eval-mode inference is deterministic,
-//!   so this only matters for future stochastic decoders; default `id`).
+//! * `seed` — accepted for wire compatibility but currently a no-op:
+//!   eval-mode inference is deterministic and contexts are cached per
+//!   shot count, so no RNG is consumed. Reserved for future stochastic
+//!   decoders, which would have to key the context cache on it.
 //!
 //! Response:
 //!
@@ -46,7 +48,8 @@ pub struct QueryRequest {
     pub shots: Option<usize>,
     /// Cap on returned members; `None` = all nodes with prob ≥ 0.5.
     pub top_k: Option<usize>,
-    /// Per-request seed; `None` derives one from `id`.
+    /// Accepted for wire compatibility; currently a no-op (see the
+    /// module docs — deterministic eval consumes no RNG).
     pub seed: Option<u64>,
 }
 

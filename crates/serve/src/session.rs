@@ -4,18 +4,20 @@
 //! A session is built **once** from a restored checkpoint and a serving
 //! task — the graph, its precomputed [`cgnp_core::PreparedTask`]
 //! (normalised adjacencies, arc index, base features), and a pool of
-//! labelled support examples. Every incoming query then costs one
-//! context forward (shared across a micro-batch and across all queries
-//! conditioned on the same shot count) plus an inner-product scoring
-//! pass, with an LRU cache short-circuiting repeated `(nodes, shots)`
-//! requests entirely.
+//! labelled support examples. Every incoming query then costs an
+//! inner-product scoring pass against a per-shot-count context that is
+//! computed on first use and cached **across micro-batch ticks**, with
+//! an LRU cache short-circuiting repeated `(nodes, shots)` requests
+//! entirely. Swapping the support pool
+//! ([`ServeSession::replace_support`]) invalidates both caches.
 
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use cgnp_core::{Cgnp, CgnpConfig, PreparedTask};
-use cgnp_data::{model_input_dim, task_on_whole_graph, Task, TaskConfig};
+use cgnp_data::{model_input_dim, task_on_whole_graph, QueryExample, Task, TaskConfig};
 use cgnp_graph::AttributedGraph;
 use cgnp_tensor::Tensor;
 use rand::SeedableRng;
@@ -35,6 +37,11 @@ pub struct ServeConfig {
     pub threads: usize,
     /// Seed for model restoration / support-pool sampling.
     pub seed: u64,
+    /// Cache the decoded per-shot-count context across micro-batch ticks
+    /// (at most `max_shots` pinned tensors). Ragged-shot traffic — many
+    /// distinct shot counts interleaving — otherwise recomputes identical
+    /// contexts every tick. Disable to measure raw compute.
+    pub context_cache: bool,
 }
 
 impl Default for ServeConfig {
@@ -44,6 +51,7 @@ impl Default for ServeConfig {
             cache: 256,
             threads: rayon::current_num_threads(),
             seed: 42,
+            context_cache: true,
         }
     }
 }
@@ -61,6 +69,11 @@ struct ServeStats {
     errors: u64,
     batches: u64,
     occupancy_sum: u64,
+    /// Context forwards actually computed (cache misses + disabled-cache
+    /// computes). Each is the expensive half of a tick.
+    context_builds: u64,
+    /// Context forwards answered from the per-shot cache.
+    context_hits: u64,
     /// Ring buffer of the last [`LATENCY_WINDOW`] per-request latencies.
     latencies_us: Vec<u64>,
     /// Next ring slot to overwrite once the buffer is full.
@@ -92,6 +105,9 @@ pub struct ServeSummary {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub cache_evictions: u64,
+    /// Context forwards computed vs answered from the per-shot cache.
+    pub context_builds: u64,
+    pub context_hits: u64,
 }
 
 /// An online query-answering session over one graph and one restored
@@ -102,6 +118,11 @@ pub struct ServeSession {
     prepared: PreparedTask,
     cfg: ServeConfig,
     cache: Mutex<LruCache>,
+    /// Decoded context per effective shot count, shared across micro-batch
+    /// ticks (bounded by the support-pool size; see
+    /// [`ServeConfig::context_cache`]). Invalidated whenever the
+    /// conditioning data changes ([`ServeSession::replace_support`]).
+    contexts: Mutex<HashMap<usize, Tensor>>,
     stats: Mutex<ServeStats>,
 }
 
@@ -126,6 +147,7 @@ impl ServeSession {
             model,
             prepared: PreparedTask::new(task),
             cache: Mutex::new(LruCache::new(cfg.cache)),
+            contexts: Mutex::new(HashMap::new()),
             stats: Mutex::new(ServeStats::default()),
             cfg,
         })
@@ -177,14 +199,69 @@ impl ServeSession {
 
     /// The decoded task context for a given shot count — the prepared
     /// tensor a micro-batch shares. Built under `no_grad`: the returned
-    /// tensor is a constant and records zero tape nodes.
+    /// tensor is a constant and records zero tape nodes. With the context
+    /// cache enabled (the default), repeated shot counts across ticks
+    /// share one tensor instead of recomputing the encoder forward.
     pub fn context_for_shots(&self, shots: usize) -> Tensor {
         let shots = shots.clamp(1, self.max_shots());
-        self.model.context_eval(
+        if self.cfg.context_cache {
+            if let Some(ctx) = self
+                .contexts
+                .lock()
+                .expect("context cache lock")
+                .get(&shots)
+            {
+                self.stats.lock().expect("stats lock").context_hits += 1;
+                return ctx.clone();
+            }
+        }
+        // Built outside the cache lock: a context forward is the
+        // expensive half of a tick, and holding the map across it would
+        // serialise unrelated shot counts. Two threads racing on the same
+        // fresh shot count compute identical constants; last insert wins.
+        let ctx = self.model.context_eval(
             &self.prepared,
             &self.prepared.task.support[..shots],
             self.cfg.seed,
-        )
+        );
+        self.stats.lock().expect("stats lock").context_builds += 1;
+        if self.cfg.context_cache {
+            self.contexts
+                .lock()
+                .expect("context cache lock")
+                .insert(shots, ctx.clone());
+        }
+        ctx
+    }
+
+    /// Replaces the labelled support pool the session conditions on (an
+    /// online-labelling hook: fresh examples arrive, old ones expire) and
+    /// invalidates everything derived from it — the per-shot context
+    /// cache and the prediction cache — so no response is ever served
+    /// from stale conditioning data.
+    pub fn replace_support(&mut self, support: Vec<QueryExample>) -> Result<(), String> {
+        if support.is_empty() {
+            return Err("serving task has no support examples to condition on".into());
+        }
+        // Bounds-check like `validate` does for request nodes: an
+        // out-of-range id would otherwise panic the encoder forward on
+        // the next request, poisoning the session's mutexes.
+        let n = self.n();
+        for ex in &support {
+            if let Some(&bad) = std::iter::once(&ex.query)
+                .chain(&ex.pos)
+                .chain(&ex.neg)
+                .find(|&&v| v >= n)
+            {
+                return Err(format!(
+                    "support node {bad} out of range (graph has {n} nodes)"
+                ));
+            }
+        }
+        self.prepared.task.support = support;
+        self.contexts.lock().expect("context cache lock").clear();
+        self.cache.lock().expect("cache lock").clear();
+        Ok(())
     }
 
     /// Effective shot count for a request: the session default (the whole
@@ -262,21 +339,12 @@ impl ServeSession {
         }
         for (shots, ps) in groups {
             let batch: Vec<Vec<usize>> = ps.iter().map(|&p| pending[p].0 .0.clone()).collect();
-            let seeds: Vec<u64> = ps
-                .iter()
-                .map(|&p| {
-                    let i = pending[p].1[0];
-                    reqs[i].seed.unwrap_or(reqs[i].id)
-                })
-                .collect();
-            let support = &self.prepared.task.support[..shots];
-            let probs = self.model.predict_multi_batch_with_threads(
-                &self.prepared,
-                support,
-                &batch,
-                &seeds,
-                self.cfg.threads,
-            );
+            // The context depends only on the shot count (eval-mode
+            // forwards never consume the per-request seeds), so it is
+            // fetched through the cross-tick cache and only the scoring
+            // fan-out runs per tick.
+            let ctx = self.context_for_shots(shots);
+            let probs = Cgnp::score_batch_with_threads(&ctx, &batch, self.cfg.threads);
             let mut cache = self.cache.lock().expect("cache lock");
             for (&p, prob) in ps.iter().zip(probs) {
                 let prob = Arc::new(prob);
@@ -331,13 +399,8 @@ impl ServeSession {
         if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
             return Ok(hit);
         }
-        let probs = self.model.predict_multi_batch_with_threads(
-            &self.prepared,
-            &self.prepared.task.support[..shots],
-            std::slice::from_ref(&key.0),
-            &[self.cfg.seed],
-            1,
-        );
+        let ctx = self.context_for_shots(shots);
+        let probs = Cgnp::score_batch_with_threads(&ctx, std::slice::from_ref(&key.0), 1);
         let probs = Arc::new(probs.into_iter().next().expect("one result"));
         self.cache
             .lock()
@@ -396,6 +459,8 @@ impl ServeSession {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
+            context_builds: stats.context_builds,
+            context_hits: stats.context_hits,
         }
     }
 }

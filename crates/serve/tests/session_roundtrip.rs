@@ -34,6 +34,7 @@ fn serve_cfg() -> ServeConfig {
         cache: 16,
         threads: 1,
         seed: 9,
+        context_cache: true,
     }
 }
 
@@ -251,4 +252,138 @@ fn parallel_and_serial_micro_batches_agree() {
         assert_eq!(x.members, y.members);
         assert_eq!(x.probs, y.probs);
     }
+}
+
+#[test]
+fn context_cache_reuses_across_ticks_without_changing_results() {
+    // Two sessions over identical weights: one recomputes the context
+    // every tick, one caches it per shot count. Responses must be
+    // bitwise identical; the cached session must build each context once.
+    let build = |context_cache: bool| {
+        let (model, task) = trained_model_and_task(26);
+        ServeSession::new(
+            model,
+            task,
+            ServeConfig {
+                cache: 0, // prediction cache off: every tick rescores
+                context_cache,
+                ..serve_cfg()
+            },
+        )
+        .unwrap()
+    };
+    let cold = build(false);
+    let warm = build(true);
+    let q = {
+        let (_, task) = trained_model_and_task(26);
+        task.targets[0].query
+    };
+    for tick in 0..3u64 {
+        let reqs = [
+            QueryRequest::new(tick * 2, vec![q]),
+            QueryRequest::new(tick * 2 + 1, vec![q, q.saturating_sub(1)]),
+        ];
+        let a = cold.answer_batch(&reqs);
+        let b = warm.answer_batch(&reqs);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.members, y.members, "tick {tick}");
+            assert_eq!(x.probs, y.probs, "tick {tick}");
+        }
+    }
+    let cold_summary = cold.summary();
+    let warm_summary = warm.summary();
+    assert_eq!(
+        cold_summary.context_builds, 3,
+        "uncached session pays one context forward per tick"
+    );
+    assert_eq!(
+        warm_summary.context_builds, 1,
+        "cached session computes the context once"
+    );
+    assert_eq!(warm_summary.context_hits, 2);
+}
+
+#[test]
+fn ragged_shot_traffic_builds_one_context_per_shot_count() {
+    let (model, task) = trained_model_and_task(27);
+    let q = task.targets[0].query;
+    let session = ServeSession::new(
+        model,
+        task,
+        ServeConfig {
+            cache: 0,
+            ..serve_cfg()
+        },
+    )
+    .unwrap();
+    // Interleaved shot counts across several ticks: the pathological
+    // ragged traffic the cross-tick cache exists for.
+    for round in 0..3u64 {
+        for shots in 1..=session.max_shots() {
+            let req = QueryRequest {
+                shots: Some(shots),
+                ..QueryRequest::new(round * 10 + shots as u64, vec![q])
+            };
+            assert!(session.answer(&req).ok);
+        }
+    }
+    let summary = session.summary();
+    assert_eq!(
+        summary.context_builds,
+        session.max_shots() as u64,
+        "one build per distinct shot count, ever"
+    );
+    assert_eq!(
+        summary.context_hits,
+        2 * session.max_shots() as u64,
+        "every revisit is a cache hit"
+    );
+}
+
+#[test]
+fn replace_support_invalidates_context_and_prediction_caches() {
+    let (model, task) = trained_model_and_task(28);
+    let q = task.targets[0].query;
+    let narrowed = task.support[..1].to_vec();
+    let bad_base = narrowed.clone();
+    let mut session = ServeSession::new(model, task.clone(), serve_cfg()).unwrap();
+
+    // Warm both caches on the full pool.
+    let before = session.answer(&QueryRequest::new(1, vec![q]));
+    assert!(before.ok && !before.cached);
+    let hit = session.answer(&QueryRequest::new(2, vec![q]));
+    assert!(hit.cached, "second identical query must hit the LRU");
+
+    // Swap the conditioning data: one support example instead of three.
+    session.replace_support(narrowed.clone()).unwrap();
+    assert_eq!(session.max_shots(), 1);
+    let after = session.answer(&QueryRequest::new(3, vec![q]));
+    assert!(after.ok);
+    assert!(
+        !after.cached,
+        "stale predictions must not survive a support swap"
+    );
+    assert_ne!(
+        before.probs, after.probs,
+        "new conditioning must actually reach the encoder"
+    );
+
+    // The post-swap session behaves exactly like a session built fresh
+    // on the narrowed pool — no stale context leaks into the forward.
+    let (model2, _) = trained_model_and_task(28);
+    let mut fresh_task = task;
+    fresh_task.support = narrowed;
+    let fresh = ServeSession::new(model2, fresh_task, serve_cfg()).unwrap();
+    let expected = fresh.answer(&QueryRequest::new(3, vec![q]));
+    assert_eq!(after.members, expected.members);
+    assert_eq!(after.probs, expected.probs);
+
+    // Empty pools stay rejected, and so are out-of-range node ids —
+    // both without disturbing the installed pool.
+    assert!(session.replace_support(Vec::new()).is_err());
+    let mut bad = bad_base;
+    bad[0].query = session.n();
+    let err = session.replace_support(bad).unwrap_err();
+    assert!(err.contains("out of range"), "{err}");
+    assert!(session.answer(&QueryRequest::new(4, vec![q])).ok);
 }

@@ -29,6 +29,7 @@
 //! assert!((w.item() - 3.0).abs() < 0.05);
 //! ```
 
+pub mod grad_sink;
 pub mod gradcheck;
 pub mod init;
 pub mod matrix;
@@ -39,6 +40,7 @@ pub mod reference;
 pub mod sparse;
 pub mod tensor;
 
+pub use grad_sink::GradSink;
 pub use matrix::Matrix;
 pub use ops::{softmax_in_place, stable_sigmoid, Reduction};
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};

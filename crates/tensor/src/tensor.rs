@@ -316,10 +316,17 @@ impl Tensor {
         Tensor::constant_shared(self.value_arc())
     }
 
-    /// Adds `delta` into the gradient buffer (no-op for constants).
+    /// Adds `delta` into the gradient buffer (no-op for constants). When
+    /// a [`crate::GradSink`] is installed on this thread, leaf gradients
+    /// are diverted into it instead of the shared accumulator, so
+    /// concurrent backward passes over one model stay race-free and
+    /// deterministic (see the `grad_sink` module docs).
     pub fn accum_grad(&self, delta: &Matrix) {
         let Some(tape) = &self.tape else { return };
         debug_assert_eq!(self.shape(), delta.shape(), "gradient shape mismatch");
+        if tape.requires_grad && crate::grad_sink::route_leaf_grad(self.id(), delta, None) {
+            return;
+        }
         let mut grad = tape.grad.lock().expect("tensor grad lock poisoned");
         match &mut *grad {
             Some(g) => g.add_assign(delta),
@@ -328,10 +335,14 @@ impl Tensor {
     }
 
     /// Adds `c * delta` into the gradient buffer without materialising the
-    /// scaled matrix (no-op for constants).
+    /// scaled matrix (no-op for constants). Leaf gradients divert into an
+    /// installed [`crate::GradSink`], exactly like [`Tensor::accum_grad`].
     pub fn accum_grad_scaled(&self, delta: &Matrix, c: f32) {
         let Some(tape) = &self.tape else { return };
         debug_assert_eq!(self.shape(), delta.shape(), "gradient shape mismatch");
+        if tape.requires_grad && crate::grad_sink::route_leaf_grad(self.id(), delta, Some(c)) {
+            return;
+        }
         let mut grad = tape.grad.lock().expect("tensor grad lock poisoned");
         match &mut *grad {
             Some(g) => g.add_scaled_assign(delta, c),
@@ -340,6 +351,35 @@ impl Tensor {
                 g.scale_assign(c);
                 *slot = Some(g);
             }
+        }
+    }
+
+    /// [`Tensor::accum_grad`] taking ownership: an empty gradient slot is
+    /// filled by **moving** `delta` in (no copy), a non-empty one by
+    /// adding. This is the batched-training reduction primitive: the
+    /// first task's captured gradient becomes the accumulator, the rest
+    /// fold in. Routes through an installed [`crate::GradSink`] like the
+    /// borrowing variant.
+    pub fn accum_grad_owned(&self, delta: Matrix) {
+        let Some(tape) = &self.tape else { return };
+        debug_assert_eq!(self.shape(), delta.shape(), "gradient shape mismatch");
+        if tape.requires_grad && crate::grad_sink::route_leaf_grad(self.id(), &delta, None) {
+            return;
+        }
+        let mut grad = tape.grad.lock().expect("tensor grad lock poisoned");
+        match &mut *grad {
+            Some(g) => g.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    /// Scales the accumulated gradient in place (no-op when empty): the
+    /// averaging step of a batched reduction, without materialising a
+    /// scaled copy.
+    pub fn scale_grad(&self, c: f32) {
+        let Some(tape) = &self.tape else { return };
+        if let Some(g) = &mut *tape.grad.lock().expect("tensor grad lock poisoned") {
+            g.scale_assign(c);
         }
     }
 
@@ -575,6 +615,25 @@ mod tests {
             y.backward();
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn owned_accumulation_and_in_place_scaling() {
+        let x = Tensor::parameter(Matrix::scalar(0.0));
+        x.accum_grad_owned(Matrix::scalar(3.0)); // moves into the empty slot
+        x.accum_grad_owned(Matrix::scalar(4.0)); // adds
+        assert_eq!(x.grad().unwrap().item(), 7.0);
+        x.scale_grad(0.5);
+        assert_eq!(x.grad().unwrap().item(), 3.5);
+        // Empty slot: scaling is a no-op, not a panic.
+        x.zero_grad();
+        x.scale_grad(2.0);
+        assert!(x.grad().is_none());
+        // Constants ignore both, like the borrowing variant.
+        let c = Tensor::constant(Matrix::scalar(1.0));
+        c.accum_grad_owned(Matrix::scalar(1.0));
+        c.scale_grad(2.0);
+        assert!(c.grad().is_none());
     }
 
     #[test]

@@ -6,8 +6,12 @@
 //!
 //! cgnp train --dataset citeseer [--kind sgsc|sgdc] [--shots N] [--scale S]
 //!            [--seed N] [--decoder ip|mlp|gnn] [--out model.json]
+//!            [--meta-batch B] [--threads N]
 //!     Meta-train a CGNP model (with validation-based model selection)
-//!     and optionally save a checkpoint.
+//!     and optionally save a checkpoint. --meta-batch accumulates B task
+//!     gradients into one averaged Adam step, fanned across --threads
+//!     workers; a fixed seed reproduces bitwise for any --threads
+//!     (--meta-batch 1, the default, is the paper's sequential loop).
 //!
 //! cgnp evaluate --dataset citeseer [--kind ...] [--shots N] [--scale S]
 //!               [--seed N] [--model model.json]
@@ -29,7 +33,9 @@
 
 use std::collections::HashMap;
 
-use cgnp_core::{meta_train_validated, prepare_tasks, Cgnp, DecoderKind};
+use cgnp_core::{
+    meta_train_validated_with_threads, prepare_tasks, prepare_tasks_with_threads, Cgnp, DecoderKind,
+};
 use cgnp_data::{load_dataset, model_input_dim, DatasetId, Scale};
 use cgnp_eval::{
     build_single_graph_tasks, load_checkpoint_file, restore, save_with_arch, ArchSpec, Metrics,
@@ -213,21 +219,26 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     if tasks.train.is_empty() {
         return Err("task sampling produced no training tasks".into());
     }
+    let meta_batch = parse_usize(flags, "meta-batch", 1)?.max(1);
+    let threads = parse_usize(flags, "threads", rayon::current_num_threads())?.max(1);
     println!(
-        "{} {} {}-shot: {} train / {} valid tasks",
+        "{} {} {}-shot: {} train / {} valid tasks (meta-batch {meta_batch}, {threads} threads)",
         args.dataset.name(),
         args.kind,
         args.shots,
         tasks.train.len(),
         tasks.valid.len()
     );
-    let train = prepare_tasks(&tasks.train);
-    let valid = prepare_tasks(&tasks.valid);
-    let cfg = args.settings.cgnp_template().with_decoder(args.decoder);
-    let mut cfg = cfg;
+    let train = prepare_tasks_with_threads(&tasks.train, threads);
+    let valid = prepare_tasks_with_threads(&tasks.valid, threads);
+    let mut cfg = args
+        .settings
+        .cgnp_template()
+        .with_decoder(args.decoder)
+        .with_meta_batch(meta_batch);
     cfg.encoder.in_dim = model_input_dim(&tasks.train[0].graph);
     let model = Cgnp::new(cfg, args.seed);
-    let stats = meta_train_validated(&model, &train, &valid, args.seed);
+    let stats = meta_train_validated_with_threads(&model, &train, &valid, args.seed, threads);
     println!(
         "trained {} epochs; best validation epoch {} (valid loss {:.4})",
         stats.epoch_losses.len(),
@@ -335,6 +346,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         cache: parse_usize(flags, "cache", ServeConfig::default().cache)?,
         threads: parse_usize(flags, "threads", rayon::current_num_threads())?.max(1),
         seed: args.seed,
+        context_cache: true,
     };
     let ds = load_dataset(args.dataset, args.settings.scale, args.seed);
     let task = serve_task(ds.single(), args.shots.max(1), args.seed)?;
