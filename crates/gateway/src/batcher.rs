@@ -1,0 +1,135 @@
+//! The scoring side of the gateway: deadline-aware tick assembly and
+//! panic isolation around the engine.
+//!
+//! The batcher is one thread popping micro-batches off the shared
+//! admission queue. Per tick it (1) expires requests whose deadline
+//! passed — those are answered `timeout` and **never scored** — and
+//! (2) scores the rest inside `catch_unwind`. A panic fails over to
+//! scoring the tick one request at a time, so exactly the poisoned
+//! requests get `internal` responses and every healthy neighbour in the
+//! same tick is still answered from the real engine.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use cgnp_serve::{ErrorCode, QueryRequest, QueryResponse};
+
+use crate::server::{Shared, State};
+use crate::QueryEngine;
+
+/// One admitted request waiting to be scored.
+pub struct Pending {
+    /// Connection the response routes back to.
+    pub conn: u64,
+    pub req: QueryRequest,
+    /// Absolute deadline; `None` = no timeout configured.
+    pub deadline: Option<Instant>,
+}
+
+/// How long the batcher sleeps on an empty queue before re-checking the
+/// drain flag (the condvar is notified on every admission, so this only
+/// bounds drain-detection latency, not request latency).
+const IDLE_WAIT: Duration = Duration::from_millis(2);
+
+/// Runs ticks until drain is signalled and the queue is empty. Every
+/// popped request is answered with exactly one response pushed to the
+/// outbox — scored, `timeout`, or `internal` — never silently dropped.
+pub fn run(engine: &dyn QueryEngine, shared: &Shared) {
+    let batch = engine.batch().max(1);
+    loop {
+        let tick: Vec<Pending> = {
+            let mut queue = shared.queue.lock().expect("gateway queue lock");
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if shared.state() == State::Draining {
+                    return;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, IDLE_WAIT)
+                    .expect("gateway queue lock");
+                queue = guard;
+            }
+            let take = batch.min(queue.len());
+            queue.drain(..take).collect()
+        };
+        let responses = answer_tick(engine, shared, &tick);
+        debug_assert_eq!(responses.len(), tick.len());
+        let mut outbox = shared.outbox.lock().expect("gateway outbox lock");
+        outbox.extend(tick.iter().map(|p| p.conn).zip(responses));
+    }
+}
+
+/// Answers one tick: expiry split, then isolated scoring.
+fn answer_tick(engine: &dyn QueryEngine, shared: &Shared, tick: &[Pending]) -> Vec<QueryResponse> {
+    let now = Instant::now();
+    // Partition without reordering: responses must line up with `tick`.
+    let mut live_reqs: Vec<QueryRequest> = Vec::with_capacity(tick.len());
+    let mut expired = vec![false; tick.len()];
+    for (i, p) in tick.iter().enumerate() {
+        if p.deadline.is_some_and(|d| now >= d) {
+            expired[i] = true;
+            shared.stats.bump(&shared.stats.timed_out);
+        } else {
+            live_reqs.push(p.req.clone());
+        }
+    }
+    let mut answered = score_isolated(engine, shared, &live_reqs).into_iter();
+    tick.iter()
+        .zip(&expired)
+        .map(|(p, &is_expired)| {
+            if is_expired {
+                QueryResponse::error(
+                    p.req.id,
+                    ErrorCode::Timeout,
+                    "deadline expired before the request was scored",
+                )
+            } else {
+                answered.next().expect("one response per live request")
+            }
+        })
+        .collect()
+}
+
+/// Scores a batch with panic isolation. On a batch-level panic, retries
+/// one request at a time so only the poisoned requests are lost.
+fn score_isolated(
+    engine: &dyn QueryEngine,
+    shared: &Shared,
+    reqs: &[QueryRequest],
+) -> Vec<QueryResponse> {
+    if reqs.is_empty() {
+        return Vec::new();
+    }
+    match catch_unwind(AssertUnwindSafe(|| engine.answer_batch(reqs))) {
+        Ok(responses) if responses.len() == reqs.len() => responses,
+        Ok(mismatched) => {
+            // A miscounting engine is a bug, but the wire contract
+            // (exactly one response per request) still holds.
+            drop(mismatched);
+            reqs.iter()
+                .map(|r| {
+                    QueryResponse::error(
+                        r.id,
+                        ErrorCode::Internal,
+                        "engine returned a mismatched response count",
+                    )
+                })
+                .collect()
+        }
+        Err(_) if reqs.len() == 1 => {
+            shared.stats.bump(&shared.stats.panics_caught);
+            vec![QueryResponse::error(
+                reqs[0].id,
+                ErrorCode::Internal,
+                "request panicked during scoring (isolated; server healthy)",
+            )]
+        }
+        Err(_) => reqs
+            .iter()
+            .flat_map(|r| score_isolated(engine, shared, std::slice::from_ref(r)))
+            .collect(),
+    }
+}

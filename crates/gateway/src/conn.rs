@@ -1,0 +1,376 @@
+//! Per-connection state: a nonblocking socket with bounded read/write
+//! buffers and NDJSON line framing.
+//!
+//! Every buffer here has a failure story. The read buffer is bounded by
+//! `max_line_bytes` — an unterminated line beyond that is answered with
+//! one `bad_request` and discarded up to the next newline, so a garbage
+//! writer cannot grow it. The write buffer holds responses the socket
+//! has not accepted yet; the event loop pauses reading when it exceeds
+//! the configured limit, so a reader that never drains its responses
+//! caps its own footprint.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+/// One framed inbound line, or the notice that a line was dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Framed {
+    /// A complete line (without the trailing newline), lossily decoded —
+    /// invalid UTF-8 becomes replacement characters and fails request
+    /// parsing downstream rather than killing the connection.
+    Line(String),
+    /// A line exceeded `max_line_bytes` before its newline arrived; it
+    /// is being discarded and deserves one `bad_request` response.
+    Oversized,
+}
+
+/// State of one client connection inside the event loop.
+pub struct Conn {
+    pub stream: TcpStream,
+    /// Bytes read but not yet framed into a complete line.
+    read_buf: Vec<u8>,
+    /// Framed lines not yet admitted. One read gulp can frame hundreds
+    /// of pipelined lines; admitting them all at once would blow past
+    /// the in-flight quota, so they wait here and the event loop pops
+    /// them only while flow control allows. Bounded by the read gulp
+    /// (`max_line_bytes` + one chunk) because reads pause while this is
+    /// non-empty.
+    pending: VecDeque<Framed>,
+    /// Serialized responses the socket has not accepted yet.
+    write_buf: Vec<u8>,
+    /// How much of `write_buf` is already written.
+    write_pos: usize,
+    /// Admitted-but-unanswered requests from this connection.
+    pub inflight: usize,
+    /// Inside an oversized line: drop bytes until the next newline.
+    discarding: bool,
+    /// Peer half-closed its write side (EOF seen); responses may still
+    /// be deliverable.
+    pub read_closed: bool,
+    /// Socket failed (reset, broken pipe); remove at cleanup.
+    pub dead: bool,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        // Responses are single writes of complete lines; latency beats
+        // segment coalescing for a query endpoint.
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            read_buf: Vec::new(),
+            pending: VecDeque::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            inflight: 0,
+            discarding: false,
+            read_closed: false,
+            dead: false,
+        })
+    }
+
+    /// Unflushed response bytes (the backpressure signal).
+    pub fn buffered_bytes(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    /// Whether the event loop should read from this socket. Reads pause
+    /// while earlier frames await admission, while the in-flight quota
+    /// is spent, or while the peer is not draining its responses.
+    pub fn wants_read(&self, max_inflight: usize, write_buffer_limit: usize) -> bool {
+        !self.dead
+            && !self.read_closed
+            && self.pending.is_empty()
+            && self.inflight < max_inflight
+            && self.buffered_bytes() < write_buffer_limit
+    }
+
+    /// Whether this connection may admit another pending frame right
+    /// now (same flow-control gates as reading, minus the read states).
+    pub fn can_admit(&self, max_inflight: usize, write_buffer_limit: usize) -> bool {
+        !self.dead && self.inflight < max_inflight && self.buffered_bytes() < write_buffer_limit
+    }
+
+    /// Pops the next frame awaiting admission.
+    pub fn next_frame(&mut self) -> Option<Framed> {
+        self.pending.pop_front()
+    }
+
+    /// Reads whatever the socket has, appending to the frame buffer and
+    /// framing complete lines into the pending queue. Returns the
+    /// number of frames added.
+    pub fn read_available(&mut self, max_line_bytes: usize) -> usize {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    break;
+                }
+                Ok(k) => {
+                    self.read_buf.extend_from_slice(&chunk[..k]);
+                    // Keep draining the socket only while the frame
+                    // buffer stays reasonable; oversized lines are
+                    // resolved by `frame_lines` below.
+                    if self.read_buf.len() > max_line_bytes + chunk.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        self.frame_lines(max_line_bytes)
+    }
+
+    /// Splits the frame buffer into complete lines, enforcing the line
+    /// length bound and the discard-after-oversize state machine.
+    /// Returns the number of frames added to the pending queue.
+    fn frame_lines(&mut self, max_line_bytes: usize) -> usize {
+        let mut added = 0;
+        loop {
+            match self.read_buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    let line: Vec<u8> = self.read_buf.drain(..=pos).collect();
+                    if self.discarding {
+                        // Tail of an already-reported oversized line.
+                        self.discarding = false;
+                        continue;
+                    }
+                    if pos > max_line_bytes {
+                        // The whole overlong line arrived in one gulp;
+                        // no discard state needed — the newline already
+                        // ended it.
+                        self.pending.push_back(Framed::Oversized);
+                        added += 1;
+                        continue;
+                    }
+                    let text = String::from_utf8_lossy(&line[..pos]);
+                    let trimmed = text.trim();
+                    if !trimmed.is_empty() {
+                        self.pending.push_back(Framed::Line(trimmed.to_string()));
+                        added += 1;
+                    }
+                }
+                None => {
+                    if !self.discarding && self.read_buf.len() > max_line_bytes {
+                        self.read_buf.clear();
+                        self.discarding = true;
+                        self.pending.push_back(Framed::Oversized);
+                        added += 1;
+                    } else if self.discarding {
+                        // Still inside the oversized line; drop the bytes.
+                        self.read_buf.clear();
+                    }
+                    break;
+                }
+            }
+        }
+        added
+    }
+
+    /// The unterminated fragment left when the peer closed mid-line
+    /// (half-written request then disconnect). Consumes it.
+    pub fn take_trailing_fragment(&mut self) -> Option<String> {
+        if !self.read_closed
+            || !self.pending.is_empty()
+            || self.read_buf.is_empty()
+            || self.discarding
+        {
+            return None;
+        }
+        let fragment = String::from_utf8_lossy(&self.read_buf).trim().to_string();
+        self.read_buf.clear();
+        (!fragment.is_empty()).then_some(fragment)
+    }
+
+    /// Queues one response line for writing.
+    pub fn push_response(&mut self, json: &str) {
+        self.write_buf.extend_from_slice(json.as_bytes());
+        self.write_buf.push(b'\n');
+    }
+
+    /// Writes as much of the buffer as the socket accepts right now.
+    /// Returns true when progress was made.
+    pub fn flush_some(&mut self) -> bool {
+        let mut progressed = false;
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(k) => {
+                    self.write_pos += k;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.write_pos == self.write_buf.len() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        } else if self.write_pos > 64 * 1024 {
+            // Reclaim the already-written prefix so a long-lived slow
+            // reader does not pin it forever.
+            self.write_buf.drain(..self.write_pos);
+            self.write_pos = 0;
+        }
+        progressed
+    }
+
+    /// Whether this connection has fully finished: peer done sending,
+    /// nothing awaiting admission, nothing in flight, nothing left to
+    /// write (or the socket died).
+    pub fn finished(&self) -> bool {
+        self.dead
+            || (self.read_closed
+                && self.pending.is_empty()
+                && self.inflight == 0
+                && self.buffered_bytes() == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (Conn, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (Conn::new(server).unwrap(), client)
+    }
+
+    fn drain_frames(conn: &mut Conn) -> Vec<Framed> {
+        std::iter::from_fn(|| conn.next_frame()).collect()
+    }
+
+    #[test]
+    fn frames_complete_lines_and_keeps_partials() {
+        let (mut conn, mut client) = pair();
+        client
+            .write_all(b"{\"id\":1}\n{\"id\":2}\npartial")
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(conn.read_available(1024), 2);
+        assert_eq!(
+            drain_frames(&mut conn),
+            vec![
+                Framed::Line("{\"id\":1}".into()),
+                Framed::Line("{\"id\":2}".into())
+            ]
+        );
+        client.write_all(b" done\n").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(conn.read_available(1024), 1);
+        assert_eq!(
+            drain_frames(&mut conn),
+            vec![Framed::Line("partial done".into())]
+        );
+    }
+
+    #[test]
+    fn oversized_line_reported_once_then_discarded_to_newline() {
+        let (mut conn, mut client) = pair();
+        let big = vec![b'x'; 3000];
+        client.write_all(&big).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(conn.read_available(1024), 1);
+        assert_eq!(drain_frames(&mut conn), vec![Framed::Oversized]);
+        // More of the same line: no second report.
+        client.write_all(&big).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(conn.read_available(1024), 0);
+        // The newline ends the discard; the next line frames normally.
+        client.write_all(b"\n{\"id\":9}\n").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(conn.read_available(1024), 1);
+        assert_eq!(
+            drain_frames(&mut conn),
+            vec![Framed::Line("{\"id\":9}".into())]
+        );
+    }
+
+    #[test]
+    fn complete_but_overlong_line_frames_as_oversized() {
+        let (mut conn, mut client) = pair();
+        let mut payload = vec![b'y'; 2000];
+        payload.push(b'\n');
+        payload.extend_from_slice(b"{\"id\":3}\n");
+        client.write_all(&payload).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(conn.read_available(1024), 2);
+        assert_eq!(
+            drain_frames(&mut conn),
+            vec![Framed::Oversized, Framed::Line("{\"id\":3}".into())]
+        );
+    }
+
+    #[test]
+    fn pending_frames_pause_reading() {
+        let (mut conn, mut client) = pair();
+        client.write_all(b"{\"id\":1}\n{\"id\":2}\n").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(conn.read_available(1024), 2);
+        assert!(
+            !conn.wants_read(16, 1024),
+            "unadmitted frames must pause reads"
+        );
+        assert!(conn.next_frame().is_some());
+        assert!(conn.next_frame().is_some());
+        assert!(conn.wants_read(16, 1024));
+    }
+
+    #[test]
+    fn half_written_line_then_close_surfaces_fragment() {
+        let (mut conn, mut client) = pair();
+        client.write_all(b"{\"id\": 1, \"nodes\": [0").unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(conn.read_available(1024), 0);
+        assert!(conn.read_closed);
+        assert_eq!(
+            conn.take_trailing_fragment().as_deref(),
+            Some("{\"id\": 1, \"nodes\": [0")
+        );
+        assert_eq!(conn.take_trailing_fragment(), None, "consumed once");
+    }
+
+    #[test]
+    fn backpressure_gates_reading() {
+        let (mut conn, _client) = pair();
+        assert!(conn.wants_read(2, 1024));
+        conn.inflight = 2;
+        assert!(!conn.wants_read(2, 1024), "inflight quota pauses reads");
+        conn.inflight = 0;
+        conn.push_response(&"y".repeat(2000));
+        assert!(!conn.wants_read(2, 1024), "unflushed responses pause reads");
+    }
+
+    #[test]
+    fn flush_delivers_responses() {
+        let (mut conn, client) = pair();
+        conn.push_response("{\"id\":1,\"ok\":true}");
+        while conn.buffered_bytes() > 0 {
+            conn.flush_some();
+        }
+        let mut reader = std::io::BufReader::new(client);
+        let mut line = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        assert_eq!(line, "{\"id\":1,\"ok\":true}\n");
+        assert!(conn.finished() || !conn.read_closed);
+    }
+}

@@ -1,0 +1,107 @@
+//! # cgnp-gateway
+//!
+//! A hardened multi-client TCP front-end for the serving engine,
+//! designed around failure first: the paper's value proposition — answer
+//! community-search queries online, with adaptation as a single forward
+//! pass — only pays off if the serving layer survives real client
+//! behavior. One slow, dead, or malicious peer must never stall the
+//! process or the other connections.
+//!
+//! ## Architecture
+//!
+//! Two threads, no async runtime (offline environment — no tokio; a
+//! hand-rolled poll-style readiness loop over nonblocking sockets is
+//! enough):
+//!
+//! * The **event loop** owns the listener and every connection. Each
+//!   iteration it accepts new peers (up to `max_conns`; excess
+//!   connections get one structured `overloaded` response and are
+//!   closed), reads whatever bytes are available per connection into a
+//!   bounded read buffer, frames NDJSON lines, parses and
+//!   boundary-validates them ([`cgnp_serve::validate_request`] — a bad
+//!   request is answered immediately and never consumes a queue slot),
+//!   and admits the rest into the global request queue (bounded by
+//!   `max_queue`; overflow is shed with an `overloaded` response). It
+//!   also moves finished responses into per-connection write buffers and
+//!   flushes them as sockets accept bytes.
+//! * The **batcher** pops up to one micro-batch per tick from the queue,
+//!   expires requests whose deadline passed (`timeout` responses —
+//!   expired work is *never* scored), and hands the rest to the
+//!   [`QueryEngine`] inside `catch_unwind`: a poisoned request kills its
+//!   request (an `internal` response), not the server — on a batch
+//!   panic, the tick is retried one request at a time so only the
+//!   poisoned request is lost. The autograd `no_grad` state is restored
+//!   by the drop guards inside the engine, so the next tick scores
+//!   bitwise-identically to an unpoisoned session.
+//!
+//! ## Backpressure
+//!
+//! Per connection, reading stops (leaving bytes in the kernel socket
+//! buffer, which propagates TCP backpressure all the way to the peer)
+//! whenever that connection has `max_inflight_per_conn` unanswered
+//! requests or more than `write_buffer_limit` bytes of unflushed
+//! responses — a slowloris reader that never drains its responses caps
+//! its own memory footprint instead of growing the process.
+//!
+//! ## Graceful drain
+//!
+//! [`GatewayHandle::drain`] stops accepting and reading, lets the
+//! batcher finish every admitted request, flushes the write buffers,
+//! and exits cleanly — every accepted request is answered before the
+//! loop ends (bounded by `drain_grace`).
+
+pub mod batcher;
+pub mod config;
+pub mod conn;
+pub mod server;
+pub mod stats;
+pub mod testing;
+
+pub use cgnp_serve::{ErrorCode, QueryRequest, QueryResponse, ServeSession, ServeSummary};
+pub use config::GatewayConfig;
+pub use server::{Gateway, GatewayHandle};
+pub use stats::{GatewayReport, GatewaySummary};
+
+/// The scoring back-end the gateway multiplexes connections into.
+///
+/// [`cgnp_serve::ServeSession`] is the production implementation; the
+/// fault-injection harness ([`testing`]) wraps engines to inject panics,
+/// delays, and scripted behavior deterministically.
+pub trait QueryEngine: Send + Sync + 'static {
+    /// Number of nodes of the serving graph (boundary validation).
+    fn n(&self) -> usize;
+    /// Size of the labelled support pool (boundary validation).
+    fn max_shots(&self) -> usize;
+    /// Micro-batch bound: how many requests one tick coalesces.
+    fn batch(&self) -> usize;
+    /// Answers a micro-batch; must return one response per request, in
+    /// order. May panic on poisoned input — the gateway isolates it.
+    fn answer_batch(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse>;
+    /// The engine's own serving summary, when it keeps one (sessions
+    /// do); folded into the gateway's end-of-run report.
+    fn session_summary(&self) -> Option<ServeSummary> {
+        None
+    }
+}
+
+impl QueryEngine for ServeSession {
+    fn n(&self) -> usize {
+        ServeSession::n(self)
+    }
+
+    fn max_shots(&self) -> usize {
+        ServeSession::max_shots(self)
+    }
+
+    fn batch(&self) -> usize {
+        self.config().batch.max(1)
+    }
+
+    fn answer_batch(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse> {
+        ServeSession::answer_batch(self, reqs)
+    }
+
+    fn session_summary(&self) -> Option<ServeSummary> {
+        Some(self.summary())
+    }
+}

@@ -1,0 +1,502 @@
+//! The gateway itself: listener, readiness loop, admission control, and
+//! the drain state machine.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use cgnp_serve::{parse_request, ErrorCode, QueryResponse};
+
+use crate::batcher::{self, Pending};
+use crate::config::GatewayConfig;
+use crate::conn::{Conn, Framed};
+use crate::stats::{GatewayReport, GatewayStats, GatewaySummary};
+use crate::QueryEngine;
+
+/// Gateway lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum State {
+    Running,
+    /// Stop accepting and reading; answer everything admitted; exit.
+    Draining,
+}
+
+/// State shared between the event loop, the batcher, and the handle.
+pub struct Shared {
+    /// Admitted requests waiting for a tick (bounded by `max_queue`).
+    pub queue: Mutex<VecDeque<Pending>>,
+    pub queue_cv: Condvar,
+    /// Finished responses waiting to be routed to their connection.
+    pub outbox: Mutex<Vec<(u64, QueryResponse)>>,
+    state: AtomicU8,
+    /// Requests admitted but not yet routed to a write buffer.
+    pub inflight: AtomicU64,
+    pub stats: GatewayStats,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            outbox: Mutex::new(Vec::new()),
+            state: AtomicU8::new(State::Running as u8),
+            inflight: AtomicU64::new(0),
+            stats: GatewayStats::default(),
+        }
+    }
+
+    pub fn state(&self) -> State {
+        if self.state.load(Ordering::Acquire) == State::Draining as u8 {
+            State::Draining
+        } else {
+            State::Running
+        }
+    }
+
+    fn signal_drain(&self) {
+        // Record how much work drain has to finish, once (the first
+        // signal wins; `drained_in_flight` answers "did a drain ever
+        // abandon work" — it must all be answered before exit).
+        if self.state.swap(State::Draining as u8, Ordering::AcqRel) != State::Draining as u8 {
+            self.stats
+                .drained_in_flight
+                .store(self.inflight.load(Ordering::Acquire), Ordering::Relaxed);
+        }
+        self.queue_cv.notify_all();
+    }
+}
+
+/// The gateway front-end. Construct with [`Gateway::start`].
+pub struct Gateway;
+
+impl Gateway {
+    /// Binds `addr`, spawns the event loop and the batcher, and returns
+    /// a handle. The gateway runs until [`GatewayHandle::drain`] /
+    /// [`GatewayHandle::join`].
+    pub fn start(
+        engine: Arc<dyn QueryEngine>,
+        addr: impl ToSocketAddrs,
+        cfg: GatewayConfig,
+    ) -> std::io::Result<GatewayHandle> {
+        let cfg = cfg.sanitised();
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared::new());
+
+        let batcher = {
+            let engine = Arc::clone(&engine);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gateway-batcher".into())
+                .spawn(move || batcher::run(engine.as_ref(), &shared))?
+        };
+        let event = {
+            let engine = Arc::clone(&engine);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gateway-events".into())
+                .spawn(move || EventLoop::new(listener, engine, shared, cfg).run())?
+        };
+        Ok(GatewayHandle {
+            addr: local_addr,
+            shared,
+            engine,
+            event: Some(event),
+            batcher: Some(batcher),
+        })
+    }
+}
+
+/// Owner handle for a running gateway.
+pub struct GatewayHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    engine: Arc<dyn QueryEngine>,
+    event: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl GatewayHandle {
+    /// The bound listen address (resolves `:0` port requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals graceful drain: stop accepting and reading, answer every
+    /// admitted request, flush write buffers, then the threads exit.
+    pub fn drain(&self) {
+        self.shared.signal_drain();
+    }
+
+    /// Live counter snapshot.
+    pub fn stats(&self) -> GatewaySummary {
+        self.shared.stats.snapshot()
+    }
+
+    /// Drains (if not already draining) and waits for both threads,
+    /// returning the end-of-run report.
+    pub fn join(mut self) -> GatewayReport {
+        self.shared.signal_drain();
+        if let Some(h) = self.event.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        GatewayReport {
+            gateway: self.shared.stats.snapshot(),
+            session: self.engine.session_summary(),
+        }
+    }
+}
+
+impl Drop for GatewayHandle {
+    fn drop(&mut self) {
+        self.shared.signal_drain();
+        if let Some(h) = self.event.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+struct EventLoop {
+    listener: TcpListener,
+    engine: Arc<dyn QueryEngine>,
+    shared: Arc<Shared>,
+    cfg: GatewayConfig,
+    conns: HashMap<u64, Conn>,
+    next_conn_id: u64,
+    drain_started: Option<Instant>,
+}
+
+impl EventLoop {
+    fn new(
+        listener: TcpListener,
+        engine: Arc<dyn QueryEngine>,
+        shared: Arc<Shared>,
+        cfg: GatewayConfig,
+    ) -> Self {
+        Self {
+            listener,
+            engine,
+            shared,
+            cfg,
+            conns: HashMap::new(),
+            next_conn_id: 1,
+            drain_started: None,
+        }
+    }
+
+    fn run(mut self) {
+        loop {
+            let draining = self.shared.state() == State::Draining;
+            if draining && self.drain_started.is_none() {
+                self.drain_started = Some(Instant::now());
+            }
+            let mut progressed = false;
+            if !draining {
+                progressed |= self.accept_new();
+                progressed |= self.read_connections();
+            }
+            progressed |= self.route_outbox();
+            progressed |= self.flush_connections();
+            self.reap_finished();
+            if draining && self.drain_complete() {
+                return;
+            }
+            if !progressed {
+                std::thread::sleep(self.cfg.idle_poll);
+            }
+        }
+    }
+
+    /// Drain is done when the batcher has nothing left (queue empty and
+    /// no request between queue and outbox), the outbox is routed, and
+    /// every write buffer is flushed — or the grace period expired.
+    fn drain_complete(&self) -> bool {
+        let grace_expired = self
+            .drain_started
+            .is_some_and(|t| t.elapsed() > self.cfg.drain_grace);
+        if grace_expired {
+            return true;
+        }
+        let queue_empty = self
+            .shared
+            .queue
+            .lock()
+            .expect("gateway queue lock")
+            .is_empty();
+        let outbox_empty = self
+            .shared
+            .outbox
+            .lock()
+            .expect("gateway outbox lock")
+            .is_empty();
+        queue_empty
+            && outbox_empty
+            && self.shared.inflight.load(Ordering::Acquire) == 0
+            && self
+                .conns
+                .values()
+                .all(|c| c.dead || c.buffered_bytes() == 0)
+    }
+
+    /// Accepts pending connections, up to the connection limit. Peers
+    /// beyond it get one `overloaded` response, best-effort, and are
+    /// closed — a structured refusal beats a silent RST.
+    fn accept_new(&mut self) -> bool {
+        let mut progressed = false;
+        // Bounded per iteration so one accept storm cannot starve the
+        // read/write phases.
+        for _ in 0..32 {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    progressed = true;
+                    if self.conns.len() >= self.cfg.max_conns {
+                        self.shared.stats.bump(&self.shared.stats.rejected_conns);
+                        refuse_connection(stream);
+                        continue;
+                    }
+                    match Conn::new(stream) {
+                        Ok(conn) => {
+                            self.shared.stats.bump(&self.shared.stats.accepted);
+                            self.conns.insert(self.next_conn_id, conn);
+                            self.next_conn_id += 1;
+                        }
+                        Err(_) => self.shared.stats.bump(&self.shared.stats.disconnects),
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        progressed
+    }
+
+    /// Reads every connection that is not paused by backpressure, then
+    /// admits / answers / sheds its framed lines — but only as many as
+    /// flow control allows. One read gulp can frame hundreds of
+    /// pipelined lines; the rest wait on the connection, and reads stay
+    /// paused until they are admitted, so the in-flight quota holds at
+    /// line granularity, not gulp granularity.
+    fn read_connections(&mut self) -> bool {
+        let mut progressed = false;
+        let conn_ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in conn_ids {
+            let conn = self.conns.get_mut(&id).expect("conn exists");
+            if conn.wants_read(self.cfg.max_inflight_per_conn, self.cfg.write_buffer_limit) {
+                progressed |= conn.read_available(self.cfg.max_line_bytes) > 0;
+            }
+            // Admit pending frames while the quota and write-buffer
+            // gates stay open.
+            loop {
+                let conn = self.conns.get_mut(&id).expect("conn exists");
+                if !conn.can_admit(self.cfg.max_inflight_per_conn, self.cfg.write_buffer_limit) {
+                    break;
+                }
+                let Some(frame) = conn.next_frame() else {
+                    break;
+                };
+                progressed = true;
+                match frame {
+                    Framed::Line(line) => self.handle_line(id, &line),
+                    Framed::Oversized => {
+                        self.shared.stats.bump(&self.shared.stats.bad_requests);
+                        self.respond_direct(
+                            id,
+                            &QueryResponse::error(
+                                0,
+                                ErrorCode::BadRequest,
+                                format!(
+                                    "request line exceeds {} bytes; discarded to next newline",
+                                    self.cfg.max_line_bytes
+                                ),
+                            ),
+                        );
+                    }
+                }
+            }
+            // A half-written line followed by EOF gets a best-effort
+            // `bad_request` (deliverable while the peer half-closed
+            // only its write side), never a hang or a crash. Only
+            // surfaced once all complete frames before it are admitted.
+            let conn = self.conns.get_mut(&id).expect("conn exists");
+            if let Some(fragment) = conn.take_trailing_fragment() {
+                progressed = true;
+                self.shared.stats.bump(&self.shared.stats.bad_requests);
+                self.respond_direct(
+                    id,
+                    &QueryResponse::error(
+                        0,
+                        ErrorCode::BadRequest,
+                        format!(
+                            "connection closed mid-line ({} unterminated bytes discarded)",
+                            fragment.len()
+                        ),
+                    ),
+                );
+            }
+        }
+        progressed
+    }
+
+    /// Parses, boundary-validates, and admits one request line.
+    fn handle_line(&mut self, conn_id: u64, line: &str) {
+        let req = match parse_request(line) {
+            Ok(req) => req,
+            Err(e) => {
+                self.shared.stats.bump(&self.shared.stats.bad_requests);
+                self.respond_direct(
+                    conn_id,
+                    &QueryResponse::error(
+                        e.response_id(),
+                        ErrorCode::BadRequest,
+                        format!("bad request line: {e}"),
+                    ),
+                );
+                return;
+            }
+        };
+        // Boundary validation: an invalid request is answered here and
+        // never consumes a queue slot or a scoring tick.
+        if let Err(msg) =
+            cgnp_serve::validate_request(&req, self.engine.n(), self.engine.max_shots())
+        {
+            self.shared.stats.bump(&self.shared.stats.bad_requests);
+            self.respond_direct(
+                conn_id,
+                &QueryResponse::error(req.id, ErrorCode::BadRequest, msg),
+            );
+            return;
+        }
+        // Admission control: shed instead of queuing unboundedly. The
+        // in-flight count is raised *inside* the queue lock so a racing
+        // drain signal either sees the request in the queue or counts
+        // it — never loses it.
+        let shed_id = {
+            let mut queue = self.shared.queue.lock().expect("gateway queue lock");
+            if queue.len() >= self.cfg.max_queue {
+                Some(req.id)
+            } else {
+                queue.push_back(Pending {
+                    conn: conn_id,
+                    deadline: self.cfg.request_timeout.map(|t| Instant::now() + t),
+                    req,
+                });
+                self.shared.inflight.fetch_add(1, Ordering::AcqRel);
+                None
+            }
+        };
+        match shed_id {
+            None => {
+                self.shared.stats.bump(&self.shared.stats.requests);
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    conn.inflight += 1;
+                }
+                self.shared.queue_cv.notify_one();
+            }
+            Some(id) => {
+                self.shared.stats.bump(&self.shared.stats.shed);
+                self.respond_direct(
+                    conn_id,
+                    &QueryResponse::error(
+                        id,
+                        ErrorCode::Overloaded,
+                        format!(
+                            "request queue full ({} queued); retry later",
+                            self.cfg.max_queue
+                        ),
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Routes finished responses from the batcher into write buffers.
+    fn route_outbox(&mut self) -> bool {
+        let finished: Vec<(u64, QueryResponse)> = {
+            let mut outbox = self.shared.outbox.lock().expect("gateway outbox lock");
+            std::mem::take(&mut *outbox)
+        };
+        if finished.is_empty() {
+            return false;
+        }
+        for (conn_id, response) in finished {
+            self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+            match self.conns.get_mut(&conn_id) {
+                Some(conn) => {
+                    conn.inflight = conn.inflight.saturating_sub(1);
+                    conn.push_response(&response.to_json());
+                    self.shared.stats.bump(&self.shared.stats.responses);
+                }
+                // The peer disconnected with this request in flight;
+                // its answer has nowhere to go.
+                None => self
+                    .shared
+                    .stats
+                    .bump(&self.shared.stats.orphaned_responses),
+            }
+        }
+        true
+    }
+
+    /// Flushes write buffers and records the backpressure high-water
+    /// mark.
+    fn flush_connections(&mut self) -> bool {
+        let mut progressed = false;
+        let mut total_buffered = 0u64;
+        for conn in self.conns.values_mut() {
+            if conn.buffered_bytes() > 0 {
+                progressed |= conn.flush_some();
+            }
+            total_buffered += conn.buffered_bytes() as u64;
+        }
+        self.shared.stats.observe_buffered(total_buffered);
+        progressed
+    }
+
+    /// Removes finished and dead connections.
+    fn reap_finished(&mut self) {
+        let done: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.finished())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in done {
+            self.conns.remove(&id);
+            self.shared.stats.bump(&self.shared.stats.disconnects);
+        }
+    }
+
+    /// Serialises a response straight into a connection's write buffer
+    /// (the path for errors that never reach the batcher).
+    fn respond_direct(&mut self, conn_id: u64, response: &QueryResponse) {
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            conn.push_response(&response.to_json());
+        }
+    }
+}
+
+/// Best-effort `overloaded` notice for a connection refused at the
+/// limit. The socket is fresh, so a single small write almost always
+/// fits the kernel buffer; failure just means the peer sees a close.
+fn refuse_connection(stream: TcpStream) {
+    let response = QueryResponse::error(
+        0,
+        ErrorCode::Overloaded,
+        "connection limit reached; retry later",
+    );
+    let _ = stream.set_nonblocking(true);
+    let mut stream = stream;
+    let _ = stream.write_all(format!("{}\n", response.to_json()).as_bytes());
+}

@@ -1,0 +1,239 @@
+//! Deterministic fault-injection harness: scripted clients that
+//! misbehave on purpose, and engine wrappers that panic or stall on
+//! chosen request ids.
+//!
+//! Everything here drives a *real* gateway over a *real* loopback
+//! socket — the point is to exercise the exact nonblocking read/write
+//! and framing paths production traffic hits, with the misbehavior
+//! scripted instead of hoped-for.
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use cgnp_serve::{QueryRequest, QueryResponse, ServeSummary};
+
+use crate::QueryEngine;
+
+/// One step of a scripted client.
+#[derive(Clone, Debug)]
+pub enum Action {
+    /// Write a complete line (newline appended).
+    SendLine(String),
+    /// Write raw bytes exactly as given — half lines, garbage, frames
+    /// split anywhere.
+    SendRaw(Vec<u8>),
+    /// Write bytes one at a time with a delay between each — the
+    /// slowloris writer.
+    SendByteAtATime(Vec<u8>, Duration),
+    /// Read this many response lines (blocking, bounded by the read
+    /// timeout).
+    ReadLines(usize),
+    /// Do nothing for a while.
+    Sleep(Duration),
+    /// Half-close: no more writes, reads still possible.
+    CloseWrite,
+    /// Drop the socket immediately, mid-whatever.
+    Disconnect,
+}
+
+/// Builds a well-formed request line for node `node`.
+pub fn request_line(id: u64, node: usize) -> String {
+    format!("{{\"id\": {id}, \"nodes\": [{node}]}}")
+}
+
+/// Runs a scripted client against `addr`, returning every response line
+/// read. `Disconnect` ends the script early by design.
+pub fn run_script(addr: SocketAddr, script: &[Action]) -> std::io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut lines = Vec::new();
+    for action in script {
+        match action {
+            Action::SendLine(line) => {
+                writer.write_all(line.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+            }
+            Action::SendRaw(bytes) => {
+                writer.write_all(bytes)?;
+                writer.flush()?;
+            }
+            Action::SendByteAtATime(bytes, delay) => {
+                for &b in bytes {
+                    writer.write_all(&[b])?;
+                    writer.flush()?;
+                    std::thread::sleep(*delay);
+                }
+            }
+            Action::ReadLines(count) => {
+                for _ in 0..*count {
+                    let mut line = String::new();
+                    let read = reader.read_line(&mut line)?;
+                    if read == 0 {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            format!("server closed after {} lines", lines.len()),
+                        ));
+                    }
+                    lines.push(line.trim_end().to_string());
+                }
+            }
+            Action::Sleep(d) => std::thread::sleep(*d),
+            Action::CloseWrite => {
+                writer.shutdown(Shutdown::Write)?;
+            }
+            Action::Disconnect => return Ok(lines),
+        }
+    }
+    Ok(lines)
+}
+
+/// A model-free deterministic engine: every valid request is answered
+/// with the full node list and probabilities derived from the request
+/// id. Lets gateway-mechanics tests run without building a model.
+pub struct EchoEngine {
+    pub n: usize,
+    pub max_shots: usize,
+    pub batch: usize,
+    /// Per-call sleep, to hold requests in flight deterministically.
+    pub delay: Duration,
+}
+
+impl EchoEngine {
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            max_shots: 5,
+            batch: 8,
+            delay: Duration::ZERO,
+        }
+    }
+}
+
+impl QueryEngine for EchoEngine {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn max_shots(&self) -> usize {
+        self.max_shots
+    }
+
+    fn batch(&self) -> usize {
+        self.batch
+    }
+
+    fn answer_batch(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse> {
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        reqs.iter()
+            .map(|req| QueryResponse {
+                id: req.id,
+                ok: true,
+                error: None,
+                code: None,
+                members: (0..self.n).collect(),
+                probs: (0..self.n)
+                    .map(|v| ((req.id as usize + v) % 100) as f32 / 100.0)
+                    .collect(),
+                shots: req.shots.unwrap_or(self.max_shots).min(self.max_shots),
+                cached: false,
+                latency_us: 0,
+            })
+            .collect()
+    }
+}
+
+/// Wraps an engine with scripted faults: panic on chosen request ids
+/// and log every id that actually reaches scoring (so tests can assert
+/// a timed-out request was *never* scored).
+pub struct FaultInjectingEngine<E> {
+    inner: E,
+    panic_ids: HashSet<u64>,
+    scored: Mutex<Vec<u64>>,
+}
+
+impl<E: QueryEngine> FaultInjectingEngine<E> {
+    pub fn new(inner: E, panic_ids: impl IntoIterator<Item = u64>) -> Self {
+        Self {
+            inner,
+            panic_ids: panic_ids.into_iter().collect(),
+            scored: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Ids that reached the engine, in scoring order (panicking ids are
+    /// recorded too — they reached it, then poisoned the tick).
+    pub fn scored_ids(&self) -> Vec<u64> {
+        self.scored.lock().expect("scored log lock").clone()
+    }
+}
+
+impl<E: QueryEngine> QueryEngine for FaultInjectingEngine<E> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn max_shots(&self) -> usize {
+        self.inner.max_shots()
+    }
+
+    fn batch(&self) -> usize {
+        self.inner.batch()
+    }
+
+    fn answer_batch(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse> {
+        {
+            let mut scored = self.scored.lock().expect("scored log lock");
+            scored.extend(reqs.iter().map(|r| r.id));
+        }
+        if let Some(poisoned) = reqs.iter().find(|r| self.panic_ids.contains(&r.id)) {
+            panic!("injected panic for request {}", poisoned.id);
+        }
+        self.inner.answer_batch(reqs)
+    }
+
+    fn session_summary(&self) -> Option<ServeSummary> {
+        self.inner.session_summary()
+    }
+}
+
+/// Silences the default panic hook for the duration of a test that
+/// *expects* panics (the injected ones would otherwise spray backtraces
+/// over the test output). Restores the previous hook on drop. Tests
+/// using this must not run panicking threads concurrently with tests
+/// that assert on panic output (none here do).
+pub struct QuietPanics;
+
+impl QuietPanics {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let message = info.payload().downcast_ref::<&str>().copied();
+            let is_injected = message.is_some_and(|m| m.contains("injected panic"))
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.contains("injected panic"));
+            if !is_injected {
+                previous(info);
+            }
+        }));
+        QuietPanics
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        // Dropping our filter restores default behavior for later tests.
+        let _ = std::panic::take_hook();
+    }
+}

@@ -46,5 +46,7 @@ pub mod session;
 
 pub use cache::{CacheStats, LruCache};
 pub use ndjson::serve_ndjson;
-pub use protocol::{parse_request, QueryRequest, QueryResponse};
+pub use protocol::{
+    parse_request, validate_request, ErrorCode, ParseError, QueryRequest, QueryResponse,
+};
 pub use session::{serve_task, ServeConfig, ServeSession, ServeSummary};

@@ -10,18 +10,20 @@
 use std::io::{BufRead, Write};
 use std::sync::mpsc::{sync_channel, TryRecvError};
 
-use crate::protocol::{parse_request, QueryRequest, QueryResponse};
+use crate::protocol::{parse_request, ErrorCode, ParseError, QueryRequest, QueryResponse};
 use crate::session::{ServeSession, ServeSummary};
 
 /// One inbound line: a parsed request or a parse error to report.
-type Inbound = Result<QueryRequest, String>;
+type Inbound = Result<QueryRequest, ParseError>;
 
 /// Serves NDJSON requests from `input` to `output` until EOF, then
 /// returns the session's serving summary. Responses preserve arrival
-/// order within a tick; malformed lines produce `ok: false` responses
-/// with `id: 0` without stopping the stream. A *read* failure on `input`
-/// (as opposed to a malformed line) stops serving and returns the
-/// `io::Error` after answering everything already received.
+/// order within a tick; malformed lines produce `ok: false` /
+/// `code: "bad_request"` responses without stopping the stream, echoing
+/// the request id whenever one was recoverable from the line (`id: 0`
+/// otherwise). A *read* failure on `input` (as opposed to a malformed
+/// line) stops serving and returns the `io::Error` after answering
+/// everything already received.
 pub fn serve_ndjson(
     session: &ServeSession,
     input: impl BufRead + Send,
@@ -80,7 +82,11 @@ pub fn serve_ndjson(
             for inbound in &pending {
                 let response = match inbound {
                     Ok(_) => answered.next().expect("one response per request"),
-                    Err(e) => QueryResponse::error(0, format!("bad request line: {e}")),
+                    Err(e) => QueryResponse::error(
+                        e.response_id(),
+                        ErrorCode::BadRequest,
+                        format!("bad request line: {e}"),
+                    ),
                 };
                 let written = writeln!(output, "{}", response.to_json());
                 if let Err(e) = written.and_then(|()| output.flush()) {
@@ -166,6 +172,30 @@ mod tests {
         );
         assert_eq!(summary.errors, 1);
         assert!(summary.batches >= 1);
+    }
+
+    #[test]
+    fn parse_failures_echo_a_recoverable_id_and_typed_code() {
+        let s = session();
+        // Bad `nodes` after a good id; then garbage with no id at all.
+        let input = "{\"id\": 41, \"nodes\": \"oops\"}\nnot json\n";
+        let mut out = Vec::new();
+        serve_ndjson(&s, input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("\"id\":41"), "{}", lines[0]);
+        assert!(
+            lines[0].contains("\"code\":\"bad_request\""),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains("\"id\":0"), "{}", lines[1]);
+        assert!(
+            lines[1].contains("\"code\":\"bad_request\""),
+            "{}",
+            lines[1]
+        );
     }
 
     #[test]

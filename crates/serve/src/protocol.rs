@@ -23,17 +23,62 @@
 //! Response:
 //!
 //! ```json
-//! {"id": 1, "ok": true, "error": null, "members": [4, 17, 9],
+//! {"id": 1, "ok": true, "error": null, "code": null, "members": [4, 17, 9],
 //!  "probs": [0.99, 0.98, 0.71], "shots": 3, "cached": false, "latency_us": 412}
 //! ```
 //!
 //! `members` are ranked by probability (descending, node id breaking
-//! ties) and aligned with `probs`. Malformed lines and out-of-range nodes
-//! produce `ok: false` responses with `error` set — the stream keeps
-//! going.
+//! ties) and aligned with `probs`. Malformed lines and invalid requests
+//! produce `ok: false` responses with `error` (human-readable) and
+//! `code` (machine-readable, see [`ErrorCode`]) set — the stream keeps
+//! going. Error responses echo the request `id` whenever one was
+//! recoverable from the line, so multiplexed clients can correlate
+//! failures; lines where no id could be parsed report `id: 0`.
 
 use serde::json::Value;
 use serde::Serialize;
+
+/// Machine-readable error classes on the wire. Clients branch on these;
+/// the human-readable `error` string is for logs only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request was malformed or failed boundary validation; retrying
+    /// it unchanged will fail again.
+    BadRequest,
+    /// The request's deadline expired before it was scored; retrying may
+    /// succeed under lighter load.
+    Timeout,
+    /// The server shed the request (connection or queue limits); back
+    /// off and retry.
+    Overloaded,
+    /// Scoring failed unexpectedly (a caught panic); the server is still
+    /// healthy — other requests are unaffected.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling (`snake_case`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for ErrorCode {
+    fn serialize(&self, out: &mut serde::json::Emitter) {
+        out.string(self.as_str());
+    }
+}
 
 /// One community-search query.
 #[derive(Clone, Debug, PartialEq)]
@@ -77,12 +122,63 @@ impl QueryRequest {
     }
 }
 
+/// Sanity ceiling on `shots`: values beyond any plausible support pool
+/// are rejected as `bad_request` instead of silently clamped, so a
+/// client sending garbage (e.g. an unconverted `u64::MAX`) hears about
+/// it. Values between the pool size and this cap still clamp to the
+/// pool, which is the documented "condition on everything" idiom.
+pub const MAX_REASONABLE_SHOTS: usize = 1 << 20;
+
+/// Validates a request at the protocol boundary, before it is admitted
+/// to scoring: non-empty in-range `nodes`, `shots ≥ 1` (and not absurd
+/// — see [`MAX_REASONABLE_SHOTS`]), `top_k ≥ 1` when given. Returns the
+/// *effective* shot count — the session default (`max_shots`, the whole
+/// pool) unless the request narrows it; always within `1..=max_shots`.
+///
+/// Both front-ends (the stdin NDJSON loop and the TCP gateway) call
+/// this before a request can consume a queue slot or a scoring tick, so
+/// `predict_multi_batch`'s deep assertions are never the first line of
+/// defense against wire input.
+pub fn validate_request(
+    req: &QueryRequest,
+    n_nodes: usize,
+    max_shots: usize,
+) -> Result<usize, String> {
+    if req.nodes.is_empty() {
+        return Err("query needs at least one node".into());
+    }
+    if req.nodes.len() > n_nodes {
+        return Err(format!(
+            "query lists {} nodes but the graph only has {n_nodes}",
+            req.nodes.len()
+        ));
+    }
+    if let Some(&bad) = req.nodes.iter().find(|&&v| v >= n_nodes) {
+        return Err(format!(
+            "node {bad} out of range (graph has {n_nodes} nodes)"
+        ));
+    }
+    if req.top_k == Some(0) {
+        return Err("top_k must be ≥ 1 (omit it for the probability-threshold default)".into());
+    }
+    match req.shots {
+        Some(0) => Err("shots must be ≥ 1".into()),
+        Some(s) if s > MAX_REASONABLE_SHOTS => Err(format!(
+            "shots {s} is not a plausible support-pool size (max {MAX_REASONABLE_SHOTS})"
+        )),
+        Some(s) => Ok(s.min(max_shots)),
+        None => Ok(max_shots),
+    }
+}
+
 /// One answered query.
 #[derive(Clone, Debug, Serialize)]
 pub struct QueryResponse {
     pub id: u64,
     pub ok: bool,
     pub error: Option<String>,
+    /// Typed error class when `ok` is false (see [`ErrorCode`]).
+    pub code: Option<ErrorCode>,
     /// Member node ids ranked by probability (desc, node id asc on ties).
     pub members: Vec<usize>,
     /// Membership probabilities aligned with `members`.
@@ -97,11 +193,12 @@ pub struct QueryResponse {
 
 impl QueryResponse {
     /// An error response for a request id.
-    pub fn error(id: u64, msg: impl Into<String>) -> Self {
+    pub fn error(id: u64, code: ErrorCode, msg: impl Into<String>) -> Self {
         Self {
             id,
             ok: false,
             error: Some(msg.into()),
+            code: Some(code),
             members: Vec::new(),
             probs: Vec::new(),
             shots: 0,
@@ -113,6 +210,37 @@ impl QueryResponse {
     /// Compact single-line JSON (the NDJSON output format).
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("response serialisation is infallible")
+    }
+}
+
+/// A request line that could not be parsed. Carries the request `id`
+/// whenever one was recoverable from the line (a well-formed JSON object
+/// with a valid `id` field but, say, broken `nodes`), so the error
+/// response can still be correlated by a multiplexed client.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// The request id, when the line was parseable enough to extract it.
+    pub id: Option<u64>,
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            id: None,
+            message: message.into(),
+        }
+    }
+
+    /// The id to echo on the error response (`0` when unrecoverable).
+    pub fn response_id(&self) -> u64 {
+        self.id.unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
     }
 }
 
@@ -138,31 +266,44 @@ fn as_id_list(v: &Value, key: &str) -> Result<Vec<u64>, String> {
 
 /// Parses one NDJSON request line. Optional fields may be absent (the
 /// vendored serde derive has no `#[serde(default)]`, so this is
-/// hand-rolled over the parsed [`Value`]).
-pub fn parse_request(line: &str) -> Result<QueryRequest, String> {
-    let value = serde::json::parse(line).map_err(|e| e.0)?;
+/// hand-rolled over the parsed [`Value`]). On failure the returned
+/// [`ParseError`] carries the request id when the line got far enough
+/// for one to be recovered.
+pub fn parse_request(line: &str) -> Result<QueryRequest, ParseError> {
+    let value = serde::json::parse(line).map_err(|e| ParseError::new(e.0))?;
     let Value::Obj(pairs) = &value else {
-        return Err("request must be a JSON object".into());
+        return Err(ParseError::new("request must be a JSON object"));
     };
-    let id = as_u64(get(pairs, "id").ok_or("missing field \"id\"")?, "id")?;
+    // The id is extracted first and attached to every later failure, so
+    // a request with a good id but bad fields still gets a correlatable
+    // error response.
+    let id = get(pairs, "id")
+        .ok_or_else(|| ParseError::new("missing field \"id\""))
+        .and_then(|v| as_u64(v, "id").map_err(ParseError::new))?;
+    let with_id = |message: String| ParseError {
+        id: Some(id),
+        message,
+    };
     let nodes = as_id_list(
-        get(pairs, "nodes").ok_or("missing field \"nodes\"")?,
+        get(pairs, "nodes").ok_or_else(|| with_id("missing field \"nodes\"".into()))?,
         "nodes",
-    )?
+    )
+    .map_err(with_id)?
     .into_iter()
     .map(|x| x as usize)
     .collect();
     let attrs = match get(pairs, "attrs") {
-        Some(v) => as_id_list(v, "attrs")?
+        Some(v) => as_id_list(v, "attrs")
+            .map_err(with_id)?
             .into_iter()
             .map(|x| x as u32)
             .collect(),
         None => Vec::new(),
     };
-    let opt = |key: &str| -> Result<Option<u64>, String> {
+    let opt = |key: &str| -> Result<Option<u64>, ParseError> {
         match get(pairs, key) {
             None | Some(Value::Null) => Ok(None),
-            Some(v) => as_u64(v, key).map(Some),
+            Some(v) => as_u64(v, key).map(Some).map_err(with_id),
         }
     };
     Ok(QueryRequest {
@@ -215,8 +356,58 @@ mod tests {
     }
 
     #[test]
+    fn parse_errors_recover_the_id_when_possible() {
+        // Good id, bad nodes: the id survives for correlation.
+        let e = parse_request(r#"{"id": 7, "nodes": "nope"}"#).unwrap_err();
+        assert_eq!(e.id, Some(7));
+        assert_eq!(e.response_id(), 7);
+        let e = parse_request(r#"{"id": 8}"#).unwrap_err();
+        assert_eq!(e.id, Some(8), "missing nodes after a good id");
+        let e = parse_request(r#"{"id": 9, "nodes": [0], "shots": -3}"#).unwrap_err();
+        assert_eq!(e.id, Some(9), "bad optional field after a good id");
+        // No id recoverable: garbage, non-objects, bad id values.
+        assert_eq!(parse_request("not json").unwrap_err().id, None);
+        assert_eq!(parse_request(r#"{"nodes": [1]}"#).unwrap_err().id, None);
+        let e = parse_request(r#"{"id": -1, "nodes": [0]}"#).unwrap_err();
+        assert_eq!(e.id, None, "an invalid id is not echoed");
+        assert_eq!(e.response_id(), 0);
+    }
+
+    #[test]
+    fn boundary_validation() {
+        let ok = |req: &QueryRequest| validate_request(req, 100, 5);
+        assert_eq!(ok(&QueryRequest::new(1, vec![0, 99])).unwrap(), 5);
+        assert_eq!(ok(&QueryRequest::new(1, vec![0]).with_shots(2)).unwrap(), 2);
+        // Shots beyond the pool clamp (the "condition on everything"
+        // idiom) — but absurd values are rejected, not clamped.
+        assert_eq!(
+            ok(&QueryRequest::new(1, vec![0]).with_shots(64)).unwrap(),
+            5
+        );
+        let absurd = ok(&QueryRequest::new(1, vec![0]).with_shots(MAX_REASONABLE_SHOTS + 1));
+        assert!(absurd.unwrap_err().contains("plausible"));
+        assert!(ok(&QueryRequest::new(1, vec![])).is_err(), "empty nodes");
+        assert!(
+            ok(&QueryRequest::new(1, vec![100])).is_err(),
+            "node out of range"
+        );
+        assert!(
+            ok(&QueryRequest::new(1, (0..101).collect())).is_err(),
+            "more query nodes than the graph has"
+        );
+        assert!(
+            ok(&QueryRequest::new(1, vec![0]).with_shots(0)).is_err(),
+            "zero shots"
+        );
+        assert!(
+            ok(&QueryRequest::new(1, vec![0]).with_top_k(0)).is_err(),
+            "zero top_k"
+        );
+    }
+
+    #[test]
     fn response_serialises_to_one_line() {
-        let mut r = QueryResponse::error(4, "node 99 out of range");
+        let mut r = QueryResponse::error(4, ErrorCode::BadRequest, "node 99 out of range");
         r.latency_us = 12;
         let json = r.to_json();
         assert!(!json.contains('\n'));
@@ -225,6 +416,7 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("out of range"));
+        assert!(json.contains("bad_request"), "typed code on the wire");
         // Round-trips through the vendored parser.
         let v = serde::json::parse(&json).unwrap();
         let Value::Obj(pairs) = v else {
@@ -232,5 +424,15 @@ mod tests {
         };
         assert!(get(&pairs, "members").is_some());
         assert!(get(&pairs, "latency_us").is_some());
+        assert_eq!(get(&pairs, "code"), Some(&Value::Str("bad_request".into())));
+    }
+
+    #[test]
+    fn error_codes_spell_snake_case() {
+        assert_eq!(ErrorCode::BadRequest.as_str(), "bad_request");
+        assert_eq!(ErrorCode::Timeout.as_str(), "timeout");
+        assert_eq!(ErrorCode::Overloaded.as_str(), "overloaded");
+        assert_eq!(ErrorCode::Internal.as_str(), "internal");
+        assert_eq!(ErrorCode::Timeout.to_string(), "timeout");
     }
 }

@@ -24,7 +24,7 @@ use rand::SeedableRng;
 use serde::Serialize;
 
 use crate::cache::{CacheStats, LruCache};
-use crate::protocol::{QueryRequest, QueryResponse};
+use crate::protocol::{validate_request, ErrorCode, QueryRequest, QueryResponse};
 
 /// Session tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -264,25 +264,13 @@ impl ServeSession {
         Ok(())
     }
 
-    /// Effective shot count for a request: the session default (the whole
-    /// pool) unless the request narrows it; always within `1..=pool`.
-    fn effective_shots(&self, req: &QueryRequest) -> Result<usize, String> {
-        match req.shots {
-            Some(0) => Err("shots must be ≥ 1".into()),
-            Some(s) => Ok(s.min(self.max_shots())),
-            None => Ok(self.max_shots()),
-        }
-    }
-
-    fn validate(&self, req: &QueryRequest) -> Result<usize, String> {
-        if req.nodes.is_empty() {
-            return Err("query needs at least one node".into());
-        }
-        let n = self.n();
-        if let Some(&bad) = req.nodes.iter().find(|&&v| v >= n) {
-            return Err(format!("node {bad} out of range (graph has {n} nodes)"));
-        }
-        self.effective_shots(req)
+    /// Boundary validation for this session's graph and support pool
+    /// (the shared [`crate::protocol::validate_request`] rules). Returns
+    /// the effective shot count. Both front-ends call this before a
+    /// request is admitted; `answer_batch` re-checks as defense in depth
+    /// for library callers.
+    pub fn validate(&self, req: &QueryRequest) -> Result<usize, String> {
+        validate_request(req, self.n(), self.max_shots())
     }
 
     /// Answers one request (a micro-batch of one).
@@ -359,13 +347,14 @@ impl ServeSession {
             .iter()
             .zip(resolved)
             .map(|(req, r)| match r {
-                Err(e) => QueryResponse::error(req.id, e),
+                Err(e) => QueryResponse::error(req.id, ErrorCode::BadRequest, e),
                 Ok((shots, probs, cached)) => {
                     let (members, member_probs) = self.rank_members(&probs, req);
                     QueryResponse {
                         id: req.id,
                         ok: true,
                         error: None,
+                        code: None,
                         members,
                         probs: member_probs,
                         shots,

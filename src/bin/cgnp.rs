@@ -20,15 +20,25 @@
 //! cgnp serve --checkpoint model.json [--dataset citeseer] [--scale S]
 //!            [--decoder ip|mlp|gnn] [--shots N] [--seed N]
 //!            [--threads N] [--batch B] [--cache C]
-//!     Answer newline-delimited JSON queries from stdin on stdout using a
-//!     restored checkpoint (micro-batched; see README "Serving").
+//!            [--listen ADDR] [--max-conns N] [--max-queue N]
+//!            [--request-timeout-ms MS] [--drain MS]
+//!     Answer newline-delimited JSON queries using a restored checkpoint
+//!     (micro-batched; see README "Serving" and "Operations").
+//!     Without --listen, queries stream from stdin to stdout. With
+//!     --listen ADDR (e.g. 127.0.0.1:7878, port 0 for ephemeral), a TCP
+//!     gateway multiplexes many concurrent NDJSON clients into the same
+//!     micro-batcher; the bound address is printed to stderr. stdin then
+//!     becomes the control channel: a "drain" line or EOF triggers a
+//!     graceful drain (stop accepting, answer everything admitted, flush,
+//!     exit 0), bounded by the --drain grace period in milliseconds.
+//!     --request-timeout-ms 0 disables per-request deadlines.
 //!     Checkpoints written by `cgnp train` are self-describing: the
 //!     architecture embedded in the file is used and --scale/--decoder
 //!     are ignored. For legacy checkpoints without an embedded
 //!     architecture, the flags must match the ones used at training time
 //!     so the restored architecture lines up. A serving summary (latency
-//!     percentiles, batch occupancy, cache counters) is printed to stderr
-//!     at end of stream.
+//!     percentiles, batch occupancy, cache counters — plus gateway
+//!     counters when --listen is set) is printed to stderr at exit.
 //! ```
 
 use std::collections::HashMap;
@@ -41,6 +51,7 @@ use cgnp_eval::{
     build_single_graph_tasks, load_checkpoint_file, restore, save_with_arch, ArchSpec, Metrics,
     ScaleSettings, TaskKind, TextTable,
 };
+use cgnp_gateway::{Gateway, GatewayConfig};
 use cgnp_nn::Module;
 use cgnp_serve::{serve_ndjson, serve_task, ServeConfig, ServeSession};
 use rand::rngs::StdRng;
@@ -361,6 +372,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         cfg.cache,
         cfg.threads
     );
+    if let Some(listen) = flags.get("listen") {
+        return serve_gateway(session, listen, flags);
+    }
     // `StdinLock` is not `Send`; a fresh `BufReader` over the handle is,
     // and the reader thread is the only consumer anyway.
     let stdin = std::io::BufReader::new(std::io::stdin());
@@ -369,6 +383,46 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         .map_err(|e| format!("serving stream failed: {e}"))?;
     let json = serde_json::to_string(&summary).map_err(|e| e.to_string())?;
     eprintln!("serve summary: {json}");
+    Ok(())
+}
+
+/// Runs the TCP gateway until stdin says stop, then drains gracefully.
+fn serve_gateway(
+    session: ServeSession,
+    listen: &str,
+    flags: &HashMap<String, String>,
+) -> Result<(), String> {
+    use std::io::BufRead;
+    use std::time::Duration;
+
+    let defaults = GatewayConfig::default();
+    let timeout_ms = parse_usize(flags, "request-timeout-ms", 10_000)?;
+    let gateway_cfg = GatewayConfig {
+        max_conns: parse_usize(flags, "max-conns", defaults.max_conns)?,
+        max_queue: parse_usize(flags, "max-queue", defaults.max_queue)?,
+        request_timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms as u64)),
+        drain_grace: Duration::from_millis(parse_usize(flags, "drain", 5_000)? as u64),
+        ..defaults
+    };
+    let handle = Gateway::start(std::sync::Arc::new(session), listen, gateway_cfg)
+        .map_err(|e| format!("binding {listen}: {e}"))?;
+    // The address line is load-bearing: with `--listen 127.0.0.1:0` it
+    // is how scripts learn the ephemeral port.
+    eprintln!("gateway listening on {}", handle.addr());
+    eprintln!("control: send \"drain\" (or close stdin) for graceful shutdown");
+    for line in std::io::stdin().lock().lines() {
+        match line {
+            Ok(cmd) if matches!(cmd.trim(), "drain" | "quit" | "stop") => break,
+            Ok(cmd) if cmd.trim().is_empty() => continue,
+            Ok(cmd) => eprintln!("unknown control command {:?} (try \"drain\")", cmd.trim()),
+            Err(_) => break,
+        }
+    }
+    eprintln!("draining: accepting no new connections, finishing in-flight work");
+    handle.drain();
+    let report = handle.join();
+    let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+    eprintln!("gateway report: {json}");
     Ok(())
 }
 
