@@ -1,0 +1,180 @@
+//! Live-update staleness-vs-latency: how long the serving graph is
+//! stale after one small delta (a single edge insert), per refresh
+//! strategy.
+//!
+//! Three ways to absorb the same mutation stream into a serving
+//! session, each measured on its own session over the same prepared
+//! list of initially-absent edges:
+//!
+//! * `per_row` — `apply_update` patching only the touched operator rows
+//!   and feature entries ([`RefreshStrategy::PerRow`]);
+//! * `epoch_swap` — `apply_update` rebuilding the prepared operators
+//!   from scratch at the new epoch ([`RefreshStrategy::EpochSwap`]);
+//! * `fresh_session` — tear the session down and build a new one on the
+//!   mutated graph (new model instance + `ServeSession::new`), the
+//!   strategy a frozen-graph server is forced into.
+//!
+//! Writes `BENCH_update.json` at the workspace root with per-mode
+//! latency percentiles and updates/sec.
+//!
+//! Acceptance shape: `per_row` must beat `epoch_swap` on these
+//! single-edge deltas — patching a handful of rows has to be cheaper
+//! than re-normalising every adjacency row and recomputing every
+//! node's local clustering coefficient.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cgnp_core::{Cgnp, CgnpConfig, RefreshStrategy};
+use cgnp_data::{generate_sbm, model_input_dim, SbmConfig, Task};
+use cgnp_serve::{serve_task, ServeConfig, ServeSession, UpdateOp, UpdateRequest};
+
+fn base_task() -> Task {
+    let mut sbm = SbmConfig::small_test();
+    sbm.n = 400;
+    let graph = generate_sbm(&sbm, &mut StdRng::seed_from_u64(11));
+    serve_task(&graph, 5, 11).expect("support pool")
+}
+
+fn model_for(task: &Task) -> Cgnp {
+    Cgnp::new(
+        CgnpConfig::paper_default(model_input_dim(&task.graph), 16),
+        11,
+    )
+}
+
+fn serve_cfg(refresh: RefreshStrategy) -> ServeConfig {
+    ServeConfig {
+        batch: 8,
+        cache: 0, // measure refresh compute, not cache traffic
+        context_cache: false,
+        threads: rayon::current_num_threads(),
+        seed: 11,
+        refresh,
+    }
+}
+
+/// Deterministic supply of edges absent from the starting graph, so
+/// every timed iteration performs a *real* mutation (re-inserting an
+/// existing edge is an acknowledged no-op that skips the refresh).
+/// Each strategy replays the same sequence into its own session.
+fn spare_edges(task: &Task, count: usize) -> Vec<(usize, usize)> {
+    let g = task.graph.graph();
+    let n = g.n();
+    let mut edges = Vec::with_capacity(count);
+    'outer: for gap in 2..n {
+        for u in 0..n - gap {
+            let v = u + gap;
+            if !g.has_edge(u, v) {
+                edges.push((u, v));
+                if edges.len() == count {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    edges
+}
+
+fn live_update(c: &mut Criterion) {
+    let task = base_task();
+    // More spare edges than any plausible iteration count: a wrapped
+    // index would re-insert (a no-op) and undermeasure the refresh.
+    let edges = spare_edges(&task, 60_000);
+    let mut g = c.benchmark_group("live_update");
+
+    for (name, refresh) in [
+        ("per_row", RefreshStrategy::PerRow),
+        ("epoch_swap", RefreshStrategy::EpochSwap),
+    ] {
+        let session =
+            ServeSession::new(model_for(&task), task.clone(), serve_cfg(refresh)).expect("session");
+        let mut i = 0usize;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let (u, v) = edges[i % edges.len()];
+                i += 1;
+                let ack = session.apply_update(&UpdateRequest {
+                    id: i as u64,
+                    op: UpdateOp::AddEdge { u, v },
+                });
+                assert!(ack.ok, "bench update rejected: {:?}", ack.error);
+                black_box(ack)
+            })
+        });
+    }
+
+    {
+        // The frozen-graph alternative: mutate a detached task, then pay
+        // full session bring-up (model init + operator/feature build).
+        let mut fresh_task = task.clone();
+        let mut i = 0usize;
+        g.bench_function("fresh_session", |b| {
+            b.iter(|| {
+                let (u, v) = edges[i % edges.len()];
+                i += 1;
+                let _ = fresh_task.graph.insert_edge(u, v).expect("valid edge");
+                let session = ServeSession::new(
+                    model_for(&fresh_task),
+                    fresh_task.clone(),
+                    serve_cfg(RefreshStrategy::EpochSwap),
+                )
+                .expect("session");
+                black_box(session.epoch())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Writes `BENCH_update.json`: per mode, the time one single-edge delta
+/// keeps the session stale, and the sustainable update rate.
+fn emit_update_baseline(c: &mut Criterion) {
+    let modes = ["per_row", "epoch_swap", "fresh_session"];
+    let stat = |mode: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.name == format!("live_update/{mode}"))
+    };
+    let fresh_median = stat("fresh_session").map(|r| r.median_ns);
+    let mut rows = Vec::new();
+    for mode in modes {
+        let Some(r) = stat(mode) else { continue };
+        let speedup = fresh_median
+            .map(|f| format!("{:.3}", f / r.median_ns))
+            .unwrap_or_else(|| "null".to_string());
+        rows.push(format!(
+            "    {{\"mode\": \"{mode}\", \"latency_p50_us\": {:.1}, \"latency_p95_us\": {:.1}, \
+             \"updates_per_sec\": {:.1}, \"speedup_vs_fresh\": {speedup}}}",
+            r.median_ns / 1e3,
+            r.p95_ns / 1e3,
+            1e9 / r.median_ns
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"cgnp-update-baseline-v1\",\n  \"threads\": {},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        rayon::current_num_threads(),
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_update.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("update baseline written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    // Shape check: row patching must pay for itself on small deltas.
+    if let (Some(pr), Some(es)) = (stat("per_row"), stat("epoch_swap")) {
+        let ratio = es.median_ns / pr.median_ns;
+        let mark = if ratio >= 1.0 { "HOLDS " } else { "DIFFERS" };
+        println!(
+            "  [{mark}] per-row beats epoch-swap on single-edge deltas — \
+             per_row: {:.1} µs, epoch_swap: {:.1} µs ({ratio:.1}×)",
+            pr.median_ns / 1e3,
+            es.median_ns / 1e3
+        );
+    }
+}
+
+criterion_group!(benches, live_update, emit_update_baseline);
+criterion_main!(benches);

@@ -45,6 +45,7 @@ fn build_session() -> ServeSession {
             context_cache: false, // every tick pays its context forward
             threads: rayon::current_num_threads(),
             seed: 11,
+            refresh: Default::default(),
         },
     )
     .expect("session")

@@ -49,9 +49,9 @@ pub(crate) mod par;
 pub mod train;
 
 pub use commutative::Commutative;
-pub use config::{CgnpConfig, CommutativeOp, DecoderKind};
+pub use config::{CgnpConfig, CommutativeOp, DecoderKind, LrScale};
 pub use decoder::Decoder;
-pub use model::{Cgnp, PreparedTask};
+pub use model::{Cgnp, PreparedTask, RefreshStrategy};
 pub use train::{
     meta_train, meta_train_validated, meta_train_validated_with_threads, meta_train_with_threads,
     prepare_tasks, prepare_tasks_with_threads, task_loss, validation_loss,

@@ -1,6 +1,9 @@
 //! The CGNP model (Fig. 2): GNN encoder ϕθ → commutative ⊕ → decoder ρθ.
 
+use std::collections::BTreeSet;
+
 use cgnp_data::{base_features, with_indicator, QueryExample, Task};
+use cgnp_graph::{algo, GraphMutation};
 use cgnp_nn::{ForwardCtx, GnnEncoder, GraphContext, Module};
 use cgnp_tensor::{Matrix, Tensor};
 use rand::rngs::StdRng;
@@ -9,6 +12,17 @@ use rand::SeedableRng;
 use crate::commutative::Commutative;
 use crate::config::CgnpConfig;
 use crate::decoder::Decoder;
+
+/// How a stale [`PreparedTask`] catches up with its mutated graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RefreshStrategy {
+    /// Rebuild operators and base features from scratch at the new epoch.
+    #[default]
+    EpochSwap,
+    /// Patch only the operator/feature rows the mutation log touches;
+    /// falls back to a full rebuild when the log has been truncated.
+    PerRow,
+}
 
 /// A task with its graph operators and base features precomputed; built
 /// once and reused across epochs and queries.
@@ -22,9 +36,125 @@ pub struct PreparedTask {
 
 impl PreparedTask {
     pub fn new(task: Task) -> Self {
-        let gctx = GraphContext::new(task.graph.graph());
+        let epoch = task.graph.epoch();
+        let gctx = GraphContext::at_epoch(task.graph.graph(), epoch);
         let base = base_features(&task.graph);
         Self { task, gctx, base }
+    }
+
+    /// Graph epoch the operators and features were derived at.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.gctx.epoch()
+    }
+
+    /// True when the underlying graph has mutated past the derived state.
+    #[inline]
+    pub fn is_stale(&self) -> bool {
+        self.task.graph.epoch() != self.epoch()
+    }
+
+    /// Brings operators and base features up to the graph's current epoch.
+    ///
+    /// Both strategies yield state bitwise-identical to a scratch
+    /// [`PreparedTask::new`] on the mutated graph; `PerRow` merely touches
+    /// fewer rows when the mutation batch is small relative to the graph.
+    pub fn refresh(&mut self, strategy: RefreshStrategy) {
+        let target = self.task.graph.epoch();
+        let since = self.epoch();
+        if target == since {
+            return;
+        }
+        let log: Option<Vec<GraphMutation>> = match strategy {
+            RefreshStrategy::EpochSwap => None,
+            RefreshStrategy::PerRow => self.task.graph.mutations_since(since).map(|m| m.to_vec()),
+        };
+        match log {
+            Some(muts) => self.refresh_per_row(&muts, target),
+            None => {
+                self.gctx = GraphContext::at_epoch(self.task.graph.graph(), target);
+                self.base = base_features(&self.task.graph);
+            }
+        }
+    }
+
+    fn refresh_per_row(&mut self, muts: &[GraphMutation], target: u64) {
+        let ag = &self.task.graph;
+        let g = ag.graph();
+        let n = g.n();
+        let d = ag.n_attrs() + 2;
+
+        // Rows whose adjacency list changed (operator rows), whose local
+        // clustering coefficient may have changed, or whose attribute
+        // one-hot block must be rewritten. Affected sets are computed on
+        // the *final* graph: adjacency only grows under the mutation API,
+        // so these are supersets of the truly-changed rows, and every row
+        // is recomputed from the final graph anyway.
+        let mut adj_changed: BTreeSet<usize> = BTreeSet::new();
+        let mut lcc_rows: BTreeSet<usize> = BTreeSet::new();
+        let mut attr_rows: BTreeSet<usize> = BTreeSet::new();
+        for m in muts {
+            match *m {
+                GraphMutation::EdgeInserted { u, v } => {
+                    adj_changed.extend([u, v]);
+                    lcc_rows.extend([u, v]);
+                    // Common neighbours gain a closed triangle.
+                    let (nu, nv) = (g.neighbors(u), g.neighbors(v));
+                    let (mut i, mut j) = (0, 0);
+                    while i < nu.len() && j < nv.len() {
+                        match nu[i].cmp(&nv[j]) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                lcc_rows.insert(nu[i] as usize);
+                                i += 1;
+                                j += 1;
+                            }
+                        }
+                    }
+                }
+                GraphMutation::NodeAdded { v } => {
+                    adj_changed.insert(v);
+                    lcc_rows.insert(v);
+                    attr_rows.insert(v);
+                }
+                GraphMutation::AttrsUpdated { v } => {
+                    attr_rows.insert(v);
+                }
+            }
+        }
+
+        let adj: Vec<usize> = adj_changed.into_iter().collect();
+        self.gctx = self.gctx.refreshed(g, &adj, target);
+
+        // Grow the feature matrix if nodes were added, copying the old
+        // rows bitwise; new rows are filled below (every new node appears
+        // in `attr_rows` and `lcc_rows` via its NodeAdded record).
+        if self.base.rows() < n {
+            let mut grown = Matrix::zeros(n, d);
+            for v in 0..self.base.rows() {
+                grown.row_mut(v).copy_from_slice(self.base.row(v));
+            }
+            self.base = grown;
+        }
+
+        // Core numbers normalise by the global degeneracy, so the whole
+        // column is rewritten with the same expression as `base_features`.
+        let cores = algo::core_numbers(g);
+        let max_core = cores.iter().copied().max().unwrap_or(1).max(1) as f32;
+        for (v, &core) in cores.iter().enumerate().take(n) {
+            self.base.row_mut(v)[d - 2] = core as f32 / max_core;
+        }
+        for &v in &lcc_rows {
+            self.base.row_mut(v)[d - 1] = algo::local_clustering_coefficient(g, v);
+        }
+        for &v in &attr_rows {
+            let row = self.base.row_mut(v);
+            row[..d - 2].fill(0.0);
+            for &a in self.task.graph.attrs_of(v) {
+                row[a as usize] = 1.0;
+            }
+        }
     }
 }
 
@@ -451,5 +581,86 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut fctx = ForwardCtx::eval(&mut rng);
         let _ = model.context(&p, &[], &mut fctx);
+    }
+
+    /// Applies a mixed mutation batch to a prepared task's graph without
+    /// refreshing: two new edges, a new attributed node wired in, and an
+    /// attribute rewrite.
+    fn mutate(p: &mut PreparedTask) {
+        let n = p.task.graph.n();
+        assert!(p.task.graph.insert_edge(0, n / 2).expect("insert"));
+        assert!(p.task.graph.insert_edge(1, n - 1).expect("insert"));
+        let attrs = if p.task.graph.n_attrs() > 0 {
+            vec![0]
+        } else {
+            vec![]
+        };
+        let w = p.task.graph.add_node(attrs).expect("add node");
+        assert!(p.task.graph.insert_edge(w, 2).expect("insert"));
+        if p.task.graph.n_attrs() > 1 {
+            p.task.graph.update_attrs(3, vec![1]).expect("attrs");
+        }
+    }
+
+    #[test]
+    fn refresh_strategies_match_scratch_build_bitwise() {
+        for strategy in [RefreshStrategy::EpochSwap, RefreshStrategy::PerRow] {
+            let mut p = prepared_task(14);
+            let before = p.epoch();
+            mutate(&mut p);
+            assert!(p.is_stale());
+            p.refresh(strategy);
+            assert!(!p.is_stale());
+            assert!(p.epoch() > before);
+
+            let scratch = PreparedTask::new(p.task.clone());
+            assert_eq!(scratch.epoch(), p.epoch());
+            assert!(
+                p.base == scratch.base,
+                "{strategy:?}: base features diverged"
+            );
+            assert_eq!(
+                p.gctx.gcn_adj().forward(),
+                scratch.gctx.gcn_adj().forward(),
+                "{strategy:?}: gcn operator diverged"
+            );
+            assert_eq!(
+                p.gctx.gcn_adj().transposed(),
+                scratch.gctx.gcn_adj().transposed(),
+                "{strategy:?}: gcn transpose diverged"
+            );
+            assert_eq!(
+                p.gctx.mean_adj().forward(),
+                scratch.gctx.mean_adj().forward(),
+                "{strategy:?}: mean operator diverged"
+            );
+            assert_eq!(p.gctx.arcs().0, scratch.gctx.arcs().0);
+            assert_eq!(p.gctx.arcs().1, scratch.gctx.arcs().1);
+        }
+    }
+
+    #[test]
+    fn refresh_predictions_match_scratch_session() {
+        let mut p = prepared_task(15);
+        mutate(&mut p);
+        p.refresh(RefreshStrategy::PerRow);
+        let scratch = PreparedTask::new(p.task.clone());
+        let model = model_for(&p, DecoderKind::InnerProduct, CommutativeOp::Mean);
+        let q = p.task.targets[0].query;
+        let mut rng = StdRng::seed_from_u64(0);
+        let live = model.predict(&p, q, &mut rng);
+        let fresh = model.predict(&scratch, q, &mut rng);
+        assert_eq!(
+            live, fresh,
+            "refreshed task must predict bitwise-identically"
+        );
+    }
+
+    #[test]
+    fn refresh_on_unchanged_graph_is_a_no_op() {
+        let mut p = prepared_task(16);
+        let before = p.epoch();
+        p.refresh(RefreshStrategy::PerRow);
+        assert_eq!(p.epoch(), before);
     }
 }

@@ -101,7 +101,7 @@ impl Trainer {
         let cfg = model.config().clone();
         Self {
             rng: StdRng::seed_from_u64(seed),
-            opt: Adam::new(model.params(), cfg.lr),
+            opt: Adam::new(model.params(), cfg.effective_lr()),
             params: model.params(),
             cfg,
             threads,

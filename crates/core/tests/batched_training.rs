@@ -14,7 +14,7 @@
 use cgnp_core::{
     meta_train, meta_train_validated_with_threads, meta_train_with_threads, prepare_tasks,
     prepare_tasks_with_threads, task_loss, validation_loss_with_threads, Cgnp, CgnpConfig,
-    CommutativeOp, DecoderKind, PreparedTask,
+    CommutativeOp, DecoderKind, LrScale, PreparedTask,
 };
 use cgnp_data::{generate_sbm, model_input_dim, sample_task, SbmConfig, Task, TaskConfig};
 use cgnp_nn::{ForwardCtx, Module};
@@ -246,6 +246,49 @@ fn meta_batch_changes_trajectory_but_stays_finite() {
         "meta_batch > 1 must take averaged steps"
     );
     assert!(bat_losses.iter().all(|l| l.is_finite()));
+}
+
+#[test]
+fn lr_scale_none_pins_current_behaviour_and_linear_scales_the_step() {
+    // Three runs over the same seeds and meta_batch = 4, differing only
+    // in the lr policy. `none` (the default) must keep using cfg.lr
+    // verbatim — pinned by matching a hand-scaled `none` run against a
+    // `linear` run whose base rate is 4× smaller (1.25e-3 × 4 is exact
+    // in f32, so bitwise equality is well-defined).
+    let tasks = tiny_tasks(6, 20);
+    let in_dim = model_input_dim(&tasks[0].task.graph);
+    let build = |lr: f32, scale: LrScale| {
+        let mut cfg = CgnpConfig::paper_default(in_dim, 8)
+            .with_decoder(DecoderKind::InnerProduct)
+            .with_commutative(CommutativeOp::Mean)
+            .with_epochs(3)
+            .with_meta_batch(4)
+            .with_lr_scale(scale);
+        cfg.lr = lr;
+        Cgnp::new(cfg, 42)
+    };
+    let run = |model: &Cgnp| {
+        let losses = meta_train(model, &tasks, 6).epoch_losses;
+        (
+            losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            weights_bits(model),
+        )
+    };
+
+    let hand_scaled_none = build(5e-3, LrScale::None);
+    let linear = build(1.25e-3, LrScale::Linear);
+    assert_eq!(
+        run(&hand_scaled_none),
+        run(&linear),
+        "linear scaling must equal the hand-multiplied unscaled run bitwise"
+    );
+
+    let unscaled = build(1.25e-3, LrScale::None);
+    assert_ne!(
+        run(&unscaled),
+        run(&linear),
+        "the policy must actually change the step at meta_batch > 1"
+    );
 }
 
 /// A meta-batch larger than the task count degenerates to full-batch

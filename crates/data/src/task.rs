@@ -23,7 +23,7 @@ use cgnp_graph::AttributedGraph;
 
 /// One labelled query: the query node, its sampled positive/negative ground
 /// truth, and the full membership mask used for evaluation only.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QueryExample {
     /// Query node id within the task graph.
     pub query: usize,

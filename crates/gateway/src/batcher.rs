@@ -2,28 +2,42 @@
 //! panic isolation around the engine.
 //!
 //! The batcher is one thread popping micro-batches off the shared
-//! admission queue. Per tick it (1) expires requests whose deadline
-//! passed — those are answered `timeout` and **never scored** — and
-//! (2) scores the rest inside `catch_unwind`. A panic fails over to
-//! scoring the tick one request at a time, so exactly the poisoned
-//! requests get `internal` responses and every healthy neighbour in the
-//! same tick is still answered from the real engine.
+//! admission queue. A tick is either a contiguous run of queries (up to
+//! the engine's batch bound) or exactly one update frame — updates
+//! serialize with queries in admission order, so a query admitted after
+//! an `add_edge` is always answered under the post-mutation epoch. Per
+//! query tick it (1) expires requests whose deadline passed — those are
+//! answered `timeout` and **never scored** — and (2) scores the rest
+//! inside `catch_unwind`: a panic fails over to scoring the tick one
+//! request at a time, so exactly the poisoned requests get `internal`
+//! responses and every healthy neighbour in the same tick is still
+//! answered from the real engine.
+//!
+//! Responses are serialised to their NDJSON lines **here**, on the
+//! batcher thread, so the event loop routes ready-made bytes instead of
+//! spending its read/flush budget on JSON emission.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use cgnp_serve::{ErrorCode, QueryRequest, QueryResponse};
+use cgnp_serve::{ErrorCode, Frame, QueryRequest, QueryResponse, UpdateRequest};
 
 use crate::server::{Shared, State};
 use crate::QueryEngine;
 
-/// One admitted request waiting to be scored.
+/// One admitted frame waiting to be scored or applied.
 pub struct Pending {
     /// Connection the response routes back to.
     pub conn: u64,
-    pub req: QueryRequest,
+    pub frame: Frame,
     /// Absolute deadline; `None` = no timeout configured.
     pub deadline: Option<Instant>,
+}
+
+impl Pending {
+    fn id(&self) -> u64 {
+        self.frame.id()
+    }
 }
 
 /// How long the batcher sleeps on an empty queue before re-checking the
@@ -32,8 +46,9 @@ pub struct Pending {
 const IDLE_WAIT: Duration = Duration::from_millis(2);
 
 /// Runs ticks until drain is signalled and the queue is empty. Every
-/// popped request is answered with exactly one response pushed to the
-/// outbox — scored, `timeout`, or `internal` — never silently dropped.
+/// popped frame is answered with exactly one serialised response pushed
+/// to the outbox — scored, acknowledged, `timeout`, or `internal` —
+/// never silently dropped.
 pub fn run(engine: &dyn QueryEngine, shared: &Shared) {
     let batch = engine.batch().max(1);
     loop {
@@ -52,45 +67,89 @@ pub fn run(engine: &dyn QueryEngine, shared: &Shared) {
                     .expect("gateway queue lock");
                 queue = guard;
             }
-            let take = batch.min(queue.len());
-            queue.drain(..take).collect()
+            // Admission order is the serialization order: an update at
+            // the front forms a tick of one; otherwise the tick is the
+            // contiguous query run before the next update.
+            if matches!(
+                queue.front().expect("non-empty queue").frame,
+                Frame::Update(_)
+            ) {
+                vec![queue.pop_front().expect("non-empty queue")]
+            } else {
+                let run = queue
+                    .iter()
+                    .take_while(|p| matches!(p.frame, Frame::Query(_)))
+                    .count();
+                let take = batch.min(run);
+                queue.drain(..take).collect()
+            }
         };
         let responses = answer_tick(engine, shared, &tick);
         debug_assert_eq!(responses.len(), tick.len());
+        // Serialise on this thread; the event loop only moves bytes.
+        let lines: Vec<(u64, String)> = tick
+            .iter()
+            .map(|p| p.conn)
+            .zip(responses.iter().map(QueryResponse::to_json))
+            .collect();
         let mut outbox = shared.outbox.lock().expect("gateway outbox lock");
-        outbox.extend(tick.iter().map(|p| p.conn).zip(responses));
+        outbox.extend(lines);
     }
 }
 
-/// Answers one tick: expiry split, then isolated scoring.
+/// Answers one tick: expiry split, then isolated scoring/applying.
 fn answer_tick(engine: &dyn QueryEngine, shared: &Shared, tick: &[Pending]) -> Vec<QueryResponse> {
     let now = Instant::now();
     // Partition without reordering: responses must line up with `tick`.
     let mut live_reqs: Vec<QueryRequest> = Vec::with_capacity(tick.len());
+    let mut live_update: Option<&UpdateRequest> = None;
     let mut expired = vec![false; tick.len()];
     for (i, p) in tick.iter().enumerate() {
         if p.deadline.is_some_and(|d| now >= d) {
             expired[i] = true;
             shared.stats.bump(&shared.stats.timed_out);
-        } else {
-            live_reqs.push(p.req.clone());
+            continue;
+        }
+        match &p.frame {
+            Frame::Query(req) => live_reqs.push(req.clone()),
+            Frame::Update(req) => live_update = Some(req),
         }
     }
-    let mut answered = score_isolated(engine, shared, &live_reqs).into_iter();
+    let mut answered = match live_update {
+        // Tick assembly guarantees an update travels alone.
+        Some(update) => vec![apply_isolated(engine, shared, update)].into_iter(),
+        None => score_isolated(engine, shared, &live_reqs).into_iter(),
+    };
     tick.iter()
         .zip(&expired)
         .map(|(p, &is_expired)| {
             if is_expired {
                 QueryResponse::error(
-                    p.req.id,
+                    p.id(),
                     ErrorCode::Timeout,
                     "deadline expired before the request was scored",
                 )
             } else {
-                answered.next().expect("one response per live request")
+                answered.next().expect("one response per live frame")
             }
         })
         .collect()
+}
+
+/// Applies one update with panic isolation: a panicking engine loses
+/// the update, not the server.
+fn apply_isolated(engine: &dyn QueryEngine, shared: &Shared, req: &UpdateRequest) -> QueryResponse {
+    match catch_unwind(AssertUnwindSafe(|| engine.apply_update(req))) {
+        Ok(response) => response,
+        Err(_) => {
+            shared.stats.bump(&shared.stats.panics_caught);
+            QueryResponse::error(
+                req.id,
+                ErrorCode::Internal,
+                "update panicked while applying (isolated; server healthy)",
+            )
+        }
+    }
 }
 
 /// Scores a batch with panic isolation. On a batch-level panic, retries

@@ -9,7 +9,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use cgnp_serve::{parse_request, ErrorCode, QueryResponse};
+use cgnp_serve::{parse_frame, ErrorCode, Frame, QueryResponse};
 
 use crate::batcher::{self, Pending};
 use crate::config::GatewayConfig;
@@ -30,8 +30,9 @@ pub struct Shared {
     /// Admitted requests waiting for a tick (bounded by `max_queue`).
     pub queue: Mutex<VecDeque<Pending>>,
     pub queue_cv: Condvar,
-    /// Finished responses waiting to be routed to their connection.
-    pub outbox: Mutex<Vec<(u64, QueryResponse)>>,
+    /// Finished responses, already serialised to their NDJSON lines by
+    /// the batcher, waiting to be routed to their connection.
+    pub outbox: Mutex<Vec<(u64, String)>>,
     state: AtomicU8,
     /// Requests admitted but not yet routed to a write buffer.
     pub inflight: AtomicU64,
@@ -349,10 +350,12 @@ impl EventLoop {
         progressed
     }
 
-    /// Parses, boundary-validates, and admits one request line.
+    /// Parses, boundary-validates, and admits one frame line (a query
+    /// or a control frame — both flow through the same admission queue,
+    /// so updates serialize with queries in arrival order).
     fn handle_line(&mut self, conn_id: u64, line: &str) {
-        let req = match parse_request(line) {
-            Ok(req) => req,
+        let frame = match parse_frame(line) {
+            Ok(frame) => frame,
             Err(e) => {
                 self.shared.stats.bump(&self.shared.stats.bad_requests);
                 self.respond_direct(
@@ -366,15 +369,22 @@ impl EventLoop {
                 return;
             }
         };
-        // Boundary validation: an invalid request is answered here and
+        // Boundary validation: an invalid frame is answered here and
         // never consumes a queue slot or a scoring tick.
-        if let Err(msg) =
-            cgnp_serve::validate_request(&req, self.engine.n(), self.engine.max_shots())
-        {
+        let checked = match &frame {
+            Frame::Query(req) => {
+                cgnp_serve::validate_request(req, self.engine.n(), self.engine.max_shots())
+                    .map(|_| ())
+            }
+            Frame::Update(req) => {
+                cgnp_serve::validate_update(req, self.engine.n(), self.engine.n_attrs())
+            }
+        };
+        if let Err(msg) = checked {
             self.shared.stats.bump(&self.shared.stats.bad_requests);
             self.respond_direct(
                 conn_id,
-                &QueryResponse::error(req.id, ErrorCode::BadRequest, msg),
+                &QueryResponse::error(frame.id(), ErrorCode::BadRequest, msg),
             );
             return;
         }
@@ -385,12 +395,12 @@ impl EventLoop {
         let shed_id = {
             let mut queue = self.shared.queue.lock().expect("gateway queue lock");
             if queue.len() >= self.cfg.max_queue {
-                Some(req.id)
+                Some(frame.id())
             } else {
                 queue.push_back(Pending {
                     conn: conn_id,
                     deadline: self.cfg.request_timeout.map(|t| Instant::now() + t),
-                    req,
+                    frame,
                 });
                 self.shared.inflight.fetch_add(1, Ordering::AcqRel);
                 None
@@ -421,21 +431,23 @@ impl EventLoop {
         }
     }
 
-    /// Routes finished responses from the batcher into write buffers.
+    /// Routes finished responses — serialised by the batcher — into
+    /// write buffers. No JSON is emitted on this thread: the event loop
+    /// spends its budget on socket readiness, not string building.
     fn route_outbox(&mut self) -> bool {
-        let finished: Vec<(u64, QueryResponse)> = {
+        let finished: Vec<(u64, String)> = {
             let mut outbox = self.shared.outbox.lock().expect("gateway outbox lock");
             std::mem::take(&mut *outbox)
         };
         if finished.is_empty() {
             return false;
         }
-        for (conn_id, response) in finished {
+        for (conn_id, line) in finished {
             self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
             match self.conns.get_mut(&conn_id) {
                 Some(conn) => {
                     conn.inflight = conn.inflight.saturating_sub(1);
-                    conn.push_response(&response.to_json());
+                    conn.push_response(&line);
                     self.shared.stats.bump(&self.shared.stats.responses);
                 }
                 // The peer disconnected with this request in flight;

@@ -146,6 +146,7 @@ impl QueryEngine for EchoEngine {
                 shots: req.shots.unwrap_or(self.max_shots).min(self.max_shots),
                 cached: false,
                 latency_us: 0,
+                epoch: 0,
             })
             .collect()
     }

@@ -64,6 +64,7 @@ fn session(seed: u64) -> ServeSession {
             threads: 1,
             seed,
             context_cache: true,
+            refresh: Default::default(),
         },
     )
     .expect("session")
@@ -567,4 +568,67 @@ fn session_summary_rides_along_in_the_report() {
     let json = serde_json::to_string(&report).unwrap();
     assert!(json.contains("\"gateway\""), "{json}");
     assert!(json.contains("\"latency_p50_us\""), "{json}");
+}
+
+#[test]
+fn live_updates_serialize_with_queries_and_advance_the_epoch() {
+    let engine = Arc::new(session(6));
+    let epoch0 = {
+        let s: &ServeSession = &engine;
+        s.epoch()
+    };
+    let handle = start(engine.clone(), GatewayConfig::default());
+    let lines = run_script(
+        handle.addr(),
+        &[
+            Action::SendLine(request_line(1, 0)),
+            Action::ReadLines(1),
+            Action::SendLine("{\"id\": 2, \"op\": \"add_edge\", \"u\": 0, \"v\": 9}".into()),
+            Action::ReadLines(1),
+            Action::SendLine(request_line(3, 0)),
+            Action::ReadLines(1),
+            Action::SendLine(
+                "{\"id\": 4, \"op\": \"update_support\", \"add\": {\"query\": 2, \"pos\": [3]}}"
+                    .into(),
+            ),
+            Action::ReadLines(1),
+            // Validation failures are answered at the boundary and never
+            // consume a scoring tick.
+            Action::SendLine("{\"id\": 5, \"op\": \"add_edge\", \"u\": 0, \"v\": 999999}".into()),
+            Action::ReadLines(1),
+        ],
+    )
+    .expect("script runs");
+    assert_eq!(lines.len(), 5);
+    let epoch_of = |line: &str| -> u64 {
+        match field(&parse(line), "epoch") {
+            serde::json::Value::Num(n) => *n as u64,
+            other => panic!("bad epoch {other:?}"),
+        }
+    };
+    for (i, line) in lines.iter().take(4).enumerate() {
+        assert_eq!(id_of(line), i as u64 + 1, "{line}");
+        assert!(line.contains("\"ok\":true"), "{line}");
+    }
+    assert_eq!(epoch_of(&lines[0]), epoch0);
+    assert_eq!(
+        epoch_of(&lines[1]),
+        epoch0 + 1,
+        "add_edge ack carries the new epoch"
+    );
+    assert_eq!(
+        epoch_of(&lines[2]),
+        epoch0 + 1,
+        "query admitted after the update answers under the new epoch"
+    );
+    assert_eq!(code_of(&lines[4]).as_deref(), Some("bad_request"));
+    assert!(lines[4].contains("out of range"), "{}", lines[4]);
+    let report = handle.join();
+    assert_eq!(report.gateway.panics_caught, 0);
+    let session = report.session.expect("session summary");
+    assert_eq!(
+        session.updates, 2,
+        "rejected update never reached the engine"
+    );
+    assert_eq!(session.epoch, epoch0 + 1);
 }

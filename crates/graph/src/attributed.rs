@@ -8,6 +8,24 @@
 
 use crate::graph::Graph;
 
+/// One applied live mutation, logged so epoch-tagged consumers (operator
+/// caches, feature matrices) can refresh exactly the rows a delta
+/// touched instead of rebuilding from scratch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphMutation {
+    /// Undirected edge `{u, v}` was inserted.
+    EdgeInserted { u: usize, v: usize },
+    /// Node `v` was appended (isolated; attributes set at creation).
+    NodeAdded { v: usize },
+    /// Node `v`'s attribute set was replaced.
+    AttrsUpdated { v: usize },
+}
+
+/// Mutations retained for incremental consumers. Older history is
+/// truncated; consumers that fall further behind than this must do a
+/// coarse epoch-swap rebuild instead of a per-row refresh.
+const MAX_MUTATION_LOG: usize = 4096;
+
 /// An undirected graph plus node attributes and ground-truth communities.
 #[derive(Clone, Debug)]
 pub struct AttributedGraph {
@@ -20,6 +38,14 @@ pub struct AttributedGraph {
     communities: Vec<Vec<u32>>,
     /// Sorted community ids per node (inverse of `communities`).
     node_comms: Vec<Vec<u32>>,
+    /// Monotonically increasing version: bumped once per applied
+    /// mutation, `0` for any freshly constructed graph.
+    epoch: u64,
+    /// Recent mutations, `log[i]` taking the graph from epoch
+    /// `log_start + i` to `log_start + i + 1`.
+    log: Vec<GraphMutation>,
+    /// Epoch the first retained log entry applies to.
+    log_start: u64,
 }
 
 impl AttributedGraph {
@@ -58,6 +84,9 @@ impl AttributedGraph {
             attrs,
             communities,
             node_comms,
+            epoch: 0,
+            log: Vec::new(),
+            log_start: 0,
         }
     }
 
@@ -188,7 +217,100 @@ impl AttributedGraph {
             attrs: vec![Vec::new(); self.n()],
             communities: self.communities.clone(),
             node_comms: self.node_comms.clone(),
+            epoch: 0,
+            log: Vec::new(),
+            log_start: 0,
         }
+    }
+
+    /// Current graph epoch: `0` at construction, `+1` per applied
+    /// mutation. Consumers tag derived state (operators, features) with
+    /// the epoch it was built at and refresh when the graph moves on.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The mutations that take the graph from `since` to the current
+    /// epoch, oldest first (empty when already current). `None` when that
+    /// history is no longer retained — the caller is too far behind for a
+    /// per-row refresh and must rebuild from scratch.
+    pub fn mutations_since(&self, since: u64) -> Option<&[GraphMutation]> {
+        if since > self.epoch || since < self.log_start {
+            return None;
+        }
+        Some(&self.log[(since - self.log_start) as usize..])
+    }
+
+    fn record(&mut self, m: GraphMutation) {
+        self.epoch += 1;
+        self.log.push(m);
+        if self.log.len() > MAX_MUTATION_LOG {
+            let drop = self.log.len() - MAX_MUTATION_LOG;
+            self.log.drain(..drop);
+            self.log_start += drop as u64;
+        }
+    }
+
+    /// Inserts the undirected edge `{u, v}` live. Returns `true` (and
+    /// bumps the epoch) when the edge is new; `Ok(false)` when it already
+    /// exists — an idempotent no-op that leaves the epoch unchanged.
+    /// Out-of-range endpoints and self-loops are errors, not panics:
+    /// wire-facing callers route untrusted deltas here.
+    pub fn insert_edge(&mut self, u: usize, v: usize) -> Result<bool, String> {
+        let n = self.n();
+        if u >= n || v >= n {
+            return Err(format!("edge ({u},{v}) out of range (graph has {n} nodes)"));
+        }
+        if u == v {
+            return Err(format!("self-loop ({u},{u}) rejected"));
+        }
+        if self.graph.insert_edge(u, v).is_none() {
+            return Ok(false);
+        }
+        self.record(GraphMutation::EdgeInserted { u, v });
+        Ok(true)
+    }
+
+    /// Appends an isolated node carrying `attrs` and returns its id. The
+    /// attribute vocabulary is fixed (`|A|` is baked into every model's
+    /// input width), so ids must be `< n_attrs()`.
+    pub fn add_node(&mut self, mut attrs: Vec<u32>) -> Result<usize, String> {
+        attrs.sort_unstable();
+        attrs.dedup();
+        if let Some(&bad) = attrs.iter().find(|&&a| a as usize >= self.n_attrs) {
+            return Err(format!(
+                "attribute {bad} out of range (vocabulary has {} attributes)",
+                self.n_attrs
+            ));
+        }
+        let v = self.graph.add_node();
+        self.attrs.push(attrs);
+        self.node_comms.push(Vec::new());
+        self.record(GraphMutation::NodeAdded { v });
+        Ok(v)
+    }
+
+    /// Replaces node `v`'s attribute set live (same vocabulary bound as
+    /// [`AttributedGraph::add_node`]).
+    pub fn update_attrs(&mut self, v: usize, mut attrs: Vec<u32>) -> Result<(), String> {
+        if v >= self.n() {
+            return Err(format!(
+                "node {v} out of range (graph has {} nodes)",
+                self.n()
+            ));
+        }
+        attrs.sort_unstable();
+        attrs.dedup();
+        if let Some(&bad) = attrs.iter().find(|&&a| a as usize >= self.n_attrs) {
+            return Err(format!(
+                "attribute {bad} out of range (vocabulary has {} attributes)",
+                self.n_attrs
+            ));
+        }
+        self.attrs[v] = attrs;
+        self.record(GraphMutation::AttrsUpdated { v });
+        Ok(())
     }
 
     /// Induced subgraph on `nodes`; community ids are preserved (member
@@ -290,5 +412,68 @@ mod tests {
     fn attribute_bounds_checked() {
         let g = Graph::from_edges(1, &[]);
         let _ = AttributedGraph::new(g, 1, vec![vec![5]], vec![]);
+    }
+
+    #[test]
+    fn mutations_bump_epoch_and_log() {
+        let mut ag = sample();
+        assert_eq!(ag.epoch(), 0);
+        assert_eq!(ag.mutations_since(0), Some(&[][..]));
+        assert!(ag.insert_edge(0, 3).unwrap());
+        let v = ag.add_node(vec![1]).unwrap();
+        ag.update_attrs(v, vec![0, 2]).unwrap();
+        assert_eq!(ag.epoch(), 3);
+        assert_eq!(
+            ag.mutations_since(0).unwrap(),
+            &[
+                GraphMutation::EdgeInserted { u: 0, v: 3 },
+                GraphMutation::NodeAdded { v },
+                GraphMutation::AttrsUpdated { v },
+            ]
+        );
+        assert_eq!(ag.mutations_since(2).unwrap().len(), 1);
+        assert_eq!(ag.mutations_since(3), Some(&[][..]));
+        assert_eq!(ag.mutations_since(4), None, "the future is unknown");
+    }
+
+    #[test]
+    fn duplicate_edge_insert_is_an_epochless_no_op() {
+        let mut ag = sample();
+        assert!(!ag.insert_edge(0, 1).unwrap(), "edge already present");
+        assert_eq!(ag.epoch(), 0);
+        assert!(ag.insert_edge(0, 0).is_err(), "self-loop rejected");
+        assert!(ag.insert_edge(0, 99).is_err(), "out of range rejected");
+    }
+
+    #[test]
+    fn live_mutations_keep_invariants() {
+        let mut ag = sample();
+        let v = ag.add_node(vec![2, 0, 2]).unwrap();
+        assert_eq!(ag.n(), 7);
+        assert_eq!(ag.attrs_of(v), &[0, 2], "sorted and deduped");
+        assert!(ag.communities_of(v).is_empty());
+        ag.insert_edge(v, 1).unwrap();
+        assert_eq!(ag.graph().neighbors(v), &[1]);
+        assert!(ag.add_node(vec![7]).is_err(), "attr out of vocabulary");
+        assert!(ag.update_attrs(v, vec![9]).is_err());
+        ag.update_attrs(v, vec![1]).unwrap();
+        assert!(ag.has_attr(v, 1));
+    }
+
+    #[test]
+    fn mutation_log_truncates_but_stays_consistent() {
+        // Drive the log beyond its retention bound with alternating
+        // attribute updates; history must stay addressable from the
+        // retained window and report `None` before it.
+        let mut ag = sample();
+        for i in 0..(super::MAX_MUTATION_LOG + 10) {
+            ag.update_attrs(i % 2, vec![0]).unwrap();
+        }
+        let epoch = ag.epoch();
+        assert_eq!(epoch, (super::MAX_MUTATION_LOG + 10) as u64);
+        assert!(ag.mutations_since(0).is_none(), "history truncated");
+        assert_eq!(ag.mutations_since(epoch), Some(&[][..]));
+        let tail = ag.mutations_since(epoch - 5).unwrap();
+        assert_eq!(tail.len(), 5);
     }
 }

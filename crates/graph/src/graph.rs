@@ -212,6 +212,47 @@ impl Graph {
     pub fn degree_sum(&self) -> usize {
         self.neighbors.len()
     }
+
+    /// Inserts the undirected edge `{u, v}` in place, splicing both CSR
+    /// adjacency lists at their sorted positions. Returns the new edge id,
+    /// or `None` when the edge already exists or is a self-loop (the same
+    /// inputs [`Graph::from_edges`] silently drops). The resulting graph is
+    /// structurally identical to one rebuilt from the extended edge list —
+    /// neighbor lists stay sorted — though edge *ids* reflect insertion
+    /// order rather than canonical order.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`.
+    pub fn insert_edge(&mut self, u: usize, v: usize) -> Option<usize> {
+        let n = self.n();
+        assert!(u < n && v < n, "edge ({u},{v}) out of bounds for n={n}");
+        if u == v || self.has_edge(u, v) {
+            return None;
+        }
+        let eid = self.edges.len();
+        self.edges.push((u.min(v) as u32, u.max(v) as u32));
+        self.insert_arc(u, v as u32, eid as u32);
+        self.insert_arc(v, u as u32, eid as u32);
+        Some(eid)
+    }
+
+    /// Splices the arc `src → dst` into `src`'s sorted adjacency span.
+    fn insert_arc(&mut self, src: usize, dst: u32, eid: u32) {
+        let span = self.offsets[src]..self.offsets[src + 1];
+        let pos = span.start + self.neighbors[span].partition_point(|&x| x < dst);
+        self.neighbors.insert(pos, dst);
+        self.edge_ids.insert(pos, eid);
+        for o in &mut self.offsets[src + 1..] {
+            *o += 1;
+        }
+    }
+
+    /// Appends an isolated node and returns its id.
+    pub fn add_node(&mut self) -> usize {
+        let end = *self.offsets.last().expect("offsets non-empty");
+        self.offsets.push(end);
+        self.n() - 1
+    }
 }
 
 /// Incremental edge-list builder.
@@ -354,5 +395,59 @@ mod tests {
         let g = Graph::from_edges(0, &[]);
         assert_eq!(g.n(), 0);
         assert_eq!(g.m(), 0);
+    }
+
+    /// Adjacency (offsets + sorted neighbor lists) must match a scratch
+    /// rebuild; edge ids may differ but must stay internally consistent.
+    fn assert_same_structure(a: &Graph, b: &Graph) {
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.m(), b.m());
+        for v in 0..a.n() {
+            assert_eq!(a.neighbors(v), b.neighbors(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn insert_edge_matches_scratch_rebuild() {
+        let base = [(0usize, 1usize), (1, 2), (2, 0), (2, 3)];
+        let mut g = Graph::from_edges(6, &base);
+        let inserted = [(3usize, 5usize), (0, 4), (1, 4), (0, 5)];
+        for &(u, v) in &inserted {
+            assert!(g.insert_edge(u, v).is_some());
+        }
+        let all: Vec<_> = base.iter().chain(&inserted).copied().collect();
+        assert_same_structure(&g, &Graph::from_edges(6, &all));
+        // Edge-id invariant holds for spliced graphs too.
+        for v in 0..g.n() {
+            for (i, &nb) in g.neighbors(v).iter().enumerate() {
+                let eid = g.edge_ids_of(v)[i] as usize;
+                let (a, b) = g.edge(eid);
+                assert_eq!((a, b), (v.min(nb as usize), v.max(nb as usize)));
+            }
+        }
+    }
+
+    #[test]
+    fn insert_edge_rejects_duplicates_and_self_loops() {
+        let mut g = triangle_plus_tail();
+        assert_eq!(g.insert_edge(0, 1), None, "already present");
+        assert_eq!(g.insert_edge(1, 0), None, "either direction");
+        assert_eq!(g.insert_edge(2, 2), None, "self-loop");
+        assert_eq!(g.m(), 4, "no-ops leave the graph unchanged");
+        let eid = g.insert_edge(1, 3).expect("new edge");
+        assert_eq!(g.edge(eid), (1, 3));
+        assert!(g.has_edge(3, 1));
+    }
+
+    #[test]
+    fn add_node_is_isolated_and_connectable() {
+        let mut g = triangle_plus_tail();
+        let v = g.add_node();
+        assert_eq!(v, 4);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.degree(v), 0);
+        g.insert_edge(v, 0).expect("connect the new node");
+        assert_eq!(g.neighbors(v), &[0]);
+        assert!(g.has_edge(0, v));
     }
 }

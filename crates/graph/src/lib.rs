@@ -26,7 +26,7 @@ pub mod algo;
 pub mod attributed;
 pub mod graph;
 
-pub use attributed::AttributedGraph;
+pub use attributed::{AttributedGraph, GraphMutation};
 pub use graph::{Graph, GraphBuilder};
 
 #[cfg(test)]

@@ -25,11 +25,67 @@ pub struct GraphContext {
 
 impl GraphContext {
     pub fn new(g: &Graph) -> Self {
+        Self::at_epoch(g, 0)
+    }
+
+    /// Build from scratch, tagging both operators with `epoch`.
+    pub fn at_epoch(g: &Graph, epoch: u64) -> Self {
         let (src, dst) = g.directed_arcs(true);
         Self {
             n: g.n(),
-            gcn_adj: Arc::new(SparseOperator::new(gcn_normalised(g))),
-            mean_adj: Arc::new(SparseOperator::new(mean_aggregator(g))),
+            gcn_adj: Arc::new(SparseOperator::at_epoch(gcn_normalised(g), epoch)),
+            mean_adj: Arc::new(SparseOperator::at_epoch(mean_aggregator(g), epoch)),
+            arc_src: Arc::new(src),
+            arc_dst: Arc::new(dst),
+        }
+    }
+
+    /// Epoch of the graph these operators were built from.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.gcn_adj.epoch()
+    }
+
+    /// Incrementally rebuild the operators after a mutation batch.
+    ///
+    /// `adj_changed` lists the nodes whose adjacency list (or mere
+    /// existence) changed since this context was built; `g` is the graph
+    /// *after* the mutations. Only the GCN rows of `adj_changed` and their
+    /// current neighbours, and the mean rows of `adj_changed`, are
+    /// recomputed — every untouched row is copied bitwise, so the result is
+    /// bitwise-identical to `GraphContext::at_epoch(g, epoch)`.
+    pub fn refreshed(&self, g: &Graph, adj_changed: &[usize], epoch: u64) -> Self {
+        let n = g.n();
+        let inv_sqrt: Vec<f32> = (0..n)
+            .map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt())
+            .collect();
+
+        // GCN rows to rewrite: a changed node's own row plus every current
+        // neighbour's row (their (w, v) entry carries v's inv_sqrt).
+        let mut gcn_rows: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for &v in adj_changed {
+            gcn_rows.insert(v);
+            for &u in g.neighbors(v) {
+                gcn_rows.insert(u as usize);
+            }
+        }
+        let gcn_updates: std::collections::HashMap<usize, Vec<(usize, f32)>> = gcn_rows
+            .into_iter()
+            .map(|v| (v, gcn_row(g, &inv_sqrt, v)))
+            .collect();
+        let mean_updates: std::collections::HashMap<usize, Vec<(usize, f32)>> =
+            adj_changed.iter().map(|&v| (v, mean_row(g, v))).collect();
+
+        let gcn = self.gcn_adj.forward().with_updated_rows(n, n, &gcn_updates);
+        let mean = self
+            .mean_adj
+            .forward()
+            .with_updated_rows(n, n, &mean_updates);
+        let (src, dst) = g.directed_arcs(true);
+        Self {
+            n,
+            gcn_adj: Arc::new(SparseOperator::at_epoch(gcn, epoch)),
+            mean_adj: Arc::new(SparseOperator::at_epoch(mean, epoch)),
             arc_src: Arc::new(src),
             arc_dst: Arc::new(dst),
         }
@@ -72,6 +128,29 @@ pub fn gcn_normalised(g: &Graph) -> CsrMatrix {
         }
     }
     CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+/// One row of the GCN operator, sorted by column — the same entries (and
+/// the same float expressions) `gcn_normalised` would produce for row `v`.
+fn gcn_row(g: &Graph, inv_sqrt: &[f32], v: usize) -> Vec<(usize, f32)> {
+    let mut row = Vec::with_capacity(g.degree(v) + 1);
+    row.push((v, inv_sqrt[v] * inv_sqrt[v]));
+    for &u in g.neighbors(v) {
+        let u = u as usize;
+        row.push((u, inv_sqrt[v] * inv_sqrt[u]));
+    }
+    row.sort_unstable_by_key(|&(c, _)| c);
+    row
+}
+
+/// One row of the mean aggregator, sorted by column.
+fn mean_row(g: &Graph, v: usize) -> Vec<(usize, f32)> {
+    let d = g.degree(v);
+    if d == 0 {
+        return Vec::new();
+    }
+    let w = 1.0 / d as f32;
+    g.neighbors(v).iter().map(|&u| (u as usize, w)).collect()
 }
 
 /// `D^{-1} A`: the mean-of-neighbours aggregator (GraphSAGE). Isolated
@@ -140,5 +219,32 @@ mod tests {
     fn gcn_operator_is_symmetric() {
         let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
         assert!(gcn_normalised(&g).is_symmetric(1e-6));
+    }
+
+    #[test]
+    fn refreshed_matches_scratch_build_bitwise() {
+        let mut g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let stale = GraphContext::new(&g);
+
+        // Mutate: one edge between existing nodes, one touching a former
+        // isolate, and a brand-new node wired in.
+        let mut changed = Vec::new();
+        for (u, v) in [(1, 3), (2, 5)] {
+            g.insert_edge(u, v);
+            changed.extend([u, v]);
+        }
+        let w = g.add_node();
+        g.insert_edge(w, 0);
+        changed.extend([w, 0]);
+
+        let fresh = GraphContext::at_epoch(&g, 3);
+        let patched = stale.refreshed(&g, &changed, 3);
+        assert_eq!(patched.n(), fresh.n());
+        assert_eq!(patched.epoch(), 3);
+        assert_eq!(patched.gcn_adj().forward(), fresh.gcn_adj().forward());
+        assert_eq!(patched.gcn_adj().transposed(), fresh.gcn_adj().transposed());
+        assert_eq!(patched.mean_adj().forward(), fresh.mean_adj().forward());
+        assert_eq!(patched.arcs().0, fresh.arcs().0);
+        assert_eq!(patched.arcs().1, fresh.arcs().1);
     }
 }

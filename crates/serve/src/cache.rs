@@ -6,6 +6,12 @@
 //! Values are `Arc`-shared full probability vectors, so a hit costs one
 //! clone of a pointer while attribute filters and `top_k` are applied
 //! per response.
+//!
+//! Entries are tagged with the session version they were computed under,
+//! and lookups carry a `valid_from` watermark: an entry tagged before the
+//! watermark is stale conditioning data and is dropped on sight. This is
+//! how live updates invalidate precisely — bumping the watermark retires
+//! every pre-update prediction without walking the map.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -32,8 +38,15 @@ pub struct CacheStats {
 pub struct LruCache {
     capacity: usize,
     tick: u64,
-    entries: HashMap<CacheKey, (Arc<Vec<f32>>, u64)>,
+    entries: HashMap<CacheKey, Entry>,
     stats: CacheStats,
+}
+
+struct Entry {
+    value: Arc<Vec<f32>>,
+    last_used: u64,
+    /// Session version the prediction was computed under.
+    version: u64,
 }
 
 impl LruCache {
@@ -58,18 +71,25 @@ impl LruCache {
         self.stats
     }
 
-    /// Looks up a key, refreshing its recency on a hit.
-    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<Vec<f32>>> {
+    /// Looks up a key, refreshing its recency on a hit. An entry computed
+    /// under a version older than `valid_from` is stale — it is evicted
+    /// and the lookup counts as a miss.
+    pub fn get(&mut self, key: &CacheKey, valid_from: u64) -> Option<Arc<Vec<f32>>> {
         if self.capacity == 0 {
             self.stats.misses += 1;
             return None;
         }
         self.tick += 1;
         match self.entries.get_mut(key) {
-            Some((value, last_used)) => {
-                *last_used = self.tick;
+            Some(entry) if entry.version >= valid_from => {
+                entry.last_used = self.tick;
                 self.stats.hits += 1;
-                Some(Arc::clone(value))
+                Some(Arc::clone(&entry.value))
+            }
+            Some(_) => {
+                self.entries.remove(key);
+                self.stats.misses += 1;
+                None
             }
             None => {
                 self.stats.misses += 1;
@@ -79,13 +99,14 @@ impl LruCache {
     }
 
     /// Drops every entry (counters keep accumulating): the invalidation
-    /// hook for sessions whose conditioning data changes.
+    /// hook for sessions whose conditioning data changes wholesale.
     pub fn clear(&mut self) {
         self.entries.clear();
     }
 
-    /// Inserts a value, evicting the least-recently-used entry when full.
-    pub fn insert(&mut self, key: CacheKey, value: Arc<Vec<f32>>) {
+    /// Inserts a value computed under `version`, evicting the
+    /// least-recently-used entry when full.
+    pub fn insert(&mut self, key: CacheKey, value: Arc<Vec<f32>>, version: u64) {
         if self.capacity == 0 {
             return;
         }
@@ -94,14 +115,21 @@ impl LruCache {
             if let Some(oldest) = self
                 .entries
                 .iter()
-                .min_by_key(|(_, (_, used))| *used)
+                .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
             {
                 self.entries.remove(&oldest);
                 self.stats.evictions += 1;
             }
         }
-        self.entries.insert(key, (value, self.tick));
+        self.entries.insert(
+            key,
+            Entry {
+                value,
+                last_used: self.tick,
+                version,
+            },
+        );
     }
 }
 
@@ -120,11 +148,14 @@ mod tests {
     #[test]
     fn hit_miss_accounting() {
         let mut c = LruCache::new(4);
-        assert!(c.get(&key(&[1], 1)).is_none());
-        c.insert(key(&[1], 1), val(0.5));
-        assert_eq!(c.get(&key(&[1], 1)).unwrap()[0], 0.5);
-        assert!(c.get(&key(&[1], 2)).is_none(), "shots are part of the key");
-        assert!(c.get(&key(&[1, 2], 1)).is_none());
+        assert!(c.get(&key(&[1], 1), 0).is_none());
+        c.insert(key(&[1], 1), val(0.5), 0);
+        assert_eq!(c.get(&key(&[1], 1), 0).unwrap()[0], 0.5);
+        assert!(
+            c.get(&key(&[1], 2), 0).is_none(),
+            "shots are part of the key"
+        );
+        assert!(c.get(&key(&[1, 2], 1), 0).is_none());
         assert_eq!(
             c.stats(),
             CacheStats {
@@ -138,36 +169,53 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let mut c = LruCache::new(2);
-        c.insert(key(&[1], 1), val(1.0));
-        c.insert(key(&[2], 1), val(2.0));
+        c.insert(key(&[1], 1), val(1.0), 0);
+        c.insert(key(&[2], 1), val(2.0), 0);
         // Touch [1] so [2] becomes the LRU entry.
-        assert!(c.get(&key(&[1], 1)).is_some());
-        c.insert(key(&[3], 1), val(3.0));
+        assert!(c.get(&key(&[1], 1), 0).is_some());
+        c.insert(key(&[3], 1), val(3.0), 0);
         assert_eq!(c.len(), 2);
-        assert!(c.get(&key(&[2], 1)).is_none(), "LRU entry evicted");
-        assert!(c.get(&key(&[1], 1)).is_some());
-        assert!(c.get(&key(&[3], 1)).is_some());
+        assert!(c.get(&key(&[2], 1), 0).is_none(), "LRU entry evicted");
+        assert!(c.get(&key(&[1], 1), 0).is_some());
+        assert!(c.get(&key(&[3], 1), 0).is_some());
         assert_eq!(c.stats().evictions, 1);
     }
 
     #[test]
     fn reinsert_updates_without_evicting() {
         let mut c = LruCache::new(2);
-        c.insert(key(&[1], 1), val(1.0));
-        c.insert(key(&[2], 1), val(2.0));
-        c.insert(key(&[1], 1), val(9.0));
+        c.insert(key(&[1], 1), val(1.0), 0);
+        c.insert(key(&[2], 1), val(2.0), 0);
+        c.insert(key(&[1], 1), val(9.0), 0);
         assert_eq!(c.len(), 2);
         assert_eq!(c.stats().evictions, 0);
-        assert_eq!(c.get(&key(&[1], 1)).unwrap()[0], 9.0);
+        assert_eq!(c.get(&key(&[1], 1), 0).unwrap()[0], 9.0);
     }
 
     #[test]
     fn zero_capacity_disables_cache() {
         let mut c = LruCache::new(0);
-        c.insert(key(&[1], 1), val(1.0));
+        c.insert(key(&[1], 1), val(1.0), 0);
         assert!(c.is_empty());
-        assert!(c.get(&key(&[1], 1)).is_none());
+        assert!(c.get(&key(&[1], 1), 0).is_none());
         assert_eq!(c.stats().misses, 1);
         assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn watermark_retires_stale_versions() {
+        let mut c = LruCache::new(4);
+        c.insert(key(&[1], 1), val(1.0), 3);
+        c.insert(key(&[2], 1), val(2.0), 5);
+        // Watermark 4: the version-3 entry is stale, the version-5 one
+        // survives.
+        assert!(c.get(&key(&[1], 1), 4).is_none());
+        assert_eq!(c.len(), 1, "stale entry evicted on sight");
+        assert_eq!(c.get(&key(&[2], 1), 4).unwrap()[0], 2.0);
+        // A fresh recompute under the new version is served again.
+        c.insert(key(&[1], 1), val(7.0), 6);
+        assert_eq!(c.get(&key(&[1], 1), 4).unwrap()[0], 7.0);
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
     }
 }

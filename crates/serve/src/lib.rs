@@ -47,6 +47,7 @@ pub mod session;
 pub use cache::{CacheStats, LruCache};
 pub use ndjson::serve_ndjson;
 pub use protocol::{
-    parse_request, validate_request, ErrorCode, ParseError, QueryRequest, QueryResponse,
+    parse_frame, parse_request, validate_request, validate_update, ErrorCode, Frame, ParseError,
+    QueryRequest, QueryResponse, UpdateOp, UpdateRequest,
 };
 pub use session::{serve_task, ServeConfig, ServeSession, ServeSummary};

@@ -10,11 +10,11 @@
 use std::io::{BufRead, Write};
 use std::sync::mpsc::{sync_channel, TryRecvError};
 
-use crate::protocol::{parse_request, ErrorCode, ParseError, QueryRequest, QueryResponse};
+use crate::protocol::{parse_frame, ErrorCode, Frame, ParseError, QueryRequest, QueryResponse};
 use crate::session::{ServeSession, ServeSummary};
 
-/// One inbound line: a parsed request or a parse error to report.
-type Inbound = Result<QueryRequest, ParseError>;
+/// One inbound line: a parsed frame or a parse error to report.
+type Inbound = Result<Frame, ParseError>;
 
 /// Serves NDJSON requests from `input` to `output` until EOF, then
 /// returns the session's serving summary. Responses preserve arrival
@@ -49,7 +49,7 @@ pub fn serve_ndjson(
                 if line.trim().is_empty() {
                     continue;
                 }
-                if tx.send(parse_request(&line)).is_err() {
+                if tx.send(parse_frame(&line)).is_err() {
                     break; // consumer gone
                 }
             }
@@ -66,28 +66,44 @@ pub fn serve_ndjson(
                     Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
                 }
             }
-            let good: Vec<QueryRequest> = pending
-                .iter()
-                .filter_map(|r| r.as_ref().ok())
-                .cloned()
-                .collect();
-            // An all-malformed tick computes (and counts) nothing: the
-            // session's batch/occupancy statistics only see real requests.
-            let mut answered = if good.is_empty() {
-                Vec::new()
-            } else {
-                session.answer_batch(&good)
+            // Answer in arrival order: contiguous query runs share one
+            // batch tick, while control frames apply at their admitted
+            // position — a query arriving after an `add_edge` is always
+            // answered under the post-mutation epoch. An all-malformed
+            // tick computes (and counts) nothing: the session's
+            // batch/occupancy statistics only see real requests.
+            let mut responses: Vec<Option<QueryResponse>> =
+                (0..pending.len()).map(|_| None).collect();
+            let flush = |run: &mut Vec<(usize, QueryRequest)>,
+                         responses: &mut Vec<Option<QueryResponse>>| {
+                if run.is_empty() {
+                    return;
+                }
+                let reqs: Vec<QueryRequest> = run.iter().map(|(_, r)| r.clone()).collect();
+                for ((i, _), resp) in run.drain(..).zip(session.answer_batch(&reqs)) {
+                    responses[i] = Some(resp);
+                }
+            };
+            let mut run: Vec<(usize, QueryRequest)> = Vec::new();
+            for (i, inbound) in pending.iter().enumerate() {
+                match inbound {
+                    Ok(Frame::Query(req)) => run.push((i, req.clone())),
+                    Ok(Frame::Update(req)) => {
+                        flush(&mut run, &mut responses);
+                        responses[i] = Some(session.apply_update(req));
+                    }
+                    Err(e) => {
+                        responses[i] = Some(QueryResponse::error(
+                            e.response_id(),
+                            ErrorCode::BadRequest,
+                            format!("bad request line: {e}"),
+                        ))
+                    }
+                }
             }
-            .into_iter();
-            for inbound in &pending {
-                let response = match inbound {
-                    Ok(_) => answered.next().expect("one response per request"),
-                    Err(e) => QueryResponse::error(
-                        e.response_id(),
-                        ErrorCode::BadRequest,
-                        format!("bad request line: {e}"),
-                    ),
-                };
+            flush(&mut run, &mut responses);
+            for response in responses {
+                let response = response.expect("every line answered");
                 let written = writeln!(output, "{}", response.to_json());
                 if let Err(e) = written.and_then(|()| output.flush()) {
                     write_result = Err(e);
@@ -131,6 +147,7 @@ mod tests {
                 threads: 1,
                 seed: 5,
                 context_cache: true,
+                refresh: Default::default(),
             },
         )
         .expect("session")
@@ -255,6 +272,51 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert_eq!(text.lines().count(), 1, "{text}");
         assert!(text.contains("\"ok\":true"), "{text}");
+    }
+
+    #[test]
+    fn control_frames_interleave_with_queries() {
+        let s = session();
+        let epoch0 = s.epoch();
+        let input = "{\"id\": 1, \"nodes\": [0]}\n\
+                     {\"id\": 2, \"op\": \"add_edge\", \"u\": 0, \"v\": 7}\n\
+                     {\"id\": 3, \"nodes\": [0]}\n\
+                     {\"id\": 4, \"op\": \"update_support\", \"add\": {\"query\": 1, \"pos\": [2]}}\n\
+                     {\"id\": 5, \"op\": \"add_edge\", \"u\": 9, \"v\": 9}\n";
+        let mut out = Vec::new();
+        let summary = serve_ndjson(&s, input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "{text}");
+        // Responses preserve arrival order (ids 1..=5).
+        let mut epochs = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.contains(&format!("\"id\":{}", i + 1)), "{line}");
+            let v = serde::json::parse(line).unwrap();
+            let serde::json::Value::Obj(pairs) = v else {
+                panic!("not an object")
+            };
+            let serde::json::Value::Num(e) = pairs.iter().find(|(k, _)| k == "epoch").unwrap().1
+            else {
+                panic!("epoch missing")
+            };
+            epochs.push(e as u64);
+        }
+        assert!(lines[1].contains("\"ok\":true"), "{}", lines[1]);
+        assert!(lines[4].contains("self-loop"), "{}", lines[4]);
+        // The edge insert bumped the epoch; the query after it was
+        // answered under the new one; epochs never regress.
+        assert_eq!(epochs[0], epoch0);
+        assert_eq!(epochs[1], epoch0 + 1);
+        assert_eq!(epochs[2], epoch0 + 1);
+        assert!(epochs.windows(2).all(|w| w[0] <= w[1] || w[1] == 0));
+        assert_eq!(
+            s.epoch(),
+            epoch0 + 1,
+            "support update leaves the graph epoch"
+        );
+        assert_eq!(summary.updates, 2, "rejected self-loop is not an update");
+        assert_eq!(s.max_shots(), 4, "support example appended");
     }
 
     #[test]

@@ -34,7 +34,35 @@
 //! going. Error responses echo the request `id` whenever one was
 //! recoverable from the line, so multiplexed clients can correlate
 //! failures; lines where no id could be parsed report `id: 0`.
+//!
+//! # Control frames (live updates)
+//!
+//! A line carrying an `"op"` key is a control frame, not a query. It
+//! mutates the serving state and is answered with the same response
+//! shape (`members` empty, `epoch` set to the graph epoch after the
+//! update):
+//!
+//! ```json
+//! {"id": 12, "op": "add_edge", "u": 3, "v": 9}
+//! {"id": 13, "op": "add_node", "attrs": [0, 2]}
+//! {"id": 14, "op": "update_support", "add": {"query": 5, "pos": [1], "neg": [7]}, "expire": 1}
+//! ```
+//!
+//! * `add_edge` — inserts the undirected edge `{u, v}`; inserting an
+//!   edge that already exists is an acknowledged no-op (the epoch does
+//!   not advance).
+//! * `add_node` — appends an isolated node carrying the listed attribute
+//!   ids; the response's `members` holds the new node id.
+//! * `update_support` — appends one labelled example to the support pool
+//!   (`add`, optional) and/or expires the `expire` oldest examples
+//!   (default 0). The pool must stay non-empty.
+//!
+//! Every response — query or update — carries `epoch`: the graph epoch
+//! it was answered under. Epochs are monotone per session, so a client
+//! that saw `epoch: 7` on an update ack knows any later response with
+//! `epoch ≥ 7` reflects that mutation.
 
+use cgnp_data::QueryExample;
 use serde::json::Value;
 use serde::Serialize;
 
@@ -189,6 +217,9 @@ pub struct QueryResponse {
     pub cached: bool,
     /// Wall-clock latency attributed to this request (whole micro-batch).
     pub latency_us: u64,
+    /// Graph epoch the response was answered under (monotone per
+    /// session; 0 on error paths that never reached a session).
+    pub epoch: u64,
 }
 
 impl QueryResponse {
@@ -204,12 +235,113 @@ impl QueryResponse {
             shots: 0,
             cached: false,
             latency_us: 0,
+            epoch: 0,
+        }
+    }
+
+    /// An acknowledgement for an applied update: `ok`, no members, the
+    /// post-update graph epoch.
+    pub fn ack(id: u64, epoch: u64) -> Self {
+        Self {
+            id,
+            ok: true,
+            error: None,
+            code: None,
+            members: Vec::new(),
+            probs: Vec::new(),
+            shots: 0,
+            cached: false,
+            latency_us: 0,
+            epoch,
         }
     }
 
     /// Compact single-line JSON (the NDJSON output format).
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("response serialisation is infallible")
+    }
+}
+
+/// A state mutation carried by a control frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdateOp {
+    /// Insert the undirected edge `{u, v}`.
+    AddEdge { u: usize, v: usize },
+    /// Append an isolated node carrying `attrs`.
+    AddNode { attrs: Vec<u32> },
+    /// Append one labelled example and/or expire the `expire` oldest.
+    UpdateSupport {
+        add: Option<QueryExample>,
+        expire: usize,
+    },
+}
+
+/// One control frame: a correlation id plus the mutation to apply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpdateRequest {
+    pub id: u64,
+    pub op: UpdateOp,
+}
+
+/// Anything a client can put on the wire: a query or a control frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    Query(QueryRequest),
+    Update(UpdateRequest),
+}
+
+impl Frame {
+    /// The correlation id, whichever kind of frame this is.
+    pub fn id(&self) -> u64 {
+        match self {
+            Frame::Query(q) => q.id,
+            Frame::Update(u) => u.id,
+        }
+    }
+}
+
+/// Validates a control frame at the protocol boundary: node ids in
+/// range, attribute ids within the graph's attribute vocabulary,
+/// self-loops rejected. Pool-emptiness for `update_support` is checked
+/// by the session, which owns the pool's current size.
+pub fn validate_update(req: &UpdateRequest, n_nodes: usize, n_attrs: usize) -> Result<(), String> {
+    match &req.op {
+        UpdateOp::AddEdge { u, v } => {
+            if let Some(&bad) = [u, v].into_iter().find(|&&x| x >= n_nodes) {
+                return Err(format!(
+                    "node {bad} out of range (graph has {n_nodes} nodes)"
+                ));
+            }
+            if u == v {
+                return Err(format!("self-loop ({u},{u}) rejected"));
+            }
+            Ok(())
+        }
+        UpdateOp::AddNode { attrs } => {
+            if let Some(&bad) = attrs.iter().find(|&&a| a as usize >= n_attrs) {
+                return Err(format!(
+                    "attribute {bad} out of range (graph has {n_attrs} attributes)"
+                ));
+            }
+            Ok(())
+        }
+        UpdateOp::UpdateSupport { add, expire } => {
+            if add.is_none() && *expire == 0 {
+                return Err("update_support must add and/or expire something".into());
+            }
+            if let Some(ex) = add {
+                if let Some(&bad) = std::iter::once(&ex.query)
+                    .chain(&ex.pos)
+                    .chain(&ex.neg)
+                    .find(|&&v| v >= n_nodes)
+                {
+                    return Err(format!(
+                        "support node {bad} out of range (graph has {n_nodes} nodes)"
+                    ));
+                }
+            }
+            Ok(())
+        }
     }
 }
 
@@ -270,6 +402,19 @@ fn as_id_list(v: &Value, key: &str) -> Result<Vec<u64>, String> {
 /// [`ParseError`] carries the request id when the line got far enough
 /// for one to be recovered.
 pub fn parse_request(line: &str) -> Result<QueryRequest, ParseError> {
+    match parse_frame(line)? {
+        Frame::Query(q) => Ok(q),
+        Frame::Update(u) => Err(ParseError {
+            id: Some(u.id),
+            message: "control frame not accepted here".into(),
+        }),
+    }
+}
+
+/// Parses one NDJSON line into a [`Frame`], dispatching on the presence
+/// of an `"op"` key: lines carrying one are control frames, everything
+/// else is a query.
+pub fn parse_frame(line: &str) -> Result<Frame, ParseError> {
     let value = serde::json::parse(line).map_err(|e| ParseError::new(e.0))?;
     let Value::Obj(pairs) = &value else {
         return Err(ParseError::new("request must be a JSON object"));
@@ -280,6 +425,13 @@ pub fn parse_request(line: &str) -> Result<QueryRequest, ParseError> {
     let id = get(pairs, "id")
         .ok_or_else(|| ParseError::new("missing field \"id\""))
         .and_then(|v| as_u64(v, "id").map_err(ParseError::new))?;
+    match get(pairs, "op") {
+        Some(op) => update_from_pairs(id, op, pairs).map(Frame::Update),
+        None => query_from_pairs(id, pairs).map(Frame::Query),
+    }
+}
+
+fn query_from_pairs(id: u64, pairs: &[(String, Value)]) -> Result<QueryRequest, ParseError> {
     let with_id = |message: String| ParseError {
         id: Some(id),
         message,
@@ -313,6 +465,89 @@ pub fn parse_request(line: &str) -> Result<QueryRequest, ParseError> {
         shots: opt("shots")?.map(|x| x as usize),
         top_k: opt("top_k")?.map(|x| x as usize),
         seed: opt("seed")?,
+    })
+}
+
+fn update_from_pairs(
+    id: u64,
+    op: &Value,
+    pairs: &[(String, Value)],
+) -> Result<UpdateRequest, ParseError> {
+    let with_id = |message: String| ParseError {
+        id: Some(id),
+        message,
+    };
+    let Value::Str(op) = op else {
+        return Err(with_id(format!(
+            "field \"op\" must be a string, got {op:?}"
+        )));
+    };
+    let req_u64 = |key: &str| -> Result<u64, ParseError> {
+        get(pairs, key)
+            .ok_or_else(|| with_id(format!("missing field {key:?}")))
+            .and_then(|v| as_u64(v, key).map_err(with_id))
+    };
+    let op = match op.as_str() {
+        "add_edge" => UpdateOp::AddEdge {
+            u: req_u64("u")? as usize,
+            v: req_u64("v")? as usize,
+        },
+        "add_node" => {
+            let attrs = match get(pairs, "attrs") {
+                Some(v) => as_id_list(v, "attrs")
+                    .map_err(with_id)?
+                    .into_iter()
+                    .map(|x| x as u32)
+                    .collect(),
+                None => Vec::new(),
+            };
+            UpdateOp::AddNode { attrs }
+        }
+        "update_support" => {
+            let add = match get(pairs, "add") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(support_example(v).map_err(with_id)?),
+            };
+            let expire = match get(pairs, "expire") {
+                None | Some(Value::Null) => 0,
+                Some(v) => as_u64(v, "expire").map_err(with_id)? as usize,
+            };
+            UpdateOp::UpdateSupport { add, expire }
+        }
+        other => {
+            return Err(with_id(format!(
+                "unknown op {other:?} (expected add_edge, add_node, or update_support)"
+            )))
+        }
+    };
+    Ok(UpdateRequest { id, op })
+}
+
+/// Parses a wire support example: `{"query": q, "pos": [...], "neg":
+/// [...]}`. The evaluation-only `truth` mask has no wire form — examples
+/// arriving online carry labels, not ground truth — so it stays empty.
+fn support_example(v: &Value) -> Result<QueryExample, String> {
+    let Value::Obj(pairs) = v else {
+        return Err(format!("field \"add\" must be an object, got {v:?}"));
+    };
+    let query = as_u64(
+        get(pairs, "query").ok_or("missing field \"query\" in support example")?,
+        "query",
+    )? as usize;
+    let list = |key: &str| -> Result<Vec<usize>, String> {
+        match get(pairs, key) {
+            None | Some(Value::Null) => Ok(Vec::new()),
+            Some(v) => Ok(as_id_list(v, key)?
+                .into_iter()
+                .map(|x| x as usize)
+                .collect()),
+        }
+    };
+    Ok(QueryExample {
+        query,
+        pos: list("pos")?,
+        neg: list("neg")?,
+        truth: Vec::new(),
     })
 }
 
@@ -425,6 +660,128 @@ mod tests {
         assert!(get(&pairs, "members").is_some());
         assert!(get(&pairs, "latency_us").is_some());
         assert_eq!(get(&pairs, "code"), Some(&Value::Str("bad_request".into())));
+    }
+
+    #[test]
+    fn parses_control_frames() {
+        let f = parse_frame(r#"{"id": 12, "op": "add_edge", "u": 3, "v": 9}"#).unwrap();
+        assert_eq!(
+            f,
+            Frame::Update(UpdateRequest {
+                id: 12,
+                op: UpdateOp::AddEdge { u: 3, v: 9 }
+            })
+        );
+        let f = parse_frame(r#"{"id": 13, "op": "add_node", "attrs": [0, 2]}"#).unwrap();
+        assert_eq!(
+            f,
+            Frame::Update(UpdateRequest {
+                id: 13,
+                op: UpdateOp::AddNode { attrs: vec![0, 2] }
+            })
+        );
+        let f = parse_frame(
+            r#"{"id": 14, "op": "update_support",
+                "add": {"query": 5, "pos": [1, 2], "neg": [7]}, "expire": 1}"#,
+        )
+        .unwrap();
+        let Frame::Update(u) = f else {
+            panic!("not an update")
+        };
+        assert_eq!(u.id, 14);
+        let UpdateOp::UpdateSupport { add, expire } = u.op else {
+            panic!("wrong op")
+        };
+        assert_eq!(expire, 1);
+        let ex = add.unwrap();
+        assert_eq!((ex.query, ex.pos, ex.neg), (5, vec![1, 2], vec![7]));
+        assert!(ex.truth.is_empty(), "truth has no wire form");
+    }
+
+    #[test]
+    fn lines_without_op_stay_queries() {
+        let f = parse_frame(r#"{"id": 3, "nodes": [1, 2]}"#).unwrap();
+        assert_eq!(f, Frame::Query(QueryRequest::new(3, vec![1, 2])));
+        assert_eq!(f.id(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_control_frames() {
+        let e = parse_frame(r#"{"id": 1, "op": "explode"}"#).unwrap_err();
+        assert_eq!(e.id, Some(1), "unknown op keeps the id");
+        assert!(e.message.contains("unknown op"));
+        let e = parse_frame(r#"{"id": 2, "op": "add_edge", "u": 3}"#).unwrap_err();
+        assert!(e.message.contains("\"v\""));
+        assert!(
+            parse_frame(r#"{"id": 4, "op": 7}"#).is_err(),
+            "non-string op"
+        );
+        let e = parse_frame(r#"{"id": 5, "op": "update_support", "add": 3}"#).unwrap_err();
+        assert!(e.message.contains("object"));
+        // parse_request refuses control frames but keeps the id.
+        let e = parse_request(r#"{"id": 6, "op": "add_edge", "u": 0, "v": 1}"#).unwrap_err();
+        assert_eq!(e.id, Some(6));
+    }
+
+    #[test]
+    fn update_boundary_validation() {
+        let ok = |op: UpdateOp| validate_update(&UpdateRequest { id: 1, op }, 10, 3);
+        assert!(ok(UpdateOp::AddEdge { u: 0, v: 9 }).is_ok());
+        assert!(
+            ok(UpdateOp::AddEdge { u: 0, v: 10 }).is_err(),
+            "out of range"
+        );
+        assert!(ok(UpdateOp::AddEdge { u: 4, v: 4 }).is_err(), "self-loop");
+        assert!(ok(UpdateOp::AddNode { attrs: vec![2] }).is_ok());
+        assert!(
+            ok(UpdateOp::AddNode { attrs: vec![3] }).is_err(),
+            "bad attr"
+        );
+        assert!(
+            ok(UpdateOp::UpdateSupport {
+                add: None,
+                expire: 0
+            })
+            .is_err(),
+            "vacuous update"
+        );
+        assert!(ok(UpdateOp::UpdateSupport {
+            add: None,
+            expire: 1
+        })
+        .is_ok());
+        let ex = |q: usize| QueryExample {
+            query: q,
+            pos: vec![],
+            neg: vec![],
+            truth: vec![],
+        };
+        assert!(ok(UpdateOp::UpdateSupport {
+            add: Some(ex(9)),
+            expire: 0
+        })
+        .is_ok());
+        assert!(
+            ok(UpdateOp::UpdateSupport {
+                add: Some(ex(10)),
+                expire: 0
+            })
+            .is_err(),
+            "support node out of range"
+        );
+    }
+
+    #[test]
+    fn responses_carry_the_epoch() {
+        let ack = QueryResponse::ack(5, 42);
+        assert!(ack.ok);
+        assert_eq!(ack.epoch, 42);
+        let json = ack.to_json();
+        assert!(
+            json.contains("\"epoch\": 42") || json.contains("\"epoch\":42"),
+            "{json}"
+        );
+        assert_eq!(QueryResponse::error(1, ErrorCode::BadRequest, "x").epoch, 0);
     }
 
     #[test]

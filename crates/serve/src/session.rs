@@ -1,22 +1,32 @@
 //! [`ServeSession`]: the train-once / answer-many runtime of the paper's
 //! deployment story (Alg. 2 run as a service).
 //!
-//! A session is built **once** from a restored checkpoint and a serving
-//! task — the graph, its precomputed [`cgnp_core::PreparedTask`]
-//! (normalised adjacencies, arc index, base features), and a pool of
-//! labelled support examples. Every incoming query then costs an
-//! inner-product scoring pass against a per-shot-count context that is
-//! computed on first use and cached **across micro-batch ticks**, with
-//! an LRU cache short-circuiting repeated `(nodes, shots)` requests
-//! entirely. Swapping the support pool
-//! ([`ServeSession::replace_support`]) invalidates both caches.
+//! A session is built from a restored checkpoint and a serving task —
+//! the graph, its precomputed [`cgnp_core::PreparedTask`] (normalised
+//! adjacencies, arc index, base features), and a pool of labelled
+//! support examples. Every incoming query then costs an inner-product
+//! scoring pass against a per-shot-count context that is computed on
+//! first use and cached **across micro-batch ticks**, with an LRU cache
+//! short-circuiting repeated `(nodes, shots)` requests entirely.
+//!
+//! The graph is **live**: [`ServeSession::apply_update`] inserts edges
+//! and nodes or rotates the support pool while queries keep flowing.
+//! Updates take the write half of a session-wide `RwLock`, refresh the
+//! prepared operators ([`RefreshStrategy`] picks epoch-swap rebuild or
+//! per-row patching — both bitwise-identical to a scratch build), and
+//! advance a version watermark that retires exactly the cache entries
+//! the update invalidates: graph mutations and support expiry retire
+//! everything, while appending a support example retires nothing
+//! (cached contexts condition on prefixes of the pool, which an append
+//! leaves untouched). Every response reports the graph epoch it was
+//! answered under.
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-use cgnp_core::{Cgnp, CgnpConfig, PreparedTask};
+use cgnp_core::{Cgnp, CgnpConfig, PreparedTask, RefreshStrategy};
 use cgnp_data::{model_input_dim, task_on_whole_graph, QueryExample, Task, TaskConfig};
 use cgnp_graph::AttributedGraph;
 use cgnp_tensor::Tensor;
@@ -24,7 +34,10 @@ use rand::SeedableRng;
 use serde::Serialize;
 
 use crate::cache::{CacheStats, LruCache};
-use crate::protocol::{validate_request, ErrorCode, QueryRequest, QueryResponse};
+use crate::protocol::{
+    validate_request, validate_update, ErrorCode, QueryRequest, QueryResponse, UpdateOp,
+    UpdateRequest,
+};
 
 /// Session tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -42,6 +55,9 @@ pub struct ServeConfig {
     /// distinct shot counts interleaving — otherwise recomputes identical
     /// contexts every tick. Disable to measure raw compute.
     pub context_cache: bool,
+    /// How graph updates rebuild the prepared operators and features:
+    /// from scratch, or by patching only the touched rows.
+    pub refresh: RefreshStrategy,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +68,7 @@ impl Default for ServeConfig {
             threads: rayon::current_num_threads(),
             seed: 42,
             context_cache: true,
+            refresh: RefreshStrategy::EpochSwap,
         }
     }
 }
@@ -69,6 +86,8 @@ struct ServeStats {
     errors: u64,
     batches: u64,
     occupancy_sum: u64,
+    /// Updates applied (graph mutations + support rotations).
+    updates: u64,
     /// Context forwards actually computed (cache misses + disabled-cache
     /// computes). Each is the expensive half of a tick.
     context_builds: u64,
@@ -108,21 +127,38 @@ pub struct ServeSummary {
     /// Context forwards computed vs answered from the per-shot cache.
     pub context_builds: u64,
     pub context_hits: u64,
+    /// Updates applied over the session's lifetime.
+    pub updates: u64,
+    /// Current graph epoch.
+    pub epoch: u64,
+}
+
+/// Everything an update mutates, behind one write lock: queries take
+/// the read half for a whole micro-batch tick, so a tick sees one
+/// consistent (graph, operators, support pool) triple.
+struct LiveState {
+    prepared: PreparedTask,
+    /// Monotone session version: every applied update bumps it. Cache
+    /// entries are tagged with the version they were computed under.
+    version: u64,
+    /// Watermark: entries tagged `< valid_from` are stale. Invalidating
+    /// updates set it to the new version; pure support appends leave it.
+    valid_from: u64,
 }
 
 /// An online query-answering session over one graph and one restored
-/// model. `&self` everywhere: sessions are `Sync` and can be shared
-/// across request-handling threads.
+/// model. `&self` everywhere — including updates: sessions are `Sync`
+/// and shared across request-handling threads.
 pub struct ServeSession {
     model: Cgnp,
-    prepared: PreparedTask,
     cfg: ServeConfig,
+    live: RwLock<LiveState>,
     cache: Mutex<LruCache>,
-    /// Decoded context per effective shot count, shared across micro-batch
-    /// ticks (bounded by the support-pool size; see
-    /// [`ServeConfig::context_cache`]). Invalidated whenever the
-    /// conditioning data changes ([`ServeSession::replace_support`]).
-    contexts: Mutex<HashMap<usize, Tensor>>,
+    /// Decoded context per effective shot count, shared across
+    /// micro-batch ticks and tagged with the session version it was
+    /// built under (bounded by the support-pool size; see
+    /// [`ServeConfig::context_cache`]).
+    contexts: Mutex<HashMap<usize, (Tensor, u64)>>,
     stats: Mutex<ServeStats>,
 }
 
@@ -145,7 +181,11 @@ impl ServeSession {
         }
         Ok(Self {
             model,
-            prepared: PreparedTask::new(task),
+            live: RwLock::new(LiveState {
+                prepared: PreparedTask::new(task),
+                version: 0,
+                valid_from: 0,
+            }),
             cache: Mutex::new(LruCache::new(cfg.cache)),
             contexts: Mutex::new(HashMap::new()),
             stats: Mutex::new(ServeStats::default()),
@@ -183,14 +223,29 @@ impl ServeSession {
         Self::new(model, task, cfg)
     }
 
+    fn read_live(&self) -> std::sync::RwLockReadGuard<'_, LiveState> {
+        self.live.read().expect("live state lock")
+    }
+
     /// Number of nodes of the serving graph.
     pub fn n(&self) -> usize {
-        self.prepared.task.n()
+        self.read_live().prepared.task.n()
+    }
+
+    /// Attribute vocabulary size of the serving graph.
+    pub fn n_attrs(&self) -> usize {
+        self.read_live().prepared.task.graph.n_attrs()
     }
 
     /// Size of the labelled support pool.
     pub fn max_shots(&self) -> usize {
-        self.prepared.task.support.len()
+        self.read_live().prepared.task.support.len()
+    }
+
+    /// Current graph epoch (monotone; every response reports the epoch
+    /// it was answered under).
+    pub fn epoch(&self) -> u64 {
+        self.read_live().prepared.epoch()
     }
 
     pub fn config(&self) -> &ServeConfig {
@@ -203,16 +258,29 @@ impl ServeSession {
     /// cache enabled (the default), repeated shot counts across ticks
     /// share one tensor instead of recomputing the encoder forward.
     pub fn context_for_shots(&self, shots: usize) -> Tensor {
-        let shots = shots.clamp(1, self.max_shots());
+        let live = self.read_live();
+        self.context_for_shots_in(&live, shots)
+    }
+
+    /// Cache-aware context build against an already-held live state (so
+    /// batch answering never re-acquires the session lock: a second read
+    /// acquisition could deadlock behind a queued writer).
+    fn context_for_shots_in(&self, live: &LiveState, shots: usize) -> Tensor {
+        let shots = shots.clamp(1, live.prepared.task.support.len());
         if self.cfg.context_cache {
-            if let Some(ctx) = self
-                .contexts
-                .lock()
-                .expect("context cache lock")
-                .get(&shots)
-            {
-                self.stats.lock().expect("stats lock").context_hits += 1;
-                return ctx.clone();
+            let mut contexts = self.contexts.lock().expect("context cache lock");
+            match contexts.get(&shots) {
+                Some((ctx, version)) if *version >= live.valid_from => {
+                    let ctx = ctx.clone();
+                    drop(contexts);
+                    self.stats.lock().expect("stats lock").context_hits += 1;
+                    return ctx;
+                }
+                Some(_) => {
+                    // Stale conditioning data: drop it on sight.
+                    contexts.remove(&shots);
+                }
+                None => {}
             }
         }
         // Built outside the cache lock: a context forward is the
@@ -220,8 +288,8 @@ impl ServeSession {
         // serialise unrelated shot counts. Two threads racing on the same
         // fresh shot count compute identical constants; last insert wins.
         let ctx = self.model.context_eval(
-            &self.prepared,
-            &self.prepared.task.support[..shots],
+            &live.prepared,
+            &live.prepared.task.support[..shots],
             self.cfg.seed,
         );
         self.stats.lock().expect("stats lock").context_builds += 1;
@@ -229,24 +297,26 @@ impl ServeSession {
             self.contexts
                 .lock()
                 .expect("context cache lock")
-                .insert(shots, ctx.clone());
+                .insert(shots, (ctx.clone(), live.version));
         }
         ctx
     }
 
-    /// Replaces the labelled support pool the session conditions on (an
-    /// online-labelling hook: fresh examples arrive, old ones expire) and
-    /// invalidates everything derived from it — the per-shot context
-    /// cache and the prediction cache — so no response is ever served
-    /// from stale conditioning data.
-    pub fn replace_support(&mut self, support: Vec<QueryExample>) -> Result<(), String> {
+    /// Replaces the labelled support pool the session conditions on
+    /// wholesale and invalidates everything derived from it — the
+    /// per-shot context cache and the prediction cache — so no response
+    /// is ever served from stale conditioning data. For incremental
+    /// rotation (append one, expire the oldest) use
+    /// [`ServeSession::apply_update`], which keeps caches where it can.
+    pub fn replace_support(&self, support: Vec<QueryExample>) -> Result<(), String> {
         if support.is_empty() {
             return Err("serving task has no support examples to condition on".into());
         }
+        let mut live = self.live.write().expect("live state lock");
         // Bounds-check like `validate` does for request nodes: an
         // out-of-range id would otherwise panic the encoder forward on
         // the next request, poisoning the session's mutexes.
-        let n = self.n();
+        let n = live.prepared.task.n();
         for ex in &support {
             if let Some(&bad) = std::iter::once(&ex.query)
                 .chain(&ex.pos)
@@ -258,10 +328,87 @@ impl ServeSession {
                 ));
             }
         }
-        self.prepared.task.support = support;
-        self.contexts.lock().expect("context cache lock").clear();
-        self.cache.lock().expect("cache lock").clear();
+        live.prepared.task.support = support;
+        live.version += 1;
+        live.valid_from = live.version;
+        self.stats.lock().expect("stats lock").updates += 1;
         Ok(())
+    }
+
+    /// Applies one live update — a graph mutation or a support-pool
+    /// rotation — and acknowledges it with the post-update graph epoch.
+    ///
+    /// Updates serialize with query ticks on the session's `RwLock`:
+    /// while the write half is held the graph mutates, the prepared
+    /// operators refresh (per [`ServeConfig::refresh`]), and the version
+    /// watermark advances, so the next tick answers under the new epoch
+    /// with no stale cache entry surviving. Appending a support example
+    /// without expiry invalidates nothing: cached contexts condition on
+    /// pool prefixes, which grow-only changes leave intact.
+    pub fn apply_update(&self, req: &UpdateRequest) -> QueryResponse {
+        let t0 = Instant::now();
+        let mut live = self.live.write().expect("live state lock");
+        if let Err(e) = validate_update(
+            req,
+            live.prepared.task.n(),
+            live.prepared.task.graph.n_attrs(),
+        ) {
+            return QueryResponse::error(req.id, ErrorCode::BadRequest, e);
+        }
+        let mut members = Vec::new();
+        let mut invalidate = true;
+        let mutated = match &req.op {
+            UpdateOp::AddEdge { u, v } => match live.prepared.task.graph.insert_edge(*u, *v) {
+                // Inserting an existing edge is an acknowledged no-op.
+                Ok(inserted) => inserted,
+                Err(e) => return QueryResponse::error(req.id, ErrorCode::BadRequest, e),
+            },
+            UpdateOp::AddNode { attrs } => match live.prepared.task.graph.add_node(attrs.clone()) {
+                Ok(v) => {
+                    members.push(v);
+                    true
+                }
+                Err(e) => return QueryResponse::error(req.id, ErrorCode::BadRequest, e),
+            },
+            UpdateOp::UpdateSupport { add, expire } => {
+                let pool = &mut live.prepared.task.support;
+                let kept = pool.len().saturating_sub(*expire);
+                if *expire > pool.len() {
+                    return QueryResponse::error(
+                        req.id,
+                        ErrorCode::BadRequest,
+                        format!("cannot expire {expire} of {} support examples", pool.len()),
+                    );
+                }
+                if kept + add.iter().len() == 0 {
+                    return QueryResponse::error(
+                        req.id,
+                        ErrorCode::BadRequest,
+                        "support pool must stay non-empty",
+                    );
+                }
+                pool.drain(..*expire);
+                if let Some(ex) = add {
+                    pool.push(ex.clone());
+                }
+                // A pure append leaves every pool prefix — and therefore
+                // every cached context and prediction — untouched.
+                invalidate = *expire > 0;
+                true
+            }
+        };
+        if mutated {
+            live.prepared.refresh(self.cfg.refresh);
+            live.version += 1;
+            if invalidate {
+                live.valid_from = live.version;
+            }
+            self.stats.lock().expect("stats lock").updates += 1;
+        }
+        let mut ack = QueryResponse::ack(req.id, live.prepared.epoch());
+        ack.members = members;
+        ack.latency_us = t0.elapsed().as_micros() as u64;
+        ack
     }
 
     /// Boundary validation for this session's graph and support pool
@@ -270,7 +417,12 @@ impl ServeSession {
     /// request is admitted; `answer_batch` re-checks as defense in depth
     /// for library callers.
     pub fn validate(&self, req: &QueryRequest) -> Result<usize, String> {
-        validate_request(req, self.n(), self.max_shots())
+        let live = self.read_live();
+        validate_request(
+            req,
+            live.prepared.task.n(),
+            live.prepared.task.support.len(),
+        )
     }
 
     /// Answers one request (a micro-batch of one).
@@ -284,9 +436,13 @@ impl ServeSession {
     /// each group computes its context once and fans the scoring across
     /// the persistent pool (`cgnp_core::Cgnp::predict_multi_batch`). The
     /// whole-tick wall time is attributed to every request in the batch —
-    /// the honest latency of a coalescing server.
+    /// the honest latency of a coalescing server. The read half of the
+    /// session lock is held for the whole tick, so every request in it
+    /// is answered under one consistent epoch.
     pub fn answer_batch(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse> {
         let t0 = Instant::now();
+        let live = self.read_live();
+        let (n_nodes, max_shots) = (live.prepared.task.n(), live.prepared.task.support.len());
         // Resolve each request to a full probability vector: from cache,
         // or collected for batched computation.
         type Resolved = Result<(usize, Arc<Vec<f32>>, bool), String>;
@@ -298,11 +454,11 @@ impl ServeSession {
         {
             let mut cache = self.cache.lock().expect("cache lock");
             for (i, req) in reqs.iter().enumerate() {
-                match self.validate(req) {
+                match validate_request(req, n_nodes, max_shots) {
                     Err(e) => resolved.push(Err(e)),
                     Ok(shots) => {
                         let key = (req.nodes.clone(), shots);
-                        match cache.get(&key) {
+                        match cache.get(&key, live.valid_from) {
                             Some(probs) => resolved.push(Ok((shots, probs, true))),
                             None => {
                                 match pending.iter_mut().find(|(k, _)| *k == key) {
@@ -331,17 +487,18 @@ impl ServeSession {
             // forwards never consume the per-request seeds), so it is
             // fetched through the cross-tick cache and only the scoring
             // fan-out runs per tick.
-            let ctx = self.context_for_shots(shots);
+            let ctx = self.context_for_shots_in(&live, shots);
             let probs = Cgnp::score_batch_with_threads(&ctx, &batch, self.cfg.threads);
             let mut cache = self.cache.lock().expect("cache lock");
             for (&p, prob) in ps.iter().zip(probs) {
                 let prob = Arc::new(prob);
-                cache.insert(pending[p].0.clone(), Arc::clone(&prob));
+                cache.insert(pending[p].0.clone(), Arc::clone(&prob), live.version);
                 for &i in &pending[p].1 {
                     resolved[i] = Ok((shots, Arc::clone(&prob), false));
                 }
             }
         }
+        let epoch = live.prepared.epoch();
         let latency_us = t0.elapsed().as_micros() as u64;
         let responses: Vec<QueryResponse> = reqs
             .iter()
@@ -349,7 +506,8 @@ impl ServeSession {
             .map(|(req, r)| match r {
                 Err(e) => QueryResponse::error(req.id, ErrorCode::BadRequest, e),
                 Ok((shots, probs, cached)) => {
-                    let (members, member_probs) = self.rank_members(&probs, req);
+                    let (members, member_probs) =
+                        rank_members(&live.prepared.task.graph, &probs, req);
                     QueryResponse {
                         id: req.id,
                         ok: true,
@@ -360,10 +518,12 @@ impl ServeSession {
                         shots,
                         cached,
                         latency_us,
+                        epoch,
                     }
                 }
             })
             .collect();
+        drop(live);
         let mut stats = self.stats.lock().expect("stats lock");
         stats.requests += reqs.len() as u64;
         stats.errors += responses.iter().filter(|r| !r.ok).count() as u64;
@@ -379,40 +539,33 @@ impl ServeSession {
     /// path behind [`ServeSession::answer`], without ranking or response
     /// assembly; goes through the same cache).
     pub fn predict(&self, nodes: &[usize], shots: Option<usize>) -> Result<Arc<Vec<f32>>, String> {
+        let live = self.read_live();
         let req = QueryRequest {
             shots,
             ..QueryRequest::new(0, nodes.to_vec())
         };
-        let shots = self.validate(&req)?;
+        let shots = validate_request(
+            &req,
+            live.prepared.task.n(),
+            live.prepared.task.support.len(),
+        )?;
         let key = (nodes.to_vec(), shots);
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .expect("cache lock")
+            .get(&key, live.valid_from)
+        {
             return Ok(hit);
         }
-        let ctx = self.context_for_shots(shots);
+        let ctx = self.context_for_shots_in(&live, shots);
         let probs = Cgnp::score_batch_with_threads(&ctx, std::slice::from_ref(&key.0), 1);
         let probs = Arc::new(probs.into_iter().next().expect("one result"));
         self.cache
             .lock()
             .expect("cache lock")
-            .insert(key, Arc::clone(&probs));
+            .insert(key, Arc::clone(&probs), live.version);
         Ok(probs)
-    }
-
-    /// Ranks community members for a response: optional attribute filter,
-    /// then probability-descending order (node id breaks ties), capped at
-    /// `top_k` or thresholded at 0.5.
-    fn rank_members(&self, probs: &[f32], req: &QueryRequest) -> (Vec<usize>, Vec<f32>) {
-        let graph = &self.prepared.task.graph;
-        let mut idx: Vec<usize> = (0..probs.len())
-            .filter(|&v| req.attrs.is_empty() || req.attrs.iter().any(|&a| graph.has_attr(v, a)))
-            .collect();
-        idx.sort_by(|&a, &b| probs[b].total_cmp(&probs[a]).then(a.cmp(&b)));
-        match req.top_k {
-            Some(k) => idx.truncate(k),
-            None => idx.retain(|&v| probs[v] >= 0.5),
-        }
-        let member_probs = idx.iter().map(|&v| probs[v]).collect();
-        (idx, member_probs)
     }
 
     /// Cache counters (hits/misses/evictions so far).
@@ -421,8 +574,9 @@ impl ServeSession {
     }
 
     /// Serving summary: request/batch counts, mean occupancy, latency
-    /// percentiles, cache counters.
+    /// percentiles, cache counters, update count, current epoch.
     pub fn summary(&self) -> ServeSummary {
+        let epoch = self.epoch();
         let stats = self.stats.lock().expect("stats lock");
         let cache = self.cache_stats();
         let mut lat = stats.latencies_us.clone();
@@ -450,8 +604,30 @@ impl ServeSession {
             cache_evictions: cache.evictions,
             context_builds: stats.context_builds,
             context_hits: stats.context_hits,
+            updates: stats.updates,
+            epoch,
         }
     }
+}
+
+/// Ranks community members for a response: optional attribute filter,
+/// then probability-descending order (node id breaks ties), capped at
+/// `top_k` or thresholded at 0.5.
+fn rank_members(
+    graph: &AttributedGraph,
+    probs: &[f32],
+    req: &QueryRequest,
+) -> (Vec<usize>, Vec<f32>) {
+    let mut idx: Vec<usize> = (0..probs.len())
+        .filter(|&v| req.attrs.is_empty() || req.attrs.iter().any(|&a| graph.has_attr(v, a)))
+        .collect();
+    idx.sort_by(|&a, &b| probs[b].total_cmp(&probs[a]).then(a.cmp(&b)));
+    match req.top_k {
+        Some(k) => idx.truncate(k),
+        None => idx.retain(|&v| probs[v] >= 0.5),
+    }
+    let member_probs = idx.iter().map(|&v| probs[v]).collect();
+    (idx, member_probs)
 }
 
 /// Builds a serving task over a whole graph: a pool of `max_shots`

@@ -35,6 +35,7 @@ fn serve_cfg() -> ServeConfig {
         threads: 1,
         seed: 9,
         context_cache: true,
+        refresh: Default::default(),
     }
 }
 
@@ -346,7 +347,7 @@ fn replace_support_invalidates_context_and_prediction_caches() {
     let q = task.targets[0].query;
     let narrowed = task.support[..1].to_vec();
     let bad_base = narrowed.clone();
-    let mut session = ServeSession::new(model, task.clone(), serve_cfg()).unwrap();
+    let session = ServeSession::new(model, task.clone(), serve_cfg()).unwrap();
 
     // Warm both caches on the full pool.
     let before = session.answer(&QueryRequest::new(1, vec![q]));

@@ -265,6 +265,67 @@ impl CsrMatrix {
         m
     }
 
+    /// Copy with selected rows replaced and dimensions optionally grown —
+    /// the per-row refresh primitive behind live-graph updates. `updates`
+    /// maps a row index to its complete new contents (sorted by column,
+    /// no duplicates); rows of the old matrix not listed are copied
+    /// bitwise, and new rows beyond the old row count default to empty
+    /// unless listed. Equivalent to `from_triplets` on the merged
+    /// contents, but untouched rows cost a memcpy instead of a sort.
+    ///
+    /// # Panics
+    /// Panics if dimensions shrink, an update row is out of range, or an
+    /// update's columns are out of range / unsorted / duplicated.
+    pub fn with_updated_rows(
+        &self,
+        n_rows: usize,
+        n_cols: usize,
+        updates: &std::collections::HashMap<usize, Vec<(usize, f32)>>,
+    ) -> Self {
+        assert!(
+            n_rows >= self.n_rows && n_cols >= self.n_cols,
+            "with_updated_rows cannot shrink {}x{} to {n_rows}x{n_cols}",
+            self.n_rows,
+            self.n_cols
+        );
+        for (&r, row) in updates {
+            assert!(r < n_rows, "update row {r} out of range for {n_rows} rows");
+            assert!(
+                row.windows(2).all(|w| w[0].0 < w[1].0),
+                "update row {r} must be sorted by column without duplicates"
+            );
+            if let Some(&(c, _)) = row.last() {
+                assert!(c < n_cols, "update row {r} column {c} out of range");
+            }
+        }
+        let mut indptr = Vec::with_capacity(n_rows + 1);
+        let mut indices = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        indptr.push(0);
+        for r in 0..n_rows {
+            match updates.get(&r) {
+                Some(row) => {
+                    indices.extend(row.iter().map(|&(c, _)| c));
+                    values.extend(row.iter().map(|&(_, v)| v));
+                }
+                None if r < self.n_rows => {
+                    let span = self.indptr[r]..self.indptr[r + 1];
+                    indices.extend_from_slice(&self.indices[span.clone()]);
+                    values.extend_from_slice(&self.values[span]);
+                }
+                None => {}
+            }
+            indptr.push(indices.len());
+        }
+        Self {
+            n_rows,
+            n_cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
     /// True when the matrix equals its transpose (structure and values).
     pub fn is_symmetric(&self, tol: f32) -> bool {
         if self.n_rows != self.n_cols {
@@ -291,15 +352,32 @@ impl CsrMatrix {
 pub struct SparseOperator {
     forward: CsrMatrix,
     transposed: CsrMatrix,
+    /// Graph epoch this operator was derived at (`0` for operators not
+    /// tied to a live graph). Consumers compare against the source
+    /// graph's epoch to decide between reuse, per-row refresh, and a
+    /// full epoch-swap rebuild.
+    epoch: u64,
 }
 
 impl SparseOperator {
     pub fn new(forward: CsrMatrix) -> Self {
+        Self::at_epoch(forward, 0)
+    }
+
+    /// An operator tagged with the graph epoch it reflects.
+    pub fn at_epoch(forward: CsrMatrix, epoch: u64) -> Self {
         let transposed = forward.transpose();
         Self {
             forward,
             transposed,
+            epoch,
         }
+    }
+
+    /// The graph epoch this operator was built at.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     #[inline]
@@ -395,5 +473,66 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn triplet_bounds_checked() {
         let _ = CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn row_update_matches_from_triplets() {
+        let s = sample();
+        // Replace row 1 and leave the others untouched; equals a scratch
+        // build on the merged triplets, bitwise.
+        let mut updates = std::collections::HashMap::new();
+        updates.insert(1usize, vec![(0usize, 5.0f32), (1, 6.0)]);
+        let patched = s.with_updated_rows(3, 3, &updates);
+        let scratch =
+            CsrMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (1, 0, 5.0), (1, 1, 6.0), (2, 1, 4.0)]);
+        assert_eq!(patched, scratch);
+    }
+
+    #[test]
+    fn row_update_grows_dimensions() {
+        let s = sample();
+        let mut updates = std::collections::HashMap::new();
+        updates.insert(3usize, vec![(3usize, 1.0f32)]);
+        let grown = s.with_updated_rows(5, 4, &updates);
+        assert_eq!(grown.n_rows(), 5);
+        assert_eq!(grown.n_cols(), 4);
+        assert_eq!(grown.row_iter(3).collect::<Vec<_>>(), vec![(3, 1.0)]);
+        assert_eq!(grown.row_iter(4).count(), 0, "unlisted new row is empty");
+        assert_eq!(
+            grown.row_iter(0).collect::<Vec<_>>(),
+            s.row_iter(0).collect::<Vec<_>>()
+        );
+        // A grown matrix still round-trips through the transpose.
+        assert_eq!(grown.transpose().transpose(), grown);
+    }
+
+    #[test]
+    fn row_update_can_empty_a_row() {
+        let s = sample();
+        let mut updates = std::collections::HashMap::new();
+        updates.insert(1usize, Vec::new());
+        let patched = s.with_updated_rows(3, 3, &updates);
+        assert_eq!(patched.nnz(), 2);
+        assert_eq!(patched.row_iter(1).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by column")]
+    fn row_update_rejects_unsorted_rows() {
+        let mut updates = std::collections::HashMap::new();
+        updates.insert(0usize, vec![(2usize, 1.0f32), (0, 1.0)]);
+        let _ = sample().with_updated_rows(3, 3, &updates);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn row_update_rejects_shrinking() {
+        let _ = sample().with_updated_rows(2, 3, &std::collections::HashMap::new());
+    }
+
+    #[test]
+    fn operator_epoch_tagging() {
+        assert_eq!(SparseOperator::new(sample()).epoch(), 0);
+        assert_eq!(SparseOperator::at_epoch(sample(), 7).epoch(), 7);
     }
 }

@@ -9,6 +9,10 @@ What it proves, end to end over real TCP:
   sending interleaved good, bad, and oversized lines;
 * malformed lines are answered with typed `bad_request` errors and do
   not disturb neighbouring requests on the same connection;
+* a mutation client interleaving live updates (`add_edge` /
+  `update_support` control frames) with queries gets every frame
+  acknowledged, sees its graph epochs advance monotonically, and never
+  disturbs the query-only clients running beside it;
 * a graceful drain (the "drain" control line on stdin) answers
   everything admitted, flushes, and the process exits 0;
 * the end-of-run report on stderr carries the robustness counters
@@ -40,6 +44,7 @@ def parse_args():
     p.add_argument("--checkpoint", required=True, help="trained model checkpoint")
     p.add_argument("--clients", type=int, default=4)
     p.add_argument("--requests", type=int, default=50, help="per client")
+    p.add_argument("--updates", type=int, default=30, help="mutation-client frames")
     p.add_argument("--summary", default=None, help="write a JSON summary here")
     p.add_argument("--timeout", type=float, default=120.0, help="overall deadline (s)")
     return p.parse_args()
@@ -126,6 +131,67 @@ def run_client(client_id, addr, n_requests, n_nodes, result):
         result["errors"].append(f"client {client_id}: {type(e).__name__}: {e}")
 
 
+def run_mutator(addr, n_updates, n_nodes, result):
+    """One mutation client: live-update control frames interleaved with
+    queries on the same connection. Every frame must be acknowledged,
+    and the epochs stamped on its responses must never go backwards —
+    an update is applied before anything admitted after it is scored."""
+    try:
+        with socket.create_connection(addr, timeout=30) as sock:
+            sock.settimeout(60)
+            rfile = sock.makefile("r", encoding="utf-8")
+            last_epoch = -1
+            for i in range(n_updates):
+                uid = 900_000 + 2 * i
+                qid = uid + 1
+                if i % 3 == 2:
+                    q = (i * 5) % n_nodes
+                    frame = {
+                        "id": uid,
+                        "op": "update_support",
+                        "add": {
+                            "query": q,
+                            "pos": [(q + 1) % n_nodes],
+                            "neg": [(q + 2) % n_nodes],
+                        },
+                    }
+                else:
+                    u = (i * 17) % n_nodes
+                    frame = {
+                        "id": uid,
+                        "op": "add_edge",
+                        "u": u,
+                        "v": (u + 1 + (i * 29) % (n_nodes - 1)) % n_nodes,
+                    }
+                query = {"id": qid, "nodes": [(i * 3) % n_nodes]}
+                sock.sendall(
+                    (json.dumps(frame) + "\n" + json.dumps(query) + "\n").encode()
+                )
+                for _ in range(2):
+                    line = rfile.readline()
+                    if not line:
+                        result["errors"].append(
+                            f"mutator: connection closed at update {i}"
+                        )
+                        return
+                    r = json.loads(line)
+                    if not r["ok"]:
+                        result["errors"].append(f"mutator: frame rejected: {r}")
+                        continue
+                    epoch = r.get("epoch")
+                    if epoch is None:
+                        result["errors"].append(f"mutator: response without epoch: {r}")
+                    elif epoch < last_epoch:
+                        result["errors"].append(
+                            f"mutator: epoch went backwards {last_epoch} -> {epoch}"
+                        )
+                    else:
+                        last_epoch = epoch
+                    result["mut_ok" if r["id"] == uid else "ok"] += 1
+    except Exception as e:  # noqa: BLE001 - report, don't crash the soak
+        result["errors"].append(f"mutator: {type(e).__name__}: {e}")
+
+
 def drain_responses(rfile, result, sent_ids, bad_sent, client_id):
     """Reads one response per outstanding line and checks the contract."""
     expected = len(sent_ids) + bad_sent
@@ -169,13 +235,19 @@ def main():
         m = re.search(r"(\d+) nodes", reply["error"])
         n_nodes = int(m.group(1)) if m else 64
 
-    result = {"ok": 0, "bad": 0, "errors": []}
+    result = {"ok": 0, "bad": 0, "mut_ok": 0, "errors": []}
     threads = [
         threading.Thread(
             target=run_client, args=(c + 1, addr, args.requests, n_nodes, result)
         )
         for c in range(args.clients)
     ]
+    if args.updates > 0:
+        threads.append(
+            threading.Thread(
+                target=run_mutator, args=(addr, args.updates, n_nodes, result)
+            )
+        )
     t0 = time.monotonic()
     for t in threads:
         t.start()
@@ -208,18 +280,26 @@ def main():
                         "drained_in_flight"):
             if counter not in g:
                 failures.append(f"gateway report missing counter {counter!r}")
-        want_ok = args.clients * args.requests
+        want_ok = args.clients * args.requests + args.updates
         if result["ok"] != want_ok:
             failures.append(
                 f"dropped well-formed responses: got {result['ok']} ok of {want_ok}"
             )
+        if result["mut_ok"] != args.updates:
+            failures.append(
+                f"dropped update acks: got {result['mut_ok']} of {args.updates}"
+            )
         if g.get("panics_caught", 0) != 0:
             failures.append(f"unexpected panics during soak: {g}")
+        session = report.get("session") or {}
+        if args.updates > 0 and not session.get("updates"):
+            failures.append(f"session report shows no applied updates: {session}")
 
     summary = {
         "clients": args.clients,
         "requests_per_client": args.requests,
         "ok_responses": result["ok"],
+        "update_acks": result["mut_ok"],
         "error_responses": result["bad"],
         "elapsed_seconds": round(elapsed, 3),
         "server_exit_code": proc.returncode,

@@ -6,12 +6,15 @@
 //!
 //! cgnp train --dataset citeseer [--kind sgsc|sgdc] [--shots N] [--scale S]
 //!            [--seed N] [--decoder ip|mlp|gnn] [--out model.json]
-//!            [--meta-batch B] [--threads N]
+//!            [--meta-batch B] [--lr-scale none|linear] [--threads N]
 //!     Meta-train a CGNP model (with validation-based model selection)
 //!     and optionally save a checkpoint. --meta-batch accumulates B task
 //!     gradients into one averaged Adam step, fanned across --threads
 //!     workers; a fixed seed reproduces bitwise for any --threads
 //!     (--meta-batch 1, the default, is the paper's sequential loop).
+//!     --lr-scale linear multiplies the learning rate by the meta-batch
+//!     size to compensate for the reduced step count; the default (none)
+//!     keeps the configured rate and reproduces existing runs bitwise.
 //!
 //! cgnp evaluate --dataset citeseer [--kind ...] [--shots N] [--scale S]
 //!               [--seed N] [--model model.json]
@@ -44,7 +47,8 @@
 use std::collections::HashMap;
 
 use cgnp_core::{
-    meta_train_validated_with_threads, prepare_tasks, prepare_tasks_with_threads, Cgnp, DecoderKind,
+    meta_train_validated_with_threads, prepare_tasks, prepare_tasks_with_threads, Cgnp,
+    DecoderKind, LrScale, RefreshStrategy,
 };
 use cgnp_data::{load_dataset, model_input_dim, DatasetId, Scale};
 use cgnp_eval::{
@@ -231,6 +235,11 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err("task sampling produced no training tasks".into());
     }
     let meta_batch = parse_usize(flags, "meta-batch", 1)?.max(1);
+    let lr_scale = match flags.get("lr-scale").map(String::as_str) {
+        None | Some("none") => LrScale::None,
+        Some("linear") => LrScale::Linear,
+        Some(other) => return Err(format!("--lr-scale must be none or linear, got {other:?}")),
+    };
     let threads = parse_usize(flags, "threads", rayon::current_num_threads())?.max(1);
     println!(
         "{} {} {}-shot: {} train / {} valid tasks (meta-batch {meta_batch}, {threads} threads)",
@@ -246,7 +255,8 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         .settings
         .cgnp_template()
         .with_decoder(args.decoder)
-        .with_meta_batch(meta_batch);
+        .with_meta_batch(meta_batch)
+        .with_lr_scale(lr_scale);
     cfg.encoder.in_dim = model_input_dim(&tasks.train[0].graph);
     let model = Cgnp::new(cfg, args.seed);
     let stats = meta_train_validated_with_threads(&model, &train, &valid, args.seed, threads);
@@ -352,12 +362,22 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let checkpoint = flags
         .get("checkpoint")
         .ok_or("serve needs --checkpoint <model.json>")?;
+    let refresh = match flags.get("refresh").map(String::as_str).unwrap_or("swap") {
+        "swap" => RefreshStrategy::EpochSwap,
+        "per-row" => RefreshStrategy::PerRow,
+        other => {
+            return Err(format!(
+                "bad --refresh {other:?} (expected swap or per-row)"
+            ))
+        }
+    };
     let cfg = ServeConfig {
         batch: parse_usize(flags, "batch", ServeConfig::default().batch)?.max(1),
         cache: parse_usize(flags, "cache", ServeConfig::default().cache)?,
         threads: parse_usize(flags, "threads", rayon::current_num_threads())?.max(1),
         seed: args.seed,
         context_cache: true,
+        refresh,
     };
     let ds = load_dataset(args.dataset, args.settings.scale, args.seed);
     let task = serve_task(ds.single(), args.shots.max(1), args.seed)?;
