@@ -1,0 +1,183 @@
+//! Sharded-serving scaling: throughput and resident memory at 1, 2 and
+//! 4 shards over the same synthetic graph.
+//!
+//! One `ShardedSession` per shard count is restored from the same
+//! checkpoint (the exact production path behind `cgnp serve --shards`)
+//! over a long ring-with-chords graph whose diameter dwarfs the model's
+//! halo radius — so each shard genuinely serves a fraction of the graph
+//! rather than a halo that swallows everything. Ticks of 32 distinct
+//! queries are measured with both caches disabled, so every tick pays
+//! the per-shard context forwards plus the scatter/gather merge. Writes
+//! `BENCH_shard.json` at the workspace root with queries/sec, peak RSS
+//! and the throughput ratio vs the single-shard deployment.
+//!
+//! Peak RSS is `VmHWM` from `/proc/self/status`: a process-cumulative
+//! high-water mark, read after each deployment is built and warmed (in
+//! ascending shard order), so later rows can only grow. The comparable
+//! signal across rows is the ratio, not the absolute kilobytes.
+//!
+//! Acceptance shape: a sharded deployment on one machine re-runs the
+//! encoder once per shard, so it must keep at least half the
+//! single-shard throughput — the coordinator's scatter/gather overhead
+//! has to stay bounded, not win.
+
+use std::sync::{Mutex, OnceLock};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cgnp_core::{Cgnp, CgnpConfig};
+use cgnp_data::model_input_dim;
+use cgnp_graph::{AttributedGraph, Graph};
+use cgnp_serve::{serve_task, QueryRequest, ServeConfig};
+use cgnp_shard::{ShardedConfig, ShardedSession};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const N: usize = 600;
+const ARC: usize = 20;
+const TICK: usize = 32;
+
+/// `(shards, VmHWM kB)` captured while sessions are alive, for the emit
+/// pass — criterion's result rows only carry timings.
+fn rss_rows() -> &'static Mutex<Vec<(usize, u64)>> {
+    static ROWS: OnceLock<Mutex<Vec<(usize, u64)>>> = OnceLock::new();
+    ROWS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap_or_default()
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Ring of `N` nodes with a chord every 9: diameter ≈ N/4, far beyond
+/// the paper-default halo radius, with contiguous arcs as ground-truth
+/// communities (same family as the sharded-equivalence test graph).
+fn serving_graph() -> AttributedGraph {
+    let mut edges: Vec<(usize, usize)> = (0..N).map(|v| (v, (v + 1) % N)).collect();
+    edges.extend((0..N).step_by(9).map(|v| (v, (v + 2) % N)));
+    let g = Graph::from_edges(N, &edges);
+    let attrs = (0..N).map(|v| vec![(v % 3) as u32]).collect();
+    let communities = (0..N / ARC)
+        .map(|c| (c * ARC..(c + 1) * ARC).map(|v| v as u32).collect())
+        .collect();
+    AttributedGraph::new(g, 3, attrs, communities)
+}
+
+/// Distinct single-node queries spread around the ring so no two
+/// requests in a tick collapse into one cache key or one shard.
+fn requests() -> Vec<QueryRequest> {
+    (0..TICK)
+        .map(|i| QueryRequest::new(i as u64, vec![(i * 37) % N]).with_top_k(10))
+        .collect()
+}
+
+fn shard_scaling(c: &mut Criterion) {
+    let graph = serving_graph();
+    let task = serve_task(&graph, 5, 11).expect("support pool");
+    let template = CgnpConfig::paper_default(model_input_dim(&task.graph), 16);
+    let model = Cgnp::new(template.clone(), 11);
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("shard_bench_ckpt.json");
+    cgnp_eval::save_to_file(&model, &path).expect("write checkpoint");
+
+    let reqs = requests();
+    let mut g = c.benchmark_group("shard_scaling");
+    for &s in &SHARD_COUNTS {
+        let session = ShardedSession::from_checkpoint(
+            &path,
+            template.clone(),
+            task.clone(),
+            ShardedConfig {
+                shards: s,
+                replicas: 1,
+                serve: ServeConfig {
+                    batch: TICK,
+                    cache: 0,             // measure compute, not cache hits
+                    context_cache: false, // every tick pays its context forwards
+                    threads: rayon::current_num_threads(),
+                    seed: 11,
+                    refresh: Default::default(),
+                },
+            },
+        )
+        .expect("sharded session");
+        black_box(session.answer_batch(&reqs)); // warm before the RSS reading
+        rss_rows().lock().unwrap().push((s, peak_rss_kb()));
+        g.bench_function(&format!("shards_{s}"), |bch| {
+            bch.iter(|| black_box(session.answer_batch(black_box(&reqs))))
+        });
+    }
+    g.finish();
+}
+
+/// Writes `BENCH_shard.json`: per shard count, tick latency, queries/sec,
+/// peak RSS, and throughput relative to the single-shard deployment
+/// (`speedup_vs_shard1` — the machine-independent ratio the regression
+/// gate compares).
+fn emit_shard_baseline(c: &mut Criterion) {
+    let rss = rss_rows().lock().unwrap();
+    let mut rows = Vec::new();
+    let mut qps_shard1 = None;
+    for &s in &SHARD_COUNTS {
+        let name = format!("shard_scaling/shards_{s}");
+        let Some(r) = c.results().iter().find(|r| r.name == name) else {
+            continue;
+        };
+        let qps = TICK as f64 * 1e9 / r.median_ns;
+        if s == 1 {
+            qps_shard1 = Some(qps);
+        }
+        let speedup = qps_shard1
+            .map(|base| format!("{:.3}", qps / base))
+            .unwrap_or_else(|| "null".to_string());
+        let kb = rss
+            .iter()
+            .find(|(sc, _)| *sc == s)
+            .map(|&(_, kb)| kb)
+            .unwrap_or(0);
+        rows.push(format!(
+            "    {{\"shards\": {s}, \"latency_p50_us\": {:.1}, \"latency_p95_us\": {:.1}, \
+             \"queries_per_sec\": {qps:.1}, \"peak_rss_kb\": {kb}, \
+             \"speedup_vs_shard1\": {speedup}}}",
+            r.median_ns / 1e3,
+            r.p95_ns / 1e3
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"cgnp-shard-baseline-v1\",\n  \"threads\": {},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        rayon::current_num_threads(),
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("shard baseline written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    // Shape check: coordination overhead must stay bounded on one box.
+    let find = |s: usize| {
+        c.results()
+            .iter()
+            .find(|r| r.name == format!("shard_scaling/shards_{s}"))
+            .map(|r| TICK as f64 * 1e9 / r.median_ns)
+    };
+    if let (Some(q1), Some(q4)) = (find(1), find(4)) {
+        let holds = q4 >= 0.5 * q1;
+        let mark = if holds { "HOLDS " } else { "DIFFERS" };
+        println!(
+            "  [{mark}] scatter/gather keeps ≥ half the single-shard throughput — \
+             1 shard: {q1:.0} q/s, 4 shards: {q4:.0} q/s ({:.2}×)",
+            q4 / q1
+        );
+    }
+}
+
+criterion_group!(benches, shard_scaling, emit_shard_baseline);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeSet;
 
-use cgnp_data::{base_features, with_indicator, QueryExample, Task};
+use cgnp_data::{base_features_with_cores, with_indicator, QueryExample, Task, NO_QUERY};
 use cgnp_graph::{algo, GraphMutation};
 use cgnp_nn::{ForwardCtx, GnnEncoder, GraphContext, Module};
 use cgnp_tensor::{Matrix, Tensor};
@@ -32,14 +32,49 @@ pub struct PreparedTask {
     /// Base node features (`attrs ‖ core ‖ lcc`), without the indicator
     /// channel.
     pub base: Matrix,
+    /// Raw core numbers the core column was derived from, so a per-row
+    /// refresh can patch only the rows a mutation actually moved. `None`
+    /// after [`PreparedTask::override_core_column`]: the column no longer
+    /// derives from this graph's cores, so the next per-row refresh must
+    /// rewrite it wholesale.
+    cores: Option<Vec<usize>>,
 }
 
 impl PreparedTask {
     pub fn new(task: Task) -> Self {
         let epoch = task.graph.epoch();
         let gctx = GraphContext::at_epoch(task.graph.graph(), epoch);
-        let base = base_features(&task.graph);
-        Self { task, gctx, base }
+        let (base, cores) = base_features_with_cores(&task.graph);
+        Self {
+            task,
+            gctx,
+            base,
+            cores: Some(cores),
+        }
+    }
+
+    /// Overwrites the core-number feature column with externally supplied
+    /// per-node values (one per node, already normalised). Sharded
+    /// serving uses this: core numbers are a global property of the full
+    /// graph, so a shard's locally computed column is wrong at the halo
+    /// fringe and the coordinator injects the global one instead. After
+    /// an override the column no longer derives from this graph, so the
+    /// cached cores are dropped and the next per-row refresh rewrites the
+    /// column from local state (the coordinator re-injects afterwards).
+    pub fn override_core_column(&mut self, column: &[f32]) -> Result<(), String> {
+        let n = self.task.n();
+        if column.len() != n {
+            return Err(format!(
+                "core column has {} entries but the graph has {n} nodes",
+                column.len()
+            ));
+        }
+        let d = self.task.graph.n_attrs() + 2;
+        for (v, &c) in column.iter().enumerate() {
+            self.base.row_mut(v)[d - 2] = c;
+        }
+        self.cores = None;
+        Ok(())
     }
 
     /// Graph epoch the operators and features were derived at.
@@ -73,7 +108,9 @@ impl PreparedTask {
             Some(muts) => self.refresh_per_row(&muts, target),
             None => {
                 self.gctx = GraphContext::at_epoch(self.task.graph.graph(), target);
-                self.base = base_features(&self.task.graph);
+                let (base, cores) = base_features_with_cores(&self.task.graph);
+                self.base = base;
+                self.cores = Some(cores);
             }
         }
     }
@@ -138,13 +175,31 @@ impl PreparedTask {
             self.base = grown;
         }
 
-        // Core numbers normalise by the global degeneracy, so the whole
-        // column is rewritten with the same expression as `base_features`.
+        // Core numbers normalise by the global degeneracy. The column is
+        // only rewritten wholesale when a mutation actually moved that
+        // normalisation (or the column was externally overridden);
+        // otherwise only the rows whose raw core number changed are
+        // patched — the same expression as `base_features` either way.
         let cores = algo::core_numbers(g);
-        let max_core = cores.iter().copied().max().unwrap_or(1).max(1) as f32;
-        for (v, &core) in cores.iter().enumerate().take(n) {
-            self.base.row_mut(v)[d - 2] = core as f32 / max_core;
+        let max_core_raw = cores.iter().copied().max().unwrap_or(1).max(1);
+        let max_core = max_core_raw as f32;
+        let unchanged_norm = self
+            .cores
+            .as_ref()
+            .is_some_and(|old| old.iter().copied().max().unwrap_or(1).max(1) == max_core_raw);
+        if unchanged_norm {
+            let old = self.cores.as_ref().expect("checked above");
+            for (v, &core) in cores.iter().enumerate().take(n) {
+                if old.get(v) != Some(&core) {
+                    self.base.row_mut(v)[d - 2] = core as f32 / max_core;
+                }
+            }
+        } else {
+            for (v, &core) in cores.iter().enumerate().take(n) {
+                self.base.row_mut(v)[d - 2] = core as f32 / max_core;
+            }
         }
+        self.cores = Some(cores);
         for &v in &lcc_rows {
             self.base.row_mut(v)[d - 1] = algo::local_clustering_coefficient(g, v);
         }
@@ -205,7 +260,9 @@ impl Cgnp {
         fctx: &mut ForwardCtx<'_>,
     ) -> Tensor {
         let mut marked = Vec::with_capacity(1 + example.pos.len());
-        marked.push(example.query);
+        if example.query != NO_QUERY {
+            marked.push(example.query);
+        }
         marked.extend_from_slice(&example.pos);
         let x = Tensor::constant(with_indicator(&prepared.base, &marked));
         self.encoder.forward(&prepared.gctx, &x, fctx)
@@ -291,6 +348,40 @@ impl Cgnp {
     pub fn score_probs(context: &Tensor, queries: &[usize]) -> Vec<f32> {
         cgnp_tensor::no_grad(|| {
             Decoder::score_multi(context, queries)
+                .sigmoid()
+                .value_ref()
+                .as_slice()
+                .to_vec()
+        })
+    }
+
+    /// Mean of a set of pre-gathered context rows: the centroid half of
+    /// [`Decoder::score_multi`], split out for coordinators that gather
+    /// query rows from several shard-local contexts. Stacking the same
+    /// row bits in the same order feeds the identical `Matrix::mean_rows`
+    /// kernel that `gather_rows(queries).mean_rows()` runs, so the result
+    /// is bitwise-equal to the unsharded centroid.
+    pub fn centroid_of_rows(rows: &[&[f32]]) -> Vec<f32> {
+        assert!(!rows.is_empty(), "centroid needs at least one row");
+        let d = rows[0].len();
+        let mut stacked = Matrix::zeros(rows.len(), d);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), d, "centroid rows must share a width");
+            stacked.row_mut(r).copy_from_slice(row);
+        }
+        stacked.mean_rows().as_slice().to_vec()
+    }
+
+    /// Membership probabilities of every context row against an
+    /// externally supplied centroid (the broadcast half of scatter/gather
+    /// scoring). With `centroid = gather_rows(queries).mean_rows()` bits
+    /// this matches [`Cgnp::score_probs`] exactly: both run the same
+    /// `matmul_tb` + `sigmoid` kernels on the same operands.
+    pub fn score_probs_with_centroid(context: &Tensor, centroid: &[f32]) -> Vec<f32> {
+        cgnp_tensor::no_grad(|| {
+            let c = Tensor::constant(Matrix::from_vec(1, centroid.len(), centroid.to_vec()));
+            context
+                .matmul_tb(&c)
                 .sigmoid()
                 .value_ref()
                 .as_slice()

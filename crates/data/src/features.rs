@@ -25,6 +25,14 @@ pub fn model_input_dim(ag: &AttributedGraph) -> usize {
 /// Core numbers are normalised by the graph degeneracy so features stay in
 /// `[0, 1]` across graphs of different density.
 pub fn base_features(ag: &AttributedGraph) -> Matrix {
+    base_features_with_cores(ag).0
+}
+
+/// [`base_features`] that also hands back the raw per-node core numbers
+/// the core column was derived from (normalised by their maximum, the
+/// graph degeneracy). Incremental refreshes cache these to detect which
+/// rows of the core column a mutation actually moved.
+pub fn base_features_with_cores(ag: &AttributedGraph) -> (Matrix, Vec<usize>) {
     let n = ag.n();
     let d = base_feature_dim(ag);
     let mut x = Matrix::zeros(n, d);
@@ -39,7 +47,7 @@ pub fn base_features(ag: &AttributedGraph) -> Matrix {
         row[d - 2] = cores[v] as f32 / max_core;
         row[d - 1] = lcc[v];
     }
-    x
+    (x, cores)
 }
 
 /// Prepends an indicator column to `base`: rows listed in `marked` get 1.

@@ -31,14 +31,16 @@ pub mod profiles;
 pub mod synthetic;
 pub mod task;
 
-pub use features::{base_feature_dim, base_features, model_input_dim, with_indicator};
+pub use features::{
+    base_feature_dim, base_features, base_features_with_cores, model_input_dim, with_indicator,
+};
 pub use profiles::{
     load_dataset, paper_stats, surrogate_config, Dataset, DatasetId, PaperStats, Scale,
 };
 pub use synthetic::{generate_sbm, SbmConfig};
 pub use task::{
     mgdd_tasks, mgod_tasks, sample_task, single_graph_tasks, task_on_whole_graph, QueryExample,
-    Task, TaskConfig, TaskKind, TaskSet,
+    Task, TaskConfig, TaskKind, TaskSet, NO_QUERY,
 };
 
 #[cfg(test)]

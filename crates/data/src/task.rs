@@ -21,6 +21,15 @@ use rand::{Rng, SeedableRng};
 use cgnp_graph::algo::bfs_sample;
 use cgnp_graph::AttributedGraph;
 
+/// Sentinel query id for an "unmarked" support view: an example whose
+/// marked nodes (`{query} ∪ pos`) all live outside the current
+/// (sub)graph. The encoder treats such a view as carrying an all-zero
+/// indicator channel instead of panicking on an out-of-range id.
+/// Sharded serving relies on this: a shard conditions on the same
+/// support pool as the whole graph, with examples whose marked nodes
+/// fall entirely outside the shard's halo degraded to unmarked views.
+pub const NO_QUERY: usize = usize::MAX;
+
 /// One labelled query: the query node, its sampled positive/negative ground
 /// truth, and the full membership mask used for evaluation only.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -2,16 +2,18 @@
 //! panic isolation around the engine.
 //!
 //! The batcher is one thread popping micro-batches off the shared
-//! admission queue. A tick is either a contiguous run of queries (up to
-//! the engine's batch bound) or exactly one update frame — updates
-//! serialize with queries in admission order, so a query admitted after
-//! an `add_edge` is always answered under the post-mutation epoch. Per
-//! query tick it (1) expires requests whose deadline passed — those are
-//! answered `timeout` and **never scored** — and (2) scores the rest
-//! inside `catch_unwind`: a panic fails over to scoring the tick one
-//! request at a time, so exactly the poisoned requests get `internal`
-//! responses and every healthy neighbour in the same tick is still
-//! answered from the real engine.
+//! admission queue. A tick is a contiguous run of queries or a
+//! contiguous run of update frames (either up to the engine's batch
+//! bound) — updates serialize with queries in admission order, so a
+//! query admitted after an `add_edge` is always answered under the
+//! post-mutation epoch, while a burst of updates shares one batched
+//! apply (one operator refresh) instead of paying one per frame. Per
+//! tick it (1) expires requests whose deadline passed — those are
+//! answered `timeout` and **never scored** — and (2) scores/applies the
+//! rest inside `catch_unwind`: a panic fails over to handling the tick
+//! one request at a time, so exactly the poisoned requests get
+//! `internal` responses and every healthy neighbour in the same tick is
+//! still answered from the real engine.
 //!
 //! Responses are serialised to their NDJSON lines **here**, on the
 //! batcher thread, so the event loop routes ready-made bytes instead of
@@ -67,22 +69,20 @@ pub fn run(engine: &dyn QueryEngine, shared: &Shared) {
                     .expect("gateway queue lock");
                 queue = guard;
             }
-            // Admission order is the serialization order: an update at
-            // the front forms a tick of one; otherwise the tick is the
-            // contiguous query run before the next update.
-            if matches!(
+            // Admission order is the serialization order: the tick is
+            // the contiguous same-kind run at the front (queries score
+            // together; updates share one batched apply), cut at the
+            // first frame of the other kind.
+            let front_is_update = matches!(
                 queue.front().expect("non-empty queue").frame,
                 Frame::Update(_)
-            ) {
-                vec![queue.pop_front().expect("non-empty queue")]
-            } else {
-                let run = queue
-                    .iter()
-                    .take_while(|p| matches!(p.frame, Frame::Query(_)))
-                    .count();
-                let take = batch.min(run);
-                queue.drain(..take).collect()
-            }
+            );
+            let run = queue
+                .iter()
+                .take_while(|p| matches!(p.frame, Frame::Update(_)) == front_is_update)
+                .count();
+            let take = batch.min(run);
+            queue.drain(..take).collect()
         };
         let responses = answer_tick(engine, shared, &tick);
         debug_assert_eq!(responses.len(), tick.len());
@@ -102,7 +102,7 @@ fn answer_tick(engine: &dyn QueryEngine, shared: &Shared, tick: &[Pending]) -> V
     let now = Instant::now();
     // Partition without reordering: responses must line up with `tick`.
     let mut live_reqs: Vec<QueryRequest> = Vec::with_capacity(tick.len());
-    let mut live_update: Option<&UpdateRequest> = None;
+    let mut live_updates: Vec<UpdateRequest> = Vec::new();
     let mut expired = vec![false; tick.len()];
     for (i, p) in tick.iter().enumerate() {
         if p.deadline.is_some_and(|d| now >= d) {
@@ -112,13 +112,15 @@ fn answer_tick(engine: &dyn QueryEngine, shared: &Shared, tick: &[Pending]) -> V
         }
         match &p.frame {
             Frame::Query(req) => live_reqs.push(req.clone()),
-            Frame::Update(req) => live_update = Some(req),
+            Frame::Update(req) => live_updates.push(req.clone()),
         }
     }
-    let mut answered = match live_update {
-        // Tick assembly guarantees an update travels alone.
-        Some(update) => vec![apply_isolated(engine, shared, update)].into_iter(),
-        None => score_isolated(engine, shared, &live_reqs).into_iter(),
+    // Tick assembly guarantees a tick is homogeneous: a run of queries
+    // or a run of updates, never both.
+    let mut answered = if live_updates.is_empty() {
+        score_isolated(engine, shared, &live_reqs).into_iter()
+    } else {
+        apply_isolated(engine, shared, &live_updates).into_iter()
     };
     tick.iter()
         .zip(&expired)
@@ -136,19 +138,43 @@ fn answer_tick(engine: &dyn QueryEngine, shared: &Shared, tick: &[Pending]) -> V
         .collect()
 }
 
-/// Applies one update with panic isolation: a panicking engine loses
-/// the update, not the server.
-fn apply_isolated(engine: &dyn QueryEngine, shared: &Shared, req: &UpdateRequest) -> QueryResponse {
-    match catch_unwind(AssertUnwindSafe(|| engine.apply_update(req))) {
-        Ok(response) => response,
-        Err(_) => {
+/// Applies a run of updates with panic isolation: a batch-level panic
+/// retries one frame at a time, so a poisoned frame loses itself — not
+/// the server, and not its healthy neighbours in the same burst.
+fn apply_isolated(
+    engine: &dyn QueryEngine,
+    shared: &Shared,
+    reqs: &[UpdateRequest],
+) -> Vec<QueryResponse> {
+    if reqs.is_empty() {
+        return Vec::new();
+    }
+    match catch_unwind(AssertUnwindSafe(|| engine.apply_updates(reqs))) {
+        Ok(responses) if responses.len() == reqs.len() => responses,
+        Ok(mismatched) => {
+            drop(mismatched);
+            reqs.iter()
+                .map(|r| {
+                    QueryResponse::error(
+                        r.id,
+                        ErrorCode::Internal,
+                        "engine returned a mismatched response count",
+                    )
+                })
+                .collect()
+        }
+        Err(_) if reqs.len() == 1 => {
             shared.stats.bump(&shared.stats.panics_caught);
-            QueryResponse::error(
-                req.id,
+            vec![QueryResponse::error(
+                reqs[0].id,
                 ErrorCode::Internal,
                 "update panicked while applying (isolated; server healthy)",
-            )
+            )]
         }
+        Err(_) => reqs
+            .iter()
+            .flat_map(|r| apply_isolated(engine, shared, std::slice::from_ref(r)))
+            .collect(),
     }
 }
 

@@ -58,75 +58,9 @@ pub mod stats;
 pub mod testing;
 
 pub use cgnp_serve::{
-    ErrorCode, Frame, QueryRequest, QueryResponse, ServeSession, ServeSummary, UpdateOp,
-    UpdateRequest,
+    ErrorCode, Frame, QueryEngine, QueryRequest, QueryResponse, ServeSession, ServeSummary,
+    UpdateOp, UpdateRequest,
 };
 pub use config::GatewayConfig;
 pub use server::{Gateway, GatewayHandle};
 pub use stats::{GatewayReport, GatewaySummary};
-
-/// The scoring back-end the gateway multiplexes connections into.
-///
-/// [`cgnp_serve::ServeSession`] is the production implementation; the
-/// fault-injection harness ([`testing`]) wraps engines to inject panics,
-/// delays, and scripted behavior deterministically.
-pub trait QueryEngine: Send + Sync + 'static {
-    /// Number of nodes of the serving graph (boundary validation).
-    fn n(&self) -> usize;
-    /// Attribute vocabulary size of the serving graph (boundary
-    /// validation of `add_node` control frames).
-    fn n_attrs(&self) -> usize {
-        0
-    }
-    /// Size of the labelled support pool (boundary validation).
-    fn max_shots(&self) -> usize;
-    /// Micro-batch bound: how many requests one tick coalesces.
-    fn batch(&self) -> usize;
-    /// Answers a micro-batch; must return one response per request, in
-    /// order. May panic on poisoned input — the gateway isolates it.
-    fn answer_batch(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse>;
-    /// Applies one live update and acknowledges it. Engines without
-    /// mutable state refuse (the default).
-    fn apply_update(&self, req: &UpdateRequest) -> QueryResponse {
-        QueryResponse::error(
-            req.id,
-            ErrorCode::BadRequest,
-            "engine does not support live updates",
-        )
-    }
-    /// The engine's own serving summary, when it keeps one (sessions
-    /// do); folded into the gateway's end-of-run report.
-    fn session_summary(&self) -> Option<ServeSummary> {
-        None
-    }
-}
-
-impl QueryEngine for ServeSession {
-    fn n(&self) -> usize {
-        ServeSession::n(self)
-    }
-
-    fn n_attrs(&self) -> usize {
-        ServeSession::n_attrs(self)
-    }
-
-    fn max_shots(&self) -> usize {
-        ServeSession::max_shots(self)
-    }
-
-    fn batch(&self) -> usize {
-        self.config().batch.max(1)
-    }
-
-    fn answer_batch(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse> {
-        ServeSession::answer_batch(self, reqs)
-    }
-
-    fn apply_update(&self, req: &UpdateRequest) -> QueryResponse {
-        ServeSession::apply_update(self, req)
-    }
-
-    fn session_summary(&self) -> Option<ServeSummary> {
-        Some(self.summary())
-    }
-}

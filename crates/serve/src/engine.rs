@@ -1,0 +1,87 @@
+//! [`QueryEngine`]: the trait every serving front-end scores through.
+//!
+//! Front-ends — the stdin NDJSON loop ([`crate::serve_ndjson`]) and the
+//! TCP gateway — speak to an abstract engine rather than a concrete
+//! session, so one binary serves a single [`ServeSession`], a sharded
+//! scatter/gather coordinator, or a fault-injection wrapper through the
+//! same protocol with zero wire changes.
+
+use crate::protocol::{ErrorCode, QueryRequest, QueryResponse, UpdateRequest};
+use crate::session::{ServeSession, ServeSummary};
+
+/// The scoring back-end a serving front-end multiplexes requests into.
+///
+/// [`ServeSession`] is the single-box implementation; a sharded
+/// coordinator fans the same calls out over many sessions; test
+/// harnesses wrap engines to inject panics, delays, and scripted
+/// behavior deterministically.
+pub trait QueryEngine: Send + Sync + 'static {
+    /// Number of nodes of the serving graph (boundary validation).
+    fn n(&self) -> usize;
+    /// Attribute vocabulary size of the serving graph (boundary
+    /// validation of `add_node` control frames).
+    fn n_attrs(&self) -> usize {
+        0
+    }
+    /// Size of the labelled support pool (boundary validation).
+    fn max_shots(&self) -> usize;
+    /// Micro-batch bound: how many requests one tick coalesces.
+    fn batch(&self) -> usize;
+    /// Answers a micro-batch; must return one response per request, in
+    /// order. May panic on poisoned input — the gateway isolates it.
+    fn answer_batch(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse>;
+    /// Applies one live update and acknowledges it. Engines without
+    /// mutable state refuse (the default).
+    fn apply_update(&self, req: &UpdateRequest) -> QueryResponse {
+        QueryResponse::error(
+            req.id,
+            ErrorCode::BadRequest,
+            "engine does not support live updates",
+        )
+    }
+    /// Applies a burst of updates, one ack per frame in order. Engines
+    /// that can batch a burst into one refresh override this (sessions
+    /// do); the default applies frame by frame.
+    fn apply_updates(&self, reqs: &[UpdateRequest]) -> Vec<QueryResponse> {
+        reqs.iter().map(|r| self.apply_update(r)).collect()
+    }
+    /// The engine's own serving summary, when it keeps one (sessions
+    /// do); folded into the gateway's end-of-run report.
+    fn session_summary(&self) -> Option<ServeSummary> {
+        None
+    }
+}
+
+impl QueryEngine for ServeSession {
+    fn n(&self) -> usize {
+        ServeSession::n(self)
+    }
+
+    fn n_attrs(&self) -> usize {
+        ServeSession::n_attrs(self)
+    }
+
+    fn max_shots(&self) -> usize {
+        ServeSession::max_shots(self)
+    }
+
+    fn batch(&self) -> usize {
+        self.config().batch.max(1)
+    }
+
+    fn answer_batch(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse> {
+        ServeSession::answer_batch(self, reqs)
+    }
+
+    fn apply_update(&self, req: &UpdateRequest) -> QueryResponse {
+        ServeSession::apply_update(self, req)
+    }
+
+    fn apply_updates(&self, reqs: &[UpdateRequest]) -> Vec<QueryResponse> {
+        ServeSession::apply_updates(self, reqs)
+    }
+
+    fn session_summary(&self) -> Option<ServeSummary> {
+        Some(self.summary())
+    }
+}

@@ -40,14 +40,16 @@
 //! ```
 
 pub mod cache;
+pub mod engine;
 pub mod ndjson;
 pub mod protocol;
 pub mod session;
 
 pub use cache::{CacheStats, LruCache};
+pub use engine::QueryEngine;
 pub use ndjson::serve_ndjson;
 pub use protocol::{
     parse_frame, parse_request, validate_request, validate_update, ErrorCode, Frame, ParseError,
     QueryRequest, QueryResponse, UpdateOp, UpdateRequest,
 };
-pub use session::{serve_task, ServeConfig, ServeSession, ServeSummary};
+pub use session::{rank_members, serve_task, ServeConfig, ServeSession, ServeSummary};

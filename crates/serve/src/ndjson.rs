@@ -1,6 +1,6 @@
 //! The streaming NDJSON front-end: a reader thread feeds a bounded
 //! channel, and the serving loop coalesces whatever has arrived — up to
-//! the micro-batch bound — into one [`ServeSession::answer_batch`] tick.
+//! the micro-batch bound — into one [`QueryEngine::answer_batch`] tick.
 //!
 //! The coalescing is load-adaptive with no timers: while a tick is being
 //! computed, new lines pile up in the channel, so a saturated client
@@ -10,26 +10,33 @@
 use std::io::{BufRead, Write};
 use std::sync::mpsc::{sync_channel, TryRecvError};
 
-use crate::protocol::{parse_frame, ErrorCode, Frame, ParseError, QueryRequest, QueryResponse};
-use crate::session::{ServeSession, ServeSummary};
+use crate::engine::QueryEngine;
+use crate::protocol::{
+    parse_frame, ErrorCode, Frame, ParseError, QueryRequest, QueryResponse, UpdateRequest,
+};
+use crate::session::ServeSummary;
 
 /// One inbound line: a parsed frame or a parse error to report.
 type Inbound = Result<Frame, ParseError>;
 
 /// Serves NDJSON requests from `input` to `output` until EOF, then
-/// returns the session's serving summary. Responses preserve arrival
+/// returns the engine's serving summary. Responses preserve arrival
 /// order within a tick; malformed lines produce `ok: false` /
 /// `code: "bad_request"` responses without stopping the stream, echoing
 /// the request id whenever one was recoverable from the line (`id: 0`
 /// otherwise). A *read* failure on `input` (as opposed to a malformed
 /// line) stops serving and returns the `io::Error` after answering
 /// everything already received.
-pub fn serve_ndjson(
-    session: &ServeSession,
+///
+/// Contiguous runs of control frames within a tick are applied through
+/// [`QueryEngine::apply_updates`], so a burst of mutations pays for one
+/// operator refresh instead of one per frame.
+pub fn serve_ndjson<E: QueryEngine + ?Sized>(
+    engine: &E,
     input: impl BufRead + Send,
     output: &mut impl Write,
 ) -> std::io::Result<ServeSummary> {
-    let batch = session.config().batch.max(1);
+    let batch = engine.batch().max(1);
     let (tx, rx) = sync_channel::<Inbound>(4 * batch);
     // A mid-stream read failure (broken pipe, disk error, invalid UTF-8)
     // must surface as `Err`, not masquerade as a clean EOF: the caller
@@ -67,30 +74,47 @@ pub fn serve_ndjson(
                 }
             }
             // Answer in arrival order: contiguous query runs share one
-            // batch tick, while control frames apply at their admitted
-            // position — a query arriving after an `add_edge` is always
-            // answered under the post-mutation epoch. An all-malformed
-            // tick computes (and counts) nothing: the session's
+            // batch tick and contiguous control-frame runs share one
+            // refresh, while each applies at its admitted position — a
+            // query arriving after an `add_edge` is always answered
+            // under the post-mutation epoch. An all-malformed tick
+            // computes (and counts) nothing: the engine's
             // batch/occupancy statistics only see real requests.
             let mut responses: Vec<Option<QueryResponse>> =
                 (0..pending.len()).map(|_| None).collect();
-            let flush = |run: &mut Vec<(usize, QueryRequest)>,
-                         responses: &mut Vec<Option<QueryResponse>>| {
-                if run.is_empty() {
-                    return;
-                }
-                let reqs: Vec<QueryRequest> = run.iter().map(|(_, r)| r.clone()).collect();
-                for ((i, _), resp) in run.drain(..).zip(session.answer_batch(&reqs)) {
-                    responses[i] = Some(resp);
-                }
-            };
-            let mut run: Vec<(usize, QueryRequest)> = Vec::new();
+            let flush_queries =
+                |run: &mut Vec<(usize, QueryRequest)>,
+                 responses: &mut Vec<Option<QueryResponse>>| {
+                    if run.is_empty() {
+                        return;
+                    }
+                    let reqs: Vec<QueryRequest> = run.iter().map(|(_, r)| r.clone()).collect();
+                    for ((i, _), resp) in run.drain(..).zip(engine.answer_batch(&reqs)) {
+                        responses[i] = Some(resp);
+                    }
+                };
+            let flush_updates =
+                |run: &mut Vec<(usize, UpdateRequest)>,
+                 responses: &mut Vec<Option<QueryResponse>>| {
+                    if run.is_empty() {
+                        return;
+                    }
+                    let reqs: Vec<UpdateRequest> = run.iter().map(|(_, r)| r.clone()).collect();
+                    for ((i, _), resp) in run.drain(..).zip(engine.apply_updates(&reqs)) {
+                        responses[i] = Some(resp);
+                    }
+                };
+            let mut queries: Vec<(usize, QueryRequest)> = Vec::new();
+            let mut updates: Vec<(usize, UpdateRequest)> = Vec::new();
             for (i, inbound) in pending.iter().enumerate() {
                 match inbound {
-                    Ok(Frame::Query(req)) => run.push((i, req.clone())),
+                    Ok(Frame::Query(req)) => {
+                        flush_updates(&mut updates, &mut responses);
+                        queries.push((i, req.clone()));
+                    }
                     Ok(Frame::Update(req)) => {
-                        flush(&mut run, &mut responses);
-                        responses[i] = Some(session.apply_update(req));
+                        flush_queries(&mut queries, &mut responses);
+                        updates.push((i, req.clone()));
                     }
                     Err(e) => {
                         responses[i] = Some(QueryResponse::error(
@@ -101,7 +125,8 @@ pub fn serve_ndjson(
                     }
                 }
             }
-            flush(&mut run, &mut responses);
+            flush_queries(&mut queries, &mut responses);
+            flush_updates(&mut updates, &mut responses);
             for response in responses {
                 let response = response.expect("every line answered");
                 let written = writeln!(output, "{}", response.to_json());
@@ -121,13 +146,13 @@ pub fn serve_ndjson(
     if let Some(e) = read_error.into_inner().expect("read-error lock") {
         return Err(e);
     }
-    Ok(session.summary())
+    Ok(engine.session_summary().unwrap_or_default())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::session::{serve_task, ServeConfig};
+    use crate::session::{serve_task, ServeConfig, ServeSession};
     use cgnp_core::{Cgnp, CgnpConfig};
     use cgnp_data::{generate_sbm, model_input_dim, SbmConfig};
     use rand::rngs::StdRng;

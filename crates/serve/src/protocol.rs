@@ -330,7 +330,11 @@ pub fn validate_update(req: &UpdateRequest, n_nodes: usize, n_attrs: usize) -> R
                 return Err("update_support must add and/or expire something".into());
             }
             if let Some(ex) = add {
+                // `NO_QUERY` marks a support view whose query node lives
+                // outside this partition (sharded serving); it is a valid
+                // sentinel, never an index, so it skips the range check.
                 if let Some(&bad) = std::iter::once(&ex.query)
+                    .filter(|&&q| q != cgnp_data::NO_QUERY)
                     .chain(&ex.pos)
                     .chain(&ex.neg)
                     .find(|&&v| v >= n_nodes)

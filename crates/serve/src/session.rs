@@ -27,7 +27,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use cgnp_core::{Cgnp, CgnpConfig, PreparedTask, RefreshStrategy};
-use cgnp_data::{model_input_dim, task_on_whole_graph, QueryExample, Task, TaskConfig};
+use cgnp_data::{model_input_dim, task_on_whole_graph, QueryExample, Task, TaskConfig, NO_QUERY};
 use cgnp_graph::AttributedGraph;
 use cgnp_tensor::Tensor;
 use rand::SeedableRng;
@@ -88,6 +88,10 @@ struct ServeStats {
     occupancy_sum: u64,
     /// Updates applied (graph mutations + support rotations).
     updates: u64,
+    /// Updates beyond the first in a batched [`ServeSession::apply_updates`]
+    /// call: mutations that shared one operator refresh instead of paying
+    /// for their own.
+    coalesced_updates: u64,
     /// Context forwards actually computed (cache misses + disabled-cache
     /// computes). Each is the expensive half of a tick.
     context_builds: u64,
@@ -112,7 +116,7 @@ impl ServeStats {
 
 /// A point-in-time summary of a session's serving counters, dumped as
 /// JSON by the CLI when the stream ends.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Default, Serialize)]
 pub struct ServeSummary {
     pub requests: u64,
     pub errors: u64,
@@ -129,8 +133,14 @@ pub struct ServeSummary {
     pub context_hits: u64,
     /// Updates applied over the session's lifetime.
     pub updates: u64,
+    /// Updates that shared a batched refresh instead of paying for their
+    /// own (see [`ServeSession::apply_updates`]).
+    pub coalesced_updates: u64,
     /// Current graph epoch.
     pub epoch: u64,
+    /// Per-shard graph epochs in fixed shard order; `None` for an
+    /// unsharded session.
+    pub shard_epochs: Option<Vec<u64>>,
 }
 
 /// Everything an update mutates, behind one write lock: queries take
@@ -150,7 +160,10 @@ struct LiveState {
 /// model. `&self` everywhere — including updates: sessions are `Sync`
 /// and shared across request-handling threads.
 pub struct ServeSession {
-    model: Cgnp,
+    /// Shared, not owned: scoring never mutates the model, so sharded
+    /// serving points every per-partition session (and replica) at one
+    /// restored checkpoint instead of duplicating the weights.
+    model: Arc<Cgnp>,
     cfg: ServeConfig,
     live: RwLock<LiveState>,
     cache: Mutex<LruCache>,
@@ -169,6 +182,18 @@ impl ServeSession {
     /// ignored. Graph operators and base features are precomputed here,
     /// once.
     pub fn new(model: Cgnp, task: Task, cfg: ServeConfig) -> Result<Self, String> {
+        Self::with_shared_model(Arc::new(model), task, cfg)
+    }
+
+    /// [`ServeSession::new`] over an already-shared model. Scoring takes
+    /// `&self` on the model, so any number of sessions — per-shard
+    /// replicas of a sharded deployment most of all — can score against
+    /// one set of weights concurrently.
+    pub fn with_shared_model(
+        model: Arc<Cgnp>,
+        task: Task,
+        cfg: ServeConfig,
+    ) -> Result<Self, String> {
         if task.support.is_empty() {
             return Err("serving task has no support examples to condition on".into());
         }
@@ -318,7 +343,11 @@ impl ServeSession {
         // the next request, poisoning the session's mutexes.
         let n = live.prepared.task.n();
         for ex in &support {
+            // `NO_QUERY` is the sharded-serving sentinel for a support
+            // view whose query node fell outside this partition; it is
+            // never indexed, only skipped by the indicator builder.
             if let Some(&bad) = std::iter::once(&ex.query)
+                .filter(|&&q| q != NO_QUERY)
                 .chain(&ex.pos)
                 .chain(&ex.neg)
                 .find(|&&v| v >= n)
@@ -346,69 +375,129 @@ impl ServeSession {
     /// without expiry invalidates nothing: cached contexts condition on
     /// pool prefixes, which grow-only changes leave intact.
     pub fn apply_update(&self, req: &UpdateRequest) -> QueryResponse {
+        self.apply_updates(std::slice::from_ref(req))
+            .pop()
+            .expect("one ack per update")
+    }
+
+    /// Applies a burst of updates under **one** write acquisition with
+    /// **one** operator refresh at the end, instead of paying a refresh
+    /// per frame. Acks (success or failure, one per frame, in order) are
+    /// identical to frame-at-a-time [`ServeSession::apply_update`]: each
+    /// reports the graph epoch *after its own mutation*, which the
+    /// deferred refresh lands the prepared state at exactly. A frame
+    /// that fails validation is acked with its error and the rest of the
+    /// burst still applies. Every applied frame past the first counts
+    /// toward [`ServeSummary::coalesced_updates`].
+    pub fn apply_updates(&self, reqs: &[UpdateRequest]) -> Vec<QueryResponse> {
         let t0 = Instant::now();
-        let mut live = self.live.write().expect("live state lock");
-        if let Err(e) = validate_update(
-            req,
-            live.prepared.task.n(),
-            live.prepared.task.graph.n_attrs(),
-        ) {
-            return QueryResponse::error(req.id, ErrorCode::BadRequest, e);
+        if reqs.is_empty() {
+            return Vec::new();
         }
-        let mut members = Vec::new();
-        let mut invalidate = true;
-        let mutated = match &req.op {
-            UpdateOp::AddEdge { u, v } => match live.prepared.task.graph.insert_edge(*u, *v) {
-                // Inserting an existing edge is an acknowledged no-op.
-                Ok(inserted) => inserted,
-                Err(e) => return QueryResponse::error(req.id, ErrorCode::BadRequest, e),
-            },
-            UpdateOp::AddNode { attrs } => match live.prepared.task.graph.add_node(attrs.clone()) {
-                Ok(v) => {
-                    members.push(v);
+        let mut live = self.live.write().expect("live state lock");
+        let mut acks = Vec::with_capacity(reqs.len());
+        let mut applied: u64 = 0;
+        for req in reqs {
+            if let Err(e) = validate_update(
+                req,
+                live.prepared.task.n(),
+                live.prepared.task.graph.n_attrs(),
+            ) {
+                acks.push(QueryResponse::error(req.id, ErrorCode::BadRequest, e));
+                continue;
+            }
+            let mut members = Vec::new();
+            let mut invalidate = true;
+            let mutated = match &req.op {
+                UpdateOp::AddEdge { u, v } => match live.prepared.task.graph.insert_edge(*u, *v) {
+                    // Inserting an existing edge is an acknowledged no-op.
+                    Ok(inserted) => inserted,
+                    Err(e) => {
+                        acks.push(QueryResponse::error(req.id, ErrorCode::BadRequest, e));
+                        continue;
+                    }
+                },
+                UpdateOp::AddNode { attrs } => {
+                    match live.prepared.task.graph.add_node(attrs.clone()) {
+                        Ok(v) => {
+                            members.push(v);
+                            true
+                        }
+                        Err(e) => {
+                            acks.push(QueryResponse::error(req.id, ErrorCode::BadRequest, e));
+                            continue;
+                        }
+                    }
+                }
+                UpdateOp::UpdateSupport { add, expire } => {
+                    let pool = &mut live.prepared.task.support;
+                    let kept = pool.len().saturating_sub(*expire);
+                    if *expire > pool.len() {
+                        acks.push(QueryResponse::error(
+                            req.id,
+                            ErrorCode::BadRequest,
+                            format!("cannot expire {expire} of {} support examples", pool.len()),
+                        ));
+                        continue;
+                    }
+                    if kept + add.iter().len() == 0 {
+                        acks.push(QueryResponse::error(
+                            req.id,
+                            ErrorCode::BadRequest,
+                            "support pool must stay non-empty",
+                        ));
+                        continue;
+                    }
+                    pool.drain(..*expire);
+                    if let Some(ex) = add {
+                        pool.push(ex.clone());
+                    }
+                    // A pure append leaves every pool prefix — and
+                    // therefore every cached context and prediction —
+                    // untouched.
+                    invalidate = *expire > 0;
                     true
                 }
-                Err(e) => return QueryResponse::error(req.id, ErrorCode::BadRequest, e),
-            },
-            UpdateOp::UpdateSupport { add, expire } => {
-                let pool = &mut live.prepared.task.support;
-                let kept = pool.len().saturating_sub(*expire);
-                if *expire > pool.len() {
-                    return QueryResponse::error(
-                        req.id,
-                        ErrorCode::BadRequest,
-                        format!("cannot expire {expire} of {} support examples", pool.len()),
-                    );
+            };
+            if mutated {
+                live.version += 1;
+                if invalidate {
+                    live.valid_from = live.version;
                 }
-                if kept + add.iter().len() == 0 {
-                    return QueryResponse::error(
-                        req.id,
-                        ErrorCode::BadRequest,
-                        "support pool must stay non-empty",
-                    );
-                }
-                pool.drain(..*expire);
-                if let Some(ex) = add {
-                    pool.push(ex.clone());
-                }
-                // A pure append leaves every pool prefix — and therefore
-                // every cached context and prediction — untouched.
-                invalidate = *expire > 0;
-                true
+                applied += 1;
             }
-        };
-        if mutated {
-            live.prepared.refresh(self.cfg.refresh);
-            live.version += 1;
-            if invalidate {
-                live.valid_from = live.version;
-            }
-            self.stats.lock().expect("stats lock").updates += 1;
+            // The prepared state is refreshed once after the burst, so
+            // its epoch is stale here; the *graph* epoch is exactly what
+            // a per-frame refresh would have landed the operators at.
+            let mut ack = QueryResponse::ack(req.id, live.prepared.task.graph.epoch());
+            ack.members = members;
+            acks.push(ack);
         }
-        let mut ack = QueryResponse::ack(req.id, live.prepared.epoch());
-        ack.members = members;
-        ack.latency_us = t0.elapsed().as_micros() as u64;
-        ack
+        if applied > 0 {
+            live.prepared.refresh(self.cfg.refresh);
+            let mut stats = self.stats.lock().expect("stats lock");
+            stats.updates += applied;
+            stats.coalesced_updates += applied.saturating_sub(1);
+        }
+        let latency_us = t0.elapsed().as_micros() as u64;
+        for ack in acks.iter_mut().filter(|a| a.ok) {
+            ack.latency_us = latency_us;
+        }
+        acks
+    }
+
+    /// Overwrites the core-number feature column with externally supplied
+    /// per-node values (see [`PreparedTask::override_core_column`]) and
+    /// invalidates every cached context and prediction. A sharded
+    /// coordinator calls this after each topology change: core numbers
+    /// are a global property, so the shard-local column is wrong at the
+    /// halo fringe and the coordinator injects the globally computed one.
+    pub fn override_core_column(&self, column: &[f32]) -> Result<(), String> {
+        let mut live = self.live.write().expect("live state lock");
+        live.prepared.override_core_column(column)?;
+        live.version += 1;
+        live.valid_from = live.version;
+        Ok(())
     }
 
     /// Boundary validation for this session's graph and support pool
@@ -605,15 +694,19 @@ impl ServeSession {
             context_builds: stats.context_builds,
             context_hits: stats.context_hits,
             updates: stats.updates,
+            coalesced_updates: stats.coalesced_updates,
             epoch,
+            shard_epochs: None,
         }
     }
 }
 
 /// Ranks community members for a response: optional attribute filter,
 /// then probability-descending order (node id breaks ties), capped at
-/// `top_k` or thresholded at 0.5.
-fn rank_members(
+/// `top_k` or thresholded at 0.5. Public so a scatter/gather coordinator
+/// ranks its merged global probability vector with byte-for-byte the
+/// same rules a single session applies.
+pub fn rank_members(
     graph: &AttributedGraph,
     probs: &[f32],
     req: &QueryRequest,

@@ -248,3 +248,81 @@ fn both_refresh_strategies_agree_with_each_other() {
         assert_eq!(bits(&a), bits(&b), "strategies diverged after update {i}");
     }
 }
+
+/// A response with wall-clock latency masked: everything else in an
+/// acknowledgement is part of the batching contract.
+fn ack_fingerprint(r: &cgnp_serve::QueryResponse) -> String {
+    format!("{:?}", (r.id, r.ok, &r.error, &r.code, &r.members, r.epoch))
+}
+
+#[test]
+fn batched_burst_matches_sequential_and_counts_coalesced_refreshes() {
+    // Satellite of the sharding PR: a burst of mutation control frames
+    // shares ONE operator refresh, yet acks and all subsequent answers
+    // are bitwise what frame-at-a-time application produces.
+    let task = serving_task(77);
+    let build = || {
+        ServeSession::new(
+            model_for(&task, DecoderKind::InnerProduct, CommutativeOp::Mean, 77),
+            task.clone(),
+            serve_cfg(RefreshStrategy::EpochSwap),
+        )
+        .expect("session")
+    };
+    let (batched, sequential) = (build(), build());
+    let n = batched.n();
+    let burst = vec![
+        UpdateRequest {
+            id: 0,
+            op: UpdateOp::AddEdge { u: 0, v: n / 2 },
+        },
+        UpdateRequest {
+            id: 1,
+            op: UpdateOp::AddEdge { u: 0, v: n / 2 }, // duplicate: acked no-op
+        },
+        UpdateRequest {
+            id: 2,
+            op: UpdateOp::AddNode { attrs: vec![0] },
+        },
+        UpdateRequest {
+            id: 3,
+            op: UpdateOp::AddEdge { u: n, v: 1 }, // edge onto the new node
+        },
+        UpdateRequest {
+            id: 4,
+            op: UpdateOp::UpdateSupport {
+                add: Some(QueryExample {
+                    query: 2,
+                    pos: vec![3],
+                    neg: vec![n / 2],
+                    truth: Vec::new(),
+                }),
+                expire: 1,
+            },
+        },
+        UpdateRequest {
+            id: 5,
+            op: UpdateOp::AddEdge { u: 1, v: 1 }, // self-loop: rejected
+        },
+    ];
+    let batched_acks = batched.apply_updates(&burst);
+    let sequential_acks: Vec<_> = burst.iter().map(|r| sequential.apply_update(r)).collect();
+    assert_eq!(batched_acks.len(), sequential_acks.len());
+    for (b, s) in batched_acks.iter().zip(&sequential_acks) {
+        assert_eq!(ack_fingerprint(b), ack_fingerprint(s));
+    }
+    // 4 frames mutated (ids 0, 2, 3, 4); the duplicate and the self-loop
+    // did not. Batched application coalesces 3 refreshes away.
+    assert_eq!(batched.summary().updates, 4);
+    assert_eq!(batched.summary().coalesced_updates, 3);
+    assert_eq!(sequential.summary().updates, 4);
+    assert_eq!(sequential.summary().coalesced_updates, 0);
+    for node in [0, 1, n / 2, n] {
+        let a = batched.predict(&[node], None).expect("batched answer");
+        let b = sequential
+            .predict(&[node], None)
+            .expect("sequential answer");
+        assert_eq!(bits(&a), bits(&b), "divergence at node {node}");
+    }
+    assert_eq!(batched.epoch(), sequential.epoch());
+}

@@ -1,0 +1,183 @@
+//! Deterministic edge-cut graph partitioner with halo rings.
+//!
+//! The partitioner assigns every node to exactly one of `k` shards
+//! (balanced to within one node) by growing BFS regions from high-core
+//! seeds, then extends each shard with a **halo**: every node within
+//! `halo_depth` hops of the shard's owned set. A shard's serving session
+//! runs on the subgraph induced by `owned ∪ halo`, which is exactly the
+//! context an `L`-layer message-passing model needs to reproduce the
+//! owned rows bitwise (see [`crate::session::halo_depth_for`]).
+//!
+//! Determinism: the construction is single-threaded and every choice is
+//! either structural (CSR neighbor order, ascending node ids) or drawn
+//! from a `StdRng` seeded by the caller, so the same `(graph, k, depth,
+//! seed)` always yields the same partitioning regardless of thread
+//! counts or run-to-run environment.
+
+use cgnp_graph::{algo, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// A node → shard assignment plus the per-shard halo-extended node sets.
+#[derive(Clone, Debug)]
+pub struct Partitioning {
+    /// Number of shards.
+    pub n_shards: usize,
+    /// Hop radius of the halo rings.
+    pub halo_depth: usize,
+    /// Owning shard of every node (`owner[v] < n_shards`).
+    pub owner: Vec<usize>,
+    /// Per shard: the nodes it owns, ascending by global id.
+    pub owned: Vec<Vec<usize>>,
+    /// Per shard: `owned ∪ halo` (every node within `halo_depth` hops of
+    /// the owned set), ascending by global id. This is the node list the
+    /// shard's induced subgraph is built on; sorting ascending makes the
+    /// local ids order-isomorphic to the global ids, which keeps every
+    /// CSR accumulation order identical to the unsharded operators.
+    pub local: Vec<Vec<usize>>,
+}
+
+impl Partitioning {
+    /// Cut edges: endpoints owned by different shards.
+    pub fn edge_cut(&self, g: &Graph) -> usize {
+        g.edges()
+            .filter(|&(u, v)| self.owner[u] != self.owner[v])
+            .count()
+    }
+}
+
+/// Nodes within `depth` hops of `sources` (the sources themselves
+/// included), ascending.
+pub fn halo_ball(g: &Graph, sources: &[usize], depth: usize) -> Vec<usize> {
+    let dist = algo::multi_source_distances(g, sources);
+    (0..g.n()).filter(|&v| dist[v] <= depth).collect()
+}
+
+/// Partitions `g` into `n_shards` balanced, BFS-grown regions and
+/// extends each with its `halo_depth`-hop halo.
+///
+/// Growth order: each shard seeds at the unassigned node of maximum core
+/// number (a dense region center; ties broken by a draw from `seed`'s
+/// RNG) and absorbs unassigned nodes in BFS order — CSR neighbor order,
+/// so deterministic — until it reaches its quota of `n/k` nodes (the
+/// first `n mod k` shards take one extra). When a region's frontier
+/// exhausts before the quota (component boundary), growth re-seeds at
+/// the next max-core unassigned node.
+pub fn partition_graph(
+    g: &Graph,
+    n_shards: usize,
+    halo_depth: usize,
+    seed: u64,
+) -> Result<Partitioning, String> {
+    let n = g.n();
+    if n_shards == 0 {
+        return Err("cannot partition into zero shards".into());
+    }
+    if n_shards > n {
+        return Err(format!(
+            "cannot split {n} nodes into {n_shards} shards (at most one shard per node)"
+        ));
+    }
+    let cores = algo::core_numbers(g);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut owner = vec![usize::MAX; n];
+    let mut assigned = 0usize;
+    for s in 0..n_shards {
+        let quota = n / n_shards + usize::from(s < n % n_shards);
+        let mut taken = 0usize;
+        let mut frontier: VecDeque<usize> = VecDeque::new();
+        while taken < quota {
+            let v = match frontier.pop_front() {
+                Some(v) => v,
+                None => {
+                    // Re-seed: the unassigned node of max core number;
+                    // ties resolved by a seeded draw among the argmax set.
+                    let top = (0..n)
+                        .filter(|&v| owner[v] == usize::MAX)
+                        .map(|v| cores[v])
+                        .max()
+                        .expect("quota unmet implies an unassigned node");
+                    let candidates: Vec<usize> = (0..n)
+                        .filter(|&v| owner[v] == usize::MAX && cores[v] == top)
+                        .collect();
+                    candidates[rng.gen_range(0..candidates.len())]
+                }
+            };
+            if owner[v] != usize::MAX {
+                continue;
+            }
+            owner[v] = s;
+            taken += 1;
+            for &w in g.neighbors(v) {
+                if owner[w as usize] == usize::MAX {
+                    frontier.push_back(w as usize);
+                }
+            }
+        }
+        assigned += taken;
+    }
+    debug_assert_eq!(assigned, n);
+    let mut owned = vec![Vec::new(); n_shards];
+    for (v, &s) in owner.iter().enumerate() {
+        owned[s].push(v); // ascending: v iterates 0..n
+    }
+    let local = owned.iter().map(|o| halo_ball(g, o, halo_depth)).collect();
+    Ok(Partitioning {
+        n_shards,
+        halo_depth,
+        owner,
+        owned,
+        local,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_with_chords(n: usize) -> Graph {
+        let mut edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        edges.extend((0..n).step_by(7).map(|v| (v, (v + 2) % n)));
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn covers_every_node_exactly_once() {
+        let g = ring_with_chords(50);
+        let p = partition_graph(&g, 4, 2, 9).unwrap();
+        let mut seen = vec![0usize; 50];
+        for o in &p.owned {
+            for &v in o {
+                seen[v] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+        assert!(p.owner.iter().all(|&s| s < 4));
+    }
+
+    #[test]
+    fn balanced_within_one() {
+        let g = ring_with_chords(53);
+        let p = partition_graph(&g, 4, 1, 0).unwrap();
+        let sizes: Vec<usize> = p.owned.iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 53);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn rejects_degenerate_shard_counts() {
+        let g = ring_with_chords(10);
+        assert!(partition_graph(&g, 0, 1, 0).is_err());
+        assert!(partition_graph(&g, 11, 1, 0).is_err());
+        assert!(partition_graph(&g, 10, 1, 0).is_ok());
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let g = ring_with_chords(12);
+        let p = partition_graph(&g, 1, 3, 5).unwrap();
+        assert_eq!(p.owned[0], (0..12).collect::<Vec<_>>());
+        assert_eq!(p.local[0], (0..12).collect::<Vec<_>>());
+    }
+}

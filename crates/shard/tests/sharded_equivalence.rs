@@ -1,0 +1,333 @@
+//! The sharded-serving contract, tested end to end: a [`ShardedSession`]
+//! with any shard/replica sweep must be **bitwise indistinguishable**
+//! from one unsharded [`ServeSession`] over the same graph — member
+//! lists, probability bits, shot counts, error strings, ack epochs —
+//! including after live-update control frames that force both the
+//! incremental (grown-only halo) and the rebuild reconciliation paths.
+//!
+//! The serving graph is a long ring with sparse chords: its diameter is
+//! far larger than any model's halo radius, so each shard genuinely sees
+//! only a fraction of the graph and the equivalence is meaningful (on a
+//! small-diameter graph every halo swallows everything and the test
+//! would pass vacuously).
+
+use std::sync::Arc;
+
+use cgnp_core::{Cgnp, CgnpConfig, CommutativeOp, DecoderKind};
+use cgnp_data::{model_input_dim, QueryExample, Task};
+use cgnp_graph::{AttributedGraph, Graph};
+use cgnp_nn::GnnKind;
+use cgnp_serve::{QueryRequest, QueryResponse, ServeConfig, ServeSession, UpdateOp, UpdateRequest};
+use cgnp_shard::{halo_depth_for, ShardedConfig, ShardedSession};
+
+const N: usize = 160;
+const ARC: usize = 20; // nodes per ground-truth community (a ring arc)
+
+/// Ring of `N` nodes with a chord every 9 nodes: diameter ≈ N/4, well
+/// beyond any halo radius used here. Communities are the contiguous
+/// arcs; attributes cycle through a 3-word vocabulary.
+fn serving_graph() -> AttributedGraph {
+    let mut edges: Vec<(usize, usize)> = (0..N).map(|v| (v, (v + 1) % N)).collect();
+    edges.extend((0..N).step_by(9).map(|v| (v, (v + 2) % N)));
+    let g = Graph::from_edges(N, &edges);
+    let attrs = (0..N).map(|v| vec![(v % 3) as u32]).collect();
+    let communities = (0..N / ARC)
+        .map(|c| (c * ARC..(c + 1) * ARC).map(|v| v as u32).collect())
+        .collect();
+    AttributedGraph::new(g, 3, attrs, communities)
+}
+
+/// A deterministic labelled pool: one example per of the first four
+/// arcs, marked nodes clustered inside the arc.
+fn support_pool() -> Vec<QueryExample> {
+    (0..4)
+        .map(|c| {
+            let base = c * ARC;
+            QueryExample {
+                query: base + 3,
+                pos: vec![base + 4, base + 7, base + 11],
+                neg: vec![(base + ARC + 5) % N],
+                truth: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+fn serving_task() -> Task {
+    Task {
+        graph: serving_graph(),
+        support: support_pool(),
+        targets: Vec::new(),
+    }
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        batch: 4,
+        cache: 32,
+        threads: 2,
+        seed: 9,
+        context_cache: true,
+        ..ServeConfig::default()
+    }
+}
+
+fn model_config(kind: GnnKind, op: CommutativeOp, decoder: DecoderKind) -> CgnpConfig {
+    let mut cfg = CgnpConfig::paper_default(model_input_dim(&serving_graph()), 8)
+        .with_decoder(decoder)
+        .with_commutative(op);
+    cfg.encoder.kind = kind;
+    cfg
+}
+
+/// Everything a client can observe about a response except wall-clock
+/// latency, with probabilities at full bit precision.
+fn norm(r: &QueryResponse) -> String {
+    let bits: Vec<u32> = r.probs.iter().map(|p| p.to_bits()).collect();
+    format!(
+        "{:?}",
+        (r.id, r.ok, &r.error, &r.code, &r.members, &bits, r.shots, r.cached, r.epoch)
+    )
+}
+
+fn assert_same(oracle: &[QueryResponse], sharded: &[QueryResponse], when: &str) {
+    assert_eq!(oracle.len(), sharded.len(), "{when}: response count");
+    for (o, s) in oracle.iter().zip(sharded) {
+        assert_eq!(norm(o), norm(s), "{when}: response for id {}", o.id);
+    }
+}
+
+fn query_batches() -> Vec<Vec<QueryRequest>> {
+    vec![
+        vec![
+            QueryRequest::new(1, vec![5]).with_top_k(10),
+            QueryRequest::new(2, vec![83, 150]).with_top_k(8),
+            QueryRequest::new(3, vec![40]), // threshold mode: all ≥ 0.5
+            QueryRequest {
+                attrs: vec![1],
+                ..QueryRequest::new(4, vec![61]).with_top_k(6)
+            },
+        ],
+        vec![
+            QueryRequest {
+                shots: Some(2),
+                ..QueryRequest::new(5, vec![5, 27]).with_top_k(12)
+            },
+            QueryRequest::new(6, vec![5]).with_top_k(10), // repeat of id 1: cache-hit parity
+            QueryRequest::new(7, vec![9999]).with_top_k(3), // out of range: error parity
+            QueryRequest {
+                shots: Some(999),
+                ..QueryRequest::new(8, vec![118]).with_top_k(5)
+            },
+        ],
+    ]
+}
+
+/// A burst exercising every reconciliation path at once: a local edge,
+/// a long-range chord (pulls pre-existing nodes into halos → shard
+/// rebuild), a node birth plus an edge onto it (grown-only forwarding),
+/// a support rotation, an acknowledged duplicate-edge no-op, and an
+/// invalid frame that must fail with the identical error.
+fn mixed_burst(next_node: usize, pool: &[QueryExample]) -> Vec<UpdateRequest> {
+    vec![
+        UpdateRequest {
+            id: 100,
+            op: UpdateOp::AddEdge { u: 5, v: 9 },
+        },
+        UpdateRequest {
+            id: 101,
+            op: UpdateOp::AddEdge { u: 20, v: 120 },
+        },
+        UpdateRequest {
+            id: 102,
+            op: UpdateOp::AddNode { attrs: vec![1] },
+        },
+        UpdateRequest {
+            id: 103,
+            op: UpdateOp::AddEdge {
+                u: next_node,
+                v: 17,
+            },
+        },
+        UpdateRequest {
+            id: 104,
+            op: UpdateOp::UpdateSupport {
+                add: Some(pool[0].clone()),
+                expire: 1,
+            },
+        },
+        UpdateRequest {
+            id: 105,
+            op: UpdateOp::AddEdge { u: 5, v: 9 }, // duplicate: ack, no epoch bump
+        },
+        UpdateRequest {
+            id: 106,
+            op: UpdateOp::AddEdge { u: 0, v: 9999 }, // invalid: error parity
+        },
+    ]
+}
+
+fn support_only_burst(pool: &[QueryExample]) -> Vec<UpdateRequest> {
+    vec![
+        UpdateRequest {
+            id: 200,
+            op: UpdateOp::UpdateSupport {
+                add: Some(pool[1].clone()),
+                expire: 0, // pure append: invalidates nothing
+            },
+        },
+        UpdateRequest {
+            id: 201,
+            op: UpdateOp::UpdateSupport {
+                add: Some(pool[2].clone()),
+                expire: 1, // rotation: invalidates everything
+            },
+        },
+    ]
+}
+
+/// Builds the oracle and the sharded deployment over one shared model
+/// and drives both through the same query batches and update bursts.
+fn check_equivalence(config: CgnpConfig, shards: usize, replicas: usize) {
+    let halo = halo_depth_for(&config);
+    assert!(
+        N / shards.max(1) > 4 * halo,
+        "graph too small for the halo: shards would see everything and \
+         the equivalence would be vacuous"
+    );
+    let model = Arc::new(Cgnp::new(config, 7));
+    let task = serving_task();
+    let oracle = ServeSession::with_shared_model(Arc::clone(&model), task.clone(), serve_cfg())
+        .expect("oracle session");
+    let sharded = ShardedSession::with_shared_model(
+        model,
+        task,
+        ShardedConfig {
+            shards,
+            replicas,
+            serve: serve_cfg(),
+        },
+    )
+    .expect("sharded session");
+    assert_eq!(sharded.n_shards(), shards);
+
+    for (b, batch) in query_batches().iter().enumerate() {
+        assert_same(
+            &oracle.answer_batch(batch),
+            &sharded.answer_batch(batch),
+            &format!("pre-update batch {b}"),
+        );
+    }
+
+    let pool = support_pool();
+    let burst = mixed_burst(N, &pool);
+    assert_same(
+        &oracle.apply_updates(&burst),
+        &sharded.apply_updates(&burst),
+        "mixed-burst acks",
+    );
+    for (b, batch) in query_batches().iter().enumerate() {
+        assert_same(
+            &oracle.answer_batch(batch),
+            &sharded.answer_batch(batch),
+            &format!("post-mixed-burst batch {b}"),
+        );
+    }
+
+    let burst = support_only_burst(&pool);
+    assert_same(
+        &oracle.apply_updates(&burst),
+        &sharded.apply_updates(&burst),
+        "support-burst acks",
+    );
+    // Single-frame path (the gateway's frame-at-a-time fallback).
+    let single = UpdateRequest {
+        id: 300,
+        op: UpdateOp::AddEdge { u: 33, v: 140 },
+    };
+    assert_eq!(
+        norm(&oracle.apply_update(&single)),
+        norm(&sharded.apply_update(&single)),
+        "single-frame ack"
+    );
+    for (b, batch) in query_batches().iter().enumerate() {
+        assert_same(
+            &oracle.answer_batch(batch),
+            &sharded.answer_batch(batch),
+            &format!("final batch {b}"),
+        );
+    }
+
+    let summary = sharded.summary();
+    let epochs = summary
+        .shard_epochs
+        .expect("sharded summary reports the epoch vector");
+    assert_eq!(epochs.len(), shards);
+    // Support rotations route to every shard, so every epoch moved.
+    assert!(epochs.iter().all(|&e| e > 0), "stale shard: {epochs:?}");
+    assert_eq!(summary.epoch, oracle.summary().epoch, "graph epoch parity");
+    assert!(
+        summary.coalesced_updates > 0,
+        "batched bursts must be counted as coalesced"
+    );
+    assert!(oracle.summary().shard_epochs.is_none());
+}
+
+#[test]
+fn gat_mean_ip_two_shards_two_replicas() {
+    check_equivalence(
+        model_config(GnnKind::Gat, CommutativeOp::Mean, DecoderKind::InnerProduct),
+        2,
+        2,
+    );
+}
+
+#[test]
+fn gat_mean_ip_three_shards() {
+    check_equivalence(
+        model_config(GnnKind::Gat, CommutativeOp::Mean, DecoderKind::InnerProduct),
+        3,
+        1,
+    );
+}
+
+#[test]
+fn gcn_sum_gnn_decoder_two_shards() {
+    // Deepest halo of the sweep: 3 encoder + 2 decoder layers + 1.
+    check_equivalence(
+        model_config(GnnKind::Gcn, CommutativeOp::Sum, DecoderKind::Gnn),
+        2,
+        2,
+    );
+}
+
+#[test]
+fn gat_mean_mlp_decoder_two_shards() {
+    check_equivalence(
+        model_config(GnnKind::Gat, CommutativeOp::Mean, DecoderKind::Mlp),
+        2,
+        1,
+    );
+}
+
+#[test]
+fn self_attention_is_rejected() {
+    let config = model_config(
+        GnnKind::Gat,
+        CommutativeOp::SelfAttention,
+        DecoderKind::InnerProduct,
+    );
+    let result = ShardedSession::new(
+        Cgnp::new(config, 7),
+        serving_task(),
+        ShardedConfig {
+            shards: 2,
+            replicas: 1,
+            serve: serve_cfg(),
+        },
+    );
+    match result {
+        Ok(_) => panic!("self-attention mixes rows globally; no finite halo is exact"),
+        Err(err) => assert!(err.contains("self-attention"), "unexpected error: {err}"),
+    }
+}

@@ -6,8 +6,9 @@ The committed BENCH_*.json files are single-machine recordings, so absolute
 nanoseconds are not comparable across runners. What *is* comparable is each
 file's internal ratios — `speedup_vs_naive` (pool dispatch vs per-section OS
 threads, lock-free tensor reads vs the locked replica, batched meta-training
-vs the sequential loop) and `speedup_vs_batch1` (serve micro-batching) —
-because both sides of a ratio ran on the same machine in the same process.
+vs the sequential loop), `speedup_vs_batch1` (serve micro-batching) and
+`speedup_vs_shard1` (scatter/gather coordination overhead) — because both
+sides of a ratio ran on the same machine in the same process.
 
 Two rules, both tuned to be generous to quick-mode CI noise while
 catching structural regressions:
@@ -27,6 +28,8 @@ Usage:
     check_bench_regression.py --kind kernels --baseline BENCH_kernels.json \
         --current regenerated.json [--factor 3.0]
     check_bench_regression.py --kind serve --baseline BENCH_serve.json \
+        --current regenerated.json
+    check_bench_regression.py --kind shard --baseline BENCH_shard.json \
         --current regenerated.json
 """
 
@@ -75,9 +78,33 @@ def ratio_rows_serve(rows):
     return out
 
 
+def ratio_rows_shard(rows):
+    """shard count -> speedup_vs_shard1 for shard counts > 1.
+
+    On one machine a sharded deployment re-runs the encoder per shard, so
+    these ratios sit *below* 1 by design; the gate guards against the
+    coordination overhead blowing up (a >3x collapse of the ratio), not
+    against sharding failing to win. The floor rule never fires here
+    because the snapshot never records a win.
+    """
+    out = {}
+    for row in rows:
+        shards, speedup = row.get("shards"), row.get("speedup_vs_shard1")
+        if isinstance(shards, int) and shards > 1 and isinstance(speedup, (int, float)):
+            out[("shard_scaling", f"shards_{shards}")] = float(speedup)
+    return out
+
+
+EXTRACTORS = {
+    "kernels": ratio_rows_kernels,
+    "serve": ratio_rows_serve,
+    "shard": ratio_rows_shard,
+}
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--kind", choices=["kernels", "serve"], required=True)
+    ap.add_argument("--kind", choices=sorted(EXTRACTORS), required=True)
     ap.add_argument("--baseline", required=True, help="checked-in snapshot")
     ap.add_argument("--current", required=True, help="regenerated baseline")
     ap.add_argument(
@@ -94,7 +121,7 @@ def main():
     )
     args = ap.parse_args()
 
-    extract = ratio_rows_kernels if args.kind == "kernels" else ratio_rows_serve
+    extract = EXTRACTORS[args.kind]
     baseline = extract(load_results(args.baseline))
     current = extract(load_results(args.current))
 

@@ -23,6 +23,7 @@
 //! cgnp serve --checkpoint model.json [--dataset citeseer] [--scale S]
 //!            [--decoder ip|mlp|gnn] [--shots N] [--seed N]
 //!            [--threads N] [--batch B] [--cache C]
+//!            [--shards N] [--replicas R]
 //!            [--listen ADDR] [--max-conns N] [--max-queue N]
 //!            [--request-timeout-ms MS] [--drain MS]
 //!     Answer newline-delimited JSON queries using a restored checkpoint
@@ -35,6 +36,10 @@
 //!     graceful drain (stop accepting, answer everything admitted, flush,
 //!     exit 0), bounded by the --drain grace period in milliseconds.
 //!     --request-timeout-ms 0 disables per-request deadlines.
+//!     With --shards N (> 1) and/or --replicas R (> 1), the graph is
+//!     partitioned and queries are answered by a scatter/gather
+//!     coordinator over N per-partition sessions x R replicas — same
+//!     protocol, bitwise-identical responses (see README "Sharding").
 //!     Checkpoints written by `cgnp train` are self-describing: the
 //!     architecture embedded in the file is used and --scale/--decoder
 //!     are ignored. For legacy checkpoints without an embedded
@@ -58,6 +63,7 @@ use cgnp_eval::{
 use cgnp_gateway::{Gateway, GatewayConfig};
 use cgnp_nn::Module;
 use cgnp_serve::{serve_ndjson, serve_task, ServeConfig, ServeSession};
+use cgnp_shard::{ShardedConfig, ShardedSession};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -379,27 +385,52 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         context_cache: true,
         refresh,
     };
+    let shards = parse_usize(flags, "shards", 1)?.max(1);
+    let replicas = parse_usize(flags, "replicas", 1)?.max(1);
     let ds = load_dataset(args.dataset, args.settings.scale, args.seed);
     let task = serve_task(ds.single(), args.shots.max(1), args.seed)?;
     let template = args.settings.cgnp_template().with_decoder(args.decoder);
-    let session = ServeSession::from_checkpoint(checkpoint, template, task, cfg)?;
+    // Sharding is a deployment choice, not a protocol change: both
+    // engines answer the same NDJSON stream with bitwise-identical
+    // responses, so the front-ends below only see `dyn QueryEngine`.
+    let engine: std::sync::Arc<dyn cgnp_serve::QueryEngine> = if shards > 1 || replicas > 1 {
+        let sharded = ShardedSession::from_checkpoint(
+            checkpoint,
+            template,
+            task,
+            ShardedConfig {
+                shards,
+                replicas,
+                serve: cfg,
+            },
+        )?;
+        eprintln!(
+            "sharded serving: {} shards x {replicas} replicas",
+            sharded.n_shards()
+        );
+        std::sync::Arc::new(sharded)
+    } else {
+        std::sync::Arc::new(ServeSession::from_checkpoint(
+            checkpoint, template, task, cfg,
+        )?)
+    };
     eprintln!(
         "serving {} ({} nodes, {} support examples) from {checkpoint}: batch {}, cache {}, {} threads",
         args.dataset.name(),
-        session.n(),
-        session.max_shots(),
+        engine.n(),
+        engine.max_shots(),
         cfg.batch,
         cfg.cache,
         cfg.threads
     );
     if let Some(listen) = flags.get("listen") {
-        return serve_gateway(session, listen, flags);
+        return serve_gateway(engine, listen, flags);
     }
     // `StdinLock` is not `Send`; a fresh `BufReader` over the handle is,
     // and the reader thread is the only consumer anyway.
     let stdin = std::io::BufReader::new(std::io::stdin());
     let mut stdout = std::io::stdout().lock();
-    let summary = serve_ndjson(&session, stdin, &mut stdout)
+    let summary = serve_ndjson(&*engine, stdin, &mut stdout)
         .map_err(|e| format!("serving stream failed: {e}"))?;
     let json = serde_json::to_string(&summary).map_err(|e| e.to_string())?;
     eprintln!("serve summary: {json}");
@@ -408,7 +439,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
 
 /// Runs the TCP gateway until stdin says stop, then drains gracefully.
 fn serve_gateway(
-    session: ServeSession,
+    engine: std::sync::Arc<dyn cgnp_serve::QueryEngine>,
     listen: &str,
     flags: &HashMap<String, String>,
 ) -> Result<(), String> {
@@ -424,7 +455,7 @@ fn serve_gateway(
         drain_grace: Duration::from_millis(parse_usize(flags, "drain", 5_000)? as u64),
         ..defaults
     };
-    let handle = Gateway::start(std::sync::Arc::new(session), listen, gateway_cfg)
+    let handle = Gateway::start(engine, listen, gateway_cfg)
         .map_err(|e| format!("binding {listen}: {e}"))?;
     // The address line is load-bearing: with `--listen 127.0.0.1:0` it
     // is how scripts learn the ephemeral port.
