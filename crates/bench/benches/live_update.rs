@@ -52,6 +52,7 @@ fn serve_cfg(refresh: RefreshStrategy) -> ServeConfig {
         threads: rayon::current_num_threads(),
         seed: 11,
         refresh,
+        ..Default::default()
     }
 }
 

@@ -144,6 +144,22 @@ fn kernel_backend_comparison(c: &mut Criterion) {
         g.bench_function("parallel", |bch| {
             bch.iter(|| black_box(a.matmul_with_threads(black_box(&b), threads)))
         });
+        // Fast-math tier, recorded only when the feature is compiled so
+        // the rows never silently report the exact fallback as "fast".
+        // The workspace dtype is f32, so `fast_1t` isolates the serial
+        // register-tiling win and `fast_f32` is the full serving-tier
+        // configuration (fast kernels + f32 + the whole pool).
+        if cgnp_tensor::fast_math_compiled() {
+            use cgnp_tensor::MathMode;
+            g.bench_function("fast_1t", |bch| {
+                bch.iter(|| black_box(a.matmul_with_threads_mode(black_box(&b), 1, MathMode::Fast)))
+            });
+            g.bench_function("fast_f32", |bch| {
+                bch.iter(|| {
+                    black_box(a.matmul_with_threads_mode(black_box(&b), threads, MathMode::Fast))
+                })
+            });
+        }
         g.finish();
     }
 
@@ -168,6 +184,17 @@ fn kernel_backend_comparison(c: &mut Criterion) {
         g.bench_function("parallel", |bch| {
             bch.iter(|| black_box(op.spmm_with_threads(black_box(&x), threads)))
         });
+        if cgnp_tensor::fast_math_compiled() {
+            use cgnp_tensor::MathMode;
+            g.bench_function("fast_1t", |bch| {
+                bch.iter(|| black_box(op.spmm_with_threads_mode(black_box(&x), 1, MathMode::Fast)))
+            });
+            g.bench_function("fast_f32", |bch| {
+                bch.iter(|| {
+                    black_box(op.spmm_with_threads_mode(black_box(&x), threads, MathMode::Fast))
+                })
+            });
+        }
         g.finish();
     }
 
@@ -469,6 +496,29 @@ fn meta_train_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// Worker count a `(group, variant)` row actually ran with. Recorded
+/// per row (schema v2) so a multi-core runner regenerating the baseline
+/// no longer overwrites the single-thread rows' semantics with its own
+/// core count, as the old top-level `threads` field did.
+fn variant_threads(group: &str, variant: &str) -> usize {
+    let pool = rayon::current_num_threads();
+    // Fixed-fan-out dispatch comparison: both variants issue 4 jobs.
+    if group.starts_with("parallel_dispatch") {
+        return 4;
+    }
+    // Per-op overhead chains never leave the calling thread.
+    if group.starts_with("tensor_op_overhead") {
+        return 1;
+    }
+    match variant {
+        "naive" | "blocked_1t" | "rows_1t" | "fast_1t" => 1,
+        "forced_4t" => 4,
+        // parallel / fast_f32 / auto / batch_* all run on the pool
+        // (auto's `threads_for` is capped by the pool size).
+        _ => pool,
+    }
+}
+
 /// Writes `BENCH_kernels.json` at the workspace root: a machine-readable
 /// baseline of the naive/blocked/parallel comparison for the perf
 /// trajectory across PRs.
@@ -505,15 +555,21 @@ fn emit_kernel_baseline(c: &mut Criterion) {
         };
         entries.push(format!(
             "    {{\"kernel\": \"{group}\", \"variant\": \"{variant}\", \
-             \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
+             \"threads\": {}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
              \"speedup_vs_naive\": {speedup}{extra}}}",
-            r.median_ns, r.mean_ns
+            variant_threads(group, variant),
+            r.median_ns,
+            r.mean_ns
         ));
     }
+    // `fast_math` tells the regression gate whether this run could have
+    // produced fast-tier rows at all: a default build legitimately lacks
+    // them, a fast-math build losing them is a vanished comparison.
     let json = format!(
-        "{{\n  \"schema\": \"cgnp-kernel-baseline-v1\",\n  \
-         \"threads\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"cgnp-kernel-baseline-v2\",\n  \
+         \"pool_threads\": {},\n  \"fast_math\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         rayon::current_num_threads(),
+        cgnp_tensor::fast_math_compiled(),
         entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
@@ -539,6 +595,28 @@ fn emit_kernel_baseline(c: &mut Criterion) {
             t4 / t1,
             t16 / t1
         );
+    }
+    // More acceptance shapes: the fast-math tier must give the dense hot
+    // path real serial headroom, and the single-thread spmm row-chunk fix
+    // must keep `rows_1t` at or above naive.
+    let speedup = |group: &str, variant: &str| {
+        let med = |v: &str| {
+            results
+                .iter()
+                .find(|r| r.name == format!("{group}/{v}"))
+                .map(|r| r.median_ns)
+        };
+        Some(med("naive")? / med(variant)?)
+    };
+    if let Some(s) = speedup("spmm_10000n_64d", "rows_1t") {
+        let mark = if s >= 1.0 { "HOLDS " } else { "DIFFERS" };
+        println!("  [{mark}] single-thread spmm ≥ naive — rows_1t at {s:.2}×");
+    }
+    if cgnp_tensor::fast_math_compiled() {
+        if let Some(s) = speedup("matmul_512x512x512", "fast_1t") {
+            let mark = if s >= 2.0 { "HOLDS " } else { "DIFFERS" };
+            println!("  [{mark}] fast-math matmul ≥ 2× naive — fast_1t at {s:.2}×");
+        }
     }
 }
 

@@ -1,14 +1,19 @@
-//! Serving throughput: how much micro-batching pays.
+//! Serving throughput: how much micro-batching pays, and what the
+//! precision/math engine choice is worth.
 //!
 //! One `ServeSession` is built from a restored checkpoint (the exact
 //! production path), then answer ticks are measured at batch sizes 1, 8,
 //! and 32 with the response cache disabled, so every tick pays one shared
-//! context forward plus per-request scoring. Writes `BENCH_serve.json`
-//! at the workspace root with p50/p95 per-request latency and
-//! queries/sec per batch size.
+//! context forward plus per-request scoring. A second group holds the
+//! engine comparison at batch 32: the wide exact engine (`exact_f64`) vs
+//! the serving-tier fast-math f32 engine (`fast_f32`). Writes
+//! `BENCH_serve.json` at the workspace root with p50/p95 per-request
+//! latency and queries/sec per row.
 //!
-//! Acceptance shape: queries/sec at batch 32 must be ≥ 2× batch 1 —
-//! the context forward dominates a tick, so coalescing must amortise it.
+//! Acceptance shapes: queries/sec at batch 32 must be ≥ 2× batch 1 (the
+//! context forward dominates a tick, so coalescing must amortise it), and
+//! under `--features fast-math` the `fast_f32` engine must clear 1.5× the
+//! `exact_f64` queries/sec.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -17,17 +22,24 @@ use rand::SeedableRng;
 use cgnp_core::{Cgnp, CgnpConfig};
 use cgnp_data::{generate_sbm, model_input_dim, SbmConfig};
 use cgnp_serve::{serve_task, QueryRequest, ServeConfig, ServeSession};
+use cgnp_tensor::{Dtype, MathMode};
 
 const BATCH_SIZES: [usize; 3] = [1, 8, 32];
 
-fn build_session() -> ServeSession {
+/// Engine-comparison rows: (bench variant, storage dtype, kernel tier).
+const PRECISION_VARIANTS: [(&str, Dtype, MathMode); 2] = [
+    ("exact_f64", Dtype::F64, MathMode::Exact),
+    ("fast_f32", Dtype::F32, MathMode::Fast),
+];
+
+fn build_session(precision: Dtype, math: MathMode, hidden: usize) -> ServeSession {
     // A smoke-scale serving graph; weights go through a real
     // save-checkpoint → restore-into-session round trip.
     let mut sbm = SbmConfig::small_test();
     sbm.n = 400;
     let graph = generate_sbm(&sbm, &mut StdRng::seed_from_u64(11));
     let task = serve_task(&graph, 5, 11).expect("support pool");
-    let template = CgnpConfig::paper_default(model_input_dim(&task.graph), 16);
+    let template = CgnpConfig::paper_default(model_input_dim(&task.graph), hidden);
     let model = Cgnp::new(template.clone(), 11);
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -45,7 +57,9 @@ fn build_session() -> ServeSession {
             context_cache: false, // every tick pays its context forward
             threads: rayon::current_num_threads(),
             seed: 11,
-            refresh: Default::default(),
+            precision,
+            math,
+            ..Default::default()
         },
     )
     .expect("session")
@@ -59,7 +73,10 @@ fn requests(n_nodes: usize, count: usize) -> Vec<QueryRequest> {
 }
 
 fn serve_throughput(c: &mut Criterion) {
-    let session = build_session();
+    // The batching sweep runs on the default engine (exact f32) at the
+    // historical smoke width, so these rows stay comparable with the
+    // pre-precision snapshots.
+    let session = build_session(Dtype::F32, MathMode::Exact, 16);
     let reqs = requests(session.n(), *BATCH_SIZES.last().unwrap());
     let mut g = c.benchmark_group("serve_throughput");
     for &b in &BATCH_SIZES {
@@ -71,9 +88,27 @@ fn serve_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+fn serve_precision(c: &mut Criterion) {
+    let batch = *BATCH_SIZES.last().unwrap();
+    let mut g = c.benchmark_group("serve_precision");
+    for (variant, precision, math) in PRECISION_VARIANTS {
+        // Serving-representative width: at hidden 16 the tick is mostly
+        // fixed overhead (top-k, batching, allocation) and the engine
+        // comparison measures nothing; at 64 the encoder/scoring kernels
+        // dominate, which is what the precision choice actually changes.
+        let session = build_session(precision, math, 64);
+        let reqs = requests(session.n(), batch);
+        g.bench_function(variant, |bch| {
+            bch.iter(|| black_box(session.answer_batch(black_box(&reqs))))
+        });
+    }
+    g.finish();
+}
+
 /// Writes `BENCH_serve.json`: per batch size, the per-tick latency
 /// percentiles (every request in a tick completes with the tick, so tick
-/// latency *is* per-request latency) and the resulting queries/sec.
+/// latency *is* per-request latency) and the resulting queries/sec, plus
+/// one row per precision engine at the largest batch.
 fn emit_serve_baseline(c: &mut Criterion) {
     let mut rows = Vec::new();
     let mut qps_batch1 = None;
@@ -96,10 +131,38 @@ fn emit_serve_baseline(c: &mut Criterion) {
             r.p95_ns / 1e3
         ));
     }
+    // Engine rows: queries/sec at batch 32, ratio against the wide exact
+    // engine — the number the fast-math acceptance criterion gates on.
+    let batch = *BATCH_SIZES.last().unwrap();
+    let engine_qps = |variant: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.name == format!("serve_precision/{variant}"))
+            .map(|r| (r.median_ns, r.p95_ns, batch as f64 * 1e9 / r.median_ns))
+    };
+    let exact_f64 = engine_qps("exact_f64");
+    for (variant, _, _) in PRECISION_VARIANTS {
+        let Some((p50, p95, qps)) = engine_qps(variant) else {
+            continue;
+        };
+        let speedup = exact_f64
+            .map(|(_, _, base)| format!("{:.3}", qps / base))
+            .unwrap_or_else(|| "null".to_string());
+        rows.push(format!(
+            "    {{\"variant\": \"{variant}\", \"batch\": {batch}, \
+             \"latency_p50_us\": {:.1}, \"latency_p95_us\": {:.1}, \
+             \"queries_per_sec\": {qps:.1}, \"speedup_vs_exact_f64\": {speedup}}}",
+            p50 / 1e3,
+            p95 / 1e3
+        ));
+    }
+    // `fast_math` tells the regression gate whether the fast_f32 row ran
+    // the fast tier or its exact fallback (see check_bench_regression.py).
     let json = format!(
-        "{{\n  \"schema\": \"cgnp-serve-baseline-v1\",\n  \"threads\": {},\n  \
-         \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"cgnp-serve-baseline-v2\",\n  \"threads\": {},\n  \
+         \"fast_math\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         rayon::current_num_threads(),
+        cgnp_tensor::fast_math_compiled(),
         rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
@@ -122,7 +185,26 @@ fn emit_serve_baseline(c: &mut Criterion) {
             q32 / q1
         );
     }
+    // Shape check: the f32 fast engine must out-serve wide exact math.
+    // Only meaningful when the fast tier is actually compiled in.
+    if cgnp_tensor::fast_math_compiled() {
+        if let (Some((_, _, qe)), Some((_, _, qf))) =
+            (engine_qps("exact_f64"), engine_qps("fast_f32"))
+        {
+            let holds = qf >= 1.5 * qe;
+            let mark = if holds { "HOLDS " } else { "DIFFERS" };
+            println!(
+                "  [{mark}] fast f32 ≥1.5× exact f64 — exact_f64: {qe:.0} q/s, fast_f32: {qf:.0} q/s ({:.2}×)",
+                qf / qe
+            );
+        }
+    }
 }
 
-criterion_group!(benches, serve_throughput, emit_serve_baseline);
+criterion_group!(
+    benches,
+    serve_throughput,
+    serve_precision,
+    emit_serve_baseline
+);
 criterion_main!(benches);

@@ -103,7 +103,7 @@ fn shard_scaling(c: &mut Criterion) {
                     context_cache: false, // every tick pays its context forwards
                     threads: rayon::current_num_threads(),
                     seed: 11,
-                    refresh: Default::default(),
+                    ..Default::default()
                 },
             },
         )

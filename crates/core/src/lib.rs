@@ -44,6 +44,7 @@
 pub mod commutative;
 pub mod config;
 pub mod decoder;
+pub mod infer;
 pub mod model;
 pub(crate) mod par;
 pub mod train;
@@ -51,6 +52,7 @@ pub mod train;
 pub use commutative::Commutative;
 pub use config::{CgnpConfig, CommutativeOp, DecoderKind, LrScale};
 pub use decoder::Decoder;
+pub use infer::{InferModel, InferState};
 pub use model::{Cgnp, PreparedTask, RefreshStrategy};
 pub use train::{
     meta_train, meta_train_validated, meta_train_validated_with_threads, meta_train_with_threads,

@@ -216,9 +216,9 @@ impl PreparedTask {
 /// The Conditional Graph Neural Process.
 pub struct Cgnp {
     config: CgnpConfig,
-    encoder: GnnEncoder,
-    commutative: Commutative,
-    decoder: Decoder,
+    pub(crate) encoder: GnnEncoder,
+    pub(crate) commutative: Commutative,
+    pub(crate) decoder: Decoder,
 }
 
 impl Cgnp {

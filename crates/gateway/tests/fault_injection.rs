@@ -64,7 +64,7 @@ fn session(seed: u64) -> ServeSession {
             threads: 1,
             seed,
             context_cache: true,
-            refresh: Default::default(),
+            ..Default::default()
         },
     )
     .expect("session")

@@ -135,6 +135,11 @@ impl GnnEncoder {
         self.layers.len()
     }
 
+    /// The layer stack, in forward order.
+    pub fn layers(&self) -> &[AnyGnnLayer] {
+        &self.layers
+    }
+
     pub fn forward(&self, gctx: &GraphContext, x: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
         let mut h = x.clone();
         let last = self.layers.len() - 1;

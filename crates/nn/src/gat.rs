@@ -37,6 +37,31 @@ impl GatLayer {
         }
     }
 
+    /// The shared projection `W` (no bias).
+    pub fn lin(&self) -> &Linear {
+        &self.lin
+    }
+
+    /// The source attention vector `a_src` (`out_dim × 1`).
+    pub fn a_src(&self) -> &Tensor {
+        &self.a_src
+    }
+
+    /// The destination attention vector `a_dst` (`out_dim × 1`).
+    pub fn a_dst(&self) -> &Tensor {
+        &self.a_dst
+    }
+
+    /// The output bias row.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// LeakyReLU slope of the attention logits.
+    pub fn negative_slope(&self) -> f32 {
+        self.negative_slope
+    }
+
     /// Attention coefficients per arc (softmax-normalised per destination).
     /// Exposed for tests and model introspection.
     pub fn attention(&self, gctx: &GraphContext, x: &Tensor) -> Tensor {

@@ -21,6 +21,11 @@ impl GcnLayer {
         }
     }
 
+    /// The projection (weights + bias) of this layer.
+    pub fn linear(&self) -> &Linear {
+        &self.lin
+    }
+
     pub fn forward(&self, gctx: &GraphContext, x: &Tensor) -> Tensor {
         // (H W) first: the projection is the cheaper operand order when
         // out_dim ≤ in_dim, and Â is sparse either way. Message passing

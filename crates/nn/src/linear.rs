@@ -38,6 +38,11 @@ impl Linear {
         &self.w
     }
 
+    /// The bias row, if the layer has one.
+    pub fn bias(&self) -> Option<&Tensor> {
+        self.b.as_ref()
+    }
+
     pub fn forward(&self, x: &Tensor) -> Tensor {
         // Fused affine kernel: one pass, no un-biased intermediate.
         match &self.b {

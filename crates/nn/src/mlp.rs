@@ -52,6 +52,16 @@ impl Mlp {
     pub fn n_layers(&self) -> usize {
         self.layers.len()
     }
+
+    /// The affine layers, in forward order.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// The between-layers activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
 }
 
 impl Module for Mlp {

@@ -28,6 +28,16 @@ impl SageLayer {
         let neigh_term = self.w_neigh.forward(&mean_neigh);
         self_term.add(&neigh_term)
     }
+
+    /// The self-feature projection (biased).
+    pub fn w_self(&self) -> &Linear {
+        &self.w_self
+    }
+
+    /// The aggregated-neighbour projection (no bias).
+    pub fn w_neigh(&self) -> &Linear {
+        &self.w_neigh
+    }
 }
 
 impl Module for SageLayer {

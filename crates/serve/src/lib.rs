@@ -52,4 +52,6 @@ pub use protocol::{
     parse_frame, parse_request, validate_request, validate_update, ErrorCode, Frame, ParseError,
     QueryRequest, QueryResponse, UpdateOp, UpdateRequest,
 };
-pub use session::{rank_members, serve_task, ServeConfig, ServeSession, ServeSummary};
+pub use session::{
+    rank_members, serve_task, ServeConfig, ServeSession, ServeSummary, SessionContext,
+};

@@ -172,7 +172,7 @@ mod tests {
                 threads: 1,
                 seed: 5,
                 context_cache: true,
-                refresh: Default::default(),
+                ..Default::default()
             },
         )
         .expect("session")

@@ -26,10 +26,10 @@ use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-use cgnp_core::{Cgnp, CgnpConfig, PreparedTask, RefreshStrategy};
+use cgnp_core::{infer, Cgnp, CgnpConfig, InferModel, InferState, PreparedTask, RefreshStrategy};
 use cgnp_data::{model_input_dim, task_on_whole_graph, QueryExample, Task, TaskConfig, NO_QUERY};
 use cgnp_graph::AttributedGraph;
-use cgnp_tensor::Tensor;
+use cgnp_tensor::{dispatch, fast_math_compiled, Block, Dtype, MathMode, Tensor};
 use rand::SeedableRng;
 use serde::Serialize;
 
@@ -58,6 +58,15 @@ pub struct ServeConfig {
     /// How graph updates rebuild the prepared operators and features:
     /// from scratch, or by patching only the touched rows.
     pub refresh: RefreshStrategy,
+    /// Element type scoring runs in. [`Dtype::F32`] (the default) is the
+    /// training dtype; [`Dtype::F64`] snapshots the weights, operators,
+    /// and contexts into double precision at session build.
+    pub precision: Dtype,
+    /// Kernel tier scoring runs on. [`MathMode::Exact`] (the default)
+    /// keeps every prediction bitwise-identical to the training-side
+    /// forward; [`MathMode::Fast`] routes through the reassociating
+    /// fast-math kernels when the build carries them.
+    pub math: MathMode,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +78,22 @@ impl Default for ServeConfig {
             seed: 42,
             context_cache: true,
             refresh: RefreshStrategy::EpochSwap,
+            precision: Dtype::F32,
+            math: MathMode::Exact,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The kernel tier scoring actually runs on: the requested mode,
+    /// demoted to [`MathMode::Exact`] when this build carries no
+    /// fast-math tier (so summaries never claim a speedup the binary
+    /// cannot deliver).
+    pub fn effective_math(&self) -> MathMode {
+        if fast_math_compiled() {
+            self.math
+        } else {
+            MathMode::Exact
         }
     }
 }
@@ -141,6 +166,96 @@ pub struct ServeSummary {
     /// Per-shard graph epochs in fixed shard order; `None` for an
     /// unsharded session.
     pub shard_epochs: Option<Vec<u64>>,
+    /// Element type scoring ran in (`"f32"` / `"f64"`).
+    pub precision: String,
+    /// Kernel tier scoring actually ran on (`"exact"` / `"fast"`) — the
+    /// effective mode, never a tier the build does not carry.
+    pub math: String,
+}
+
+/// The scoring executor a session routes every context build and
+/// micro-batch through, fixed at construction from
+/// (`precision`, effective math mode).
+enum Engine {
+    /// The legacy autodiff tensor path — bitwise-identical to every
+    /// pre-precision release and to the training-side
+    /// [`Cgnp::predict_multi`]. Selected by (`f32`, exact), the default.
+    ExactF32,
+    /// Forward-only executor in `f32` storage (the fast-math tier; the
+    /// `f32`/exact combination stays on [`Engine::ExactF32`]).
+    F32(InferModel<f32>),
+    /// Forward-only executor in `f64` storage.
+    F64(InferModel<f64>),
+}
+
+impl Engine {
+    fn select(precision: Dtype, math: MathMode, model: &Cgnp) -> Self {
+        match (precision, math) {
+            (Dtype::F32, MathMode::Exact) => Engine::ExactF32,
+            (Dtype::F32, MathMode::Fast) => Engine::F32(InferModel::from_model(model)),
+            (Dtype::F64, _) => Engine::F64(InferModel::from_model(model)),
+        }
+    }
+
+    /// Snapshots the prepared operators and base features into this
+    /// engine's element type (a no-op for the legacy engine, which reads
+    /// the [`PreparedTask`] directly).
+    fn state_for(&self, prepared: &PreparedTask) -> TypedState {
+        match self {
+            Engine::ExactF32 => TypedState::None,
+            Engine::F32(_) => TypedState::F32(InferState::from_prepared(prepared)),
+            Engine::F64(_) => TypedState::F64(InferState::from_prepared(prepared)),
+        }
+    }
+}
+
+/// Operators + base features snapshotted into the engine's element type.
+/// Lives inside [`LiveState`] so the same write lock that refreshes the
+/// prepared operators re-snapshots the typed mirror.
+enum TypedState {
+    /// The legacy engine scores straight off the [`PreparedTask`].
+    None,
+    F32(InferState<f32>),
+    F64(InferState<f64>),
+}
+
+/// A decoded task context in whichever representation the session's
+/// engine scores: the legacy autodiff tensor, or dtype-dispatched
+/// storage. The typed arm is `Arc`ed because [`Block`] clones are deep
+/// copies and cache hits must not duplicate an n×d matrix (the tensor
+/// arm is already internally shared).
+#[derive(Clone)]
+pub enum SessionContext {
+    Exact(Tensor),
+    Typed(Arc<Block>),
+}
+
+impl SessionContext {
+    /// The storage dtype of the context rows.
+    pub fn dtype(&self) -> Dtype {
+        match self {
+            SessionContext::Exact(_) => Dtype::F32,
+            SessionContext::Typed(b) => b.dtype(),
+        }
+    }
+
+    /// The legacy tensor, when this context came from the exact-`f32`
+    /// engine (the sharded exact coordinator gathers rows through it).
+    pub fn as_tensor(&self) -> Option<&Tensor> {
+        match self {
+            SessionContext::Exact(t) => Some(t),
+            SessionContext::Typed(_) => None,
+        }
+    }
+
+    /// The typed storage block, when this context came from a typed
+    /// engine.
+    pub fn as_block(&self) -> Option<&Block> {
+        match self {
+            SessionContext::Exact(_) => None,
+            SessionContext::Typed(b) => Some(b),
+        }
+    }
 }
 
 /// Everything an update mutates, behind one write lock: queries take
@@ -148,6 +263,9 @@ pub struct ServeSummary {
 /// consistent (graph, operators, support pool) triple.
 struct LiveState {
     prepared: PreparedTask,
+    /// The engine-dtype snapshot of `prepared`'s operators and base
+    /// features; re-cast whenever a refresh changes what it mirrors.
+    typed: TypedState,
     /// Monotone session version: every applied update bumps it. Cache
     /// entries are tagged with the version they were computed under.
     version: u64,
@@ -165,13 +283,17 @@ pub struct ServeSession {
     /// restored checkpoint instead of duplicating the weights.
     model: Arc<Cgnp>,
     cfg: ServeConfig,
+    /// The scoring executor (`precision` × effective math mode), fixed
+    /// at construction; weights are snapshotted into the serving dtype
+    /// once, here.
+    engine: Engine,
     live: RwLock<LiveState>,
     cache: Mutex<LruCache>,
     /// Decoded context per effective shot count, shared across
     /// micro-batch ticks and tagged with the session version it was
     /// built under (bounded by the support-pool size; see
     /// [`ServeConfig::context_cache`]).
-    contexts: Mutex<HashMap<usize, (Tensor, u64)>>,
+    contexts: Mutex<HashMap<usize, (SessionContext, u64)>>,
     stats: Mutex<ServeStats>,
 }
 
@@ -204,10 +326,15 @@ impl ServeSession {
                 "model input width {got} does not match the serving graph (need {expect})"
             ));
         }
+        let prepared = PreparedTask::new(task);
+        let engine = Engine::select(cfg.precision, cfg.effective_math(), &model);
+        let typed = engine.state_for(&prepared);
         Ok(Self {
             model,
+            engine,
             live: RwLock::new(LiveState {
-                prepared: PreparedTask::new(task),
+                prepared,
+                typed,
                 version: 0,
                 valid_from: 0,
             }),
@@ -277,12 +404,24 @@ impl ServeSession {
         &self.cfg
     }
 
+    /// The element type scoring runs in.
+    pub fn precision(&self) -> Dtype {
+        self.cfg.precision
+    }
+
+    /// The kernel tier scoring actually runs on (the requested mode,
+    /// demoted to exact when the build carries no fast-math tier).
+    pub fn math(&self) -> MathMode {
+        self.cfg.effective_math()
+    }
+
     /// The decoded task context for a given shot count — the prepared
-    /// tensor a micro-batch shares. Built under `no_grad`: the returned
-    /// tensor is a constant and records zero tape nodes. With the context
-    /// cache enabled (the default), repeated shot counts across ticks
-    /// share one tensor instead of recomputing the encoder forward.
-    pub fn context_for_shots(&self, shots: usize) -> Tensor {
+    /// matrix a micro-batch shares, in the engine's representation.
+    /// Built under `no_grad` on the legacy engine (the returned tensor is
+    /// a constant and records zero tape nodes). With the context cache
+    /// enabled (the default), repeated shot counts across ticks share
+    /// one context instead of recomputing the encoder forward.
+    pub fn context_for_shots(&self, shots: usize) -> SessionContext {
         let live = self.read_live();
         self.context_for_shots_in(&live, shots)
     }
@@ -290,7 +429,7 @@ impl ServeSession {
     /// Cache-aware context build against an already-held live state (so
     /// batch answering never re-acquires the session lock: a second read
     /// acquisition could deadlock behind a queued writer).
-    fn context_for_shots_in(&self, live: &LiveState, shots: usize) -> Tensor {
+    fn context_for_shots_in(&self, live: &LiveState, shots: usize) -> SessionContext {
         let shots = shots.clamp(1, live.prepared.task.support.len());
         if self.cfg.context_cache {
             let mut contexts = self.contexts.lock().expect("context cache lock");
@@ -312,11 +451,21 @@ impl ServeSession {
         // expensive half of a tick, and holding the map across it would
         // serialise unrelated shot counts. Two threads racing on the same
         // fresh shot count compute identical constants; last insert wins.
-        let ctx = self.model.context_eval(
-            &live.prepared,
-            &live.prepared.task.support[..shots],
-            self.cfg.seed,
-        );
+        let support = &live.prepared.task.support[..shots];
+        let ctx = match (&self.engine, &live.typed) {
+            (Engine::ExactF32, _) => SessionContext::Exact(self.model.context_eval(
+                &live.prepared,
+                support,
+                self.cfg.seed,
+            )),
+            (Engine::F32(im), TypedState::F32(state)) => SessionContext::Typed(Arc::new(
+                Block::from_typed(im.context(state, support, self.cfg.effective_math())),
+            )),
+            (Engine::F64(im), TypedState::F64(state)) => SessionContext::Typed(Arc::new(
+                Block::from_typed(im.context(state, support, self.cfg.effective_math())),
+            )),
+            _ => unreachable!("typed state always mirrors the engine dtype"),
+        };
         self.stats.lock().expect("stats lock").context_builds += 1;
         if self.cfg.context_cache {
             self.contexts
@@ -325,6 +474,25 @@ impl ServeSession {
                 .insert(shots, (ctx.clone(), live.version));
         }
         ctx
+    }
+
+    /// Scores a micro-batch of query sets against one shared context
+    /// through the session's engine.
+    fn score_batch(
+        &self,
+        ctx: &SessionContext,
+        batch: &[Vec<usize>],
+        threads: usize,
+    ) -> Vec<Vec<f32>> {
+        match ctx {
+            SessionContext::Exact(t) => Cgnp::score_batch_with_threads(t, batch, threads),
+            SessionContext::Typed(b) => dispatch!(&**b, |m| infer::score_batch_with_threads(
+                m,
+                batch,
+                threads,
+                self.cfg.effective_math()
+            )),
+        }
     }
 
     /// Replaces the labelled support pool the session conditions on
@@ -395,6 +563,7 @@ impl ServeSession {
             return Vec::new();
         }
         let mut live = self.live.write().expect("live state lock");
+        let epoch_before = live.prepared.task.graph.epoch();
         let mut acks = Vec::with_capacity(reqs.len());
         let mut applied: u64 = 0;
         for req in reqs {
@@ -475,6 +644,12 @@ impl ServeSession {
         }
         if applied > 0 {
             live.prepared.refresh(self.cfg.refresh);
+            // Support-only bursts leave the graph epoch — and therefore
+            // the operators and base features the typed snapshot mirrors
+            // — untouched; re-casting them would be pure waste.
+            if live.prepared.task.graph.epoch() != epoch_before {
+                live.typed = self.engine.state_for(&live.prepared);
+            }
             let mut stats = self.stats.lock().expect("stats lock");
             stats.updates += applied;
             stats.coalesced_updates += applied.saturating_sub(1);
@@ -495,6 +670,9 @@ impl ServeSession {
     pub fn override_core_column(&self, column: &[f32]) -> Result<(), String> {
         let mut live = self.live.write().expect("live state lock");
         live.prepared.override_core_column(column)?;
+        // Base features changed with no epoch bump: the typed snapshot
+        // must re-cast them here or keep scoring off the stale column.
+        live.typed = self.engine.state_for(&live.prepared);
         live.version += 1;
         live.valid_from = live.version;
         Ok(())
@@ -577,7 +755,7 @@ impl ServeSession {
             // fetched through the cross-tick cache and only the scoring
             // fan-out runs per tick.
             let ctx = self.context_for_shots_in(&live, shots);
-            let probs = Cgnp::score_batch_with_threads(&ctx, &batch, self.cfg.threads);
+            let probs = self.score_batch(&ctx, &batch, self.cfg.threads);
             let mut cache = self.cache.lock().expect("cache lock");
             for (&p, prob) in ps.iter().zip(probs) {
                 let prob = Arc::new(prob);
@@ -648,7 +826,7 @@ impl ServeSession {
             return Ok(hit);
         }
         let ctx = self.context_for_shots_in(&live, shots);
-        let probs = Cgnp::score_batch_with_threads(&ctx, std::slice::from_ref(&key.0), 1);
+        let probs = self.score_batch(&ctx, std::slice::from_ref(&key.0), 1);
         let probs = Arc::new(probs.into_iter().next().expect("one result"));
         self.cache
             .lock()
@@ -697,6 +875,8 @@ impl ServeSession {
             coalesced_updates: stats.coalesced_updates,
             epoch,
             shard_epochs: None,
+            precision: self.cfg.precision.as_str().to_string(),
+            math: self.cfg.effective_math().as_str().to_string(),
         }
     }
 }

@@ -36,6 +36,7 @@ fn serve_cfg(refresh: RefreshStrategy) -> ServeConfig {
         seed: 9,
         context_cache: true,
         refresh,
+        ..Default::default()
     }
 }
 

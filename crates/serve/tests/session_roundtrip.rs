@@ -35,7 +35,7 @@ fn serve_cfg() -> ServeConfig {
         threads: 1,
         seed: 9,
         context_cache: true,
-        refresh: Default::default(),
+        ..Default::default()
     }
 }
 
@@ -207,6 +207,9 @@ fn serving_forward_records_zero_tape_nodes() {
     .unwrap();
     for shots in [1, session.max_shots()] {
         let ctx = session.context_for_shots(shots);
+        let ctx = ctx
+            .as_tensor()
+            .expect("the default engine serves the exact tensor path");
         assert!(!ctx.needs_grad(), "serving context must be constant");
         assert_eq!(ctx.tape_len(), 0, "serving forward recorded tape nodes");
     }

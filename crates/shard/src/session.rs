@@ -37,15 +37,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-use cgnp_core::{Cgnp, CgnpConfig, CommutativeOp, DecoderKind};
+use cgnp_core::{infer, Cgnp, CgnpConfig, CommutativeOp, DecoderKind};
 use cgnp_data::{model_input_dim, QueryExample, Task};
 use cgnp_graph::{algo, AttributedGraph, Graph};
 use cgnp_serve::cache::{CacheKey, LruCache};
 use cgnp_serve::{
     rank_members, validate_request, validate_update, ErrorCode, QueryEngine, QueryRequest,
-    QueryResponse, ServeConfig, ServeSession, ServeSummary, UpdateOp, UpdateRequest,
+    QueryResponse, ServeConfig, ServeSession, ServeSummary, SessionContext, UpdateOp,
+    UpdateRequest,
 };
-use cgnp_tensor::Tensor;
+use cgnp_tensor::{Dtype, Elem, MathMode, MatrixT, Tensor};
 
 use crate::partition::{halo_ball, partition_graph};
 
@@ -70,6 +71,63 @@ impl Default for ShardedConfig {
             replicas: 1,
             serve: ServeConfig::default(),
         }
+    }
+}
+
+/// A typed construction failure of a sharded session.
+///
+/// Only misconfigurations the coordinator's merge contract depends on
+/// get their own variant; everything else rides along as its message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardedBuildError {
+    /// A shard would score in a different element type than the
+    /// coordinator. The coordinator gathers query-centroid rows as raw
+    /// element bits and broadcasts them to every shard, so a deployment
+    /// mixing dtypes would blend two rounding families inside a single
+    /// centroid — the bitwise-merge contract (and any hope of
+    /// reproducing an unsharded session) dies silently. Rejected at
+    /// construction instead of diagnosed as drift in production: the
+    /// precision analogue of the [`halo_depth_for`] guard.
+    MixedPrecision {
+        /// Index of the offending shard.
+        shard: usize,
+        /// The coordinator's serving dtype ([`ServeConfig::precision`]).
+        expected: Dtype,
+        /// The dtype the shard was asked to score in.
+        found: Dtype,
+    },
+    /// Any other construction failure, carried as its message.
+    Build(String),
+}
+
+impl std::fmt::Display for ShardedBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardedBuildError::MixedPrecision {
+                shard,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shard {shard} would serve {found} under a {expected} coordinator; \
+                 all shards of a deployment must score in one dtype"
+            ),
+            ShardedBuildError::Build(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ShardedBuildError {}
+
+impl From<String> for ShardedBuildError {
+    fn from(msg: String) -> Self {
+        ShardedBuildError::Build(msg)
+    }
+}
+
+impl From<ShardedBuildError> for String {
+    fn from(e: ShardedBuildError) -> Self {
+        e.to_string()
     }
 }
 
@@ -273,6 +331,21 @@ impl ShardedSession {
                 )
             })
             .collect::<Result<Vec<Shard>, String>>()?;
+        // Defense in depth for the merge contract: every replica must
+        // score in the coordinator's dtype (see
+        // [`ShardedBuildError::MixedPrecision`]).
+        for (s, shard) in shards.iter().enumerate() {
+            for replica in &shard.replicas {
+                if replica.precision() != cfg.serve.precision {
+                    return Err(ShardedBuildError::MixedPrecision {
+                        shard: s,
+                        expected: cfg.serve.precision,
+                        found: replica.precision(),
+                    }
+                    .into());
+                }
+            }
+        }
         let cache = LruCache::new(cfg.serve.cache);
         Ok(Self {
             model,
@@ -291,6 +364,40 @@ impl ShardedSession {
             stats: Mutex::new(Stats::default()),
             cfg,
         })
+    }
+
+    /// [`ShardedSession::with_shared_model`] with an explicit per-shard
+    /// dtype list, for deployments assembled from per-shard config
+    /// sources. The coordinator's scatter/gather merge requires every
+    /// shard to score in one dtype ([`ServeConfig::precision`]); a list
+    /// that disagrees — wrong length, or any entry diverging from the
+    /// coordinator's — is rejected with a typed
+    /// [`ShardedBuildError::MixedPrecision`] before any shard is built.
+    pub fn with_shard_precisions(
+        model: Arc<Cgnp>,
+        task: Task,
+        cfg: ShardedConfig,
+        precisions: &[Dtype],
+    ) -> Result<Self, ShardedBuildError> {
+        let n_shards = cfg.shards.max(1);
+        if precisions.len() != n_shards {
+            return Err(ShardedBuildError::Build(format!(
+                "got {} per-shard precisions for {n_shards} shards",
+                precisions.len()
+            )));
+        }
+        if let Some((shard, &found)) = precisions
+            .iter()
+            .enumerate()
+            .find(|(_, &p)| p != cfg.serve.precision)
+        {
+            return Err(ShardedBuildError::MixedPrecision {
+                shard,
+                expected: cfg.serve.precision,
+                found,
+            });
+        }
+        Self::with_shared_model(model, task, cfg).map_err(ShardedBuildError::Build)
     }
 
     /// Restores a checkpoint and wraps it in a sharded session (same
@@ -405,48 +512,30 @@ impl ShardedSession {
         }
         for (shots, ps) in groups {
             // One context per shard for this shot count; contexts are
-            // cached across ticks inside the replica sessions.
-            let ctxs: Vec<Tensor> = global
+            // cached across ticks inside the replica sessions. All
+            // shards share one engine config, so the contexts are
+            // either all legacy tensors or all typed blocks of the
+            // coordinator's dtype (enforced at construction).
+            let ctxs: Vec<SessionContext> = global
                 .shards
                 .iter()
                 .map(|sh| sh.replica().context_for_shots(shots))
                 .collect();
-            let ctx_vals: Vec<_> = ctxs.iter().map(Tensor::value_ref).collect();
+            let exact: Option<Vec<&Tensor>> = ctxs.iter().map(SessionContext::as_tensor).collect();
+            let math = self.cfg.serve.effective_math();
             for p in ps {
                 let nodes = &pending[p].0 .0;
-                // Gather the exact (owned) query rows and build the
-                // centroid centrally — the same kernel, same bits as
-                // the unsharded `gather_rows(queries).mean_rows()`.
-                let rows: Vec<&[f32]> = nodes
-                    .iter()
-                    .map(|&q| {
-                        let s = global.owner[q];
-                        ctx_vals[s].row(global.shards[s].local_of[&q])
-                    })
-                    .collect();
-                let centroid = Cgnp::centroid_of_rows(&rows);
-                // Broadcast: every shard scores its local rows against
-                // the identical centroid, in parallel on the pool.
-                let mut per_shard: Vec<Vec<f32>> = vec![Vec::new(); ctxs.len()];
-                rayon::scope(|scope| {
-                    let centroid = &centroid;
-                    for (slot, ctx) in per_shard.iter_mut().zip(&ctxs) {
-                        scope.spawn(move |_| {
-                            *slot = Cgnp::score_probs_with_centroid(ctx, centroid);
-                        });
-                    }
-                });
-                // Gather: owned rows only, in fixed shard order. Each
-                // node is owned exactly once, so this is a permutation
-                // of shard outputs, not a floating-point reduction.
-                let mut probs = vec![0.0f32; n_nodes];
-                for (s, sh) in global.shards.iter().enumerate() {
-                    for (li, &gv) in sh.local.iter().enumerate() {
-                        if global.owner[gv] == s {
-                            probs[gv] = per_shard[s][li];
+                let probs = match &exact {
+                    Some(tensors) => scatter_gather_exact(tensors, &global, nodes, n_nodes),
+                    None => match self.cfg.serve.precision {
+                        Dtype::F32 => {
+                            scatter_gather_typed::<f32>(&ctxs, &global, nodes, math, n_nodes)
                         }
-                    }
-                }
+                        Dtype::F64 => {
+                            scatter_gather_typed::<f64>(&ctxs, &global, nodes, math, n_nodes)
+                        }
+                    },
+                };
                 let probs = Arc::new(probs);
                 let mut cache = self.cache.lock().expect("cache lock");
                 cache.insert(pending[p].0.clone(), Arc::clone(&probs), global.version);
@@ -785,6 +874,8 @@ impl ShardedSession {
             coalesced_updates: stats.coalesced_updates,
             epoch,
             shard_epochs: Some(shard_epochs),
+            precision: self.cfg.serve.precision.as_str().to_string(),
+            math: self.cfg.serve.effective_math().as_str().to_string(),
         }
     }
 }
@@ -822,6 +913,93 @@ fn translate_frames(
         }
     }
     frames
+}
+
+/// Scatter/gather on the legacy exact engine: gather the exact (owned)
+/// query rows, build the centroid centrally — the same kernel, same
+/// bits as the unsharded `gather_rows(queries).mean_rows()` — broadcast
+/// it, then merge.
+fn scatter_gather_exact(
+    ctxs: &[&Tensor],
+    global: &Global,
+    nodes: &[usize],
+    n_nodes: usize,
+) -> Vec<f32> {
+    let ctx_vals: Vec<_> = ctxs.iter().map(|t| t.value_ref()).collect();
+    let rows: Vec<&[f32]> = nodes
+        .iter()
+        .map(|&q| {
+            let s = global.owner[q];
+            ctx_vals[s].row(global.shards[s].local_of[&q])
+        })
+        .collect();
+    let centroid = Cgnp::centroid_of_rows(&rows);
+    // Broadcast: every shard scores its local rows against the
+    // identical centroid, in parallel on the pool.
+    let mut per_shard: Vec<Vec<f32>> = vec![Vec::new(); ctxs.len()];
+    rayon::scope(|scope| {
+        let centroid = &centroid;
+        for (slot, ctx) in per_shard.iter_mut().zip(ctxs) {
+            scope.spawn(move |_| {
+                *slot = Cgnp::score_probs_with_centroid(ctx, centroid);
+            });
+        }
+    });
+    merge_owned(global, &per_shard, n_nodes)
+}
+
+/// Scatter/gather on a typed engine: identical structure to
+/// [`scatter_gather_exact`], with rows gathered and the centroid
+/// broadcast as raw `E` bits — which is exactly why mixed-dtype shards
+/// are rejected at construction.
+fn scatter_gather_typed<E: Elem>(
+    ctxs: &[SessionContext],
+    global: &Global,
+    nodes: &[usize],
+    math: MathMode,
+    n_nodes: usize,
+) -> Vec<f32> {
+    let mats: Vec<&MatrixT<E>> = ctxs
+        .iter()
+        .map(|c| {
+            c.as_block()
+                .and_then(|b| b.as_typed::<E>())
+                .expect("all shards serve the coordinator's dtype")
+        })
+        .collect();
+    let rows: Vec<&[E]> = nodes
+        .iter()
+        .map(|&q| {
+            let s = global.owner[q];
+            mats[s].row(global.shards[s].local_of[&q])
+        })
+        .collect();
+    let centroid = infer::centroid_of_rows(&rows);
+    let mut per_shard: Vec<Vec<f32>> = vec![Vec::new(); ctxs.len()];
+    rayon::scope(|scope| {
+        let centroid = &centroid;
+        for (slot, mat) in per_shard.iter_mut().zip(&mats) {
+            scope.spawn(move |_| {
+                *slot = infer::score_with_centroid(mat, centroid, math);
+            });
+        }
+    });
+    merge_owned(global, &per_shard, n_nodes)
+}
+
+/// Gather: owned rows only, in fixed shard order. Each node is owned
+/// exactly once, so this is a permutation of shard outputs, not a
+/// floating-point reduction.
+fn merge_owned(global: &Global, per_shard: &[Vec<f32>], n_nodes: usize) -> Vec<f32> {
+    let mut probs = vec![0.0f32; n_nodes];
+    for (s, sh) in global.shards.iter().enumerate() {
+        for (li, &gv) in sh.local.iter().enumerate() {
+            if global.owner[gv] == s {
+                probs[gv] = per_shard[s][li];
+            }
+        }
+    }
+    probs
 }
 
 /// Applies translated frames to one replica, asserting they all land —

@@ -1,0 +1,180 @@
+//! Element types the dense/sparse kernels are generic over.
+//!
+//! The training stack is pinned to `f32` (the [`crate::Matrix`] alias):
+//! every autodiff op, optimiser, and checkpoint stays on the exact dtype
+//! the bitwise-reproducibility contract was recorded with. Inference can
+//! instead pick its storage type per session — `f32` for throughput,
+//! `f64` when a caller wants extra headroom against rounding drift — and
+//! the [`Elem`] trait is the full surface a kernel needs from either.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The element type of a [`crate::Block`] / serving session, on the wire
+/// and in CLI flags (`--precision {f32,f64}`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dtype {
+    F32,
+    F64,
+}
+
+impl Dtype {
+    /// The CLI / JSON spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Dtype::F32 => "f32",
+            Dtype::F64 => "f64",
+        }
+    }
+
+    /// Parses the CLI spelling (`f32` / `f64`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "f32" => Ok(Dtype::F32),
+            "f64" => Ok(Dtype::F64),
+            other => Err(format!("unknown precision {other:?} (expected f32 or f64)")),
+        }
+    }
+}
+
+impl fmt::Display for Dtype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A scalar the generic kernels can compute with. Implemented for `f32`
+/// and `f64`; the bounds are exactly what [`crate::matrix::MatrixT`] and
+/// [`crate::sparse::CsrMatrixT`] consume, so adding a dtype means
+/// implementing this trait and a [`crate::Block`] variant.
+pub trait Elem:
+    Copy
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Sum
+    + fmt::Display
+    + fmt::Debug
+{
+    const ZERO: Self;
+    const ONE: Self;
+    /// The runtime tag matching this element type.
+    const DTYPE: Dtype;
+
+    fn from_f32(x: f32) -> Self;
+    fn to_f32(self) -> f32;
+    fn from_f64(x: f64) -> Self;
+    fn to_f64(self) -> f64;
+    /// Exact for any count a matrix dimension can reach in practice.
+    fn from_usize(n: usize) -> Self;
+
+    fn abs(self) -> Self;
+    fn sqrt(self) -> Self;
+    fn exp(self) -> Self;
+    fn tanh(self) -> Self;
+    fn max(self, other: Self) -> Self;
+    fn is_finite(self) -> bool;
+    /// Smallest positive normal value (softmax divisor clamp).
+    fn min_positive() -> Self;
+    fn neg_infinity() -> Self;
+}
+
+macro_rules! impl_elem {
+    ($t:ty, $dtype:expr) => {
+        impl Elem for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const DTYPE: Dtype = $dtype;
+
+            #[inline]
+            fn from_f32(x: f32) -> Self {
+                x as $t
+            }
+            #[inline]
+            fn to_f32(self) -> f32 {
+                self as f32
+            }
+            #[inline]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn from_usize(n: usize) -> Self {
+                n as $t
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline]
+            fn tanh(self) -> Self {
+                <$t>::tanh(self)
+            }
+            #[inline]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline]
+            fn min_positive() -> Self {
+                <$t>::MIN_POSITIVE
+            }
+            #[inline]
+            fn neg_infinity() -> Self {
+                <$t>::NEG_INFINITY
+            }
+        }
+    };
+}
+
+impl_elem!(f32, Dtype::F32);
+impl_elem!(f64, Dtype::F64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_spellings_round_trip() {
+        assert_eq!(Dtype::parse("f32").unwrap(), Dtype::F32);
+        assert_eq!(Dtype::parse("f64").unwrap(), Dtype::F64);
+        assert_eq!(Dtype::F32.to_string(), "f32");
+        assert_eq!(Dtype::F64.to_string(), "f64");
+        assert!(Dtype::parse("f16").is_err());
+    }
+
+    #[test]
+    fn conversions_are_exact_where_required() {
+        assert_eq!(f64::from_f32(1.5f32), 1.5f64);
+        assert_eq!(<f32 as Elem>::from_f64(0.25), 0.25f32);
+        assert_eq!(f32::from_usize(1 << 20), (1u32 << 20) as f32);
+        assert_eq!(<f32 as Elem>::DTYPE, Dtype::F32);
+        assert_eq!(<f64 as Elem>::DTYPE, Dtype::F64);
+    }
+}

@@ -29,10 +29,13 @@
 //! assert!((w.item() - 3.0).abs() < 0.05);
 //! ```
 
+pub mod block;
+pub mod elem;
 pub mod grad_sink;
 pub mod gradcheck;
 pub mod init;
 pub mod matrix;
+pub mod mode;
 pub mod ops;
 pub mod optim;
 pub(crate) mod parallel;
@@ -40,11 +43,14 @@ pub mod reference;
 pub mod sparse;
 pub mod tensor;
 
+pub use block::{Block, SparseBlock};
+pub use elem::{Dtype, Elem};
 pub use grad_sink::GradSink;
-pub use matrix::Matrix;
+pub use matrix::{Matrix, MatrixT};
+pub use mode::{fast_math_compiled, MathMode};
 pub use ops::{softmax_in_place, stable_sigmoid, Reduction};
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
-pub use sparse::{CsrMatrix, SparseOperator};
+pub use sparse::{CsrMatrix, CsrMatrixT, SparseOperator};
 pub use tensor::{grad_enabled, no_grad, Tensor, ValueRef};
 
 #[cfg(test)]

@@ -1,32 +1,47 @@
-//! Dense row-major `f32` matrix used as the storage type of the autodiff
-//! engine.
+//! Dense row-major matrix used as the storage type of the autodiff
+//! engine and the dtype-dispatched serving path.
 //!
 //! All models in the paper operate on 2-D values (node-embedding matrices,
 //! weight matrices, per-edge column vectors), so a 2-D type is sufficient;
 //! scalars are represented as `1×1` matrices.
+//!
+//! The storage is generic over its element type ([`MatrixT<E>`]); the
+//! [`Matrix`] alias pins the autodiff engine (and everything trained or
+//! checkpointed) to `f32`, while inference sessions pick their dtype at
+//! load via [`crate::Block`]. Every product kernel additionally has a
+//! `*_mode` entry point selecting the exact or fast-math tier at runtime
+//! (see [`crate::MathMode`]).
 
 use std::fmt;
 
-/// A dense row-major matrix of `f32` values.
+use crate::elem::Elem;
+use crate::mode::MathMode;
+
+/// A dense row-major matrix of `E` values.
 #[derive(Clone, PartialEq)]
-pub struct Matrix {
+pub struct MatrixT<E> {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data: Vec<E>,
 }
 
-impl Matrix {
+/// The exact/training dtype: every autodiff tensor, optimiser state, and
+/// checkpoint stores `f32`, and the bitwise-reproducibility contract is
+/// recorded against this monomorphisation.
+pub type Matrix = MatrixT<f32>;
+
+impl<E: Elem> MatrixT<E> {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: vec![E::ZERO; rows * cols],
         }
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
-    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+    pub fn full(rows: usize, cols: usize, value: E) -> Self {
         Self {
             rows,
             cols,
@@ -38,7 +53,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
-    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<E>) -> Self {
         assert_eq!(
             data.len(),
             rows * cols,
@@ -52,7 +67,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if the rows do not all have the same length.
-    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+    pub fn from_rows(rows: &[Vec<E>]) -> Self {
         if rows.is_empty() {
             return Self::zeros(0, 0);
         }
@@ -70,7 +85,7 @@ impl Matrix {
     }
 
     /// A `1×1` matrix holding a single scalar.
-    pub fn scalar(value: f32) -> Self {
+    pub fn scalar(value: E) -> Self {
         Self::from_vec(1, 1, vec![value])
     }
 
@@ -78,7 +93,7 @@ impl Matrix {
     pub fn eye(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
         for i in 0..n {
-            m.data[i * n + i] = 1.0;
+            m.data[i * n + i] = E::ONE;
         }
         m
     }
@@ -111,38 +126,38 @@ impl Matrix {
     }
 
     #[inline]
-    pub fn get(&self, r: usize, c: usize) -> f32 {
+    pub fn get(&self, r: usize, c: usize) -> E {
         debug_assert!(r < self.rows && c < self.cols);
         self.data[r * self.cols + c]
     }
 
     #[inline]
-    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+    pub fn set(&mut self, r: usize, c: usize, v: E) {
         debug_assert!(r < self.rows && c < self.cols);
         self.data[r * self.cols + c] = v;
     }
 
     /// Immutable view of row `r`.
     #[inline]
-    pub fn row(&self, r: usize) -> &[f32] {
+    pub fn row(&self, r: usize) -> &[E] {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutable view of row `r`.
     #[inline]
-    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+    pub fn row_mut(&mut self, r: usize) -> &mut [E] {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// The underlying row-major storage.
     #[inline]
-    pub fn as_slice(&self) -> &[f32] {
+    pub fn as_slice(&self) -> &[E] {
         &self.data
     }
 
     /// Mutable access to the underlying row-major storage.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+    pub fn as_mut_slice(&mut self) -> &mut [E] {
         &mut self.data
     }
 
@@ -150,13 +165,24 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if the matrix is not `1×1`.
-    pub fn item(&self) -> f32 {
+    pub fn item(&self) -> E {
         assert_eq!(self.shape(), (1, 1), "item() requires a 1x1 matrix");
         self.data[0]
     }
 
+    /// Lossless-where-possible conversion to another element type
+    /// (`f32 → f64` is exact; `f64 → f32` rounds to nearest). The one-time
+    /// cost a serving session pays at load to score in its chosen dtype.
+    pub fn cast<F: Elem>(&self) -> MatrixT<F> {
+        MatrixT {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| F::from_f64(x.to_f64())).collect(),
+        }
+    }
+
     /// Element-wise map into a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+    pub fn map(&self, f: impl Fn(E) -> E) -> Self {
         Self {
             rows: self.rows,
             cols: self.cols,
@@ -165,7 +191,7 @@ impl Matrix {
     }
 
     /// Element-wise combination of two equally shaped matrices.
-    pub fn zip_map(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+    pub fn zip_map(&self, other: &Self, f: impl Fn(E, E) -> E) -> Self {
         assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
         Self {
             rows: self.rows,
@@ -195,7 +221,7 @@ impl Matrix {
     }
 
     /// `self * c`, element-wise.
-    pub fn scale(&self, c: f32) -> Self {
+    pub fn scale(&self, c: E) -> Self {
         self.map(|x| x * c)
     }
 
@@ -208,7 +234,7 @@ impl Matrix {
     }
 
     /// In-place `self += c * other`.
-    pub fn add_scaled_assign(&mut self, other: &Self, c: f32) {
+    pub fn add_scaled_assign(&mut self, other: &Self, c: E) {
         assert_eq!(
             self.shape(),
             other.shape(),
@@ -220,14 +246,14 @@ impl Matrix {
     }
 
     /// In-place scaling.
-    pub fn scale_assign(&mut self, c: f32) {
+    pub fn scale_assign(&mut self, c: E) {
         for a in &mut self.data {
             *a *= c;
         }
     }
 
     /// In-place element-wise map (no intermediate allocation).
-    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32) {
+    pub fn map_assign(&mut self, f: impl Fn(E) -> E) {
         for a in &mut self.data {
             *a = f(*a);
         }
@@ -247,7 +273,7 @@ impl Matrix {
 
     /// In-place ReLU.
     pub fn relu_assign(&mut self) {
-        self.map_assign(|x| x.max(0.0));
+        self.map_assign(|x| x.max(E::ZERO));
     }
 
     /// Adds a `1×c` bias row to every row, in place.
@@ -264,7 +290,7 @@ impl Matrix {
 
     /// Sets every element to zero, keeping the allocation.
     pub fn fill_zero(&mut self) {
-        self.data.iter_mut().for_each(|x| *x = 0.0);
+        self.data.iter_mut().for_each(|x| *x = E::ZERO);
     }
 
     /// Matrix product `self @ other`.
@@ -306,6 +332,25 @@ impl Matrix {
         out
     }
 
+    /// [`Matrix::matmul`] on the selected kernel tier: `Exact` is the
+    /// bitwise-pinned kernel, `Fast` the register-tiled fast-math one
+    /// (exact fallback when the `fast-math` feature is not compiled).
+    pub fn matmul_mode(&self, other: &Self, mode: MathMode) -> Self {
+        match mode {
+            MathMode::Exact => self.matmul(other),
+            MathMode::Fast => self.matmul_fast(other),
+        }
+    }
+
+    /// [`Matrix::matmul_mode`] with an explicit worker count, so benches
+    /// can isolate the serial fast-math win from parallel speedup.
+    pub fn matmul_with_threads_mode(&self, other: &Self, threads: usize, mode: MathMode) -> Self {
+        match mode {
+            MathMode::Exact => self.matmul_with_threads(other, threads),
+            MathMode::Fast => self.matmul_fast_with_threads(other, threads),
+        }
+    }
+
     /// Fused `self @ w + bias` where `bias` is a `1×n` row broadcast over
     /// every output row: the affine-layer forward pass in one kernel,
     /// without materialising the un-biased product.
@@ -332,6 +377,16 @@ impl Matrix {
             },
         );
         out
+    }
+
+    /// [`Matrix::matmul_bias`] on the selected kernel tier. The fast tier
+    /// seeds the bias row exactly like the exact kernel and accumulates
+    /// the register tile on top of it.
+    pub fn matmul_bias_mode(&self, w: &Self, bias: &Self, mode: MathMode) -> Self {
+        match mode {
+            MathMode::Exact => self.matmul_bias(w, bias),
+            MathMode::Fast => self.matmul_bias_fast(w, bias),
+        }
     }
 
     /// `self @ other.T` without materialising the transpose.
@@ -367,6 +422,14 @@ impl Matrix {
         out
     }
 
+    /// [`Matrix::matmul_tb`] on the selected kernel tier.
+    pub fn matmul_tb_mode(&self, other: &Self, mode: MathMode) -> Self {
+        match mode {
+            MathMode::Exact => self.matmul_tb(other),
+            MathMode::Fast => self.matmul_tb_fast(other),
+        }
+    }
+
     /// `self.T @ other` without materialising the transpose.
     ///
     /// Parallel over output rows (columns of `self`); each worker streams
@@ -400,6 +463,14 @@ impl Matrix {
         out
     }
 
+    /// [`Matrix::matmul_ta`] on the selected kernel tier.
+    pub fn matmul_ta_mode(&self, other: &Self, mode: MathMode) -> Self {
+        match mode {
+            MathMode::Exact => self.matmul_ta(other),
+            MathMode::Fast => self.matmul_ta_fast(other),
+        }
+    }
+
     /// Transposed copy.
     pub fn transpose(&self) -> Self {
         let mut out = Self::zeros(self.cols, self.rows);
@@ -412,16 +483,16 @@ impl Matrix {
     }
 
     /// Sum of all elements.
-    pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+    pub fn sum(&self) -> E {
+        self.data.iter().copied().sum()
     }
 
     /// Mean of all elements (0 for an empty matrix).
-    pub fn mean(&self) -> f32 {
+    pub fn mean(&self) -> E {
         if self.data.is_empty() {
-            0.0
+            E::ZERO
         } else {
-            self.sum() / self.data.len() as f32
+            self.sum() / E::from_usize(self.data.len())
         }
     }
 
@@ -441,19 +512,19 @@ impl Matrix {
     pub fn mean_rows(&self) -> Self {
         let mut out = self.sum_rows();
         if self.rows > 0 {
-            out.scale_assign(1.0 / self.rows as f32);
+            out.scale_assign(E::ONE / E::from_usize(self.rows));
         }
         out
     }
 
     /// Frobenius norm.
-    pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    pub fn frobenius_norm(&self) -> E {
+        self.data.iter().map(|&x| x * x).sum::<E>().sqrt()
     }
 
     /// Maximum absolute element (0 for an empty matrix).
-    pub fn max_abs(&self) -> f32 {
-        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    pub fn max_abs(&self) -> E {
+        self.data.iter().fold(E::ZERO, |m, &x| m.max(x.abs()))
     }
 
     /// True if any element is NaN or infinite.
@@ -471,7 +542,7 @@ impl Matrix {
     }
 
     /// Vertically stacks matrices that share a column count.
-    pub fn vstack(parts: &[&Matrix]) -> Self {
+    pub fn vstack(parts: &[&MatrixT<E>]) -> Self {
         if parts.is_empty() {
             return Self::zeros(0, 0);
         }
@@ -486,7 +557,7 @@ impl Matrix {
     }
 
     /// Horizontally concatenates matrices that share a row count.
-    pub fn hstack(parts: &[&Matrix]) -> Self {
+    pub fn hstack(parts: &[&MatrixT<E>]) -> Self {
         if parts.is_empty() {
             return Self::zeros(0, 0);
         }
@@ -506,13 +577,139 @@ impl Matrix {
     }
 
     /// `true` when every element differs by at most `tol`.
-    pub fn approx_eq(&self, other: &Self, tol: f32) -> bool {
+    pub fn approx_eq(&self, other: &Self, tol: E) -> bool {
         self.shape() == other.shape()
             && self
                 .data
                 .iter()
                 .zip(&other.data)
                 .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    fn matmul_fast(&self, other: &Self) -> Self {
+        let work = self
+            .rows
+            .saturating_mul(self.cols)
+            .saturating_mul(other.cols);
+        self.matmul_fast_with_threads(other, crate::parallel::threads_for(work))
+    }
+
+    fn matmul_fast_with_threads(&self, other: &Self, threads: usize) -> Self {
+        #[cfg(not(feature = "fast-math"))]
+        {
+            self.matmul_with_threads(other, threads)
+        }
+        #[cfg(feature = "fast-math")]
+        {
+            assert_eq!(
+                self.cols,
+                other.rows,
+                "matmul dims mismatch: {:?} @ {:?}",
+                self.shape(),
+                other.shape()
+            );
+            let mut out = Self::zeros(self.rows, other.cols);
+            crate::parallel::for_each_row_chunk(
+                &mut out.data,
+                self.rows,
+                other.cols,
+                threads,
+                |r0, r1, chunk| fast::matmul_fast_block(self, other, r0, r1, chunk),
+            );
+            out
+        }
+    }
+
+    fn matmul_bias_fast(&self, w: &Self, bias: &Self) -> Self {
+        #[cfg(not(feature = "fast-math"))]
+        {
+            self.matmul_bias(w, bias)
+        }
+        #[cfg(feature = "fast-math")]
+        {
+            assert_eq!(
+                self.cols,
+                w.rows,
+                "matmul_bias dims mismatch: {:?} @ {:?}",
+                self.shape(),
+                w.shape()
+            );
+            assert_eq!(bias.rows, 1, "bias must be a single row");
+            assert_eq!(bias.cols, w.cols, "bias width mismatch");
+            let work = self.rows.saturating_mul(self.cols).saturating_mul(w.cols);
+            let mut out = Self::zeros(self.rows, w.cols);
+            crate::parallel::for_each_row_chunk(
+                &mut out.data,
+                self.rows,
+                w.cols,
+                crate::parallel::threads_for(work),
+                |r0, r1, chunk| {
+                    crate::parallel::seed_rows(chunk, &bias.data);
+                    fast::matmul_fast_block(self, w, r0, r1, chunk);
+                },
+            );
+            out
+        }
+    }
+
+    fn matmul_tb_fast(&self, other: &Self) -> Self {
+        #[cfg(not(feature = "fast-math"))]
+        {
+            self.matmul_tb(other)
+        }
+        #[cfg(feature = "fast-math")]
+        {
+            assert_eq!(
+                self.cols,
+                other.cols,
+                "matmul_tb dims mismatch: {:?} @ {:?}.T",
+                self.shape(),
+                other.shape()
+            );
+            let work = self
+                .rows
+                .saturating_mul(self.cols)
+                .saturating_mul(other.rows);
+            let mut out = Self::zeros(self.rows, other.rows);
+            crate::parallel::for_each_row_chunk(
+                &mut out.data,
+                self.rows,
+                other.rows,
+                crate::parallel::threads_for(work),
+                |r0, r1, chunk| fast::matmul_tb_fast_block(self, other, r0, r1, chunk),
+            );
+            out
+        }
+    }
+
+    fn matmul_ta_fast(&self, other: &Self) -> Self {
+        #[cfg(not(feature = "fast-math"))]
+        {
+            self.matmul_ta(other)
+        }
+        #[cfg(feature = "fast-math")]
+        {
+            assert_eq!(
+                self.rows,
+                other.rows,
+                "matmul_ta dims mismatch: {:?}.T @ {:?}",
+                self.shape(),
+                other.shape()
+            );
+            let work = self
+                .rows
+                .saturating_mul(self.cols)
+                .saturating_mul(other.cols);
+            let mut out = Self::zeros(self.cols, other.cols);
+            crate::parallel::for_each_row_chunk(
+                &mut out.data,
+                self.cols,
+                other.cols,
+                crate::parallel::threads_for(work),
+                |c0, c1, chunk| fast::matmul_ta_fast_block(self, other, c0, c1, chunk),
+            );
+            out
+        }
     }
 }
 
@@ -530,7 +727,7 @@ const ROW_BLOCK: usize = 4;
 /// For every output element the accumulation order over `k` is strictly
 /// increasing and explicit zeros of `a` are skipped, so results are
 /// bitwise identical to [`crate::reference::matmul`].
-fn matmul_block(a: &Matrix, b: &Matrix, r0: usize, r1: usize, chunk: &mut [f32]) {
+fn matmul_block<E: Elem>(a: &MatrixT<E>, b: &MatrixT<E>, r0: usize, r1: usize, chunk: &mut [E]) {
     let k_dim = a.cols;
     let n = b.cols;
     let a_data = &a.data;
@@ -544,7 +741,7 @@ fn matmul_block(a: &Matrix, b: &Matrix, r0: usize, r1: usize, chunk: &mut [f32])
                 let brow = &b_data[k * n..(k + 1) * n];
                 for r in i..i_end {
                     let a_rk = a_data[r * k_dim + k];
-                    if a_rk == 0.0 {
+                    if a_rk == E::ZERO {
                         continue;
                     }
                     let orow = &mut chunk[(r - r0) * n..(r - r0 + 1) * n];
@@ -561,7 +758,7 @@ fn matmul_block(a: &Matrix, b: &Matrix, r0: usize, r1: usize, chunk: &mut [f32])
 /// Computes output rows `[r0, r1)` of `a @ b.T` into `chunk`, four dot
 /// products per pass over `a`'s row. Bitwise identical to
 /// [`crate::reference::matmul_tb`].
-fn matmul_tb_block(a: &Matrix, b: &Matrix, r0: usize, r1: usize, chunk: &mut [f32]) {
+fn matmul_tb_block<E: Elem>(a: &MatrixT<E>, b: &MatrixT<E>, r0: usize, r1: usize, chunk: &mut [E]) {
     let n = b.rows;
     for r in r0..r1 {
         let arow = a.row(r);
@@ -572,7 +769,7 @@ fn matmul_tb_block(a: &Matrix, b: &Matrix, r0: usize, r1: usize, chunk: &mut [f3
             let b1 = b.row(j + 1);
             let b2 = b.row(j + 2);
             let b3 = b.row(j + 3);
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            let (mut s0, mut s1, mut s2, mut s3) = (E::ZERO, E::ZERO, E::ZERO, E::ZERO);
             for (k, &av) in arow.iter().enumerate() {
                 s0 += av * b0[k];
                 s1 += av * b1[k];
@@ -587,7 +784,7 @@ fn matmul_tb_block(a: &Matrix, b: &Matrix, r0: usize, r1: usize, chunk: &mut [f3
         }
         for (jj, o) in orow.iter_mut().enumerate().take(n).skip(j) {
             let brow = b.row(jj);
-            let mut acc = 0.0f32;
+            let mut acc = E::ZERO;
             for (&av, &bv) in arow.iter().zip(brow) {
                 acc += av * bv;
             }
@@ -600,7 +797,7 @@ fn matmul_tb_block(a: &Matrix, b: &Matrix, r0: usize, r1: usize, chunk: &mut [f3
 /// streams all of `a`/`b` but scatter-adds only into its own column band,
 /// keeping the per-element accumulation order over `i` identical to
 /// [`crate::reference::matmul_ta`].
-fn matmul_ta_block(a: &Matrix, b: &Matrix, c0: usize, c1: usize, chunk: &mut [f32]) {
+fn matmul_ta_block<E: Elem>(a: &MatrixT<E>, b: &MatrixT<E>, c0: usize, c1: usize, chunk: &mut [E]) {
     let k_dim = a.cols;
     let n = b.cols;
     for i in 0..a.rows {
@@ -608,7 +805,7 @@ fn matmul_ta_block(a: &Matrix, b: &Matrix, c0: usize, c1: usize, chunk: &mut [f3
         let brow = &b.data[i * n..(i + 1) * n];
         for c in c0..c1 {
             let v = arow[c];
-            if v == 0.0 {
+            if v == E::ZERO {
                 continue;
             }
             let orow = &mut chunk[(c - c0) * n..(c - c0 + 1) * n];
@@ -619,7 +816,217 @@ fn matmul_ta_block(a: &Matrix, b: &Matrix, c0: usize, c1: usize, chunk: &mut [f3
     }
 }
 
-impl fmt::Debug for Matrix {
+/// The fast-math kernel tier: register-tiled / multi-accumulator variants
+/// that trade the bitwise accumulation-order contract for vectorisable
+/// inner loops. Selected at runtime via [`MathMode::Fast`]; results are
+/// pinned to the reference within relative-error bounds by
+/// `tests/fast_math.rs`.
+#[cfg(feature = "fast-math")]
+mod fast {
+    use super::{Elem, MatrixT};
+
+    /// Register-tile height: output rows held in accumulators at once.
+    const MR: usize = 4;
+    /// Register-tile width: output columns held in accumulators at once.
+    /// `MR × NR = 32` independent partial sums live across the entire
+    /// k-loop, so the C-row traffic of the exact kernel (one load+store
+    /// per element per k) collapses to one load+store per element total.
+    const NR: usize = 16;
+
+    /// Fast `a @ b` over output rows `[r0, r1)`. `chunk` may be
+    /// pre-seeded (bias); the tile initialises from it and accumulates.
+    ///
+    /// The full-tile path is written with constant trip counts (`MR`
+    /// separate accumulator arrays, `NR`-bound inner loops) so LLVM fully
+    /// unrolls it and promotes the whole 4×8 tile to vector registers —
+    /// an accumulator array indexed by a runtime-bounded loop gets
+    /// spilled to the stack instead, which costs the entire speedup.
+    /// Interleaving the row-major `b` at stride `n` straight into the
+    /// tile loop costs L1 conflict misses (for GNN-sized `n` the stride
+    /// maps every B row onto a handful of cache sets), so each `NR`-wide
+    /// column panel of `b` is first packed contiguously (`k_dim × NR`,
+    /// a few KB — L1-resident) and then reused across every row tile of
+    /// the chunk, which amortises the packing pass `(r1-r0)/MR` times.
+    pub(super) fn matmul_fast_block<E: Elem>(
+        a: &MatrixT<E>,
+        b: &MatrixT<E>,
+        r0: usize,
+        r1: usize,
+        chunk: &mut [E],
+    ) {
+        let k_dim = a.cols;
+        let n = b.cols;
+        let a_data = &a.data;
+        let b_data = &b.data;
+        let mut packed = vec![E::ZERO; k_dim * NR];
+        let mut j = 0;
+        while j + NR <= n {
+            for k in 0..k_dim {
+                packed[k * NR..(k + 1) * NR].copy_from_slice(&b_data[k * n + j..k * n + j + NR]);
+            }
+            let mut i = r0;
+            while i + MR <= r1 {
+                let a0 = &a_data[i * k_dim..(i + 1) * k_dim];
+                let a1 = &a_data[(i + 1) * k_dim..(i + 2) * k_dim];
+                let a2 = &a_data[(i + 2) * k_dim..(i + 3) * k_dim];
+                let a3 = &a_data[(i + 3) * k_dim..(i + 4) * k_dim];
+                // 4×8 register tile, seeded from the (possibly
+                // bias-initialised) output, held across the full k loop.
+                let mut c0 = [E::ZERO; NR];
+                let mut c1 = [E::ZERO; NR];
+                let mut c2 = [E::ZERO; NR];
+                let mut c3 = [E::ZERO; NR];
+                c0.copy_from_slice(&chunk[(i - r0) * n + j..(i - r0) * n + j + NR]);
+                c1.copy_from_slice(&chunk[(i - r0 + 1) * n + j..(i - r0 + 1) * n + j + NR]);
+                c2.copy_from_slice(&chunk[(i - r0 + 2) * n + j..(i - r0 + 2) * n + j + NR]);
+                c3.copy_from_slice(&chunk[(i - r0 + 3) * n + j..(i - r0 + 3) * n + j + NR]);
+                for k in 0..k_dim {
+                    let brow = &packed[k * NR..(k + 1) * NR];
+                    let (v0, v1, v2, v3) = (a0[k], a1[k], a2[k], a3[k]);
+                    for l in 0..NR {
+                        c0[l] += v0 * brow[l];
+                        c1[l] += v1 * brow[l];
+                        c2[l] += v2 * brow[l];
+                        c3[l] += v3 * brow[l];
+                    }
+                }
+                chunk[(i - r0) * n + j..(i - r0) * n + j + NR].copy_from_slice(&c0);
+                chunk[(i - r0 + 1) * n + j..(i - r0 + 1) * n + j + NR].copy_from_slice(&c1);
+                chunk[(i - r0 + 2) * n + j..(i - r0 + 2) * n + j + NR].copy_from_slice(&c2);
+                chunk[(i - r0 + 3) * n + j..(i - r0 + 3) * n + j + NR].copy_from_slice(&c3);
+                i += MR;
+            }
+            // Row remainder (< MR rows): single-row register tile on the
+            // same packed panel.
+            for ii in i..r1 {
+                let arow = &a_data[ii * k_dim..(ii + 1) * k_dim];
+                let mut c0 = [E::ZERO; NR];
+                c0.copy_from_slice(&chunk[(ii - r0) * n + j..(ii - r0) * n + j + NR]);
+                for (k, &av) in arow.iter().enumerate() {
+                    let brow = &packed[k * NR..(k + 1) * NR];
+                    for l in 0..NR {
+                        c0[l] += av * brow[l];
+                    }
+                }
+                chunk[(ii - r0) * n + j..(ii - r0) * n + j + NR].copy_from_slice(&c0);
+            }
+            j += NR;
+        }
+        // Column remainder (< NR columns): one register accumulator per
+        // element, held across the whole k loop.
+        for jj in j..n {
+            for r in r0..r1 {
+                let arow = &a_data[r * k_dim..(r + 1) * k_dim];
+                let mut acc = chunk[(r - r0) * n + jj];
+                for (k, &av) in arow.iter().enumerate() {
+                    acc += av * b_data[k * n + jj];
+                }
+                chunk[(r - r0) * n + jj] = acc;
+            }
+        }
+    }
+
+    /// Fast `a @ b.T` over output rows `[r0, r1)`: a 4-wide j-tile of dot
+    /// products, each split across 4 independent k-lanes (16 partial sums
+    /// in flight), reduced lane-wise at the end.
+    pub(super) fn matmul_tb_fast_block<E: Elem>(
+        a: &MatrixT<E>,
+        b: &MatrixT<E>,
+        r0: usize,
+        r1: usize,
+        chunk: &mut [E],
+    ) {
+        let n = b.rows;
+        let k_dim = a.cols;
+        for r in r0..r1 {
+            let arow = a.row(r);
+            let orow = &mut chunk[(r - r0) * n..(r - r0 + 1) * n];
+            let mut j = 0;
+            while j + 4 <= n {
+                let rows = [b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3)];
+                let mut lanes = [[E::ZERO; 4]; 4];
+                let mut k = 0;
+                while k + 4 <= k_dim {
+                    for (d, brow) in rows.iter().enumerate() {
+                        for (l, lane) in lanes[d].iter_mut().enumerate() {
+                            *lane += arow[k + l] * brow[k + l];
+                        }
+                    }
+                    k += 4;
+                }
+                for (d, o) in orow[j..j + 4].iter_mut().enumerate() {
+                    let mut acc = (lanes[d][0] + lanes[d][1]) + (lanes[d][2] + lanes[d][3]);
+                    for kk in k..k_dim {
+                        acc += arow[kk] * rows[d][kk];
+                    }
+                    *o = acc;
+                }
+                j += 4;
+            }
+            for (jj, o) in orow.iter_mut().enumerate().take(n).skip(j) {
+                let brow = b.row(jj);
+                let mut acc = E::ZERO;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *o = acc;
+            }
+        }
+    }
+
+    /// Fast `a.T @ b` over output rows `[c0, c1)`: four `i`-rows fused
+    /// per pass, so every output row is loaded/stored once per 4 inputs
+    /// and the inner loop carries 4 independent products per element.
+    pub(super) fn matmul_ta_fast_block<E: Elem>(
+        a: &MatrixT<E>,
+        b: &MatrixT<E>,
+        c0: usize,
+        c1: usize,
+        chunk: &mut [E],
+    ) {
+        let k_dim = a.cols;
+        let n = b.cols;
+        let rows = a.rows;
+        let mut i = 0;
+        while i + 4 <= rows {
+            let a0 = &a.data[i * k_dim..(i + 1) * k_dim];
+            let a1 = &a.data[(i + 1) * k_dim..(i + 2) * k_dim];
+            let a2 = &a.data[(i + 2) * k_dim..(i + 3) * k_dim];
+            let a3 = &a.data[(i + 3) * k_dim..(i + 4) * k_dim];
+            let b0 = &b.data[i * n..(i + 1) * n];
+            let b1 = &b.data[(i + 1) * n..(i + 2) * n];
+            let b2 = &b.data[(i + 2) * n..(i + 3) * n];
+            let b3 = &b.data[(i + 3) * n..(i + 4) * n];
+            for c in c0..c1 {
+                let (v0, v1, v2, v3) = (a0[c], a1[c], a2[c], a3[c]);
+                if v0 == E::ZERO && v1 == E::ZERO && v2 == E::ZERO && v3 == E::ZERO {
+                    continue;
+                }
+                let orow = &mut chunk[(c - c0) * n..(c - c0 + 1) * n];
+                for (jj, o) in orow.iter_mut().enumerate() {
+                    *o += (v0 * b0[jj] + v1 * b1[jj]) + (v2 * b2[jj] + v3 * b3[jj]);
+                }
+            }
+            i += 4;
+        }
+        for ii in i..rows {
+            let arow = &a.data[ii * k_dim..(ii + 1) * k_dim];
+            let brow = &b.data[ii * n..(ii + 1) * n];
+            for c in c0..c1 {
+                let v = arow[c];
+                if v == E::ZERO {
+                    continue;
+                }
+                let orow = &mut chunk[(c - c0) * n..(c - c0 + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += v * bv;
+                }
+            }
+        }
+    }
+}
+
+impl<E: Elem> fmt::Debug for MatrixT<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
         let max_rows = 8.min(self.rows);
@@ -760,5 +1167,47 @@ mod tests {
         assert!(!a.has_non_finite());
         a.set(0, 1, f32::NAN);
         assert!(a.has_non_finite());
+    }
+
+    #[test]
+    fn f64_matrix_shares_the_kernel_surface() {
+        let a: MatrixT<f64> = MatrixT::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b: MatrixT<f64> = MatrixT::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+        assert_eq!(a.mean_rows().as_slice(), &[2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn cast_round_trips_f32_exactly() {
+        let a = Matrix::from_vec(2, 2, vec![0.1, -2.5, 3.75, 1e-20]);
+        let up: MatrixT<f64> = a.cast();
+        let back: Matrix = up.cast();
+        // f32 → f64 is exact, and rounding back recovers the original.
+        assert_eq!(back.as_slice(), a.as_slice());
+        assert_eq!(up.get(0, 1), -2.5f64);
+    }
+
+    #[test]
+    fn mode_entry_points_cover_all_products() {
+        // Exact mode must be bit-identical to the default entry points in
+        // any build; fast mode must agree within rounding.
+        let a = Matrix::from_vec(3, 5, (0..15).map(|i| i as f32 * 0.31 - 2.0).collect());
+        let b = Matrix::from_vec(5, 4, (0..20).map(|i| i as f32 * 0.17 - 1.5).collect());
+        let bias = Matrix::from_vec(1, 4, vec![0.5, -0.25, 1.0, 0.0]);
+        let bt = Matrix::from_vec(4, 5, (0..20).map(|i| i as f32 * 0.13 - 1.2).collect());
+        let ta_b = Matrix::from_vec(3, 4, (0..12).map(|i| i as f32 * 0.21 - 1.1).collect());
+        for mode in [MathMode::Exact, MathMode::Fast] {
+            assert!(a.matmul_mode(&b, mode).approx_eq(&a.matmul(&b), 1e-4));
+            assert!(a
+                .matmul_bias_mode(&b, &bias, mode)
+                .approx_eq(&a.matmul_bias(&b, &bias), 1e-4));
+            assert!(a
+                .matmul_tb_mode(&bt, mode)
+                .approx_eq(&a.matmul_tb(&bt), 1e-4));
+            assert!(a
+                .matmul_ta_mode(&ta_b, mode)
+                .approx_eq(&a.matmul_ta(&ta_b), 1e-4));
+        }
     }
 }

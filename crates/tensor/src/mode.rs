@@ -1,0 +1,54 @@
+//! Runtime selection between the exact and fast-math kernel tiers.
+//!
+//! The optimised kernels in [`crate::matrix`] / [`crate::sparse`] are
+//! pinned bitwise to [`crate::reference`]: same per-element accumulation
+//! order, same explicit-zero skip. That contract forbids the two
+//! transformations a vectoriser needs most — multiple independent partial
+//! sums per output and register-tiled accumulation — so a second tier
+//! exists behind the `fast-math` cargo feature.
+//!
+//! Selection is **runtime**, not compile-time: every kernel has a
+//! `*_mode` entry point taking a [`MathMode`], so a binary built with
+//! `fast-math` still reproduces exact results when asked (`cgnp serve
+//! --exact`) without a rebuild. When the feature is not compiled in,
+//! [`MathMode::Fast`] silently falls back to the exact kernels — same
+//! results, no speedup — which keeps the default workspace build and its
+//! bitwise test suite entirely unaffected by fast-math code.
+
+/// Which kernel tier a computation runs on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MathMode {
+    /// Bitwise-reproducible kernels (identical to [`crate::reference`]).
+    /// The default everywhere: training, gradcheck, and any session that
+    /// did not opt in to fast math.
+    #[default]
+    Exact,
+    /// Multi-accumulator / register-tiled kernels. Results differ from
+    /// exact only by floating-point reassociation (property-tested
+    /// relative-error bounds, see `tests/fast_math.rs`). Falls back to
+    /// [`MathMode::Exact`] when the `fast-math` feature is not compiled.
+    Fast,
+}
+
+impl MathMode {
+    /// The CLI / JSON spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MathMode::Exact => "exact",
+            MathMode::Fast => "fast",
+        }
+    }
+}
+
+impl std::fmt::Display for MathMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// True when this build carries the fast-math kernel tier. When false,
+/// [`MathMode::Fast`] is accepted everywhere but behaves exactly like
+/// [`MathMode::Exact`].
+pub const fn fast_math_compiled() -> bool {
+    cfg!(feature = "fast-math")
+}

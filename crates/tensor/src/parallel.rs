@@ -32,21 +32,27 @@ pub(crate) const PAR_MIN_WORK: usize = 1 << 16;
 /// row ranges computed serially, property-tested across thread counts).
 const PAR_MIN_CHUNK_WORK: usize = 1 << 15;
 
-/// Minimum output rows per worker chunk.
-const MIN_ROWS_PER_CHUNK: usize = 4;
+/// Minimum output rows per worker chunk. Chunk boundaries never affect
+/// results (disjoint row ranges), so this is purely a dispatch-overhead
+/// knob: 8 rows keeps a chunk's spawn cost under ~3% of its work for the
+/// row widths the GNN layers use, and stops tiny matrices from fanning
+/// out at all (the `rows_1t` regression was chunked dispatch paying for
+/// itself on a kernel that never went parallel).
+const MIN_ROWS_PER_CHUNK: usize = 8;
 
 /// Splits `out` (row-major, `n_rows × row_w`) into contiguous row chunks
 /// and runs `f(row_begin, row_end, chunk)` on each, in parallel when
 /// `threads > 1` and the row count permits. `f` must only depend on the
 /// row range it is given.
-pub(crate) fn for_each_row_chunk<F>(
-    out: &mut [f32],
+pub(crate) fn for_each_row_chunk<E, F>(
+    out: &mut [E],
     n_rows: usize,
     row_w: usize,
     threads: usize,
     f: F,
 ) where
-    F: Fn(usize, usize, &mut [f32]) + Sync,
+    E: Send,
+    F: Fn(usize, usize, &mut [E]) + Sync,
 {
     debug_assert_eq!(out.len(), n_rows * row_w);
     let n_chunks = threads.min(n_rows.div_ceil(MIN_ROWS_PER_CHUNK)).max(1);
@@ -71,7 +77,7 @@ pub(crate) fn for_each_row_chunk<F>(
 
 /// Seeds every `row.len()`-wide row of `out` with a copy of `row` (the
 /// broadcast-bias initialisation shared by the fused `*_bias` kernels).
-pub(crate) fn seed_rows(out: &mut [f32], row: &[f32]) {
+pub(crate) fn seed_rows<E: Copy>(out: &mut [E], row: &[E]) {
     if row.is_empty() {
         return;
     }

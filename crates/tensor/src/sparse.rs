@@ -5,12 +5,19 @@
 //! this is the hottest kernel in the system. The CSR is immutable after
 //! construction; [`SparseOperator`] additionally precomputes the transpose so
 //! the autodiff backward pass (`dX = Sᵀ · dY`) never rebuilds it.
+//!
+//! Like the dense side, storage is generic over the element type
+//! ([`CsrMatrixT<E>`]) with the [`CsrMatrix`] alias pinning the training
+//! stack to `f32`, and every product kernel has a `*_mode` entry point
+//! selecting the exact or fast-math tier at runtime.
 
-use crate::matrix::Matrix;
+use crate::elem::Elem;
+use crate::matrix::MatrixT;
+use crate::mode::MathMode;
 
-/// An immutable CSR sparse matrix.
+/// An immutable CSR sparse matrix over elements of type `E`.
 #[derive(Clone, Debug, PartialEq)]
-pub struct CsrMatrix {
+pub struct CsrMatrixT<E> {
     n_rows: usize,
     n_cols: usize,
     /// Row pointer array of length `n_rows + 1`.
@@ -18,16 +25,19 @@ pub struct CsrMatrix {
     /// Column indices, grouped by row.
     indices: Vec<usize>,
     /// Values aligned with `indices`.
-    values: Vec<f32>,
+    values: Vec<E>,
 }
 
-impl CsrMatrix {
+/// The exact/training dtype (see [`crate::Matrix`]).
+pub type CsrMatrix = CsrMatrixT<f32>;
+
+impl<E: Elem> CsrMatrixT<E> {
     /// Builds a CSR matrix from unsorted COO triplets. Duplicate entries are
     /// summed.
     ///
     /// # Panics
     /// Panics if any index is out of bounds.
-    pub fn from_triplets(n_rows: usize, n_cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+    pub fn from_triplets(n_rows: usize, n_cols: usize, triplets: &[(usize, usize, E)]) -> Self {
         for &(r, c, _) in triplets {
             assert!(r < n_rows && c < n_cols, "triplet ({r},{c}) out of bounds");
         }
@@ -40,7 +50,7 @@ impl CsrMatrix {
             counts[i + 1] += counts[i];
         }
         let mut cols = vec![0usize; triplets.len()];
-        let mut vals = vec![0f32; triplets.len()];
+        let mut vals = vec![E::ZERO; triplets.len()];
         let mut cursor = counts.clone();
         for &(r, c, v) in triplets {
             let pos = cursor[r];
@@ -53,7 +63,7 @@ impl CsrMatrix {
         let mut indices = Vec::with_capacity(triplets.len());
         let mut values = Vec::with_capacity(triplets.len());
         indptr.push(0);
-        let mut row_buf: Vec<(usize, f32)> = Vec::new();
+        let mut row_buf: Vec<(usize, E)> = Vec::new();
         for r in 0..n_rows {
             row_buf.clear();
             for i in counts[r]..counts[r + 1] {
@@ -90,7 +100,7 @@ impl CsrMatrix {
             n_cols: n,
             indptr: (0..=n).collect(),
             indices: (0..n).collect(),
-            values: vec![1.0; n],
+            values: vec![E::ONE; n],
         }
     }
 
@@ -111,12 +121,28 @@ impl CsrMatrix {
     }
 
     /// `(column, value)` pairs of row `r`.
-    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, E)> + '_ {
         let span = self.indptr[r]..self.indptr[r + 1];
         self.indices[span.clone()]
             .iter()
             .copied()
             .zip(self.values[span].iter().copied())
+    }
+
+    /// Structure-preserving dtype conversion (values cast, index arrays
+    /// shared bitwise). See [`MatrixT::cast`].
+    pub fn cast<F: Elem>(&self) -> CsrMatrixT<F> {
+        CsrMatrixT {
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            values: self
+                .values
+                .iter()
+                .map(|&v| F::from_f64(v.to_f64()))
+                .collect(),
+        }
     }
 
     /// Sparse × dense product `self @ x`.
@@ -127,13 +153,13 @@ impl CsrMatrix {
     ///
     /// # Panics
     /// Panics on dimension mismatch.
-    pub fn spmm(&self, x: &Matrix) -> Matrix {
+    pub fn spmm(&self, x: &MatrixT<E>) -> MatrixT<E> {
         let work = self.nnz().saturating_mul(x.cols());
         self.spmm_with_threads(x, crate::parallel::threads_for(work))
     }
 
     /// [`CsrMatrix::spmm`] with an explicit worker count (tests/benches).
-    pub fn spmm_with_threads(&self, x: &Matrix, threads: usize) -> Matrix {
+    pub fn spmm_with_threads(&self, x: &MatrixT<E>, threads: usize) -> MatrixT<E> {
         assert_eq!(
             self.n_cols,
             x.rows(),
@@ -143,7 +169,13 @@ impl CsrMatrix {
             x.shape()
         );
         let cols = x.cols();
-        let mut out = Matrix::zeros(self.n_rows, cols);
+        let mut out = MatrixT::zeros(self.n_rows, cols);
+        if threads <= 1 {
+            // Serial fast-path: skip the chunked dispatch machinery
+            // entirely so the single-thread spmm costs exactly one call.
+            self.spmm_rows(x, 0, self.n_rows, out.as_mut_slice());
+            return out;
+        }
         crate::parallel::for_each_row_chunk(
             out.as_mut_slice(),
             self.n_rows,
@@ -154,9 +186,32 @@ impl CsrMatrix {
         out
     }
 
+    /// [`CsrMatrix::spmm`] on the selected kernel tier (see
+    /// [`MatrixT::matmul_mode`]).
+    pub fn spmm_mode(&self, x: &MatrixT<E>, mode: MathMode) -> MatrixT<E> {
+        match mode {
+            MathMode::Exact => self.spmm(x),
+            MathMode::Fast => self.spmm_fast(x),
+        }
+    }
+
+    /// [`CsrMatrix::spmm_mode`] with an explicit worker count, so benches
+    /// can isolate the serial fast-math win from parallel speedup.
+    pub fn spmm_with_threads_mode(
+        &self,
+        x: &MatrixT<E>,
+        threads: usize,
+        mode: MathMode,
+    ) -> MatrixT<E> {
+        match mode {
+            MathMode::Exact => self.spmm_with_threads(x, threads),
+            MathMode::Fast => self.spmm_fast_with_threads(x, threads),
+        }
+    }
+
     /// Fused `self @ x + bias` with a `1×cols` bias row broadcast over
     /// every output row (the GCN layer's `Â (H W) + b` in one kernel).
-    pub fn spmm_bias(&self, x: &Matrix, bias: &Matrix) -> Matrix {
+    pub fn spmm_bias(&self, x: &MatrixT<E>, bias: &MatrixT<E>) -> MatrixT<E> {
         assert_eq!(
             self.n_cols,
             x.rows(),
@@ -169,7 +224,7 @@ impl CsrMatrix {
         assert_eq!(bias.cols(), x.cols(), "bias width mismatch");
         let cols = x.cols();
         let work = self.nnz().saturating_mul(cols);
-        let mut out = Matrix::zeros(self.n_rows, cols);
+        let mut out = MatrixT::zeros(self.n_rows, cols);
         crate::parallel::for_each_row_chunk(
             out.as_mut_slice(),
             self.n_rows,
@@ -183,14 +238,26 @@ impl CsrMatrix {
         out
     }
 
+    /// [`CsrMatrix::spmm_bias`] on the selected kernel tier.
+    pub fn spmm_bias_mode(&self, x: &MatrixT<E>, bias: &MatrixT<E>, mode: MathMode) -> MatrixT<E> {
+        match mode {
+            MathMode::Exact => self.spmm_bias(x, bias),
+            MathMode::Fast => self.spmm_bias_fast(x, bias),
+        }
+    }
+
     /// Accumulates rows `[r0, r1)` of `self @ x` into `chunk`.
-    fn spmm_rows(&self, x: &Matrix, r0: usize, r1: usize, chunk: &mut [f32]) {
+    fn spmm_rows(&self, x: &MatrixT<E>, r0: usize, r1: usize, chunk: &mut [E]) {
         let cols = x.cols();
+        // Hoist the CSR arrays so the inner loop indexes local slices the
+        // optimiser can bounds-check once per row instead of per nonzero.
+        let indptr = &self.indptr[r0..=r1];
         for r in r0..r1 {
             let orow = &mut chunk[(r - r0) * cols..(r - r0 + 1) * cols];
-            for i in self.indptr[r]..self.indptr[r + 1] {
-                let c = self.indices[i];
-                let v = self.values[i];
+            let span = indptr[r - r0]..indptr[r - r0 + 1];
+            let idx = &self.indices[span.clone()];
+            let val = &self.values[span];
+            for (&c, &v) in idx.iter().zip(val) {
                 let xrow = x.row(c);
                 for (o, &xv) in orow.iter_mut().zip(xrow) {
                     *o += v * xv;
@@ -203,17 +270,17 @@ impl CsrMatrix {
     ///
     /// Rayon-parallel over row chunks; per-row dot products stay serial,
     /// so results are bitwise identical to [`crate::reference::spmv`].
-    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+    pub fn spmv(&self, x: &[E]) -> Vec<E> {
         self.spmv_with_threads(x, crate::parallel::threads_for(self.nnz()))
     }
 
     /// [`CsrMatrix::spmv`] with an explicit worker count (tests/benches).
-    pub fn spmv_with_threads(&self, x: &[f32], threads: usize) -> Vec<f32> {
+    pub fn spmv_with_threads(&self, x: &[E], threads: usize) -> Vec<E> {
         assert_eq!(self.n_cols, x.len(), "spmv dims mismatch");
-        let mut out = vec![0.0; self.n_rows];
+        let mut out = vec![E::ZERO; self.n_rows];
         crate::parallel::for_each_row_chunk(&mut out, self.n_rows, 1, threads, |r0, r1, chunk| {
             for r in r0..r1 {
-                let mut acc = 0.0;
+                let mut acc = E::ZERO;
                 for i in self.indptr[r]..self.indptr[r + 1] {
                     acc += self.values[i] * x[self.indices[i]];
                 }
@@ -221,6 +288,157 @@ impl CsrMatrix {
             }
         });
         out
+    }
+
+    /// [`CsrMatrix::spmv`] on the selected kernel tier.
+    pub fn spmv_mode(&self, x: &[E], mode: MathMode) -> Vec<E> {
+        match mode {
+            MathMode::Exact => self.spmv(x),
+            MathMode::Fast => self.spmv_fast(x),
+        }
+    }
+
+    fn spmm_fast(&self, x: &MatrixT<E>) -> MatrixT<E> {
+        let work = self.nnz().saturating_mul(x.cols());
+        self.spmm_fast_with_threads(x, crate::parallel::threads_for(work))
+    }
+
+    fn spmm_fast_with_threads(&self, x: &MatrixT<E>, threads: usize) -> MatrixT<E> {
+        #[cfg(not(feature = "fast-math"))]
+        {
+            self.spmm_with_threads(x, threads)
+        }
+        #[cfg(feature = "fast-math")]
+        {
+            assert_eq!(
+                self.n_cols,
+                x.rows(),
+                "spmm dims mismatch: {}x{} @ {:?}",
+                self.n_rows,
+                self.n_cols,
+                x.shape()
+            );
+            let cols = x.cols();
+            let mut out = MatrixT::zeros(self.n_rows, cols);
+            if threads <= 1 {
+                self.spmm_rows_fast(x, 0, self.n_rows, out.as_mut_slice());
+                return out;
+            }
+            crate::parallel::for_each_row_chunk(
+                out.as_mut_slice(),
+                self.n_rows,
+                cols,
+                threads,
+                |r0, r1, chunk| self.spmm_rows_fast(x, r0, r1, chunk),
+            );
+            out
+        }
+    }
+
+    fn spmm_bias_fast(&self, x: &MatrixT<E>, bias: &MatrixT<E>) -> MatrixT<E> {
+        #[cfg(not(feature = "fast-math"))]
+        {
+            self.spmm_bias(x, bias)
+        }
+        #[cfg(feature = "fast-math")]
+        {
+            assert_eq!(
+                self.n_cols,
+                x.rows(),
+                "spmm_bias dims mismatch: {}x{} @ {:?}",
+                self.n_rows,
+                self.n_cols,
+                x.shape()
+            );
+            assert_eq!(bias.rows(), 1, "bias must be a single row");
+            assert_eq!(bias.cols(), x.cols(), "bias width mismatch");
+            let cols = x.cols();
+            let work = self.nnz().saturating_mul(cols);
+            let mut out = MatrixT::zeros(self.n_rows, cols);
+            crate::parallel::for_each_row_chunk(
+                out.as_mut_slice(),
+                self.n_rows,
+                cols,
+                crate::parallel::threads_for(work),
+                |r0, r1, chunk| {
+                    crate::parallel::seed_rows(chunk, bias.as_slice());
+                    self.spmm_rows_fast(x, r0, r1, chunk);
+                },
+            );
+            out
+        }
+    }
+
+    /// Fast-tier spmm rows: four nonzeros fused per pass over the output
+    /// row, so each output element carries four independent products per
+    /// iteration and the row is loaded/stored once per 4 nonzeros.
+    #[cfg(feature = "fast-math")]
+    fn spmm_rows_fast(&self, x: &MatrixT<E>, r0: usize, r1: usize, chunk: &mut [E]) {
+        let cols = x.cols();
+        for r in r0..r1 {
+            let orow = &mut chunk[(r - r0) * cols..(r - r0 + 1) * cols];
+            let span = self.indptr[r]..self.indptr[r + 1];
+            let idx = &self.indices[span.clone()];
+            let val = &self.values[span];
+            let mut i = 0;
+            while i + 4 <= idx.len() {
+                let (v0, v1, v2, v3) = (val[i], val[i + 1], val[i + 2], val[i + 3]);
+                // Re-slice every operand to the output width so the
+                // optimiser proves all five ranges once and vectorises
+                // the fused loop; indexed access on the raw rows keeps a
+                // bounds check per element and stays scalar.
+                let x0 = &x.row(idx[i])[..cols];
+                let x1 = &x.row(idx[i + 1])[..cols];
+                let x2 = &x.row(idx[i + 2])[..cols];
+                let x3 = &x.row(idx[i + 3])[..cols];
+                let orow = &mut orow[..cols];
+                for j in 0..cols {
+                    orow[j] += (v0 * x0[j] + v1 * x1[j]) + (v2 * x2[j] + v3 * x3[j]);
+                }
+                i += 4;
+            }
+            for ii in i..idx.len() {
+                let v = val[ii];
+                let xrow = x.row(idx[ii]);
+                for (o, &xv) in orow.iter_mut().zip(xrow) {
+                    *o += v * xv;
+                }
+            }
+        }
+    }
+
+    #[cfg(feature = "fast-math")]
+    fn spmv_fast(&self, x: &[E]) -> Vec<E> {
+        assert_eq!(self.n_cols, x.len(), "spmv dims mismatch");
+        let mut out = vec![E::ZERO; self.n_rows];
+        let threads = crate::parallel::threads_for(self.nnz());
+        crate::parallel::for_each_row_chunk(&mut out, self.n_rows, 1, threads, |r0, r1, chunk| {
+            for r in r0..r1 {
+                let span = self.indptr[r]..self.indptr[r + 1];
+                let idx = &self.indices[span.clone()];
+                let val = &self.values[span];
+                // Four independent accumulators over the nonzeros.
+                let mut acc = [E::ZERO; 4];
+                let mut i = 0;
+                while i + 4 <= idx.len() {
+                    for (l, a) in acc.iter_mut().enumerate() {
+                        *a += val[i + l] * x[idx[i + l]];
+                    }
+                    i += 4;
+                }
+                let mut tail = E::ZERO;
+                for ii in i..idx.len() {
+                    tail += val[ii] * x[idx[ii]];
+                }
+                chunk[r - r0] = (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail;
+            }
+        });
+        out
+    }
+
+    #[cfg(not(feature = "fast-math"))]
+    fn spmv_fast(&self, x: &[E]) -> Vec<E> {
+        self.spmv(x)
     }
 
     /// Transposed copy (CSC of `self` re-expressed as CSR).
@@ -233,7 +451,7 @@ impl CsrMatrix {
             counts[i + 1] += counts[i];
         }
         let mut indices = vec![0usize; self.nnz()];
-        let mut values = vec![0f32; self.nnz()];
+        let mut values = vec![E::ZERO; self.nnz()];
         let mut cursor = counts.clone();
         for r in 0..self.n_rows {
             for i in self.indptr[r]..self.indptr[r + 1] {
@@ -254,8 +472,8 @@ impl CsrMatrix {
     }
 
     /// Densifies; intended for tests and debugging only.
-    pub fn to_dense(&self) -> Matrix {
-        let mut m = Matrix::zeros(self.n_rows, self.n_cols);
+    pub fn to_dense(&self) -> MatrixT<E> {
+        let mut m = MatrixT::zeros(self.n_rows, self.n_cols);
         for r in 0..self.n_rows {
             let row = m.row_mut(r);
             for (c, v) in self.row_iter(r) {
@@ -280,7 +498,7 @@ impl CsrMatrix {
         &self,
         n_rows: usize,
         n_cols: usize,
-        updates: &std::collections::HashMap<usize, Vec<(usize, f32)>>,
+        updates: &std::collections::HashMap<usize, Vec<(usize, E)>>,
     ) -> Self {
         assert!(
             n_rows >= self.n_rows && n_cols >= self.n_cols,
@@ -327,7 +545,7 @@ impl CsrMatrix {
     }
 
     /// True when the matrix equals its transpose (structure and values).
-    pub fn is_symmetric(&self, tol: f32) -> bool {
+    pub fn is_symmetric(&self, tol: E) -> bool {
         if self.n_rows != self.n_cols {
             return false;
         }
@@ -348,6 +566,8 @@ impl CsrMatrix {
 /// For the symmetric normalised adjacency used by GCN the transpose equals
 /// the operator itself, but e.g. the row-normalised mean aggregator of
 /// GraphSAGE is not symmetric, so the transpose is always materialised.
+/// Pinned to the training dtype: dtype-dispatched serving casts the
+/// forward CSR once at load instead (see [`CsrMatrixT::cast`]).
 #[derive(Clone, Debug)]
 pub struct SparseOperator {
     forward: CsrMatrix,
@@ -404,6 +624,7 @@ impl SparseOperator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::Matrix;
 
     fn sample() -> CsrMatrix {
         // [[0, 2, 0],
@@ -534,5 +755,43 @@ mod tests {
     fn operator_epoch_tagging() {
         assert_eq!(SparseOperator::new(sample()).epoch(), 0);
         assert_eq!(SparseOperator::at_epoch(sample(), 7).epoch(), 7);
+    }
+
+    #[test]
+    fn cast_preserves_structure_and_values() {
+        let s = sample();
+        let up: CsrMatrixT<f64> = s.cast();
+        assert_eq!(up.nnz(), s.nnz());
+        assert_eq!(
+            up.row_iter(1).collect::<Vec<_>>(),
+            vec![(0usize, 1.0f64), (2, 3.0)]
+        );
+        let back: CsrMatrix = up.cast();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn spmm_mode_agrees_across_tiers() {
+        // A row with >4 nonzeros so the fast kernel's unrolled body runs.
+        let mut triplets = Vec::new();
+        for c in 0..7 {
+            triplets.push((0usize, c, 0.5 + c as f32));
+            triplets.push((1usize, 6 - c, 1.5 - 0.25 * c as f32));
+        }
+        let s = CsrMatrix::from_triplets(2, 7, &triplets);
+        let x = Matrix::from_vec(7, 3, (0..21).map(|i| i as f32 * 0.21 - 2.0).collect());
+        let bias = Matrix::from_vec(1, 3, vec![0.75, -0.5, 0.125]);
+        let exact = s.spmm(&x);
+        let exact_bias = s.spmm_bias(&x, &bias);
+        let xv: Vec<f32> = (0..7).map(|i| i as f32 * 0.4 - 1.0).collect();
+        let exact_v = s.spmv(&xv);
+        for mode in [MathMode::Exact, MathMode::Fast] {
+            assert!(s.spmm_mode(&x, mode).approx_eq(&exact, 1e-4));
+            assert!(s
+                .spmm_bias_mode(&x, &bias, mode)
+                .approx_eq(&exact_bias, 1e-4));
+            let v = s.spmv_mode(&xv, mode);
+            assert!(v.iter().zip(&exact_v).all(|(&a, &b)| (a - b).abs() <= 1e-4));
+        }
     }
 }

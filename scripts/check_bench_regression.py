@@ -41,44 +41,58 @@ import sys
 # measure bookkeeping (pool dispatch, lock traffic, per-task optimiser
 # overhead), not arithmetic throughput, so their ratios are stable enough
 # to gate. Raw-kernel ratios (matmul/spmm blocking) swing with cache
-# hierarchy and stay report-only.
+# hierarchy and stay report-only — except the fast-math rows, whose
+# fast-vs-naive ratio is the acceptance headroom of the fast tier and is
+# gated whenever the current run compiled the feature in.
 GATED_KERNEL_PREFIXES = (
     "parallel_dispatch",
     "tensor_op_overhead",
     "meta_train_throughput",
 )
 
+# Variant names produced only by `--features fast-math` builds. A default
+# build legitimately regenerates a baseline without them; the gate drops
+# these rows (with a note) when the current file says fast_math is off,
+# instead of treating them as vanished comparisons.
+FAST_VARIANTS = ("fast_1t", "fast_f32")
 
-def load_results(path):
+
+def load_doc(path):
     with open(path) as fh:
-        doc = json.load(fh)
-    return doc.get("results", [])
+        return json.load(fh)
 
 
-def ratio_rows_kernels(rows):
+def ratio_rows_kernels(doc):
     """(kernel, variant) -> speedup_vs_naive for gated, non-baseline rows."""
     out = {}
-    for row in rows:
+    for row in doc.get("results", []):
         kernel, variant = row.get("kernel", ""), row.get("variant", "")
         speedup = row.get("speedup_vs_naive")
         if variant == "naive" or not isinstance(speedup, (int, float)):
             continue
-        if kernel.startswith(GATED_KERNEL_PREFIXES):
+        if kernel.startswith(GATED_KERNEL_PREFIXES) or variant in FAST_VARIANTS:
             out[(kernel, variant)] = float(speedup)
     return out
 
 
-def ratio_rows_serve(rows):
-    """batch size -> speedup_vs_batch1 for batches > 1."""
+def ratio_rows_serve(doc):
+    """Batching rows keyed on speedup_vs_batch1, engine rows on
+    speedup_vs_exact_f64 (the fast_f32 row is fast-gated)."""
     out = {}
-    for row in rows:
+    for row in doc.get("results", []):
+        variant = row.get("variant")
+        if isinstance(variant, str):
+            speedup = row.get("speedup_vs_exact_f64")
+            if variant != "exact_f64" and isinstance(speedup, (int, float)):
+                out[("serve_precision", variant)] = float(speedup)
+            continue
         batch, speedup = row.get("batch"), row.get("speedup_vs_batch1")
         if isinstance(batch, int) and batch > 1 and isinstance(speedup, (int, float)):
             out[("serve_throughput", f"batch_{batch}")] = float(speedup)
     return out
 
 
-def ratio_rows_shard(rows):
+def ratio_rows_shard(doc):
     """shard count -> speedup_vs_shard1 for shard counts > 1.
 
     On one machine a sharded deployment re-runs the encoder per shard, so
@@ -88,7 +102,7 @@ def ratio_rows_shard(rows):
     because the snapshot never records a win.
     """
     out = {}
-    for row in rows:
+    for row in doc.get("results", []):
         shards, speedup = row.get("shards"), row.get("speedup_vs_shard1")
         if isinstance(shards, int) and shards > 1 and isinstance(speedup, (int, float)):
             out[("shard_scaling", f"shards_{shards}")] = float(speedup)
@@ -122,8 +136,19 @@ def main():
     args = ap.parse_args()
 
     extract = EXTRACTORS[args.kind]
-    baseline = extract(load_results(args.baseline))
-    current = extract(load_results(args.current))
+    baseline_doc = load_doc(args.baseline)
+    current_doc = load_doc(args.current)
+    baseline = extract(baseline_doc)
+    current = extract(current_doc)
+
+    # Fast-tier rows only exist in `--features fast-math` builds. When the
+    # current regeneration ran without the feature, drop the snapshot's
+    # fast rows rather than flagging them as vanished comparisons.
+    if not current_doc.get("fast_math", False):
+        dropped = [key for key in baseline if key[1] in FAST_VARIANTS]
+        for key in dropped:
+            print(f"  [skip] {key[0]}/{key[1]}: current run built without fast-math")
+            del baseline[key]
 
     if not baseline:
         print(f"gate: no gated ratios in baseline {args.baseline}; nothing to compare")

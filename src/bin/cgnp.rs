@@ -23,6 +23,7 @@
 //! cgnp serve --checkpoint model.json [--dataset citeseer] [--scale S]
 //!            [--decoder ip|mlp|gnn] [--shots N] [--seed N]
 //!            [--threads N] [--batch B] [--cache C]
+//!            [--precision f32|f64] [--exact]
 //!            [--shards N] [--replicas R]
 //!            [--listen ADDR] [--max-conns N] [--max-queue N]
 //!            [--request-timeout-ms MS] [--drain MS]
@@ -36,6 +37,13 @@
 //!     graceful drain (stop accepting, answer everything admitted, flush,
 //!     exit 0), bounded by the --drain grace period in milliseconds.
 //!     --request-timeout-ms 0 disables per-request deadlines.
+//!     --precision selects the element type scoring runs in (f32, the
+//!     training dtype and default, or f64). Serving defaults to the
+//!     fast-math kernel tier when the binary carries it (build with
+//!     --features fast-math); --exact pins scoring to the bitwise-
+//!     reproducible kernels instead — with f32, predictions are then
+//!     bit-for-bit identical to the training-side forward. The summary
+//!     reports the precision and the kernel tier actually used.
 //!     With --shards N (> 1) and/or --replicas R (> 1), the graph is
 //!     partitioned and queries are answered by a scatter/gather
 //!     coordinator over N per-partition sessions x R replicas — same
@@ -97,7 +105,10 @@ fn main() {
     }
 }
 
-/// Parses `--key value` pairs.
+/// Flags that take no value: presence alone sets them.
+const BOOLEAN_FLAGS: &[&str] = &["exact"];
+
+/// Parses `--key value` pairs (and valueless [`BOOLEAN_FLAGS`]).
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
@@ -105,6 +116,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --flag, got {key:?}"));
         };
+        if BOOLEAN_FLAGS.contains(&name) {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -377,6 +392,17 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             ))
         }
     };
+    let precision =
+        cgnp_tensor::Dtype::parse(flags.get("precision").map(String::as_str).unwrap_or("f32"))?;
+    // The CLI opts into the fast tier by default — the binary only
+    // carries it when built with `--features fast-math`, and `--exact`
+    // pins scoring back to the bitwise-reproducible kernels without a
+    // rebuild. (The *library* default stays exact.)
+    let math = if flags.contains_key("exact") {
+        cgnp_tensor::MathMode::Exact
+    } else {
+        cgnp_tensor::MathMode::Fast
+    };
     let cfg = ServeConfig {
         batch: parse_usize(flags, "batch", ServeConfig::default().batch)?.max(1),
         cache: parse_usize(flags, "cache", ServeConfig::default().cache)?,
@@ -384,6 +410,8 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         seed: args.seed,
         context_cache: true,
         refresh,
+        precision,
+        math,
     };
     let shards = parse_usize(flags, "shards", 1)?.max(1);
     let replicas = parse_usize(flags, "replicas", 1)?.max(1);
@@ -415,13 +443,15 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         )?)
     };
     eprintln!(
-        "serving {} ({} nodes, {} support examples) from {checkpoint}: batch {}, cache {}, {} threads",
+        "serving {} ({} nodes, {} support examples) from {checkpoint}: batch {}, cache {}, {} threads, {} {} math",
         args.dataset.name(),
         engine.n(),
         engine.max_shots(),
         cfg.batch,
         cfg.cache,
-        cfg.threads
+        cfg.threads,
+        cfg.precision,
+        cfg.effective_math()
     );
     if let Some(listen) = flags.get("listen") {
         return serve_gateway(engine, listen, flags);
@@ -492,6 +522,17 @@ mod tests {
         assert_eq!(flags["shots"], "5");
         assert!(parse_flags(&["--lonely".to_string()]).is_err());
         assert!(parse_flags(&["positional".to_string()]).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let args: Vec<String> = ["--exact", "--precision", "f64"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let flags = parse_flags(&args).unwrap();
+        assert_eq!(flags["exact"], "true");
+        assert_eq!(flags["precision"], "f64");
     }
 
     #[test]
