@@ -12,10 +12,14 @@
 //!   from scratch at the new epoch ([`RefreshStrategy::EpochSwap`]);
 //! * `fresh_session` — tear the session down and build a new one on the
 //!   mutated graph (new model instance + `ServeSession::new`), the
-//!   strategy a frozen-graph server is forced into.
+//!   strategy a frozen-graph server is forced into;
+//! * `durable` — per-row patching behind the [`DurableEngine`] wrapper:
+//!   the same delta plus a checksummed WAL append and fsync *before*
+//!   the ack returns, i.e. the marginal price of crash durability.
 //!
 //! Writes `BENCH_update.json` at the workspace root with per-mode
-//! latency percentiles and updates/sec.
+//! latency percentiles, updates/sec, and the durable row's
+//! `overhead_vs_ephemeral` ratio.
 //!
 //! Acceptance shape: `per_row` must beat `epoch_swap` on these
 //! single-edge deltas — patching a handful of rows has to be cheaper
@@ -28,7 +32,10 @@ use rand::SeedableRng;
 
 use cgnp_core::{Cgnp, CgnpConfig, RefreshStrategy};
 use cgnp_data::{generate_sbm, model_input_dim, SbmConfig, Task};
-use cgnp_serve::{serve_task, ServeConfig, ServeSession, UpdateOp, UpdateRequest};
+use cgnp_serve::{
+    scan, serve_task, DurableEngine, QueryEngine, ServeConfig, ServeSession, UpdateOp,
+    UpdateRequest,
+};
 
 fn base_task() -> Task {
     let mut sbm = SbmConfig::small_test();
@@ -107,6 +114,40 @@ fn live_update(c: &mut Criterion) {
     }
 
     {
+        // The durable tier: identical per-row patching, plus the
+        // write-ahead contract — checksummed WAL append + fsync before
+        // the ack returns. Snapshot cadence is off so the row isolates
+        // the per-update logging price, not amortised snapshot writes.
+        let dir = std::env::temp_dir().join(format!("cgnp-bench-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let state = scan(&dir).expect("scan durable dir");
+        let inner: std::sync::Arc<dyn QueryEngine> = std::sync::Arc::new(
+            ServeSession::new(
+                model_for(&task),
+                task.clone(),
+                serve_cfg(RefreshStrategy::PerRow),
+            )
+            .expect("session"),
+        );
+        let session = DurableEngine::attach(inner, &dir, 0, state).expect("durable engine");
+        let mut i = 0usize;
+        g.bench_function("durable", |b| {
+            b.iter(|| {
+                let (u, v) = edges[i % edges.len()];
+                i += 1;
+                let ack = session.apply_update(&UpdateRequest {
+                    id: i as u64,
+                    op: UpdateOp::AddEdge { u, v },
+                });
+                assert!(ack.ok, "durable bench update rejected: {:?}", ack.error);
+                black_box(ack)
+            })
+        });
+        drop(session);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    {
         // The frozen-graph alternative: mutate a detached task, then pay
         // full session bring-up (model init + operator/feature build).
         let mut fresh_task = task.clone();
@@ -129,34 +170,46 @@ fn live_update(c: &mut Criterion) {
     g.finish();
 }
 
-/// Writes `BENCH_update.json`: per mode, the time one single-edge delta
-/// keeps the session stale, and the sustainable update rate.
+/// Writes `BENCH_update.json` (schema v2: per-row `threads`, plus the
+/// durable row's `overhead_vs_ephemeral`): per mode, the time one
+/// single-edge delta keeps the session stale, and the sustainable
+/// update rate.
 fn emit_update_baseline(c: &mut Criterion) {
-    let modes = ["per_row", "epoch_swap", "fresh_session"];
+    let modes = ["per_row", "epoch_swap", "fresh_session", "durable"];
     let stat = |mode: &str| {
         c.results()
             .iter()
             .find(|r| r.name == format!("live_update/{mode}"))
     };
     let fresh_median = stat("fresh_session").map(|r| r.median_ns);
+    // The durable mode wraps a per_row session, so per_row is its
+    // ephemeral twin: the overhead ratio isolates the WAL append+fsync.
+    let ephemeral_median = stat("per_row").map(|r| r.median_ns);
+    let threads = rayon::current_num_threads();
     let mut rows = Vec::new();
     for mode in modes {
         let Some(r) = stat(mode) else { continue };
         let speedup = fresh_median
             .map(|f| format!("{:.3}", f / r.median_ns))
             .unwrap_or_else(|| "null".to_string());
+        let overhead = if mode == "durable" {
+            ephemeral_median
+                .map(|e| format!("{:.3}", r.median_ns / e))
+                .unwrap_or_else(|| "null".to_string())
+        } else {
+            "null".to_string()
+        };
         rows.push(format!(
-            "    {{\"mode\": \"{mode}\", \"latency_p50_us\": {:.1}, \"latency_p95_us\": {:.1}, \
-             \"updates_per_sec\": {:.1}, \"speedup_vs_fresh\": {speedup}}}",
+            "    {{\"mode\": \"{mode}\", \"threads\": {threads}, \"latency_p50_us\": {:.1}, \
+             \"latency_p95_us\": {:.1}, \"updates_per_sec\": {:.1}, \
+             \"speedup_vs_fresh\": {speedup}, \"overhead_vs_ephemeral\": {overhead}}}",
             r.median_ns / 1e3,
             r.p95_ns / 1e3,
             1e9 / r.median_ns
         ));
     }
     let json = format!(
-        "{{\n  \"schema\": \"cgnp-update-baseline-v1\",\n  \"threads\": {},\n  \
-         \"results\": [\n{}\n  ]\n}}\n",
-        rayon::current_num_threads(),
+        "{{\n  \"schema\": \"cgnp-update-baseline-v2\",\n  \"results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_update.json");
@@ -173,6 +226,15 @@ fn emit_update_baseline(c: &mut Criterion) {
              per_row: {:.1} µs, epoch_swap: {:.1} µs ({ratio:.1}×)",
             pr.median_ns / 1e3,
             es.median_ns / 1e3
+        );
+    }
+    if let (Some(du), Some(pr)) = (stat("durable"), stat("per_row")) {
+        let overhead = du.median_ns / pr.median_ns;
+        println!(
+            "  durability costs {overhead:.2}× the ephemeral per-row update — \
+             durable: {:.1} µs, ephemeral: {:.1} µs (WAL append + fsync per ack)",
+            du.median_ns / 1e3,
+            pr.median_ns / 1e3
         );
     }
 }

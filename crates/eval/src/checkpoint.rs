@@ -35,6 +35,11 @@ pub struct Checkpoint {
     /// legacy checkpoints and in snapshots of bare modules that are not a
     /// full CGNP model.
     pub arch: Option<ArchSpec>,
+    /// FNV-1a digest over the weight payload (shapes + f32 bit patterns),
+    /// stored as a 16-digit hex string so the value survives JSON's f64
+    /// number model. `None` in legacy files, which still restore — the
+    /// shape/length checks remain their only defence against bit-rot.
+    pub checksum: Option<String>,
 }
 
 impl Serialize for Checkpoint {
@@ -51,6 +56,11 @@ impl Serialize for Checkpoint {
             out.key("arch");
             arch.serialize(out);
         }
+        if let Some(checksum) = &self.checksum {
+            out.element();
+            out.key("checksum");
+            checksum.serialize(out);
+        }
         out.end_object();
     }
 }
@@ -61,8 +71,39 @@ impl Deserialize for Checkpoint {
             format: serde::field(v, "format")?,
             weights: serde::field(v, "weights")?,
             arch: serde::optional_field(v, "arch")?,
+            checksum: serde::optional_field(v, "checksum")?,
         })
     }
+}
+
+/// 64-bit FNV-1a over a byte stream. Not cryptographic — it guards
+/// against bit-rot, torn writes, and hand-editing accidents, the failure
+/// modes a local checkpoint or durability log actually faces. Shared by
+/// checkpoint integrity here and the serve-layer WAL/snapshot framing.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Digest of a checkpoint's weight payload: each matrix's shape and the
+/// exact bit patterns of its values, in parameter order. Bitwise — two
+/// checkpoints agree on the digest iff they restore identical models.
+pub fn weights_checksum(weights: &[SerializedMatrix]) -> u64 {
+    let mut bytes = Vec::new();
+    for w in weights {
+        bytes.extend_from_slice(&(w.rows as u64).to_le_bytes());
+        bytes.extend_from_slice(&(w.cols as u64).to_le_bytes());
+        for &x in &w.data {
+            bytes.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+    }
+    fnv1a64(&bytes)
 }
 
 /// Self-describing architecture payload: everything needed to rebuild the
@@ -210,10 +251,13 @@ const FORMAT: &str = "cgnp-checkpoint-v1";
 /// Snapshots a module's weights (no architecture payload; see
 /// [`snapshot_with_arch`]).
 pub fn snapshot(module: &dyn Module) -> Checkpoint {
+    let weights: Vec<SerializedMatrix> = module.export_weights().iter().map(Into::into).collect();
+    let checksum = Some(format!("{:016x}", weights_checksum(&weights)));
     Checkpoint {
         format: FORMAT.to_string(),
-        weights: module.export_weights().iter().map(Into::into).collect(),
+        weights,
         arch: None,
+        checksum,
     }
 }
 
@@ -232,11 +276,25 @@ pub fn snapshot_with_arch(module: &dyn Module, arch: ArchSpec) -> Checkpoint {
 /// Fails when the format marker, the parameter count, or any shape
 /// mismatches — and when a payload is internally inconsistent (its
 /// `data` length differs from `rows × cols`, as happens with corrupt or
-/// hand-edited files). Corruption is always reported as `Err`; this
-/// function never panics on untrusted checkpoint contents.
+/// hand-edited files). Files carrying a `checksum` are re-hashed and
+/// rejected on mismatch, catching bit-rot the shape checks cannot see;
+/// legacy checksum-less files skip that verification and still load.
+/// Corruption is always reported as `Err`; this function never panics on
+/// untrusted checkpoint contents.
 pub fn restore(module: &dyn Module, ckpt: &Checkpoint) -> Result<(), String> {
     if ckpt.format != FORMAT {
         return Err(format!("unknown checkpoint format {:?}", ckpt.format));
+    }
+    if let Some(stored) = &ckpt.checksum {
+        let declared = u64::from_str_radix(stored, 16)
+            .map_err(|_| format!("corrupt checkpoint: unparseable checksum {stored:?}"))?;
+        let actual = weights_checksum(&ckpt.weights);
+        if actual != declared {
+            return Err(format!(
+                "checkpoint checksum mismatch: payload hashes to {actual:016x} but the file \
+                 declares {declared:016x} — the weights were corrupted after saving"
+            ));
+        }
     }
     let params = module.params();
     if params.len() != ckpt.weights.len() {
@@ -409,6 +467,43 @@ mod tests {
         let ckpt = snapshot(&a);
         let err = restore(&wider, &ckpt).unwrap_err();
         assert!(err.contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_corrupted_weight_bits() {
+        let a = encoder(50);
+        let mut ckpt = snapshot(&a);
+        assert!(ckpt.checksum.is_some(), "snapshots carry a checksum");
+        // Flip one value: shapes and lengths stay valid, so only the
+        // checksum can catch it.
+        ckpt.weights[0].data[0] += 1.0;
+        let err = restore(&a, &ckpt).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn legacy_checksumless_checkpoints_still_restore() {
+        let a = encoder(51);
+        let mut ckpt = snapshot(&a);
+        ckpt.checksum = None;
+        let json = serde_json::to_string(&ckpt).unwrap();
+        assert!(!json.contains("checksum"), "legacy shape has no checksum");
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        assert!(back.checksum.is_none());
+        restore(&encoder(52), &back).unwrap();
+    }
+
+    #[test]
+    fn checksum_is_bitwise_and_roundtrips_through_json() {
+        let ckpt = snapshot(&encoder(53));
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.checksum, ckpt.checksum);
+        assert_eq!(
+            format!("{:016x}", weights_checksum(&back.weights)),
+            back.checksum.unwrap(),
+            "the digest survives a JSON float round-trip"
+        );
     }
 
     #[test]

@@ -27,8 +27,8 @@ pub mod metrics;
 pub mod report;
 
 pub use checkpoint::{
-    load_checkpoint_file, load_from_file, restore, save_to_file, save_with_arch, snapshot,
-    snapshot_with_arch, ArchSpec, Checkpoint,
+    fnv1a64, load_checkpoint_file, load_from_file, restore, save_to_file, save_with_arch, snapshot,
+    snapshot_with_arch, weights_checksum, ArchSpec, Checkpoint,
 };
 pub use experiments::{
     build_cite2cora_tasks, build_facebook_tasks, build_single_graph_tasks, run_cell,

@@ -40,6 +40,17 @@ fn write_fixture(dir: &std::path::Path, name: &str, contents: &str) -> std::path
     path
 }
 
+/// Removes the `checksum` field, producing a legacy-shaped file. The
+/// structural-corruption fixtures use this so they exercise the shape /
+/// length / overflow checks directly — on a modern file the checksum
+/// verification would (correctly) reject the damage first.
+fn strip_checksum(json: &str) -> String {
+    let start = json.find(",\"checksum\":\"").expect("checksum field");
+    let value_start = start + ",\"checksum\":\"".len();
+    let end = value_start + json[value_start..].find('"').expect("closing quote") + 1;
+    format!("{}{}", &json[..start], &json[end..])
+}
+
 #[test]
 fn valid_fixture_loads() {
     let (dir, json) = fixture_dir_and_valid_json();
@@ -48,8 +59,25 @@ fn valid_fixture_loads() {
 }
 
 #[test]
+fn bit_flipped_weight_fails_the_checksum() {
+    let (dir, json) = fixture_dir_and_valid_json();
+    // Perturb one weight value in a way every structural check accepts:
+    // same length, same shapes. Only the checksum can catch it.
+    let start = json.find("\"data\":[").expect("data array") + "\"data\":[".len();
+    let end = json[start..].find([',', ']']).expect("value end") + start;
+    let corrupted = format!("{}{}{}", &json[..start], "0.123456", &json[end..]);
+    let path = write_fixture(&dir, "bit_flip.json", &corrupted);
+    let err = load_from_file(&encoder(9), &path).expect_err("bit flip must fail");
+    assert!(
+        err.to_string().contains("checksum mismatch"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
 fn payload_length_mismatch_is_an_error_not_a_panic() {
     let (dir, json) = fixture_dir_and_valid_json();
+    let json = strip_checksum(&json);
     // Drop one value from the first data array: the declared rows/cols
     // still match the model, so only the length check can catch this.
     let start = json.find("\"data\":[").expect("data array") + "\"data\":[".len();
@@ -82,6 +110,7 @@ fn truncated_json_is_an_error() {
 #[test]
 fn swapped_shape_fields_are_an_error() {
     let (dir, json) = fixture_dir_and_valid_json();
+    let json = strip_checksum(&json);
     // The 4×8 input-layer weight serialises as "rows":4,"cols":8; swap
     // the dimensions while keeping the 32-value payload consistent with
     // the (swapped) declared shape, so the model-shape check must fire.
@@ -101,6 +130,7 @@ fn swapped_shape_fields_are_an_error() {
 #[test]
 fn absurd_overflowing_shape_is_an_error() {
     let (dir, json) = fixture_dir_and_valid_json();
+    let json = strip_checksum(&json);
     // rows*cols overflows usize: must be rejected by checked arithmetic,
     // not wrapped into a bogus expected length.
     let big = (usize::MAX / 2 + 1).to_string();
@@ -124,6 +154,7 @@ fn in_memory_restore_rejects_inconsistent_payload() {
     // `Err` even when the declared shape matches the model.
     let model = encoder(7);
     let mut ckpt: Checkpoint = snapshot(&model);
+    ckpt.checksum = None; // legacy file: structural checks must still fire
     ckpt.weights[0].data.pop();
     let err = restore(&model, &ckpt).expect_err("inconsistent payload must fail");
     assert!(

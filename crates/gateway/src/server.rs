@@ -141,7 +141,9 @@ impl GatewayHandle {
     }
 
     /// Drains (if not already draining) and waits for both threads,
-    /// returning the end-of-run report.
+    /// returning the end-of-run report. Durability buffers are flushed
+    /// to stable storage before the report exists: a gateway that exits
+    /// cleanly has fsync'd every acknowledged update.
     pub fn join(mut self) -> GatewayReport {
         self.shared.signal_drain();
         if let Some(h) = self.event.take() {
@@ -149,6 +151,9 @@ impl GatewayHandle {
         }
         if let Some(h) = self.batcher.take() {
             let _ = h.join();
+        }
+        if let Err(e) = self.engine.sync_durability() {
+            eprintln!("gateway drain: durability sync failed: {e}");
         }
         GatewayReport {
             gateway: self.shared.stats.snapshot(),

@@ -46,6 +46,9 @@ pub struct AttributedGraph {
     log: Vec<GraphMutation>,
     /// Epoch the first retained log entry applies to.
     log_start: u64,
+    /// Mutations silently dropped from the front of the log because the
+    /// graph moved more than [`MAX_MUTATION_LOG`] epochs past a reader.
+    log_evictions: u64,
 }
 
 impl AttributedGraph {
@@ -87,7 +90,63 @@ impl AttributedGraph {
             epoch: 0,
             log: Vec::new(),
             log_start: 0,
+            log_evictions: 0,
         }
+    }
+
+    /// Rebuilds a graph from persisted state (a durability snapshot) at a
+    /// non-zero starting epoch. Validation mirrors [`AttributedGraph::new`]
+    /// but returns `Err` instead of panicking — snapshot files are
+    /// untrusted input. The mutation log starts empty with
+    /// `log_start == epoch`, so `mutations_since(epoch)` is `Some(&[])`:
+    /// consumers prepared against the restored graph refresh incrementally
+    /// from here on, exactly as they would on a never-restarted graph.
+    pub fn restore_at_epoch(
+        graph: Graph,
+        n_attrs: usize,
+        mut attrs: Vec<Vec<u32>>,
+        mut communities: Vec<Vec<u32>>,
+        epoch: u64,
+    ) -> Result<Self, String> {
+        let n = graph.n();
+        if attrs.len() != n {
+            return Err(format!("attrs has {} entries for {n} nodes", attrs.len()));
+        }
+        for a in &mut attrs {
+            a.sort_unstable();
+            a.dedup();
+            if let Some(&max) = a.last() {
+                if max as usize >= n_attrs {
+                    return Err(format!(
+                        "attribute id {max} out of range (n_attrs {n_attrs})"
+                    ));
+                }
+            }
+        }
+        let mut node_comms: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (cid, members) in communities.iter_mut().enumerate() {
+            members.sort_unstable();
+            members.dedup();
+            for &v in members.iter() {
+                if v as usize >= n {
+                    return Err(format!(
+                        "community {cid} member {v} out of range ({n} nodes)"
+                    ));
+                }
+                node_comms[v as usize].push(cid as u32);
+            }
+        }
+        Ok(Self {
+            graph,
+            n_attrs,
+            attrs,
+            communities,
+            node_comms,
+            epoch,
+            log: Vec::new(),
+            log_start: epoch,
+            log_evictions: 0,
+        })
     }
 
     /// A graph with no attributes and no communities.
@@ -220,6 +279,7 @@ impl AttributedGraph {
             epoch: 0,
             log: Vec::new(),
             log_start: 0,
+            log_evictions: 0,
         }
     }
 
@@ -242,6 +302,15 @@ impl AttributedGraph {
         Some(&self.log[(since - self.log_start) as usize..])
     }
 
+    /// Total mutations evicted from the log since construction. A rising
+    /// count is the signal (surfaced through the serve summary) that
+    /// some consumer fell more than [`MAX_MUTATION_LOG`] epochs behind
+    /// and was forced onto epoch-swap rebuilds.
+    #[inline]
+    pub fn log_evictions(&self) -> u64 {
+        self.log_evictions
+    }
+
     fn record(&mut self, m: GraphMutation) {
         self.epoch += 1;
         self.log.push(m);
@@ -249,6 +318,7 @@ impl AttributedGraph {
             let drop = self.log.len() - MAX_MUTATION_LOG;
             self.log.drain(..drop);
             self.log_start += drop as u64;
+            self.log_evictions += drop as u64;
         }
     }
 
@@ -475,5 +545,61 @@ mod tests {
         assert_eq!(ag.mutations_since(epoch), Some(&[][..]));
         let tail = ag.mutations_since(epoch - 5).unwrap();
         assert_eq!(tail.len(), 5);
+        assert_eq!(ag.log_evictions(), 10, "one eviction per overflow");
+    }
+
+    #[test]
+    fn eviction_counter_stays_zero_within_retention() {
+        let mut ag = sample();
+        for _ in 0..100 {
+            ag.update_attrs(0, vec![0]).unwrap();
+        }
+        assert_eq!(ag.log_evictions(), 0);
+    }
+
+    #[test]
+    fn restore_at_epoch_resumes_incremental_history() {
+        let mut ag = sample();
+        ag.insert_edge(0, 4).unwrap();
+        ag.insert_edge(1, 5).unwrap();
+        let edges: Vec<(usize, usize)> = ag.graph().edges().collect();
+        let attrs: Vec<Vec<u32>> = (0..ag.n()).map(|v| ag.attrs_of(v).to_vec()).collect();
+        let comms: Vec<Vec<u32>> = (0..ag.n_communities())
+            .map(|c| ag.community_members(c).to_vec())
+            .collect();
+        let mut restored = AttributedGraph::restore_at_epoch(
+            Graph::from_edges(ag.n(), &edges),
+            ag.n_attrs(),
+            attrs,
+            comms,
+            ag.epoch(),
+        )
+        .unwrap();
+        assert_eq!(restored.epoch(), 2);
+        // Adjacency must be identical to the live-mutated original.
+        for v in 0..ag.n() {
+            assert_eq!(restored.graph().neighbors(v), ag.graph().neighbors(v));
+        }
+        assert_eq!(restored.communities_of(2), ag.communities_of(2));
+        // History before the restore point is gone; from it, empty.
+        assert!(restored.mutations_since(0).is_none());
+        assert_eq!(restored.mutations_since(2), Some(&[][..]));
+        // New mutations continue the epoch sequence seamlessly.
+        assert!(restored.insert_edge(0, 5).unwrap());
+        assert_eq!(restored.epoch(), 3);
+        assert_eq!(restored.mutations_since(2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn restore_at_epoch_rejects_bad_payloads() {
+        let g = || Graph::from_edges(2, &[(0, 1)]);
+        assert!(AttributedGraph::restore_at_epoch(g(), 0, vec![vec![]], vec![], 1).is_err());
+        assert!(
+            AttributedGraph::restore_at_epoch(g(), 1, vec![vec![3], vec![]], vec![], 1).is_err()
+        );
+        assert!(
+            AttributedGraph::restore_at_epoch(g(), 0, vec![vec![], vec![]], vec![vec![9]], 1)
+                .is_err()
+        );
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::protocol::{ErrorCode, QueryRequest, QueryResponse, UpdateRequest};
 use crate::session::{ServeSession, ServeSummary};
+use crate::snapshot::SnapshotState;
 
 /// The scoring back-end a serving front-end multiplexes requests into.
 ///
@@ -50,6 +51,19 @@ pub trait QueryEngine: Send + Sync + 'static {
     fn session_summary(&self) -> Option<ServeSummary> {
         None
     }
+    /// An epoch-consistent clone of the engine's mutable state (graph +
+    /// support pool), captured under its state lock. The durability
+    /// wrapper snapshots through this; engines without persistent
+    /// mutable state return `None` and are WAL-only durable.
+    fn snapshot_state(&self) -> Option<SnapshotState> {
+        None
+    }
+    /// Flushes any durability buffers to stable storage. Called by the
+    /// gateway on drain and by the CLI at end of stream, before the
+    /// process reports success; a no-op for ephemeral engines.
+    fn sync_durability(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 impl QueryEngine for ServeSession {
@@ -83,5 +97,9 @@ impl QueryEngine for ServeSession {
 
     fn session_summary(&self) -> Option<ServeSummary> {
         Some(self.summary())
+    }
+
+    fn snapshot_state(&self) -> Option<SnapshotState> {
+        Some(ServeSession::snapshot_state(self))
     }
 }

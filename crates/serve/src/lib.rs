@@ -40,18 +40,24 @@
 //! ```
 
 pub mod cache;
+pub mod durable;
 pub mod engine;
 pub mod ndjson;
 pub mod protocol;
 pub mod session;
+pub mod snapshot;
+pub mod wal;
 
 pub use cache::{CacheStats, LruCache};
+pub use durable::{scan, DurableEngine, DurableError, RecoveredState};
 pub use engine::QueryEngine;
 pub use ndjson::serve_ndjson;
 pub use protocol::{
-    parse_frame, parse_request, validate_request, validate_update, ErrorCode, Frame, ParseError,
-    QueryRequest, QueryResponse, UpdateOp, UpdateRequest,
+    parse_frame, parse_frame_value, parse_request, validate_request, validate_update, ErrorCode,
+    Frame, ParseError, QueryRequest, QueryResponse, UpdateOp, UpdateRequest,
 };
 pub use session::{
     rank_members, serve_task, ServeConfig, ServeSession, ServeSummary, SessionContext,
 };
+pub use snapshot::{SnapshotPayload, SnapshotState};
+pub use wal::{WalError, WalRecord, WalWriter};

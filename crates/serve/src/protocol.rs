@@ -283,6 +283,59 @@ pub struct UpdateRequest {
     pub op: UpdateOp,
 }
 
+impl UpdateRequest {
+    /// Serialises the frame back to its wire form — the exact shapes
+    /// [`parse_frame`] accepts, so `parse(to_json(u)) == u` and
+    /// `to_json(parse(line))` is a canonical form of `line`. The WAL
+    /// relies on that canonicality: record checksums are computed over
+    /// this serialisation and re-derived after parsing on recovery.
+    pub fn to_json(&self) -> String {
+        let id = self.id;
+        match &self.op {
+            UpdateOp::AddEdge { u, v } => {
+                format!("{{\"id\":{id},\"op\":\"add_edge\",\"u\":{u},\"v\":{v}}}")
+            }
+            UpdateOp::AddNode { attrs } => {
+                format!(
+                    "{{\"id\":{id},\"op\":\"add_node\",\"attrs\":[{}]}}",
+                    join_nums(attrs.iter())
+                )
+            }
+            UpdateOp::UpdateSupport { add, expire } => {
+                let mut s = format!("{{\"id\":{id},\"op\":\"update_support\"");
+                if let Some(ex) = add {
+                    s.push_str(",\"add\":{\"query\":");
+                    // `NO_QUERY` (usize::MAX) would not survive JSON's f64
+                    // number model; it round-trips as -1 instead.
+                    if ex.query == cgnp_data::NO_QUERY {
+                        s.push_str("-1");
+                    } else {
+                        s.push_str(&ex.query.to_string());
+                    }
+                    s.push_str(&format!(
+                        ",\"pos\":[{}],\"neg\":[{}]",
+                        join_nums(ex.pos.iter()),
+                        join_nums(ex.neg.iter())
+                    ));
+                    if !ex.truth.is_empty() {
+                        s.push_str(&format!(
+                            ",\"truth\":[{}]",
+                            join_nums(ex.truth.iter().map(|&b| b as u8))
+                        ));
+                    }
+                    s.push('}');
+                }
+                s.push_str(&format!(",\"expire\":{expire}}}"));
+                s
+            }
+        }
+    }
+}
+
+fn join_nums<T: std::fmt::Display>(items: impl Iterator<Item = T>) -> String {
+    items.map(|x| x.to_string()).collect::<Vec<_>>().join(",")
+}
+
 /// Anything a client can put on the wire: a query or a control frame.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
@@ -420,6 +473,12 @@ pub fn parse_request(line: &str) -> Result<QueryRequest, ParseError> {
 /// else is a query.
 pub fn parse_frame(line: &str) -> Result<Frame, ParseError> {
     let value = serde::json::parse(line).map_err(|e| ParseError::new(e.0))?;
+    parse_frame_value(&value)
+}
+
+/// [`parse_frame`] over an already-parsed [`Value`] — for callers (the
+/// WAL reader) that hold frames embedded inside a larger JSON document.
+pub fn parse_frame_value(value: &Value) -> Result<Frame, ParseError> {
     let Value::Obj(pairs) = &value else {
         return Err(ParseError::new("request must be a JSON object"));
     };
@@ -528,16 +587,18 @@ fn update_from_pairs(
 }
 
 /// Parses a wire support example: `{"query": q, "pos": [...], "neg":
-/// [...]}`. The evaluation-only `truth` mask has no wire form — examples
-/// arriving online carry labels, not ground truth — so it stays empty.
+/// [...]}`. Two extensions exist for WAL round-tripping (clients never
+/// send them): `"query": -1` reads back as the `NO_QUERY` sentinel, and
+/// an optional `"truth"` array of 0/1 flags restores the evaluation-only
+/// ground-truth mask an in-process caller may have attached.
 fn support_example(v: &Value) -> Result<QueryExample, String> {
     let Value::Obj(pairs) = v else {
         return Err(format!("field \"add\" must be an object, got {v:?}"));
     };
-    let query = as_u64(
-        get(pairs, "query").ok_or("missing field \"query\" in support example")?,
-        "query",
-    )? as usize;
+    let query = match get(pairs, "query").ok_or("missing field \"query\" in support example")? {
+        Value::Num(n) if *n == -1.0 => cgnp_data::NO_QUERY,
+        v => as_u64(v, "query")? as usize,
+    };
     let list = |key: &str| -> Result<Vec<usize>, String> {
         match get(pairs, key) {
             None | Some(Value::Null) => Ok(Vec::new()),
@@ -547,11 +608,22 @@ fn support_example(v: &Value) -> Result<QueryExample, String> {
                 .collect()),
         }
     };
+    let truth = match get(pairs, "truth") {
+        None | Some(Value::Null) => Vec::new(),
+        Some(v) => as_id_list(v, "truth")?
+            .into_iter()
+            .map(|x| match x {
+                0 => Ok(false),
+                1 => Ok(true),
+                other => Err(format!("field \"truth\" entries must be 0/1, got {other}")),
+            })
+            .collect::<Result<Vec<bool>, String>>()?,
+    };
     Ok(QueryExample {
         query,
         pos: list("pos")?,
         neg: list("neg")?,
-        truth: Vec::new(),
+        truth,
     })
 }
 
@@ -795,5 +867,69 @@ mod tests {
         assert_eq!(ErrorCode::Overloaded.as_str(), "overloaded");
         assert_eq!(ErrorCode::Internal.as_str(), "internal");
         assert_eq!(ErrorCode::Timeout.to_string(), "timeout");
+    }
+
+    /// Every update shape must survive `to_json` → `parse_frame` → `to_json`
+    /// with the middle value equal and the two serialisations identical —
+    /// the canonicality the WAL's record checksums depend on.
+    #[test]
+    fn update_requests_roundtrip_through_their_wire_form() {
+        let cases = vec![
+            UpdateRequest {
+                id: 1,
+                op: UpdateOp::AddEdge { u: 3, v: 9 },
+            },
+            UpdateRequest {
+                id: 2,
+                op: UpdateOp::AddNode { attrs: vec![] },
+            },
+            UpdateRequest {
+                id: 3,
+                op: UpdateOp::AddNode {
+                    attrs: vec![0, 2, 7],
+                },
+            },
+            UpdateRequest {
+                id: 4,
+                op: UpdateOp::UpdateSupport {
+                    add: None,
+                    expire: 2,
+                },
+            },
+            UpdateRequest {
+                id: 5,
+                op: UpdateOp::UpdateSupport {
+                    add: Some(QueryExample {
+                        query: 5,
+                        pos: vec![1, 2],
+                        neg: vec![7],
+                        truth: vec![],
+                    }),
+                    expire: 0,
+                },
+            },
+            UpdateRequest {
+                id: 6,
+                op: UpdateOp::UpdateSupport {
+                    add: Some(QueryExample {
+                        query: cgnp_data::NO_QUERY,
+                        pos: vec![],
+                        neg: vec![],
+                        truth: vec![true, false, true],
+                    }),
+                    expire: 1,
+                },
+            },
+        ];
+        for req in cases {
+            let json = req.to_json();
+            let Frame::Update(back) = parse_frame(&json)
+                .unwrap_or_else(|e| panic!("wire form of {req:?} failed to parse: {e} ({json})"))
+            else {
+                panic!("update serialised as a query: {json}");
+            };
+            assert_eq!(back, req, "value round-trip ({json})");
+            assert_eq!(back.to_json(), json, "canonical serialisation");
+        }
     }
 }

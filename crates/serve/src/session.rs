@@ -161,6 +161,19 @@ pub struct ServeSummary {
     /// Updates that shared a batched refresh instead of paying for their
     /// own (see [`ServeSession::apply_updates`]).
     pub coalesced_updates: u64,
+    /// Mutation-log entries the graph evicted because a consumer fell
+    /// more than the retention bound behind (forcing epoch-swap
+    /// rebuilds); non-zero values mean per-row refresh stopped applying.
+    pub log_evictions: u64,
+    /// WAL records appended by the durability wrapper (0 when serving
+    /// ephemerally).
+    pub wal_appends: u64,
+    /// Bytes appended to the WAL.
+    pub wal_bytes: u64,
+    /// Snapshots written (cadence + drain).
+    pub snapshots: u64,
+    /// WAL records replayed during recovery at startup.
+    pub recovered_updates: u64,
     /// Current graph epoch.
     pub epoch: u64,
     /// Per-shard graph epochs in fixed shard order; `None` for an
@@ -398,6 +411,18 @@ impl ServeSession {
     /// it was answered under).
     pub fn epoch(&self) -> u64 {
         self.read_live().prepared.epoch()
+    }
+
+    /// An epoch-consistent clone of the session's mutable state: graph
+    /// and support pool are copied under one read lock, so they are from
+    /// the same instant even while a concurrent updater waits on the
+    /// write half. This is what the durability layer snapshots.
+    pub fn snapshot_state(&self) -> crate::snapshot::SnapshotState {
+        let live = self.read_live();
+        crate::snapshot::SnapshotState {
+            graph: live.prepared.task.graph.clone(),
+            support: live.prepared.task.support.clone(),
+        }
     }
 
     pub fn config(&self) -> &ServeConfig {
@@ -844,6 +869,9 @@ impl ServeSession {
     /// percentiles, cache counters, update count, current epoch.
     pub fn summary(&self) -> ServeSummary {
         let epoch = self.epoch();
+        // Read before taking the stats lock: update paths lock live
+        // before stats, and summary must not invert that order.
+        let log_evictions = self.read_live().prepared.task.graph.log_evictions();
         let stats = self.stats.lock().expect("stats lock");
         let cache = self.cache_stats();
         let mut lat = stats.latencies_us.clone();
@@ -873,6 +901,11 @@ impl ServeSession {
             context_hits: stats.context_hits,
             updates: stats.updates,
             coalesced_updates: stats.coalesced_updates,
+            log_evictions,
+            wal_appends: 0,
+            wal_bytes: 0,
+            snapshots: 0,
+            recovered_updates: 0,
             epoch,
             shard_epochs: None,
             precision: self.cfg.precision.as_str().to_string(),

@@ -842,6 +842,7 @@ impl ShardedSession {
         }
         let shard_epochs: Vec<u64> = global.shards.iter().map(|s| s.epoch).collect();
         let epoch = global.graph.epoch();
+        let log_evictions = global.graph.log_evictions();
         drop(global);
         let stats = self.stats.lock().expect("stats lock");
         let cache = self.cache_stats();
@@ -872,6 +873,11 @@ impl ShardedSession {
             context_hits,
             updates: stats.updates,
             coalesced_updates: stats.coalesced_updates,
+            log_evictions,
+            wal_appends: 0,
+            wal_bytes: 0,
+            snapshots: 0,
+            recovered_updates: 0,
             epoch,
             shard_epochs: Some(shard_epochs),
             precision: self.cfg.serve.precision.as_str().to_string(),
@@ -1091,5 +1097,17 @@ impl QueryEngine for ShardedSession {
 
     fn session_summary(&self) -> Option<ServeSummary> {
         Some(self.summary())
+    }
+
+    fn snapshot_state(&self) -> Option<cgnp_serve::snapshot::SnapshotState> {
+        // The coordinator's global graph + pool are the oracle all shard
+        // state derives from, so they are the whole durable state: a
+        // recovered coordinator rebuilds its shards from them and is
+        // bitwise-identical to one that never crashed.
+        let global = self.read_global();
+        Some(cgnp_serve::snapshot::SnapshotState {
+            graph: global.graph.clone(),
+            support: global.support.clone(),
+        })
     }
 }

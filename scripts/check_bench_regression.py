@@ -109,10 +109,37 @@ def ratio_rows_shard(doc):
     return out
 
 
+def ratio_rows_update(doc):
+    """Live-update rows: refresh-strategy speedups vs a fresh session
+    rebuild, plus the durable row's *inverted* WAL overhead.
+
+    The inversion matters for the rules above: `overhead_vs_ephemeral`
+    is >= 1 by construction (durability adds an fsync), so gating the
+    raw value would let it grow unboundedly (base/cur shrinks as cur
+    grows). Gating `1/overhead` makes a 3x overhead blow-up trip the
+    --factor rule, and keeps the ratio below 1 so the --floor rule
+    (which presumes a snapshot-recorded win) never fires on fsync-bound
+    filesystem noise. Absolute latencies stay report-only.
+    """
+    out = {}
+    for row in doc.get("results", []):
+        mode = row.get("mode")
+        if not isinstance(mode, str):
+            continue
+        speedup = row.get("speedup_vs_fresh")
+        if mode in ("per_row", "epoch_swap") and isinstance(speedup, (int, float)):
+            out[("update_refresh", mode)] = float(speedup)
+        overhead = row.get("overhead_vs_ephemeral")
+        if isinstance(overhead, (int, float)) and overhead > 0:
+            out[("update_durability", mode)] = 1.0 / float(overhead)
+    return out
+
+
 EXTRACTORS = {
     "kernels": ratio_rows_kernels,
     "serve": ratio_rows_serve,
     "shard": ratio_rows_shard,
+    "update": ratio_rows_update,
 }
 
 

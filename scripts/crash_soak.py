@@ -1,0 +1,338 @@
+#!/usr/bin/env python3
+"""Crash-fault soak: SIGKILL a durable gateway mid-burst, damage the
+durability directory at scripted byte offsets, restart, and assert the
+recovered server answers bitwise-identically to an oracle that never
+crashed.
+
+Three lives of `cgnp serve --listen --durable DIR`:
+
+* **oracle** — ephemeral server that absorbs the full scripted
+  mutation stream uninterrupted; its probe responses are the ground
+  truth;
+* **victim life 1** — durable server fed the same stream; a burst of
+  idempotent `add_edge` frames is fired and the process is SIGKILL'd
+  after a scripted number of acks (the rest of the burst is in flight:
+  applied-and-logged, applied-but-torn, or never seen);
+* **victim life 2** — before restart the harness injects deterministic
+  crash debris: a partial record (no trailing newline) appended to the
+  WAL as if the kill landed mid-append, the newest snapshot truncated
+  to half its bytes as if it landed mid-snapshot-write, and a leftover
+  `.tmp.` file as if it landed mid-rename. The restarted server must
+  recover (older snapshot + WAL tail replay), hold an epoch covering
+  every acknowledged mutation, absorb a resend of the burst (duplicate
+  edges ack as no-ops), answer every probe bitwise-identically to the
+  oracle, and exit 0 on drain with WAL/snapshot counters in its report.
+
+A machine-readable summary is written to --summary for CI artifact
+upload.
+
+Usage:
+    crash_soak.py --binary target/release/cgnp \
+        --checkpoint /tmp/smoke-model.json \
+        [--durable-dir /tmp/crash-soak-state] \
+        [--summary crash-soak-summary.json]
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+
+def parse_args():
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--binary", required=True, help="path to the cgnp binary")
+    p.add_argument("--checkpoint", required=True, help="trained model checkpoint")
+    p.add_argument("--durable-dir", default="/tmp/cgnp-crash-soak")
+    p.add_argument("--summary", default=None, help="write a JSON summary here")
+    p.add_argument("--burst", type=int, default=12, help="edges in the kill burst")
+    p.add_argument("--kill-after", type=int, default=5,
+                   help="acks to read from the burst before SIGKILL")
+    return p.parse_args()
+
+
+def launch(args, durable_dir):
+    """Starts a gateway on an ephemeral port; returns (proc, addr,
+    startup stderr lines)."""
+    cmd = [
+        args.binary, "serve",
+        "--checkpoint", args.checkpoint,
+        "--dataset", "citeseer", "--scale", "smoke",
+        "--batch", "4",
+        "--listen", "127.0.0.1:0",
+        "--request-timeout-ms", "30000",
+        "--drain", "20000",
+    ]
+    if durable_dir is not None:
+        cmd += ["--durable", durable_dir, "--snapshot-every", "5"]
+    proc = subprocess.Popen(
+        cmd, stdin=subprocess.PIPE, stderr=subprocess.PIPE, text=True
+    )
+    deadline = time.monotonic() + 60
+    lines, addr = [], None
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            break
+        lines.append(line)
+        m = re.search(r"gateway listening on (\S+)", line)
+        if m:
+            addr = m.group(1)
+            break
+    if addr is None:
+        proc.kill()
+        sys.exit("server never printed its listen address:\n" + "".join(lines))
+    host, port = addr.rsplit(":", 1)
+    return proc, (host, int(port)), lines
+
+
+def connect(addr):
+    sock = socket.create_connection(addr, timeout=30)
+    sock.settimeout(60)
+    return sock, sock.makefile("r", encoding="utf-8")
+
+
+def probe_n_nodes(addr):
+    """The node count, recovered from an out-of-range error message."""
+    sock, rfile = connect(addr)
+    sock.sendall(b'{"id": 1, "nodes": [999999999]}\n')
+    reply = json.loads(rfile.readline())
+    sock.close()
+    assert reply["ok"] is False, reply
+    m = re.search(r"(\d+) nodes", reply["error"])
+    return int(m.group(1)) if m else 64
+
+
+def pre_stream(n):
+    """Mixed non-idempotent mutations, fully acknowledged before the
+    kill: edges, node births, and support rotations, with queries
+    interleaved by the caller."""
+    frames = []
+    for i in range(6):
+        u = (i * 17) % n
+        frames.append({"id": 1000 + i, "op": "add_edge",
+                       "u": u, "v": (u + 2 + i) % n})
+    frames.append({"id": 1006, "op": "add_node", "attrs": [0]})
+    q = 5 % n
+    frames.append({"id": 1007, "op": "update_support",
+                   "add": {"query": q, "pos": [(q + 1) % n],
+                           "neg": [(q + 3) % n]},
+                   "expire": 1})
+    frames.append({"id": 1008, "op": "add_edge", "u": n, "v": 7 % n})
+    return frames
+
+
+def burst_stream(n, count):
+    """Idempotent add_edge burst the SIGKILL lands in: resending it
+    after recovery converges on the same graph no matter where the kill
+    cut (duplicate edges are acknowledged no-ops)."""
+    return [{"id": 2000 + i, "op": "add_edge",
+             "u": (i * 13) % n, "v": ((i * 13) + 40 + i) % n}
+            for i in range(count)]
+
+
+def probe_stream(n):
+    probes = []
+    for i in range(8):
+        q = {"id": 3000 + i, "nodes": [(i * 11) % n], "top_k": 10}
+        if i % 3 == 1:
+            q["shots"] = 2
+        probes.append(q)
+    return probes
+
+
+GRAPH_OPS = {"add_edge", "add_node"}
+
+
+def apply_frames(sock, rfile, frames, failures, tag):
+    """Sends frames one at a time, reading each ack; returns the number
+    of acknowledged graph mutations."""
+    acked_graph = 0
+    for frame in frames:
+        sock.sendall((json.dumps(frame) + "\n").encode())
+        r = json.loads(rfile.readline())
+        if not r["ok"]:
+            failures.append(f"{tag}: frame {frame['id']} rejected: {r}")
+        elif frame["op"] in GRAPH_OPS:
+            acked_graph += 1
+    return acked_graph
+
+
+def fingerprint(resp):
+    """Everything bitwise-comparable about a probe response. Epoch is
+    excluded: the recovered victim re-acknowledges duplicate edges, so
+    its mutation count legitimately differs from the oracle's."""
+    return (resp["id"], resp["ok"], tuple(resp["members"]),
+            tuple(resp["probs"]), resp["shots"])
+
+
+def run_probes(sock, rfile, probes):
+    fps = []
+    for q in probes:
+        sock.sendall((json.dumps(q) + "\n").encode())
+        fps.append(json.loads(rfile.readline()))
+    return fps
+
+
+def drain(proc, failures, tag):
+    """Graceful drain; returns the gateway report (or None)."""
+    try:
+        proc.stdin.write("drain\n")
+        proc.stdin.flush()
+        _, stderr_tail = proc.communicate(timeout=60)
+    except (subprocess.TimeoutExpired, BrokenPipeError) as e:
+        proc.kill()
+        failures.append(f"{tag}: drain failed: {e}")
+        return None
+    if proc.returncode != 0:
+        failures.append(f"{tag}: exit code {proc.returncode}, want 0")
+    for line in stderr_tail.splitlines():
+        m = re.search(r"gateway report: (\{.*\})", line)
+        if m:
+            return json.loads(m.group(1))
+    failures.append(f"{tag}: no gateway report on stderr")
+    return None
+
+
+def inject_crash_debris(durable_dir, failures):
+    """Deterministic mid-append / mid-snapshot / mid-rename damage."""
+    wal = os.path.join(durable_dir, "wal.ndjson")
+    # Mid-append: a partial record with no trailing newline.
+    with open(wal, "ab") as f:
+        f.write(b'{"seq":999999,"epoch":999999,"update":{"id":9')
+    snapshots = sorted(
+        f for f in os.listdir(durable_dir)
+        if f.startswith("snapshot-") and f.endswith(".json")
+    )
+    if len(snapshots) < 2:
+        failures.append(
+            f"expected >= 2 retained snapshots before damage, found {snapshots}"
+        )
+    if snapshots:
+        # Mid-snapshot-write: newest snapshot cut to half its bytes. The
+        # WAL holds every acknowledged record, so recovery must fall
+        # back to the previous snapshot and replay a longer tail.
+        newest = os.path.join(durable_dir, snapshots[-1])
+        size = os.path.getsize(newest)
+        with open(newest, "r+b") as f:
+            f.truncate(size // 2)
+        # Mid-rename: a temp file the atomic-rename never retired.
+        shutil.copyfile(newest, os.path.join(
+            durable_dir, snapshots[-1] + ".tmp.99999"))
+    return snapshots
+
+
+def main():
+    args = parse_args()
+    failures = []
+    if os.path.isdir(args.durable_dir):
+        shutil.rmtree(args.durable_dir)
+
+    # ---- Phase A: the never-crashed oracle (ephemeral). ----
+    proc, addr, _ = launch(args, None)
+    n = probe_n_nodes(addr)
+    pre, burst, probes = pre_stream(n), burst_stream(n, args.burst), probe_stream(n)
+    sock, rfile = connect(addr)
+    apply_frames(sock, rfile, pre, failures, "oracle pre")
+    apply_frames(sock, rfile, burst, failures, "oracle burst")
+    oracle_fps = run_probes(sock, rfile, probes)
+    sock.close()
+    drain(proc, failures, "oracle")
+
+    # ---- Phase B: durable victim, SIGKILL'd mid-burst. ----
+    proc, addr, _ = launch(args, args.durable_dir)
+    sock, rfile = connect(addr)
+    acked_graph = apply_frames(sock, rfile, pre, failures, "victim pre")
+    # Fire the whole burst, read a scripted number of acks, then KILL:
+    # the remainder is genuinely in flight when the process dies.
+    sock.sendall("".join(json.dumps(f) + "\n" for f in burst).encode())
+    kill_after = min(args.kill_after, len(burst))
+    for _ in range(kill_after):
+        r = json.loads(rfile.readline())
+        if r["ok"]:
+            acked_graph += 1
+    proc.send_signal(signal.SIGKILL)
+    proc.wait()
+    sock.close()
+
+    # ---- Scripted damage, as if the kill tore the files mid-write. ----
+    snapshots_before = inject_crash_debris(args.durable_dir, failures)
+
+    # ---- Phase C: recovery. ----
+    proc, addr, startup = launch(args, args.durable_dir)
+    recovery_line = next(
+        (ln.strip() for ln in startup if "durable serving in" in ln), None)
+    if recovery_line is None:
+        failures.append("restart printed no recovery line")
+    replayed = None
+    if recovery_line:
+        m = re.search(r"(\d+) wal records replayed", recovery_line)
+        replayed = int(m.group(1)) if m else None
+        if replayed is None:
+            failures.append(f"unparseable recovery line: {recovery_line}")
+        elif replayed == 0 and snapshots_before:
+            failures.append(
+                "damaged newest snapshot but recovery replayed 0 records — "
+                "the fallback-and-replay path was not exercised"
+            )
+    sock, rfile = connect(addr)
+    epoch_probe = run_probes(sock, rfile, [{"id": 1, "nodes": [0]}])[0]
+    if epoch_probe["epoch"] < acked_graph:
+        failures.append(
+            f"recovered epoch {epoch_probe['epoch']} < {acked_graph} "
+            f"acknowledged mutations: an acked update was lost"
+        )
+    # Converge on the oracle's final state: duplicates ack as no-ops.
+    apply_frames(sock, rfile, burst, failures, "victim resend")
+    victim_fps = run_probes(sock, rfile, probes)
+    sock.close()
+    report = drain(proc, failures, "victim")
+
+    for o, v in zip(oracle_fps, victim_fps):
+        if fingerprint(o) != fingerprint(v):
+            failures.append(
+                f"probe {o['id']} diverged after recovery:\n"
+                f"  oracle: {fingerprint(o)}\n  victim: {fingerprint(v)}"
+            )
+    session = (report or {}).get("session") or {}
+    for counter in ("wal_appends", "wal_bytes", "snapshots", "recovered_updates"):
+        if counter not in session:
+            failures.append(f"session report missing counter {counter!r}")
+    if session.get("wal_appends", 0) <= 0:
+        failures.append(f"victim logged no WAL appends: {session}")
+    if session.get("snapshots", 0) <= 0:
+        failures.append(f"victim wrote no snapshots: {session}")
+
+    summary = {
+        "n_nodes": n,
+        "pre_frames": len(pre),
+        "burst_frames": len(burst),
+        "acks_before_kill": kill_after,
+        "acked_graph_mutations": acked_graph,
+        "recovered_epoch": epoch_probe.get("epoch"),
+        "wal_records_replayed": replayed,
+        "recovery_line": recovery_line,
+        "session_report": session,
+        "failures": failures,
+    }
+    if args.summary:
+        with open(args.summary, "w", encoding="utf-8") as f:
+            json.dump(summary, f, indent=2)
+    print(json.dumps(summary, indent=2))
+    if failures:
+        sys.exit("crash soak FAILED:\n  " + "\n  ".join(failures))
+    print(
+        f"crash soak OK: SIGKILL after {kill_after} burst acks, "
+        f"{replayed} records replayed, {len(probes)} probes bitwise-identical "
+        f"to the never-crashed oracle, clean drain, exit 0"
+    )
+
+
+if __name__ == "__main__":
+    main()

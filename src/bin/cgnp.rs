@@ -27,6 +27,7 @@
 //!            [--shards N] [--replicas R]
 //!            [--listen ADDR] [--max-conns N] [--max-queue N]
 //!            [--request-timeout-ms MS] [--drain MS]
+//!            [--durable DIR] [--snapshot-every N]
 //!     Answer newline-delimited JSON queries using a restored checkpoint
 //!     (micro-batched; see README "Serving" and "Operations").
 //!     Without --listen, queries stream from stdin to stdout. With
@@ -48,6 +49,14 @@
 //!     partitioned and queries are answered by a scatter/gather
 //!     coordinator over N per-partition sessions x R replicas — same
 //!     protocol, bitwise-identical responses (see README "Sharding").
+//!     With --durable DIR, every acknowledged update is appended to a
+//!     checksummed, fsync'd write-ahead log in DIR *before* the ack is
+//!     emitted, and epoch-consistent snapshots of the mutated graph +
+//!     support pool are written every --snapshot-every N acknowledged
+//!     updates (default 256; 0 = WAL-only). On start, the newest valid
+//!     snapshot is loaded and the WAL tail replayed, so a crashed server
+//!     resumes bitwise-identical to one that never crashed (see README
+//!     "Durability & recovery").
 //!     Checkpoints written by `cgnp train` are self-describing: the
 //!     architecture embedded in the file is used and --scale/--decoder
 //!     are ignored. For legacy checkpoints without an embedded
@@ -415,8 +424,24 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let shards = parse_usize(flags, "shards", 1)?.max(1);
     let replicas = parse_usize(flags, "replicas", 1)?.max(1);
+    let durable_dir = flags.get("durable").map(std::path::PathBuf::from);
+    let snapshot_every = parse_usize(flags, "snapshot-every", 256)? as u64;
+    // Scan the durability directory before building anything: when a
+    // valid snapshot exists, the engine starts from the mutated state
+    // it captured, not from the fresh dataset.
+    let recovered = match &durable_dir {
+        Some(dir) => {
+            Some(cgnp_serve::scan(dir).map_err(|e| format!("recovering {}: {e}", dir.display()))?)
+        }
+        None => None,
+    };
     let ds = load_dataset(args.dataset, args.settings.scale, args.seed);
-    let task = serve_task(ds.single(), args.shots.max(1), args.seed)?;
+    let task = match recovered.as_ref().and_then(|r| r.snapshot.as_ref()) {
+        Some(snap) => snap
+            .restore_task()
+            .map_err(|e| format!("restoring snapshot: {e}"))?,
+        None => serve_task(ds.single(), args.shots.max(1), args.seed)?,
+    };
     let template = args.settings.cgnp_template().with_decoder(args.decoder);
     // Sharding is a deployment choice, not a protocol change: both
     // engines answer the same NDJSON stream with bitwise-identical
@@ -442,6 +467,28 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             checkpoint, template, task, cfg,
         )?)
     };
+    // Durability wraps *outside* sharding: updates are logged once at
+    // the coordinator and recovery replays them through the same
+    // scatter path live updates take.
+    let engine: std::sync::Arc<dyn cgnp_serve::QueryEngine> = match (durable_dir, recovered) {
+        (Some(dir), Some(state)) => {
+            let snap_seq = state.snapshot.as_ref().map(|s| s.last_seq);
+            let replayed = state.tail.len();
+            let torn = state.torn_bytes;
+            let skipped = state.snapshots_skipped;
+            let durable = cgnp_serve::DurableEngine::attach(engine, &dir, snapshot_every, state)
+                .map_err(|e| format!("attaching durability at {}: {e}", dir.display()))?;
+            eprintln!(
+                "durable serving in {}: snapshot {}, {replayed} wal records replayed, \
+                 {torn} torn bytes truncated, {skipped} corrupt snapshots skipped, \
+                 snapshot every {snapshot_every} updates",
+                dir.display(),
+                snap_seq.map_or("none".to_string(), |s| format!("seq {s}")),
+            );
+            std::sync::Arc::new(durable)
+        }
+        _ => engine,
+    };
     eprintln!(
         "serving {} ({} nodes, {} support examples) from {checkpoint}: batch {}, cache {}, {} threads, {} {} math",
         args.dataset.name(),
@@ -460,8 +507,17 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     // and the reader thread is the only consumer anyway.
     let stdin = std::io::BufReader::new(std::io::stdin());
     let mut stdout = std::io::stdout().lock();
-    let summary = serve_ndjson(&*engine, stdin, &mut stdout)
+    let mut summary = serve_ndjson(&*engine, stdin, &mut stdout)
         .map_err(|e| format!("serving stream failed: {e}"))?;
+    // Flush durability buffers before reporting success: a stream that
+    // ended cleanly must leave every acknowledged update on disk. The
+    // summary is re-read so it counts the drain-time snapshot.
+    engine
+        .sync_durability()
+        .map_err(|e| format!("durability sync failed: {e}"))?;
+    if let Some(s) = engine.session_summary() {
+        summary = s;
+    }
     let json = serde_json::to_string(&summary).map_err(|e| e.to_string())?;
     eprintln!("serve summary: {json}");
     Ok(())
